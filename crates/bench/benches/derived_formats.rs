@@ -1,0 +1,31 @@
+//! Criterion bench: derived formats (HYB, JDS) vs the basic five on a
+//! skewed-row workload — the extension study's measured core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_data::controlled::mdim_matrix;
+use dls_sparse::{AnyMatrix, Format, MatrixFormat};
+
+fn bench_derived(c: &mut Criterion) {
+    let mut group = c.benchmark_group("derived_formats_skewed");
+    group.sample_size(20);
+    let size = 1024;
+    let t = mdim_matrix(size, size, 2 * size, size, 3);
+    for fmt in [
+        Format::Ell,
+        Format::Csr,
+        Format::Coo,
+        Format::Hyb,
+        Format::Jds,
+    ] {
+        let m = AnyMatrix::from_triplets(fmt, &t);
+        let v = m.row_sparse(0);
+        let mut out = vec![0.0; size];
+        group.bench_with_input(BenchmarkId::from_parameter(fmt.name()), &m, |b, m| {
+            b.iter(|| m.smsv(&v, &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_derived);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for Figure 1 / Table III: SMSV time per storage format
+//! on (scaled) twins of the paper's five datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_data::labels::linear_teacher_labels;
+use dls_data::{generate, DatasetSpec};
+use dls_sparse::{AnyMatrix, Format, MatrixFormat};
+
+fn bench_formats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_smsv");
+    group.sample_size(20);
+    for name in ["adult", "aloi", "mnist", "gisette", "trefethen"] {
+        // Extra scaling on top of the defaults keeps criterion's many
+        // samples fast.
+        let scale = match name {
+            "gisette" => 12,
+            "adult" | "trefethen" => 2,
+            _ => 1,
+        };
+        let spec = DatasetSpec::by_name(name).unwrap().scaled(scale);
+        let t = generate(&spec, 42);
+        let _ = linear_teacher_labels(&t, 0.0, 1);
+        for fmt in Format::BASIC {
+            let m = AnyMatrix::from_triplets(fmt, &t);
+            let v = m.row_sparse(0);
+            let mut out = vec![0.0; m.rows()];
+            group.bench_with_input(
+                BenchmarkId::new(name, fmt.name()),
+                &m,
+                |b, m| b.iter(|| m.smsv(&v, &mut out)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_formats);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for Figure 2: DIA SMSV vs number of diagonals at fixed
+//! M = N = 1024, nnz = 1024.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_data::controlled::diag_matrix;
+use dls_sparse::{AnyMatrix, Format, MatrixFormat};
+
+fn bench_dia(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_dia_ndig");
+    group.sample_size(20);
+    let size = 1024;
+    for ndig in [2usize, 8, 32, 128, 512, 1024] {
+        let t = diag_matrix(size, size, size, ndig, 7);
+        let m = AnyMatrix::from_triplets(Format::Dia, &t);
+        let v = m.row_sparse(0);
+        let mut out = vec![0.0; size];
+        group.bench_with_input(BenchmarkId::from_parameter(ndig), &m, |b, m| {
+            b.iter(|| m.smsv(&v, &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dia);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for Figure 3: ELL SMSV vs mdim at fixed M = N = 1024,
+//! nnz = 2048.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_data::controlled::mdim_matrix;
+use dls_sparse::{AnyMatrix, Format, MatrixFormat};
+
+fn bench_ell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_ell_mdim");
+    group.sample_size(20);
+    let size = 1024;
+    for mdim in [2usize, 8, 32, 128, 512, 1024] {
+        let t = mdim_matrix(size, size, 2 * size, mdim, 11);
+        let m = AnyMatrix::from_triplets(Format::Ell, &t);
+        let v = m.row_sparse(0);
+        let mut out = vec![0.0; size];
+        group.bench_with_input(BenchmarkId::from_parameter(mdim), &m, |b, m| {
+            b.iter(|| m.smsv(&v, &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ell);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 4: lane-lockstep CSR vs COO as the
+//! row-length variance grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_data::controlled::vdim_matrix;
+use dls_sparse::{CooMatrix, CsrMatrix, MatrixFormat};
+
+fn bench_coo_csr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_vdim");
+    group.sample_size(20);
+    let (m, n, adim) = (1024usize, 2048usize, 32usize);
+    for vdim in [0.0f64, 16.0, 256.0, 1024.0] {
+        let t = vdim_matrix(m, n, m * adim, vdim, 13);
+        let csr = CsrMatrix::from_triplets(&t);
+        let coo = CooMatrix::from_triplets(&t);
+        let v = csr.row_sparse(0);
+        let mut out = vec![0.0; m];
+        group.bench_with_input(
+            BenchmarkId::new("csr_lanes8", vdim as usize),
+            &csr,
+            |b, csr| b.iter(|| csr.smsv_lanes::<8>(&v, &mut out)),
+        );
+        group.bench_with_input(BenchmarkId::new("coo", vdim as usize), &coo, |b, coo| {
+            b.iter(|| coo.smsv(&v, &mut out))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coo_csr);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for Figure 7: adaptive solver vs LIBSVM-style fixed-CSR
+//! baseline at a fixed iteration budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_baseline::{train_libsvm_like, LibsvmLikeParams};
+use dls_core::LayoutScheduler;
+use dls_data::labels::linear_teacher_labels;
+use dls_data::{generate, DatasetSpec};
+use dls_sparse::AnyMatrix;
+use dls_svm::{KernelKind, SmoParams, WorkingSetSelection};
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_vs_libsvm");
+    group.sample_size(10);
+    let iters = 10usize;
+    for name in ["adult", "trefethen", "connect-4"] {
+        let spec = DatasetSpec::by_name(name).unwrap().scaled(2);
+        let t = generate(&spec, 42);
+        let y = linear_teacher_labels(&t, 0.05, 7);
+
+        let base_params = LibsvmLikeParams {
+            kernel: KernelKind::Linear,
+            tolerance: 1e-12,
+            max_iterations: iters,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new(name, "libsvm_like"), &t, |b, t| {
+            b.iter(|| train_libsvm_like(t, &y, &base_params).unwrap().1.iterations)
+        });
+
+        let report = LayoutScheduler::new().select_only(&t);
+        let m = AnyMatrix::from_triplets(report.chosen, &t);
+        let params = SmoParams {
+            c: 1.0,
+            kernel: KernelKind::Linear,
+            tolerance: 1e-12,
+            max_iterations: iters,
+            cache_bytes: 0,
+            selection: WorkingSetSelection::FirstOrder,
+        threads: 1,
+        shrinking: false,
+        positive_weight: 1.0,
+        };
+        group.bench_with_input(BenchmarkId::new(name, "adaptive"), &m, |b, m| {
+            b.iter(|| dls_svm::train_with_stats(m, &y, &params).unwrap().1.iterations)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Ablation bench (DESIGN.md decision 1): cost of the three selection
+//! strategies themselves — rules are O(1) over extracted features, the
+//! cost model is arithmetic, the empirical tuner materialises and times
+//! all five candidates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_core::{LayoutScheduler, SelectionStrategy};
+use dls_data::{generate, DatasetSpec};
+
+fn bench_selectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selector_ablation");
+    group.sample_size(10);
+    for name in ["adult", "trefethen"] {
+        let spec = DatasetSpec::by_name(name).unwrap().scaled(4);
+        let t = generate(&spec, 42);
+        for (label, strategy) in [
+            ("rule", SelectionStrategy::RuleBased),
+            ("cost", SelectionStrategy::CostModel),
+            ("empirical", SelectionStrategy::Empirical),
+        ] {
+            let scheduler = LayoutScheduler::with_strategy(strategy);
+            group.bench_with_input(BenchmarkId::new(name, label), &t, |b, t| {
+                b.iter(|| scheduler.select_only(t).chosen)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selectors);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: SMO solver feature ablations — shrinking on/off and
+//! kernel cache on/off at a fixed iteration budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_data::labels::linear_teacher_labels;
+use dls_data::{generate, DatasetSpec};
+use dls_sparse::{AnyMatrix, Format};
+use dls_svm::{train_with_stats, KernelKind, SmoParams};
+
+fn bench_smo_features(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smo_features");
+    group.sample_size(10);
+    let spec = DatasetSpec::by_name("adult").unwrap().scaled(8);
+    let t = generate(&spec, 42);
+    let y = linear_teacher_labels(&t, 0.05, 7);
+    let m = AnyMatrix::from_triplets(Format::Ell, &t);
+
+    let base = SmoParams {
+        kernel: KernelKind::Gaussian { gamma: 0.5 },
+        max_iterations: 2_000,
+        ..Default::default()
+    };
+    let configs = [
+        ("plain", SmoParams { cache_bytes: 0, ..base }),
+        ("cache", base),
+        ("cache+shrink", SmoParams { shrinking: true, ..base }),
+    ];
+    for (name, params) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &m, |b, m| {
+            b.iter(|| train_with_stats(m, &y, &params).unwrap().1.iterations)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_smo_features);
+criterion_main!(benches);

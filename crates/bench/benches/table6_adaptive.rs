@@ -1,0 +1,59 @@
+//! Criterion bench for Table VI: SMO iteration cost under the scheduled
+//! format vs the worst format, per dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dls_core::LayoutScheduler;
+use dls_data::labels::linear_teacher_labels;
+use dls_data::{generate, DatasetSpec};
+use dls_sparse::{AnyMatrix, Format};
+use dls_svm::{KernelKind, SmoParams, WorkingSetSelection};
+
+fn smo_params(iters: usize) -> SmoParams {
+    SmoParams {
+        c: 1.0,
+        kernel: KernelKind::Linear,
+        tolerance: 1e-12,
+        max_iterations: iters,
+        cache_bytes: 0,
+        selection: WorkingSetSelection::FirstOrder,
+        threads: 1,
+        shrinking: false,
+        positive_weight: 1.0,
+    }
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6_adaptive");
+    group.sample_size(10);
+    let scheduler = LayoutScheduler::new();
+    for name in ["adult", "mnist", "trefethen", "connect-4"] {
+        let scale = if name == "adult" { 2 } else { 1 };
+        let spec = DatasetSpec::by_name(name).unwrap().scaled(scale);
+        let t = generate(&spec, 42);
+        let y = linear_teacher_labels(&t, 0.05, 7);
+        let report = scheduler.select_only(&t);
+        let chosen = AnyMatrix::from_triplets(report.chosen, &t);
+        let worst_fmt = Format::BASIC
+            .iter()
+            .copied()
+            .filter(|&f| f != report.chosen)
+            .max_by(|&a, &b| {
+                let sa = dls_sparse::storage::predicted_storage_elems(a, &report.features);
+                let sb = dls_sparse::storage::predicted_storage_elems(b, &report.features);
+                sa.partial_cmp(&sb).unwrap()
+            })
+            .unwrap();
+        let worst = AnyMatrix::from_triplets(worst_fmt, &t);
+        let params = smo_params(10);
+        group.bench_with_input(BenchmarkId::new(name, "scheduled"), &chosen, |b, m| {
+            b.iter(|| dls_svm::train_with_stats(m, &y, &params).unwrap().1.iterations)
+        });
+        group.bench_with_input(BenchmarkId::new(name, "worst"), &worst, |b, m| {
+            b.iter(|| dls_svm::train_with_stats(m, &y, &params).unwrap().1.iterations)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench backing Table VII's cost-per-iteration premise: one SGD
+//! step (forward + backward + update) scales ~linearly in the batch size,
+//! while larger batches amortise fixed costs (§IV-C).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dls_dnn::loss::softmax_cross_entropy;
+use dls_dnn::optim::Sgd;
+use dls_dnn::{CifarLikeConfig, Dataset, Network, SgdConfig};
+
+fn bench_step(c: &mut Criterion) {
+    let ds = Dataset::cifar_like(CifarLikeConfig {
+        train: 1024,
+        test: 64,
+        ..Default::default()
+    });
+    let mut group = c.benchmark_group("table7_sgd_step");
+    group.sample_size(10);
+    for batch in [16usize, 64, 256, 1024] {
+        let mut net = Network::mlp(&[ds.dim(), 32, ds.classes()], 9);
+        let mut opt = Sgd::new(SgdConfig::default(), &mut net);
+        let idx: Vec<usize> = (0..batch).collect();
+        let (x, y) = ds.train_batch(&idx);
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &x, |b, x| {
+            b.iter(|| {
+                let logits = net.forward(x);
+                let (_, grad) = softmax_cross_entropy(&logits, &y);
+                net.zero_grads();
+                net.backward(&grad);
+                opt.step(&mut net);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

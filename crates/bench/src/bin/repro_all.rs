@@ -1,0 +1,56 @@
+//! Runs every reproduction binary in sequence (light/default settings) and
+//! prints a combined report. Useful as a one-shot "regenerate the paper"
+//! entry point:
+//!
+//! ```text
+//! cargo run --release -p dls-bench --bin repro_all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe has a parent dir")
+        .to_path_buf();
+
+    let runs: Vec<(&str, Vec<&str>)> = vec![
+        ("repro_table2", vec![]),
+        ("repro_table5", vec![]),
+        ("repro_table4", if quick { vec!["512"] } else { vec!["1024"] }),
+        ("repro_fig2", if quick { vec!["1024"] } else { vec!["4096"] }),
+        ("repro_fig3", if quick { vec!["1024"] } else { vec!["4096"] }),
+        ("repro_fig4", if quick { vec!["1024"] } else { vec!["2048"] }),
+        ("repro_fig1_table3", if quick { vec!["20"] } else { vec!["40"] }),
+        ("repro_table6", if quick { vec!["20"] } else { vec!["40"] }),
+        ("repro_fig7", if quick { vec!["20"] } else { vec!["40"] }),
+        ("repro_selector_ablation", if quick { vec!["10"] } else { vec!["20"] }),
+        ("repro_derived_formats", if quick { vec!["1024"] } else { vec!["2048"] }),
+        ("repro_cache_ablation", vec![]),
+        ("repro_density_sweep", if quick { vec!["512"] } else { vec!["1024"] }),
+        ("repro_batch_sweep", if quick { vec!["--quick"] } else { vec![] }),
+        ("repro_lr_momentum", if quick { vec!["--quick"] } else { vec![] }),
+        ("repro_table7_fig5_fig6", if quick { vec!["--quick"] } else { vec![] }),
+    ];
+
+    let mut failures = Vec::new();
+    for (bin, args) in &runs {
+        println!("\n================ {bin} {} ================\n", args.join(" "));
+        let status = Command::new(exe_dir.join(bin))
+            .args(args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            failures.push(*bin);
+        }
+    }
+    println!("\n================ summary ================");
+    if failures.is_empty() {
+        println!("all {} reproductions completed", runs.len());
+    } else {
+        println!("FAILED: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Threshold-calibration study: where does DEN overtake the compressed
+//! formats as density grows?
+//!
+//! The rule system's `den_density = 0.30` gate (calibrated so gisette,
+//! leukemia and connect-4 route to DEN like the paper's Table VI) is an
+//! empirical claim about a crossover; this sweep measures it directly on
+//! fixed-shape matrices of increasing density.
+
+use dls_bench::{csv_dir_from_env, time_smsv, CsvWriter};
+use dls_sparse::{AnyMatrix, Format, TripletMatrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn matrix_with_density(m: usize, n: usize, density: f64, seed: u64) -> TripletMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let per_row = ((n as f64 * density).round() as usize).clamp(1, n);
+    let mut t = TripletMatrix::with_capacity(m, n, m * per_row);
+    let mut cols: Vec<usize> = (0..n).collect();
+    for i in 0..m {
+        cols.shuffle(&mut rng);
+        for &j in cols.iter().take(per_row) {
+            t.push(i, j, 1.0 - rng.gen::<f64>());
+        }
+    }
+    t.compact()
+}
+
+fn main() {
+    let m: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let n = 512usize;
+    println!("# Density sweep — DEN vs CSR/COO/ELL crossover (M={m}, N={n})");
+    println!("# rule-system gate: den_density = 0.30\n");
+    println!(
+        "{:>9} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "density", "DEN secs", "CSR secs", "COO secs", "ELL secs", "DEN/CSR"
+    );
+
+    let mut csv = csv_dir_from_env().map(|dir| {
+        CsvWriter::create(
+            &dir,
+            "density_sweep",
+            &["density", "den_secs", "csr_secs", "coo_secs", "ell_secs"],
+        )
+        .expect("create csv")
+    });
+    let mut crossover: Option<f64> = None;
+    for &density in &[0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0] {
+        let t = matrix_with_density(m, n, density, 11);
+        let secs = |fmt: Format| time_smsv(&AnyMatrix::from_triplets(fmt, &t), 7);
+        let (den, csr, coo, ell) =
+            (secs(Format::Den), secs(Format::Csr), secs(Format::Coo), secs(Format::Ell));
+        if den <= csr && crossover.is_none() {
+            crossover = Some(density);
+        }
+        println!(
+            "{density:>9.2} {den:>12.3e} {csr:>12.3e} {coo:>12.3e} {ell:>12.3e} {:>9.2}x",
+            den / csr
+        );
+        if let Some(w) = csv.as_mut() {
+            w.row(&[density, den, csr, coo, ell]).expect("write row");
+        }
+    }
+    if let Some(w) = csv {
+        let path = w.finish().expect("flush csv");
+        println!("# wrote {}", path.display());
+    }
+    match crossover {
+        Some(d) => println!("\n# measured DEN/CSR crossover on this host: density ≈ {d}"),
+        None => println!("\n# DEN never overtook CSR in this sweep (crossover > 1.0)"),
+    }
+    println!("# The rule gate (0.30) reproduces the *paper's* Table VI selections —");
+    println!("# their wide-SIMD testbed streams dense rows far better than this");
+    println!("# host's scalar kernel, so their crossover sits lower. This is the");
+    println!("# same hardware-dependence the selector ablation quantifies; the");
+    println!("# empirical strategy adapts automatically.");
+}

@@ -1,0 +1,69 @@
+//! Reproduces **Figure 1 and Table III**: SMO performance of the five
+//! storage formats on adult, aloi, mnist, gisette and trefethen, as
+//! speedups normalised to the slowest format per dataset.
+//!
+//! Paper reference values (Table III):
+//!
+//! | dataset   | ELL  | CSR  | COO  | DEN  | DIA  |
+//! |-----------|------|------|------|------|------|
+//! | adult     | 14×  | 13×  | 8.6× | 13×  | 1.0  |
+//! | aloi      | 2.8× | 6.6× | 1.0  | 3.8× | 1.7× |
+//! | mnist     | 1.0  | 4.8× | 5.1× | 1.5× | 1.1× |
+//! | gisette   | 1.9× | 1.9× | 1.2× | 3.7× | 1.0  |
+//! | trefethen | 3.1× | 3.6× | 3.9× | 1.0  | 4.1× |
+
+use dls_bench::{fig1_workloads, normalise_to_slowest, time_smo_iterations};
+use dls_sparse::Format;
+
+/// Paper Table III, rows in FIG1_DATASETS order, columns in Format::BASIC
+/// order (ELL, CSR, COO, DEN, DIA).
+const PAPER_TABLE3: [(&str, [f64; 5]); 5] = [
+    ("adult", [14.0, 13.0, 8.6, 13.0, 1.0]),
+    ("aloi", [2.8, 6.6, 1.0, 3.8, 1.7]),
+    ("mnist", [1.0, 4.8, 5.1, 1.5, 1.1]),
+    ("gisette", [1.9, 1.9, 1.2, 3.7, 1.0]),
+    ("trefethen", [3.1, 3.6, 3.9, 1.0, 4.1]),
+];
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    println!("# Figure 1 / Table III — per-format SMO speedup (normalised to slowest)");
+    println!("# {iters} SMO iterations per measurement, kernel-row cache disabled\n");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}   best(worst)  paper-best(paper-worst)",
+        "dataset", "ELL", "CSR", "COO", "DEN", "DIA"
+    );
+
+    for w in fig1_workloads(42) {
+        let times: Vec<(Format, f64)> = Format::BASIC
+            .iter()
+            .map(|&f| (f, time_smo_iterations(&w.matrix, &w.labels, f, iters)))
+            .collect();
+        let speedups = normalise_to_slowest(&times);
+        let best = speedups
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        let worst = speedups
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        let paper = PAPER_TABLE3.iter().find(|(n, _)| *n == w.name).unwrap();
+        let paper_best = Format::BASIC
+            [paper.1.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0];
+        let paper_worst = Format::BASIC
+            [paper.1.iter().enumerate().min_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0];
+        print!("{:<12}", w.name);
+        for (_, s) in &speedups {
+            print!(" {s:>7.2}x");
+        }
+        println!("   {best}({worst})      {paper_best}({paper_worst})");
+    }
+    println!("\n# Shape check: the best/worst format should vary across datasets,");
+    println!("# matching the paper's core observation that no single format wins.");
+}

@@ -1,0 +1,44 @@
+//! Reproduces **Figure 2**: DIA-format SMSV performance versus number of
+//! diagonals at fixed M = N = 4096, nnz = 4096.
+//!
+//! Paper: "the more diagonals a matrix has, the worse its performance will
+//! be" — speedup normalised to the 4096-diagonal worst case.
+
+use dls_bench::{csv_dir_from_env, normalise_to_slowest, time_smsv, CsvWriter};
+use dls_data::controlled::diag_matrix;
+use dls_sparse::{AnyMatrix, Format, MatrixFormat};
+
+fn main() {
+    let size: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4096);
+    let reps = 9;
+    println!("# Figure 2 — DIA speedup vs number of diagonals");
+    println!("# M = N = {size}, nnz = {size}, baseline = most-diagonal case\n");
+    println!("{:>8} {:>14} {:>14} {:>10}", "ndig", "storage elems", "seconds", "speedup");
+
+    let mut ndig = 2usize;
+    let mut points = Vec::new();
+    while ndig <= size {
+        let t = diag_matrix(size, size, size, ndig, 7);
+        let m = AnyMatrix::from_triplets(Format::Dia, &t);
+        let secs = time_smsv(&m, reps);
+        points.push((ndig, m.storage_elems(), secs));
+        ndig *= 2;
+    }
+    let speedups = normalise_to_slowest(
+        &points.iter().map(|&(n, _, s)| (n, s)).collect::<Vec<_>>(),
+    );
+    for ((ndig, elems, secs), (_, speedup)) in points.iter().zip(&speedups) {
+        println!("{ndig:>8} {elems:>14} {secs:>14.3e} {speedup:>9.2}x");
+    }
+    if let Some(dir) = csv_dir_from_env() {
+        let mut w = CsvWriter::create(&dir, "fig2_dia", &["ndig", "storage_elems", "seconds", "speedup"])
+            .expect("create csv");
+        for ((ndig, elems, secs), (_, speedup)) in points.iter().zip(&speedups) {
+            w.row(&[*ndig as f64, *elems as f64, *secs, *speedup]).expect("write row");
+        }
+        let path = w.finish().expect("flush csv");
+        println!("# wrote {}", path.display());
+    }
+    println!("\n# Shape check: speedup should decrease monotonically as ndig grows,");
+    println!("# because every extra diagonal adds a full padded lane of work.");
+}

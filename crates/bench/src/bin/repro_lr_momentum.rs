@@ -1,0 +1,78 @@
+//! Reproduces the **§IV-D learning-rate** and **§IV-E momentum** studies:
+//! epochs to target accuracy across the paper's η and µ tuning spaces,
+//! with the previous stage's winners held fixed (the greedy pipeline).
+
+use dls_dnn::tuning::{best_point, lr, momentum};
+use dls_dnn::{CifarLikeConfig, Dataset, SgdConfig, TrainerConfig};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ds = Dataset::cifar_like(if quick {
+        CifarLikeConfig { train: 600, test: 200, noise: 1.2, ..Default::default() }
+    } else {
+        CifarLikeConfig::default()
+    });
+    let topology = [ds.dim(), 32, ds.classes()];
+    let base = TrainerConfig {
+        batch_size: 512.min(ds.n_train()),
+        target_accuracy: 0.8,
+        max_epochs: 120,
+        ..Default::default()
+    };
+
+    println!("# §IV-D — learning-rate sweep at B = {} (µ = 0.9)\n", base.batch_size);
+    println!("{:<10} {:>9} {:>8} {:>9} {:>9}", "eta", "iters", "epochs", "accuracy", "reached");
+    let rates = if quick { vec![0.001, 0.002, 0.004, 0.008, 0.016] } else { lr::paper_lr_space() };
+    let lr_points = lr::sweep(&ds, &topology, 9, &base, &rates);
+    for p in &lr_points {
+        println!(
+            "{:<10.3} {:>9} {:>8} {:>9.3} {:>9}",
+            p.learning_rate,
+            p.outcome.iterations,
+            p.outcome.epochs,
+            p.outcome.final_accuracy,
+            p.outcome.reached
+        );
+    }
+    let best_lr = best_point(&lr_points).expect("non-empty sweep");
+    let untuned = &lr_points[0];
+    if untuned.outcome.reached && best_lr.outcome.reached {
+        println!(
+            "\n# best eta {:.3} cuts epochs {} -> {} ({:.1}x); paper's eta stage gave 2.6x",
+            best_lr.learning_rate,
+            untuned.outcome.epochs,
+            best_lr.outcome.epochs,
+            untuned.outcome.epochs as f64 / best_lr.outcome.epochs.max(1) as f64
+        );
+    }
+
+    println!("\n# §IV-E — momentum sweep at B = {}, eta = {:.3}\n", base.batch_size, best_lr.learning_rate);
+    println!("{:<10} {:>9} {:>8} {:>9} {:>9}", "mu", "iters", "epochs", "accuracy", "reached");
+    let mu_base = TrainerConfig {
+        sgd: SgdConfig { learning_rate: best_lr.learning_rate, momentum: 0.90, weight_decay: 0.0, nesterov: false },
+        ..base
+    };
+    let momenta =
+        if quick { vec![0.90, 0.93, 0.95, 0.97, 0.99] } else { momentum::paper_momentum_space() };
+    let mu_points = momentum::sweep(&ds, &topology, 9, &mu_base, &momenta);
+    for p in &mu_points {
+        println!(
+            "{:<10.2} {:>9} {:>8} {:>9.3} {:>9}",
+            p.momentum,
+            p.outcome.iterations,
+            p.outcome.epochs,
+            p.outcome.final_accuracy,
+            p.outcome.reached
+        );
+    }
+    let best_mu = best_point(&mu_points).expect("non-empty sweep");
+    if best_mu.outcome.reached && best_lr.outcome.reached {
+        println!(
+            "\n# best mu {:.2} cuts epochs {} -> {} ({:.1}x); paper's mu stage gave 1.7x",
+            best_mu.momentum,
+            best_lr.outcome.epochs,
+            best_mu.outcome.epochs,
+            best_lr.outcome.epochs as f64 / best_mu.outcome.epochs.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Ablation (DESIGN.md decision 1): how good is each selection strategy's
+//! *choice*, measured as regret against the oracle (fastest measured
+//! format) on every Table VI dataset.
+//!
+//! The paper's system is rule-based; the ablation quantifies what the
+//! analytic cost model and the empirical micro-benchmark buy relative to
+//! the rules — and what the rules cost when their hardware assumptions
+//! (lockstep-SIMD CSR) don't match the host.
+
+use dls_bench::{table6_workloads, time_smo_iterations};
+use dls_core::{LayoutScheduler, SelectionStrategy};
+use dls_sparse::Format;
+
+fn main() {
+    let iters: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let strategies = [
+        ("rule(paper)", SelectionStrategy::RuleBased),
+        ("rule(host)", SelectionStrategy::RuleBasedHost),
+        ("cost-model", SelectionStrategy::CostModel),
+        ("empirical", SelectionStrategy::Empirical),
+    ];
+    println!("# Selector ablation — choice quality vs the measured oracle ({iters} SMO iters)");
+    println!("# regret = time(choice) / time(oracle best); 1.00 = optimal\n");
+    print!("{:<14} {:>8}", "dataset", "oracle");
+    for (name, _) in &strategies {
+        print!(" {name:>22}");
+    }
+    println!();
+
+    let mut totals = vec![0.0f64; strategies.len()];
+    let mut count = 0usize;
+    for w in table6_workloads(42) {
+        // Oracle: measure every basic format.
+        let times: Vec<(Format, f64)> = Format::BASIC
+            .iter()
+            .map(|&f| (f, time_smo_iterations(&w.matrix, &w.labels, f, iters)))
+            .collect();
+        let &(oracle_fmt, oracle_time) = times
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("five formats");
+
+        print!("{:<14} {:>8}", w.name, oracle_fmt.name());
+        for (k, (_, strategy)) in strategies.iter().enumerate() {
+            let choice = LayoutScheduler::with_strategy(*strategy).select_only(&w.matrix).chosen;
+            let t = times
+                .iter()
+                .find(|(f, _)| *f == choice)
+                .map(|(_, t)| *t)
+                // Derived-format choices get re-measured.
+                .unwrap_or_else(|| {
+                    time_smo_iterations(&w.matrix, &w.labels, choice, iters)
+                });
+            let regret = t / oracle_time;
+            totals[k] += regret;
+            print!(" {:>12} ({:>5.2}x)", choice.name(), regret);
+        }
+        println!();
+        count += 1;
+    }
+    println!();
+    print!("{:<14} {:>8}", "mean regret", "");
+    for total in &totals {
+        print!(" {:>20.2}x ", total / count as f64);
+    }
+    println!();
+    println!("\n# Reading: the empirical tuner should track the oracle closely (it");
+    println!("# measures the same thing); rule(host) should beat rule(paper) on");
+    println!("# scalar machines where the COO rule misfires; the cost model sits");
+    println!("# between, limited by its bandwidth assumptions.");
+}

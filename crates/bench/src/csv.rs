@@ -1,0 +1,84 @@
+//! Tiny CSV emitter for the repro binaries: each figure/table can dump its
+//! data series under `results/` for external plotting.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A CSV writer bound to one output file.
+#[derive(Debug)]
+pub struct CsvWriter {
+    path: PathBuf,
+    out: std::io::BufWriter<std::fs::File>,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Creates `dir/name.csv` (and `dir` itself if needed) with a header.
+    pub fn create(
+        dir: &Path,
+        name: &str,
+        header: &[&str],
+    ) -> std::io::Result<CsvWriter> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let file = std::fs::File::create(&path)?;
+        let mut out = std::io::BufWriter::new(file);
+        writeln!(out, "{}", header.join(","))?;
+        Ok(CsvWriter { path, out, columns: header.len() })
+    }
+
+    /// Writes one row; values are formatted with `Display`.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row<D: std::fmt::Display>(&mut self, values: &[D]) -> std::io::Result<()> {
+        assert_eq!(values.len(), self.columns, "row width mismatch in {:?}", self.path);
+        let joined: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+        writeln!(self.out, "{}", joined.join(","))
+    }
+
+    /// Flushes and returns the file path.
+    pub fn finish(mut self) -> std::io::Result<PathBuf> {
+        self.out.flush()?;
+        Ok(self.path)
+    }
+}
+
+/// Reads `DLS_CSV_DIR` from the environment: when set, repro binaries dump
+/// their series there.
+pub fn csv_dir_from_env() -> Option<PathBuf> {
+    std::env::var_os("DLS_CSV_DIR").map(PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let dir = std::env::temp_dir().join("dls_csv_test");
+        let mut w = CsvWriter::create(&dir, "probe", &["x", "y"]).unwrap();
+        w.row(&[1.5, 2.5]).unwrap();
+        w.row(&[3.0, 4.0]).unwrap();
+        let path = w.finish().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x,y\n1.5,2.5\n3,4\n");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_wrong_width() {
+        let dir = std::env::temp_dir().join("dls_csv_test2");
+        let mut w = CsvWriter::create(&dir, "probe2", &["a", "b", "c"]).unwrap();
+        let _ = w.row(&[1.0]);
+    }
+
+    #[test]
+    fn env_controls_dir() {
+        // Not set in the test environment by default.
+        if std::env::var_os("DLS_CSV_DIR").is_none() {
+            assert!(csv_dir_from_env().is_none());
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Scaled workload construction shared by the repro binaries and benches.
+//!
+//! The huge dense sets (gisette 30M nnz, epsilon 780M, dna 720M) are scaled
+//! down — format selection depends only on the influencing parameters, not
+//! on absolute size — while the sparse sets run at (or near) full Table V
+//! size.
+
+use dls_data::labels::linear_teacher_labels;
+use dls_data::{generate, DatasetSpec};
+use dls_sparse::{Scalar, TripletMatrix};
+
+/// A named dataset ready for the SVM harness.
+pub struct Workload {
+    /// Dataset name (paper Table V).
+    pub name: &'static str,
+    /// The data matrix in interchange form.
+    pub matrix: TripletMatrix,
+    /// ±1 labels from a linear teacher.
+    pub labels: Vec<Scalar>,
+    /// The (possibly scaled) spec the twin was generated from.
+    pub spec: DatasetSpec,
+}
+
+/// Scale factor applied to each dataset so a full repro run completes in
+/// minutes on one core. Chosen per dataset: dense giants shrink hard,
+/// sparse sets barely or not at all.
+pub fn default_scale(name: &str) -> usize {
+    match name {
+        "gisette" => 8,     // 6000x5000 dense -> 750x625
+        "epsilon" => 400,   // 390k x 2000 dense -> 975x5... still dense
+        "dna" => 2_000,     // 3.6M x 200 dense -> 1800x...
+        "sector" => 4,      // 55k features is fine; fewer rows for speed
+        _ => 1,
+    }
+}
+
+/// Builds one workload by name (panics on unknown names — these are fixed
+/// experiment inputs, not user data).
+pub fn workload(name: &str, seed: u64) -> Workload {
+    let spec = DatasetSpec::by_name(name)
+        .unwrap_or_else(|| panic!("unknown dataset {name}"))
+        .scaled(default_scale(name));
+    let matrix = generate(&spec, seed);
+    let labels = linear_teacher_labels(&matrix, 0.05, seed ^ 0xBEEF);
+    Workload { name: spec.name, matrix, labels, spec }
+}
+
+/// The five datasets of Figure 1 / Table III.
+pub fn fig1_workloads(seed: u64) -> Vec<Workload> {
+    dls_data::specs::FIG1_DATASETS.iter().map(|n| workload(n, seed)).collect()
+}
+
+/// The nine datasets of Table VI.
+pub fn table6_workloads(seed: u64) -> Vec<Workload> {
+    dls_data::specs::TABLE6_DATASETS.iter().map(|n| workload(n, seed)).collect()
+}

@@ -1,0 +1,85 @@
+//! Human-inspectable record of a selection decision.
+
+use dls_sparse::{Format, MatrixFeatures};
+
+/// Why and how a format was chosen for one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionReport {
+    /// The chosen format.
+    pub chosen: Format,
+    /// Extracted influencing parameters the decision was based on.
+    pub features: MatrixFeatures,
+    /// Per-format score: *lower is better* (predicted seconds for the cost
+    /// model, measured seconds for the empirical selector, rule rank for the
+    /// rule system). Ordered as [`Format::BASIC`].
+    pub scores: [(Format, f64); 5],
+    /// One-line human-readable justification.
+    pub reason: String,
+}
+
+impl SelectionReport {
+    /// Score of a specific format, if present.
+    pub fn score_of(&self, format: Format) -> Option<f64> {
+        self.scores.iter().find(|(f, _)| *f == format).map(|(_, s)| *s)
+    }
+
+    /// The format with the worst (highest) score — the paper's baseline for
+    /// the "non-adaptive worst case" speedups.
+    pub fn worst(&self) -> Format {
+        self.scores
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
+            .map(|(f, _)| *f)
+            .expect("five scores always present")
+    }
+}
+
+impl std::fmt::Display for SelectionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "selected {} — {}", self.chosen, self.reason)?;
+        writeln!(f, "  features: {}", self.features)?;
+        write!(f, "  scores:")?;
+        for (fmt, s) in &self.scores {
+            write!(f, " {fmt}={s:.3e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_sparse::TripletMatrix;
+
+    fn report() -> SelectionReport {
+        let t = TripletMatrix::from_dense(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        SelectionReport {
+            chosen: Format::Dia,
+            features: MatrixFeatures::from_triplets(&t),
+            scores: [
+                (Format::Ell, 3.0),
+                (Format::Csr, 2.0),
+                (Format::Coo, 2.5),
+                (Format::Den, 4.0),
+                (Format::Dia, 1.0),
+            ],
+            reason: "single diagonal".into(),
+        }
+    }
+
+    #[test]
+    fn score_lookup_and_worst() {
+        let r = report();
+        assert_eq!(r.score_of(Format::Csr), Some(2.0));
+        assert_eq!(r.score_of(Format::Bcsr), None);
+        assert_eq!(r.worst(), Format::Den);
+    }
+
+    #[test]
+    fn display_mentions_choice_and_scores() {
+        let s = report().to_string();
+        assert!(s.contains("selected DIA"));
+        assert!(s.contains("single diagonal"));
+        assert!(s.contains("CSR="));
+    }
+}

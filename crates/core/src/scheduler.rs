@@ -1,0 +1,249 @@
+//! The runtime layout scheduler: the public entry point of the library.
+//!
+//! ```text
+//! TripletMatrix ──► extract 9 parameters ──► strategy ──► AnyMatrix
+//!                        (Table IV)        (rules/cost/    (chosen
+//!                                           empirical)      format)
+//! ```
+
+use crate::cost::CostModelSelector;
+use crate::decision::RuleBasedSelector;
+use crate::empirical::EmpiricalSelector;
+use crate::report::SelectionReport;
+use dls_sparse::{AnyMatrix, Format, MatrixFeatures, TripletMatrix};
+
+/// A pluggable selection policy.
+pub trait FormatSelector {
+    /// Chooses a format for the matrix, returning the full report.
+    fn select(&self, t: &TripletMatrix, f: &MatrixFeatures) -> SelectionReport;
+}
+
+/// Which selection policy the scheduler runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum SelectionStrategy {
+    /// Ordered rules over the influencing parameters (the paper's system,
+    /// tuned for the paper's vectorised testbed).
+    #[default]
+    RuleBased,
+    /// The same rules instantiated for the machine this binary runs on
+    /// (SIMD-conditional COO rule — see [`crate::MachineProfile`]).
+    RuleBasedHost,
+    /// Analytic storage/bandwidth model (Equation 7).
+    CostModel,
+    /// Measure every candidate and keep the fastest.
+    Empirical,
+    /// No adaptivity: always the given format (the LIBSVM/GPUSVM behaviour
+    /// the paper argues against; used as the baseline in the benches).
+    Fixed(Format),
+}
+
+/// The scheduler: strategy + conversion.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LayoutScheduler {
+    strategy: SelectionStrategy,
+}
+
+/// A matrix whose storage format was chosen by the scheduler.
+#[derive(Debug, Clone)]
+pub struct ScheduledMatrix {
+    matrix: AnyMatrix,
+    report: SelectionReport,
+}
+
+impl ScheduledMatrix {
+    /// The materialised matrix in its chosen format.
+    #[inline]
+    pub fn matrix(&self) -> &AnyMatrix {
+        &self.matrix
+    }
+
+    /// The chosen format.
+    #[inline]
+    pub fn format(&self) -> Format {
+        self.report.chosen
+    }
+
+    /// Why this format was chosen.
+    #[inline]
+    pub fn report(&self) -> &SelectionReport {
+        &self.report
+    }
+
+    /// Extracted influencing parameters.
+    #[inline]
+    pub fn features(&self) -> &MatrixFeatures {
+        &self.report.features
+    }
+
+    /// Consumes the schedule, yielding the matrix.
+    pub fn into_matrix(self) -> AnyMatrix {
+        self.matrix
+    }
+}
+
+impl LayoutScheduler {
+    /// A scheduler with the default (rule-based) strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scheduler with an explicit strategy.
+    pub fn with_strategy(strategy: SelectionStrategy) -> Self {
+        Self { strategy }
+    }
+
+    /// The active strategy.
+    pub fn strategy(&self) -> SelectionStrategy {
+        self.strategy
+    }
+
+    /// Extracts features, runs the strategy, and materialises the matrix in
+    /// the chosen format.
+    pub fn schedule(&self, t: &TripletMatrix) -> ScheduledMatrix {
+        let compact;
+        let t = if t.is_compact() {
+            t
+        } else {
+            compact = t.clone().compact();
+            &compact
+        };
+        let features = MatrixFeatures::from_triplets(t);
+        let report = match self.strategy {
+            SelectionStrategy::RuleBased => RuleBasedSelector::default().select(t, &features),
+            SelectionStrategy::RuleBasedHost => {
+                RuleBasedSelector::for_host().select(t, &features)
+            }
+            SelectionStrategy::CostModel => CostModelSelector::default().select(t, &features),
+            SelectionStrategy::Empirical => EmpiricalSelector::default().select(t, &features),
+            SelectionStrategy::Fixed(fmt) => SelectionReport {
+                chosen: fmt,
+                features,
+                scores: fixed_scores(fmt),
+                reason: format!("fixed format {fmt} (non-adaptive)"),
+            },
+        };
+        let matrix = AnyMatrix::from_triplets(report.chosen, t);
+        ScheduledMatrix { matrix, report }
+    }
+
+    /// Runs only the selection (no materialisation) — useful when the
+    /// caller wants the decision for matrices it will build elsewhere.
+    pub fn select_only(&self, t: &TripletMatrix) -> SelectionReport {
+        self.schedule_report(t)
+    }
+
+    fn schedule_report(&self, t: &TripletMatrix) -> SelectionReport {
+        let features = MatrixFeatures::from_triplets(t);
+        match self.strategy {
+            SelectionStrategy::RuleBased => RuleBasedSelector::default().select(t, &features),
+            SelectionStrategy::RuleBasedHost => {
+                RuleBasedSelector::for_host().select(t, &features)
+            }
+            SelectionStrategy::CostModel => CostModelSelector::default().select(t, &features),
+            SelectionStrategy::Empirical => EmpiricalSelector::default().select(t, &features),
+            SelectionStrategy::Fixed(fmt) => SelectionReport {
+                chosen: fmt,
+                features,
+                scores: fixed_scores(fmt),
+                reason: format!("fixed format {fmt} (non-adaptive)"),
+            },
+        }
+    }
+}
+
+/// Degenerate score table for the fixed strategy: chosen = 0, rest = 1.
+/// If `chosen` is a derived format (CSC/BCSR) it takes the first slot and
+/// only four of the basic formats fit in the remaining ones.
+fn fixed_scores(chosen: Format) -> [(Format, f64); 5] {
+    let mut scores = [(chosen, 0.0); 5];
+    let mut k = 1;
+    for &fmt in &Format::BASIC {
+        if fmt != chosen && k < 5 {
+            scores[k] = (fmt, 1.0);
+            k += 1;
+        }
+    }
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_data::{generate, DatasetSpec};
+    use dls_sparse::MatrixFormat;
+
+    #[test]
+    fn default_scheduler_is_rule_based() {
+        let spec = DatasetSpec::by_name("trefethen").unwrap();
+        let t = generate(spec, 1);
+        let s = LayoutScheduler::new().schedule(&t);
+        assert_eq!(s.format(), Format::Dia);
+        assert_eq!(s.matrix().format(), Format::Dia);
+        assert_eq!(s.matrix().nnz(), t.nnz());
+        assert!(s.report().reason.contains("diagonal"));
+    }
+
+    #[test]
+    fn fixed_strategy_never_adapts() {
+        let spec = DatasetSpec::by_name("trefethen").unwrap();
+        let t = generate(spec, 1);
+        let s = LayoutScheduler::with_strategy(SelectionStrategy::Fixed(Format::Csr))
+            .schedule(&t);
+        assert_eq!(s.format(), Format::Csr);
+        assert!(s.report().reason.contains("non-adaptive"));
+    }
+
+    #[test]
+    fn all_strategies_produce_valid_matrices() {
+        let spec = DatasetSpec::by_name("adult").unwrap().scaled(8);
+        let t = generate(&spec, 2);
+        for strategy in [
+            SelectionStrategy::RuleBased,
+            SelectionStrategy::CostModel,
+            SelectionStrategy::Empirical,
+            SelectionStrategy::Fixed(Format::Dia),
+        ] {
+            let s = LayoutScheduler::with_strategy(strategy).schedule(&t);
+            assert_eq!(s.matrix().rows(), t.rows());
+            assert_eq!(s.matrix().to_triplets().compact().entries(), t.entries());
+            assert_eq!(s.features().nnz, t.nnz());
+        }
+    }
+
+    #[test]
+    fn select_only_matches_schedule() {
+        let spec = DatasetSpec::by_name("mnist").unwrap();
+        let t = generate(spec, 3);
+        let sched = LayoutScheduler::new();
+        assert_eq!(sched.select_only(&t).chosen, sched.schedule(&t).format());
+    }
+
+    #[test]
+    fn scheduled_matrix_trains_with_svm() {
+        use dls_data::labels::linear_teacher_labels;
+        let spec = DatasetSpec::by_name("adult").unwrap().scaled(20);
+        let t = generate(&spec, 4);
+        let y = linear_teacher_labels(&t, 0.0, 4);
+        let s = LayoutScheduler::new().schedule(&t);
+        let params = dls_svm::SmoParams {
+            kernel: dls_svm::KernelKind::Linear,
+            max_iterations: 5_000,
+            ..Default::default()
+        };
+        let (model, stats) = dls_svm::train_with_stats(s.matrix(), &y, &params).unwrap();
+        assert!(stats.iterations > 0);
+        // Training accuracy on a teacher-labelled set must beat chance.
+        let preds: Vec<f64> =
+            (0..t.rows()).map(|i| model.predict_label(&t.row_sparse(i))).collect();
+        let acc = dls_svm::accuracy(&preds, &y);
+        assert!(acc > 0.8, "training accuracy {acc}");
+    }
+
+    #[test]
+    fn into_matrix_yields_ownership() {
+        let spec = DatasetSpec::by_name("trefethen").unwrap();
+        let t = generate(spec, 1);
+        let m = LayoutScheduler::new().schedule(&t).into_matrix();
+        assert_eq!(m.format(), Format::Dia);
+    }
+}

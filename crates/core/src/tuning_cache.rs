@@ -1,0 +1,176 @@
+//! Decision memoization: an OSKI-style tuning database.
+//!
+//! The paper's related work is Vuduc/Demmel/Yelick's OSKI, whose central
+//! idea is that tuning is expensive but *reusable*: matrices with the same
+//! structural profile want the same kernel. [`TuningCache`] memoizes
+//! selection reports keyed by a quantised fingerprint of the nine
+//! influencing parameters, so repeated scheduling of similar datasets
+//! (e.g. minibatches or chunked loads of one corpus) skips re-selection —
+//! which matters most for the empirical strategy, whose probe is costly.
+
+use crate::report::SelectionReport;
+use crate::scheduler::FormatSelector;
+use dls_sparse::{MatrixFeatures, TripletMatrix};
+use std::collections::HashMap;
+
+/// Quantised structural fingerprint of a matrix.
+///
+/// Continuous parameters are bucketed on a log/linear grid coarse enough
+/// that "the same dataset, resampled" collides, and fine enough that
+/// different Table V datasets do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FeatureFingerprint {
+    /// log2 bucket of the row count.
+    m_log2: u32,
+    /// log2 bucket of the column count.
+    n_log2: u32,
+    /// log2 bucket of nnz.
+    nnz_log2: u32,
+    /// Density in percent (0–100).
+    density_pct: u8,
+    /// log2 bucket of the diagonal count.
+    ndig_log2: u32,
+    /// ELL padding ratio in 5%-steps.
+    ell_padding_20th: u8,
+    /// Index of dispersion (vdim/adim) log2-bucketed, saturated at 2^15.
+    dispersion_log2: u32,
+}
+
+impl FeatureFingerprint {
+    /// Builds the fingerprint from extracted features.
+    pub fn of(f: &MatrixFeatures) -> Self {
+        let log2 = |v: usize| -> u32 { (v.max(1) as f64).log2().round() as u32 };
+        let dispersion = if f.adim > 0.0 { f.vdim / f.adim } else { 0.0 };
+        Self {
+            m_log2: log2(f.m),
+            n_log2: log2(f.n),
+            nnz_log2: log2(f.nnz),
+            density_pct: (f.density * 100.0).round().clamp(0.0, 100.0) as u8,
+            ndig_log2: log2(f.ndig),
+            ell_padding_20th: (f.ell_padding_ratio() * 20.0).round().clamp(0.0, 20.0) as u8,
+            dispersion_log2: log2(dispersion.min(32_768.0) as usize),
+        }
+    }
+}
+
+/// A memoizing wrapper around any [`FormatSelector`].
+#[derive(Debug)]
+pub struct TuningCache<S> {
+    inner: S,
+    entries: HashMap<FeatureFingerprint, SelectionReport>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<S: FormatSelector> TuningCache<S> {
+    /// Wraps a selector with an empty cache.
+    pub fn new(inner: S) -> Self {
+        Self { inner, entries: HashMap::new(), hits: 0, misses: 0 }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (i.e. real selector invocations).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct fingerprints stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Selects with memoization. On a hit the cached report is returned
+    /// with the *current* matrix's exact features substituted (the chosen
+    /// format and scores come from the cached decision).
+    pub fn select(&mut self, t: &TripletMatrix, f: &MatrixFeatures) -> SelectionReport {
+        let key = FeatureFingerprint::of(f);
+        if let Some(cached) = self.entries.get(&key) {
+            self.hits += 1;
+            let mut report = cached.clone();
+            report.features = *f;
+            report.reason = format!("{} [memoized]", cached.reason);
+            return report;
+        }
+        self.misses += 1;
+        let report = self.inner.select(t, f);
+        self.entries.insert(key, report.clone());
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::RuleBasedSelector;
+    use dls_data::{generate, DatasetSpec};
+
+    #[test]
+    fn resampled_datasets_share_a_fingerprint() {
+        let spec = DatasetSpec::by_name("adult").unwrap();
+        let a = MatrixFeatures::from_triplets(&generate(spec, 1));
+        let b = MatrixFeatures::from_triplets(&generate(spec, 2));
+        assert_eq!(FeatureFingerprint::of(&a), FeatureFingerprint::of(&b));
+    }
+
+    #[test]
+    fn different_datasets_get_different_fingerprints() {
+        let names = ["adult", "mnist", "trefethen", "connect-4", "leukemia"];
+        let prints: Vec<FeatureFingerprint> = names
+            .iter()
+            .map(|n| {
+                let spec = DatasetSpec::by_name(n).unwrap();
+                FeatureFingerprint::of(&MatrixFeatures::from_triplets(&generate(spec, 1)))
+            })
+            .collect();
+        for i in 0..prints.len() {
+            for j in i + 1..prints.len() {
+                assert_ne!(prints[i], prints[j], "{} vs {}", names[i], names[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn second_selection_hits_the_cache() {
+        let spec = DatasetSpec::by_name("trefethen").unwrap();
+        let t1 = generate(spec, 1);
+        let t2 = generate(spec, 2);
+        let mut cache = TuningCache::new(RuleBasedSelector::default());
+
+        let f1 = MatrixFeatures::from_triplets(&t1);
+        let r1 = cache.select(&t1, &f1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 0);
+
+        let f2 = MatrixFeatures::from_triplets(&t2);
+        let r2 = cache.select(&t2, &f2);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(r1.chosen, r2.chosen);
+        assert!(r2.reason.contains("memoized"));
+        // The hit still reports the *new* matrix's features.
+        assert_eq!(r2.features.nnz, t2.nnz());
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn distinct_structures_occupy_distinct_slots() {
+        let mut cache = TuningCache::new(RuleBasedSelector::default());
+        for name in ["adult", "trefethen", "connect-4"] {
+            let t = generate(DatasetSpec::by_name(name).unwrap(), 1);
+            let f = MatrixFeatures::from_triplets(&t);
+            let _ = cache.select(&t, &f);
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 0);
+    }
+}

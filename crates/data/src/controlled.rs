@@ -1,0 +1,213 @@
+//! Controlled single-parameter sweeps (paper Figures 2–4).
+//!
+//! Each generator fixes `M`, `N` and `nnz` and varies exactly one
+//! influencing parameter, so measured kernel-time differences are
+//! attributable to that parameter alone.
+
+use dls_sparse::TripletMatrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Figure 2 workload: `nnz` entries spread over exactly `ndig` diagonals of
+/// an `m × n` matrix. The paper uses `M = N = 4096`, `nnz = 4096` and
+/// `ndig ∈ {2, 4, 8, …, 4096}`.
+///
+/// Entries are distributed as evenly as possible: `nnz / ndig` per diagonal
+/// (each diagonal of a `ndig`-diagonal matrix holds few elements, so DIA
+/// pads each one to full length — the waste Figure 2 measures).
+///
+/// # Panics
+/// Panics if `ndig` is zero or exceeds `min(m, n)` (super/sub-diagonal
+/// capacity is not modelled beyond that).
+pub fn diag_matrix(m: usize, n: usize, nnz: usize, ndig: usize, seed: u64) -> TripletMatrix {
+    assert!(ndig >= 1 && ndig <= n, "ndig must be in 1..=n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Use offsets 0..ndig (upper diagonals): all have length >= min(m, n) - ndig.
+    let per_diag = (nnz / ndig).max(1);
+    let mut t = TripletMatrix::with_capacity(m, n, nnz);
+    let mut placed = 0usize;
+    for d in 0..ndig {
+        let len = m.min(n - d);
+        let take = per_diag.min(len).min(nnz - placed);
+        // Distinct random rows along this diagonal.
+        let mut rows: Vec<usize> = (0..len).collect();
+        rows.shuffle(&mut rng);
+        for &i in rows.iter().take(take) {
+            t.push(i, i + d, 1.0 - rng.gen::<f64>());
+            placed += 1;
+        }
+        if placed >= nnz {
+            break;
+        }
+    }
+    t.compact()
+}
+
+/// Figure 3 workload: fixed `nnz` with maximum row length `mdim`. The paper
+/// uses `M = N = 4096`, `nnz = 8192`, `mdim ∈ {1, 2, …, 4096}`: exactly
+/// `nnz / mdim` rows carry `mdim` non-zeros each, the rest are empty, so
+/// ELL's padded width equals `mdim` while the work stays constant.
+///
+/// # Panics
+/// Panics if `mdim` is zero, exceeds `n`, or `nnz / mdim` exceeds `m`.
+pub fn mdim_matrix(m: usize, n: usize, nnz: usize, mdim: usize, seed: u64) -> TripletMatrix {
+    assert!(mdim >= 1 && mdim <= n, "mdim must be in 1..=n");
+    let full_rows = nnz / mdim;
+    assert!(full_rows <= m, "nnz / mdim = {full_rows} rows exceed m = {m}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = TripletMatrix::with_capacity(m, n, nnz);
+    let mut cols: Vec<usize> = (0..n).collect();
+    for i in 0..full_rows {
+        cols.shuffle(&mut rng);
+        for &j in cols.iter().take(mdim) {
+            t.push(i, j, 1.0 - rng.gen::<f64>());
+        }
+    }
+    // Remainder entries go to one extra partial row.
+    let rem = nnz - full_rows * mdim;
+    if rem > 0 && full_rows < m {
+        cols.shuffle(&mut rng);
+        for &j in cols.iter().take(rem) {
+            t.push(full_rows, j, 1.0 - rng.gen::<f64>());
+        }
+    }
+    t.compact()
+}
+
+/// Figure 4 workload: fixed `M`, `N`, `nnz` with tunable row-length variance
+/// `vdim`. A fraction `p` of rows are "long" and the rest "short", chosen so
+/// the mean stays `nnz / m` while the variance hits the target.
+///
+/// Returns the matrix; the achieved variance can be read back via
+/// [`dls_sparse::MatrixFeatures`].
+///
+/// # Panics
+/// Panics if the target is infeasible (needs row lengths outside `1..=n`).
+pub fn vdim_matrix(m: usize, n: usize, nnz: usize, target_vdim: f64, seed: u64) -> TripletMatrix {
+    let adim = nnz as f64 / m as f64;
+    assert!(adim >= 1.0, "need at least one nnz per row on average");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Two-point distribution: lengths {lo, hi} with probabilities {1-p, p}.
+    // mean = adim, var = p(1-p)(hi-lo)^2. Fix p = 0.1 and solve for hi - lo.
+    let p = 0.1;
+    let spread = (target_vdim / (p * (1.0 - p))).sqrt();
+    let hi = adim + (1.0 - p) * spread;
+    let lo = adim - p * spread;
+    assert!(lo >= 0.0 && hi <= n as f64, "target vdim {target_vdim} infeasible: lo={lo} hi={hi}");
+
+    let n_long = (p * m as f64).round() as usize;
+    let mut lengths = vec![lo.round().max(0.0) as usize; m];
+    for len in lengths.iter_mut().take(n_long) {
+        *len = (hi.round() as usize).min(n);
+    }
+    // Adjust the total to exactly nnz by distributing the residual.
+    let mut total: isize = lengths.iter().sum::<usize>() as isize;
+    let mut i = 0usize;
+    while total != nnz as isize {
+        let idx = i % m;
+        if total < nnz as isize && lengths[idx] < n {
+            lengths[idx] += 1;
+            total += 1;
+        } else if total > nnz as isize && lengths[idx] > 0 {
+            lengths[idx] -= 1;
+            total -= 1;
+        }
+        i += 1;
+    }
+    lengths.shuffle(&mut rng);
+
+    let mut t = TripletMatrix::with_capacity(m, n, nnz);
+    let mut cols: Vec<usize> = (0..n).collect();
+    for (i, &len) in lengths.iter().enumerate() {
+        cols.shuffle(&mut rng);
+        for &j in cols.iter().take(len) {
+            t.push(i, j, 1.0 - rng.gen::<f64>());
+        }
+    }
+    t.compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_sparse::MatrixFeatures;
+
+    #[test]
+    fn diag_matrix_hits_requested_diagonals() {
+        for ndig in [2usize, 8, 64, 256] {
+            let t = diag_matrix(512, 512, 512, ndig, 1);
+            let f = MatrixFeatures::from_triplets(&t);
+            assert_eq!(f.ndig, ndig, "requested {ndig}");
+            assert!(f.nnz as isize - 512 <= 0 && f.nnz >= 512 - ndig, "nnz {}", f.nnz);
+        }
+    }
+
+    #[test]
+    fn diag_matrix_single_diagonal_is_dense_diagonal() {
+        let t = diag_matrix(64, 64, 64, 1, 2);
+        let f = MatrixFeatures::from_triplets(&t);
+        assert_eq!(f.ndig, 1);
+        assert_eq!(f.nnz, 64);
+        assert_eq!(f.dnnz, 64.0);
+    }
+
+    #[test]
+    fn mdim_matrix_pins_max_row_length() {
+        // mdim = 1 would need nnz rows; like the paper's sweep the smallest
+        // feasible width here is nnz / m = 2.
+        for mdim in [2usize, 4, 16, 128] {
+            let t = mdim_matrix(512, 512, 1024, mdim, 3);
+            let f = MatrixFeatures::from_triplets(&t);
+            assert_eq!(f.mdim, mdim, "requested mdim {mdim}");
+            assert_eq!(f.nnz, 1024);
+        }
+    }
+
+    #[test]
+    fn mdim_matrix_extreme_case_single_row() {
+        let t = mdim_matrix(512, 512, 512, 512, 4);
+        let f = MatrixFeatures::from_triplets(&t);
+        assert_eq!(f.mdim, 512);
+        // One full row, 511 empty ones: variance is high.
+        assert!(f.vdim > 100.0);
+    }
+
+    #[test]
+    fn vdim_matrix_monotone_variance() {
+        let mut last = -1.0;
+        for target in [0.0, 16.0, 64.0, 256.0] {
+            let t = vdim_matrix(256, 512, 256 * 16, target, 5);
+            let f = MatrixFeatures::from_triplets(&t);
+            assert_eq!(f.nnz, 256 * 16, "nnz preserved at target {target}");
+            assert!(
+                f.vdim >= last,
+                "variance must grow with target: {} then {}",
+                last,
+                f.vdim
+            );
+            last = f.vdim;
+        }
+    }
+
+    #[test]
+    fn vdim_matrix_zero_target_is_uniform() {
+        let t = vdim_matrix(128, 256, 128 * 8, 0.0, 6);
+        let f = MatrixFeatures::from_triplets(&t);
+        assert!(f.vdim < 1.0, "vdim {}", f.vdim);
+        assert_eq!(f.adim, 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn vdim_matrix_rejects_impossible_targets() {
+        let _ = vdim_matrix(16, 16, 32, 1e9, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "ndig")]
+    fn diag_matrix_rejects_zero_diagonals() {
+        let _ = diag_matrix(8, 8, 8, 0, 1);
+    }
+}

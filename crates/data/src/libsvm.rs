@@ -1,0 +1,181 @@
+//! LIBSVM text format: `label idx:value idx:value ...` with 1-based,
+//! ascending feature indices. Reading real dataset files lets users run the
+//! scheduler on the paper's actual datasets when they have them locally.
+
+// Row loops index the matrix and the label vector together.
+#![allow(clippy::needless_range_loop)]
+
+use dls_sparse::{Scalar, TripletMatrix};
+use std::io::{BufRead, Write};
+
+/// A parsed LIBSVM dataset: the data matrix plus one label per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibsvmDataset {
+    /// The data matrix (rows = samples).
+    pub matrix: TripletMatrix,
+    /// Raw labels as written in the file.
+    pub labels: Vec<Scalar>,
+}
+
+/// Parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Reads a LIBSVM-format dataset from any buffered reader.
+///
+/// The feature dimension is the maximum index seen (indices are 1-based in
+/// the format, converted to 0-based internally). Blank lines and `#`
+/// comments are skipped.
+pub fn read<R: BufRead>(reader: R) -> Result<LibsvmDataset, ParseError> {
+    let mut labels = Vec::new();
+    let mut rows: Vec<Vec<(usize, Scalar)>> = Vec::new();
+    let mut max_col = 0usize;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| ParseError { line: lineno + 1, message: e.to_string() })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_ascii_whitespace();
+        let label_tok = parts.next().expect("non-empty line has a first token");
+        let label: Scalar = label_tok.parse().map_err(|_| ParseError {
+            line: lineno + 1,
+            message: format!("bad label: {label_tok}"),
+        })?;
+        let mut entries = Vec::new();
+        let mut last_idx = 0usize;
+        for tok in parts {
+            let (idx_s, val_s) = tok.split_once(':').ok_or_else(|| ParseError {
+                line: lineno + 1,
+                message: format!("expected idx:value, got {tok}"),
+            })?;
+            let idx: usize = idx_s.parse().map_err(|_| ParseError {
+                line: lineno + 1,
+                message: format!("bad index: {idx_s}"),
+            })?;
+            if idx == 0 {
+                return Err(ParseError {
+                    line: lineno + 1,
+                    message: "feature indices are 1-based".into(),
+                });
+            }
+            if idx <= last_idx {
+                return Err(ParseError {
+                    line: lineno + 1,
+                    message: format!("indices must be ascending, {idx} after {last_idx}"),
+                });
+            }
+            last_idx = idx;
+            let val: Scalar = val_s.parse().map_err(|_| ParseError {
+                line: lineno + 1,
+                message: format!("bad value: {val_s}"),
+            })?;
+            max_col = max_col.max(idx);
+            if val != 0.0 {
+                entries.push((idx - 1, val));
+            }
+        }
+        labels.push(label);
+        rows.push(entries);
+    }
+
+    let mut t = TripletMatrix::new(rows.len(), max_col);
+    for (i, row) in rows.iter().enumerate() {
+        for &(j, v) in row {
+            t.push(i, j, v);
+        }
+    }
+    Ok(LibsvmDataset { matrix: t.compact(), labels })
+}
+
+/// Writes a dataset in LIBSVM format (1-based ascending indices).
+pub fn write<W: Write>(
+    w: &mut W,
+    matrix: &TripletMatrix,
+    labels: &[Scalar],
+) -> std::io::Result<()> {
+    assert_eq!(matrix.rows(), labels.len(), "one label per row required");
+    debug_assert!(matrix.is_compact(), "write requires a compact matrix");
+    for i in 0..matrix.rows() {
+        write!(w, "{}", labels[i])?;
+        let row = matrix.row_sparse(i);
+        for (j, v) in row.iter() {
+            write!(w, " {}:{}", j + 1, v)?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_file() {
+        let text = "+1 1:0.5 3:1.5\n-1 2:2.0\n";
+        let ds = read(text.as_bytes()).unwrap();
+        assert_eq!(ds.labels, vec![1.0, -1.0]);
+        assert_eq!(ds.matrix.rows(), 2);
+        assert_eq!(ds.matrix.cols(), 3);
+        assert_eq!(ds.matrix.entries(), &[(0, 0, 0.5), (0, 2, 1.5), (1, 1, 2.0)]);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header\n\n1 1:1\n";
+        let ds = read(text.as_bytes()).unwrap();
+        assert_eq!(ds.matrix.rows(), 1);
+    }
+
+    #[test]
+    fn rejects_zero_index() {
+        let err = read("1 0:1.0\n".as_bytes()).unwrap_err();
+        assert!(err.message.contains("1-based"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn rejects_descending_indices() {
+        let err = read("1 3:1.0 2:1.0\n".as_bytes()).unwrap_err();
+        assert!(err.message.contains("ascending"));
+    }
+
+    #[test]
+    fn rejects_malformed_tokens() {
+        assert!(read("abc 1:1\n".as_bytes()).is_err());
+        assert!(read("1 1=2\n".as_bytes()).is_err());
+        assert!(read("1 x:2\n".as_bytes()).is_err());
+        assert!(read("1 1:y\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let text = "1 1:0.25 2:-1\n-1 3:4\n";
+        let ds = read(text.as_bytes()).unwrap();
+        let mut buf = Vec::new();
+        write(&mut buf, &ds.matrix, &ds.labels).unwrap();
+        let ds2 = read(buf.as_slice()).unwrap();
+        assert_eq!(ds, ds2);
+    }
+
+    #[test]
+    fn drops_explicit_zero_values() {
+        let ds = read("1 1:0 2:5\n-1 1:1\n".as_bytes()).unwrap();
+        assert_eq!(ds.matrix.nnz(), 2);
+    }
+}

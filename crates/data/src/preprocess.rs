@@ -1,0 +1,236 @@
+//! Feature scaling — the `svm-scale` step of the LIBSVM workflow.
+//!
+//! SVM kernels (especially the Gaussian) are sensitive to feature ranges,
+//! so real pipelines scale each column to `[0, 1]` or `[-1, 1]` before
+//! training and apply the *same* affine map to test samples. The scaler is
+//! fitted on training data and stored, exactly like LIBSVM's `.range`
+//! files.
+
+use dls_sparse::{Scalar, SparseVec, TripletMatrix};
+
+/// Target range for scaled features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScaleRange {
+    /// Scale each column to `[0, 1]`.
+    #[default]
+    ZeroOne,
+    /// Scale each column to `[-1, 1]`.
+    SymmetricOne,
+}
+
+/// A fitted per-column affine scaler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureScaler {
+    range: ScaleRange,
+    /// Per-column `(min, max)` observed at fit time.
+    bounds: Vec<(Scalar, Scalar)>,
+}
+
+impl FeatureScaler {
+    /// Fits column bounds on a training matrix. Columns with no observed
+    /// spread (min == max) pass through unchanged.
+    ///
+    /// Note: like LIBSVM's scaler, implicit zeros count as observations —
+    /// a column whose stored values are all positive still has min ≤ 0 if
+    /// any row lacks an entry there.
+    pub fn fit(t: &TripletMatrix, range: ScaleRange) -> Self {
+        let mut bounds = vec![(Scalar::INFINITY, Scalar::NEG_INFINITY); t.cols()];
+        let mut seen = vec![0usize; t.cols()];
+        for &(_, c, v) in t.entries() {
+            let b = &mut bounds[c];
+            b.0 = b.0.min(v);
+            b.1 = b.1.max(v);
+            seen[c] += 1;
+        }
+        for (c, b) in bounds.iter_mut().enumerate() {
+            if seen[c] == 0 {
+                // Empty column: identity.
+                *b = (0.0, 0.0);
+            } else if seen[c] < t.rows() {
+                // Implicit zeros participate in the range.
+                b.0 = b.0.min(0.0);
+                b.1 = b.1.max(0.0);
+            }
+        }
+        Self { range, bounds }
+    }
+
+    /// The fitted target range.
+    pub fn range(&self) -> ScaleRange {
+        self.range
+    }
+
+    /// Scales a single raw value of column `c`.
+    pub fn scale_value(&self, c: usize, v: Scalar) -> Scalar {
+        let (lo, hi) = self.bounds[c];
+        if hi <= lo {
+            return v;
+        }
+        let unit = (v - lo) / (hi - lo);
+        match self.range {
+            ScaleRange::ZeroOne => unit,
+            ScaleRange::SymmetricOne => 2.0 * unit - 1.0,
+        }
+    }
+
+    /// Applies the fitted map to a whole matrix.
+    ///
+    /// For `[0, 1]` scaling, zeros map to zero whenever the column's
+    /// observed minimum is ≤ 0, so sparsity is preserved on non-negative
+    /// data. Symmetric scaling densifies in principle; we keep the sparse
+    /// representation by only storing transformed *stored* entries, which
+    /// matches LIBSVM's behaviour on sparse files.
+    pub fn transform(&self, t: &TripletMatrix) -> TripletMatrix {
+        let mut out = TripletMatrix::with_capacity(t.rows(), t.cols(), t.nnz());
+        for &(r, c, v) in t.entries() {
+            let s = self.scale_value(c, v);
+            if s != 0.0 {
+                out.push(r, c, s);
+            }
+        }
+        out.compact()
+    }
+
+    /// Applies the fitted map to a single sample.
+    pub fn transform_vec(&self, x: &SparseVec) -> SparseVec {
+        let mut idx = Vec::with_capacity(x.nnz());
+        let mut val = Vec::with_capacity(x.nnz());
+        for (c, v) in x.iter() {
+            let s = self.scale_value(c, v);
+            if s != 0.0 {
+                idx.push(c);
+                val.push(s);
+            }
+        }
+        SparseVec::new(x.dim(), idx, val)
+    }
+}
+
+/// L2-normalises every row to unit norm (zero rows pass through). A
+/// standard alternative to per-column scaling for text-like data (the
+/// sector/mnist family), where direction matters more than magnitude.
+pub fn normalize_rows(t: &TripletMatrix) -> TripletMatrix {
+    let mut norms = vec![0.0f64; t.rows()];
+    for &(r, _, v) in t.entries() {
+        norms[r] += v * v;
+    }
+    for n in &mut norms {
+        *n = n.sqrt();
+    }
+    let mut out = TripletMatrix::with_capacity(t.rows(), t.cols(), t.nnz());
+    for &(r, c, v) in t.entries() {
+        if norms[r] > 0.0 {
+            out.push(r, c, v / norms[r]);
+        } else {
+            out.push(r, c, v);
+        }
+    }
+    out.compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> TripletMatrix {
+        // Column 0 ranges over [2, 6] (all rows present); column 1 has an
+        // implicit zero (row 1 missing), so its range is [0, 10].
+        TripletMatrix::from_entries(
+            3,
+            2,
+            vec![(0, 0, 2.0), (1, 0, 4.0), (2, 0, 6.0), (0, 1, 10.0), (2, 1, 5.0)],
+        )
+        .unwrap()
+        .compact()
+    }
+
+    #[test]
+    fn zero_one_scaling_maps_bounds() {
+        let t = matrix();
+        let s = FeatureScaler::fit(&t, ScaleRange::ZeroOne);
+        assert_eq!(s.scale_value(0, 2.0), 0.0);
+        assert_eq!(s.scale_value(0, 6.0), 1.0);
+        assert_eq!(s.scale_value(0, 4.0), 0.5);
+        // Column 1 includes the implicit zero.
+        assert_eq!(s.scale_value(1, 0.0), 0.0);
+        assert_eq!(s.scale_value(1, 10.0), 1.0);
+    }
+
+    #[test]
+    fn symmetric_scaling_maps_to_pm_one() {
+        let t = matrix();
+        let s = FeatureScaler::fit(&t, ScaleRange::SymmetricOne);
+        assert_eq!(s.scale_value(0, 2.0), -1.0);
+        assert_eq!(s.scale_value(0, 6.0), 1.0);
+        assert_eq!(s.scale_value(0, 4.0), 0.0);
+    }
+
+    #[test]
+    fn transform_preserves_shape_and_drops_mapped_zeros() {
+        let t = matrix();
+        let s = FeatureScaler::fit(&t, ScaleRange::ZeroOne);
+        let scaled = s.transform(&t);
+        assert_eq!(scaled.rows(), 3);
+        assert_eq!(scaled.cols(), 2);
+        // (0,0) mapped to exactly 0 and was dropped from storage.
+        assert_eq!(scaled.row_sparse(0).get(0), 0.0);
+        assert_eq!(scaled.row_sparse(2).get(0), 1.0);
+    }
+
+    #[test]
+    fn constant_column_passes_through() {
+        let t = TripletMatrix::from_entries(2, 1, vec![(0, 0, 5.0), (1, 0, 5.0)])
+            .unwrap()
+            .compact();
+        let s = FeatureScaler::fit(&t, ScaleRange::ZeroOne);
+        assert_eq!(s.scale_value(0, 5.0), 5.0, "no spread: identity");
+    }
+
+    #[test]
+    fn transform_vec_matches_matrix_transform() {
+        let t = matrix();
+        let s = FeatureScaler::fit(&t, ScaleRange::ZeroOne);
+        let scaled = s.transform(&t);
+        for i in 0..3 {
+            let via_vec = s.transform_vec(&t.row_sparse(i));
+            let via_mat = scaled.row_sparse(i);
+            assert_eq!(via_vec.indices(), via_mat.indices(), "row {i}");
+            assert_eq!(via_vec.values(), via_mat.values(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn normalize_rows_gives_unit_norms() {
+        let t = TripletMatrix::from_entries(
+            3,
+            3,
+            vec![(0, 0, 3.0), (0, 1, 4.0), (1, 2, 7.0)],
+        )
+        .unwrap()
+        .compact();
+        let n = normalize_rows(&t);
+        let r0 = n.row_sparse(0);
+        assert!((r0.norm_sq() - 1.0).abs() < 1e-12);
+        assert!((r0.get(0) - 0.6).abs() < 1e-12);
+        assert!((n.row_sparse(1).norm_sq() - 1.0).abs() < 1e-12);
+        // Empty row stays empty.
+        assert_eq!(n.row_sparse(2).nnz(), 0);
+    }
+
+    #[test]
+    fn scaling_helps_wide_range_features() {
+        // After [0,1] scaling every stored value is in [0, 1].
+        let t = TripletMatrix::from_entries(
+            3,
+            2,
+            vec![(0, 0, 1e6), (1, 0, 2e6), (2, 1, -500.0), (0, 1, 500.0)],
+        )
+        .unwrap()
+        .compact();
+        let s = FeatureScaler::fit(&t, ScaleRange::ZeroOne);
+        let scaled = s.transform(&t);
+        for &(_, _, v) in scaled.entries() {
+            assert!((0.0..=1.0).contains(&v), "value {v} out of range");
+        }
+    }
+}

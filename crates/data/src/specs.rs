@@ -1,0 +1,318 @@
+//! The paper's Table V, recorded verbatim, plus a structural recipe telling
+//! the generator how to reproduce each dataset's sparsity pattern.
+
+/// Structural recipe for the synthetic twin of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Structure {
+    /// Every element stored: text-style dense data (gisette, epsilon, ...).
+    Dense,
+    /// Every row has exactly `row_nnz` non-zeros at uniform random columns
+    /// (vdim = 0 but not fully dense: connect-4 style categorical data).
+    UniformRows {
+        /// Non-zeros per row.
+        row_nnz: usize,
+    },
+    /// Row lengths drawn to match a target mean and variance, with the
+    /// maximum pinned to `mdim` (adult / aloi / mnist / sector style).
+    VariableRows {
+        /// Target average non-zeros per row.
+        adim: f64,
+        /// Target variance of the row lengths.
+        vdim: f64,
+        /// Target maximum row length.
+        mdim: usize,
+    },
+    /// Non-zeros concentrated on `ndig` diagonals (trefethen style).
+    Diagonal {
+        /// Number of occupied diagonals.
+        ndig: usize,
+    },
+}
+
+/// One row of the paper's Table V plus the generation recipe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Dataset name as used in the paper.
+    pub name: &'static str,
+    /// Application domain (Table V column 2).
+    pub application: &'static str,
+    /// Number of samples `M`.
+    pub m: usize,
+    /// Number of features `N`.
+    pub n: usize,
+    /// Paper-reported nnz.
+    pub nnz: u64,
+    /// Paper-reported number of diagonals.
+    pub ndig: u64,
+    /// Paper-reported nnz per diagonal.
+    pub dnnz: f64,
+    /// Paper-reported maximum row length.
+    pub mdim: usize,
+    /// Paper-reported average row length.
+    pub adim: f64,
+    /// Paper-reported row-length variance.
+    pub vdim: f64,
+    /// Paper-reported density.
+    pub density: f64,
+    /// How to synthesise the twin.
+    pub structure: Structure,
+}
+
+impl DatasetSpec {
+    /// Looks a spec up by name.
+    pub fn by_name(name: &str) -> Option<&'static DatasetSpec> {
+        PAPER_DATASETS.iter().find(|s| s.name == name)
+    }
+
+    /// Returns a copy scaled down by `factor` (rows divided, structure
+    /// preserved). Used for the huge dense sets (epsilon, dna, gisette)
+    /// where absolute size is irrelevant to format selection.
+    pub fn scaled(&self, factor: usize) -> DatasetSpec {
+        assert!(factor >= 1, "scale factor must be >= 1");
+        let mut s = *self;
+        s.m = (s.m / factor).max(4);
+        // Dense rows also shrink in feature count to keep runtimes sane
+        // while density stays 1.0.
+        if matches!(s.structure, Structure::Dense) {
+            s.n = (s.n / factor).max(4);
+            s.mdim = s.n;
+            s.adim = s.n as f64;
+            s.structure = Structure::Dense;
+        }
+        s.nnz = (s.m as u64) * (s.adim.round() as u64).max(1);
+        s
+    }
+}
+
+/// Table V, verbatim. `breast_cancer` and `leukemia` share statistics in
+/// the paper (both are 38 × 7129 dense microarray sets).
+pub const PAPER_DATASETS: [DatasetSpec; 11] = [
+    DatasetSpec {
+        name: "adult",
+        application: "economy",
+        m: 2_265,
+        n: 119,
+        nnz: 31_404,
+        ndig: 2_347,
+        dnnz: 13.38,
+        mdim: 14,
+        adim: 13.87,
+        vdim: 0.059,
+        density: 0.119,
+        structure: Structure::VariableRows { adim: 13.87, vdim: 0.059, mdim: 14 },
+    },
+    DatasetSpec {
+        name: "breast_cancer",
+        application: "clinical",
+        m: 38,
+        n: 7_129,
+        nnz: 270_902,
+        ndig: 7_166,
+        dnnz: 37.80,
+        mdim: 7_129,
+        adim: 7_129.0,
+        vdim: 0.0,
+        density: 1.0,
+        structure: Structure::Dense,
+    },
+    DatasetSpec {
+        name: "aloi",
+        application: "vision",
+        m: 1_000,
+        n: 128,
+        nnz: 32_142,
+        ndig: 1_125,
+        dnnz: 28.57,
+        mdim: 74,
+        adim: 32.14,
+        vdim: 85.22,
+        density: 0.251,
+        structure: Structure::VariableRows { adim: 32.14, vdim: 85.22, mdim: 74 },
+    },
+    DatasetSpec {
+        name: "gisette",
+        application: "selection",
+        m: 6_000,
+        n: 5_000,
+        nnz: 30_000_000,
+        ndig: 10_999,
+        dnnz: 2_728.0,
+        mdim: 5_000,
+        adim: 5_000.0,
+        vdim: 0.0,
+        density: 1.0,
+        structure: Structure::Dense,
+    },
+    DatasetSpec {
+        name: "mnist",
+        application: "recognition",
+        m: 450,
+        n: 772,
+        nnz: 66_825,
+        ndig: 1_050,
+        dnnz: 63.64,
+        mdim: 291,
+        adim: 148.5,
+        vdim: 1_594.0,
+        density: 0.192,
+        structure: Structure::VariableRows { adim: 148.5, vdim: 1_594.0, mdim: 291 },
+    },
+    DatasetSpec {
+        name: "sector",
+        application: "industry",
+        m: 1_500,
+        n: 55_188,
+        nnz: 238_790,
+        ndig: 33_770,
+        dnnz: 7.07,
+        mdim: 1_819,
+        adim: 159.19,
+        vdim: 17_634.0,
+        density: 0.003,
+        structure: Structure::VariableRows { adim: 159.19, vdim: 17_634.0, mdim: 1_819 },
+    },
+    DatasetSpec {
+        name: "epsilon",
+        application: "AI",
+        m: 390_000,
+        n: 2_000,
+        nnz: 780_000_000,
+        ndig: 391_999,
+        dnnz: 1_990.0,
+        mdim: 2_000,
+        adim: 2_000.0,
+        vdim: 0.0,
+        density: 1.0,
+        structure: Structure::Dense,
+    },
+    DatasetSpec {
+        name: "leukemia",
+        application: "biology",
+        m: 38,
+        n: 7_129,
+        nnz: 270_902,
+        ndig: 7_166,
+        dnnz: 37.8,
+        mdim: 7_129,
+        adim: 7_129.0,
+        vdim: 0.0,
+        density: 1.0,
+        structure: Structure::Dense,
+    },
+    DatasetSpec {
+        name: "connect-4",
+        application: "game",
+        m: 1_800,
+        n: 125,
+        nnz: 75_600,
+        ndig: 1_922,
+        dnnz: 39.33,
+        mdim: 42,
+        adim: 42.0,
+        vdim: 0.0,
+        density: 0.336,
+        structure: Structure::UniformRows { row_nnz: 42 },
+    },
+    DatasetSpec {
+        name: "trefethen",
+        application: "numerical",
+        m: 2_000,
+        n: 2_000,
+        nnz: 21_953,
+        ndig: 12,
+        dnnz: 1_829.0,
+        mdim: 12,
+        adim: 10.98,
+        vdim: 1.25,
+        density: 0.006,
+        structure: Structure::Diagonal { ndig: 12 },
+    },
+    DatasetSpec {
+        name: "dna",
+        application: "genomics",
+        m: 3_600_000,
+        n: 200,
+        nnz: 720_000_000,
+        ndig: 3_600_199,
+        dnnz: 200.0,
+        mdim: 200,
+        adim: 200.0,
+        vdim: 0.0,
+        density: 1.0,
+        structure: Structure::Dense,
+    },
+];
+
+/// The five datasets of Figure 1 / Table III, in the paper's order.
+pub const FIG1_DATASETS: [&str; 5] = ["adult", "aloi", "mnist", "gisette", "trefethen"];
+
+/// The nine datasets of Table VI, in the paper's order.
+pub const TABLE6_DATASETS: [&str; 9] = [
+    "adult",
+    "breast_cancer",
+    "aloi",
+    "gisette",
+    "mnist",
+    "sector",
+    "leukemia",
+    "connect-4",
+    "trefethen",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(DatasetSpec::by_name("adult").unwrap().m, 2_265);
+        assert!(DatasetSpec::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn table5_row_consistency() {
+        for s in &PAPER_DATASETS {
+            // adim ≈ nnz / M
+            let adim = s.nnz as f64 / s.m as f64;
+            assert!(
+                (adim - s.adim).abs() / s.adim < 0.05,
+                "{}: adim {} vs nnz/M {}",
+                s.name,
+                s.adim,
+                adim
+            );
+            // density ≈ nnz / (M N)
+            let density = s.nnz as f64 / (s.m as f64 * s.n as f64);
+            assert!(
+                (density - s.density).abs() < 0.05,
+                "{}: density {} vs computed {}",
+                s.name,
+                s.density,
+                density
+            );
+            // mdim can't exceed N and adim can't exceed mdim.
+            assert!(s.mdim <= s.n, "{}", s.name);
+            assert!(s.adim <= s.mdim as f64 + 0.5, "{}", s.name);
+            // ndig is bounded by M + N − 1.
+            assert!(s.ndig <= (s.m + s.n - 1) as u64, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn fig1_and_table6_names_resolve() {
+        for name in FIG1_DATASETS.iter().chain(TABLE6_DATASETS.iter()) {
+            assert!(DatasetSpec::by_name(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_structure_class() {
+        let eps = DatasetSpec::by_name("epsilon").unwrap().scaled(1000);
+        assert_eq!(eps.m, 390);
+        assert_eq!(eps.n, 4); // floored at the minimum feature count
+        assert!(matches!(eps.structure, Structure::Dense));
+        let adult = DatasetSpec::by_name("adult").unwrap().scaled(10);
+        assert_eq!(adult.m, 226);
+        assert_eq!(adult.n, 119); // sparse sets keep their feature space
+    }
+}

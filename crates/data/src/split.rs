@@ -1,0 +1,148 @@
+//! Train/test splitting with stratification.
+
+use dls_sparse::{Scalar, TripletMatrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Result of a split: re-indexed matrices and their labels.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training matrix.
+    pub train_x: TripletMatrix,
+    /// Training labels.
+    pub train_y: Vec<Scalar>,
+    /// Test matrix.
+    pub test_x: TripletMatrix,
+    /// Test labels.
+    pub test_y: Vec<Scalar>,
+}
+
+/// Splits rows into train/test, stratified by label so both sides keep the
+/// class proportions. `test_fraction` ∈ (0, 1).
+///
+/// # Panics
+/// Panics on an invalid fraction or mismatched label length.
+pub fn stratified_split(
+    x: &TripletMatrix,
+    y: &[Scalar],
+    test_fraction: f64,
+    seed: u64,
+) -> Split {
+    assert!((0.0..1.0).contains(&test_fraction) && test_fraction > 0.0, "bad test fraction");
+    assert_eq!(y.len(), x.rows(), "one label per row");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Group indices per distinct label (ordered for determinism).
+    let mut labels: Vec<Scalar> = y.to_vec();
+    labels.sort_by(|a, b| a.partial_cmp(b).expect("finite labels"));
+    labels.dedup();
+    let mut test_idx: Vec<usize> = Vec::new();
+    let mut train_idx: Vec<usize> = Vec::new();
+    for &label in &labels {
+        let mut group: Vec<usize> =
+            (0..y.len()).filter(|&i| y[i] == label).collect();
+        group.shuffle(&mut rng);
+        let n_test = ((group.len() as f64) * test_fraction).round() as usize;
+        let n_test = n_test.min(group.len().saturating_sub(1)).max(usize::from(group.len() > 1));
+        test_idx.extend(&group[..n_test]);
+        train_idx.extend(&group[n_test..]);
+    }
+    train_idx.sort_unstable();
+    test_idx.sort_unstable();
+
+    let gather = |idx: &[usize]| -> (TripletMatrix, Vec<Scalar>) {
+        let mut t = TripletMatrix::new(idx.len(), x.cols());
+        let mut labels = Vec::with_capacity(idx.len());
+        // Map old row -> new row for a single pass over the entries.
+        let mut pos = vec![usize::MAX; x.rows()];
+        for (new_i, &old_i) in idx.iter().enumerate() {
+            pos[old_i] = new_i;
+            labels.push(y[old_i]);
+        }
+        for &(r, c, v) in x.entries() {
+            if pos[r] != usize::MAX {
+                t.push(pos[r], c, v);
+            }
+        }
+        (t.compact(), labels)
+    };
+    let (train_x, train_y) = gather(&train_idx);
+    let (test_x, test_y) = gather(&test_idx);
+    Split { train_x, train_y, test_x, test_y }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> (TripletMatrix, Vec<Scalar>) {
+        let mut t = TripletMatrix::new(n, 2);
+        let mut y = Vec::new();
+        for i in 0..n {
+            t.push(i, i % 2, i as f64 + 1.0);
+            // 3:1 class imbalance.
+            y.push(if i % 4 == 0 { -1.0 } else { 1.0 });
+        }
+        (t.compact(), y)
+    }
+
+    #[test]
+    fn split_partitions_all_rows() {
+        let (x, y) = data(40);
+        let s = stratified_split(&x, &y, 0.25, 1);
+        assert_eq!(s.train_x.rows() + s.test_x.rows(), 40);
+        assert_eq!(s.train_y.len(), s.train_x.rows());
+        assert_eq!(s.test_y.len(), s.test_x.rows());
+        // Roughly a quarter in test.
+        assert!((8..=12).contains(&s.test_x.rows()), "test rows {}", s.test_x.rows());
+    }
+
+    #[test]
+    fn stratification_keeps_class_ratio() {
+        let (x, y) = data(80);
+        let s = stratified_split(&x, &y, 0.25, 2);
+        let frac = |ys: &[Scalar]| {
+            ys.iter().filter(|&&v| v == -1.0).count() as f64 / ys.len() as f64
+        };
+        let overall = frac(&y);
+        assert!((frac(&s.train_y) - overall).abs() < 0.08);
+        assert!((frac(&s.test_y) - overall).abs() < 0.08);
+        // Both classes appear on both sides.
+        assert!(s.test_y.contains(&-1.0) && s.test_y.contains(&1.0));
+        assert!(s.train_y.contains(&-1.0) && s.train_y.contains(&1.0));
+    }
+
+    #[test]
+    fn rows_keep_their_content() {
+        let (x, y) = data(12);
+        let s = stratified_split(&x, &y, 0.25, 3);
+        // Every train row must exist identically in the original matrix.
+        for i in 0..s.train_x.rows() {
+            let row = s.train_x.row_sparse(i);
+            let found = (0..x.rows()).any(|j| {
+                let orig = x.row_sparse(j);
+                orig.indices() == row.indices()
+                    && orig.values() == row.values()
+                    && y[j] == s.train_y[i]
+            });
+            assert!(found, "train row {i} not found in original");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = data(24);
+        let a = stratified_split(&x, &y, 0.3, 7);
+        let b = stratified_split(&x, &y, 0.3, 7);
+        assert_eq!(a.train_y, b.train_y);
+        assert_eq!(a.test_x.entries(), b.test_x.entries());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad test fraction")]
+    fn rejects_bad_fraction() {
+        let (x, y) = data(8);
+        let _ = stratified_split(&x, &y, 0.0, 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! Synthetic-twin generator: produces a matrix whose nine influencing
+//! parameters match a [`DatasetSpec`].
+
+use crate::specs::{DatasetSpec, Structure};
+use dls_sparse::TripletMatrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generates the synthetic twin of `spec`, deterministically from `seed`.
+///
+/// Values are drawn uniformly from `(0, 1]` (never exactly zero, so the
+/// requested sparsity pattern is exactly the stored pattern).
+pub fn generate(spec: &DatasetSpec, seed: u64) -> TripletMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match spec.structure {
+        Structure::Dense => dense(spec.m, spec.n, &mut rng),
+        Structure::UniformRows { row_nnz } => uniform_rows(spec.m, spec.n, row_nnz, &mut rng),
+        Structure::VariableRows { adim, vdim, mdim } => {
+            variable_rows(spec.m, spec.n, adim, vdim, mdim, &mut rng)
+        }
+        Structure::Diagonal { ndig } => diagonal(spec.m, spec.n, spec.nnz as usize, ndig, &mut rng),
+    }
+}
+
+fn value(rng: &mut StdRng) -> f64 {
+    // Uniform in (0, 1]: 1 − u with u in [0, 1).
+    1.0 - rng.gen::<f64>()
+}
+
+/// Fully dense matrix.
+fn dense(m: usize, n: usize, rng: &mut StdRng) -> TripletMatrix {
+    let mut t = TripletMatrix::with_capacity(m, n, m * n);
+    for i in 0..m {
+        for j in 0..n {
+            t.push(i, j, value(rng));
+        }
+    }
+    t.compact()
+}
+
+/// Every row gets exactly `row_nnz` entries at distinct random columns.
+fn uniform_rows(m: usize, n: usize, row_nnz: usize, rng: &mut StdRng) -> TripletMatrix {
+    let row_nnz = row_nnz.min(n);
+    let mut t = TripletMatrix::with_capacity(m, n, m * row_nnz);
+    let mut cols: Vec<usize> = (0..n).collect();
+    for i in 0..m {
+        cols.shuffle(rng);
+        for &j in cols.iter().take(row_nnz) {
+            t.push(i, j, value(rng));
+        }
+    }
+    t.compact()
+}
+
+/// Row lengths drawn to hit a target mean/variance/max.
+///
+/// Uses a two-point mixture: most rows near `adim`, a minority stretched
+/// towards `mdim`, calibrated so the population variance lands on `vdim`.
+/// One row is pinned to exactly `mdim` so the maximum is met.
+fn variable_rows(
+    m: usize,
+    n: usize,
+    adim: f64,
+    vdim: f64,
+    mdim: usize,
+    rng: &mut StdRng,
+) -> TripletMatrix {
+    let mdim = mdim.min(n).max(1);
+    let lengths = sample_row_lengths(m, adim, vdim, mdim, rng);
+    let mut t = TripletMatrix::with_capacity(m, n, lengths.iter().sum());
+    let mut cols: Vec<usize> = (0..n).collect();
+    for (i, &len) in lengths.iter().enumerate() {
+        cols.shuffle(rng);
+        for &j in cols.iter().take(len) {
+            t.push(i, j, value(rng));
+        }
+    }
+    t.compact()
+}
+
+/// Draws `m` row lengths with mean ≈ `adim`, variance ≈ `vdim`, max = `mdim`.
+fn sample_row_lengths(
+    m: usize,
+    adim: f64,
+    vdim: f64,
+    mdim: usize,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let cap = mdim as f64;
+    let mut lengths = Vec::with_capacity(m);
+    if vdim <= 1e-9 {
+        // Uniform rows.
+        let len = adim.round().max(1.0) as usize;
+        return vec![len.min(mdim); m];
+    }
+    // Two-point mixture {lo, hi}: pick hi as the stretch toward mdim, then
+    // p and lo follow from the mean/variance equations.
+    let hi = (adim + vdim.sqrt() * 3.0).min(cap).max(adim + 1.0);
+    // variance = p(1-p)(hi-lo)^2 with mean = p·hi + (1-p)·lo.
+    // Solve by choosing p from the variance given lo ≈ adim - eps:
+    let spread = hi - adim;
+    let p = (vdim / (spread * spread + vdim)).clamp(0.001, 0.5);
+    let lo = ((adim - p * hi) / (1.0 - p)).max(1.0);
+    for _ in 0..m {
+        let len = if rng.gen::<f64>() < p { hi } else { lo };
+        // Jitter ±10% to avoid a degenerate two-value histogram.
+        let jitter = 1.0 + (rng.gen::<f64>() - 0.5) * 0.2;
+        let len = (len * jitter).round().clamp(1.0, cap) as usize;
+        lengths.push(len);
+    }
+    // Pin the maximum.
+    let max_pos = lengths.iter().enumerate().max_by_key(|(_, &l)| l).map(|(i, _)| i).unwrap();
+    lengths[max_pos] = mdim;
+    lengths
+}
+
+/// `nnz` entries spread over exactly `ndig` distinct diagonals (trefethen
+/// style; the real Trefethen matrix puts entries at prime offsets).
+fn diagonal(m: usize, n: usize, nnz: usize, ndig: usize, rng: &mut StdRng) -> TripletMatrix {
+    let max_diags = m + n - 1;
+    let ndig = ndig.clamp(1, max_diags);
+    // Main diagonal plus increasing offsets (primes-like spacing: 1, 2, 4...).
+    let mut offsets: Vec<isize> = vec![0];
+    let mut step = 1isize;
+    while offsets.len() < ndig {
+        if offsets.len() % 2 == 1 {
+            if (step as usize) < n {
+                offsets.push(step);
+            }
+        } else if (step as usize) < m {
+            offsets.push(-step);
+            step *= 2;
+        }
+        if step as usize >= m.max(n) {
+            // Fall back to dense packing of small offsets.
+            let mut o = 1isize;
+            while offsets.len() < ndig {
+                if !offsets.contains(&o) && o.unsigned_abs() < n {
+                    offsets.push(o);
+                }
+                if !offsets.contains(&-o) && offsets.len() < ndig && (o as usize) < m {
+                    offsets.push(-o);
+                }
+                o += 1;
+            }
+        }
+    }
+    offsets.truncate(ndig);
+
+    let mut t = TripletMatrix::with_capacity(m, n, nnz);
+    let mut placed = 0usize;
+    // Round-robin the diagonals, filling each from a random start, until
+    // nnz entries are placed (or all slots are exhausted).
+    let mut cursors: Vec<usize> = offsets
+        .iter()
+        .map(|&o| {
+            let lo = if o < 0 { (-o) as usize } else { 0 };
+            lo + rng.gen_range(0..4)
+        })
+        .collect();
+    let mut exhausted = vec![false; offsets.len()];
+    while placed < nnz && !exhausted.iter().all(|&e| e) {
+        for (d, &off) in offsets.iter().enumerate() {
+            if placed >= nnz || exhausted[d] {
+                continue;
+            }
+            let i = cursors[d];
+            let hi = m.min((n as isize - off).max(0) as usize);
+            if i >= hi {
+                exhausted[d] = true;
+                continue;
+            }
+            let j = (i as isize + off) as usize;
+            t.push(i, j, value(rng));
+            cursors[d] += 1;
+            placed += 1;
+        }
+    }
+    t.compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::DatasetSpec;
+    use dls_sparse::MatrixFeatures;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DatasetSpec::by_name("adult").unwrap().scaled(10);
+        let a = generate(&spec, 42);
+        let b = generate(&spec, 42);
+        assert_eq!(a.entries(), b.entries());
+        let c = generate(&spec, 43);
+        assert_ne!(a.entries(), c.entries());
+    }
+
+    #[test]
+    fn dense_twin_matches_spec() {
+        let spec = DatasetSpec::by_name("leukemia").unwrap().scaled(4);
+        let t = generate(&spec, 1);
+        let f = MatrixFeatures::from_triplets(&t);
+        assert_eq!(f.m, spec.m);
+        assert_eq!(f.n, spec.n);
+        assert_eq!(f.density, 1.0);
+        assert_eq!(f.vdim, 0.0);
+        assert_eq!(f.mdim, spec.n);
+    }
+
+    #[test]
+    fn uniform_rows_twin_matches_spec() {
+        let spec = DatasetSpec::by_name("connect-4").unwrap().scaled(10);
+        let t = generate(&spec, 1);
+        let f = MatrixFeatures::from_triplets(&t);
+        assert_eq!(f.m, spec.m);
+        assert_eq!(f.vdim, 0.0, "connect-4 rows are uniform");
+        assert_eq!(f.mdim, 42);
+        assert!((f.density - spec.density).abs() < 0.02);
+    }
+
+    #[test]
+    fn variable_rows_twin_approximates_moments() {
+        let spec = DatasetSpec::by_name("aloi").unwrap();
+        let t = generate(spec, 7);
+        let f = MatrixFeatures::from_triplets(&t);
+        assert_eq!(f.m, 1000);
+        assert_eq!(f.mdim, 74, "max row length pinned");
+        assert!((f.adim - spec.adim).abs() / spec.adim < 0.25, "adim {} vs {}", f.adim, spec.adim);
+        assert!(f.vdim > 10.0, "aloi twin must be imbalanced, vdim = {}", f.vdim);
+    }
+
+    #[test]
+    fn high_vdim_twin_is_strongly_imbalanced() {
+        let spec = DatasetSpec::by_name("mnist").unwrap();
+        let t = generate(spec, 3);
+        let f = MatrixFeatures::from_triplets(&t);
+        assert_eq!(f.mdim, 291);
+        assert!(f.vdim > 500.0, "mnist twin vdim = {}", f.vdim);
+    }
+
+    #[test]
+    fn diagonal_twin_has_exact_diagonal_count() {
+        let spec = DatasetSpec::by_name("trefethen").unwrap();
+        let t = generate(spec, 5);
+        let f = MatrixFeatures::from_triplets(&t);
+        assert_eq!(f.ndig, 12, "trefethen has 12 diagonals");
+        assert_eq!(f.m, 2000);
+        let rel_err = (f.nnz as f64 - spec.nnz as f64).abs() / (spec.nnz as f64);
+        assert!(rel_err < 0.05, "nnz off by {rel_err}");
+    }
+
+    #[test]
+    fn adult_twin_is_ell_friendly() {
+        // adult: near-uniform short rows — low vdim, mdim close to adim.
+        let spec = DatasetSpec::by_name("adult").unwrap();
+        let t = generate(spec, 11);
+        let f = MatrixFeatures::from_triplets(&t);
+        assert!(f.vdim < 5.0, "adult twin vdim = {}", f.vdim);
+        assert!(f.ell_padding_ratio() < 0.15);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the data substrate: LIBSVM round trips over
+//! arbitrary matrices, scaler invariants, split invariants, and generator
+//! determinism.
+
+use dls_data::libsvm;
+use dls_data::preprocess::{normalize_rows, FeatureScaler, ScaleRange};
+use dls_data::stratified_split;
+use dls_sparse::TripletMatrix;
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = (TripletMatrix, Vec<f64>)> {
+    (2usize..20, 1usize..10)
+        .prop_flat_map(|(rows, cols)| {
+            let entry =
+                (0..rows, 0..cols, -50i32..=50).prop_filter_map("non-zero", |(r, c, v)| {
+                    (v != 0).then_some((r, c, v as f64 * 0.25))
+                });
+            let entries = proptest::collection::vec(entry, 1..rows * 3);
+            let labels = proptest::collection::vec(prop_oneof![Just(1.0), Just(-1.0)], rows);
+            (Just(rows), Just(cols), entries, labels)
+        })
+        .prop_map(|(rows, cols, entries, labels)| {
+            (TripletMatrix::from_entries(rows, cols, entries).unwrap().compact(), labels)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Write → read recovers the matrix and labels exactly. (The written
+    /// dimension is the max occupied column, so re-reading can shrink
+    /// trailing all-zero columns — compare on the re-read's own width.)
+    #[test]
+    fn libsvm_round_trip((t, y) in arb_dataset()) {
+        let mut buf = Vec::new();
+        libsvm::write(&mut buf, &t, &y).unwrap();
+        let ds = libsvm::read(buf.as_slice()).unwrap();
+        prop_assert_eq!(ds.labels, y);
+        prop_assert_eq!(ds.matrix.rows(), t.rows());
+        prop_assert!(ds.matrix.cols() <= t.cols());
+        // Entry sets agree.
+        prop_assert_eq!(ds.matrix.entries(), t.entries());
+    }
+
+    /// Scaled values land inside the target range for all stored entries.
+    #[test]
+    fn scaler_outputs_in_range((t, _y) in arb_dataset()) {
+        for (range, lo, hi) in [
+            (ScaleRange::ZeroOne, 0.0, 1.0),
+            (ScaleRange::SymmetricOne, -1.0, 1.0),
+        ] {
+            let s = FeatureScaler::fit(&t, range);
+            let scaled = s.transform(&t);
+            for &(_, _, v) in scaled.entries() {
+                prop_assert!(
+                    (lo - 1e-12..=hi + 1e-12).contains(&v),
+                    "{range:?}: value {v} outside [{lo}, {hi}]"
+                );
+            }
+            prop_assert_eq!(scaled.rows(), t.rows());
+            prop_assert_eq!(scaled.cols(), t.cols());
+        }
+    }
+
+    /// Row normalisation yields unit (or zero) row norms and preserves
+    /// sparsity patterns.
+    #[test]
+    fn normalization_unit_norms((t, _y) in arb_dataset()) {
+        let n = normalize_rows(&t);
+        prop_assert_eq!(n.nnz(), t.nnz());
+        for i in 0..t.rows() {
+            let n_row = n.row_sparse(i);
+            let t_row = t.row_sparse(i);
+            let norm = n_row.norm_sq();
+            if t_row.nnz() > 0 {
+                prop_assert!((norm - 1.0).abs() < 1e-9, "row {i} norm² {norm}");
+            } else {
+                prop_assert_eq!(norm, 0.0);
+            }
+            prop_assert_eq!(n_row.indices(), t_row.indices());
+        }
+    }
+
+    /// Splits partition the rows exactly, with labels travelling along.
+    #[test]
+    fn split_partitions_rows((t, y) in arb_dataset(), frac in 0.2f64..0.5, seed in 0u64..100) {
+        prop_assume!(y.contains(&1.0) && y.contains(&-1.0));
+        prop_assume!(t.rows() >= 6);
+        let s = stratified_split(&t, &y, frac, seed);
+        prop_assert_eq!(s.train_x.rows() + s.test_x.rows(), t.rows());
+        prop_assert_eq!(s.train_x.nnz() + s.test_x.nnz(), t.nnz());
+        // Label multiset is preserved.
+        let mut all: Vec<f64> = s.train_y.iter().chain(s.test_y.iter()).copied().collect();
+        let mut orig = y.clone();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        orig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(all, orig);
+    }
+}

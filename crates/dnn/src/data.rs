@@ -1,0 +1,245 @@
+//! Procedurally generated CIFAR-like dataset.
+//!
+//! CIFAR-10 itself (60,000 32×32×3 images, 170 MB) is not redistributable
+//! inside this repository, so this module synthesises a drop-in stand-in:
+//! `k` classes of small RGB images, each class a distinct low-frequency
+//! pattern plus Gaussian pixel noise. The noise level controls how many
+//! epochs SGD needs — which is the property the paper's batch/learning-rate/
+//! momentum tuning experiments exercise.
+
+use crate::tensor::{Elem, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CifarLikeConfig {
+    /// Number of classes (CIFAR-10 has 10).
+    pub classes: usize,
+    /// Image side length (CIFAR is 32; the default twin uses 8 for speed).
+    pub side: usize,
+    /// Colour channels.
+    pub channels: usize,
+    /// Training samples.
+    pub train: usize,
+    /// Held-out test samples.
+    pub test: usize,
+    /// Standard deviation of the added pixel noise; higher = harder = more
+    /// epochs to the target accuracy.
+    pub noise: Elem,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CifarLikeConfig {
+    fn default() -> Self {
+        Self { classes: 10, side: 8, channels: 3, train: 1_500, test: 400, noise: 1.4, seed: 1 }
+    }
+}
+
+/// The generated dataset, flat `[n, dim]` plus integer labels.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    x_train: Tensor,
+    y_train: Vec<usize>,
+    x_test: Tensor,
+    y_test: Vec<usize>,
+    config: CifarLikeConfig,
+}
+
+impl Dataset {
+    /// Generates the dataset deterministically from its config.
+    pub fn cifar_like(config: CifarLikeConfig) -> Self {
+        assert!(config.classes >= 2, "need at least two classes");
+        assert!(config.train >= config.classes && config.test >= config.classes);
+        let dim = config.channels * config.side * config.side;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // Class prototypes: smooth class-specific plaid patterns per channel.
+        let prototypes: Vec<Vec<Elem>> = (0..config.classes)
+            .map(|c| {
+                let fx = 1.0 + (c % 4) as Elem;
+                let fy = 1.0 + (c / 4) as Elem;
+                let phase = rng.gen::<Elem>() * std::f32::consts::TAU;
+                let mut p = vec![0.0; dim];
+                for ch in 0..config.channels {
+                    let chw = ch as Elem * 0.7;
+                    for y in 0..config.side {
+                        for x in 0..config.side {
+                            let u = x as Elem / config.side as Elem;
+                            let v = y as Elem / config.side as Elem;
+                            p[ch * config.side * config.side + y * config.side + x] =
+                                (std::f32::consts::TAU * (fx * u + chw) + phase).sin()
+                                    * (std::f32::consts::TAU * (fy * v) + phase).cos();
+                        }
+                    }
+                }
+                p
+            })
+            .collect();
+
+        let mut make_split = |n: usize| -> (Tensor, Vec<usize>) {
+            let mut x = Tensor::zeros(&[n, dim]);
+            let mut y = Vec::with_capacity(n);
+            for i in 0..n {
+                let class = i % config.classes;
+                y.push(class);
+                let row = &mut x.data_mut()[i * dim..(i + 1) * dim];
+                for (j, r) in row.iter_mut().enumerate() {
+                    *r = prototypes[class][j] + gaussian(&mut rng) * config.noise;
+                }
+            }
+            (x, y)
+        };
+        let (x_train, y_train) = make_split(config.train);
+        let (x_test, y_test) = make_split(config.test);
+        Self { x_train, y_train, x_test, y_test, config }
+    }
+
+    /// Flattened feature dimension.
+    pub fn dim(&self) -> usize {
+        self.config.channels * self.config.side * self.config.side
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.config.classes
+    }
+
+    /// The generation config.
+    pub fn config(&self) -> &CifarLikeConfig {
+        &self.config
+    }
+
+    /// Number of training samples.
+    pub fn n_train(&self) -> usize {
+        self.y_train.len()
+    }
+
+    /// Number of test samples.
+    pub fn n_test(&self) -> usize {
+        self.y_test.len()
+    }
+
+    /// Training features `[n_train, dim]`.
+    pub fn x_train(&self) -> &Tensor {
+        &self.x_train
+    }
+
+    /// Training labels.
+    pub fn y_train(&self) -> &[usize] {
+        &self.y_train
+    }
+
+    /// Test features `[n_test, dim]`.
+    pub fn x_test(&self) -> &Tensor {
+        &self.x_test
+    }
+
+    /// Test labels.
+    pub fn y_test(&self) -> &[usize] {
+        &self.y_test
+    }
+
+    /// Gathers the training rows at `indices` into a `[b, dim]` batch.
+    pub fn train_batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let dim = self.dim();
+        let mut x = Tensor::zeros(&[indices.len(), dim]);
+        let mut y = Vec::with_capacity(indices.len());
+        for (k, &i) in indices.iter().enumerate() {
+            x.data_mut()[k * dim..(k + 1) * dim]
+                .copy_from_slice(&self.x_train.data()[i * dim..(i + 1) * dim]);
+            y.push(self.y_train[i]);
+        }
+        (x, y)
+    }
+
+    /// Training batch reshaped to NCHW for convolutional networks.
+    pub fn train_batch_images(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let (x, y) = self.train_batch(indices);
+        let c = self.config;
+        (x.reshape(&[indices.len(), c.channels, c.side, c.side]), y)
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> Elem {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()) as Elem
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CifarLikeConfig {
+        CifarLikeConfig { classes: 4, side: 4, train: 40, test: 16, noise: 0.5, ..Default::default() }
+    }
+
+    #[test]
+    fn shapes_and_label_coverage() {
+        let ds = Dataset::cifar_like(tiny());
+        assert_eq!(ds.dim(), 3 * 4 * 4);
+        assert_eq!(ds.x_train().shape(), &[40, 48]);
+        assert_eq!(ds.n_test(), 16);
+        for c in 0..4 {
+            assert!(ds.y_train().contains(&c), "class {c} in train");
+            assert!(ds.y_test().contains(&c), "class {c} in test");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Dataset::cifar_like(tiny());
+        let b = Dataset::cifar_like(tiny());
+        assert_eq!(a.x_train().data(), b.x_train().data());
+        let c = Dataset::cifar_like(CifarLikeConfig { seed: 2, ..tiny() });
+        assert_ne!(a.x_train().data(), c.x_train().data());
+    }
+
+    #[test]
+    fn classes_are_separable_by_prototype_distance() {
+        // With low noise, samples must be closer (on average) to their own
+        // class's other samples than to a different class's.
+        let ds = Dataset::cifar_like(CifarLikeConfig { noise: 0.1, ..tiny() });
+        let dim = ds.dim();
+        let row = |i: usize| &ds.x_train().data()[i * dim..(i + 1) * dim];
+        let dist = |a: &[Elem], b: &[Elem]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| ((x - y) as f64).powi(2)).sum()
+        };
+        // Samples 0 and 4 share class 0; sample 1 is class 1.
+        assert!(dist(row(0), row(4)) < dist(row(0), row(1)));
+    }
+
+    #[test]
+    fn batch_gather_matches_rows() {
+        let ds = Dataset::cifar_like(tiny());
+        let (x, y) = ds.train_batch(&[3, 0]);
+        assert_eq!(x.shape(), &[2, 48]);
+        assert_eq!(y, vec![ds.y_train()[3], ds.y_train()[0]]);
+        let dim = ds.dim();
+        assert_eq!(&x.data()[..dim], &ds.x_train().data()[3 * dim..4 * dim]);
+    }
+
+    #[test]
+    fn image_batch_is_nchw() {
+        let ds = Dataset::cifar_like(tiny());
+        let (x, _) = ds.train_batch_images(&[0, 1, 2]);
+        assert_eq!(x.shape(), &[3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn noise_increases_sample_spread() {
+        let quiet = Dataset::cifar_like(CifarLikeConfig { noise: 0.1, ..tiny() });
+        let loud = Dataset::cifar_like(CifarLikeConfig { noise: 2.0, ..tiny() });
+        // Same class samples (0 and 4): spread grows with noise.
+        let dim = quiet.dim();
+        let d = |ds: &Dataset| {
+            let a = &ds.x_train().data()[0..dim];
+            let b = &ds.x_train().data()[4 * dim..5 * dim];
+            a.iter().zip(b).map(|(x, y)| ((x - y) as f64).powi(2)).sum::<f64>()
+        };
+        assert!(d(&loud) > d(&quiet));
+    }
+}

@@ -1,0 +1,52 @@
+//! Weight initialisation.
+
+use crate::tensor::{Elem, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Xavier/Glorot uniform initialisation: `U(−√(6/(fan_in+fan_out)), +…)`.
+pub fn xavier(shape: &[usize], fan_in: usize, fan_out: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bound = (6.0 / (fan_in + fan_out) as f64).sqrt() as Elem;
+    let data = (0..shape.iter().product::<usize>())
+        .map(|_| (rng.gen::<Elem>() * 2.0 - 1.0) * bound)
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// He/Kaiming uniform initialisation for ReLU stacks: `U(±√(6/fan_in))`.
+pub fn he(shape: &[usize], fan_in: usize, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bound = (6.0 / fan_in as f64).sqrt() as Elem;
+    let data = (0..shape.iter().product::<usize>())
+        .map(|_| (rng.gen::<Elem>() * 2.0 - 1.0) * bound)
+        .collect();
+    Tensor::from_vec(shape, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_values_within_bound() {
+        let t = xavier(&[10, 10], 10, 10, 1);
+        let bound = (6.0f64 / 20.0).sqrt() as Elem;
+        assert!(t.data().iter().all(|v| v.abs() <= bound));
+        // Not all zero.
+        assert!(t.norm_sq() > 0.0);
+    }
+
+    #[test]
+    fn he_values_within_bound() {
+        let t = he(&[8, 4], 8, 2);
+        let bound = (6.0f64 / 8.0).sqrt() as Elem;
+        assert!(t.data().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(xavier(&[4, 4], 4, 4, 7), xavier(&[4, 4], 4, 4, 7));
+        assert_ne!(xavier(&[4, 4], 4, 4, 7), xavier(&[4, 4], 4, 4, 8));
+    }
+}

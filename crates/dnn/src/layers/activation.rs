@@ -1,0 +1,211 @@
+//! Activation layers.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// Rectified linear unit, applied elementwise.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    /// Mask of positive inputs from the last forward pass.
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// A fresh ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut y = x.clone();
+        self.mask.clear();
+        self.mask.reserve(x.len());
+        for v in y.data_mut() {
+            let pos = *v > 0.0;
+            self.mask.push(pos);
+            if !pos {
+                *v = 0.0;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.mask.len(), "backward before forward");
+        let mut g = grad_out.clone();
+        for (v, &keep) in g.data_mut().iter_mut().zip(&self.mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    /// Cached outputs from the last forward pass (tanh' = 1 − tanh²).
+    cached_out: Vec<f32>,
+}
+
+impl Tanh {
+    /// A fresh tanh layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut y = x.clone();
+        for v in y.data_mut() {
+            *v = v.tanh();
+        }
+        self.cached_out = y.data().to_vec();
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.cached_out.len(), "backward before forward");
+        let mut g = grad_out.clone();
+        for (v, &o) in g.data_mut().iter_mut().zip(&self.cached_out) {
+            *v *= 1.0 - o * o;
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+}
+
+/// Logistic sigmoid activation.
+#[derive(Debug, Clone, Default)]
+pub struct Sigmoid {
+    /// Cached outputs from the last forward pass (σ' = σ(1 − σ)).
+    cached_out: Vec<f32>,
+}
+
+impl Sigmoid {
+    /// A fresh sigmoid layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut y = x.clone();
+        for v in y.data_mut() {
+            *v = 1.0 / (1.0 + (-*v).exp());
+        }
+        self.cached_out = y.data().to_vec();
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.cached_out.len(), "backward before forward");
+        let mut g = grad_out.clone();
+        for (v, &o) in g.data_mut().iter_mut().zip(&self.cached_out) {
+            *v *= o * (1.0 - o);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut l = Relu::new();
+        let x = Tensor::from_vec(&[1, 4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = l.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut l = Relu::new();
+        let x = Tensor::from_vec(&[1, 3], vec![-1.0, 1.0, 2.0]);
+        l.forward(&x);
+        let g = l.backward(&Tensor::from_vec(&[1, 3], vec![5.0, 5.0, 5.0]));
+        assert_eq!(g.data(), &[0.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn gradient_check_away_from_kink() {
+        let mut l = Relu::new();
+        // Values far from zero so finite differences don't straddle the kink.
+        let x = Tensor::from_vec(&[2, 4], vec![-2.0, 3.0, -1.5, 2.5, 4.0, -3.0, 1.5, -2.5]);
+        gradcheck::check_input_gradient(&mut l, &x, 1e-2);
+    }
+
+    #[test]
+    fn tanh_forward_and_gradient_check() {
+        let mut l = Tanh::new();
+        let x = Tensor::from_vec(&[1, 3], vec![-1.0, 0.0, 2.0]);
+        let y = l.forward(&x);
+        assert!((y.data()[0] - (-1.0f32).tanh()).abs() < 1e-7);
+        assert_eq!(y.data()[1], 0.0);
+        gradcheck::check_input_gradient(&mut l, &x, 1e-2);
+    }
+
+    #[test]
+    fn sigmoid_forward_and_gradient_check() {
+        let mut l = Sigmoid::new();
+        let x = Tensor::from_vec(&[2, 2], vec![-2.0, 0.0, 1.0, 3.0]);
+        let y = l.forward(&x);
+        assert_eq!(y.data()[1], 0.5);
+        assert!(y.data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        gradcheck::check_input_gradient(&mut l, &x, 1e-2);
+    }
+
+    #[test]
+    fn saturating_activations_have_small_tail_gradients() {
+        let mut l = Sigmoid::new();
+        let x = Tensor::from_vec(&[1, 2], vec![20.0, -20.0]);
+        l.forward(&x);
+        let g = l.backward(&Tensor::from_vec(&[1, 2], vec![1.0, 1.0]));
+        assert!(g.data().iter().all(|&v| v.abs() < 1e-6), "{:?}", g.data());
+    }
+
+    #[test]
+    fn has_no_params() {
+        let mut l = Relu::new();
+        assert!(l.params_mut().is_empty());
+        assert_eq!(l.n_params(), 0);
+        assert_eq!(l.name(), "relu");
+    }
+}

@@ -1,0 +1,245 @@
+//! 2-D convolution via im2col + GEMM, the standard CPU lowering used by
+//! Caffe (the paper's §IV-C: "the computational kernels of deep learning
+//! are mainly matrix-matrix multiply").
+
+use crate::init;
+use crate::layers::Layer;
+use crate::tensor::{Elem, Tensor};
+
+/// 2-D convolution over `[batch, in_c, h, w]` tensors, stride 1,
+/// symmetric zero padding.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    pad: usize,
+    /// Weights `[out_c, in_c * k * k]` (im2col layout).
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// He-initialised convolution.
+    pub fn new(in_c: usize, out_c: usize, k: usize, pad: usize, seed: u64) -> Self {
+        let fan_in = in_c * k * k;
+        Self {
+            in_c,
+            out_c,
+            k,
+            pad,
+            weight: init::he(&[out_c, fan_in], fan_in, seed),
+            bias: Tensor::zeros(&[out_c]),
+            grad_weight: Tensor::zeros(&[out_c, fan_in]),
+            grad_bias: Tensor::zeros(&[out_c]),
+            cached_input: None,
+        }
+    }
+
+    /// Output spatial size for an input of `h x w`.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h + 2 * self.pad + 1 - self.k, w + 2 * self.pad + 1 - self.k)
+    }
+
+    /// im2col for one sample: `[in_c*k*k, oh*ow]`.
+    fn im2col(&self, x: &[Elem], h: usize, w: usize) -> Tensor {
+        let (oh, ow) = self.out_hw(h, w);
+        let kk = self.k * self.k;
+        let mut col = Tensor::zeros(&[self.in_c * kk, oh * ow]);
+        let cd = col.data_mut();
+        for c in 0..self.in_c {
+            let plane = &x[c * h * w..(c + 1) * h * w];
+            for ky in 0..self.k {
+                for kx in 0..self.k {
+                    let row = (c * kk + ky * self.k + kx) * (oh * ow);
+                    for oy in 0..oh {
+                        let iy = (oy + ky) as isize - self.pad as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = (ox + kx) as isize - self.pad as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            cd[row + oy * ow + ox] = plane[iy as usize * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+        col
+    }
+
+    /// col2im accumulate for one sample.
+    fn col2im(&self, col: &Tensor, h: usize, w: usize, out: &mut [Elem]) {
+        let (oh, ow) = self.out_hw(h, w);
+        let kk = self.k * self.k;
+        let cd = col.data();
+        for c in 0..self.in_c {
+            let plane = &mut out[c * h * w..(c + 1) * h * w];
+            for ky in 0..self.k {
+                for kx in 0..self.k {
+                    let row = (c * kk + ky * self.k + kx) * (oh * ow);
+                    for oy in 0..oh {
+                        let iy = (oy + ky) as isize - self.pad as isize;
+                        if iy < 0 || iy as usize >= h {
+                            continue;
+                        }
+                        for ox in 0..ow {
+                            let ix = (ox + kx) as isize - self.pad as isize;
+                            if ix < 0 || ix as usize >= w {
+                                continue;
+                            }
+                            plane[iy as usize * w + ix as usize] += cd[row + oy * ow + ox];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let [b, in_c, h, w] = x.shape() else { panic!("conv expects NCHW input") };
+        let (b, in_c, h, w) = (*b, *in_c, *h, *w);
+        assert_eq!(in_c, self.in_c, "channel mismatch");
+        let (oh, ow) = self.out_hw(h, w);
+        let mut y = Tensor::zeros(&[b, self.out_c, oh, ow]);
+        for s in 0..b {
+            let sample = &x.data()[s * in_c * h * w..(s + 1) * in_c * h * w];
+            let col = self.im2col(sample, h, w);
+            let out = crate::tensor::matmul(&self.weight, &col); // [out_c, oh*ow]
+            let dst = &mut y.data_mut()[s * self.out_c * oh * ow..(s + 1) * self.out_c * oh * ow];
+            for oc in 0..self.out_c {
+                let bias = self.bias.data()[oc];
+                let src = &out.data()[oc * oh * ow..(oc + 1) * oh * ow];
+                let d = &mut dst[oc * oh * ow..(oc + 1) * oh * ow];
+                for (dv, &sv) in d.iter_mut().zip(src) {
+                    *dv = sv + bias;
+                }
+            }
+        }
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before forward").clone();
+        let [b, in_c, h, w] = x.shape() else { unreachable!() };
+        let (b, in_c, h, w) = (*b, *in_c, *h, *w);
+        let (oh, ow) = self.out_hw(h, w);
+        let mut grad_in = Tensor::zeros(&[b, in_c, h, w]);
+        for s in 0..b {
+            let sample = &x.data()[s * in_c * h * w..(s + 1) * in_c * h * w];
+            let col = self.im2col(sample, h, w);
+            let g = Tensor::from_vec(
+                &[self.out_c, oh * ow],
+                grad_out.data()[s * self.out_c * oh * ow..(s + 1) * self.out_c * oh * ow]
+                    .to_vec(),
+            );
+            // dW += g · colᵀ ; dcol = Wᵀ · g ; db += row sums of g.
+            self.grad_weight.add_assign(&crate::tensor::matmul_nt(&g, &col));
+            for oc in 0..self.out_c {
+                let sum: Elem = g.data()[oc * oh * ow..(oc + 1) * oh * ow].iter().sum();
+                self.grad_bias.data_mut()[oc] += sum;
+            }
+            let dcol = crate::tensor::matmul_tn(&self.weight, &g);
+            let dst = &mut grad_in.data_mut()[s * in_c * h * w..(s + 1) * in_c * h * w];
+            self.col2im(&dcol, h, w, dst);
+        }
+        grad_in
+    }
+
+    fn params_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![
+            (&mut self.weight, &mut self.grad_weight),
+            (&mut self.bias, &mut self.grad_bias),
+        ]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.data_mut().fill(0.0);
+        self.grad_bias.data_mut().fill(0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 kernel with weight 1: output = input (+0 bias).
+        let mut l = Conv2d::new(1, 1, 1, 0, 1);
+        l.weight.data_mut()[0] = 1.0;
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution() {
+        // 3x3 all-ones kernel, pad 1: each output = sum of the 3x3
+        // neighbourhood.
+        let mut l = Conv2d::new(1, 1, 3, 1, 2);
+        l.weight.data_mut().fill(1.0);
+        let x = Tensor::from_vec(&[1, 1, 3, 3], (1..=9).map(|v| v as Elem).collect());
+        let y = l.forward(&x);
+        // Centre output = 1+2+…+9 = 45; corner (0,0) = 1+2+4+5 = 12.
+        assert_eq!(y.at(0, 4), 45.0);
+        assert_eq!(y.data()[0], 12.0);
+    }
+
+    #[test]
+    fn output_shape_with_padding() {
+        let l = Conv2d::new(3, 8, 5, 2, 3);
+        assert_eq!(l.out_hw(16, 16), (16, 16));
+        let l2 = Conv2d::new(3, 8, 3, 0, 3);
+        assert_eq!(l2.out_hw(16, 16), (14, 14));
+    }
+
+    #[test]
+    fn input_gradient_checks() {
+        let mut l = Conv2d::new(2, 3, 3, 1, 4);
+        let x = Tensor::from_vec(
+            &[2, 2, 4, 4],
+            (0..64).map(|i| ((i * 7) % 11) as Elem / 11.0 - 0.5).collect(),
+        );
+        gradcheck::check_input_gradient(&mut l, &x, 2e-2);
+    }
+
+    #[test]
+    fn param_gradient_checks() {
+        let mut l = Conv2d::new(1, 2, 3, 1, 5);
+        let x = Tensor::from_vec(
+            &[1, 1, 5, 5],
+            (0..25).map(|i| (i as Elem / 25.0).sin()).collect(),
+        );
+        gradcheck::check_param_gradients(&mut l, &x, 2e-2);
+    }
+
+    #[test]
+    fn multi_batch_matches_per_sample() {
+        let mut l = Conv2d::new(1, 2, 3, 1, 6);
+        let a = Tensor::from_vec(&[1, 1, 4, 4], (0..16).map(|i| i as Elem).collect());
+        let b = Tensor::from_vec(&[1, 1, 4, 4], (16..32).map(|i| i as Elem).collect());
+        let ya = l.forward(&a);
+        let yb = l.forward(&b);
+        let mut both = a.data().to_vec();
+        both.extend_from_slice(b.data());
+        let y = l.forward(&Tensor::from_vec(&[2, 1, 4, 4], both));
+        assert_eq!(&y.data()[..ya.len()], ya.data());
+        assert_eq!(&y.data()[ya.len()..], yb.data());
+    }
+}

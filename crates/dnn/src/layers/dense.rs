@@ -1,0 +1,141 @@
+//! Fully-connected layer: `y = x W + b`.
+
+use crate::init;
+use crate::layers::Layer;
+use crate::tensor::{matmul, matmul_nt, matmul_tn, Tensor};
+
+/// Dense (fully-connected) layer with weights `[in, out]` and bias `[out]`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Xavier-initialised layer.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        Self {
+            weight: init::xavier(&[in_dim, out_dim], in_dim, out_dim, seed),
+            bias: Tensor::zeros(&[out_dim]),
+            grad_weight: Tensor::zeros(&[in_dim, out_dim]),
+            grad_bias: Tensor::zeros(&[out_dim]),
+            cached_input: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weight.shape()[1]
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.cols(), self.in_dim(), "dense input width mismatch");
+        let mut y = matmul(x, &self.weight);
+        let out = self.out_dim();
+        for i in 0..y.rows() {
+            let row = &mut y.data_mut()[i * out..(i + 1) * out];
+            for (v, &b) in row.iter_mut().zip(self.bias.data()) {
+                *v += b;
+            }
+        }
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        // dW += xᵀ g, db += Σ_batch g, dx = g Wᵀ.
+        self.grad_weight.add_assign(&matmul_tn(x, grad_out));
+        let out = self.out_dim();
+        for i in 0..grad_out.rows() {
+            let row = &grad_out.data()[i * out..(i + 1) * out];
+            for (b, &g) in self.grad_bias.data_mut().iter_mut().zip(row) {
+                *b += g;
+            }
+        }
+        matmul_nt(grad_out, &self.weight)
+    }
+
+    fn params_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        vec![
+            (&mut self.weight, &mut self.grad_weight),
+            (&mut self.bias, &mut self.grad_bias),
+        ]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.data_mut().fill(0.0);
+        self.grad_bias.data_mut().fill(0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::gradcheck;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut l = Dense::new(3, 2, 1);
+        l.bias.data_mut().copy_from_slice(&[10.0, 20.0]);
+        let x = Tensor::zeros(&[4, 3]);
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), &[4, 2]);
+        // Zero input → bias only.
+        assert_eq!(y.at(0, 0), 10.0);
+        assert_eq!(y.at(3, 1), 20.0);
+    }
+
+    #[test]
+    fn input_gradient_checks() {
+        let mut l = Dense::new(5, 3, 2);
+        let x = Tensor::from_vec(&[2, 5], (0..10).map(|i| i as f32 / 10.0 - 0.4).collect());
+        gradcheck::check_input_gradient(&mut l, &x, 1e-2);
+    }
+
+    #[test]
+    fn param_gradient_checks() {
+        let mut l = Dense::new(4, 3, 3);
+        let x = Tensor::from_vec(&[3, 4], (0..12).map(|i| (i as f32).sin()).collect());
+        gradcheck::check_param_gradients(&mut l, &x, 1e-2);
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut l = Dense::new(2, 2, 4);
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]);
+        let g = Tensor::from_vec(&[1, 2], vec![1.0, 1.0]);
+        l.forward(&x);
+        l.backward(&g);
+        let first = l.grad_weight.clone();
+        l.forward(&x);
+        l.backward(&g);
+        // Doubled after second accumulation.
+        for (a, b) in l.grad_weight.data().iter().zip(first.data()) {
+            assert!((a - 2.0 * b).abs() < 1e-6);
+        }
+        l.zero_grads();
+        assert!(l.grad_weight.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn n_params_counts_weights_and_bias() {
+        let mut l = Dense::new(7, 5, 5);
+        assert_eq!(l.n_params(), 7 * 5 + 5);
+        assert_eq!(l.name(), "dense");
+    }
+}

@@ -1,0 +1,133 @@
+//! Inverted dropout.
+//!
+//! During training each activation is zeroed with probability `p` and the
+//! survivors are scaled by `1/(1−p)`, so evaluation needs no rescaling —
+//! the regulariser behind "generalization gap" mitigation in the
+//! large-batch literature the paper cites (Keskar et al.).
+
+use crate::layers::Layer;
+use crate::tensor::{Elem, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Inverted-dropout layer.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: Elem,
+    rng: StdRng,
+    mask: Vec<bool>,
+    training: bool,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: Elem, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Self { p, rng: StdRng::seed_from_u64(seed), mask: Vec::new(), training: true }
+    }
+
+    /// Drop probability.
+    pub fn p(&self) -> Elem {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        if !self.training || self.p == 0.0 {
+            self.mask.clear();
+            return x.clone();
+        }
+        let scale = 1.0 / (1.0 - self.p);
+        let mut y = x.clone();
+        self.mask.clear();
+        self.mask.reserve(x.len());
+        for v in y.data_mut() {
+            let keep = self.rng.gen::<Elem>() >= self.p;
+            self.mask.push(keep);
+            *v = if keep { *v * scale } else { 0.0 };
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        if self.mask.is_empty() {
+            return grad_out.clone(); // eval mode or p == 0
+        }
+        assert_eq!(grad_out.len(), self.mask.len(), "backward before forward");
+        let scale = 1.0 / (1.0 - self.p);
+        let mut g = grad_out.clone();
+        for (v, &keep) in g.data_mut().iter_mut().zip(&self.mask) {
+            *v = if keep { *v * scale } else { 0.0 };
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut l = Dropout::new(0.5, 1);
+        l.set_training(false);
+        let x = Tensor::from_vec(&[1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(l.forward(&x), x);
+        let g = Tensor::from_vec(&[1, 4], vec![1.0; 4]);
+        assert_eq!(l.backward(&g), g);
+    }
+
+    #[test]
+    fn training_drops_and_scales() {
+        let mut l = Dropout::new(0.5, 2);
+        let x = Tensor::from_vec(&[1, 256], vec![1.0; 256]);
+        let y = l.forward(&x);
+        let dropped = y.data().iter().filter(|&&v| v == 0.0).count();
+        let kept = y.data().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        assert_eq!(dropped + kept, 256, "values are either 0 or scaled by 2");
+        // Roughly half dropped (binomial, wide tolerance).
+        assert!((64..=192).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn backward_uses_the_same_mask() {
+        let mut l = Dropout::new(0.3, 3);
+        let x = Tensor::from_vec(&[1, 64], vec![1.0; 64]);
+        let y = l.forward(&x);
+        let g = l.backward(&Tensor::from_vec(&[1, 64], vec![1.0; 64]));
+        for (yo, go) in y.data().iter().zip(g.data()) {
+            assert_eq!(yo == &0.0, go == &0.0, "mask must match between passes");
+        }
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let mut l = Dropout::new(0.0, 4);
+        let x = Tensor::from_vec(&[2, 3], vec![1.0, -2.0, 3.0, 4.0, -5.0, 6.0]);
+        assert_eq!(l.forward(&x), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn rejects_p_of_one() {
+        let _ = Dropout::new(1.0, 5);
+    }
+}

@@ -1,0 +1,64 @@
+//! Flatten: collapses `[batch, ...]` to `[batch, prod(...)]`.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// Shape adapter between convolutional and dense stacks.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// A fresh flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cached_shape = x.shape().to_vec();
+        let batch = x.shape()[0];
+        let rest: usize = x.shape()[1..].iter().product();
+        x.clone().reshape(&[batch, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(!self.cached_shape.is_empty(), "backward before forward");
+        grad_out.clone().reshape(&self.cached_shape)
+    }
+
+    fn params_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_shape() {
+        let mut l = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), &[2, 48]);
+        let g = l.backward(&y);
+        assert_eq!(g.shape(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn preserves_data_order() {
+        let mut l = Flatten::new();
+        let x = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let y = l.forward(&x);
+        assert_eq!(y.data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+}

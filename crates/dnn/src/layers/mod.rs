@@ -1,0 +1,143 @@
+//! Network layers.
+//!
+//! Every layer owns its parameters and their gradients; `backward`
+//! accumulates parameter gradients and returns the gradient with respect to
+//! the layer input, so a [`crate::net::Network`] is just a stack.
+
+pub mod activation;
+pub mod conv;
+pub mod dense;
+pub mod dropout;
+pub mod flatten;
+pub mod pool;
+pub mod reshape;
+
+pub use activation::{Relu, Sigmoid, Tanh};
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use pool::MaxPool2d;
+pub use reshape::Reshape;
+
+use crate::tensor::Tensor;
+
+/// A differentiable layer.
+pub trait Layer: Send {
+    /// Forward pass; caches whatever `backward` needs.
+    fn forward(&mut self, x: &Tensor) -> Tensor;
+
+    /// Backward pass: accumulates parameter gradients, returns ∂L/∂input.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// `(parameter, gradient)` pairs for the optimiser. Empty for
+    /// parameter-free layers.
+    fn params_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)>;
+
+    /// Clears accumulated gradients.
+    fn zero_grads(&mut self);
+
+    /// Switches between training and evaluation behaviour (dropout etc.).
+    /// Most layers behave identically in both modes.
+    fn set_training(&mut self, _training: bool) {}
+
+    /// Layer name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Number of trainable scalars.
+    fn n_params(&mut self) -> usize {
+        self.params_mut().iter().map(|(p, _)| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    //! Shared finite-difference gradient checker for layer tests.
+
+    use super::Layer;
+    use crate::tensor::{Elem, Tensor};
+
+    /// Checks ∂(Σ out·w)/∂input against central finite differences.
+    pub fn check_input_gradient<L: Layer>(layer: &mut L, x: &Tensor, tol: f64) {
+        let out = layer.forward(x);
+        // Random-ish but deterministic weighting of the output.
+        let w: Vec<Elem> =
+            (0..out.len()).map(|i| ((i * 2654435761) % 17) as Elem / 17.0 - 0.5).collect();
+        let grad_out = Tensor::from_vec(out.shape(), w.clone());
+        layer.zero_grads();
+        let grad_in = layer.backward(&grad_out);
+
+        let eps: Elem = 1e-2;
+        // Probe a spread of input coordinates.
+        let stride = (x.len() / 24).max(1);
+        for idx in (0..x.len()).step_by(stride) {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let fp: f64 = layer
+                .forward(&xp)
+                .data()
+                .iter()
+                .zip(&w)
+                .map(|(&o, &wi)| (o * wi) as f64)
+                .sum();
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fm: f64 = layer
+                .forward(&xm)
+                .data()
+                .iter()
+                .zip(&w)
+                .map(|(&o, &wi)| (o * wi) as f64)
+                .sum();
+            let numeric = (fp - fm) / (2.0 * eps as f64);
+            let analytic = grad_in.data()[idx] as f64;
+            assert!(
+                (numeric - analytic).abs() <= tol * (1.0 + numeric.abs().max(analytic.abs())),
+                "input grad at {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    /// Checks parameter gradients the same way.
+    pub fn check_param_gradients<L: Layer>(layer: &mut L, x: &Tensor, tol: f64) {
+        let out = layer.forward(x);
+        let w: Vec<Elem> =
+            (0..out.len()).map(|i| ((i * 40503) % 13) as Elem / 13.0 - 0.5).collect();
+        let grad_out = Tensor::from_vec(out.shape(), w.clone());
+        layer.zero_grads();
+        let _ = layer.backward(&grad_out);
+
+        let n_groups = layer.params_mut().len();
+        let eps: Elem = 1e-2;
+        for g in 0..n_groups {
+            let len = layer.params_mut()[g].0.len();
+            let stride = (len / 16).max(1);
+            for idx in (0..len).step_by(stride) {
+                let analytic = layer.params_mut()[g].1.data()[idx] as f64;
+                layer.params_mut()[g].0.data_mut()[idx] += eps;
+                let fp: f64 = layer
+                    .forward(x)
+                    .data()
+                    .iter()
+                    .zip(&w)
+                    .map(|(&o, &wi)| (o * wi) as f64)
+                    .sum();
+                layer.params_mut()[g].0.data_mut()[idx] -= 2.0 * eps;
+                let fm: f64 = layer
+                    .forward(x)
+                    .data()
+                    .iter()
+                    .zip(&w)
+                    .map(|(&o, &wi)| (o * wi) as f64)
+                    .sum();
+                layer.params_mut()[g].0.data_mut()[idx] += eps;
+                let numeric = (fp - fm) / (2.0 * eps as f64);
+                assert!(
+                    (numeric - analytic).abs()
+                        <= tol * (1.0 + numeric.abs().max(analytic.abs())),
+                    "param group {g} grad at {idx}: numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+}

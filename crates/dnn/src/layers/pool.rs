@@ -1,0 +1,133 @@
+//! Max pooling.
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// 2-D max pooling over `[batch, c, h, w]`, square window, stride = window.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    k: usize,
+    /// Flat argmax index per output element, from the last forward pass.
+    argmax: Vec<usize>,
+    cached_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Pooling with a `k x k` window.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "window must be positive");
+        Self { k, argmax: Vec::new(), cached_shape: Vec::new() }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let [b, c, h, w] = x.shape() else { panic!("pool expects NCHW input") };
+        let (b, c, h, w) = (*b, *c, *h, *w);
+        assert!(h % self.k == 0 && w % self.k == 0, "input not divisible by window");
+        let (oh, ow) = (h / self.k, w / self.k);
+        let mut y = Tensor::zeros(&[b, c, oh, ow]);
+        self.argmax.clear();
+        self.argmax.reserve(y.len());
+        self.cached_shape = x.shape().to_vec();
+        let xd = x.data();
+        let yd = y.data_mut();
+        for s in 0..b {
+            for ch in 0..c {
+                let plane = (s * c + ch) * h * w;
+                let out_plane = (s * c + ch) * oh * ow;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0;
+                        for ky in 0..self.k {
+                            for kx in 0..self.k {
+                                let idx =
+                                    plane + (oy * self.k + ky) * w + ox * self.k + kx;
+                                if xd[idx] > best {
+                                    best = xd[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        yd[out_plane + oy * ow + ox] = best;
+                        self.argmax.push(best_idx);
+                    }
+                }
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.argmax.len(), "backward before forward");
+        let mut g = Tensor::zeros(&self.cached_shape);
+        let gd = g.data_mut();
+        for (&idx, &go) in self.argmax.iter().zip(grad_out.data()) {
+            gd[idx] += go;
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_maxima() {
+        let mut l = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            &[1, 1, 4, 4],
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+        );
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let mut l = MaxPool2d::new(2);
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1.0, 9.0, 2.0, 3.0]);
+        l.forward(&x);
+        let g = l.backward(&Tensor::from_vec(&[1, 1, 1, 1], vec![5.0]));
+        assert_eq!(g.data(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn rejects_indivisible_input() {
+        let mut l = MaxPool2d::new(2);
+        let _ = l.forward(&Tensor::zeros(&[1, 1, 3, 3]));
+    }
+
+    #[test]
+    fn per_channel_independence() {
+        let mut l = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            &[1, 2, 2, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 40.0, 30.0, 20.0, 10.0],
+        );
+        let y = l.forward(&x);
+        assert_eq!(y.data(), &[4.0, 40.0]);
+    }
+}

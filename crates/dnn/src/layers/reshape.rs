@@ -1,0 +1,78 @@
+//! Reshape: adapts flat `[batch, prod(tail)]` inputs to `[batch, tail…]`
+//! (the inverse of [`crate::layers::Flatten`]), so convolutional stacks
+//! compose with the flat-batch [`crate::train::Trainer`].
+
+use crate::layers::Layer;
+use crate::tensor::Tensor;
+
+/// Shape adapter from flat rows to structured tensors.
+#[derive(Debug, Clone)]
+pub struct Reshape {
+    /// Target shape of one sample (without the batch dimension).
+    tail: Vec<usize>,
+}
+
+impl Reshape {
+    /// Creates a reshape to `[batch, tail…]`.
+    ///
+    /// # Panics
+    /// Panics if the tail is empty or has zero volume.
+    pub fn new(tail: &[usize]) -> Self {
+        assert!(!tail.is_empty(), "tail must be non-empty");
+        assert!(tail.iter().product::<usize>() > 0, "tail must have volume");
+        Self { tail: tail.to_vec() }
+    }
+}
+
+impl Layer for Reshape {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let batch = x.shape()[0];
+        let mut shape = vec![batch];
+        shape.extend_from_slice(&self.tail);
+        x.clone().reshape(&shape)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let batch = grad_out.shape()[0];
+        let flat: usize = self.tail.iter().product();
+        grad_out.clone().reshape(&[batch, flat])
+    }
+
+    fn params_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        Vec::new()
+    }
+
+    fn zero_grads(&mut self) {}
+
+    fn name(&self) -> &'static str {
+        "reshape"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_round_trip() {
+        let mut l = Reshape::new(&[3, 2, 2]);
+        let x = Tensor::zeros(&[5, 12]);
+        let y = l.forward(&x);
+        assert_eq!(y.shape(), &[5, 3, 2, 2]);
+        let g = l.backward(&y);
+        assert_eq!(g.shape(), &[5, 12]);
+    }
+
+    #[test]
+    fn data_order_is_preserved() {
+        let mut l = Reshape::new(&[2, 2]);
+        let x = Tensor::from_vec(&[1, 4], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(l.forward(&x).data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "volume")]
+    fn rejects_zero_volume() {
+        let _ = Reshape::new(&[0, 3]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Softmax cross-entropy loss.
+
+// Batch loops index logits rows and labels together.
+#![allow(clippy::needless_range_loop)]
+
+use crate::tensor::{Elem, Tensor};
+
+/// Computes mean softmax cross-entropy over a batch of logits `[B, K]` with
+/// integer class labels, returning `(loss, ∂loss/∂logits)`.
+///
+/// The gradient is already divided by the batch size, so downstream layers
+/// receive the mean-gradient convention the SGD update (eq. 8) expects.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f64, Tensor) {
+    let (b, k) = (logits.rows(), logits.cols());
+    assert_eq!(labels.len(), b, "one label per batch row");
+    let mut grad = Tensor::zeros(&[b, k]);
+    let mut loss = 0.0f64;
+    for i in 0..b {
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let label = labels[i];
+        assert!(label < k, "label {label} out of range for {k} classes");
+        // Numerically stable softmax.
+        let max = row.iter().fold(Elem::NEG_INFINITY, |a, &v| a.max(v));
+        let exps: Vec<f64> = row.iter().map(|&v| ((v - max) as f64).exp()).collect();
+        let sum: f64 = exps.iter().sum();
+        loss += -(exps[label] / sum).ln();
+        let grow = &mut grad.data_mut()[i * k..(i + 1) * k];
+        for (j, g) in grow.iter_mut().enumerate() {
+            let p = (exps[j] / sum) as Elem;
+            *g = (p - if j == label { 1.0 } else { 0.0 }) / b as Elem;
+        }
+    }
+    (loss / b as f64, grad)
+}
+
+/// Index of the max logit per row.
+pub fn argmax_rows(logits: &Tensor) -> Vec<usize> {
+    let (b, k) = (logits.rows(), logits.cols());
+    (0..b)
+        .map(|i| {
+            let row = &logits.data()[i * k..(i + 1) * k];
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+                .map(|(j, _)| j)
+                .expect("non-empty row")
+        })
+        .collect()
+}
+
+/// Fraction of rows whose argmax equals the label.
+pub fn classification_accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    let preds = argmax_rows(logits);
+    assert_eq!(preds.len(), labels.len());
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len() as f64
+}
+
+/// k×k confusion matrix: `counts[true * k + predicted]`.
+pub fn confusion_matrix(logits: &Tensor, labels: &[usize], k: usize) -> Vec<usize> {
+    let preds = argmax_rows(logits);
+    assert_eq!(preds.len(), labels.len());
+    let mut counts = vec![0usize; k * k];
+    for (&p, &t) in preds.iter().zip(labels) {
+        assert!(t < k && p < k, "label/prediction out of range");
+        counts[t * k + p] += 1;
+    }
+    counts
+}
+
+/// Per-class recall from a confusion matrix (empty classes report 0).
+pub fn per_class_recall(confusion: &[usize], k: usize) -> Vec<f64> {
+    assert_eq!(confusion.len(), k * k);
+    (0..k)
+        .map(|c| {
+            let total: usize = confusion[c * k..(c + 1) * k].iter().sum();
+            if total == 0 {
+                0.0
+            } else {
+                confusion[c * k + c] as f64 / total as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(&[1, 3], vec![10.0, 0.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn gradient_is_softmax_minus_onehot_over_batch() {
+        let logits = Tensor::from_vec(&[1, 2], vec![0.0, 0.0]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        assert!((grad.data()[0] - 0.5).abs() < 1e-6);
+        assert!((grad.data()[1] + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(&[2, 3], vec![0.3, -0.1, 0.8, 1.2, 0.0, -0.7]);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for idx in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let (fp, _) = softmax_cross_entropy(&lp, &labels);
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let (fm, _) = softmax_cross_entropy(&lm, &labels);
+            let numeric = (fp - fm) / (2.0 * eps as f64);
+            assert!(
+                (numeric - grad.data()[idx] as f64).abs() < 1e-4,
+                "grad[{idx}]: numeric {numeric} vs {}",
+                grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn stability_with_large_logits() {
+        let logits = Tensor::from_vec(&[1, 2], vec![1000.0, -1000.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite());
+        assert!(grad.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn accuracy_and_argmax() {
+        let logits = Tensor::from_vec(&[2, 3], vec![0.1, 0.9, 0.0, 0.7, 0.1, 0.2]);
+        assert_eq!(argmax_rows(&logits), vec![1, 0]);
+        assert_eq!(classification_accuracy(&logits, &[1, 0]), 1.0);
+        assert_eq!(classification_accuracy(&logits, &[1, 2]), 0.5);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        // Row 0 predicts class 1 (true 0); row 1 predicts 0 (true 0);
+        // row 2 predicts 1 (true 1).
+        let logits = Tensor::from_vec(
+            &[3, 2],
+            vec![0.0, 1.0, 1.0, 0.0, 0.0, 2.0],
+        );
+        let cm = confusion_matrix(&logits, &[0, 0, 1], 2);
+        assert_eq!(cm, vec![1, 1, 0, 1]);
+        let recall = per_class_recall(&cm, 2);
+        assert_eq!(recall, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn per_class_recall_handles_empty_class() {
+        let cm = vec![2, 0, 0, 0]; // class 1 never appears
+        assert_eq!(per_class_recall(&cm, 2), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        let _ = softmax_cross_entropy(&Tensor::zeros(&[1, 2]), &[5]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Sequential network container.
+
+use crate::layers::{Conv2d, Dense, Flatten, Layer, MaxPool2d, Relu};
+use crate::layers::{Dropout, Reshape};
+use crate::tensor::Tensor;
+
+/// A stack of layers executed in order.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        write!(f, "Network({})", names.join(" -> "))
+    }
+}
+
+impl Network {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// A multilayer perceptron: `dims[0] → dims[1] → … → dims.last()`,
+    /// ReLU between layers, raw logits out.
+    pub fn mlp(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let mut net = Self::new();
+        for (i, pair) in dims.windows(2).enumerate() {
+            net = net.push(Dense::new(pair[0], pair[1], seed.wrapping_add(i as u64)));
+            if i + 2 < dims.len() {
+                net = net.push(Relu::new());
+            }
+        }
+        net
+    }
+
+    /// An MLP with inverted dropout after each hidden activation — the
+    /// regularised variant for noisy data.
+    pub fn mlp_dropout(dims: &[usize], drop_p: f32, seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let mut net = Self::new();
+        for (i, pair) in dims.windows(2).enumerate() {
+            net = net.push(Dense::new(pair[0], pair[1], seed.wrapping_add(i as u64)));
+            if i + 2 < dims.len() {
+                net = net.push(Relu::new());
+                net = net.push(Dropout::new(drop_p, seed.wrapping_add(100 + i as u64)));
+            }
+        }
+        net
+    }
+
+    /// A small CIFAR-style convnet for `[B, 3, s, s]` inputs (`s` divisible
+    /// by 4): conv–relu–pool twice, then a dense classifier head. Shaped
+    /// after Caffe's `cifar10_full` at reduced width.
+    pub fn cifar_convnet(side: usize, classes: usize, seed: u64) -> Self {
+        assert!(side.is_multiple_of(4), "side must be divisible by 4");
+        let flat = 8 * (side / 4) * (side / 4);
+        Self::new()
+            .push(Reshape::new(&[3, side, side]))
+            .push(Conv2d::new(3, 8, 3, 1, seed))
+            .push(Relu::new())
+            .push(MaxPool2d::new(2))
+            .push(Conv2d::new(8, 8, 3, 1, seed + 1))
+            .push(Relu::new())
+            .push(MaxPool2d::new(2))
+            .push(Flatten::new())
+            .push(Dense::new(flat, classes, seed + 2))
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total trainable scalars.
+    pub fn n_params(&mut self) -> usize {
+        self.layers.iter_mut().map(|l| l.n_params()).sum()
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur);
+        }
+        cur
+    }
+
+    /// Backward pass; parameter gradients accumulate inside the layers.
+    pub fn backward(&mut self, grad: &Tensor) {
+        let mut cur = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur);
+        }
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Switches every layer between training and evaluation behaviour.
+    pub fn set_training(&mut self, training: bool) {
+        for layer in &mut self.layers {
+            layer.set_training(training);
+        }
+    }
+
+    /// All `(param, grad)` pairs across layers, in a stable order.
+    pub fn params_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    /// Copies all parameters from another network of identical topology.
+    pub fn copy_params_from(&mut self, other: &mut Network) {
+        let theirs: Vec<Vec<f32>> =
+            other.params_mut().iter().map(|(p, _)| p.data().to_vec()).collect();
+        let mut mine = self.params_mut();
+        assert_eq!(mine.len(), theirs.len(), "topology mismatch");
+        for ((p, _), src) in mine.iter_mut().zip(theirs) {
+            p.data_mut().copy_from_slice(&src);
+        }
+    }
+
+    /// Adds `other`'s gradients into this network's gradients (used by the
+    /// data-parallel reduction of §IV-B).
+    pub fn accumulate_grads_from(&mut self, other: &mut Network) {
+        let theirs: Vec<Vec<f32>> =
+            other.params_mut().iter().map(|(_, g)| g.data().to_vec()).collect();
+        let mut mine = self.params_mut();
+        assert_eq!(mine.len(), theirs.len(), "topology mismatch");
+        for ((_, g), src) in mine.iter_mut().zip(theirs) {
+            for (a, b) in g.data_mut().iter_mut().zip(src) {
+                *a += b;
+            }
+        }
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+
+    #[test]
+    fn mlp_builder_shapes() {
+        let mut net = Network::mlp(&[8, 16, 4], 1);
+        assert_eq!(net.depth(), 3); // dense, relu, dense
+        assert_eq!(net.n_params(), 8 * 16 + 16 + 16 * 4 + 4);
+        let y = net.forward(&Tensor::zeros(&[2, 8]));
+        assert_eq!(y.shape(), &[2, 4]);
+    }
+
+    #[test]
+    fn convnet_builder_shapes() {
+        let mut net = Network::cifar_convnet(8, 10, 2);
+        // Flat input: the leading Reshape adapts it for the conv stack.
+        let y = net.forward(&Tensor::zeros(&[2, 3 * 8 * 8]));
+        assert_eq!(y.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn one_sgd_step_reduces_loss() {
+        let mut net = Network::mlp(&[4, 12, 3], 3);
+        let x = Tensor::from_vec(&[6, 4], (0..24).map(|i| (i as f32).cos()).collect());
+        let labels = vec![0usize, 1, 2, 0, 1, 2];
+        let (l0, grad) = softmax_cross_entropy(&net.forward(&x), &labels);
+        net.zero_grads();
+        net.backward(&grad);
+        // Plain gradient step.
+        for (p, g) in net.params_mut() {
+            for (pv, gv) in p.data_mut().iter_mut().zip(g.data()) {
+                *pv -= 0.5 * gv;
+            }
+        }
+        let (l1, _) = softmax_cross_entropy(&net.forward(&x), &labels);
+        assert!(l1 < l0, "loss must drop: {l0} -> {l1}");
+    }
+
+    #[test]
+    fn copy_params_makes_outputs_identical() {
+        let mut a = Network::mlp(&[5, 7, 2], 10);
+        let mut b = Network::mlp(&[5, 7, 2], 99);
+        let x = Tensor::from_vec(&[1, 5], vec![0.1, -0.2, 0.3, 0.4, -0.5]);
+        assert_ne!(a.forward(&x).data(), b.forward(&x).data());
+        b.copy_params_from(&mut a);
+        assert_eq!(a.forward(&x).data(), b.forward(&x).data());
+    }
+
+    #[test]
+    fn accumulate_grads_sums() {
+        let mut a = Network::mlp(&[2, 2], 1);
+        let mut b = Network::mlp(&[2, 2], 1);
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, -1.0]);
+        let (_, g) = softmax_cross_entropy(&a.forward(&x), &[0]);
+        a.zero_grads();
+        a.backward(&g);
+        b.zero_grads();
+        b.forward(&x);
+        b.backward(&g);
+        let before: Vec<f32> = a.params_mut().iter().map(|(_, g)| g.data()[0]).collect();
+        a.accumulate_grads_from(&mut b);
+        let after: Vec<f32> = a.params_mut().iter().map(|(_, g)| g.data()[0]).collect();
+        for (x, y) in before.iter().zip(&after) {
+            assert!((y - 2.0 * x).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn debug_lists_layers() {
+        let net = Network::mlp(&[2, 2, 2], 1);
+        assert_eq!(format!("{net:?}"), "Network(dense -> relu -> dense)");
+    }
+}

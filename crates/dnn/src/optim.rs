@@ -1,0 +1,254 @@
+//! SGD with momentum — the paper's equations (8) and (9):
+//!
+//! ```text
+//! V_{t+1} = µ V_t − α ∆W_t        (8)
+//! W_{t+1} = W_t + V_{t+1}         (9)
+//! ```
+//!
+//! With `µ = 0` the update degenerates to plain SGD, "the original
+//! version" in the paper's words.
+
+use crate::net::Network;
+use crate::tensor::Tensor;
+
+/// Optimiser hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdConfig {
+    /// Learning rate α (the paper's η).
+    pub learning_rate: f32,
+    /// Momentum µ ∈ [0, 1).
+    pub momentum: f32,
+    /// L2 weight decay λ: the gradient becomes `∆W + λW` (Caffe's
+    /// `weight_decay`, 0.004 in the cifar10_full recipe).
+    pub weight_decay: f32,
+    /// Nesterov momentum (Sutskever, Martens, Dahl & Hinton — the paper's
+    /// reference \[24\]): the update applies the velocity *after* the
+    /// momentum step, `W += µV_{t+1} − α∆W`, which looks ahead along the
+    /// momentum direction.
+    pub nesterov: bool,
+}
+
+impl Default for SgdConfig {
+    /// The paper's untuned Caffe baseline: η = 0.001, µ = 0.9.
+    fn default() -> Self {
+        Self { learning_rate: 0.001, momentum: 0.9, weight_decay: 0.0, nesterov: false }
+    }
+}
+
+impl SgdConfig {
+    /// Validates ranges.
+    ///
+    /// # Panics
+    /// Panics on non-positive learning rate or momentum outside `[0, 1)`.
+    pub fn validate(&self) {
+        assert!(self.learning_rate > 0.0, "learning rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.momentum),
+            "momentum must be in [0, 1), got {}",
+            self.momentum
+        );
+        assert!(self.weight_decay >= 0.0, "weight decay must be non-negative");
+    }
+}
+
+/// The optimiser state: one velocity tensor per parameter tensor.
+#[derive(Debug)]
+pub struct Sgd {
+    config: SgdConfig,
+    velocities: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates the optimiser for a given network (velocities start at 0).
+    pub fn new(config: SgdConfig, net: &mut Network) -> Self {
+        config.validate();
+        let velocities = net.params_mut().iter().map(|(p, _)| Tensor::zeros(p.shape())).collect();
+        Self { config, velocities }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> SgdConfig {
+        self.config
+    }
+
+    /// Overrides the learning rate (used by [`crate::schedule::LrSchedule`]
+    /// between epochs; velocities are preserved).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.config.learning_rate = lr;
+    }
+
+    /// Applies equations (8)–(9) to every parameter using the gradients
+    /// currently accumulated in the network.
+    pub fn step(&mut self, net: &mut Network) {
+        let params = net.params_mut();
+        assert_eq!(params.len(), self.velocities.len(), "network topology changed");
+        let (lr, mu, wd) = (
+            self.config.learning_rate,
+            self.config.momentum,
+            self.config.weight_decay,
+        );
+        let nesterov = self.config.nesterov;
+        for ((param, grad), vel) in params.into_iter().zip(&mut self.velocities) {
+            for ((w, &g), v) in
+                param.data_mut().iter_mut().zip(grad.data()).zip(vel.data_mut())
+            {
+                let g = g + wd * *w; // L2 decay folded into the gradient
+                *v = mu * *v - lr * g; // eq. (8)
+                if nesterov {
+                    // Look-ahead form of [24]: step by µV_{t+1} − αg.
+                    *w += mu * *v - lr * g;
+                } else {
+                    *w += *v; // eq. (9)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net() -> Network {
+        Network::mlp(&[1, 1], 7)
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut net = tiny_net();
+        // Set a known weight, zero gradient: decay alone must shrink it.
+        net.params_mut()[0].0.data_mut()[0] = 1.0;
+        let mut opt = Sgd::new(
+            SgdConfig { learning_rate: 0.1, momentum: 0.0, weight_decay: 0.5, nesterov: false },
+            &mut net,
+        );
+        set_grads(&mut net, 0.0);
+        opt.step(&mut net);
+        let w = net.params_mut()[0].0.data()[0];
+        assert!((w - 0.95).abs() < 1e-6, "w = {w}"); // 1 - 0.1*0.5*1
+    }
+
+    #[test]
+    fn set_learning_rate_changes_future_steps() {
+        let mut net = tiny_net();
+        let w0 = net.params_mut()[0].0.data()[0];
+        let mut opt =
+            Sgd::new(SgdConfig { learning_rate: 0.1, momentum: 0.0, weight_decay: 0.0, nesterov: false }, &mut net);
+        opt.set_learning_rate(0.2);
+        set_grads(&mut net, 1.0);
+        opt.step(&mut net);
+        let w = net.params_mut()[0].0.data()[0];
+        assert!((w - (w0 - 0.2)).abs() < 1e-6);
+    }
+
+    fn set_grads(net: &mut Network, value: f32) {
+        for (_, g) in net.params_mut() {
+            g.data_mut().fill(value);
+        }
+    }
+
+    #[test]
+    fn zero_momentum_is_plain_sgd() {
+        let mut net = tiny_net();
+        let w0: Vec<f32> = net.params_mut().iter().map(|(p, _)| p.data()[0]).collect();
+        let mut opt = Sgd::new(SgdConfig { learning_rate: 0.1, momentum: 0.0, weight_decay: 0.0, nesterov: false }, &mut net);
+        set_grads(&mut net, 2.0);
+        opt.step(&mut net);
+        for ((p, _), w) in net.params_mut().iter().zip(&w0) {
+            assert!((p.data()[0] - (w - 0.2)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut net = tiny_net();
+        let w0 = net.params_mut()[0].0.data()[0];
+        let mut opt = Sgd::new(SgdConfig { learning_rate: 0.1, momentum: 0.5, weight_decay: 0.0, nesterov: false }, &mut net);
+        set_grads(&mut net, 1.0);
+        opt.step(&mut net); // v = -0.1, w = w0 - 0.1
+        set_grads(&mut net, 1.0);
+        opt.step(&mut net); // v = -0.15, w = w0 - 0.25
+        let w = net.params_mut()[0].0.data()[0];
+        assert!((w - (w0 - 0.25)).abs() < 1e-6, "w0 {w0} -> {w}");
+    }
+
+    #[test]
+    fn momentum_coasts_when_gradient_vanishes() {
+        let mut net = tiny_net();
+        let w0 = net.params_mut()[0].0.data()[0];
+        let mut opt = Sgd::new(SgdConfig { learning_rate: 1.0, momentum: 0.9, weight_decay: 0.0, nesterov: false }, &mut net);
+        set_grads(&mut net, 1.0);
+        opt.step(&mut net); // v = -1
+        set_grads(&mut net, 0.0);
+        opt.step(&mut net); // v = -0.9: still moving
+        let w = net.params_mut()[0].0.data()[0];
+        assert!((w - (w0 - 1.9)).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be in [0, 1)")]
+    fn rejects_momentum_of_one() {
+        let mut net = tiny_net();
+        let _ = Sgd::new(SgdConfig { learning_rate: 0.1, momentum: 1.0, weight_decay: 0.0, nesterov: false }, &mut net);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn rejects_zero_lr() {
+        let mut net = tiny_net();
+        let _ = Sgd::new(SgdConfig { learning_rate: 0.0, momentum: 0.5, weight_decay: 0.0, nesterov: false }, &mut net);
+    }
+
+    #[test]
+    fn nesterov_steps_further_along_persistent_gradients() {
+        // With a constant gradient the Nesterov update moves farther per
+        // step than classical momentum (it adds the look-ahead µV term).
+        let run = |nesterov: bool| -> f32 {
+            let mut net = tiny_net();
+            let w0 = net.params_mut()[0].0.data()[0];
+            let mut opt = Sgd::new(
+                SgdConfig {
+                    learning_rate: 0.1,
+                    momentum: 0.9,
+                    weight_decay: 0.0,
+                    nesterov,
+                },
+                &mut net,
+            );
+            for _ in 0..3 {
+                set_grads(&mut net, 1.0);
+                opt.step(&mut net);
+            }
+            w0 - net.params_mut()[0].0.data()[0]
+        };
+        let classical = run(false);
+        let nesterov = run(true);
+        assert!(
+            nesterov > classical,
+            "nesterov displacement {nesterov} vs classical {classical}"
+        );
+    }
+
+    #[test]
+    fn nesterov_first_step_is_scaled_by_one_plus_mu() {
+        let mut net = tiny_net();
+        let w0 = net.params_mut()[0].0.data()[0];
+        let mut opt = Sgd::new(
+            SgdConfig { learning_rate: 0.1, momentum: 0.5, weight_decay: 0.0, nesterov: true },
+            &mut net,
+        );
+        set_grads(&mut net, 1.0);
+        opt.step(&mut net);
+        // v = -0.1; w += 0.5*(-0.1) - 0.1 = -0.15.
+        let w = net.params_mut()[0].0.data()[0];
+        assert!((w - (w0 - 0.15)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_matches_caffe_baseline() {
+        let c = SgdConfig::default();
+        assert_eq!(c.learning_rate, 0.001);
+        assert_eq!(c.momentum, 0.9);
+    }
+}

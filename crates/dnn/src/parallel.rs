@@ -1,0 +1,193 @@
+//! Data-parallel gradient computation (paper §IV-B).
+//!
+//! "Our parallel strategy is divide-and-conquer for the data and
+//! replication for the weights. … At each iteration, we partition a batch
+//! of B samples and each worker gets B/P samples. … After a global sum
+//! reduce operation, each worker will get Σ ∆W_i. Then each worker can
+//! update their local weights by W = W − η Σ ∆W_i / P."
+//!
+//! Here the replicas live on crossbeam scoped threads (standing in for the
+//! DGX station's four P100s connected by NCCL) and the sum-reduce is an
+//! in-process gradient accumulation. Because the per-shard loss gradients
+//! are weighted by shard size, the reduced gradient is *bitwise comparable*
+//! (up to float summation order) to the single-worker full-batch gradient —
+//! which the tests verify.
+
+use crate::loss::softmax_cross_entropy;
+use crate::net::Network;
+use crate::tensor::Tensor;
+
+/// A pool of weight replicas for data-parallel gradient evaluation.
+pub struct WorkerPool {
+    replicas: Vec<Network>,
+}
+
+impl WorkerPool {
+    /// Builds `workers` replicas from a topology factory. The factory must
+    /// produce networks of identical topology (weights are overwritten on
+    /// every step).
+    pub fn new(factory: impl Fn() -> Network, workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        Self { replicas: (0..workers).map(|_| factory()).collect() }
+    }
+
+    /// Number of replicas.
+    pub fn workers(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Computes the full-batch mean-loss gradient of `master` over
+    /// `(x, labels)` by sharding the batch across the replicas, running
+    /// them concurrently, and sum-reducing into `master`'s gradient
+    /// buffers. `master.zero_grads()` is called internally.
+    ///
+    /// Returns the mean loss over the whole batch.
+    pub fn reduce_gradients(
+        &mut self,
+        master: &mut Network,
+        x: &Tensor,
+        labels: &[usize],
+    ) -> f64 {
+        let b = x.rows();
+        assert_eq!(labels.len(), b, "one label per row");
+        assert!(b >= 1, "empty batch");
+        let p = self.replicas.len().min(b);
+        let dim = x.cols();
+
+        // Replicate the weights (the "replication for the weights" half).
+        for replica in &mut self.replicas[..p] {
+            replica.copy_params_from(master);
+        }
+
+        // Shard boundaries: contiguous, sizes differing by at most one.
+        let base = b / p;
+        let extra = b % p;
+        let mut shards: Vec<(usize, usize)> = Vec::with_capacity(p);
+        let mut start = 0;
+        for w in 0..p {
+            let len = base + usize::from(w < extra);
+            shards.push((start, len));
+            start += len;
+        }
+
+        // Each worker computes its shard's *sum* gradient = mean · len.
+        let losses: Vec<f64> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = self.replicas[..p]
+                .iter_mut()
+                .zip(&shards)
+                .map(|(replica, &(start, len))| {
+                    s.spawn(move |_| {
+                        let xs = Tensor::from_vec(
+                            &[len, dim],
+                            x.data()[start * dim..(start + len) * dim].to_vec(),
+                        );
+                        let ys = &labels[start..start + len];
+                        let logits = replica.forward(&xs);
+                        let (loss, mut grad) = softmax_cross_entropy(&logits, ys);
+                        // Convert shard-mean gradient into batch-weighted
+                        // contribution: scale by len / B.
+                        grad.scale(len as f32 / b as f32);
+                        replica.zero_grads();
+                        replica.backward(&grad);
+                        loss * len as f64
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("scope panicked");
+
+        // Global sum-reduce into the master's gradient buffers.
+        master.zero_grads();
+        for replica in &mut self.replicas[..p] {
+            master.accumulate_grads_from(replica);
+        }
+        losses.iter().sum::<f64>() / b as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{CifarLikeConfig, Dataset};
+    use crate::optim::{Sgd, SgdConfig};
+
+    fn dataset() -> Dataset {
+        Dataset::cifar_like(CifarLikeConfig {
+            classes: 3,
+            side: 4,
+            train: 24,
+            test: 12,
+            noise: 0.5,
+            ..Default::default()
+        })
+    }
+
+    fn factory(ds: &Dataset) -> impl Fn() -> Network + '_ {
+        move || Network::mlp(&[ds.dim(), 8, ds.classes()], 17)
+    }
+
+    #[test]
+    fn parallel_gradient_equals_serial_gradient() {
+        let ds = dataset();
+        let (x, y) = ds.train_batch(&(0..16).collect::<Vec<_>>());
+
+        // Serial reference.
+        let mut serial = Network::mlp(&[ds.dim(), 8, ds.classes()], 17);
+        let logits = serial.forward(&x);
+        let (serial_loss, grad) = softmax_cross_entropy(&logits, &y);
+        serial.zero_grads();
+        serial.backward(&grad);
+        let serial_grads: Vec<Vec<f32>> =
+            serial.params_mut().iter().map(|(_, g)| g.data().to_vec()).collect();
+
+        for workers in [1usize, 2, 3, 4] {
+            let mut master = Network::mlp(&[ds.dim(), 8, ds.classes()], 17);
+            let mut pool = WorkerPool::new(factory(&ds), workers);
+            let loss = pool.reduce_gradients(&mut master, &x, &y);
+            assert!((loss - serial_loss).abs() < 1e-6, "loss with {workers} workers");
+            for ((_, g), sref) in master.params_mut().iter().zip(&serial_grads) {
+                for (a, b) in g.data().iter().zip(sref) {
+                    assert!(
+                        (a - b).abs() < 1e-5,
+                        "{workers} workers: grad {a} vs serial {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn more_workers_than_samples_is_capped() {
+        let ds = dataset();
+        let (x, y) = ds.train_batch(&[0, 1]);
+        let mut master = Network::mlp(&[ds.dim(), 8, ds.classes()], 17);
+        let mut pool = WorkerPool::new(factory(&ds), 8);
+        let loss = pool.reduce_gradients(&mut master, &x, &y);
+        assert!(loss.is_finite());
+    }
+
+    #[test]
+    fn parallel_training_step_converges_like_serial() {
+        let ds = dataset();
+        let idx: Vec<usize> = (0..ds.n_train()).collect();
+        let (x, y) = ds.train_batch(&idx);
+
+        let run = |workers: usize| -> Vec<f32> {
+            let mut master = Network::mlp(&[ds.dim(), 8, ds.classes()], 17);
+            let mut pool = WorkerPool::new(factory(&ds), workers);
+            let mut opt =
+                Sgd::new(SgdConfig { learning_rate: 0.05, momentum: 0.9, weight_decay: 0.0, nesterov: false }, &mut master);
+            for _ in 0..5 {
+                pool.reduce_gradients(&mut master, &x, &y);
+                opt.step(&mut master);
+            }
+            master.params_mut().iter().map(|(p, _)| p.data()[0]).collect()
+        };
+        let w1 = run(1);
+        let w4 = run(4);
+        for (a, b) in w1.iter().zip(&w4) {
+            assert!((a - b).abs() < 1e-4, "5 steps diverged: {a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Learning-rate schedules.
+//!
+//! Caffe's `cifar10_full` recipe — the paper's baseline — drops the
+//! learning rate in steps late in training; any serious reproduction of
+//! "tune the learning rate" needs schedules as well as the base rate.
+
+/// How the learning rate evolves over epochs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum LrSchedule {
+    /// Constant rate (the paper's tuning experiments hold it fixed).
+    #[default]
+    Constant,
+    /// Multiply by `factor` every `every_epochs` epochs (Caffe's "step").
+    StepDecay {
+        /// Epoch interval between drops.
+        every_epochs: usize,
+        /// Multiplicative factor applied at each drop (< 1).
+        factor: f32,
+    },
+    /// `base · rate^epoch` (Caffe's "exp").
+    Exponential {
+        /// Per-epoch multiplicative rate (< 1 decays).
+        rate: f32,
+    },
+}
+
+
+impl LrSchedule {
+    /// Learning rate at the given 0-based epoch.
+    pub fn rate_at(&self, base: f32, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => base,
+            LrSchedule::StepDecay { every_epochs, factor } => {
+                assert!(every_epochs > 0, "step interval must be positive");
+                base * factor.powi((epoch / every_epochs) as i32)
+            }
+            LrSchedule::Exponential { rate } => base * rate.powi(epoch as i32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_changes() {
+        let s = LrSchedule::Constant;
+        assert_eq!(s.rate_at(0.1, 0), 0.1);
+        assert_eq!(s.rate_at(0.1, 100), 0.1);
+    }
+
+    #[test]
+    fn step_decay_drops_at_boundaries() {
+        let s = LrSchedule::StepDecay { every_epochs: 10, factor: 0.1 };
+        assert_eq!(s.rate_at(1.0, 0), 1.0);
+        assert_eq!(s.rate_at(1.0, 9), 1.0);
+        assert!((s.rate_at(1.0, 10) - 0.1).abs() < 1e-7);
+        assert!((s.rate_at(1.0, 25) - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn exponential_decays_smoothly() {
+        let s = LrSchedule::Exponential { rate: 0.5 };
+        assert_eq!(s.rate_at(1.0, 0), 1.0);
+        assert_eq!(s.rate_at(1.0, 1), 0.5);
+        assert_eq!(s.rate_at(1.0, 3), 0.125);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn step_rejects_zero_interval() {
+        let _ = LrSchedule::StepDecay { every_epochs: 0, factor: 0.5 }.rate_at(1.0, 1);
+    }
+}

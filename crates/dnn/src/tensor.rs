@@ -1,0 +1,276 @@
+//! Minimal dense tensor with the operations the layers need.
+//!
+//! Deep-learning kernels are "mainly matrix-matrix multiply" (§IV-C), so
+//! the core of this module is a cache-blocked single-precision GEMM.
+
+/// Element type for DNN computation (Caffe default is also f32).
+pub type Elem = f32;
+
+/// A dense tensor: row-major data plus an explicit shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<Elem>,
+}
+
+impl Tensor {
+    /// A tensor of zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+    }
+
+    /// Builds from a flat buffer.
+    ///
+    /// # Panics
+    /// Panics if the buffer length does not match the shape volume.
+    pub fn from_vec(shape: &[usize], data: Vec<Elem>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "buffer length does not match shape {shape:?}"
+        );
+        Self { shape: shape.to_vec(), data }
+    }
+
+    /// The shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat immutable data access.
+    #[inline]
+    pub fn data(&self) -> &[Elem] {
+        &self.data
+    }
+
+    /// Flat mutable data access.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [Elem] {
+        &mut self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal volume.
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        assert_eq!(
+            self.data.len(),
+            shape.iter().product::<usize>(),
+            "reshape to {shape:?} changes volume"
+        );
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// 2-D row count (first dim).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.shape[0]
+    }
+
+    /// 2-D column count (product of trailing dims).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.shape[1..].iter().product()
+    }
+
+    /// Element of a 2-D tensor.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> Elem {
+        self.data[i * self.cols() + j]
+    }
+
+    /// In-place elementwise add of a same-shaped tensor.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scale by a constant.
+    pub fn scale(&mut self, k: Elem) {
+        for a in &mut self.data {
+            *a *= k;
+        }
+    }
+
+    /// Sum of squared elements.
+    pub fn norm_sq(&self) -> f64 {
+        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum()
+    }
+}
+
+/// `C = A · B` for 2-D tensors (`A: m×k`, `B: k×n`), cache-blocked ikj loop.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "inner dimensions differ: {k} vs {kb}");
+    let mut c = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    const BLOCK: usize = 64;
+    for i0 in (0..m).step_by(BLOCK) {
+        for p0 in (0..k).step_by(BLOCK) {
+            for i in i0..(i0 + BLOCK).min(m) {
+                let crow = &mut cd[i * n..(i + 1) * n];
+                for p in p0..(p0 + BLOCK).min(k) {
+                    let aip = ad[i * k + p];
+                    if aip == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[p * n..(p + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += aip * bv;
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// `C = Aᵀ · B` (`A: k×m`, `B: k×n` → `C: m×n`) without materialising Aᵀ.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = (a.rows(), a.cols());
+    let (kb, n) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "inner dimensions differ: {k} vs {kb}");
+    let mut c = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A · Bᵀ` (`A: m×k`, `B: n×k` → `C: m×n`) without materialising Bᵀ.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.rows(), a.cols());
+    let (n, kb) = (b.rows(), b.cols());
+    assert_eq!(k, kb, "inner dimensions differ: {k} vs {kb}");
+    let mut c = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            cd[i * n + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(rows: usize, cols: usize, v: &[Elem]) -> Tensor {
+        Tensor::from_vec(&[rows, cols], v.to_vec())
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = t2(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).reshape(&[3, 2]);
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at(2, 1), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "changes volume")]
+    fn reshape_rejects_volume_change() {
+        let _ = Tensor::zeros(&[2, 2]).reshape(&[3, 2]);
+    }
+
+    #[test]
+    fn matmul_small_known_product() {
+        let a = t2(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = t2(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        // A is k×m = 3×2; Aᵀ·B with B 3×2.
+        let a = t2(3, 2, &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]); // Aᵀ = [[1,2,3],[4,5,6]]
+        let b = t2(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul_tn(&a, &b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let a = t2(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        // B is n×k = 2×3 so Bᵀ is 3×2 = [[7,10],[8,11],[9,12]]
+        let b = t2(2, 3, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = matmul_nt(&a, &b);
+        assert_eq!(c.data(), &[50.0, 68.0, 122.0, 167.0]);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_on_odd_sizes() {
+        // Sizes that do not divide the 64 block.
+        let m = 65;
+        let k = 67;
+        let n = 3;
+        let a = Tensor::from_vec(&[m, k], (0..m * k).map(|i| (i % 7) as Elem).collect());
+        let b = Tensor::from_vec(&[k, n], (0..k * n).map(|i| (i % 5) as Elem).collect());
+        let c = matmul(&a, &b);
+        for i in [0usize, 31, 64] {
+            for j in 0..n {
+                let expect: Elem = (0..k).map(|p| a.at(i, p) * b.at(p, j)).sum();
+                assert_eq!(c.at(i, j), expect, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn add_scale_norm() {
+        let mut a = t2(1, 3, &[1.0, 2.0, 3.0]);
+        let b = t2(1, 3, &[1.0, 1.0, 1.0]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[2.0, 3.0, 4.0]);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[4.0, 6.0, 8.0]);
+        assert_eq!(a.norm_sq(), 16.0 + 36.0 + 64.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn matmul_rejects_mismatched_shapes() {
+        let _ = matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[2, 2]));
+    }
+}

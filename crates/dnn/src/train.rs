@@ -1,0 +1,398 @@
+//! Minibatch trainer: run SGD until a target test accuracy (the paper's
+//! figure of merit is *time to 0.8 CIFAR-10 accuracy*).
+
+use crate::data::Dataset;
+use crate::loss::{classification_accuracy, softmax_cross_entropy};
+use crate::net::Network;
+use crate::optim::{Sgd, SgdConfig};
+use crate::parallel::WorkerPool;
+use crate::schedule::LrSchedule;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training-loop configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainerConfig {
+    /// Minibatch size `B`.
+    pub batch_size: usize,
+    /// Optimiser settings (η, µ).
+    pub sgd: SgdConfig,
+    /// Stop once test accuracy reaches this.
+    pub target_accuracy: f64,
+    /// Hard cap on epochs.
+    pub max_epochs: usize,
+    /// Learning-rate schedule applied at each epoch boundary.
+    pub schedule: LrSchedule,
+    /// Data-parallel workers per batch (§IV-B divide-and-conquer): each
+    /// batch is sharded across `workers` weight replicas and the gradients
+    /// sum-reduced, exactly like the paper's multi-GPU DGX strategy.
+    /// 1 = serial.
+    pub workers: usize,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    /// The paper's untuned baseline: `B = 100`, η = 0.001, µ = 0.9,
+    /// target accuracy 0.8.
+    fn default() -> Self {
+        Self {
+            batch_size: 100,
+            sgd: SgdConfig::default(),
+            target_accuracy: 0.8,
+            max_epochs: 200,
+            schedule: LrSchedule::Constant,
+            workers: 1,
+            seed: 7,
+        }
+    }
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainOutcome {
+    /// Whether the accuracy target was reached.
+    pub reached: bool,
+    /// SGD iterations (weight updates) executed.
+    pub iterations: usize,
+    /// Epochs completed (fractional if stopping mid-epoch is disabled this
+    /// is integral; evaluation happens at epoch boundaries).
+    pub epochs: usize,
+    /// Test accuracy at the end of the run.
+    pub final_accuracy: f64,
+    /// `(iteration, test accuracy)` at each epoch boundary.
+    pub history: Vec<(usize, f64)>,
+}
+
+/// Runs the minibatch SGD loop on flat `[n, dim]` inputs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Trainer;
+
+impl Trainer {
+    /// Trains `net` on `dataset` under `config`, mutating the network.
+    ///
+    /// With `config.workers > 1` the caller must use
+    /// [`Trainer::run_parallel`] (the worker pool needs a topology
+    /// factory); this serial entry point asserts `workers == 1`.
+    pub fn run(net: &mut Network, dataset: &Dataset, config: &TrainerConfig) -> TrainOutcome {
+        assert_eq!(config.workers, 1, "use Trainer::run_parallel for workers > 1");
+        assert!(config.batch_size >= 1, "batch size must be positive");
+        assert!(config.max_epochs >= 1, "need at least one epoch");
+        let mut opt = Sgd::new(config.sgd, net);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = dataset.n_train();
+        let mut order: Vec<usize> = (0..n).collect();
+
+        let mut iterations = 0usize;
+        let mut history = Vec::new();
+        let mut reached = false;
+        let mut final_accuracy = 0.0;
+        let mut epochs = 0usize;
+
+        for epoch in 0..config.max_epochs {
+            opt.set_learning_rate(config.schedule.rate_at(config.sgd.learning_rate, epoch));
+            net.set_training(true);
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(config.batch_size) {
+                let (x, y) = dataset.train_batch(chunk);
+                let logits = net.forward(&x);
+                let (_, grad) = softmax_cross_entropy(&logits, &y);
+                net.zero_grads();
+                net.backward(&grad);
+                opt.step(net);
+                iterations += 1;
+            }
+            epochs += 1;
+            final_accuracy = evaluate(net, dataset);
+            history.push((iterations, final_accuracy));
+            if final_accuracy >= config.target_accuracy {
+                reached = true;
+                break;
+            }
+        }
+        TrainOutcome { reached, iterations, epochs, final_accuracy, history }
+    }
+
+    /// Data-parallel variant of [`Trainer::run`] (§IV-B): each batch's
+    /// gradient is computed by `config.workers` replicas over batch shards
+    /// and sum-reduced before the SGD step. The `factory` must build the
+    /// same topology as `net` (weights are overwritten each step).
+    ///
+    /// With the same seed this produces the same sequence of updates as
+    /// the serial loop up to floating-point summation order.
+    pub fn run_parallel(
+        net: &mut Network,
+        factory: impl Fn() -> Network,
+        dataset: &Dataset,
+        config: &TrainerConfig,
+    ) -> TrainOutcome {
+        assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.batch_size >= 1, "batch size must be positive");
+        assert!(config.max_epochs >= 1, "need at least one epoch");
+        let mut pool = WorkerPool::new(factory, config.workers);
+        let mut opt = Sgd::new(config.sgd, net);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = dataset.n_train();
+        let mut order: Vec<usize> = (0..n).collect();
+
+        let mut iterations = 0usize;
+        let mut history = Vec::new();
+        let mut reached = false;
+        let mut final_accuracy = 0.0;
+        let mut epochs = 0usize;
+
+        for epoch in 0..config.max_epochs {
+            opt.set_learning_rate(config.schedule.rate_at(config.sgd.learning_rate, epoch));
+            net.set_training(true);
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(config.batch_size) {
+                let (x, y) = dataset.train_batch(chunk);
+                pool.reduce_gradients(net, &x, &y);
+                opt.step(net);
+                iterations += 1;
+            }
+            epochs += 1;
+            final_accuracy = evaluate(net, dataset);
+            history.push((iterations, final_accuracy));
+            if final_accuracy >= config.target_accuracy {
+                reached = true;
+                break;
+            }
+        }
+        TrainOutcome { reached, iterations, epochs, final_accuracy, history }
+    }
+}
+
+/// Test-set accuracy, evaluated in bounded batches (evaluation mode:
+/// dropout and similar layers are disabled).
+pub fn evaluate(net: &mut Network, dataset: &Dataset) -> f64 {
+    net.set_training(false);
+    let n = dataset.n_test();
+    let dim = dataset.dim();
+    let chunk = 256usize;
+    let mut correct = 0.0;
+    let mut seen = 0usize;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + chunk).min(n);
+        let rows = end - start;
+        let x = Tensor::from_vec(
+            &[rows, dim],
+            dataset.x_test().data()[start * dim..end * dim].to_vec(),
+        );
+        let logits = net.forward(&x);
+        let acc = classification_accuracy(&logits, &dataset.y_test()[start..end]);
+        correct += acc * rows as f64;
+        seen += rows;
+        start = end;
+    }
+    correct / seen as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::CifarLikeConfig;
+
+    fn easy_dataset() -> Dataset {
+        Dataset::cifar_like(CifarLikeConfig {
+            classes: 4,
+            side: 4,
+            train: 200,
+            test: 80,
+            noise: 0.3,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn reaches_target_on_easy_data() {
+        let ds = easy_dataset();
+        let mut net = Network::mlp(&[ds.dim(), 32, ds.classes()], 1);
+        let config = TrainerConfig {
+            batch_size: 20,
+            sgd: SgdConfig { learning_rate: 0.05, momentum: 0.9, weight_decay: 0.0, nesterov: false },
+            target_accuracy: 0.9,
+            max_epochs: 50,
+            seed: 3,
+            ..Default::default()
+        };
+        let out = Trainer::run(&mut net, &ds, &config);
+        assert!(out.reached, "accuracy {} after {} epochs", out.final_accuracy, out.epochs);
+        assert!(out.final_accuracy >= 0.9);
+        assert_eq!(out.history.len(), out.epochs);
+        // Iterations = epochs × ceil(n/B).
+        assert_eq!(out.iterations, out.epochs * 10);
+    }
+
+    #[test]
+    fn respects_max_epochs() {
+        let ds = easy_dataset();
+        let mut net = Network::mlp(&[ds.dim(), 8, ds.classes()], 2);
+        let config = TrainerConfig {
+            batch_size: 50,
+            sgd: SgdConfig { learning_rate: 1e-5, momentum: 0.0, weight_decay: 0.0, nesterov: false }, // far too slow
+            target_accuracy: 0.99,
+            max_epochs: 2,
+            seed: 3,
+            ..Default::default()
+        };
+        let out = Trainer::run(&mut net, &ds, &config);
+        assert!(!out.reached);
+        assert_eq!(out.epochs, 2);
+    }
+
+    #[test]
+    fn accuracy_history_is_recorded_per_epoch() {
+        let ds = easy_dataset();
+        let mut net = Network::mlp(&[ds.dim(), 16, ds.classes()], 4);
+        let config = TrainerConfig {
+            batch_size: 40,
+            sgd: SgdConfig { learning_rate: 0.02, momentum: 0.9, weight_decay: 0.0, nesterov: false },
+            target_accuracy: 2.0, // unreachable: run all epochs
+            max_epochs: 3,
+            seed: 5,
+            ..Default::default()
+        };
+        let out = Trainer::run(&mut net, &ds, &config);
+        assert_eq!(out.history.len(), 3);
+        // Iterations grow monotonically in the history.
+        assert!(out.history.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn parallel_trainer_matches_serial_trajectory() {
+        // §IV-B end to end: the 3-worker run must reach the same accuracy
+        // trajectory as the serial run (same seed, same updates up to
+        // float summation order).
+        let ds = easy_dataset();
+        let topo = [ds.dim(), 16, ds.classes()];
+        let config = TrainerConfig {
+            batch_size: 25,
+            sgd: SgdConfig { learning_rate: 0.03, momentum: 0.9, weight_decay: 0.0, nesterov: false },
+            target_accuracy: 2.0,
+            max_epochs: 3,
+            seed: 5,
+            ..Default::default()
+        };
+        let mut serial_net = Network::mlp(&topo, 8);
+        let serial = Trainer::run(&mut serial_net, &ds, &config);
+
+        let par_config = TrainerConfig { workers: 3, ..config };
+        let mut par_net = Network::mlp(&topo, 8);
+        let parallel =
+            Trainer::run_parallel(&mut par_net, || Network::mlp(&topo, 8), &ds, &par_config);
+
+        assert_eq!(serial.iterations, parallel.iterations);
+        assert_eq!(serial.epochs, parallel.epochs);
+        for ((i1, a1), (i2, a2)) in serial.history.iter().zip(&parallel.history) {
+            assert_eq!(i1, i2);
+            assert!((a1 - a2).abs() < 0.05, "epoch accuracy {a1} vs {a2}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "run_parallel")]
+    fn serial_entry_rejects_multiple_workers() {
+        let ds = easy_dataset();
+        let mut net = Network::mlp(&[ds.dim(), ds.classes()], 1);
+        let config = TrainerConfig { workers: 2, max_epochs: 1, ..Default::default() };
+        let _ = Trainer::run(&mut net, &ds, &config);
+    }
+
+    #[test]
+    fn convnet_trains_on_images_end_to_end() {
+        // Tiny conv stack on 8x8 "images" via the flat trainer (the
+        // network's leading Reshape handles the NCHW adaptation).
+        let ds = Dataset::cifar_like(CifarLikeConfig {
+            classes: 3,
+            side: 8,
+            train: 90,
+            test: 45,
+            noise: 0.4,
+            ..Default::default()
+        });
+        let mut net = Network::cifar_convnet(8, 3, 5);
+        let config = TrainerConfig {
+            batch_size: 30,
+            sgd: SgdConfig { learning_rate: 0.05, momentum: 0.9, weight_decay: 0.0, nesterov: false },
+            target_accuracy: 0.8,
+            max_epochs: 25,
+            seed: 3,
+            ..Default::default()
+        };
+        let out = Trainer::run(&mut net, &ds, &config);
+        assert!(
+            out.reached,
+            "convnet accuracy {} after {} epochs",
+            out.final_accuracy,
+            out.epochs
+        );
+    }
+
+    #[test]
+    fn dropout_network_trains_and_evaluates_deterministically() {
+        let ds = easy_dataset();
+        let mut net = Network::mlp_dropout(&[ds.dim(), 32, ds.classes()], 0.2, 21);
+        let config = TrainerConfig {
+            batch_size: 20,
+            sgd: SgdConfig { learning_rate: 0.05, momentum: 0.9, weight_decay: 1e-4, nesterov: false },
+            target_accuracy: 0.85,
+            max_epochs: 60,
+            seed: 3,
+            ..Default::default()
+        };
+        let out = Trainer::run(&mut net, &ds, &config);
+        assert!(out.reached, "dropout net accuracy {}", out.final_accuracy);
+        // Evaluation is deterministic (dropout off).
+        let a = evaluate(&mut net, &ds);
+        let b = evaluate(&mut net, &ds);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn step_decay_schedule_changes_late_epochs() {
+        // With an aggressive step decay, late-epoch weight movement must be
+        // much smaller than with a constant rate.
+        let ds = easy_dataset();
+        let base = TrainerConfig {
+            batch_size: 50,
+            sgd: SgdConfig { learning_rate: 0.05, momentum: 0.0, weight_decay: 0.0, nesterov: false },
+            target_accuracy: 2.0,
+            max_epochs: 6,
+            seed: 3,
+            ..Default::default()
+        };
+        let decayed = TrainerConfig {
+            schedule: LrSchedule::StepDecay { every_epochs: 2, factor: 0.01 },
+            ..base
+        };
+        let mut a = Network::mlp(&[ds.dim(), 8, ds.classes()], 13);
+        let mut b = Network::mlp(&[ds.dim(), 8, ds.classes()], 13);
+        let oa = Trainer::run(&mut a, &ds, &base);
+        let ob = Trainer::run(&mut b, &ds, &decayed);
+        assert_eq!(oa.iterations, ob.iterations);
+        // Accuracy trajectories differ once the decay kicks in.
+        assert_ne!(oa.history, ob.history);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let ds = easy_dataset();
+        let config = TrainerConfig {
+            batch_size: 25,
+            sgd: SgdConfig { learning_rate: 0.03, momentum: 0.5, weight_decay: 0.0, nesterov: false },
+            target_accuracy: 2.0,
+            max_epochs: 2,
+            seed: 9,
+            ..Default::default()
+        };
+        let mut a = Network::mlp(&[ds.dim(), 8, ds.classes()], 11);
+        let mut b = Network::mlp(&[ds.dim(), 8, ds.classes()], 11);
+        let oa = Trainer::run(&mut a, &ds, &config);
+        let ob = Trainer::run(&mut b, &ds, &config);
+        assert_eq!(oa, ob);
+    }
+}

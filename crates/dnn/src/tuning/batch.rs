@@ -1,0 +1,101 @@
+//! Batch-size sweep (paper §IV-C).
+//!
+//! "There is a tradeoff for tuning the batch size. … a larger batch size
+//! means the BLAS functions can process a larger matrix … \[but\] may lead to
+//! a sharp optimization problem, which requires more epochs to get the
+//! target accuracy. … the computational cost per iteration increases at the
+//! speed of Θ(B) while the number of iterations decreases at a speed lower
+//! than Θ(B)."
+
+use crate::data::Dataset;
+use crate::train::TrainerConfig;
+use crate::tuning::{evaluate_config, TuningPoint};
+
+/// The paper's batch-size tuning space for the DGX station.
+pub const PAPER_BATCH_SPACE: [usize; 9] = [64, 100, 128, 256, 512, 1024, 2048, 4096, 8192];
+
+/// Trains one fresh network per candidate batch size.
+pub fn sweep(
+    dataset: &Dataset,
+    topology: &[usize],
+    net_seed: u64,
+    base: &TrainerConfig,
+    batches: &[usize],
+) -> Vec<TuningPoint> {
+    batches
+        .iter()
+        .map(|&b| {
+            let config = TrainerConfig { batch_size: b.min(dataset.n_train()), ..*base };
+            evaluate_config(dataset, topology, net_seed, &config)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::CifarLikeConfig;
+    use crate::optim::SgdConfig;
+
+    fn dataset() -> Dataset {
+        Dataset::cifar_like(CifarLikeConfig {
+            classes: 3,
+            side: 4,
+            train: 120,
+            test: 60,
+            noise: 0.5,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn larger_batches_run_fewer_iterations_per_epoch() {
+        let ds = dataset();
+        let base = TrainerConfig {
+            sgd: SgdConfig { learning_rate: 0.02, momentum: 0.9, weight_decay: 0.0, nesterov: false },
+            target_accuracy: 2.0, // run exactly max_epochs
+            max_epochs: 2,
+            ..Default::default()
+        };
+        let pts = sweep(&ds, &[ds.dim(), 8, ds.classes()], 1, &base, &[12, 60, 120]);
+        assert_eq!(pts.len(), 3);
+        // 2 epochs: 120/12=10 iters/epoch, /60=2, /120=1.
+        assert_eq!(pts[0].outcome.iterations, 20);
+        assert_eq!(pts[1].outcome.iterations, 4);
+        assert_eq!(pts[2].outcome.iterations, 2);
+    }
+
+    #[test]
+    fn small_batches_converge_in_fewer_epochs() {
+        // The core §IV-C trade-off on real SGD runs: at a fixed learning
+        // rate, B = n (full batch) needs at least as many epochs as a small
+        // batch to hit the same accuracy.
+        let ds = dataset();
+        let base = TrainerConfig {
+            sgd: SgdConfig { learning_rate: 0.03, momentum: 0.9, weight_decay: 0.0, nesterov: false },
+            target_accuracy: 0.9,
+            max_epochs: 60,
+            ..Default::default()
+        };
+        let pts = sweep(&ds, &[ds.dim(), 16, ds.classes()], 2, &base, &[12, 120]);
+        let small = &pts[0].outcome;
+        let full = &pts[1].outcome;
+        assert!(small.reached, "small batch should converge");
+        if full.reached {
+            assert!(
+                small.epochs <= full.epochs,
+                "small-batch epochs {} vs full-batch {}",
+                small.epochs,
+                full.epochs
+            );
+        }
+    }
+
+    #[test]
+    fn batch_is_capped_at_dataset_size() {
+        let ds = dataset();
+        let base = TrainerConfig { target_accuracy: 2.0, max_epochs: 1, ..Default::default() };
+        let pts = sweep(&ds, &[ds.dim(), ds.classes()], 1, &base, &[100_000]);
+        assert_eq!(pts[0].outcome.iterations, 1, "one full-batch iteration");
+    }
+}

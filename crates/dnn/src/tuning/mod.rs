@@ -1,0 +1,221 @@
+//! Hyperparameter auto-tuning (paper §IV-C/D/E).
+//!
+//! The paper tunes, in order: batch size `B` (space {64, 100, 128, 256,
+//! 512, 1024, 2048, 4096, 8192}), then learning rate η ({0.001 … 0.016}),
+//! then momentum µ ({0.90 … 0.99}) — each time keeping the previous
+//! winners. [`AutoTuner`] reproduces that greedy three-stage pipeline;
+//! the individual sweeps live in [`batch`], [`lr`] and [`momentum`].
+
+pub mod batch;
+pub mod lr;
+pub mod momentum;
+
+use crate::data::Dataset;
+use crate::net::Network;
+use crate::optim::SgdConfig;
+use crate::train::{TrainOutcome, Trainer, TrainerConfig};
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningPoint {
+    /// Batch size used.
+    pub batch_size: usize,
+    /// Learning rate used.
+    pub learning_rate: f32,
+    /// Momentum used.
+    pub momentum: f32,
+    /// What happened.
+    pub outcome: TrainOutcome,
+}
+
+impl TuningPoint {
+    /// Abstract cost of this run: iterations × batch = samples processed.
+    /// Runs that missed the target are ranked after all runs that hit it.
+    pub fn samples_processed(&self) -> u64 {
+        (self.outcome.iterations * self.batch_size) as u64
+    }
+}
+
+/// Ranks points: reaching the target dominates; among reachers, fewer
+/// processed samples wins; among non-reachers, higher accuracy wins.
+pub fn best_point(points: &[TuningPoint]) -> Option<&TuningPoint> {
+    points.iter().min_by(|a, b| {
+        match (a.outcome.reached, b.outcome.reached) {
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            (true, true) => a.samples_processed().cmp(&b.samples_processed()),
+            (false, false) => b
+                .outcome
+                .final_accuracy
+                .partial_cmp(&a.outcome.final_accuracy)
+                .expect("finite accuracy"),
+        }
+    })
+}
+
+/// Runs one configuration from a fresh, identically-initialised network.
+pub fn evaluate_config(
+    dataset: &Dataset,
+    topology: &[usize],
+    net_seed: u64,
+    config: &TrainerConfig,
+) -> TuningPoint {
+    let mut net = Network::mlp(topology, net_seed);
+    let outcome = Trainer::run(&mut net, dataset, config);
+    TuningPoint {
+        batch_size: config.batch_size,
+        learning_rate: config.sgd.learning_rate,
+        momentum: config.sgd.momentum,
+        outcome,
+    }
+}
+
+/// The paper's greedy three-stage pipeline: tune B, then η given B, then µ
+/// given (B, η) — producing the DGX1 → DGX2 → DGX3 progression of
+/// Figures 5–6.
+#[derive(Debug, Clone)]
+pub struct AutoTuner {
+    /// Hidden-layer widths (input/output dims come from the dataset).
+    pub hidden: Vec<usize>,
+    /// Network init seed (shared across candidates for fairness).
+    pub net_seed: u64,
+    /// Base trainer config; its batch/η/µ fields are overwritten per stage.
+    pub base: TrainerConfig,
+}
+
+/// The three stage winners plus all evaluated points.
+#[derive(Debug, Clone)]
+pub struct AutoTuneResult {
+    /// Winner after the batch stage (the paper's "DGX1").
+    pub after_batch: TuningPoint,
+    /// Winner after the learning-rate stage ("DGX2").
+    pub after_lr: TuningPoint,
+    /// Winner after the momentum stage ("DGX3").
+    pub after_momentum: TuningPoint,
+    /// Every point evaluated in stage order.
+    pub all_points: Vec<TuningPoint>,
+}
+
+impl AutoTuner {
+    /// Runs the full pipeline over the given candidate spaces.
+    pub fn run(
+        &self,
+        dataset: &Dataset,
+        batches: &[usize],
+        rates: &[f32],
+        momenta: &[f32],
+    ) -> AutoTuneResult {
+        let topology = self.topology(dataset);
+        let mut all = Vec::new();
+
+        let batch_pts = batch::sweep(dataset, &topology, self.net_seed, &self.base, batches);
+        let best_b = best_point(&batch_pts).expect("non-empty batch space").clone();
+        all.extend(batch_pts);
+
+        let base_lr = TrainerConfig { batch_size: best_b.batch_size, ..self.base };
+        let lr_pts = lr::sweep(dataset, &topology, self.net_seed, &base_lr, rates);
+        let best_lr = best_point(&lr_pts).expect("non-empty rate space").clone();
+        all.extend(lr_pts);
+
+        let base_mu = TrainerConfig {
+            batch_size: best_b.batch_size,
+            sgd: SgdConfig {
+                learning_rate: best_lr.learning_rate,
+                momentum: self.base.sgd.momentum,
+                ..self.base.sgd
+            },
+            ..self.base
+        };
+        let mu_pts = momentum::sweep(dataset, &topology, self.net_seed, &base_mu, momenta);
+        let best_mu = best_point(&mu_pts).expect("non-empty momentum space").clone();
+        all.extend(mu_pts);
+
+        AutoTuneResult {
+            after_batch: best_b,
+            after_lr: best_lr,
+            after_momentum: best_mu,
+            all_points: all,
+        }
+    }
+
+    fn topology(&self, dataset: &Dataset) -> Vec<usize> {
+        let mut t = vec![dataset.dim()];
+        t.extend_from_slice(&self.hidden);
+        t.push(dataset.classes());
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::CifarLikeConfig;
+
+    fn tiny_dataset() -> Dataset {
+        Dataset::cifar_like(CifarLikeConfig {
+            classes: 3,
+            side: 4,
+            train: 90,
+            test: 45,
+            noise: 0.4,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn best_point_prefers_reached_then_cheapest() {
+        let mk = |reached: bool, iters: usize, b: usize, acc: f64| TuningPoint {
+            batch_size: b,
+            learning_rate: 0.01,
+            momentum: 0.9,
+            outcome: TrainOutcome {
+                reached,
+                iterations: iters,
+                epochs: 1,
+                final_accuracy: acc,
+                history: vec![],
+            },
+        };
+        let pts = vec![mk(false, 10, 10, 0.9), mk(true, 100, 10, 0.8), mk(true, 50, 10, 0.8)];
+        let best = best_point(&pts).unwrap();
+        assert!(best.outcome.reached);
+        assert_eq!(best.outcome.iterations, 50);
+        // Among non-reachers, higher accuracy wins.
+        let pts = vec![mk(false, 10, 10, 0.5), mk(false, 10, 10, 0.7)];
+        assert_eq!(best_point(&pts).unwrap().outcome.final_accuracy, 0.7);
+    }
+
+    #[test]
+    fn pipeline_improves_or_matches_at_each_stage() {
+        let ds = tiny_dataset();
+        let tuner = AutoTuner {
+            hidden: vec![16],
+            net_seed: 5,
+            base: TrainerConfig {
+                target_accuracy: 0.85,
+                max_epochs: 30,
+                ..Default::default()
+            },
+        };
+        let result = tuner.run(
+            &ds,
+            &[10, 30, 90],
+            &[0.005, 0.02, 0.08],
+            &[0.0, 0.9],
+        );
+        assert_eq!(result.all_points.len(), 3 + 3 + 2);
+        // Later stages must not be worse than earlier ones under the
+        // samples-processed metric (greedy keeps the incumbent settings in
+        // the candidate sets implicitly by re-running them).
+        if result.after_batch.outcome.reached && result.after_momentum.outcome.reached {
+            assert!(
+                result.after_momentum.samples_processed()
+                    <= result.after_batch.samples_processed() * 2,
+                "momentum stage regressed badly"
+            );
+        }
+        // The winner reflects its stage's parameters.
+        assert!([10, 30, 90].contains(&result.after_lr.batch_size));
+        assert!([0.0, 0.9].contains(&result.after_momentum.momentum));
+    }
+}

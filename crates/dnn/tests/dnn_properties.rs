@@ -1,0 +1,146 @@
+//! Property-based tests for the DNN substrate: analytic gradients vs
+//! finite differences on random networks, loss invariants, and the
+//! data-parallel reduction identity over arbitrary shard counts.
+
+use dls_dnn::loss::{classification_accuracy, softmax_cross_entropy};
+use dls_dnn::parallel::WorkerPool;
+use dls_dnn::tensor::{matmul, matmul_nt, matmul_tn, Tensor};
+use dls_dnn::layers::Dense;
+use dls_dnn::Network;
+use proptest::prelude::*;
+
+/// Strategy: a small random input batch with values in a safe range.
+fn arb_batch(max_rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_rows).prop_flat_map(move |rows| {
+        proptest::collection::vec(-100i32..=100, rows * cols).prop_map(move |v| {
+            Tensor::from_vec(
+                &[rows, cols],
+                v.into_iter().map(|x| x as f32 / 50.0).collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Full-network gradient check: ∂loss/∂weights of a random two-layer
+    /// stack matches central finite differences. (The stack is kink-free —
+    /// finite differences straddle ReLU kinks at random inputs; ReLU's own
+    /// gradient is checked at safe points in the layer unit tests.)
+    #[test]
+    fn network_loss_gradient_matches_finite_differences(
+        x in arb_batch(4, 6),
+        seed in 0u64..1000,
+    ) {
+        let classes = 3;
+        let mut net = Network::new()
+            .push(Dense::new(6, 5, seed))
+            .push(Dense::new(5, classes, seed + 1));
+        let labels: Vec<usize> = (0..x.rows()).map(|i| i % classes).collect();
+
+        let logits = net.forward(&x);
+        let (_, grad_logits) = softmax_cross_entropy(&logits, &labels);
+        net.zero_grads();
+        net.backward(&grad_logits);
+
+        // Probe the first dense layer's weight gradient at a few slots.
+        let analytic: Vec<f32> = {
+            let params = net.params_mut();
+            params[0].1.data().iter().copied().take(4).collect()
+        };
+        let eps = 1e-2f32;
+        for (idx, &a) in analytic.iter().enumerate() {
+            net.params_mut()[0].0.data_mut()[idx] += eps;
+            let (fp, _) = softmax_cross_entropy(&net.forward(&x), &labels);
+            net.params_mut()[0].0.data_mut()[idx] -= 2.0 * eps;
+            let (fm, _) = softmax_cross_entropy(&net.forward(&x), &labels);
+            net.params_mut()[0].0.data_mut()[idx] += eps;
+            let numeric = ((fp - fm) / (2.0 * eps as f64)) as f32;
+            prop_assert!(
+                (numeric - a).abs() <= 2e-2 * (1.0 + numeric.abs().max(a.abs())),
+                "w[{idx}]: numeric {numeric} vs analytic {a}"
+            );
+        }
+    }
+
+    /// Softmax cross-entropy invariants: loss ≥ 0, per-row gradient sums
+    /// to zero, loss is shift-invariant in the logits.
+    #[test]
+    fn loss_invariants(x in arb_batch(5, 4), shift in -5.0f32..5.0) {
+        let labels: Vec<usize> = (0..x.rows()).map(|i| i % 4).collect();
+        let (loss, grad) = softmax_cross_entropy(&x, &labels);
+        prop_assert!(loss >= 0.0 && loss.is_finite());
+        for i in 0..x.rows() {
+            let row_sum: f32 = grad.data()[i * 4..(i + 1) * 4].iter().sum();
+            prop_assert!(row_sum.abs() < 1e-5, "row {i} grad sum {row_sum}");
+        }
+        // Shift invariance.
+        let mut shifted = x.clone();
+        for v in shifted.data_mut() {
+            *v += shift;
+        }
+        let (loss2, _) = softmax_cross_entropy(&shifted, &labels);
+        prop_assert!((loss - loss2).abs() < 1e-4, "{loss} vs {loss2}");
+        // Accuracy is a valid fraction.
+        let acc = classification_accuracy(&x, &labels);
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+
+    /// GEMM identities: (A·B)ᵀ-free variants agree with the plain product.
+    #[test]
+    fn matmul_transpose_variants_agree(
+        a_data in proptest::collection::vec(-10i32..=10, 12),
+        b_data in proptest::collection::vec(-10i32..=10, 8),
+    ) {
+        // A: 3x4, B: 4x2.
+        let a = Tensor::from_vec(&[3, 4], a_data.iter().map(|&v| v as f32).collect());
+        let b = Tensor::from_vec(&[4, 2], b_data.iter().map(|&v| v as f32).collect());
+        let c = matmul(&a, &b);
+
+        // matmul_tn(Aᵀ_storage, B) where Aᵀ_storage is A stored transposed.
+        let mut at = Tensor::zeros(&[4, 3]);
+        for i in 0..3 {
+            for j in 0..4 {
+                at.data_mut()[j * 3 + i] = a.at(i, j);
+            }
+        }
+        let c_tn = matmul_tn(&at, &b);
+        prop_assert_eq!(c.data(), c_tn.data());
+
+        // matmul_nt(A, Bᵀ_storage).
+        let mut bt = Tensor::zeros(&[2, 4]);
+        for i in 0..4 {
+            for j in 0..2 {
+                bt.data_mut()[j * 4 + i] = b.at(i, j);
+            }
+        }
+        let c_nt = matmul_nt(&a, &bt);
+        prop_assert_eq!(c.data(), c_nt.data());
+    }
+
+    /// Data-parallel reduction equals the serial gradient for any worker
+    /// count and any batch size (§IV-B's correctness claim).
+    #[test]
+    fn parallel_reduction_is_exact(x in arb_batch(8, 6), workers in 1usize..6) {
+        let classes = 3;
+        let labels: Vec<usize> = (0..x.rows()).map(|i| (i * 7) % classes).collect();
+        let mut serial = Network::mlp(&[6, 4, classes], 77);
+        let logits = serial.forward(&x);
+        let (serial_loss, grad) = softmax_cross_entropy(&logits, &labels);
+        serial.zero_grads();
+        serial.backward(&grad);
+        let expect: Vec<Vec<f32>> =
+            serial.params_mut().iter().map(|(_, g)| g.data().to_vec()).collect();
+
+        let mut master = Network::mlp(&[6, 4, classes], 77);
+        let mut pool = WorkerPool::new(|| Network::mlp(&[6, 4, classes], 77), workers);
+        let loss = pool.reduce_gradients(&mut master, &x, &labels);
+        prop_assert!((loss - serial_loss).abs() < 1e-6);
+        for ((_, g), e) in master.params_mut().iter().zip(&expect) {
+            for (a, b) in g.data().iter().zip(e) {
+                prop_assert!((a - b).abs() < 1e-5, "{a} vs {b} ({workers} workers)");
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Saturating-throughput time model.
+//!
+//! `rate(B) = r∞ · B / (B + B½)` — the textbook roofline-style saturation
+//! curve: small batches leave lanes idle (GEMM of a 100-row matrix cannot
+//! fill four P100s), large batches approach the asymptotic rate. §IV-C in
+//! one formula.
+
+use crate::platform::Platform;
+
+/// Throughput and wall-clock predictions for one platform.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputModel {
+    platform: Platform,
+}
+
+impl ThroughputModel {
+    /// Wraps a platform.
+    pub fn new(platform: Platform) -> Self {
+        Self { platform }
+    }
+
+    /// The wrapped platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Samples per second at batch size `b`.
+    pub fn samples_per_sec(&self, b: usize) -> f64 {
+        assert!(b >= 1, "batch must be positive");
+        let b = b as f64;
+        self.platform.asymptotic_rate() * b / (b + self.platform.batch_half_saturation)
+    }
+
+    /// Seconds for `iterations` weight updates at batch size `b`.
+    pub fn time_for(&self, iterations: usize, b: usize) -> f64 {
+        (iterations * b) as f64 / self.samples_per_sec(b)
+    }
+
+    /// Seconds to process `epochs` passes over a dataset of `n` samples at
+    /// batch size `b` (iterations = ⌈n/b⌉ per epoch).
+    pub fn time_for_epochs(&self, epochs: usize, n: usize, b: usize) -> f64 {
+        let iters_per_epoch = n.div_ceil(b);
+        self.time_for(epochs * iters_per_epoch, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PLATFORMS;
+
+    #[test]
+    fn rate_is_monotone_in_batch() {
+        for p in &PLATFORMS {
+            let m = ThroughputModel::new(*p);
+            let mut last = 0.0;
+            for b in [1usize, 10, 100, 1000, 10000] {
+                let r = m.samples_per_sec(b);
+                assert!(r > last, "{} at B={b}", p.name);
+                last = r;
+            }
+            // Never exceeds the asymptote.
+            assert!(last < p.asymptotic_rate());
+        }
+    }
+
+    #[test]
+    fn calibration_point_recovered() {
+        for p in &PLATFORMS {
+            let m = ThroughputModel::new(*p);
+            let r100 = m.samples_per_sec(100);
+            assert!(
+                (r100 - p.rate_at_b100).abs() / p.rate_at_b100 < 1e-9,
+                "{}: {} vs {}",
+                p.name,
+                r100,
+                p.rate_at_b100
+            );
+        }
+    }
+
+    #[test]
+    fn dgx_batch512_matches_paper_tuned_row() {
+        // Table VII row 6: DGX, B = 512, 30,000 iterations, 361 s.
+        let m = ThroughputModel::new(*crate::platform::Platform::by_name("DGX").unwrap());
+        let t = m.time_for(30_000, 512);
+        assert!((t - 361.0).abs() / 361.0 < 0.05, "computed {t} vs paper 361");
+    }
+
+    #[test]
+    fn epochs_form_matches_iterations_form() {
+        let m = ThroughputModel::new(PLATFORMS[0]);
+        // 50,000-sample dataset, B = 100 → 500 iterations per epoch.
+        let by_epochs = m.time_for_epochs(120, 50_000, 100);
+        let by_iters = m.time_for(60_000, 100);
+        assert!((by_epochs - by_iters).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bigger_batch_cuts_time_at_fixed_samples() {
+        // Same number of samples processed: the DGX should be faster at
+        // B = 512 than at B = 100.
+        let m = ThroughputModel::new(*crate::platform::Platform::by_name("DGX").unwrap());
+        let t_small = m.time_for(60_000, 100);
+        let t_large = m.time_for(60_000 * 100 / 512, 512);
+        assert!(t_large < t_small);
+    }
+}

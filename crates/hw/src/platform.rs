@@ -1,0 +1,120 @@
+//! The five evaluation platforms of §IV-B with the paper's prices and the
+//! calibration constants of the throughput model.
+
+/// One hardware platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Platform {
+    /// Display name as used in Table VII.
+    pub name: &'static str,
+    /// Purchase price in USD (Table VII's Price column).
+    pub price_usd: f64,
+    /// Measured peak double-precision Tflop/s where the paper reports one.
+    pub peak_tflops: f64,
+    /// Measured training throughput at B = 100, in samples/second —
+    /// derived from Table VII: 60,000 iterations × 100 samples / time.
+    pub rate_at_b100: f64,
+    /// Batch half-saturation constant B½ of the throughput curve: the
+    /// batch size at which the platform reaches half its asymptotic rate.
+    /// Small for CPUs (latency-bound cores saturate quickly), large for
+    /// multi-GPU systems that need big batches to fill their lanes.
+    pub batch_half_saturation: f64,
+}
+
+impl Platform {
+    /// Looks a platform up by name.
+    pub fn by_name(name: &str) -> Option<&'static Platform> {
+        PLATFORMS.iter().find(|p| p.name == name)
+    }
+
+    /// Asymptotic rate `r∞` implied by the B = 100 calibration point:
+    /// `rate(100) = r∞ · 100 / (100 + B½)`.
+    pub fn asymptotic_rate(&self) -> f64 {
+        self.rate_at_b100 * (100.0 + self.batch_half_saturation) / 100.0
+    }
+}
+
+/// Table VII's five platforms.
+///
+/// Rates come from the B = 100 rows (60,000 iterations × 100 samples):
+/// 8-core CPU 29,427 s → 203.9 samples/s; KNL 4,922 s → 1,219; Haswell
+/// 1,997 s → 3,004; P100 503 s → 11,928; DGX 387 s → 15,504. The DGX B½ of
+/// 387 is solved from its B = 512 rows (30,000 × 512 / 361 s ≈ 42,500
+/// samples/s).
+pub const PLATFORMS: [Platform; 5] = [
+    Platform {
+        name: "8-core CPU",
+        price_usd: 1_571.0,
+        peak_tflops: 0.4,
+        rate_at_b100: 203.9,
+        batch_half_saturation: 8.0,
+    },
+    Platform {
+        name: "KNL",
+        price_usd: 4_876.0,
+        peak_tflops: 3.0,
+        rate_at_b100: 1_219.0,
+        batch_half_saturation: 48.0,
+    },
+    Platform {
+        name: "Haswell",
+        price_usd: 7_400.0,
+        peak_tflops: 1.2,
+        rate_at_b100: 3_004.0,
+        batch_half_saturation: 16.0,
+    },
+    Platform {
+        name: "P100",
+        price_usd: 11_571.0,
+        peak_tflops: 4.7,
+        rate_at_b100: 11_928.0,
+        batch_half_saturation: 160.0,
+    },
+    Platform {
+        name: "DGX",
+        price_usd: 79_000.0,
+        peak_tflops: 18.8,
+        rate_at_b100: 15_504.0,
+        batch_half_saturation: 387.0,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_ordering() {
+        assert!(Platform::by_name("DGX").is_some());
+        assert!(Platform::by_name("TPU").is_none());
+        // Faster platforms cost more (paper's premise for $/speedup).
+        for w in PLATFORMS.windows(2) {
+            assert!(w[0].rate_at_b100 < w[1].rate_at_b100, "{}", w[1].name);
+            assert!(w[0].price_usd < w[1].price_usd, "{}", w[1].name);
+        }
+    }
+
+    #[test]
+    fn b100_rates_reproduce_table7_times() {
+        // 60,000 iterations at B = 100 = 6e6 samples.
+        let expect = [
+            ("8-core CPU", 29_427.0),
+            ("KNL", 4_922.0),
+            ("Haswell", 1_997.0),
+            ("P100", 503.0),
+            ("DGX", 387.0),
+        ];
+        for (name, time) in expect {
+            let p = Platform::by_name(name).unwrap();
+            let computed = 6.0e6 / p.rate_at_b100;
+            let rel = (computed - time).abs() / time;
+            assert!(rel < 0.01, "{name}: {computed} vs paper {time}");
+        }
+    }
+
+    #[test]
+    fn asymptotic_rate_exceeds_calibration_point() {
+        for p in &PLATFORMS {
+            assert!(p.asymptotic_rate() > p.rate_at_b100, "{}", p.name);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! "Choose the right hardware" (§IV-B) as an API: rank the platforms for a
+//! concrete training job by wall-clock and by the paper's dollars-per-
+//! speedup metric, under an optional budget.
+
+use crate::cost::ThroughputModel;
+use crate::platform::{Platform, PLATFORMS};
+use crate::speedup::PriceModel;
+
+/// A concrete training job: how many SGD iterations at which batch size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingJob {
+    /// Weight updates required to reach the target accuracy.
+    pub iterations: usize,
+    /// Minibatch size.
+    pub batch: usize,
+}
+
+/// One platform's evaluation for a job.
+#[derive(Debug, Clone, Copy)]
+pub struct Recommendation {
+    /// The platform.
+    pub platform: &'static Platform,
+    /// Predicted wall-clock seconds.
+    pub time_s: f64,
+    /// Speedup over the slowest platform considered.
+    pub speedup: f64,
+    /// Dollars per unit speedup (lower = more efficient).
+    pub price_per_speedup: f64,
+}
+
+/// Ranks all platforms for the job, cheapest-per-speedup first. With a
+/// budget, platforms above it are excluded (an empty result means no
+/// platform is affordable).
+pub fn recommend(job: TrainingJob, budget_usd: Option<f64>) -> Vec<Recommendation> {
+    assert!(job.iterations > 0 && job.batch > 0, "job must be non-trivial");
+    let affordable: Vec<&'static Platform> = PLATFORMS
+        .iter()
+        .filter(|p| budget_usd.map(|b| p.price_usd <= b).unwrap_or(true))
+        .collect();
+    if affordable.is_empty() {
+        return Vec::new();
+    }
+    let times: Vec<f64> = affordable
+        .iter()
+        .map(|p| ThroughputModel::new(**p).time_for(job.iterations, job.batch))
+        .collect();
+    let slowest = times.iter().copied().fold(0.0, f64::max);
+    let mut out: Vec<Recommendation> = affordable
+        .into_iter()
+        .zip(times)
+        .map(|(platform, time_s)| {
+            let speedup = slowest / time_s;
+            Recommendation {
+                platform,
+                time_s,
+                speedup,
+                price_per_speedup: PriceModel::price_per_speedup(platform.price_usd, speedup),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.price_per_speedup
+            .partial_cmp(&b.price_per_speedup)
+            .expect("finite efficiency")
+    });
+    out
+}
+
+/// The fastest platform for the job regardless of price.
+pub fn fastest(job: TrainingJob) -> Recommendation {
+    recommend(job, None)
+        .into_iter()
+        .min_by(|a, b| a.time_s.partial_cmp(&b.time_s).expect("finite times"))
+        .expect("five platforms exist")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CIFAR_JOB: TrainingJob = TrainingJob { iterations: 60_000, batch: 100 };
+
+    #[test]
+    fn p100_is_most_efficient_for_the_paper_job() {
+        // §V-C: "the Tesla P100 GPU is the most efficient platform".
+        let ranked = recommend(CIFAR_JOB, None);
+        assert_eq!(ranked[0].platform.name, "P100");
+        // And the 8-core CPU the least efficient.
+        assert_eq!(ranked.last().unwrap().platform.name, "8-core CPU");
+    }
+
+    #[test]
+    fn fastest_is_the_dgx() {
+        assert_eq!(fastest(CIFAR_JOB).platform.name, "DGX");
+    }
+
+    #[test]
+    fn budget_excludes_expensive_platforms() {
+        let ranked = recommend(CIFAR_JOB, Some(8_000.0));
+        assert!(ranked.iter().all(|r| r.platform.price_usd <= 8_000.0));
+        assert!(ranked.iter().any(|r| r.platform.name == "Haswell"));
+        assert!(!ranked.iter().any(|r| r.platform.name == "DGX"));
+        // An impossible budget yields nothing.
+        assert!(recommend(CIFAR_JOB, Some(10.0)).is_empty());
+    }
+
+    #[test]
+    fn speedups_are_relative_to_the_affordable_slowest() {
+        let ranked = recommend(CIFAR_JOB, None);
+        let slowest = ranked
+            .iter()
+            .min_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap())
+            .unwrap();
+        assert!((slowest.speedup - 1.0).abs() < 1e-9);
+        assert_eq!(slowest.platform.name, "8-core CPU");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-trivial")]
+    fn rejects_empty_job() {
+        let _ = recommend(TrainingJob { iterations: 0, batch: 100 }, None);
+    }
+}

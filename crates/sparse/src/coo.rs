@@ -1,0 +1,219 @@
+//! COO: coordinate list, sorted row-major.
+//!
+//! Stores `(row, col, value)` for every non-zero — 3·nnz elements, the most
+//! of any sparse format for dense data (Table II max `3MN`) — but every
+//! stored element is an independent unit of work, so the kernel is immune to
+//! row-length imbalance (`vdim`). This is why COO overtakes CSR as `vdim`
+//! grows (paper Fig. 4).
+
+use crate::{Format, MatrixFormat, Scalar, SparseVec, TripletMatrix};
+
+/// Coordinate-format matrix with entries sorted row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    row_idx: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<Scalar>,
+}
+
+impl CooMatrix {
+    /// Builds from the triplet interchange form (compacted first).
+    pub fn from_triplets(t: &TripletMatrix) -> Self {
+        let t = if t.is_compact() { t.clone() } else { t.clone().compact() };
+        let mut row_idx = Vec::with_capacity(t.nnz());
+        let mut col_idx = Vec::with_capacity(t.nnz());
+        let mut values = Vec::with_capacity(t.nnz());
+        for &(r, c, v) in t.entries() {
+            row_idx.push(r);
+            col_idx.push(c);
+            values.push(v);
+        }
+        Self { rows: t.rows(), cols: t.cols(), row_idx, col_idx, values }
+    }
+
+    /// Row index array (`nnz` entries, non-decreasing).
+    #[inline]
+    pub fn row_idx(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// Column index array (`nnz` entries).
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Value array (`nnz` entries).
+    #[inline]
+    pub fn values(&self) -> &[Scalar] {
+        &self.values
+    }
+
+    /// Range of entry positions belonging to row `i` (binary search on the
+    /// sorted row index array).
+    pub fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        let start = self.row_idx.partition_point(|&r| r < i);
+        let end = self.row_idx.partition_point(|&r| r <= i);
+        start..end
+    }
+
+    /// SMSV with an explicit scatter workspace (all zeros on entry/exit).
+    pub fn smsv_with(&self, v: &SparseVec, out: &mut [Scalar], workspace: &mut [Scalar]) {
+        assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");
+        assert_eq!(out.len(), self.rows, "SMSV output length mismatch");
+        v.scatter(workspace);
+        out.fill(0.0);
+        // One flat pass over all nnz entries: perfectly balanced work.
+        for k in 0..self.values.len() {
+            out[self.row_idx[k]] += self.values[k] * workspace[self.col_idx[k]];
+        }
+        v.unscatter(workspace);
+    }
+}
+
+impl MatrixFormat for CooMatrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    fn format(&self) -> Format {
+        Format::Coo
+    }
+
+    fn get(&self, i: usize, j: usize) -> Scalar {
+        let range = self.row_range(i);
+        match self.col_idx[range.clone()].binary_search(&j) {
+            Ok(pos) => self.values[range.start + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    fn row_sparse(&self, i: usize) -> SparseVec {
+        let range = self.row_range(i);
+        SparseVec::new(
+            self.cols,
+            self.col_idx[range.clone()].to_vec(),
+            self.values[range].to_vec(),
+        )
+    }
+
+    fn smsv(&self, v: &SparseVec, out: &mut [Scalar]) {
+        let mut workspace = vec![0.0; self.cols];
+        self.smsv_with(v, out, &mut workspace);
+    }
+
+    fn spmv(&self, x: &[Scalar], out: &mut [Scalar]) {
+        assert_eq!(x.len(), self.cols, "SpMV vector dimension mismatch");
+        assert_eq!(out.len(), self.rows, "SpMV output length mismatch");
+        out.fill(0.0);
+        for k in 0..self.values.len() {
+            out[self.row_idx[k]] += self.values[k] * x[self.col_idx[k]];
+        }
+    }
+
+    fn row_norms_sq(&self, out: &mut [Scalar]) {
+        assert_eq!(out.len(), self.rows);
+        out.fill(0.0);
+        for k in 0..self.values.len() {
+            out[self.row_idx[k]] += self.values[k] * self.values[k];
+        }
+    }
+
+    fn to_triplets(&self) -> TripletMatrix {
+        let mut t = TripletMatrix::with_capacity(self.rows, self.cols, self.nnz());
+        for k in 0..self.values.len() {
+            t.push(self.row_idx[k], self.col_idx[k], self.values[k]);
+        }
+        t
+    }
+
+    fn storage_bytes(&self) -> usize {
+        2 * self.row_idx.len() * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<Scalar>()
+    }
+
+    fn storage_elems(&self) -> usize {
+        // Table II: three arrays of nnz elements each (max 3MN when dense).
+        3 * self.nnz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CooMatrix {
+        let t = TripletMatrix::from_entries(
+            3,
+            4,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0), (2, 3, 5.0)],
+        )
+        .unwrap();
+        CooMatrix::from_triplets(&t)
+    }
+
+    #[test]
+    fn construction_sorts_entries() {
+        let t = TripletMatrix::from_entries(2, 2, vec![(1, 1, 4.0), (0, 0, 1.0)]).unwrap();
+        let m = CooMatrix::from_triplets(&t);
+        assert_eq!(m.row_idx(), &[0, 1]);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn row_range_finds_rows() {
+        let m = sample();
+        assert_eq!(m.row_range(0), 0..2);
+        assert_eq!(m.row_range(1), 2..2);
+        assert_eq!(m.row_range(2), 2..5);
+    }
+
+    #[test]
+    fn smsv_matches_manual() {
+        let m = sample();
+        let v = SparseVec::new(4, vec![0, 3], vec![2.0, 1.0]);
+        let mut out = vec![0.0; 3];
+        m.smsv(&v, &mut out);
+        assert_eq!(out, vec![2.0, 0.0, 11.0]);
+    }
+
+    #[test]
+    fn spmv_and_norms() {
+        let m = sample();
+        let mut out = vec![0.0; 3];
+        m.spmv(&[1.0, 1.0, 1.0, 1.0], &mut out);
+        assert_eq!(out, vec![3.0, 0.0, 12.0]);
+        m.row_norms_sq(&mut out);
+        assert_eq!(out, vec![5.0, 0.0, 50.0]);
+    }
+
+    #[test]
+    fn row_sparse_extracts_row() {
+        let m = sample();
+        let r = m.row_sparse(2);
+        assert_eq!(r.indices(), &[0, 1, 3]);
+        assert_eq!(m.row_sparse(1).nnz(), 0);
+    }
+
+    #[test]
+    fn triplet_round_trip() {
+        let m = sample();
+        assert_eq!(CooMatrix::from_triplets(&m.to_triplets()), m);
+    }
+
+    #[test]
+    fn storage_elems_is_three_nnz() {
+        assert_eq!(sample().storage_elems(), 15);
+    }
+}

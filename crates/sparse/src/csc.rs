@@ -1,0 +1,213 @@
+//! CSC: Compressed Sparse Column — a derived format (§III-A), "similar to
+//! CSR, the only difference is that the columns are used instead of rows".
+//!
+//! Interesting for SMSV because the sparse right-hand vector selects
+//! *columns*: only the columns where `v` is non-zero are touched at all, so
+//! the kernel is Θ(Σ_{j ∈ nnz(v)} colnnz_j) — independent of the matrix rows
+//! that never meet `v`.
+
+// Kernel loops index multiple parallel arrays; the indexed form is the
+// clearest statement of the per-column sweep.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{Format, MatrixFormat, Scalar, SparseVec, TripletMatrix};
+
+/// Compressed Sparse Column matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    /// `col_ptr[j]..col_ptr[j+1]` is the entry range of column `j`.
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<Scalar>,
+}
+
+impl CscMatrix {
+    /// Builds from the triplet interchange form.
+    pub fn from_triplets(t: &TripletMatrix) -> Self {
+        let mut entries: Vec<(usize, usize, Scalar)> = t.clone().compact().entries().to_vec();
+        // Column-major order.
+        entries.sort_unstable_by_key(|&(r, c, _)| (c, r));
+        let mut col_ptr = vec![0usize; t.cols() + 1];
+        for &(_, c, _) in &entries {
+            col_ptr[c + 1] += 1;
+        }
+        for j in 0..t.cols() {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+        let row_idx = entries.iter().map(|e| e.0).collect();
+        let values = entries.iter().map(|e| e.2).collect();
+        Self { rows: t.rows(), cols: t.cols(), col_ptr, row_idx, values }
+    }
+
+    /// Column pointer array (`N + 1` entries).
+    #[inline]
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row indices and values of column `j`.
+    #[inline]
+    pub fn col_view(&self, j: usize) -> (&[usize], &[Scalar]) {
+        let (s, e) = (self.col_ptr[j], self.col_ptr[j + 1]);
+        (&self.row_idx[s..e], &self.values[s..e])
+    }
+}
+
+impl MatrixFormat for CscMatrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    fn format(&self) -> Format {
+        Format::Csc
+    }
+
+    fn get(&self, i: usize, j: usize) -> Scalar {
+        let (rows, vals) = self.col_view(j);
+        match rows.binary_search(&i) {
+            Ok(pos) => vals[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    fn row_sparse(&self, i: usize) -> SparseVec {
+        // O(N log colnnz): CSC pays for row extraction, as expected of a
+        // column-oriented layout.
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for j in 0..self.cols {
+            let v = self.get(i, j);
+            if v != 0.0 {
+                indices.push(j);
+                values.push(v);
+            }
+        }
+        SparseVec::new(self.cols, indices, values)
+    }
+
+    fn smsv(&self, v: &SparseVec, out: &mut [Scalar]) {
+        assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");
+        assert_eq!(out.len(), self.rows, "SMSV output length mismatch");
+        out.fill(0.0);
+        // Only columns selected by v contribute: out += X[:, j] * v_j.
+        for (j, x) in v.iter() {
+            let (rows, vals) = self.col_view(j);
+            for (&r, &a) in rows.iter().zip(vals) {
+                out[r] += a * x;
+            }
+        }
+    }
+
+    fn spmv(&self, x: &[Scalar], out: &mut [Scalar]) {
+        assert_eq!(x.len(), self.cols, "SpMV vector dimension mismatch");
+        assert_eq!(out.len(), self.rows, "SpMV output length mismatch");
+        out.fill(0.0);
+        for j in 0..self.cols {
+            let xj = x[j];
+            if xj == 0.0 {
+                continue;
+            }
+            let (rows, vals) = self.col_view(j);
+            for (&r, &a) in rows.iter().zip(vals) {
+                out[r] += a * xj;
+            }
+        }
+    }
+
+    fn row_norms_sq(&self, out: &mut [Scalar]) {
+        assert_eq!(out.len(), self.rows);
+        out.fill(0.0);
+        for (r, v) in self.row_idx.iter().zip(&self.values) {
+            out[*r] += v * v;
+        }
+    }
+
+    fn to_triplets(&self) -> TripletMatrix {
+        let mut t = TripletMatrix::with_capacity(self.rows, self.cols, self.nnz());
+        for j in 0..self.cols {
+            let (rows, vals) = self.col_view(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                t.push(r, j, v);
+            }
+        }
+        t.compact()
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.col_ptr.len() * std::mem::size_of::<usize>()
+            + self.row_idx.len() * std::mem::size_of::<usize>()
+            + self.values.len() * std::mem::size_of::<Scalar>()
+    }
+
+    fn storage_elems(&self) -> usize {
+        2 * self.nnz() + self.cols + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CscMatrix {
+        let t = TripletMatrix::from_entries(
+            3,
+            4,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0), (2, 3, 5.0)],
+        )
+        .unwrap();
+        CscMatrix::from_triplets(&t)
+    }
+
+    #[test]
+    fn column_pointers() {
+        let m = sample();
+        assert_eq!(m.col_ptr(), &[0, 2, 3, 4, 5]);
+        let (rows, vals) = m.col_view(0);
+        assert_eq!(rows, &[0, 2]);
+        assert_eq!(vals, &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn get_and_row_extraction() {
+        let m = sample();
+        assert_eq!(m.get(2, 1), 4.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        let r = m.row_sparse(2);
+        assert_eq!(r.indices(), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn smsv_touches_selected_columns_only() {
+        let m = sample();
+        let v = SparseVec::new(4, vec![0, 3], vec![2.0, 1.0]);
+        let mut out = vec![0.0; 3];
+        m.smsv(&v, &mut out);
+        assert_eq!(out, vec![2.0, 0.0, 11.0]);
+    }
+
+    #[test]
+    fn spmv_and_norms() {
+        let m = sample();
+        let mut out = vec![0.0; 3];
+        m.spmv(&[1.0, 1.0, 1.0, 1.0], &mut out);
+        assert_eq!(out, vec![3.0, 0.0, 12.0]);
+        m.row_norms_sq(&mut out);
+        assert_eq!(out, vec![5.0, 0.0, 50.0]);
+    }
+
+    #[test]
+    fn triplet_round_trip() {
+        let m = sample();
+        assert_eq!(CscMatrix::from_triplets(&m.to_triplets()), m);
+    }
+}

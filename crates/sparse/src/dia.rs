@@ -1,0 +1,289 @@
+//! DIA: diagonal storage.
+//!
+//! One array per occupied diagonal, each padded to `M` slots. Storage is
+//! `ndig * M` plus one offset per diagonal, so the format only pays off when
+//! non-zeros concentrate on few diagonals (`dnnz` high). A matrix whose nnz
+//! are spread across many diagonals stores almost all padding — the paper's
+//! Fig. 2 sweeps `ndig` at fixed nnz and shows performance collapsing as
+//! diagonals multiply.
+
+use crate::{Format, MatrixFormat, Scalar, SparseVec, TripletMatrix};
+
+/// Diagonal-format matrix.
+///
+/// Diagonal `d` has offset `offsets[d] = j - i`; the element of that
+/// diagonal in row `i` lives at `data[d * rows + i]` (padded with zeros
+/// where `i + offset` falls outside `0..cols`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiaMatrix {
+    rows: usize,
+    cols: usize,
+    /// Sorted distinct diagonal offsets (`j - i`), in `-(M-1) ..= N-1`.
+    offsets: Vec<isize>,
+    /// Row-padded diagonal data, diagonal-major: `data[d * rows + i]`.
+    data: Vec<Scalar>,
+    nnz: usize,
+}
+
+impl DiaMatrix {
+    /// Builds from the triplet interchange form.
+    pub fn from_triplets(t: &TripletMatrix) -> Self {
+        let t = if t.is_compact() { t.clone() } else { t.clone().compact() };
+        let rows = t.rows();
+        let mut offsets: Vec<isize> =
+            t.entries().iter().map(|&(r, c, _)| c as isize - r as isize).collect();
+        offsets.sort_unstable();
+        offsets.dedup();
+        let mut data = vec![0.0; offsets.len() * rows];
+        for &(r, c, v) in t.entries() {
+            let off = c as isize - r as isize;
+            let d = offsets.binary_search(&off).expect("offset present");
+            data[d * rows + r] = v;
+        }
+        Self { rows, cols: t.cols(), offsets, data, nnz: t.nnz() }
+    }
+
+    /// Number of occupied diagonals (`ndig` counts only non-empty ones).
+    #[inline]
+    pub fn ndiag(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// The sorted diagonal offsets.
+    #[inline]
+    pub fn offsets(&self) -> &[isize] {
+        &self.offsets
+    }
+
+    /// Average non-zeros per stored diagonal (`dnnz`).
+    pub fn dnnz(&self) -> f64 {
+        if self.offsets.is_empty() {
+            0.0
+        } else {
+            self.nnz as f64 / self.offsets.len() as f64
+        }
+    }
+
+    /// SMSV with an explicit scatter workspace (all zeros on entry/exit).
+    pub fn smsv_with(&self, v: &SparseVec, out: &mut [Scalar], workspace: &mut [Scalar]) {
+        assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");
+        assert_eq!(out.len(), self.rows, "SMSV output length mismatch");
+        v.scatter(workspace);
+        out.fill(0.0);
+        // Diagonal-major sweep. Every in-range slot of every stored diagonal
+        // is touched — including padding zeros, which is exactly the waste
+        // that grows with ndig.
+        for (d, &off) in self.offsets.iter().enumerate() {
+            let diag = &self.data[d * self.rows..(d + 1) * self.rows];
+            let i_lo = if off < 0 { (-off) as usize } else { 0 };
+            let i_hi = self.rows.min((self.cols as isize - off).max(0) as usize);
+            for i in i_lo..i_hi {
+                let j = (i as isize + off) as usize;
+                out[i] += diag[i] * workspace[j];
+            }
+        }
+        v.unscatter(workspace);
+    }
+}
+
+impl MatrixFormat for DiaMatrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    fn format(&self) -> Format {
+        Format::Dia
+    }
+
+    fn get(&self, i: usize, j: usize) -> Scalar {
+        let off = j as isize - i as isize;
+        match self.offsets.binary_search(&off) {
+            Ok(d) => self.data[d * self.rows + i],
+            Err(_) => 0.0,
+        }
+    }
+
+    fn row_sparse(&self, i: usize) -> SparseVec {
+        let mut pairs: Vec<(usize, Scalar)> = Vec::new();
+        for (d, &off) in self.offsets.iter().enumerate() {
+            let j = i as isize + off;
+            if j >= 0 && (j as usize) < self.cols {
+                let v = self.data[d * self.rows + i];
+                if v != 0.0 {
+                    pairs.push((j as usize, v));
+                }
+            }
+        }
+        pairs.sort_unstable_by_key(|p| p.0);
+        SparseVec::new(
+            self.cols,
+            pairs.iter().map(|p| p.0).collect(),
+            pairs.iter().map(|p| p.1).collect(),
+        )
+    }
+
+    fn smsv(&self, v: &SparseVec, out: &mut [Scalar]) {
+        let mut workspace = vec![0.0; self.cols];
+        self.smsv_with(v, out, &mut workspace);
+    }
+
+    fn spmv(&self, x: &[Scalar], out: &mut [Scalar]) {
+        assert_eq!(x.len(), self.cols, "SpMV vector dimension mismatch");
+        assert_eq!(out.len(), self.rows, "SpMV output length mismatch");
+        out.fill(0.0);
+        for (d, &off) in self.offsets.iter().enumerate() {
+            let diag = &self.data[d * self.rows..(d + 1) * self.rows];
+            let i_lo = if off < 0 { (-off) as usize } else { 0 };
+            let i_hi = self.rows.min((self.cols as isize - off).max(0) as usize);
+            for i in i_lo..i_hi {
+                out[i] += diag[i] * x[(i as isize + off) as usize];
+            }
+        }
+    }
+
+    fn row_norms_sq(&self, out: &mut [Scalar]) {
+        assert_eq!(out.len(), self.rows);
+        out.fill(0.0);
+        for d in 0..self.offsets.len() {
+            let diag = &self.data[d * self.rows..(d + 1) * self.rows];
+            for i in 0..self.rows {
+                out[i] += diag[i] * diag[i];
+            }
+        }
+    }
+
+    fn to_triplets(&self) -> TripletMatrix {
+        let mut t = TripletMatrix::with_capacity(self.rows, self.cols, self.nnz);
+        for i in 0..self.rows {
+            for (d, &off) in self.offsets.iter().enumerate() {
+                let j = i as isize + off;
+                if j >= 0 && (j as usize) < self.cols {
+                    let v = self.data[d * self.rows + i];
+                    if v != 0.0 {
+                        t.push(i, j as usize, v);
+                    }
+                }
+            }
+        }
+        t.compact()
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<isize>()
+            + self.data.len() * std::mem::size_of::<Scalar>()
+    }
+
+    fn storage_elems(&self) -> usize {
+        // Data padded to M per diagonal plus the offsets array; bounded by
+        // Table II's (min(M,N)+1)(M+N-1) when every diagonal is occupied.
+        self.offsets.len() * self.rows + self.offsets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DiaMatrix {
+        // [1 0 2 0]
+        // [0 0 0 0]
+        // [3 4 0 5]
+        let t = TripletMatrix::from_entries(
+            3,
+            4,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0), (2, 3, 5.0)],
+        )
+        .unwrap();
+        DiaMatrix::from_triplets(&t)
+    }
+
+    #[test]
+    fn offsets_are_distinct_sorted() {
+        let m = sample();
+        // offsets present: 0-0=0, 2-0=2, 0-2=-2, 1-2=-1, 3-2=1
+        assert_eq!(m.offsets(), &[-2, -1, 0, 1, 2]);
+        assert_eq!(m.ndiag(), 5);
+        assert_eq!(m.dnnz(), 1.0);
+    }
+
+    #[test]
+    fn get_via_offset_search() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(2, 3), 5.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.get(0, 3), 0.0);
+    }
+
+    #[test]
+    fn smsv_matches_manual() {
+        let m = sample();
+        let v = SparseVec::new(4, vec![0, 3], vec![2.0, 1.0]);
+        let mut out = vec![0.0; 3];
+        m.smsv(&v, &mut out);
+        assert_eq!(out, vec![2.0, 0.0, 11.0]);
+    }
+
+    #[test]
+    fn spmv_and_norms() {
+        let m = sample();
+        let mut out = vec![0.0; 3];
+        m.spmv(&[1.0, 1.0, 1.0, 1.0], &mut out);
+        assert_eq!(out, vec![3.0, 0.0, 12.0]);
+        m.row_norms_sq(&mut out);
+        assert_eq!(out, vec![5.0, 0.0, 50.0]);
+    }
+
+    #[test]
+    fn row_sparse_collects_diagonal_hits() {
+        let m = sample();
+        let r = m.row_sparse(2);
+        assert_eq!(r.indices(), &[0, 1, 3]);
+        assert_eq!(r.values(), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn triplet_round_trip() {
+        let m = sample();
+        assert_eq!(DiaMatrix::from_triplets(&m.to_triplets()), m);
+    }
+
+    #[test]
+    fn tridiagonal_is_compact() {
+        // 4x4 tridiagonal: 3 diagonals, storage 3*4 + 3 elems.
+        let mut t = TripletMatrix::new(4, 4);
+        for i in 0..4 {
+            t.push(i, i, 2.0);
+            if i > 0 {
+                t.push(i, i - 1, -1.0);
+            }
+            if i < 3 {
+                t.push(i, i + 1, -1.0);
+            }
+        }
+        let m = DiaMatrix::from_triplets(&t.compact());
+        assert_eq!(m.ndiag(), 3);
+        assert_eq!(m.storage_elems(), 3 * 4 + 3);
+    }
+
+    #[test]
+    fn anti_diagonal_worst_case() {
+        // An anti-diagonal hits a different diagonal per element: ndig = nnz.
+        let mut t = TripletMatrix::new(4, 4);
+        for i in 0..4 {
+            t.push(i, 3 - i, 1.0);
+        }
+        let m = DiaMatrix::from_triplets(&t.compact());
+        assert_eq!(m.ndiag(), 4);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.storage_elems(), 4 * 4 + 4);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type shared by all format constructors and conversions.
+
+use std::fmt;
+
+/// Errors raised when constructing or converting matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An entry's row or column index is outside the declared shape.
+    IndexOutOfBounds {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// Declared number of rows.
+        rows: usize,
+        /// Declared number of columns.
+        cols: usize,
+    },
+    /// The raw arrays handed to a constructor are mutually inconsistent
+    /// (e.g. `indices.len() != values.len()` or a non-monotone row pointer).
+    Inconsistent(String),
+    /// Operand shapes do not match (e.g. SMSV with a vector of wrong dim).
+    ShapeMismatch {
+        /// Shape expected by the operation.
+        expected: (usize, usize),
+        /// Shape actually supplied.
+        got: (usize, usize),
+    },
+    /// The matrix is empty where a non-empty one is required.
+    Empty,
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
+                f,
+                "entry ({row}, {col}) out of bounds for {rows}x{cols} matrix"
+            ),
+            SparseError::Inconsistent(msg) => write!(f, "inconsistent arrays: {msg}"),
+            SparseError::ShapeMismatch { expected, got } => write!(
+                f,
+                "shape mismatch: expected {}x{}, got {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            SparseError::Empty => write!(f, "matrix must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_out_of_bounds() {
+        let e = SparseError::IndexOutOfBounds { row: 5, col: 7, rows: 4, cols: 4 };
+        assert_eq!(e.to_string(), "entry (5, 7) out of bounds for 4x4 matrix");
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = SparseError::ShapeMismatch { expected: (2, 3), got: (3, 2) };
+        assert_eq!(e.to_string(), "shape mismatch: expected 2x3, got 3x2");
+    }
+
+    #[test]
+    fn display_inconsistent_and_empty() {
+        assert!(SparseError::Inconsistent("ptr".into()).to_string().contains("ptr"));
+        assert_eq!(SparseError::Empty.to_string(), "matrix must be non-empty");
+    }
+}

@@ -1,0 +1,307 @@
+//! The [`MatrixFormat`] trait and the [`AnyMatrix`] runtime-dispatch enum.
+//!
+//! The layout scheduler picks a [`Format`] at runtime, so the solver needs a
+//! single type that can hold any of the seven concrete formats. Enum
+//! dispatch (rather than `dyn Trait`) keeps the hot SMSV call statically
+//! dispatched inside each arm.
+
+use crate::{
+    BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, DenseMatrix, DiaMatrix, EllMatrix, HybMatrix,
+    JdsMatrix, Scalar, SparseVec, TripletMatrix,
+};
+
+/// Identifier for each storage format studied by the paper (plus the two
+/// derived formats of §III-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Format {
+    /// Dense row-major storage.
+    Den,
+    /// Compressed Sparse Row.
+    Csr,
+    /// Coordinate list, row-major sorted.
+    Coo,
+    /// ELLPACK/ITPACK: rows padded to the longest row, column-major.
+    Ell,
+    /// Diagonal storage.
+    Dia,
+    /// Compressed Sparse Column (derived from CSR, §III-A).
+    Csc,
+    /// Block CSR (derived, for matrices with dense sub-blocks, §III-A).
+    Bcsr,
+    /// Hybrid ELL + COO (derived: bounded padding with a COO spill list).
+    Hyb,
+    /// Jagged diagonal storage (derived: length-sorted, padding-free ELL).
+    Jds,
+}
+
+impl Format {
+    /// The five basic formats of the paper, in Table II/III column order.
+    pub const BASIC: [Format; 5] =
+        [Format::Ell, Format::Csr, Format::Coo, Format::Den, Format::Dia];
+
+    /// All implemented formats including derived ones.
+    pub const ALL: [Format; 9] = [
+        Format::Ell,
+        Format::Csr,
+        Format::Coo,
+        Format::Den,
+        Format::Dia,
+        Format::Csc,
+        Format::Bcsr,
+        Format::Hyb,
+        Format::Jds,
+    ];
+
+    /// Short upper-case name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Format::Den => "DEN",
+            Format::Csr => "CSR",
+            Format::Coo => "COO",
+            Format::Ell => "ELL",
+            Format::Dia => "DIA",
+            Format::Csc => "CSC",
+            Format::Bcsr => "BCSR",
+            Format::Hyb => "HYB",
+            Format::Jds => "JDS",
+        }
+    }
+}
+
+impl std::fmt::Display for Format {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Format {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "DEN" | "DENSE" => Ok(Format::Den),
+            "CSR" => Ok(Format::Csr),
+            "COO" => Ok(Format::Coo),
+            "ELL" | "ELLPACK" => Ok(Format::Ell),
+            "DIA" | "DIAG" => Ok(Format::Dia),
+            "CSC" => Ok(Format::Csc),
+            "BCSR" => Ok(Format::Bcsr),
+            "HYB" | "HYBRID" => Ok(Format::Hyb),
+            "JDS" | "JAD" => Ok(Format::Jds),
+            other => Err(format!("unknown format: {other}")),
+        }
+    }
+}
+
+/// Common interface over every storage format.
+///
+/// The central method is [`MatrixFormat::smsv`], the sparse-matrix ×
+/// sparse-vector product `out[i] = X_i · v` that the SMO algorithm performs
+/// twice per iteration (once for `X_high`, once for `X_low`).
+pub trait MatrixFormat {
+    /// Number of rows (`M` = number of samples).
+    fn rows(&self) -> usize;
+
+    /// Number of columns (`N` = number of features).
+    fn cols(&self) -> usize;
+
+    /// Number of stored non-zero elements.
+    fn nnz(&self) -> usize;
+
+    /// Which format this is.
+    fn format(&self) -> Format;
+
+    /// Value at `(i, j)`; zero when not stored. O(log nnz_row) or better.
+    fn get(&self, i: usize, j: usize) -> Scalar;
+
+    /// Extracts row `i` as a sparse vector.
+    fn row_sparse(&self, i: usize) -> SparseVec;
+
+    /// Sparse-matrix × sparse-vector: `out[i] = X_i · v` for every row.
+    ///
+    /// # Panics
+    /// Panics if `v.dim() != self.cols()` or `out.len() != self.rows()`.
+    fn smsv(&self, v: &SparseVec, out: &mut [Scalar]);
+
+    /// Classical SpMV against a dense vector: `out = X x`.
+    fn spmv(&self, x: &[Scalar], out: &mut [Scalar]);
+
+    /// Fills `out[i] = ||X_i||^2` (needed by the Gaussian kernel).
+    fn row_norms_sq(&self, out: &mut [Scalar]);
+
+    /// Lowers the matrix to the triplet interchange form.
+    fn to_triplets(&self) -> TripletMatrix;
+
+    /// Bytes of heap storage actually used by this representation.
+    fn storage_bytes(&self) -> usize;
+
+    /// Number of stored *elements* (including padding), the unit Table II
+    /// counts in.
+    fn storage_elems(&self) -> usize;
+}
+
+/// A matrix in any of the supported formats, produced by the runtime
+/// scheduler. Dispatch is by `match`, so each arm keeps its statically
+/// compiled kernel.
+#[derive(Debug, Clone)]
+pub enum AnyMatrix {
+    /// Dense storage.
+    Den(DenseMatrix),
+    /// Compressed sparse row.
+    Csr(CsrMatrix),
+    /// Coordinate list.
+    Coo(CooMatrix),
+    /// ELLPACK.
+    Ell(EllMatrix),
+    /// Diagonal.
+    Dia(DiaMatrix),
+    /// Compressed sparse column.
+    Csc(CscMatrix),
+    /// Block CSR.
+    Bcsr(BcsrMatrix),
+    /// Hybrid ELL + COO.
+    Hyb(HybMatrix),
+    /// Jagged diagonal.
+    Jds(JdsMatrix),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $m:ident => $body:expr) => {
+        match $self {
+            AnyMatrix::Den($m) => $body,
+            AnyMatrix::Csr($m) => $body,
+            AnyMatrix::Coo($m) => $body,
+            AnyMatrix::Ell($m) => $body,
+            AnyMatrix::Dia($m) => $body,
+            AnyMatrix::Csc($m) => $body,
+            AnyMatrix::Bcsr($m) => $body,
+            AnyMatrix::Hyb($m) => $body,
+            AnyMatrix::Jds($m) => $body,
+        }
+    };
+}
+
+impl AnyMatrix {
+    /// Builds a matrix in the requested format from triplets.
+    pub fn from_triplets(format: Format, t: &TripletMatrix) -> Self {
+        match format {
+            Format::Den => AnyMatrix::Den(DenseMatrix::from_triplets(t)),
+            Format::Csr => AnyMatrix::Csr(CsrMatrix::from_triplets(t)),
+            Format::Coo => AnyMatrix::Coo(CooMatrix::from_triplets(t)),
+            Format::Ell => AnyMatrix::Ell(EllMatrix::from_triplets(t)),
+            Format::Dia => AnyMatrix::Dia(DiaMatrix::from_triplets(t)),
+            Format::Csc => AnyMatrix::Csc(CscMatrix::from_triplets(t)),
+            Format::Bcsr => AnyMatrix::Bcsr(BcsrMatrix::from_triplets(t, 4, 4)),
+            Format::Hyb => AnyMatrix::Hyb(HybMatrix::from_triplets(t)),
+            Format::Jds => AnyMatrix::Jds(JdsMatrix::from_triplets(t)),
+        }
+    }
+
+    /// Re-encodes this matrix in another format.
+    pub fn convert(&self, format: Format) -> Self {
+        Self::from_triplets(format, &self.to_triplets())
+    }
+}
+
+impl MatrixFormat for AnyMatrix {
+    fn rows(&self) -> usize {
+        dispatch!(self, m => m.rows())
+    }
+
+    fn cols(&self) -> usize {
+        dispatch!(self, m => m.cols())
+    }
+
+    fn nnz(&self) -> usize {
+        dispatch!(self, m => m.nnz())
+    }
+
+    fn format(&self) -> Format {
+        dispatch!(self, m => m.format())
+    }
+
+    fn get(&self, i: usize, j: usize) -> Scalar {
+        dispatch!(self, m => m.get(i, j))
+    }
+
+    fn row_sparse(&self, i: usize) -> SparseVec {
+        dispatch!(self, m => m.row_sparse(i))
+    }
+
+    fn smsv(&self, v: &SparseVec, out: &mut [Scalar]) {
+        dispatch!(self, m => m.smsv(v, out))
+    }
+
+    fn spmv(&self, x: &[Scalar], out: &mut [Scalar]) {
+        dispatch!(self, m => m.spmv(x, out))
+    }
+
+    fn row_norms_sq(&self, out: &mut [Scalar]) {
+        dispatch!(self, m => m.row_norms_sq(out))
+    }
+
+    fn to_triplets(&self) -> TripletMatrix {
+        dispatch!(self, m => m.to_triplets())
+    }
+
+    fn storage_bytes(&self) -> usize {
+        dispatch!(self, m => m.storage_bytes())
+    }
+
+    fn storage_elems(&self) -> usize {
+        dispatch!(self, m => m.storage_elems())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_names_round_trip() {
+        for f in Format::ALL {
+            let parsed: Format = f.name().parse().unwrap();
+            assert_eq!(parsed, f);
+        }
+        assert!("XYZ".parse::<Format>().is_err());
+        assert_eq!("dense".parse::<Format>().unwrap(), Format::Den);
+    }
+
+    #[test]
+    fn basic_formats_match_paper_tables() {
+        assert_eq!(
+            Format::BASIC,
+            [Format::Ell, Format::Csr, Format::Coo, Format::Den, Format::Dia]
+        );
+    }
+
+    #[test]
+    fn any_matrix_builds_every_format() {
+        let t = TripletMatrix::from_entries(
+            3,
+            3,
+            vec![(0, 0, 1.0), (1, 2, 2.0), (2, 1, 3.0)],
+        )
+        .unwrap()
+        .compact();
+        for f in Format::ALL {
+            let m = AnyMatrix::from_triplets(f, &t);
+            assert_eq!(m.format(), f, "format tag for {f}");
+            assert_eq!(m.rows(), 3);
+            assert_eq!(m.cols(), 3);
+            assert_eq!(m.get(1, 2), 2.0, "get through {f}");
+            assert_eq!(m.to_triplets().compact().entries(), t.entries());
+        }
+    }
+
+    #[test]
+    fn convert_between_formats_preserves_content() {
+        let t = TripletMatrix::from_entries(2, 4, vec![(0, 3, 5.0), (1, 0, -1.0)])
+            .unwrap()
+            .compact();
+        let csr = AnyMatrix::from_triplets(Format::Csr, &t);
+        let dia = csr.convert(Format::Dia);
+        assert_eq!(dia.format(), Format::Dia);
+        assert_eq!(dia.to_triplets().compact().entries(), t.entries());
+    }
+}

@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # dls-sparse
+//!
+//! Storage formats and kernels for machine-learning data matrices.
+//!
+//! This crate implements the five basic storage formats studied by the
+//! paper — [`DenseMatrix`] (DEN), [`CsrMatrix`] (CSR), [`CooMatrix`] (COO),
+//! [`EllMatrix`] (ELL) and [`DiaMatrix`] (DIA) — plus two derived formats
+//! mentioned in §III-A ([`CscMatrix`] and [`BcsrMatrix`]). Every format
+//! implements [`MatrixFormat`], whose central operation is
+//! [`MatrixFormat::smsv`]: the sparse-matrix × sparse-vector product that
+//! dominates each SMO iteration of SVM training.
+//!
+//! The nine influencing parameters of Table IV are computed by
+//! [`features::MatrixFeatures`], and the Table II storage-space model lives
+//! in [`storage`].
+
+pub mod bcsr;
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod dia;
+pub mod ell;
+pub mod error;
+pub mod features;
+pub mod format;
+pub mod hyb;
+pub mod jds;
+pub mod ops;
+pub mod parallel;
+pub mod sparsevec;
+pub mod storage;
+pub mod triplet;
+
+pub use bcsr::BcsrMatrix;
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use dia::DiaMatrix;
+pub use ell::EllMatrix;
+pub use error::SparseError;
+pub use features::MatrixFeatures;
+pub use format::{AnyMatrix, Format, MatrixFormat};
+pub use hyb::HybMatrix;
+pub use jds::JdsMatrix;
+pub use sparsevec::SparseVec;
+pub use triplet::TripletMatrix;
+
+/// Scalar type used throughout the library. LIBSVM and the paper's
+/// implementation both use double precision.
+pub type Scalar = f64;

@@ -1,0 +1,260 @@
+//! Row-partitioned parallel SMSV/SpMV kernels.
+//!
+//! The paper's implementation uses OpenMP across the cores of an Ivy Bridge
+//! CPU / Xeon Phi; here crossbeam scoped threads split the output rows into
+//! contiguous chunks. For COO the split is by *entries* (rebalanced to row
+//! boundaries), which is why COO stays load-balanced under high `vdim`
+//! while row-split CSR does not.
+
+use crate::{CooMatrix, CsrMatrix, MatrixFormat, Scalar, SparseVec};
+
+/// Splits `0..len` into at most `parts` contiguous non-empty ranges.
+pub fn split_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1).min(len.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        if size == 0 {
+            continue;
+        }
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Parallel SMSV for any format, splitting output rows across `threads`
+/// workers. Each worker re-runs the row gather on its own slice via
+/// [`MatrixFormat::row_sparse`]-free indexing when the format supports it;
+/// the generic fallback extracts rows, which is correct for every format.
+pub fn par_smsv_generic<M: MatrixFormat + Sync>(
+    m: &M,
+    v: &SparseVec,
+    out: &mut [Scalar],
+    threads: usize,
+) {
+    assert_eq!(out.len(), m.rows(), "output length mismatch");
+    assert_eq!(v.dim(), m.cols(), "vector dimension mismatch");
+    let ranges = split_ranges(m.rows(), threads);
+    if ranges.len() <= 1 {
+        m.smsv(v, out);
+        return;
+    }
+    let chunks = partition_disjoint(out, &ranges);
+    crossbeam::thread::scope(|s| {
+        for (range, chunk) in ranges.iter().zip(chunks) {
+            let range = range.clone();
+            s.spawn(move |_| {
+                for (k, i) in range.enumerate() {
+                    chunk[k] = m.row_sparse(i).dot(v);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Parallel CSR SMSV: contiguous row blocks, each worker with its own
+/// scatter workspace. Work per worker is Σ dim_i over its rows, so highly
+/// imbalanced row lengths (`vdim` large) skew worker runtimes.
+pub fn par_smsv_csr(m: &CsrMatrix, v: &SparseVec, out: &mut [Scalar], threads: usize) {
+    assert_eq!(out.len(), m.rows(), "output length mismatch");
+    assert_eq!(v.dim(), m.cols(), "vector dimension mismatch");
+    let ranges = split_ranges(m.rows(), threads);
+    if ranges.len() <= 1 {
+        m.smsv(v, out);
+        return;
+    }
+    let chunks = partition_disjoint(out, &ranges);
+    crossbeam::thread::scope(|s| {
+        for (range, chunk) in ranges.iter().zip(chunks) {
+            let range = range.clone();
+            s.spawn(move |_| {
+                let mut ws = vec![0.0; m.cols()];
+                v.scatter(&mut ws);
+                for (k, i) in range.enumerate() {
+                    let (cols, vals) = m.row_view(i);
+                    chunk[k] = cols.iter().zip(vals).map(|(&c, &x)| x * ws[c]).sum();
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Parallel COO SMSV: entries are split evenly and each split is snapped to
+/// the nearest row boundary so workers write disjoint output rows. Because
+/// the unit of work is one entry, the partition stays balanced regardless of
+/// the row-length distribution.
+pub fn par_smsv_coo(m: &CooMatrix, v: &SparseVec, out: &mut [Scalar], threads: usize) {
+    assert_eq!(out.len(), m.rows(), "output length mismatch");
+    assert_eq!(v.dim(), m.cols(), "vector dimension mismatch");
+    let nnz = m.nnz();
+    let threads = threads.max(1);
+    if threads == 1 || nnz == 0 {
+        m.smsv(v, out);
+        return;
+    }
+    // Entry split points snapped forward to row boundaries.
+    let row_idx = m.row_idx();
+    let mut cuts = vec![0usize];
+    for p in 1..threads {
+        let target = p * nnz / threads;
+        let mut k = target;
+        while k < nnz && k > 0 && row_idx[k] == row_idx[k - 1] {
+            k += 1;
+        }
+        if k > *cuts.last().unwrap() && k < nnz {
+            cuts.push(k);
+        }
+    }
+    cuts.push(nnz);
+
+    // Row ranges owned by each entry chunk (disjoint by construction).
+    let mut row_ranges = Vec::with_capacity(cuts.len() - 1);
+    for w in cuts.windows(2) {
+        let (s, e) = (w[0], w[1]);
+        if s == e {
+            row_ranges.push(0..0);
+        } else {
+            row_ranges.push(row_idx[s]..row_idx[e - 1] + 1);
+        }
+    }
+    out.fill(0.0);
+    let chunks = partition_disjoint(out, &row_ranges);
+    crossbeam::thread::scope(|s| {
+        for ((w, row_range), chunk) in cuts.windows(2).zip(&row_ranges).zip(chunks) {
+            let (es, ee) = (w[0], w[1]);
+            let row_base = row_range.start;
+            s.spawn(move |_| {
+                let mut ws = vec![0.0; m.cols()];
+                v.scatter(&mut ws);
+                for k in es..ee {
+                    let r = m.row_idx()[k];
+                    chunk[r - row_base] += m.values()[k] * ws[m.col_idx()[k]];
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Splits a mutable slice into disjoint sub-slices described by sorted,
+/// non-overlapping ranges.
+fn partition_disjoint<'a>(
+    mut slice: &'a mut [Scalar],
+    ranges: &[std::ops::Range<usize>],
+) -> Vec<&'a mut [Scalar]> {
+    let mut consumed = 0usize;
+    let mut out = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        debug_assert!(r.start >= consumed, "ranges must be sorted and disjoint");
+        let skip = r.start - consumed;
+        let (_, rest) = slice.split_at_mut(skip);
+        let (chunk, rest) = rest.split_at_mut(r.len());
+        out.push(chunk);
+        slice = rest;
+        consumed = r.end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn skewed_matrix() -> TripletMatrix {
+        // Row 0 is long (vdim high), rest are short.
+        let mut t = TripletMatrix::new(16, 64);
+        for j in 0..64 {
+            t.push(0, j, (j + 1) as f64);
+        }
+        for i in 1..16 {
+            t.push(i, i % 64, i as f64);
+            t.push(i, (i * 3 + 1) % 64, 1.0);
+        }
+        t.compact()
+    }
+
+    #[test]
+    fn split_ranges_covers_everything() {
+        for (len, parts) in [(10, 3), (7, 7), (5, 9), (1, 4), (100, 8)] {
+            let ranges = split_ranges(len, parts);
+            assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), len);
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, len);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+        }
+    }
+
+    #[test]
+    fn par_csr_matches_serial() {
+        let t = skewed_matrix();
+        let m = CsrMatrix::from_triplets(&t);
+        let v = m.row_sparse(0);
+        let mut serial = vec![0.0; 16];
+        m.smsv(&v, &mut serial);
+        for threads in [1, 2, 4, 16, 32] {
+            let mut par = vec![0.0; 16];
+            par_smsv_csr(&m, &v, &mut par, threads);
+            for (a, b) in par.iter().zip(&serial) {
+                assert!((a - b).abs() < 1e-9, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_coo_matches_serial() {
+        let t = skewed_matrix();
+        let m = CooMatrix::from_triplets(&t);
+        let v = m.row_sparse(0);
+        let mut serial = vec![0.0; 16];
+        m.smsv(&v, &mut serial);
+        for threads in [1, 2, 3, 8, 64] {
+            let mut par = vec![0.0; 16];
+            par_smsv_coo(&m, &v, &mut par, threads);
+            for (a, b) in par.iter().zip(&serial) {
+                assert!((a - b).abs() < 1e-9, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_generic_matches_serial_for_all_formats() {
+        use crate::{AnyMatrix, Format};
+        let t = skewed_matrix();
+        let v = SparseVec::new(64, vec![0, 5, 33], vec![1.0, -2.0, 4.0]);
+        let csr = CsrMatrix::from_triplets(&t);
+        let mut expect = vec![0.0; 16];
+        csr.smsv(&v, &mut expect);
+        for fmt in Format::ALL {
+            let m = AnyMatrix::from_triplets(fmt, &t);
+            let mut got = vec![0.0; 16];
+            par_smsv_generic(&m, &v, &mut got, 4);
+            for (a, b) in got.iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-9, "{fmt}");
+            }
+        }
+    }
+
+    #[test]
+    fn coo_single_row_matrix() {
+        // All nnz in one row: the entry split must not produce overlapping
+        // row ranges.
+        let mut t = TripletMatrix::new(4, 32);
+        for j in 0..32 {
+            t.push(2, j, 1.0);
+        }
+        let m = CooMatrix::from_triplets(&t.compact());
+        let v = SparseVec::new(32, (0..32).collect(), vec![1.0; 32]);
+        let mut out = vec![0.0; 4];
+        par_smsv_coo(&m, &v, &mut out, 8);
+        assert_eq!(out, vec![0.0, 0.0, 32.0, 0.0]);
+    }
+}

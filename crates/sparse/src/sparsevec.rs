@@ -1,0 +1,242 @@
+//! Sparse vectors.
+//!
+//! The SMO inner loop multiplies the data matrix by one of its own rows
+//! (`X · X_high` and `X · X_low`), so the right-hand side of the bottleneck
+//! kernel is itself sparse — this is what the paper calls SMSV (sparse-matrix
+//! × **sparse**-vector), distinguishing it from classical SpMV.
+
+use crate::Scalar;
+
+/// A sparse vector stored as parallel `(index, value)` arrays with indices
+/// strictly increasing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVec {
+    dim: usize,
+    indices: Vec<usize>,
+    values: Vec<Scalar>,
+}
+
+impl SparseVec {
+    /// Builds a sparse vector from parallel arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays differ in length, an index is `>= dim`, or the
+    /// indices are not strictly increasing.
+    pub fn new(dim: usize, indices: Vec<usize>, values: Vec<Scalar>) -> Self {
+        assert_eq!(indices.len(), values.len(), "index/value length mismatch");
+        for w in indices.windows(2) {
+            assert!(w[0] < w[1], "indices must be strictly increasing");
+        }
+        if let Some(&last) = indices.last() {
+            assert!(last < dim, "index {last} out of bounds for dim {dim}");
+        }
+        Self { dim, indices, values }
+    }
+
+    /// An all-zero vector of the given dimension.
+    pub fn zeros(dim: usize) -> Self {
+        Self { dim, indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Builds from a dense slice, keeping only non-zero entries.
+    pub fn from_dense(dense: &[Scalar]) -> Self {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                indices.push(i);
+                values.push(v);
+            }
+        }
+        Self { dim: dense.len(), indices, values }
+    }
+
+    /// Dimension of the vector (including implicit zeros).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of explicitly stored non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Stored indices, strictly increasing.
+    #[inline]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Stored values, parallel to [`SparseVec::indices`].
+    #[inline]
+    pub fn values(&self) -> &[Scalar] {
+        &self.values
+    }
+
+    /// Iterates over `(index, value)` pairs of stored entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Scalar)> + '_ {
+        self.indices.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Value at position `i` (zero if not stored).
+    pub fn get(&self, i: usize) -> Scalar {
+        debug_assert!(i < self.dim);
+        match self.indices.binary_search(&i) {
+            Ok(pos) => self.values[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Materialises the vector densely.
+    pub fn to_dense(&self) -> Vec<Scalar> {
+        let mut out = vec![0.0; self.dim];
+        for (i, v) in self.iter() {
+            out[i] = v;
+        }
+        out
+    }
+
+    /// Scatters the stored values into a caller-provided dense workspace.
+    /// The workspace must be at least `dim` long and zeroed where this
+    /// vector has no entries; use together with [`SparseVec::unscatter`].
+    pub fn scatter(&self, workspace: &mut [Scalar]) {
+        debug_assert!(workspace.len() >= self.dim);
+        for (i, v) in self.iter() {
+            workspace[i] = v;
+        }
+    }
+
+    /// Undoes [`SparseVec::scatter`], restoring the touched workspace slots
+    /// to zero. Cheaper than re-zeroing the whole workspace when
+    /// `nnz << dim`.
+    pub fn unscatter(&self, workspace: &mut [Scalar]) {
+        for &i in &self.indices {
+            workspace[i] = 0.0;
+        }
+    }
+
+    /// Dot product with another sparse vector via sorted-merge join.
+    pub fn dot(&self, other: &SparseVec) -> Scalar {
+        debug_assert_eq!(self.dim, other.dim, "dimension mismatch in dot");
+        let (mut a, mut b) = (0usize, 0usize);
+        let mut acc = 0.0;
+        while a < self.indices.len() && b < other.indices.len() {
+            let (ia, ib) = (self.indices[a], other.indices[b]);
+            if ia == ib {
+                acc += self.values[a] * other.values[b];
+                a += 1;
+                b += 1;
+            } else if ia < ib {
+                a += 1;
+            } else {
+                b += 1;
+            }
+        }
+        acc
+    }
+
+    /// Dot product against a dense slice.
+    pub fn dot_dense(&self, dense: &[Scalar]) -> Scalar {
+        debug_assert!(dense.len() >= self.dim);
+        self.iter().map(|(i, v)| v * dense[i]).sum()
+    }
+
+    /// Squared Euclidean norm of the vector.
+    pub fn norm_sq(&self) -> Scalar {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// Squared Euclidean distance to another sparse vector,
+    /// `||a - b||^2 = ||a||^2 + ||b||^2 - 2 a·b`.
+    pub fn dist_sq(&self, other: &SparseVec) -> Scalar {
+        (self.norm_sq() + other.norm_sq() - 2.0 * self.dot(other)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(dim: usize, pairs: &[(usize, Scalar)]) -> SparseVec {
+        SparseVec::new(
+            dim,
+            pairs.iter().map(|p| p.0).collect(),
+            pairs.iter().map(|p| p.1).collect(),
+        )
+    }
+
+    #[test]
+    fn from_dense_round_trip() {
+        let d = [0.0, 1.5, 0.0, -2.0, 0.0];
+        let s = SparseVec::from_dense(&d);
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.to_dense(), d.to_vec());
+    }
+
+    #[test]
+    fn get_present_and_absent() {
+        let s = v(6, &[(1, 2.0), (4, 3.0)]);
+        assert_eq!(s.get(1), 2.0);
+        assert_eq!(s.get(4), 3.0);
+        assert_eq!(s.get(0), 0.0);
+        assert_eq!(s.get(5), 0.0);
+    }
+
+    #[test]
+    fn dot_merge_matches_dense() {
+        let a = v(8, &[(0, 1.0), (3, 2.0), (7, -1.0)]);
+        let b = v(8, &[(3, 4.0), (5, 9.0), (7, 2.0)]);
+        assert_eq!(a.dot(&b), 2.0 * 4.0 + -2.0);
+        let bd = b.to_dense();
+        assert_eq!(a.dot_dense(&bd), a.dot(&b));
+    }
+
+    #[test]
+    fn dot_disjoint_is_zero() {
+        let a = v(4, &[(0, 1.0), (2, 1.0)]);
+        let b = v(4, &[(1, 1.0), (3, 1.0)]);
+        assert_eq!(a.dot(&b), 0.0);
+    }
+
+    #[test]
+    fn scatter_unscatter_restores_zeros() {
+        let s = v(5, &[(1, 7.0), (3, 8.0)]);
+        let mut ws = vec![0.0; 5];
+        s.scatter(&mut ws);
+        assert_eq!(ws, vec![0.0, 7.0, 0.0, 8.0, 0.0]);
+        s.unscatter(&mut ws);
+        assert_eq!(ws, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        let a = v(4, &[(0, 3.0), (1, 4.0)]);
+        let b = v(4, &[(0, 3.0), (1, 4.0)]);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.dist_sq(&b), 0.0);
+        let c = v(4, &[(2, 1.0)]);
+        assert_eq!(a.dist_sq(&c), 26.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_indices() {
+        let _ = SparseVec::new(4, vec![2, 1], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_range_index() {
+        let _ = SparseVec::new(2, vec![2], vec![1.0]);
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let z = SparseVec::zeros(10);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.dim(), 10);
+        assert_eq!(z.norm_sq(), 0.0);
+    }
+}

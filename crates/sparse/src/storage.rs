@@ -1,0 +1,163 @@
+//! Storage-space model (paper Table II).
+//!
+//! | Format | Min                 | Max                                |
+//! |--------|---------------------|------------------------------------|
+//! | DEN    | `M·N`               | `M·N`                              |
+//! | CSR    | `O(M + 2)`          | `2·M·N + M`                        |
+//! | COO    | `O(1)`              | `3·M·N`                            |
+//! | ELL    | `O(2M)`             | `2·M·N`                            |
+//! | DIA    | `O(M + 1)`          | `(min(M,N)+1)·(M+N−1)`             |
+//!
+//! "The complexity of computation in SVM (two SMSVs) is proportional to the
+//! complexity of storage" — so this model doubles as the analytic cost model
+//! used by `dls-core`'s selector.
+
+use crate::{Format, MatrixFeatures};
+
+/// Table II minimum storage (elements) for an `m x n` matrix in `format`:
+/// the best case over all sparsity patterns with at least one non-zero.
+pub fn min_storage_elems(format: Format, m: usize, n: usize) -> usize {
+    match format {
+        // DEN always stores the full matrix.
+        Format::Den => m * n,
+        // One nnz: data + index (1 each) + ptr (M + 1).
+        Format::Csr => m + 2,
+        // One nnz: one (row, col, value) record.
+        Format::Coo => 3,
+        // One nnz: width 1, two M-long arrays... but empty rows pad to the
+        // single-widest row, giving 2M slots.
+        Format::Ell => 2 * m,
+        // One nnz: one diagonal padded to M plus its offset.
+        Format::Dia => m + 1,
+        // Derived formats (not part of Table II): same shape as CSR/COO.
+        Format::Csc => n + 2,
+        Format::Bcsr => 3,
+        // HYB degenerates to a width-1 ELL slab; JDS to nnz + pointers.
+        Format::Hyb => 2 * m,
+        Format::Jds => m + 4,
+    }
+}
+
+/// Table II maximum storage (elements) for an `m x n` matrix in `format`:
+/// the fully dense worst case.
+pub fn max_storage_elems(format: Format, m: usize, n: usize) -> usize {
+    match format {
+        Format::Den => m * n,
+        Format::Csr => 2 * m * n + m,
+        Format::Coo => 3 * m * n,
+        Format::Ell => 2 * m * n,
+        // min(M,N)+1 arrays of... the paper gives (min(M,N)+1)(M+N-1): each
+        // of the M+N-1 diagonals stores min(M,N) data slots plus one offset.
+        Format::Dia => (m.min(n) + 1) * (m + n - 1),
+        Format::Csc => 2 * m * n + n,
+        Format::Bcsr => m * n + m * n + m, // degenerate 1x1 blocks
+        // HYB slab covers everything on dense data (no spill); JDS stores
+        // 2·nnz plus the permutation and n + 1 diagonal pointers.
+        Format::Hyb => 2 * m * n,
+        Format::Jds => 2 * m * n + m + n + 1,
+    }
+}
+
+/// Predicted storage (elements) for a matrix with the given extracted
+/// features — the analytic model the runtime selector evaluates *without*
+/// materialising any format.
+pub fn predicted_storage_elems(format: Format, f: &MatrixFeatures) -> f64 {
+    match format {
+        Format::Den => (f.m * f.n) as f64,
+        Format::Csr => (2 * f.nnz + f.m + 1) as f64,
+        Format::Coo => (3 * f.nnz) as f64,
+        Format::Ell => (2 * f.m * f.mdim) as f64,
+        Format::Dia => (f.ndig * f.m + f.ndig) as f64,
+        Format::Csc => (2 * f.nnz + f.n + 1) as f64,
+        // Assume 4x4 blocks at the observed density within touched blocks;
+        // a coarse upper bound: every nnz owns its own block in the worst
+        // case, min(nnz * 16, dense).
+        Format::Bcsr => ((f.nnz * 16).min(f.m * f.n) + f.nnz + f.m + 1) as f64,
+        // HYB: slab of width ≈ adim (90%-coverage heuristic) + ~10% spill.
+        Format::Hyb => 2.0 * f.m as f64 * f.adim.ceil() + 0.1 * 3.0 * f.nnz as f64,
+        Format::Jds => (2 * f.nnz + f.m + f.mdim + 1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnyMatrix, MatrixFormat, TripletMatrix};
+
+    /// The actual storage of a fully dense matrix must match Table II's max
+    /// column (up to the +/-1 bookkeeping noted in the paper's O(..)).
+    #[test]
+    fn dense_matrix_hits_table2_max() {
+        let (m, n) = (6, 5);
+        let data = vec![1.0; m * n];
+        let t = TripletMatrix::from_dense(m, n, &data);
+        for fmt in [Format::Den, Format::Csr, Format::Coo, Format::Ell] {
+            let mat = AnyMatrix::from_triplets(fmt, &t);
+            let max = max_storage_elems(fmt, m, n);
+            let actual = mat.storage_elems();
+            assert!(
+                actual.abs_diff(max) <= m + 1,
+                "{fmt}: actual {actual} vs Table II max {max}"
+            );
+        }
+        // DIA on a dense matrix: M+N-1 diagonals, each padded to M rows.
+        let dia = AnyMatrix::from_triplets(Format::Dia, &t);
+        assert_eq!(dia.storage_elems(), (m + n - 1) * m + (m + n - 1));
+        // Table II says (min+1)(M+N-1) with min(M,N) data slots per diagonal;
+        // our row-padded variant stores M per diagonal, so they coincide
+        // exactly when M <= N (the common ML case: wide feature matrices).
+        let (mw, nw) = (5, 6);
+        let wide = TripletMatrix::from_dense(mw, nw, &vec![1.0; mw * nw]);
+        let dia_wide = AnyMatrix::from_triplets(Format::Dia, &wide);
+        assert_eq!(dia_wide.storage_elems(), max_storage_elems(Format::Dia, mw, nw));
+    }
+
+    /// A single-nonzero matrix approaches the Table II min column.
+    #[test]
+    fn singleton_matrix_hits_table2_min() {
+        let (m, n) = (8, 7);
+        let t = TripletMatrix::from_entries(m, n, vec![(3, 2, 1.0)]).unwrap().compact();
+        let csr = AnyMatrix::from_triplets(Format::Csr, &t);
+        assert_eq!(csr.storage_elems(), 2 + m + 1); // data+idx+ptr
+        let coo = AnyMatrix::from_triplets(Format::Coo, &t);
+        assert_eq!(coo.storage_elems(), 3);
+        let ell = AnyMatrix::from_triplets(Format::Ell, &t);
+        assert_eq!(ell.storage_elems(), 2 * m);
+        let dia = AnyMatrix::from_triplets(Format::Dia, &t);
+        assert_eq!(dia.storage_elems(), m + 1);
+        let den = AnyMatrix::from_triplets(Format::Den, &t);
+        assert_eq!(den.storage_elems(), m * n);
+    }
+
+    #[test]
+    fn min_never_exceeds_max() {
+        for fmt in Format::ALL {
+            for &(m, n) in &[(1, 1), (4, 9), (100, 3), (64, 64)] {
+                assert!(
+                    min_storage_elems(fmt, m, n) <= max_storage_elems(fmt, m, n),
+                    "{fmt} at {m}x{n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_matches_actual_for_basic_formats() {
+        let t = TripletMatrix::from_entries(
+            5,
+            6,
+            vec![(0, 0, 1.0), (1, 3, 2.0), (2, 2, 3.0), (2, 5, 4.0), (4, 1, 5.0)],
+        )
+        .unwrap()
+        .compact();
+        let f = MatrixFeatures::from_triplets(&t);
+        for fmt in Format::BASIC {
+            let actual = AnyMatrix::from_triplets(fmt, &t).storage_elems() as f64;
+            let predicted = predicted_storage_elems(fmt, &f);
+            assert!(
+                (actual - predicted).abs() <= 1.0,
+                "{fmt}: actual {actual} vs predicted {predicted}"
+            );
+        }
+    }
+}

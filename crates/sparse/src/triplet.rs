@@ -1,0 +1,235 @@
+//! Coordinate-list builder used as the interchange representation.
+//!
+//! All format constructors accept a [`TripletMatrix`], and every format can
+//! lower itself back to one, so conversion between any two formats is
+//! `A -> triplets -> B`.
+
+use crate::{Scalar, SparseError, SparseVec};
+
+/// An unordered list of `(row, col, value)` entries with an explicit shape.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TripletMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, Scalar)>,
+}
+
+impl TripletMatrix {
+    /// Creates an empty builder for a `rows x cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, entries: Vec::new() }
+    }
+
+    /// Creates a builder with pre-allocated capacity for `cap` entries.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        Self { rows, cols, entries: Vec::with_capacity(cap) }
+    }
+
+    /// Builds directly from a list of entries, validating bounds.
+    pub fn from_entries(
+        rows: usize,
+        cols: usize,
+        entries: Vec<(usize, usize, Scalar)>,
+    ) -> Result<Self, SparseError> {
+        for &(r, c, _) in &entries {
+            if r >= rows || c >= cols {
+                return Err(SparseError::IndexOutOfBounds { row: r, col: c, rows, cols });
+            }
+        }
+        Ok(Self { rows, cols, entries })
+    }
+
+    /// Builds from a dense row-major buffer, keeping non-zeros.
+    pub fn from_dense(rows: usize, cols: usize, data: &[Scalar]) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        let mut t = Self::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = data[r * cols + c];
+                if v != 0.0 {
+                    t.entries.push((r, c, v));
+                }
+            }
+        }
+        t
+    }
+
+    /// Appends one entry. Duplicates are allowed; they are summed by
+    /// [`TripletMatrix::compact`].
+    ///
+    /// # Panics
+    /// Panics if the entry is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: Scalar) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "entry ({row}, {col}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        self.entries.push((row, col, value));
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries (before deduplication this may exceed the
+    /// logical nnz).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The raw entries in insertion order.
+    #[inline]
+    pub fn entries(&self) -> &[(usize, usize, Scalar)] {
+        &self.entries
+    }
+
+    /// Sorts entries in row-major order, sums duplicates, and drops explicit
+    /// zeros that result from cancellation. Returns `self` for chaining.
+    pub fn compact(mut self) -> Self {
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut out: Vec<(usize, usize, Scalar)> = Vec::with_capacity(self.entries.len());
+        for (r, c, v) in self.entries.drain(..) {
+            match out.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => out.push((r, c, v)),
+            }
+        }
+        out.retain(|&(_, _, v)| v != 0.0);
+        self.entries = out;
+        self
+    }
+
+    /// True if entries are sorted row-major with no duplicates.
+    pub fn is_compact(&self) -> bool {
+        self.entries
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1))
+    }
+
+    /// Per-row non-zero counts (`dim_i` in the paper's notation).
+    pub fn row_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.rows];
+        for &(r, _, _) in &self.entries {
+            counts[r] += 1;
+        }
+        counts
+    }
+
+    /// Extracts row `i` as a sparse vector of dimension `cols`.
+    /// Requires a compact matrix for the strict-ordering invariant.
+    pub fn row_sparse(&self, i: usize) -> SparseVec {
+        debug_assert!(self.is_compact(), "row_sparse requires a compact matrix");
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        for &(r, c, v) in &self.entries {
+            if r == i {
+                idx.push(c);
+                val.push(v);
+            }
+        }
+        SparseVec::new(self.cols, idx, val)
+    }
+
+    /// Materialises the matrix densely (row-major). Intended for tests and
+    /// small matrices.
+    pub fn to_dense(&self) -> Vec<Scalar> {
+        let mut out = vec![0.0; self.rows * self.cols];
+        for &(r, c, v) in &self.entries {
+            out[r * self.cols + c] += v;
+        }
+        out
+    }
+
+    /// The transposed triplet list (shape swapped, entries flipped).
+    pub fn transpose(&self) -> Self {
+        Self {
+            rows: self.cols,
+            cols: self.rows,
+            entries: self.entries.iter().map(|&(r, c, v)| (c, r, v)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_compact_sums_duplicates() {
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(1, 1, 2.0);
+        t.push(0, 2, 1.0);
+        t.push(1, 1, 3.0);
+        let t = t.compact();
+        assert!(t.is_compact());
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.entries()[0], (0, 2, 1.0));
+        assert_eq!(t.entries()[1], (1, 1, 5.0));
+    }
+
+    #[test]
+    fn compact_drops_cancelled_entries() {
+        let mut t = TripletMatrix::new(2, 2);
+        t.push(0, 0, 1.0);
+        t.push(0, 0, -1.0);
+        let t = t.compact();
+        assert_eq!(t.nnz(), 0);
+    }
+
+    #[test]
+    fn from_entries_validates_bounds() {
+        let err = TripletMatrix::from_entries(2, 2, vec![(2, 0, 1.0)]).unwrap_err();
+        assert!(matches!(err, SparseError::IndexOutOfBounds { row: 2, .. }));
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let d = vec![1.0, 0.0, 0.0, 2.0, 0.0, 3.0];
+        let t = TripletMatrix::from_dense(2, 3, &d);
+        assert_eq!(t.nnz(), 3);
+        assert_eq!(t.to_dense(), d);
+    }
+
+    #[test]
+    fn row_counts_and_row_sparse() {
+        let t = TripletMatrix::from_entries(
+            3,
+            4,
+            vec![(0, 1, 1.0), (0, 3, 2.0), (2, 0, 5.0)],
+        )
+        .unwrap()
+        .compact();
+        assert_eq!(t.row_counts(), vec![2, 0, 1]);
+        let r0 = t.row_sparse(0);
+        assert_eq!(r0.indices(), &[1, 3]);
+        assert_eq!(r0.values(), &[1.0, 2.0]);
+        assert_eq!(t.row_sparse(1).nnz(), 0);
+    }
+
+    #[test]
+    fn transpose_flips_entries() {
+        let t = TripletMatrix::from_entries(2, 3, vec![(0, 2, 4.0)]).unwrap();
+        let tt = t.transpose();
+        assert_eq!(tt.rows(), 3);
+        assert_eq!(tt.cols(), 2);
+        assert_eq!(tt.entries()[0], (2, 0, 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_rejects_out_of_bounds() {
+        let mut t = TripletMatrix::new(1, 1);
+        t.push(0, 1, 1.0);
+    }
+}

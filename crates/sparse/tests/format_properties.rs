@@ -1,0 +1,178 @@
+//! Property-based tests: every storage format must be an exact,
+//! loss-free re-encoding of the same matrix, and every kernel must agree
+//! with the reference implementation on arbitrary sparsity patterns.
+
+use dls_sparse::ops::smsv_reference;
+use dls_sparse::parallel::{par_smsv_coo, par_smsv_csr, par_smsv_generic};
+use dls_sparse::{
+    AnyMatrix, CooMatrix, CsrMatrix, Format, MatrixFeatures, MatrixFormat, SparseVec,
+    TripletMatrix,
+};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary compact triplet matrix up to 24x24.
+fn arb_matrix() -> impl Strategy<Value = TripletMatrix> {
+    (1usize..24, 1usize..24)
+        .prop_flat_map(|(rows, cols)| {
+            let entry = (0..rows, 0..cols, -4i32..=4).prop_map(|(r, c, v)| (r, c, v as f64));
+            (Just(rows), Just(cols), proptest::collection::vec(entry, 0..80))
+        })
+        .prop_map(|(rows, cols, entries)| {
+            TripletMatrix::from_entries(rows, cols, entries).unwrap().compact()
+        })
+}
+
+/// Strategy: a matrix together with a compatible sparse vector.
+fn arb_matrix_and_vec() -> impl Strategy<Value = (TripletMatrix, SparseVec)> {
+    arb_matrix().prop_flat_map(|t| {
+        let cols = t.cols();
+        let dense = proptest::collection::vec(-3i32..=3, cols)
+            .prop_map(|v| SparseVec::from_dense(&v.into_iter().map(f64::from).collect::<Vec<_>>()));
+        (Just(t), dense)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Round trip through every format preserves the triplet content bit-exactly.
+    #[test]
+    fn round_trip_all_formats(t in arb_matrix()) {
+        for fmt in Format::ALL {
+            let m = AnyMatrix::from_triplets(fmt, &t);
+            prop_assert_eq!(m.rows(), t.rows());
+            prop_assert_eq!(m.cols(), t.cols());
+            prop_assert_eq!(m.nnz(), t.nnz(), "nnz through {}", fmt);
+            let back = m.to_triplets().compact();
+            prop_assert_eq!(back.entries(), t.entries(), "round trip through {}", fmt);
+        }
+    }
+
+    /// `get` agrees with the dense materialisation for every format.
+    #[test]
+    fn get_agrees_with_dense(t in arb_matrix()) {
+        let dense = t.to_dense();
+        for fmt in Format::ALL {
+            let m = AnyMatrix::from_triplets(fmt, &t);
+            for i in 0..t.rows() {
+                for j in 0..t.cols() {
+                    prop_assert_eq!(m.get(i, j), dense[i * t.cols() + j], "{} at ({},{})", fmt, i, j);
+                }
+            }
+        }
+    }
+
+    /// SMSV agrees with the merge-join reference for every format.
+    #[test]
+    fn smsv_agrees_with_reference((t, v) in arb_matrix_and_vec()) {
+        let csr = CsrMatrix::from_triplets(&t);
+        let reference = smsv_reference(&csr, &v);
+        for fmt in Format::ALL {
+            let m = AnyMatrix::from_triplets(fmt, &t);
+            let mut out = vec![0.0; t.rows()];
+            m.smsv(&v, &mut out);
+            for (a, b) in out.iter().zip(&reference) {
+                prop_assert!((a - b).abs() < 1e-9, "{}: {:?} vs {:?}", fmt, out, reference);
+            }
+        }
+    }
+
+    /// SpMV with the densified vector equals SMSV.
+    #[test]
+    fn spmv_equals_smsv_on_dense_vector((t, v) in arb_matrix_and_vec()) {
+        let dense_v = v.to_dense();
+        for fmt in Format::ALL {
+            let m = AnyMatrix::from_triplets(fmt, &t);
+            let mut a = vec![0.0; t.rows()];
+            let mut b = vec![0.0; t.rows()];
+            m.smsv(&v, &mut a);
+            m.spmv(&dense_v, &mut b);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x - y).abs() < 1e-9, "{}", fmt);
+            }
+        }
+    }
+
+    /// The lockstep SIMD-style CSR kernel is exactly the scalar kernel.
+    #[test]
+    fn csr_lanes_kernel_is_exact((t, v) in arb_matrix_and_vec()) {
+        let m = CsrMatrix::from_triplets(&t);
+        let mut scalar = vec![0.0; t.rows()];
+        let mut lanes = vec![0.0; t.rows()];
+        m.smsv(&v, &mut scalar);
+        m.smsv_lanes::<8>(&v, &mut lanes);
+        for (a, b) in scalar.iter().zip(&lanes) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Parallel kernels agree with serial ones for any thread count.
+    #[test]
+    fn parallel_kernels_agree((t, v) in arb_matrix_and_vec(), threads in 1usize..6) {
+        let csr = CsrMatrix::from_triplets(&t);
+        let coo = CooMatrix::from_triplets(&t);
+        let mut expect = vec![0.0; t.rows()];
+        csr.smsv(&v, &mut expect);
+
+        let mut got = vec![0.0; t.rows()];
+        par_smsv_csr(&csr, &v, &mut got, threads);
+        for (a, b) in got.iter().zip(&expect) {
+            prop_assert!((a - b).abs() < 1e-9, "csr threads={}", threads);
+        }
+        par_smsv_coo(&coo, &v, &mut got, threads);
+        for (a, b) in got.iter().zip(&expect) {
+            prop_assert!((a - b).abs() < 1e-9, "coo threads={}", threads);
+        }
+        let any = AnyMatrix::from_triplets(Format::Ell, &t);
+        par_smsv_generic(&any, &v, &mut got, threads);
+        for (a, b) in got.iter().zip(&expect) {
+            prop_assert!((a - b).abs() < 1e-9, "generic threads={}", threads);
+        }
+    }
+
+    /// Row extraction through every format matches the triplet rows.
+    #[test]
+    fn row_sparse_matches_triplets(t in arb_matrix()) {
+        for fmt in Format::ALL {
+            let m = AnyMatrix::from_triplets(fmt, &t);
+            for i in 0..t.rows() {
+                let a = m.row_sparse(i);
+                let b = t.row_sparse(i);
+                prop_assert_eq!(a.indices(), b.indices(), "{} row {}", fmt, i);
+                prop_assert_eq!(a.values(), b.values(), "{} row {}", fmt, i);
+            }
+        }
+    }
+
+    /// Feature extraction invariants that hold for every matrix.
+    #[test]
+    fn feature_invariants(t in arb_matrix()) {
+        let f = MatrixFeatures::from_triplets(&t);
+        prop_assert_eq!(f.nnz, t.nnz());
+        prop_assert!(f.mdim <= f.n);
+        prop_assert!(f.adim <= f.mdim as f64 + 1e-12);
+        prop_assert!(f.ndig < f.m + f.n);
+        prop_assert!(f.ndig <= f.nnz.max(1) || f.nnz == 0);
+        prop_assert!((0.0..=1.0).contains(&f.density));
+        prop_assert!(f.vdim >= 0.0);
+        if f.nnz > 0 {
+            prop_assert!(f.ndig >= 1);
+            prop_assert!(f.dnnz >= 1.0 - 1e-12);
+        }
+    }
+
+    /// Storage accounting: actual elements always fall inside the Table II
+    /// [min, max] interval (up to the O(1) slack the paper's O(.) hides).
+    #[test]
+    fn storage_within_table2_bounds(t in arb_matrix()) {
+        use dls_sparse::storage::{max_storage_elems, min_storage_elems};
+        prop_assume!(t.nnz() > 0);
+        for fmt in [Format::Den, Format::Csr, Format::Coo, Format::Ell] {
+            let m = AnyMatrix::from_triplets(fmt, &t);
+            let lo = min_storage_elems(fmt, t.rows(), t.cols());
+            let hi = max_storage_elems(fmt, t.rows(), t.cols());
+            prop_assert!(m.storage_elems() + 1 >= lo, "{} below Table II min", fmt);
+            prop_assert!(m.storage_elems() <= hi + t.rows() + 1, "{} above Table II max", fmt);
+        }
+    }
+}

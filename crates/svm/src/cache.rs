@@ -1,0 +1,168 @@
+//! LRU cache for kernel rows.
+//!
+//! SMO revisits the same working-set indices many times (points near the
+//! margin get selected repeatedly), so caching whole kernel rows — the
+//! technique Joachims introduced for SVMlight and LIBSVM adopted — removes
+//! a large fraction of the SMSV work. The cache is bounded by a byte budget
+//! and evicts least-recently-used rows.
+
+use dls_sparse::Scalar;
+use std::collections::HashMap;
+
+/// A bounded LRU cache mapping sample index → kernel row.
+#[derive(Debug)]
+pub struct KernelCache {
+    /// Maximum number of cached rows (derived from the byte budget).
+    capacity: usize,
+    map: HashMap<usize, Vec<Scalar>>,
+    /// Access order, most recent last.
+    order: Vec<usize>,
+    hits: u64,
+    misses: u64,
+}
+
+impl KernelCache {
+    /// Creates a cache that holds at most `budget_bytes` worth of rows of
+    /// length `row_len`. Always admits at least two rows (SMO needs the
+    /// `high` and `low` rows of the current iteration simultaneously).
+    pub fn with_budget(budget_bytes: usize, row_len: usize) -> Self {
+        let row_bytes = (row_len * std::mem::size_of::<Scalar>()).max(1);
+        let capacity = (budget_bytes / row_bytes).max(2);
+        Self {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1024)),
+            order: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of rows the cache can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of rows currently resident.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no rows are resident.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cache hits so far.
+    #[inline]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fetches the row for `index`, computing and inserting it on a miss.
+    pub fn get_or_insert_with(
+        &mut self,
+        index: usize,
+        compute: impl FnOnce() -> Vec<Scalar>,
+    ) -> &[Scalar] {
+        if self.map.contains_key(&index) {
+            self.hits += 1;
+            self.touch(index);
+        } else {
+            self.misses += 1;
+            if self.map.len() >= self.capacity {
+                self.evict_lru();
+            }
+            self.map.insert(index, compute());
+            self.order.push(index);
+        }
+        self.map.get(&index).expect("row just ensured").as_slice()
+    }
+
+    /// Drops every cached row (used when α changes invalidate nothing —
+    /// kernel rows depend only on X — so this exists for tests and resets).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
+    fn touch(&mut self, index: usize) {
+        if let Some(pos) = self.order.iter().position(|&i| i == index) {
+            self.order.remove(pos);
+        }
+        self.order.push(index);
+    }
+
+    fn evict_lru(&mut self) {
+        if !self.order.is_empty() {
+            let victim = self.order.remove(0);
+            self.map.remove(&victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn computes_on_miss_and_reuses_on_hit() {
+        let mut c = KernelCache::with_budget(1024, 4);
+        let mut computed = 0;
+        let row = c.get_or_insert_with(7, || {
+            computed += 1;
+            vec![1.0; 4]
+        });
+        assert_eq!(row, &[1.0; 4]);
+        let _ = c.get_or_insert_with(7, || {
+            computed += 1;
+            vec![2.0; 4]
+        });
+        assert_eq!(computed, 1);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        // Budget for exactly 2 rows of 4 f64s = 64 bytes.
+        let mut c = KernelCache::with_budget(64, 4);
+        assert_eq!(c.capacity(), 2);
+        c.get_or_insert_with(0, || vec![0.0; 4]);
+        c.get_or_insert_with(1, || vec![1.0; 4]);
+        // Touch 0 so 1 becomes LRU.
+        c.get_or_insert_with(0, || unreachable!());
+        c.get_or_insert_with(2, || vec![2.0; 4]);
+        assert_eq!(c.len(), 2);
+        // 1 was evicted: recomputation happens.
+        let mut recomputed = false;
+        c.get_or_insert_with(1, || {
+            recomputed = true;
+            vec![1.0; 4]
+        });
+        assert!(recomputed);
+    }
+
+    #[test]
+    fn always_admits_two_rows() {
+        let c = KernelCache::with_budget(0, 1_000_000);
+        assert_eq!(c.capacity(), 2);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = KernelCache::with_budget(1024, 2);
+        c.get_or_insert_with(3, || vec![3.0; 2]);
+        assert!(!c.is_empty());
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Classification metrics.
+
+use dls_sparse::Scalar;
+
+/// Fraction of predictions equal to the truth.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn accuracy(predicted: &[Scalar], truth: &[Scalar]) -> f64 {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "empty prediction set");
+    let correct = predicted.iter().zip(truth).filter(|(p, t)| p == t).count();
+    correct as f64 / predicted.len() as f64
+}
+
+/// Binary confusion counts `(tp, fp, tn, fn)` treating `+1` as positive.
+pub fn confusion_binary(predicted: &[Scalar], truth: &[Scalar]) -> (usize, usize, usize, usize) {
+    assert_eq!(predicted.len(), truth.len(), "length mismatch");
+    let (mut tp, mut fp, mut tn, mut fal_n) = (0, 0, 0, 0);
+    for (&p, &t) in predicted.iter().zip(truth) {
+        match (p > 0.0, t > 0.0) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, false) => tn += 1,
+            (false, true) => fal_n += 1,
+        }
+    }
+    (tp, fp, tn, fal_n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_accuracy() {
+        assert_eq!(accuracy(&[1.0, -1.0], &[1.0, -1.0]), 1.0);
+    }
+
+    #[test]
+    fn half_accuracy() {
+        assert_eq!(accuracy(&[1.0, 1.0], &[1.0, -1.0]), 0.5);
+    }
+
+    #[test]
+    fn confusion_counts() {
+        let pred = [1.0, 1.0, -1.0, -1.0];
+        let truth = [1.0, -1.0, -1.0, 1.0];
+        assert_eq!(confusion_binary(&pred, &truth), (1, 1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatched_lengths() {
+        let _ = accuracy(&[1.0], &[1.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn rejects_empty() {
+        let _ = accuracy(&[], &[]);
+    }
+}

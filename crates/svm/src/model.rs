@@ -1,0 +1,164 @@
+//! Trained SVM model: support vectors, dual coefficients and bias.
+
+use crate::KernelKind;
+use dls_sparse::{Scalar, SparseVec};
+
+/// A trained binary SVM.
+///
+/// Stores only the support vectors (rows with `α_i > 0`), their dual
+/// coefficients `α_i y_i`, and the bias, so prediction is
+/// `sign(Σ_s coef_s · K(SV_s, x) + b)`.
+#[derive(Debug, Clone)]
+pub struct SvmModel {
+    kernel: KernelKind,
+    support_vectors: Vec<SparseVec>,
+    /// `α_i y_i` per support vector.
+    coefficients: Vec<Scalar>,
+    /// Cached squared norms of the support vectors (for Gaussian kernels).
+    sv_norms_sq: Vec<Scalar>,
+    bias: Scalar,
+}
+
+impl SvmModel {
+    /// Assembles a model from training outputs.
+    ///
+    /// # Panics
+    /// Panics if the arrays differ in length.
+    pub fn new(
+        kernel: KernelKind,
+        support_vectors: Vec<SparseVec>,
+        coefficients: Vec<Scalar>,
+        bias: Scalar,
+    ) -> Self {
+        assert_eq!(support_vectors.len(), coefficients.len(), "SV/coef mismatch");
+        let sv_norms_sq = support_vectors.iter().map(SparseVec::norm_sq).collect();
+        Self { kernel, support_vectors, coefficients, sv_norms_sq, bias }
+    }
+
+    /// The kernel the model was trained with.
+    #[inline]
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
+    }
+
+    /// Number of support vectors.
+    #[inline]
+    pub fn n_support_vectors(&self) -> usize {
+        self.support_vectors.len()
+    }
+
+    /// The support vectors.
+    #[inline]
+    pub fn support_vectors(&self) -> &[SparseVec] {
+        &self.support_vectors
+    }
+
+    /// The dual coefficients `α_i y_i`.
+    #[inline]
+    pub fn coefficients(&self) -> &[Scalar] {
+        &self.coefficients
+    }
+
+    /// The bias term `b`.
+    #[inline]
+    pub fn bias(&self) -> Scalar {
+        self.bias
+    }
+
+    /// Signed decision value `Σ coef_s K(SV_s, x) + b`.
+    pub fn decision_function(&self, x: &SparseVec) -> Scalar {
+        let x_norm_sq = x.norm_sq();
+        let mut acc = self.bias;
+        for ((sv, &coef), &sv_norm) in self
+            .support_vectors
+            .iter()
+            .zip(&self.coefficients)
+            .zip(&self.sv_norms_sq)
+        {
+            let dot = sv.dot(x);
+            acc += coef * self.kernel.apply(dot, sv_norm, x_norm_sq);
+        }
+        acc
+    }
+
+    /// Predicted label: `+1.0` or `-1.0`. Zero decision values map to `+1`.
+    pub fn predict_label(&self, x: &SparseVec) -> Scalar {
+        if self.decision_function(x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Predicts labels for many samples.
+    pub fn predict_batch<'a>(
+        &self,
+        samples: impl IntoIterator<Item = &'a SparseVec>,
+    ) -> Vec<Scalar> {
+        samples.into_iter().map(|x| self.predict_label(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(dim: usize, at: usize) -> SparseVec {
+        SparseVec::new(dim, vec![at], vec![1.0])
+    }
+
+    #[test]
+    fn linear_decision_function() {
+        // One positive SV at e0 with coef +2, one negative at e1 with coef -2,
+        // zero bias: f(x) = 2 x0 - 2 x1.
+        let model = SvmModel::new(
+            KernelKind::Linear,
+            vec![unit(2, 0), unit(2, 1)],
+            vec![2.0, -2.0],
+            0.0,
+        );
+        assert_eq!(model.decision_function(&unit(2, 0)), 2.0);
+        assert_eq!(model.decision_function(&unit(2, 1)), -2.0);
+        assert_eq!(model.predict_label(&unit(2, 0)), 1.0);
+        assert_eq!(model.predict_label(&unit(2, 1)), -1.0);
+    }
+
+    #[test]
+    fn bias_shifts_decisions() {
+        let model = SvmModel::new(KernelKind::Linear, vec![unit(2, 0)], vec![1.0], -0.5);
+        assert_eq!(model.decision_function(&SparseVec::zeros(2)), -0.5);
+        assert_eq!(model.predict_label(&SparseVec::zeros(2)), -1.0);
+    }
+
+    #[test]
+    fn gaussian_uses_cached_norms() {
+        let model = SvmModel::new(
+            KernelKind::Gaussian { gamma: 1.0 },
+            vec![unit(3, 0)],
+            vec![1.0],
+            0.0,
+        );
+        // K of the SV with itself is exactly 1.
+        assert!((model.decision_function(&unit(3, 0)) - 1.0).abs() < 1e-12);
+        // Distant point has tiny kernel value.
+        let far = SparseVec::new(3, vec![2], vec![10.0]);
+        assert!(model.decision_function(&far) < 1e-10);
+    }
+
+    #[test]
+    fn predict_batch_maps_each_sample() {
+        let model = SvmModel::new(KernelKind::Linear, vec![unit(2, 0)], vec![1.0], 0.0);
+        let xs = [unit(2, 0), unit(2, 1)];
+        assert_eq!(model.predict_batch(xs.iter()), vec![1.0, 1.0]); // zero ties to +1
+    }
+
+    #[test]
+    fn accessors() {
+        let model = SvmModel::new(KernelKind::Linear, vec![unit(2, 0)], vec![1.5], 0.25);
+        assert_eq!(model.n_support_vectors(), 1);
+        assert_eq!(model.coefficients(), &[1.5]);
+        assert_eq!(model.bias(), 0.25);
+        assert_eq!(model.kernel(), KernelKind::Linear);
+        assert_eq!(model.support_vectors().len(), 1);
+    }
+}

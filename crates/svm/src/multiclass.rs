@@ -1,0 +1,206 @@
+//! Multi-class SVMs built from independent binary machines (paper §II-A1:
+//! "multi-class SVMs are generally implemented as several independent
+//! binary-class SVMs" and "can be easily trained in parallel").
+
+// Machine loops index votes and class tables together.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{SmoParams, SvmError, SvmModel};
+use dls_sparse::{MatrixFormat, Scalar, SparseVec, TripletMatrix};
+
+/// Decomposition strategy for k-class problems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MulticlassStrategy {
+    /// One binary machine per class against the rest (k machines).
+    #[default]
+    OneVsRest,
+    /// One binary machine per class pair (k·(k−1)/2 machines), majority vote.
+    OneVsOne,
+}
+
+/// A trained multi-class model.
+#[derive(Debug)]
+pub struct MulticlassModel {
+    strategy: MulticlassStrategy,
+    /// Distinct class labels in ascending order.
+    classes: Vec<i64>,
+    /// For OvR: `machines[c]` separates class c from the rest.
+    /// For OvO: machine for pair `(classes[a], classes[b])`, a < b, flattened.
+    machines: Vec<SvmModel>,
+    /// For OvO: the (a, b) class-index pair per machine.
+    pairs: Vec<(usize, usize)>,
+}
+
+impl MulticlassModel {
+    /// Trains a k-class model. `labels[i]` is the integer class of row `i`.
+    pub fn train<M: MatrixFormat + Sync>(
+        x: &M,
+        labels: &[i64],
+        params: &SmoParams,
+        strategy: MulticlassStrategy,
+    ) -> Result<Self, SvmError> {
+        if labels.len() != x.rows() {
+            return Err(SvmError::LabelLengthMismatch { rows: x.rows(), labels: labels.len() });
+        }
+        let mut classes: Vec<i64> = labels.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        if classes.len() < 2 {
+            return Err(SvmError::SingleClass);
+        }
+
+        let mut machines = Vec::new();
+        let mut pairs = Vec::new();
+        match strategy {
+            MulticlassStrategy::OneVsRest => {
+                for &c in &classes {
+                    let y: Vec<Scalar> =
+                        labels.iter().map(|&l| if l == c { 1.0 } else { -1.0 }).collect();
+                    machines.push(crate::train(x, &y, params)?);
+                }
+            }
+            MulticlassStrategy::OneVsOne => {
+                for a in 0..classes.len() {
+                    for b in a + 1..classes.len() {
+                        let (ca, cb) = (classes[a], classes[b]);
+                        // Sub-matrix containing only classes a and b.
+                        let keep: Vec<usize> = labels
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &l)| l == ca || l == cb)
+                            .map(|(i, _)| i)
+                            .collect();
+                        let mut t = TripletMatrix::new(keep.len(), x.cols());
+                        let mut y = Vec::with_capacity(keep.len());
+                        for (new_i, &old_i) in keep.iter().enumerate() {
+                            let row = x.row_sparse(old_i);
+                            for (j, v) in row.iter() {
+                                t.push(new_i, j, v);
+                            }
+                            y.push(if labels[old_i] == ca { 1.0 } else { -1.0 });
+                        }
+                        let sub = dls_sparse::CsrMatrix::from_triplets(&t.compact());
+                        machines.push(crate::train(&sub, &y, params)?);
+                        pairs.push((a, b));
+                    }
+                }
+            }
+        }
+        Ok(Self { strategy, classes, machines, pairs })
+    }
+
+    /// The distinct class labels.
+    #[inline]
+    pub fn classes(&self) -> &[i64] {
+        &self.classes
+    }
+
+    /// Number of underlying binary machines.
+    #[inline]
+    pub fn n_machines(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Predicts the class of one sample.
+    pub fn predict(&self, x: &SparseVec) -> i64 {
+        match self.strategy {
+            MulticlassStrategy::OneVsRest => {
+                // Highest decision value wins.
+                let mut best = (Scalar::NEG_INFINITY, 0usize);
+                for (c, m) in self.machines.iter().enumerate() {
+                    let d = m.decision_function(x);
+                    if d > best.0 {
+                        best = (d, c);
+                    }
+                }
+                self.classes[best.1]
+            }
+            MulticlassStrategy::OneVsOne => {
+                let mut votes = vec![0usize; self.classes.len()];
+                for (m, &(a, b)) in self.machines.iter().zip(&self.pairs) {
+                    if m.predict_label(x) > 0.0 {
+                        votes[a] += 1;
+                    } else {
+                        votes[b] += 1;
+                    }
+                }
+                let winner = votes
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &v)| v)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                self.classes[winner]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KernelKind;
+    use dls_sparse::CsrMatrix;
+
+    /// Three clusters on a line: class 0 around −5, class 1 around 0,
+    /// class 2 around +5.
+    fn three_clusters() -> (CsrMatrix, Vec<i64>) {
+        let centers = [-5.0, 0.0, 5.0];
+        let mut t = TripletMatrix::new(12, 1);
+        let mut labels = Vec::new();
+        for (c, &center) in centers.iter().enumerate() {
+            for k in 0..4 {
+                let i = c * 4 + k;
+                let v = center + (k as f64 - 1.5) * 0.2;
+                if v != 0.0 {
+                    t.push(i, 0, v);
+                }
+                labels.push(c as i64);
+            }
+        }
+        (CsrMatrix::from_triplets(&t.compact()), labels)
+    }
+
+    fn params() -> SmoParams {
+        SmoParams { kernel: KernelKind::Gaussian { gamma: 0.5 }, c: 10.0, ..Default::default() }
+    }
+
+    #[test]
+    fn one_vs_rest_classifies_clusters() {
+        let (x, labels) = three_clusters();
+        let m =
+            MulticlassModel::train(&x, &labels, &params(), MulticlassStrategy::OneVsRest)
+                .unwrap();
+        assert_eq!(m.n_machines(), 3);
+        assert_eq!(m.classes(), &[0, 1, 2]);
+        for i in 0..x.rows() {
+            assert_eq!(m.predict(&x.row_sparse(i)), labels[i], "sample {i}");
+        }
+    }
+
+    #[test]
+    fn one_vs_one_classifies_clusters() {
+        let (x, labels) = three_clusters();
+        let m = MulticlassModel::train(&x, &labels, &params(), MulticlassStrategy::OneVsOne)
+            .unwrap();
+        assert_eq!(m.n_machines(), 3); // 3 choose 2
+        for i in 0..x.rows() {
+            assert_eq!(m.predict(&x.row_sparse(i)), labels[i], "sample {i}");
+        }
+    }
+
+    #[test]
+    fn rejects_single_class() {
+        let (x, _) = three_clusters();
+        let err = MulticlassModel::train(&x, &[7; 12], &params(), Default::default())
+            .unwrap_err();
+        assert_eq!(err, SvmError::SingleClass);
+    }
+
+    #[test]
+    fn rejects_label_mismatch() {
+        let (x, _) = three_clusters();
+        let err = MulticlassModel::train(&x, &[0, 1], &params(), Default::default()).unwrap_err();
+        assert!(matches!(err, SvmError::LabelLengthMismatch { .. }));
+    }
+}

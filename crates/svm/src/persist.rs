@@ -1,0 +1,246 @@
+//! Model persistence in a LIBSVM-inspired text format.
+//!
+//! ```text
+//! dls_svm_model v1
+//! kernel gaussian 0.5
+//! bias -0.25
+//! nr_sv 3
+//! dim 10
+//! SV
+//! 0.75 1:0.5 4:1.25
+//! -1.5 2:2
+//! 0.75 1:-1 9:3
+//! ```
+//!
+//! Each SV line is `coefficient index:value …` with 1-based indices, so the
+//! files are diffable against LIBSVM's own model files.
+
+use crate::{KernelKind, SvmModel};
+use dls_sparse::{Scalar, SparseVec};
+use std::io::{BufRead, Write};
+
+/// Persistence errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelFormatError {
+    /// 1-based line number where parsing failed.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ModelFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ModelFormatError {}
+
+fn kernel_header(kernel: KernelKind) -> String {
+    match kernel {
+        KernelKind::Linear => "kernel linear".to_string(),
+        KernelKind::Gaussian { gamma } => format!("kernel gaussian {gamma}"),
+        KernelKind::Polynomial { a, r, degree } => {
+            format!("kernel polynomial {a} {r} {degree}")
+        }
+        KernelKind::Sigmoid { a, r } => format!("kernel sigmoid {a} {r}"),
+    }
+}
+
+fn parse_kernel(line: &str, lineno: usize) -> Result<KernelKind, ModelFormatError> {
+    let err = |m: &str| ModelFormatError { line: lineno, message: m.to_string() };
+    let mut parts = line.split_ascii_whitespace();
+    let _ = parts.next(); // "kernel"
+    match parts.next() {
+        Some("linear") => Ok(KernelKind::Linear),
+        Some("gaussian") => {
+            let gamma = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("gaussian needs gamma"))?;
+            Ok(KernelKind::Gaussian { gamma })
+        }
+        Some("polynomial") => {
+            let a = parts.next().and_then(|s| s.parse().ok());
+            let r = parts.next().and_then(|s| s.parse().ok());
+            let d = parts.next().and_then(|s| s.parse().ok());
+            match (a, r, d) {
+                (Some(a), Some(r), Some(degree)) => {
+                    Ok(KernelKind::Polynomial { a, r, degree })
+                }
+                _ => Err(err("polynomial needs a r degree")),
+            }
+        }
+        Some("sigmoid") => {
+            let a = parts.next().and_then(|s| s.parse().ok());
+            let r = parts.next().and_then(|s| s.parse().ok());
+            match (a, r) {
+                (Some(a), Some(r)) => Ok(KernelKind::Sigmoid { a, r }),
+                _ => Err(err("sigmoid needs a r")),
+            }
+        }
+        other => Err(err(&format!("unknown kernel: {other:?}"))),
+    }
+}
+
+/// Writes a model in the text format.
+pub fn write_model<W: Write>(w: &mut W, model: &SvmModel) -> std::io::Result<()> {
+    writeln!(w, "dls_svm_model v1")?;
+    writeln!(w, "{}", kernel_header(model.kernel()))?;
+    writeln!(w, "bias {}", model.bias())?;
+    writeln!(w, "nr_sv {}", model.n_support_vectors())?;
+    let dim = model.support_vectors().first().map(SparseVec::dim).unwrap_or(0);
+    writeln!(w, "dim {dim}")?;
+    writeln!(w, "SV")?;
+    for (sv, &coef) in model.support_vectors().iter().zip(model.coefficients()) {
+        write!(w, "{coef}")?;
+        for (j, v) in sv.iter() {
+            write!(w, " {}:{}", j + 1, v)?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads a model from the text format.
+pub fn read_model<R: BufRead>(r: R) -> Result<SvmModel, ModelFormatError> {
+    let err = |line: usize, m: String| ModelFormatError { line, message: m };
+    let mut lines = r.lines().enumerate();
+    let mut next_line = |expect: &str| -> Result<(usize, String), ModelFormatError> {
+        match lines.next() {
+            Some((i, Ok(l))) => Ok((i + 1, l)),
+            Some((i, Err(e))) => Err(err(i + 1, e.to_string())),
+            None => Err(err(0, format!("unexpected end of file, expected {expect}"))),
+        }
+    };
+
+    let (i, magic) = next_line("header")?;
+    if magic.trim() != "dls_svm_model v1" {
+        return Err(err(i, format!("bad magic: {magic}")));
+    }
+    let (i, kline) = next_line("kernel")?;
+    let kernel = parse_kernel(&kline, i)?;
+    let (i, bline) = next_line("bias")?;
+    let bias: Scalar = bline
+        .strip_prefix("bias ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(i, format!("bad bias line: {bline}")))?;
+    let (i, nline) = next_line("nr_sv")?;
+    let nr_sv: usize = nline
+        .strip_prefix("nr_sv ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(i, format!("bad nr_sv line: {nline}")))?;
+    let (i, dline) = next_line("dim")?;
+    let dim: usize = dline
+        .strip_prefix("dim ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(i, format!("bad dim line: {dline}")))?;
+    let (i, svmark) = next_line("SV")?;
+    if svmark.trim() != "SV" {
+        return Err(err(i, format!("expected SV marker, got {svmark}")));
+    }
+
+    let mut svs = Vec::with_capacity(nr_sv);
+    let mut coefs = Vec::with_capacity(nr_sv);
+    for _ in 0..nr_sv {
+        let (i, line) = next_line("support vector")?;
+        let mut parts = line.split_ascii_whitespace();
+        let coef: Scalar = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err(i, "missing coefficient".into()))?;
+        let mut idx = Vec::new();
+        let mut val = Vec::new();
+        for tok in parts {
+            let (a, b) = tok
+                .split_once(':')
+                .ok_or_else(|| err(i, format!("expected idx:value, got {tok}")))?;
+            let j: usize =
+                a.parse().map_err(|_| err(i, format!("bad index {a}")))?;
+            if j == 0 || j > dim {
+                return Err(err(i, format!("index {j} out of range 1..={dim}")));
+            }
+            let v: Scalar =
+                b.parse().map_err(|_| err(i, format!("bad value {b}")))?;
+            idx.push(j - 1);
+            val.push(v);
+        }
+        svs.push(SparseVec::new(dim, idx, val));
+        coefs.push(coef);
+    }
+    Ok(SvmModel::new(kernel, svs, coefs, bias))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{train, SmoParams};
+    use dls_sparse::{CsrMatrix, MatrixFormat, TripletMatrix};
+
+    fn trained_model(kernel: KernelKind) -> (SvmModel, CsrMatrix, Vec<Scalar>) {
+        let mut t = TripletMatrix::new(8, 3);
+        let mut y = Vec::new();
+        for i in 0..8 {
+            let sign = if i < 4 { 1.0 } else { -1.0 };
+            t.push(i, 0, sign * (1.0 + i as f64 * 0.1));
+            t.push(i, (i % 2) + 1, 0.5);
+            y.push(sign);
+        }
+        let x = CsrMatrix::from_triplets(&t.compact());
+        let model = train(&x, &y, &SmoParams { kernel, ..Default::default() }).unwrap();
+        (model, x, y)
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        for kernel in [
+            KernelKind::Linear,
+            KernelKind::Gaussian { gamma: 0.7 },
+            KernelKind::Polynomial { a: 1.0, r: 0.5, degree: 3 },
+            KernelKind::Sigmoid { a: 0.1, r: 0.0 },
+        ] {
+            let (model, x, _) = trained_model(kernel);
+            let mut buf = Vec::new();
+            write_model(&mut buf, &model).unwrap();
+            let loaded = read_model(buf.as_slice()).unwrap();
+            assert_eq!(loaded.kernel(), model.kernel());
+            assert_eq!(loaded.n_support_vectors(), model.n_support_vectors());
+            assert!((loaded.bias() - model.bias()).abs() < 1e-12);
+            for i in 0..x.rows() {
+                let r = x.row_sparse(i);
+                assert!(
+                    (loaded.decision_function(&r) - model.decision_function(&r)).abs()
+                        < 1e-12,
+                    "{kernel:?} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_corrupted_files() {
+        let (model, _, _) = trained_model(KernelKind::Linear);
+        let mut buf = Vec::new();
+        write_model(&mut buf, &model).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+
+        // Bad magic.
+        let bad = text.replace("dls_svm_model v1", "not_a_model");
+        assert!(read_model(bad.as_bytes()).is_err());
+        // Truncated SV block.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.pop();
+        let truncated = lines.join("\n");
+        assert!(read_model(truncated.as_bytes()).is_err());
+        // Out-of-range index.
+        let oob = text.replace("dim 3", "dim 1");
+        assert!(read_model(oob.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let e = read_model("garbage".as_bytes()).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("line 1"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Platt scaling: probability estimates from SVM decision values.
+//!
+//! Fits a sigmoid `P(y = 1 | f) = 1 / (1 + exp(A·f + B))` to the decision
+//! values of a trained machine by regularised maximum likelihood, using
+//! the numerically robust Newton iteration of Lin, Lin & Weng (2007) —
+//! the procedure behind LIBSVM's `-b 1` option.
+
+use crate::SvmModel;
+use dls_sparse::{Scalar, SparseVec};
+
+/// A fitted probability calibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlattScaling {
+    /// Sigmoid slope (negative for well-oriented machines).
+    pub a: f64,
+    /// Sigmoid offset.
+    pub b: f64,
+}
+
+impl PlattScaling {
+    /// Fits the sigmoid on `(decision value, ±1 label)` pairs.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length or are empty.
+    pub fn fit(decision_values: &[Scalar], labels: &[Scalar]) -> Self {
+        assert_eq!(decision_values.len(), labels.len(), "length mismatch");
+        assert!(!decision_values.is_empty(), "need at least one sample");
+        let n = decision_values.len();
+        let n_pos = labels.iter().filter(|&&y| y > 0.0).count() as f64;
+        let n_neg = n as f64 - n_pos;
+
+        // Regularised targets (avoid 0/1 saturation).
+        let hi = (n_pos + 1.0) / (n_pos + 2.0);
+        let lo = 1.0 / (n_neg + 2.0);
+        let t: Vec<f64> =
+            labels.iter().map(|&y| if y > 0.0 { hi } else { lo }).collect();
+
+        // Newton with backtracking on (a, b).
+        let mut a = 0.0f64;
+        let mut b = ((n_neg + 1.0) / (n_pos + 1.0)).ln();
+        let sigma = 1e-12;
+        let max_iter = 100;
+
+        let nll = |a: f64, b: f64| -> f64 {
+            decision_values
+                .iter()
+                .zip(&t)
+                .map(|(&f, &ti)| {
+                    let fapb = a * f + b;
+                    // Stable log(1 + exp(x)) forms.
+                    if fapb >= 0.0 {
+                        ti * fapb + (1.0 + (-fapb).exp()).ln()
+                    } else {
+                        (ti - 1.0) * fapb + (1.0 + fapb.exp()).ln()
+                    }
+                })
+                .sum()
+        };
+
+        let mut fval = nll(a, b);
+        for _ in 0..max_iter {
+            // Gradient and Hessian.
+            let (mut g1, mut g2) = (0.0f64, 0.0f64);
+            let (mut h11, mut h22, mut h21) = (sigma, sigma, 0.0f64);
+            for (&f, &ti) in decision_values.iter().zip(&t) {
+                let fapb = a * f + b;
+                let (p, q) = if fapb >= 0.0 {
+                    let e = (-fapb).exp();
+                    (e / (1.0 + e), 1.0 / (1.0 + e))
+                } else {
+                    let e = fapb.exp();
+                    (1.0 / (1.0 + e), e / (1.0 + e))
+                };
+                let d1 = ti - p;
+                let d2 = p * q;
+                g1 += f * d1;
+                g2 += d1;
+                h11 += f * f * d2;
+                h22 += d2;
+                h21 += f * d2;
+            }
+            if g1.abs() < 1e-5 && g2.abs() < 1e-5 {
+                break;
+            }
+            // Newton direction (2x2 solve).
+            let det = h11 * h22 - h21 * h21;
+            let da = -(h22 * g1 - h21 * g2) / det;
+            let db = -(-h21 * g1 + h11 * g2) / det;
+            let gd = g1 * da + g2 * db;
+            // Backtracking line search.
+            let mut step = 1.0f64;
+            let mut improved = false;
+            while step >= 1e-10 {
+                let (na, nb) = (a + step * da, b + step * db);
+                let nf = nll(na, nb);
+                if nf < fval + 1e-4 * step * gd {
+                    a = na;
+                    b = nb;
+                    fval = nf;
+                    improved = true;
+                    break;
+                }
+                step /= 2.0;
+            }
+            if !improved {
+                break;
+            }
+        }
+        Self { a, b }
+    }
+
+    /// Probability that the sample with decision value `f` is positive.
+    pub fn probability(&self, decision_value: Scalar) -> f64 {
+        let fapb = self.a * decision_value + self.b;
+        if fapb >= 0.0 {
+            (-fapb).exp() / (1.0 + (-fapb).exp())
+        } else {
+            1.0 / (1.0 + fapb.exp())
+        }
+    }
+}
+
+/// A classifier with calibrated probability outputs.
+#[derive(Debug, Clone)]
+pub struct ProbabilisticModel {
+    model: SvmModel,
+    scaling: PlattScaling,
+}
+
+impl ProbabilisticModel {
+    /// Calibrates a trained model on held-out (or training) data.
+    pub fn calibrate(model: SvmModel, x_rows: &[SparseVec], y: &[Scalar]) -> Self {
+        let decisions: Vec<Scalar> =
+            x_rows.iter().map(|r| model.decision_function(r)).collect();
+        let scaling = PlattScaling::fit(&decisions, y);
+        Self { model, scaling }
+    }
+
+    /// The underlying SVM.
+    pub fn model(&self) -> &SvmModel {
+        &self.model
+    }
+
+    /// The fitted sigmoid.
+    pub fn scaling(&self) -> PlattScaling {
+        self.scaling
+    }
+
+    /// `P(y = +1 | x)`.
+    pub fn predict_probability(&self, x: &SparseVec) -> f64 {
+        self.scaling.probability(self.model.decision_function(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{train, KernelKind, SmoParams};
+    use dls_sparse::{CsrMatrix, MatrixFormat, TripletMatrix};
+
+    #[test]
+    fn sigmoid_fits_well_separated_scores() {
+        // Positive labels around f = +2, negatives around f = −2.
+        let decisions = [2.0, 2.5, 1.5, -2.0, -2.5, -1.5];
+        let labels = [1.0, 1.0, 1.0, -1.0, -1.0, -1.0];
+        let s = PlattScaling::fit(&decisions, &labels);
+        assert!(s.probability(3.0) > 0.8, "p(+|3) = {}", s.probability(3.0));
+        assert!(s.probability(-3.0) < 0.2, "p(+|-3) = {}", s.probability(-3.0));
+        // Monotone in f.
+        assert!(s.probability(1.0) > s.probability(-1.0));
+    }
+
+    #[test]
+    fn probabilities_are_valid_and_monotone() {
+        let decisions = [0.5, -0.5, 1.0, -1.0, 0.2, -0.2];
+        let labels = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        let s = PlattScaling::fit(&decisions, &labels);
+        let mut last = 0.0;
+        for f in [-5.0, -1.0, 0.0, 1.0, 5.0] {
+            let p = s.probability(f);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= last, "monotone");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn end_to_end_calibrated_classifier() {
+        let mut t = TripletMatrix::new(10, 1);
+        let mut y = Vec::new();
+        for i in 0..10 {
+            let v = (i as f64 - 4.5) / 2.0;
+            t.push(i, 0, v);
+            y.push(if v > 0.0 { 1.0 } else { -1.0 });
+        }
+        let x = CsrMatrix::from_triplets(&t.compact());
+        let params = SmoParams { kernel: KernelKind::Linear, ..Default::default() };
+        let model = train(&x, &y, &params).unwrap();
+        let rows: Vec<SparseVec> = (0..10).map(|i| x.row_sparse(i)).collect();
+        let prob = ProbabilisticModel::calibrate(model, &rows, &y);
+        let far_pos = SparseVec::new(1, vec![0], vec![5.0]);
+        let far_neg = SparseVec::new(1, vec![0], vec![-5.0]);
+        assert!(prob.predict_probability(&far_pos) > 0.9);
+        assert!(prob.predict_probability(&far_neg) < 0.1);
+        // Near the boundary the probability is uncertain.
+        let mid = SparseVec::zeros(1);
+        let p = prob.predict_probability(&mid);
+        assert!((0.2..=0.8).contains(&p), "boundary p = {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn fit_rejects_mismatched_inputs() {
+        let _ = PlattScaling::fit(&[1.0], &[1.0, -1.0]);
+    }
+}

@@ -1,0 +1,737 @@
+//! Sequential Minimal Optimization (paper Algorithm 1, equations 3–6).
+//!
+//! Each iteration selects the maximal-violating pair `(high, low)`, solves
+//! the two-variable QP analytically, and updates the optimality vector
+//! `f_i = Σ_j α_j y_j K(X_i, X_j) − y_i`. The two kernel rows needed per
+//! iteration are produced by two SMSV products — `X · X_high` and
+//! `X · X_low` — which is the layout-sensitive bottleneck the scheduler in
+//! `dls-core` optimises.
+//!
+//! Working-set selection is first-order by default (Keerthi's maximal
+//! violating pair); the second-order rule of Fan, Chen & Lin (the paper's
+//! reference \[29\], used inside LIBSVM) is available as an option.
+
+// The Keerthi index-set conditions are written exactly as the paper/LIBSVM
+// state them (clippy would "simplify" them into unrecognisable forms), the
+// solver loops index several parallel arrays at once, and parameter checks
+// use `!(x > 0)` deliberately so NaN fails validation.
+#![allow(clippy::nonminimal_bool, clippy::needless_range_loop, clippy::neg_cmp_op_on_partial_ord)]
+
+use crate::{KernelCache, KernelKind, SvmError, SvmModel, SvmProblem};
+use dls_sparse::{MatrixFormat, Scalar};
+
+/// α within this distance of a bound is treated as exactly at the bound.
+const ALPHA_EPS: Scalar = 1e-12;
+
+/// Working-set selection rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkingSetSelection {
+    /// Maximal violating pair (first-order), as in Algorithm 1.
+    #[default]
+    FirstOrder,
+    /// Second-order selection of the `low` index (Fan, Chen & Lin 2005).
+    SecondOrder,
+}
+
+/// Hyperparameters for SMO training.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoParams {
+    /// Regularization constant `C` balancing generality and accuracy.
+    pub c: Scalar,
+    /// Kernel function (Table I).
+    pub kernel: KernelKind,
+    /// Convergence tolerance τ: stop once `b_low ≤ b_high + 2τ`.
+    pub tolerance: Scalar,
+    /// Hard iteration cap.
+    pub max_iterations: usize,
+    /// Byte budget for the kernel-row LRU cache (0 disables caching).
+    pub cache_bytes: usize,
+    /// Working-set selection rule.
+    pub selection: WorkingSetSelection,
+    /// Worker threads for the SMSV kernel rows (1 = serial). Mirrors the
+    /// paper's OpenMP parallelisation of the SMO bottleneck.
+    pub threads: usize,
+    /// Shrinking heuristic (Joachims' SVMlight technique, the paper's
+    /// related-work reference \[2\]): bound variables that cannot join any
+    /// violating pair are dropped from the active set, so kernel rows are
+    /// only evaluated on active samples. On apparent convergence the full
+    /// optimality vector is reconstructed and the final gap is verified on
+    /// all samples, so the returned model is unaffected.
+    pub shrinking: bool,
+    /// Class-weight multiplier for the positive class (LIBSVM's `-w1`):
+    /// positive samples use box constraint `C · positive_weight`, negatives
+    /// plain `C`. Values > 1 push the boundary toward the negative class —
+    /// the standard handle for imbalanced data.
+    pub positive_weight: Scalar,
+}
+
+impl Default for SmoParams {
+    fn default() -> Self {
+        Self {
+            c: 1.0,
+            kernel: KernelKind::default(),
+            tolerance: 1e-3,
+            max_iterations: 100_000,
+            cache_bytes: 64 << 20,
+            selection: WorkingSetSelection::FirstOrder,
+            threads: 1,
+            shrinking: false,
+            positive_weight: 1.0,
+        }
+    }
+}
+
+impl SmoParams {
+    /// Validates the hyperparameters.
+    pub fn validate(&self) -> Result<(), SvmError> {
+        if !(self.c > 0.0) {
+            return Err(SvmError::InvalidParameter(format!("C must be > 0, got {}", self.c)));
+        }
+        if !(self.tolerance > 0.0) {
+            return Err(SvmError::InvalidParameter(format!(
+                "tolerance must be > 0, got {}",
+                self.tolerance
+            )));
+        }
+        if self.max_iterations == 0 {
+            return Err(SvmError::InvalidParameter("max_iterations must be > 0".into()));
+        }
+        if self.threads == 0 {
+            return Err(SvmError::InvalidParameter("threads must be >= 1".into()));
+        }
+        if !(self.positive_weight > 0.0) {
+            return Err(SvmError::InvalidParameter(format!(
+                "positive_weight must be > 0, got {}",
+                self.positive_weight
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Counters and convergence info from one training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoStats {
+    /// SMO iterations executed.
+    pub iterations: usize,
+    /// Whether the duality-gap criterion was met.
+    pub converged: bool,
+    /// Final `b_low − b_high` gap.
+    pub final_gap: Scalar,
+    /// Support vectors in the returned model.
+    pub n_support_vectors: usize,
+    /// SMSV products actually executed (cache misses).
+    pub smsv_count: u64,
+    /// Kernel rows served from cache.
+    pub cache_hits: u64,
+}
+
+/// Trains a binary SVM, returning only the model.
+pub fn train<M: MatrixFormat + Sync>(
+    x: &M,
+    y: &[Scalar],
+    params: &SmoParams,
+) -> Result<SvmModel, SvmError> {
+    train_with_stats(x, y, params).map(|(m, _)| m)
+}
+
+/// Trains a binary SVM, returning the model plus solver statistics.
+pub fn train_with_stats<M: MatrixFormat + Sync>(
+    x: &M,
+    y: &[Scalar],
+    params: &SmoParams,
+) -> Result<(SvmModel, SmoStats), SvmError> {
+    params.validate()?;
+    let problem = SvmProblem::new(x, y)?;
+    let n = problem.n_samples();
+    let y = problem.labels();
+    // Per-sample box constraint: C_i = C · w(y_i).
+    let c_of = |yi: Scalar| -> Scalar {
+        if yi > 0.0 {
+            params.c * params.positive_weight
+        } else {
+            params.c
+        }
+    };
+
+    // Precompute row norms once: every Gaussian kernel row needs them.
+    let mut norms_sq = vec![0.0; n];
+    x.row_norms_sq(&mut norms_sq);
+
+    let mut alpha = vec![0.0 as Scalar; n];
+    // f_i = Σ_j α_j y_j K_ij − y_i  starts at −y_i since α = 0 (eq. 3).
+    let mut f: Vec<Scalar> = y.iter().map(|&yi| -yi).collect();
+
+    let mut cache = KernelCache::with_budget(params.cache_bytes, n);
+    let mut smsv_count: u64 = 0;
+
+    // Computes kernel row `i`: one SMSV then the elementwise kernel map.
+    // With threads > 1 the SMSV is row-partitioned across crossbeam
+    // workers (the paper's OpenMP strategy).
+    let kernel_row = |i: usize, smsv_count: &mut u64| -> Vec<Scalar> {
+        *smsv_count += 1;
+        let xi = x.row_sparse(i);
+        let mut row = vec![0.0; n];
+        if params.threads > 1 {
+            dls_sparse::parallel::par_smsv_generic(x, &xi, &mut row, params.threads);
+        } else {
+            x.smsv(&xi, &mut row);
+        }
+        params.kernel.apply_row(&mut row, &norms_sq, norms_sq[i]);
+        row
+    };
+
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut gap;
+
+    // Active set for the shrinking heuristic: indices still eligible for
+    // working-set selection and f updates.
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut do_shrink = params.shrinking;
+    // Iterations between shrink passes (LIBSVM uses min(n, 1000)).
+    let shrink_every = n.clamp(16, 1000);
+
+    loop {
+        // Lines 6–10 of Algorithm 1: one fused pass over f selecting the
+        // maximal violating pair (restricted to the active set).
+        let (mut high, mut low) = (usize::MAX, usize::MAX);
+        let (mut b_high, mut b_low) = (Scalar::INFINITY, Scalar::NEG_INFINITY);
+        for &i in &active {
+            let ai = alpha[i];
+            let ci = c_of(y[i]);
+            let free = ai > ALPHA_EPS && ai < ci - ALPHA_EPS;
+            let at_zero = ai <= ALPHA_EPS;
+            let in_high = free || (y[i] > 0.0 && at_zero) || (y[i] < 0.0 && !at_zero && !free);
+            let in_low = free || (y[i] > 0.0 && !at_zero && !free) || (y[i] < 0.0 && at_zero);
+            if in_high && f[i] < b_high {
+                b_high = f[i];
+                high = i;
+            }
+            if in_low && f[i] > b_low {
+                b_low = f[i];
+                low = i;
+            }
+        }
+        gap = b_low - b_high;
+        if high == usize::MAX || low == usize::MAX || gap <= 2.0 * params.tolerance {
+            if active.len() < n {
+                // Apparent convergence on the shrunk problem: reconstruct
+                // the full optimality vector and verify on all samples.
+                reconstruct_f(x, y, &alpha, &norms_sq, params, &active, &mut f);
+                active = (0..n).collect();
+                do_shrink = false;
+                continue;
+            }
+            converged = true;
+            break;
+        }
+        if iterations >= params.max_iterations {
+            break;
+        }
+        iterations += 1;
+
+        // Two SMSVs per iteration (the paper's §III-A bottleneck), served
+        // through the LRU row cache. Once the active set has shrunk well
+        // below n, rows are evaluated only at active positions (per-row
+        // sparse dots), which is where shrinking actually saves work;
+        // partial rows bypass the cache to keep it full-row-only.
+        let use_partial = active.len() * 4 < n;
+        let k_high = if use_partial {
+            partial_kernel_row(x, high, &active, &norms_sq, params, &mut smsv_count)
+        } else {
+            cache.get_or_insert_with(high, || kernel_row(high, &mut smsv_count)).to_vec()
+        };
+
+        // Optional second-order refinement of `low` using the high row.
+        if params.selection == WorkingSetSelection::SecondOrder {
+            let mut best = Scalar::NEG_INFINITY;
+            let mut best_j = low;
+            for &j in &active {
+                let aj = alpha[j];
+                let free = aj > ALPHA_EPS && aj < c_of(y[j]) - ALPHA_EPS;
+                let at_zero = aj <= ALPHA_EPS;
+                let in_low =
+                    free || (y[j] > 0.0 && !at_zero && !free) || (y[j] < 0.0 && at_zero);
+                if !in_low {
+                    continue;
+                }
+                let diff = f[j] - b_high;
+                if diff <= params.tolerance {
+                    continue;
+                }
+                let eta = (k_high[high] + self_k(&norms_sq, params, j) - 2.0 * k_high[j])
+                    .max(1e-12);
+                let gain = diff * diff / eta;
+                if gain > best {
+                    best = gain;
+                    best_j = j;
+                }
+            }
+            low = best_j;
+        }
+
+        let k_low = if use_partial {
+            partial_kernel_row(x, low, &active, &norms_sq, params, &mut smsv_count)
+        } else {
+            cache.get_or_insert_with(low, || kernel_row(low, &mut smsv_count)).to_vec()
+        };
+
+        let (yh, yl) = (y[high], y[low]);
+        let s = yh * yl;
+        // η = K_hh + K_ll − 2 K_hl; guard non-PSD kernels (sigmoid) and
+        // numerically degenerate pairs.
+        let eta = (k_high[high] + k_low[low] - 2.0 * k_high[low]).max(1e-12);
+
+        // Equation (5) with b_high = f_high, b_low = f_low at selection
+        // time, then clip α_low to the feasible segment.
+        let (c_high, c_low) = (c_of(yh), c_of(yl));
+        let (l_bound, h_bound) = if s < 0.0 {
+            (
+                (alpha[low] - alpha[high]).max(0.0),
+                (c_high + alpha[low] - alpha[high]).min(c_low),
+            )
+        } else {
+            (
+                (alpha[low] + alpha[high] - c_high).max(0.0),
+                (alpha[low] + alpha[high]).min(c_low),
+            )
+        };
+        let unclipped = alpha[low] + yl * (f[high] - f[low]) / eta;
+        let alpha_low_new = unclipped.clamp(l_bound, h_bound);
+        let delta_low = alpha_low_new - alpha[low];
+        if delta_low.abs() < 1e-14 {
+            // Numerically stalled pair: no further progress possible.
+            break;
+        }
+        // Equation (6): Δα_high = −y_low y_high Δα_low.
+        let delta_high = -s * delta_low;
+        alpha[low] = alpha_low_new;
+        alpha[high] = (alpha[high] + delta_high).clamp(0.0, c_high);
+
+        // Equation (4): fused f update over the active samples. Shrunk
+        // samples keep stale f values until reconstruction.
+        let (dh_yh, dl_yl) = (delta_high * yh, delta_low * yl);
+        for &i in &active {
+            f[i] += dh_yh * k_high[i] + dl_yl * k_low[i];
+        }
+
+        // Periodic shrink: drop bound variables that cannot join any
+        // violating pair against the current [b_high, b_low] window.
+        if do_shrink && iterations.is_multiple_of(shrink_every) && active.len() > 2 {
+            active.retain(|&i| {
+                let ai = alpha[i];
+                let free = ai > ALPHA_EPS && ai < c_of(y[i]) - ALPHA_EPS;
+                if free {
+                    return true;
+                }
+                let at_zero = ai <= ALPHA_EPS;
+                let in_high =
+                    (y[i] > 0.0 && at_zero) || (y[i] < 0.0 && !at_zero);
+                // I_high-only at bound: can only violate as a future
+                // `high` with f[i] < b_low; I_low-only symmetric.
+                if in_high {
+                    f[i] < b_low
+                } else {
+                    f[i] > b_high
+                }
+            });
+        }
+    }
+
+    // Bias from the KKT interval: b = −(b_high + b_low)/2 where the final
+    // selection pass already computed the interval endpoints.
+    let (mut b_high, mut b_low) = (Scalar::INFINITY, Scalar::NEG_INFINITY);
+    for i in 0..n {
+        let ai = alpha[i];
+        let free = ai > ALPHA_EPS && ai < c_of(y[i]) - ALPHA_EPS;
+        let at_zero = ai <= ALPHA_EPS;
+        let in_high = free || (y[i] > 0.0 && at_zero) || (y[i] < 0.0 && !at_zero && !free);
+        let in_low = free || (y[i] > 0.0 && !at_zero && !free) || (y[i] < 0.0 && at_zero);
+        if in_high {
+            b_high = b_high.min(f[i]);
+        }
+        if in_low {
+            b_low = b_low.max(f[i]);
+        }
+    }
+    let bias = -(b_high + b_low) / 2.0;
+
+    let mut support_vectors = Vec::new();
+    let mut coefficients = Vec::new();
+    for i in 0..n {
+        if alpha[i] > ALPHA_EPS {
+            support_vectors.push(x.row_sparse(i));
+            coefficients.push(alpha[i] * y[i]);
+        }
+    }
+    let stats = SmoStats {
+        iterations,
+        converged,
+        final_gap: gap,
+        n_support_vectors: support_vectors.len(),
+        smsv_count,
+        cache_hits: cache.hits(),
+    };
+    let model = SvmModel::new(params.kernel, support_vectors, coefficients, bias);
+    Ok((model, stats))
+}
+
+/// K(X_j, X_j) for the second-order rule without materialising row j.
+fn self_k(norms_sq: &[Scalar], params: &SmoParams, j: usize) -> Scalar {
+    params.kernel.apply(norms_sq[j], norms_sq[j], norms_sq[j])
+}
+
+/// Kernel row evaluated only at the active indices (plus the row's own
+/// diagonal), used once shrinking has made the active set small. Entries
+/// outside the active set are left at zero and are never read: the f
+/// update, the selection pass and the η computation all index into the
+/// active set only.
+fn partial_kernel_row<M: MatrixFormat>(
+    x: &M,
+    row: usize,
+    active: &[usize],
+    norms_sq: &[Scalar],
+    params: &SmoParams,
+    smsv_count: &mut u64,
+) -> Vec<Scalar> {
+    *smsv_count += 1;
+    let xr = x.row_sparse(row);
+    let mut out = vec![0.0; norms_sq.len()];
+    for &i in active {
+        let dot = x.row_sparse(i).dot(&xr);
+        out[i] = params.kernel.apply(dot, norms_sq[i], norms_sq[row]);
+    }
+    if out[row] == 0.0 {
+        // The row itself may already be shrunk; η still needs K(row,row).
+        out[row] = params.kernel.apply(xr.norm_sq(), norms_sq[row], norms_sq[row]);
+    }
+    out
+}
+
+/// Recomputes `f_i = Σ_j α_j y_j K_ij − y_i` for every index *not* in the
+/// active set (whose f went stale while shrunk), using one sparse dot per
+/// (inactive sample, support vector) pair.
+fn reconstruct_f<M: MatrixFormat>(
+    x: &M,
+    y: &[Scalar],
+    alpha: &[Scalar],
+    norms_sq: &[Scalar],
+    params: &SmoParams,
+    active: &[usize],
+    f: &mut [Scalar],
+) {
+    let mut is_active = vec![false; f.len()];
+    for &i in active {
+        is_active[i] = true;
+    }
+    let svs: Vec<usize> = (0..f.len()).filter(|&j| alpha[j] > ALPHA_EPS).collect();
+    let sv_rows: Vec<dls_sparse::SparseVec> = svs.iter().map(|&j| x.row_sparse(j)).collect();
+    for i in 0..f.len() {
+        if is_active[i] {
+            continue;
+        }
+        let xi = x.row_sparse(i);
+        let mut acc = -y[i];
+        for (&j, row_j) in svs.iter().zip(&sv_rows) {
+            let k = params.kernel.apply(xi.dot(row_j), norms_sq[i], norms_sq[j]);
+            acc += alpha[j] * y[j] * k;
+        }
+        f[i] = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_sparse::{CsrMatrix, MatrixFormat, SparseVec, TripletMatrix};
+
+    /// Two well-separated clusters on a line: x < 0 labelled −1, x > 0 +1.
+    fn separable_1d() -> (CsrMatrix, Vec<Scalar>) {
+        let points = [-3.0, -2.5, -2.0, -1.5, 1.5, 2.0, 2.5, 3.0];
+        let mut t = TripletMatrix::new(points.len(), 1);
+        for (i, &p) in points.iter().enumerate() {
+            t.push(i, 0, p);
+        }
+        let labels = points.iter().map(|&p| if p > 0.0 { 1.0 } else { -1.0 }).collect();
+        (CsrMatrix::from_triplets(&t.compact()), labels)
+    }
+
+    /// XOR in 2D: not linearly separable, needs the Gaussian kernel.
+    fn xor_2d() -> (CsrMatrix, Vec<Scalar>) {
+        let pts = [(0.0, 0.0, -1.0), (1.0, 1.0, -1.0), (0.0, 1.0, 1.0), (1.0, 0.0, 1.0)];
+        let mut t = TripletMatrix::new(4, 2);
+        for (i, &(a, b, _)) in pts.iter().enumerate() {
+            if a != 0.0 {
+                t.push(i, 0, a);
+            }
+            if b != 0.0 {
+                t.push(i, 1, b);
+            }
+        }
+        (CsrMatrix::from_triplets(&t.compact()), pts.iter().map(|p| p.2).collect())
+    }
+
+    #[test]
+    fn linear_kernel_separates_clusters() {
+        let (x, y) = separable_1d();
+        let params = SmoParams { kernel: KernelKind::Linear, ..Default::default() };
+        let (model, stats) = train_with_stats(&x, &y, &params).unwrap();
+        assert!(stats.converged, "gap {}", stats.final_gap);
+        for i in 0..x.rows() {
+            assert_eq!(model.predict_label(&x.row_sparse(i)), y[i], "sample {i}");
+        }
+        // Margin midpoint is 0: points beyond the clusters classify correctly.
+        assert_eq!(model.predict_label(&SparseVec::new(1, vec![0], vec![10.0])), 1.0);
+        assert_eq!(model.predict_label(&SparseVec::new(1, vec![0], vec![-10.0])), -1.0);
+    }
+
+    #[test]
+    fn gaussian_kernel_solves_xor() {
+        let (x, y) = xor_2d();
+        let params = SmoParams {
+            kernel: KernelKind::Gaussian { gamma: 2.0 },
+            c: 10.0,
+            ..Default::default()
+        };
+        let (model, stats) = train_with_stats(&x, &y, &params).unwrap();
+        assert!(stats.converged);
+        for i in 0..4 {
+            assert_eq!(model.predict_label(&x.row_sparse(i)), y[i], "XOR corner {i}");
+        }
+    }
+
+    #[test]
+    fn second_order_selection_also_converges() {
+        let (x, y) = xor_2d();
+        let params = SmoParams {
+            kernel: KernelKind::Gaussian { gamma: 2.0 },
+            c: 10.0,
+            selection: WorkingSetSelection::SecondOrder,
+            ..Default::default()
+        };
+        let (model, stats) = train_with_stats(&x, &y, &params).unwrap();
+        assert!(stats.converged);
+        for i in 0..4 {
+            assert_eq!(model.predict_label(&x.row_sparse(i)), y[i]);
+        }
+    }
+
+    #[test]
+    fn alphas_respect_box_constraint_via_dual_coefs() {
+        let (x, y) = separable_1d();
+        let params =
+            SmoParams { kernel: KernelKind::Linear, c: 0.5, ..Default::default() };
+        let (model, _) = train_with_stats(&x, &y, &params).unwrap();
+        for &coef in model.coefficients() {
+            assert!(coef.abs() <= 0.5 + 1e-9, "coef {coef} violates C");
+        }
+        // Dual feasibility: Σ α_i y_i = Σ coef_i = 0.
+        let sum: Scalar = model.coefficients().iter().sum();
+        assert!(sum.abs() < 1e-9, "Σ α y = {sum}");
+    }
+
+    #[test]
+    fn all_formats_train_identically() {
+        use dls_sparse::{AnyMatrix, Format};
+        let (x, y) = separable_1d();
+        let t = x.to_triplets().compact();
+        let params = SmoParams { kernel: KernelKind::Linear, ..Default::default() };
+        let (reference, ref_stats) = train_with_stats(&x, &y, &params).unwrap();
+        for fmt in Format::ALL {
+            let m = AnyMatrix::from_triplets(fmt, &t);
+            let (model, stats) = train_with_stats(&m, &y, &params).unwrap();
+            assert_eq!(stats.iterations, ref_stats.iterations, "{fmt}");
+            assert!((model.bias() - reference.bias()).abs() < 1e-9, "{fmt}");
+            for i in 0..x.rows() {
+                assert_eq!(model.predict_label(&x.row_sparse(i)), y[i], "{fmt} sample {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_serves_repeated_rows() {
+        let (x, y) = xor_2d();
+        let params = SmoParams {
+            kernel: KernelKind::Gaussian { gamma: 2.0 },
+            c: 10.0,
+            ..Default::default()
+        };
+        let (_, stats) = train_with_stats(&x, &y, &params).unwrap();
+        // 4 distinct rows at most can miss; everything else must hit.
+        assert!(stats.smsv_count <= 4);
+        if stats.iterations > 2 {
+            assert!(stats.cache_hits > 0);
+        }
+    }
+
+    #[test]
+    fn max_iterations_caps_work() {
+        let (x, y) = xor_2d();
+        let params = SmoParams {
+            kernel: KernelKind::Gaussian { gamma: 2.0 },
+            c: 10.0,
+            max_iterations: 1,
+            ..Default::default()
+        };
+        let (_, stats) = train_with_stats(&x, &y, &params).unwrap();
+        assert_eq!(stats.iterations, 1);
+        assert!(!stats.converged);
+    }
+
+    #[test]
+    fn positive_weight_shifts_the_boundary() {
+        use dls_sparse::TripletMatrix;
+        // Overlapping clusters: class +1 centred at +0.5, −1 at −0.5, with
+        // the midpoint ambiguous. Weighting the positive class pushes the
+        // decision boundary toward the negatives, so an ambiguous point
+        // near zero flips to +1.
+        let mut t = TripletMatrix::new(20, 1);
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let v = sign * 0.5 + ((i as f64) * 0.61).sin() * 0.6;
+            t.push(i, 0, v);
+            y.push(sign);
+        }
+        let x = dls_sparse::CsrMatrix::from_triplets(&t.compact());
+        let balanced = SmoParams { kernel: KernelKind::Linear, c: 1.0, ..Default::default() };
+        let weighted = SmoParams { positive_weight: 20.0, ..balanced };
+        let (mb, _) = train_with_stats(&x, &y, &balanced).unwrap();
+        let (mw, _) = train_with_stats(&x, &y, &weighted).unwrap();
+        // Positive-class recall with the heavy weight must be at least as
+        // good as balanced, and the decision value at the origin moves up.
+        let probe = dls_sparse::SparseVec::zeros(1);
+        assert!(
+            mw.decision_function(&probe) >= mb.decision_function(&probe) - 1e-9,
+            "weighted boundary must favour positives: {} vs {}",
+            mw.decision_function(&probe),
+            mb.decision_function(&probe)
+        );
+        let recall = |m: &crate::SvmModel| {
+            let mut hit = 0;
+            let mut tot = 0;
+            for i in 0..20 {
+                if y[i] > 0.0 {
+                    tot += 1;
+                    if m.predict_label(&x.row_sparse(i)) > 0.0 {
+                        hit += 1;
+                    }
+                }
+            }
+            hit as f64 / tot as f64
+        };
+        assert!(recall(&mw) >= recall(&mb), "weighting must not hurt positive recall");
+    }
+
+    #[test]
+    fn weighted_coefficients_respect_per_class_boxes() {
+        let (x, y) = separable_1d();
+        let params = SmoParams {
+            kernel: KernelKind::Linear,
+            c: 0.5,
+            positive_weight: 4.0,
+            ..Default::default()
+        };
+        let (model, _) = train_with_stats(&x, &y, &params).unwrap();
+        for (&coef, sv) in model.coefficients().iter().zip(model.support_vectors()) {
+            let _ = sv;
+            if coef > 0.0 {
+                assert!(coef <= 0.5 * 4.0 + 1e-9, "positive coef {coef}");
+            } else {
+                assert!(-coef <= 0.5 + 1e-9, "negative coef {coef}");
+            }
+        }
+        assert!(train(&x, &y, &SmoParams { positive_weight: 0.0, ..params }).is_err());
+    }
+
+    #[test]
+    fn shrinking_preserves_the_solution() {
+        use dls_sparse::TripletMatrix;
+        // A bigger problem so shrinking actually kicks in (shrink_every
+        // scales with n).
+        let n = 60;
+        let mut t = TripletMatrix::new(n, 2);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let jitter = (i as f64 * 0.77).sin();
+            t.push(i, 0, sign * 2.0 + jitter * 0.5);
+            t.push(i, 1, jitter);
+            y.push(sign);
+        }
+        let x = dls_sparse::CsrMatrix::from_triplets(&t.compact());
+        let plain = SmoParams { kernel: KernelKind::Gaussian { gamma: 0.5 }, ..Default::default() };
+        let shrunk = SmoParams { shrinking: true, ..plain };
+        let (m1, s1) = train_with_stats(&x, &y, &plain).unwrap();
+        let (m2, s2) = train_with_stats(&x, &y, &shrunk).unwrap();
+        assert!(s1.converged && s2.converged);
+        // Same decisions everywhere; bias within the solver tolerance.
+        assert!((m1.bias() - m2.bias()).abs() < 1e-2, "{} vs {}", m1.bias(), m2.bias());
+        for i in 0..n {
+            let r = x.row_sparse(i);
+            assert_eq!(m1.predict_label(&r), m2.predict_label(&r), "row {i}");
+        }
+    }
+
+    #[test]
+    fn shrinking_final_gap_is_verified_on_full_set() {
+        let (x, y) = separable_1d();
+        let params = SmoParams {
+            kernel: KernelKind::Linear,
+            shrinking: true,
+            ..Default::default()
+        };
+        let (_, stats) = train_with_stats(&x, &y, &params).unwrap();
+        assert!(stats.converged);
+        assert!(stats.final_gap <= 2.0 * params.tolerance + 1e-12);
+    }
+
+    #[test]
+    fn threaded_kernel_rows_give_identical_results() {
+        let (x, y) = xor_2d();
+        let serial = SmoParams {
+            kernel: KernelKind::Gaussian { gamma: 2.0 },
+            c: 10.0,
+            ..Default::default()
+        };
+        let threaded = SmoParams { threads: 4, ..serial };
+        let (m1, s1) = train_with_stats(&x, &y, &serial).unwrap();
+        let (m2, s2) = train_with_stats(&x, &y, &threaded).unwrap();
+        assert_eq!(s1.iterations, s2.iterations);
+        assert!((m1.bias() - m2.bias()).abs() < 1e-12);
+        for i in 0..4 {
+            assert_eq!(m1.predict_label(&x.row_sparse(i)), m2.predict_label(&x.row_sparse(i)));
+        }
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let (x, y) = separable_1d();
+        let bad_c = SmoParams { c: 0.0, ..Default::default() };
+        assert!(train(&x, &y, &bad_c).is_err());
+        let bad_tol = SmoParams { tolerance: -1.0, ..Default::default() };
+        assert!(train(&x, &y, &bad_tol).is_err());
+        let bad_iter = SmoParams { max_iterations: 0, ..Default::default() };
+        assert!(train(&x, &y, &bad_iter).is_err());
+        let bad_threads = SmoParams { threads: 0, ..Default::default() };
+        assert!(train(&x, &y, &bad_threads).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let (x, _) = separable_1d();
+        let err = train(&x, &[1.0; 8], &SmoParams::default()).unwrap_err();
+        assert_eq!(err, SvmError::SingleClass);
+    }
+
+    #[test]
+    fn stats_count_iterations_and_svs() {
+        let (x, y) = separable_1d();
+        let params = SmoParams { kernel: KernelKind::Linear, ..Default::default() };
+        let (model, stats) = train_with_stats(&x, &y, &params).unwrap();
+        assert!(stats.iterations >= 1);
+        assert_eq!(stats.n_support_vectors, model.n_support_vectors());
+        assert!(stats.n_support_vectors >= 2, "at least one SV per class");
+    }
+}

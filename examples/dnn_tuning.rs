@@ -1,0 +1,66 @@
+//! DNN hyperparameter auto-tuning (paper §IV): tune batch size, learning
+//! rate and momentum on the synthetic CIFAR-like task, then project the
+//! result onto the five hardware platforms with the calibrated throughput
+//! model.
+//!
+//! ```text
+//! cargo run --release --example dnn_tuning
+//! ```
+
+use dls::dnn::tuning::AutoTuner;
+use dls::dnn::TrainerConfig;
+use dls::hw::{ThroughputModel, PLATFORMS};
+
+fn main() {
+    let ds = dls_dnn::Dataset::cifar_like(dls_dnn::CifarLikeConfig {
+        train: 800,
+        test: 240,
+        noise: 1.2,
+        ..Default::default()
+    });
+    println!(
+        "CIFAR-like twin: {} train / {} test, {} classes, dim {}",
+        ds.n_train(),
+        ds.n_test(),
+        ds.classes(),
+        ds.dim()
+    );
+
+    let tuner = AutoTuner {
+        hidden: vec![32],
+        net_seed: 9,
+        base: TrainerConfig { target_accuracy: 0.8, max_epochs: 100, ..Default::default() },
+    };
+    let result = tuner.run(
+        &ds,
+        &[32, 100, 200, 400, 800],
+        &[0.001, 0.002, 0.004, 0.008, 0.016],
+        &[0.90, 0.93, 0.95, 0.97, 0.99],
+    );
+
+    println!("\ngreedy tuning pipeline (B -> eta -> mu):");
+    for (stage, p) in [
+        ("after batch   ", &result.after_batch),
+        ("after lr      ", &result.after_lr),
+        ("after momentum", &result.after_momentum),
+    ] {
+        println!(
+            "  {stage}: B={:<4} eta={:<6} mu={:<5} -> {} iterations, {} epochs, acc {:.3}",
+            p.batch_size,
+            p.learning_rate,
+            p.momentum,
+            p.outcome.iterations,
+            p.outcome.epochs,
+            p.outcome.final_accuracy
+        );
+    }
+
+    // Project the winner onto each platform.
+    let winner = &result.after_momentum;
+    println!("\nprojected time for the tuned run on each platform:");
+    for p in &PLATFORMS {
+        let model = ThroughputModel::new(*p);
+        let secs = model.time_for(winner.outcome.iterations, winner.batch_size);
+        println!("  {:<12} {:>10.2} s  (${:>8.0})", p.name, secs, p.price_usd);
+    }
+}

@@ -1,0 +1,57 @@
+//! Format explorer: a small CLI that reads a LIBSVM-format file (or
+//! generates a named synthetic twin), prints its nine influencing
+//! parameters, Table II storage predictions, and what each selection
+//! strategy would choose.
+//!
+//! ```text
+//! cargo run --release --example format_explorer -- path/to/data.libsvm
+//! cargo run --release --example format_explorer -- @mnist      # synthetic twin
+//! ```
+
+use dls::prelude::*;
+use dls_core::CostModelSelector;
+use dls_sparse::storage::predicted_storage_elems;
+use std::io::BufReader;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "@adult".to_string());
+    let matrix = if let Some(name) = arg.strip_prefix('@') {
+        let spec = DatasetSpec::by_name(name)
+            .unwrap_or_else(|| panic!("unknown synthetic dataset {name}"))
+            .scaled(2);
+        generate(&spec, 42)
+    } else {
+        let file = std::fs::File::open(&arg).unwrap_or_else(|e| panic!("open {arg}: {e}"));
+        let ds = dls_data::libsvm::read(BufReader::new(file))
+            .unwrap_or_else(|e| panic!("parse {arg}: {e}"));
+        ds.matrix
+    };
+
+    let features = MatrixFeatures::from_triplets(&matrix);
+    println!("influencing parameters (paper Table IV):\n  {features}\n");
+    println!("derived fitness measures:");
+    println!("  row imbalance (sqrt(vdim)/adim): {:.3}", features.row_imbalance());
+    println!("  ELL padding ratio:               {:.3}", features.ell_padding_ratio());
+    println!("  DIA padding ratio:               {:.3}\n", features.dia_padding_ratio());
+
+    println!("predicted storage (Table II model) and cost-model time (Eq. 7):");
+    let cost = CostModelSelector::default();
+    for fmt in Format::BASIC {
+        println!(
+            "  {:<5} {:>14.0} elems {:>12.3e} s",
+            fmt.name(),
+            predicted_storage_elems(fmt, &features),
+            cost.predicted_time(fmt, &features)
+        );
+    }
+
+    println!("\nselections:");
+    for (label, strategy) in [
+        ("rule-based", SelectionStrategy::RuleBased),
+        ("cost-model", SelectionStrategy::CostModel),
+        ("empirical ", SelectionStrategy::Empirical),
+    ] {
+        let report = LayoutScheduler::with_strategy(strategy).select_only(&matrix);
+        println!("  {label}: {} — {}", report.chosen, report.reason);
+    }
+}

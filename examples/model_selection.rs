@@ -1,0 +1,72 @@
+//! The full model-selection pipeline on a scheduled layout: stratified
+//! split → feature scaling → grid search with cross-validation → final
+//! training → probability calibration → held-out evaluation → model
+//! persistence.
+//!
+//! ```text
+//! cargo run --release --example model_selection
+//! ```
+
+use dls::prelude::*;
+use dls::svm::{grid_search, write_model, ProbabilisticModel};
+use dls_data::labels::linear_teacher_labels;
+use dls_data::preprocess::{FeatureScaler, ScaleRange};
+use dls_data::stratified_split;
+
+fn main() {
+    // 1. Data: a noisy twin of "aloi".
+    let spec = DatasetSpec::by_name("aloi").expect("known dataset").scaled(4);
+    let data = generate(&spec, 42);
+    let labels = linear_teacher_labels(&data, 0.08, 42);
+    println!("dataset: {} x {} ({} nnz), 8% label noise", data.rows(), data.cols(), data.nnz());
+
+    // 2. Stratified split.
+    let split = stratified_split(&data, &labels, 0.25, 7);
+    println!("split: {} train / {} test", split.train_x.rows(), split.test_x.rows());
+
+    // 3. Scale features on the training side only.
+    let scaler = FeatureScaler::fit(&split.train_x, ScaleRange::ZeroOne);
+    let train_x = scaler.transform(&split.train_x);
+    let test_x = scaler.transform(&split.test_x);
+
+    // 4. Let the scheduler pick the layout for the training matrix.
+    let scheduled = LayoutScheduler::new().schedule(&train_x);
+    println!("scheduled format: {} — {}", scheduled.format(), scheduled.report().reason);
+
+    // 5. Grid search (C, gamma) with 4-fold CV.
+    let base = SmoParams::default();
+    let result = grid_search(
+        scheduled.matrix(),
+        &split.train_y,
+        &base,
+        &[0.1, 1.0, 10.0],
+        &[0.05, 0.5, 2.0],
+        4,
+    )
+    .expect("grid search runs");
+    println!(
+        "grid search: best C = {}, kernel = {:?}, CV accuracy {:.3}",
+        result.best_params.c, result.best_params.kernel, result.best_accuracy
+    );
+
+    // 6. Final model on the full training split, with probabilities.
+    let model = train(scheduled.matrix(), &split.train_y, &result.best_params)
+        .expect("final training");
+    let train_rows: Vec<_> = (0..train_x.rows()).map(|i| train_x.row_sparse(i)).collect();
+    let prob = ProbabilisticModel::calibrate(model, &train_rows, &split.train_y);
+
+    // 7. Held-out evaluation.
+    let preds: Vec<f64> = (0..test_x.rows())
+        .map(|i| prob.model().predict_label(&test_x.row_sparse(i)))
+        .collect();
+    let acc = dls::svm::accuracy(&preds, &split.test_y);
+    println!("held-out accuracy: {acc:.3}");
+    let p0 = prob.predict_probability(&test_x.row_sparse(0));
+    println!("P(+1 | first test sample) = {p0:.3}");
+
+    // 8. Persist the model.
+    let path = std::env::temp_dir().join("dls_model_selection.model");
+    let mut file = std::fs::File::create(&path).expect("create model file");
+    write_model(&mut file, prob.model()).expect("write model");
+    println!("model written to {}", path.display());
+}

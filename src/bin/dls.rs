@@ -1,0 +1,163 @@
+//! `dls` — command-line front end for the layout scheduler.
+//!
+//! ```text
+//! dls features  <data.libsvm | @dataset>            nine influencing parameters
+//! dls schedule  <data.libsvm | @dataset> [strategy] pick a storage format
+//! dls train     <data.libsvm | @dataset> [strategy] schedule + SMO training
+//! dls bench     <data.libsvm | @dataset> [iters]    per-format SMO timing
+//! dls scale     <in.libsvm> <out.libsvm> [01|pm1]   feature scaling
+//! ```
+//!
+//! `@name` loads the synthetic twin of a paper dataset (e.g. `@adult`).
+
+use dls::prelude::*;
+use dls_data::labels::linear_teacher_labels;
+use dls_data::preprocess::{FeatureScaler, ScaleRange};
+use std::io::BufReader;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("features") => cmd_features(&args[1..]),
+        Some("schedule") => cmd_schedule(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("scale") => cmd_scale(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: dls <features|schedule|train|bench|scale> <data.libsvm | @dataset> ..."
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Loads a dataset: `@name` → synthetic twin, anything else → LIBSVM file.
+fn load(source: &str) -> Result<(TripletMatrix, Vec<f64>), String> {
+    if let Some(name) = source.strip_prefix('@') {
+        let spec = DatasetSpec::by_name(name)
+            .ok_or_else(|| format!("unknown synthetic dataset: {name}"))?
+            .scaled(2);
+        let t = generate(&spec, 42);
+        let y = linear_teacher_labels(&t, 0.0, 42);
+        Ok((t, y))
+    } else {
+        let file = std::fs::File::open(source).map_err(|e| format!("open {source}: {e}"))?;
+        let ds = dls_data::libsvm::read(BufReader::new(file))
+            .map_err(|e| format!("parse {source}: {e}"))?;
+        // Map arbitrary labels to ±1 by sign for binary training.
+        let y = ds.labels.iter().map(|&l| if l > 0.0 { 1.0 } else { -1.0 }).collect();
+        Ok((ds.matrix, y))
+    }
+}
+
+fn parse_strategy(arg: Option<&String>) -> Result<SelectionStrategy, String> {
+    match arg.map(String::as_str) {
+        None | Some("rule") => Ok(SelectionStrategy::RuleBased),
+        Some("rule-host") => Ok(SelectionStrategy::RuleBasedHost),
+        Some("cost") => Ok(SelectionStrategy::CostModel),
+        Some("empirical") => Ok(SelectionStrategy::Empirical),
+        Some(f) => f
+            .parse::<Format>()
+            .map(SelectionStrategy::Fixed)
+            .map_err(|_| format!("unknown strategy or format: {f}")),
+    }
+}
+
+fn cmd_features(args: &[String]) -> Result<(), String> {
+    let source = args.first().ok_or("features: missing data source")?;
+    let (t, _) = load(source)?;
+    let f = MatrixFeatures::from_triplets(&t);
+    println!("{f}");
+    println!("row imbalance: {:.3}", f.row_imbalance());
+    println!("ELL padding:   {:.3}", f.ell_padding_ratio());
+    println!("DIA padding:   {:.3}", f.dia_padding_ratio());
+    Ok(())
+}
+
+fn cmd_schedule(args: &[String]) -> Result<(), String> {
+    let source = args.first().ok_or("schedule: missing data source")?;
+    let strategy = parse_strategy(args.get(1))?;
+    let (t, _) = load(source)?;
+    let report = LayoutScheduler::with_strategy(strategy).select_only(&t);
+    println!("{report}");
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let source = args.first().ok_or("train: missing data source")?;
+    let strategy = parse_strategy(args.get(1))?;
+    let (t, y) = load(source)?;
+    let scheduled = LayoutScheduler::with_strategy(strategy).schedule(&t);
+    println!("scheduled format: {}", scheduled.format());
+
+    let params = SmoParams { kernel: KernelKind::Linear, ..Default::default() };
+    let start = Instant::now();
+    let (model, stats) = dls::svm::train_with_stats(scheduled.matrix(), &y, &params)
+        .map_err(|e| e.to_string())?;
+    let secs = start.elapsed().as_secs_f64();
+
+    let preds: Vec<f64> = (0..t.rows()).map(|i| model.predict_label(&t.row_sparse(i))).collect();
+    println!(
+        "trained in {secs:.3}s: {} iterations, {} SVs, converged {}, training accuracy {:.3}",
+        stats.iterations,
+        stats.n_support_vectors,
+        stats.converged,
+        dls::svm::accuracy(&preds, &y)
+    );
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let source = args.first().ok_or("bench: missing data source")?;
+    let iters: usize = args.get(1).map(|s| s.parse().unwrap_or(20)).unwrap_or(20);
+    let (t, y) = load(source)?;
+    println!("{:<6} {:>14} {:>12}", "format", "seconds", "speedup");
+    let mut times = Vec::new();
+    for fmt in Format::BASIC {
+        let m = AnyMatrix::from_triplets(fmt, &t);
+        let params = SmoParams {
+            kernel: KernelKind::Linear,
+            tolerance: 1e-12,
+            max_iterations: iters,
+            cache_bytes: 0,
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let _ = dls::svm::train_with_stats(&m, &y, &params).map_err(|e| e.to_string())?;
+        times.push((fmt, start.elapsed().as_secs_f64()));
+    }
+    let slowest = times.iter().map(|(_, s)| *s).fold(0.0, f64::max);
+    for (fmt, secs) in times {
+        println!("{:<6} {:>14.3e} {:>11.2}x", fmt.name(), secs, slowest / secs);
+    }
+    Ok(())
+}
+
+fn cmd_scale(args: &[String]) -> Result<(), String> {
+    let input = args.first().ok_or("scale: missing input file")?;
+    let output = args.get(1).ok_or("scale: missing output file")?;
+    let range = match args.get(2).map(String::as_str) {
+        None | Some("01") => ScaleRange::ZeroOne,
+        Some("pm1") => ScaleRange::SymmetricOne,
+        Some(r) => return Err(format!("unknown range: {r} (use 01 or pm1)")),
+    };
+    let file = std::fs::File::open(input).map_err(|e| format!("open {input}: {e}"))?;
+    let ds = dls_data::libsvm::read(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let scaler = FeatureScaler::fit(&ds.matrix, range);
+    let scaled = scaler.transform(&ds.matrix);
+    let mut out =
+        std::fs::File::create(output).map_err(|e| format!("create {output}: {e}"))?;
+    dls_data::libsvm::write(&mut out, &scaled, &ds.labels).map_err(|e| e.to_string())?;
+    println!("scaled {} rows x {} cols -> {output}", scaled.rows(), scaled.cols());
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! End-to-end tests of the `dls` command-line binary: every subcommand is
+//! exercised against synthetic twins and round-tripped files.
+
+use std::process::Command;
+
+fn dls() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dls"))
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = dls().args(args).output().expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let (ok, _, err) = run(&[]);
+    assert!(!ok);
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn features_reports_the_nine_parameters() {
+    let (ok, out, err) = run(&["features", "@trefethen"]);
+    assert!(ok, "{err}");
+    for key in ["M=", "N=", "nnz=", "ndig=", "vdim="] {
+        assert!(out.contains(key), "missing {key} in {out}");
+    }
+    assert!(out.contains("DIA padding"));
+}
+
+#[test]
+fn schedule_picks_dia_for_trefethen() {
+    let (ok, out, _) = run(&["schedule", "@trefethen"]);
+    assert!(ok);
+    assert!(out.contains("selected DIA"), "{out}");
+    // Strategy variants all run.
+    for strat in ["rule", "rule-host", "cost", "empirical", "CSR"] {
+        let (ok, out, err) = run(&["schedule", "@trefethen", strat]);
+        assert!(ok, "{strat}: {err}");
+        assert!(out.contains("selected"), "{strat}: {out}");
+    }
+}
+
+#[test]
+fn schedule_rejects_unknown_strategy() {
+    let (ok, _, err) = run(&["schedule", "@adult", "quantum"]);
+    assert!(!ok);
+    assert!(err.contains("unknown strategy"), "{err}");
+}
+
+#[test]
+fn train_reports_convergence() {
+    let (ok, out, err) = run(&["train", "@trefethen"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("scheduled format"), "{out}");
+    assert!(out.contains("training accuracy"), "{out}");
+}
+
+#[test]
+fn bench_lists_all_five_formats() {
+    let (ok, out, _) = run(&["bench", "@trefethen", "5"]);
+    assert!(ok);
+    for fmt in ["ELL", "CSR", "COO", "DEN", "DIA"] {
+        assert!(out.contains(fmt), "missing {fmt} in {out}");
+    }
+}
+
+#[test]
+fn scale_round_trips_a_file() {
+    let dir = std::env::temp_dir();
+    let input = dir.join("dls_cli_scale_in.libsvm");
+    let output = dir.join("dls_cli_scale_out.libsvm");
+    std::fs::write(&input, "1 1:2 2:10\n-1 1:6 2:0.5\n").unwrap();
+    let (ok, out, err) =
+        run(&["scale", input.to_str().unwrap(), output.to_str().unwrap(), "01"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("scaled 2 rows"), "{out}");
+    let scaled = std::fs::read_to_string(&output).unwrap();
+    // Column maxima map to 1.
+    assert!(scaled.lines().next().unwrap().contains("2:1"), "{scaled}");
+    let _ = std::fs::remove_file(input);
+    let _ = std::fs::remove_file(output);
+}
+
+#[test]
+fn unknown_synthetic_dataset_fails_cleanly() {
+    let (ok, _, err) = run(&["features", "@nope"]);
+    assert!(!ok);
+    assert!(err.contains("unknown synthetic dataset"), "{err}");
+}

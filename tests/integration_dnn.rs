@@ -1,0 +1,101 @@
+//! Integration across the DNN half: dataset → network → tuning → hardware
+//! cost model (the §IV pipeline).
+
+use dls::dnn::tuning::{batch, best_point};
+use dls::dnn::{CifarLikeConfig, Dataset, Network, SgdConfig, Trainer, TrainerConfig};
+use dls::hw::{build_table7, Platform, RunSpec, ThroughputModel};
+
+fn dataset() -> Dataset {
+    Dataset::cifar_like(CifarLikeConfig {
+        classes: 5,
+        side: 4,
+        train: 250,
+        test: 100,
+        noise: 0.5,
+        ..Default::default()
+    })
+}
+
+/// An MLP reaches the paper's 0.8 target on the synthetic task and the
+/// epochs-to-target number plugs into the platform model.
+#[test]
+fn training_outcome_drives_platform_model() {
+    let ds = dataset();
+    let mut net = Network::mlp(&[ds.dim(), 24, ds.classes()], 3);
+    let config = TrainerConfig {
+        batch_size: 25,
+        sgd: SgdConfig { learning_rate: 0.03, momentum: 0.9, weight_decay: 0.0, nesterov: false },
+        target_accuracy: 0.8,
+        max_epochs: 60,
+        ..Default::default()
+    };
+    let out = Trainer::run(&mut net, &ds, &config);
+    assert!(out.reached, "accuracy {} in {} epochs", out.final_accuracy, out.epochs);
+
+    // Project onto every platform: faster hardware, shorter time.
+    let mut last = f64::INFINITY;
+    for p in dls::hw::PLATFORMS {
+        let secs = ThroughputModel::new(p).time_for(out.iterations, config.batch_size);
+        assert!(secs > 0.0 && secs < last, "{} not faster than predecessor", p.name);
+        last = secs;
+    }
+}
+
+/// The batch sweep and the table builder compose: sweep → winner → row.
+#[test]
+fn batch_sweep_feeds_table_builder() {
+    let ds = dataset();
+    let base = TrainerConfig {
+        sgd: SgdConfig { learning_rate: 0.03, momentum: 0.9, weight_decay: 0.0, nesterov: false },
+        target_accuracy: 0.8,
+        max_epochs: 60,
+        ..Default::default()
+    };
+    let pts = batch::sweep(&ds, &[ds.dim(), 24, ds.classes()], 3, &base, &[10, 50, 250]);
+    let best = best_point(&pts).expect("non-empty sweep");
+    assert!(best.outcome.reached, "winner must reach the target");
+
+    let specs: Vec<RunSpec> = pts
+        .iter()
+        .map(|p| RunSpec {
+            method: "sweep point",
+            platform: "DGX",
+            batch: p.batch_size,
+            learning_rate: p.learning_rate as f64,
+            momentum: p.momentum as f64,
+            iterations: p.outcome.iterations.max(1),
+            epochs: p.outcome.epochs,
+        })
+        .collect();
+    let rows = build_table7(&specs);
+    assert_eq!(rows.len(), 3);
+    // The slowest row is the 1x baseline.
+    assert!(rows.iter().any(|r| (r.speedup - 1.0).abs() < 1e-9));
+    for r in &rows {
+        assert!(r.price_per_speedup > 0.0);
+        assert_eq!(r.price_usd, Platform::by_name("DGX").unwrap().price_usd);
+    }
+}
+
+/// Convnet path: the same trainer drives the conv stack (NCHW reshape is
+/// inside the network via Flatten of image batches is validated at the
+/// layer level; here we check the MLP-equivalent flat path end-to-end).
+#[test]
+fn convnet_forward_matches_batch_dims() {
+    let ds = Dataset::cifar_like(CifarLikeConfig {
+        classes: 4,
+        side: 8,
+        train: 16,
+        test: 8,
+        noise: 0.3,
+        ..Default::default()
+    });
+    let mut net = Network::cifar_convnet(8, 4, 1);
+    let (x, y) = ds.train_batch_images(&[0, 1, 2, 3]);
+    let logits = net.forward(&x);
+    assert_eq!(logits.shape(), &[4, 4]);
+    let (loss, grad) = dls::dnn::loss::softmax_cross_entropy(&logits, &y);
+    assert!(loss.is_finite());
+    net.zero_grads();
+    net.backward(&grad); // must not panic: gradients flow through the stack
+}

@@ -1,0 +1,140 @@
+//! End-to-end integration: data generation → feature extraction → runtime
+//! scheduling → SVM training → prediction, across crates.
+
+#![allow(clippy::needless_range_loop)]
+
+use dls::prelude::*;
+use dls_data::labels::linear_teacher_labels;
+
+/// The full paper pipeline on every Table VI dataset (scaled): the
+/// scheduler must pick a basic format and training on that format must
+/// converge to a useful model.
+#[test]
+fn full_pipeline_on_all_table6_datasets() {
+    for name in dls_data::specs::TABLE6_DATASETS {
+        let scale = match name {
+            "gisette" => 16,
+            "sector" => 8,
+            _ => 4,
+        };
+        let spec = DatasetSpec::by_name(name).unwrap().scaled(scale);
+        let data = generate(&spec, 42);
+        let labels = linear_teacher_labels(&data, 0.0, 7);
+
+        let scheduled = LayoutScheduler::new().schedule(&data);
+        assert!(
+            Format::BASIC.contains(&scheduled.format()),
+            "{name}: scheduler must pick a basic format"
+        );
+
+        let params = SmoParams {
+            kernel: KernelKind::Linear,
+            max_iterations: 20_000,
+            ..Default::default()
+        };
+        let (model, stats) =
+            dls::svm::train_with_stats(scheduled.matrix(), &labels, &params)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(stats.iterations > 0, "{name}");
+
+        let preds: Vec<f64> =
+            (0..data.rows()).map(|i| model.predict_label(&data.row_sparse(i))).collect();
+        let acc = dls::svm::accuracy(&preds, &labels);
+        assert!(acc > 0.75, "{name}: training accuracy {acc}");
+    }
+}
+
+/// Training through the scheduler must produce the same model as training
+/// on a fixed CSR encoding of the same data — layout changes performance,
+/// never results.
+#[test]
+fn scheduled_format_is_result_invariant() {
+    let spec = DatasetSpec::by_name("aloi").unwrap().scaled(4);
+    let data = generate(&spec, 11);
+    let labels = linear_teacher_labels(&data, 0.0, 3);
+    let params = SmoParams { kernel: KernelKind::Linear, ..Default::default() };
+
+    let scheduled = LayoutScheduler::new().schedule(&data);
+    let fixed = LayoutScheduler::with_strategy(SelectionStrategy::Fixed(Format::Csr))
+        .schedule(&data);
+
+    let (m1, s1) = dls::svm::train_with_stats(scheduled.matrix(), &labels, &params).unwrap();
+    let (m2, s2) = dls::svm::train_with_stats(fixed.matrix(), &labels, &params).unwrap();
+    assert_eq!(s1.iterations, s2.iterations);
+    assert!((m1.bias() - m2.bias()).abs() < 1e-9);
+    for i in 0..data.rows() {
+        let r = data.row_sparse(i);
+        assert_eq!(m1.predict_label(&r), m2.predict_label(&r), "row {i}");
+    }
+}
+
+/// Gaussian-kernel training through the scheduler on a non-linear problem.
+#[test]
+fn gaussian_kernel_through_scheduler() {
+    // Two concentric rings: not linearly separable.
+    let mut t = TripletMatrix::new(40, 2);
+    let mut labels = Vec::new();
+    for i in 0..40 {
+        let angle = i as f64 * std::f64::consts::TAU / 40.0;
+        let r = if i % 2 == 0 { 1.0 } else { 3.0 };
+        t.push(i, 0, r * angle.cos());
+        t.push(i, 1, r * angle.sin());
+        labels.push(if i % 2 == 0 { 1.0 } else { -1.0 });
+    }
+    let t = t.compact();
+    let scheduled = LayoutScheduler::new().schedule(&t);
+    let params = SmoParams {
+        kernel: KernelKind::Gaussian { gamma: 1.0 },
+        c: 10.0,
+        ..Default::default()
+    };
+    let model = dls::svm::train(scheduled.matrix(), &labels, &params).unwrap();
+    for i in 0..40 {
+        assert_eq!(model.predict_label(&t.row_sparse(i)), labels[i], "ring point {i}");
+    }
+}
+
+/// The baseline and adaptive solvers agree end-to-end (Figure 7's premise:
+/// speedups come from layout, not from different mathematics).
+#[test]
+fn baseline_agrees_with_adaptive_pipeline() {
+    let spec = DatasetSpec::by_name("connect-4").unwrap().scaled(8);
+    let data = generate(&spec, 5);
+    let labels = linear_teacher_labels(&data, 0.0, 5);
+
+    let base_params = dls::baseline::LibsvmLikeParams {
+        kernel: KernelKind::Linear,
+        ..Default::default()
+    };
+    let (base_model, base_stats) =
+        dls::baseline::train_libsvm_like(&data, &labels, &base_params).unwrap();
+
+    let scheduled = LayoutScheduler::new().schedule(&data);
+    let params = SmoParams { kernel: KernelKind::Linear, ..Default::default() };
+    let (model, stats) =
+        dls::svm::train_with_stats(scheduled.matrix(), &labels, &params).unwrap();
+
+    assert_eq!(base_stats.iterations, stats.iterations);
+    for i in 0..data.rows() {
+        let r = data.row_sparse(i);
+        assert_eq!(base_model.predict_label(&r), model.predict_label(&r), "row {i}");
+    }
+}
+
+/// LIBSVM round trip feeding the scheduler: write a twin out, read it back,
+/// schedule, and get the same decision.
+#[test]
+fn libsvm_io_feeds_scheduler() {
+    let spec = DatasetSpec::by_name("trefethen").unwrap();
+    let data = generate(spec, 1);
+    let labels = linear_teacher_labels(&data, 0.0, 1);
+
+    let mut buf = Vec::new();
+    dls_data::libsvm::write(&mut buf, &data, &labels).unwrap();
+    let parsed = dls_data::libsvm::read(buf.as_slice()).unwrap();
+
+    let direct = LayoutScheduler::new().select_only(&data);
+    let via_io = LayoutScheduler::new().select_only(&parsed.matrix);
+    assert_eq!(direct.chosen, via_io.chosen);
+    assert_eq!(direct.chosen, Format::Dia, "trefethen routes to DIA");
+}
