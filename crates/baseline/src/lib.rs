@@ -44,12 +44,7 @@ pub struct LibsvmLikeParams {
 
 impl Default for LibsvmLikeParams {
     fn default() -> Self {
-        Self {
-            c: 1.0,
-            kernel: KernelKind::default(),
-            tolerance: 1e-3,
-            max_iterations: 100_000,
-        }
+        Self { c: 1.0, kernel: KernelKind::default(), tolerance: 1e-3, max_iterations: 100_000 }
     }
 }
 
@@ -142,8 +137,7 @@ pub fn train_libsvm_like(
         } else {
             ((alpha[low] + alpha[high] - c).max(0.0), (alpha[low] + alpha[high]).min(c))
         };
-        let alpha_low_new =
-            (alpha[low] + yl * (f[high] - f[low]) / eta).clamp(l_bound, h_bound);
+        let alpha_low_new = (alpha[low] + yl * (f[high] - f[low]) / eta).clamp(l_bound, h_bound);
         let delta_low = alpha_low_new - alpha[low];
         if delta_low.abs() < 1e-14 {
             break;
@@ -180,10 +174,7 @@ pub fn train_libsvm_like(
             coefs.push(alpha[i] * y[i]);
         }
     }
-    Ok((
-        SvmModel::new(params.kernel, svs, coefs, bias),
-        LibsvmLikeStats { iterations, converged },
-    ))
+    Ok((SvmModel::new(params.kernel, svs, coefs, bias), LibsvmLikeStats { iterations, converged }))
 }
 
 #[cfg(test)]
@@ -204,10 +195,7 @@ mod tests {
     #[test]
     fn baseline_and_tuned_solver_agree() {
         let (t, y) = small_problem();
-        let base_params = LibsvmLikeParams {
-            kernel: KernelKind::Linear,
-            ..Default::default()
-        };
+        let base_params = LibsvmLikeParams { kernel: KernelKind::Linear, ..Default::default() };
         let (base_model, base_stats) = train_libsvm_like(&t, &y, &base_params).unwrap();
         assert!(base_stats.converged);
 

@@ -10,13 +10,7 @@ fn bench_derived(c: &mut Criterion) {
     group.sample_size(20);
     let size = 1024;
     let t = mdim_matrix(size, size, 2 * size, size, 3);
-    for fmt in [
-        Format::Ell,
-        Format::Csr,
-        Format::Coo,
-        Format::Hyb,
-        Format::Jds,
-    ] {
+    for fmt in [Format::Ell, Format::Csr, Format::Coo, Format::Hyb, Format::Jds] {
         let m = AnyMatrix::from_triplets(fmt, &t);
         let v = m.row_sparse(0);
         let mut out = vec![0.0; size];

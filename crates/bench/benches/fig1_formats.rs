@@ -1,10 +1,15 @@
 //! Criterion bench for Figure 1 / Table III: SMSV time per storage format
 //! on (scaled) twins of the paper's five datasets.
+//!
+//! Each format also gets a `<fmt>+telemetry` series running the same SMSV
+//! behind [`InstrumentedMatrix`] — the delta between the two is the
+//! monitoring overhead, which must stay small (target ≤5%) for telemetry
+//! to be always-on in the reactive scheduler.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dls_data::labels::linear_teacher_labels;
 use dls_data::{generate, DatasetSpec};
-use dls_sparse::{AnyMatrix, Format, MatrixFormat};
+use dls_sparse::{AnyMatrix, Format, InstrumentedMatrix, MatrixFormat, SmsvCounters};
 
 fn bench_formats(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_smsv");
@@ -24,9 +29,15 @@ fn bench_formats(c: &mut Criterion) {
             let m = AnyMatrix::from_triplets(fmt, &t);
             let v = m.row_sparse(0);
             let mut out = vec![0.0; m.rows()];
+            group.bench_with_input(BenchmarkId::new(name, fmt.name()), &m, |b, m| {
+                b.iter(|| m.smsv(&v, &mut out))
+            });
+            let instrumented =
+                InstrumentedMatrix::new(AnyMatrix::from_triplets(fmt, &t), SmsvCounters::shared());
+            let mut out = vec![0.0; instrumented.rows()];
             group.bench_with_input(
-                BenchmarkId::new(name, fmt.name()),
-                &m,
+                BenchmarkId::new(name, format!("{}+telemetry", fmt.name())),
+                &instrumented,
                 |b, m| b.iter(|| m.smsv(&v, &mut out)),
             );
         }

@@ -15,11 +15,9 @@ fn bench_coo_csr(c: &mut Criterion) {
         let coo = CooMatrix::from_triplets(&t);
         let v = csr.row_sparse(0);
         let mut out = vec![0.0; m];
-        group.bench_with_input(
-            BenchmarkId::new("csr_lanes8", vdim as usize),
-            &csr,
-            |b, csr| b.iter(|| csr.smsv_lanes::<8>(&v, &mut out)),
-        );
+        group.bench_with_input(BenchmarkId::new("csr_lanes8", vdim as usize), &csr, |b, csr| {
+            b.iter(|| csr.smsv_lanes::<8>(&v, &mut out))
+        });
         group.bench_with_input(BenchmarkId::new("coo", vdim as usize), &coo, |b, coo| {
             b.iter(|| coo.smsv(&v, &mut out))
         });

@@ -37,9 +37,9 @@ fn bench_baseline(c: &mut Criterion) {
             max_iterations: iters,
             cache_bytes: 0,
             selection: WorkingSetSelection::FirstOrder,
-        threads: 1,
-        shrinking: false,
-        positive_weight: 1.0,
+            threads: 1,
+            shrinking: false,
+            positive_weight: 1.0,
         };
         group.bench_with_input(BenchmarkId::new(name, "adaptive"), &m, |b, m| {
             b.iter(|| dls_svm::train_with_stats(m, &y, &params).unwrap().1.iterations)

@@ -8,11 +8,7 @@ use dls_dnn::optim::Sgd;
 use dls_dnn::{CifarLikeConfig, Dataset, Network, SgdConfig};
 
 fn bench_step(c: &mut Criterion) {
-    let ds = Dataset::cifar_like(CifarLikeConfig {
-        train: 1024,
-        test: 64,
-        ..Default::default()
-    });
+    let ds = Dataset::cifar_like(CifarLikeConfig { train: 1024, test: 64, ..Default::default() });
     let mut group = c.benchmark_group("table7_sgd_step");
     group.sample_size(10);
     for batch in [16usize, 64, 256, 1024] {

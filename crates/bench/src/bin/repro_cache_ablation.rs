@@ -17,7 +17,11 @@ fn main() {
     let t = generate(&spec, 42);
     let y = linear_teacher_labels(&t, 0.05, 7);
     let scheduled = LayoutScheduler::new().schedule(&t);
-    println!("# Kernel-cache ablation on adult/2 ({} rows, format {})", t.rows(), scheduled.format());
+    println!(
+        "# Kernel-cache ablation on adult/2 ({} rows, format {})",
+        t.rows(),
+        scheduled.format()
+    );
     println!("# Gaussian kernel, run to convergence\n");
     println!(
         "{:<14} {:>10} {:>12} {:>12} {:>10} {:>12}",
@@ -32,8 +36,7 @@ fn main() {
             ..Default::default()
         };
         let start = Instant::now();
-        let (_, stats) =
-            train_with_stats(scheduled.matrix(), &y, &params).expect("valid problem");
+        let (_, stats) = train_with_stats(scheduled.matrix(), &y, &params).expect("valid problem");
         let secs = start.elapsed().as_secs_f64();
         let total = stats.smsv_count + stats.cache_hits;
         let rate = if total > 0 { stats.cache_hits as f64 / total as f64 } else { 0.0 };

@@ -26,10 +26,7 @@ const PAPER_TABLE3: [(&str, [f64; 5]); 5] = [
 ];
 
 fn main() {
-    let iters: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40);
+    let iters: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
     println!("# Figure 1 / Table III — per-format SMO speedup (normalised to slowest)");
     println!("# {iters} SMO iterations per measurement, kernel-row cache disabled\n");
     println!(
@@ -43,16 +40,8 @@ fn main() {
             .map(|&f| (f, time_smo_iterations(&w.matrix, &w.labels, f, iters)))
             .collect();
         let speedups = normalise_to_slowest(&times);
-        let best = speedups
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap()
-            .0;
-        let worst = speedups
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap()
-            .0;
+        let best = speedups.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0;
+        let worst = speedups.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0;
         let paper = PAPER_TABLE3.iter().find(|(n, _)| *n == w.name).unwrap();
         let paper_best = Format::BASIC
             [paper.1.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0];

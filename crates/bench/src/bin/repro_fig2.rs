@@ -24,15 +24,15 @@ fn main() {
         points.push((ndig, m.storage_elems(), secs));
         ndig *= 2;
     }
-    let speedups = normalise_to_slowest(
-        &points.iter().map(|&(n, _, s)| (n, s)).collect::<Vec<_>>(),
-    );
+    let speedups =
+        normalise_to_slowest(&points.iter().map(|&(n, _, s)| (n, s)).collect::<Vec<_>>());
     for ((ndig, elems, secs), (_, speedup)) in points.iter().zip(&speedups) {
         println!("{ndig:>8} {elems:>14} {secs:>14.3e} {speedup:>9.2}x");
     }
     if let Some(dir) = csv_dir_from_env() {
-        let mut w = CsvWriter::create(&dir, "fig2_dia", &["ndig", "storage_elems", "seconds", "speedup"])
-            .expect("create csv");
+        let mut w =
+            CsvWriter::create(&dir, "fig2_dia", &["ndig", "storage_elems", "seconds", "speedup"])
+                .expect("create csv");
         for ((ndig, elems, secs), (_, speedup)) in points.iter().zip(&speedups) {
             w.row(&[*ndig as f64, *elems as f64, *secs, *speedup]).expect("write row");
         }

@@ -36,8 +36,12 @@ fn main() {
     );
 
     let mut csv = csv_dir_from_env().map(|dir| {
-        CsvWriter::create(&dir, "fig4_coo_csr", &["target_vdim", "vdim", "csr_secs", "coo_secs", "ratio"])
-            .expect("create csv")
+        CsvWriter::create(
+            &dir,
+            "fig4_coo_csr",
+            &["target_vdim", "vdim", "csr_secs", "coo_secs", "ratio"],
+        )
+        .expect("create csv")
     });
     for &target in &[0.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0] {
         let t = vdim_matrix(m, n, nnz, target, 13);
@@ -73,8 +77,7 @@ fn main() {
             csr_secs / coo_secs
         );
         if let Some(w) = csv.as_mut() {
-            w.row(&[target, f.vdim, csr_secs, coo_secs, csr_secs / coo_secs])
-                .expect("write row");
+            w.row(&[target, f.vdim, csr_secs, coo_secs, csr_secs / coo_secs]).expect("write row");
         }
     }
     if let Some(w) = csv {

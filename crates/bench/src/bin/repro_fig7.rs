@@ -7,9 +7,12 @@
 //! the own-CSR fixed version.
 
 use dls_baseline::{train_libsvm_like, LibsvmLikeParams};
-use dls_bench::{table6_workloads, time_smo_iterations};
-use dls_core::LayoutScheduler;
-use dls_sparse::Format;
+use dls_bench::{
+    csv_dir_from_env, table6_workloads, time_smo_iterations, time_smo_iterations_telemetry,
+    CsvWriter,
+};
+use dls_core::{KernelMonitor, LayoutScheduler, TelemetrySnapshot};
+use dls_sparse::{Format, SmsvCounters};
 use dls_svm::KernelKind;
 use std::time::Instant;
 
@@ -25,6 +28,9 @@ fn main() {
     let scheduler = LayoutScheduler::new();
     let mut speedups = Vec::new();
     let mut own_csr_speedups = Vec::new();
+    // Telemetry for the adaptive runs only: what the scheduled format
+    // actually delivered, per dataset.
+    let mut telemetry: Vec<(&str, TelemetrySnapshot)> = Vec::new();
     for w in table6_workloads(42) {
         let selection = scheduler.select_only(&w.matrix).chosen;
 
@@ -39,8 +45,14 @@ fn main() {
         let _ = train_libsvm_like(&w.matrix, &w.labels, &params).expect("valid inputs");
         let baseline_secs = start.elapsed().as_secs_f64();
 
-        // Adaptive: scheduled format through the tuned solver.
-        let adaptive_secs = time_smo_iterations(&w.matrix, &w.labels, selection, iters);
+        // Adaptive: scheduled format through the tuned solver, with SMSV
+        // telemetry recorded behind the timing.
+        let counters = SmsvCounters::shared();
+        let mut monitor = KernelMonitor::new(counters.clone());
+        let adaptive_secs =
+            time_smo_iterations_telemetry(&w.matrix, &w.labels, selection, iters, &counters);
+        monitor.tick();
+        telemetry.push((w.name, monitor.snapshot()));
         // Own fixed-CSR: tuned solver, CSR regardless of the data.
         let own_csr_secs = time_smo_iterations(&w.matrix, &w.labels, Format::Csr, iters);
 
@@ -60,9 +72,34 @@ fn main() {
     }
     let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
     let avg_own = own_csr_speedups.iter().sum::<f64>() / own_csr_speedups.len() as f64;
-    let (lo, hi) = speedups
-        .iter()
-        .fold((f64::INFINITY, 0.0f64), |(l, h), &s| (l.min(s), h.max(s)));
+    let (lo, hi) = speedups.iter().fold((f64::INFINITY, 0.0f64), |(l, h), &s| (l.min(s), h.max(s)));
     println!("\n# adaptive vs parallel-LIBSVM-style: {lo:.1}x - {hi:.1}x (avg {avg:.1}x); paper: 1.2x - 16.5x (avg 4x)");
     println!("# adaptive vs own fixed-CSR: avg {avg_own:.2}x; paper: avg 1.3x");
+
+    println!("\n# adaptive-run SMSV telemetry (format, calls, s/call)");
+    for (name, snap) in &telemetry {
+        for t in snap.active() {
+            println!(
+                "{name:<14} {:<4} {:>8} calls {:>10.2e} s/call",
+                t.format,
+                t.calls,
+                t.nanos as f64 * 1e-9 / t.calls as f64
+            );
+        }
+    }
+    if let Some(dir) = csv_dir_from_env() {
+        let mut header = vec!["dataset"];
+        header.extend(TelemetrySnapshot::csv_header().split(','));
+        let mut csv =
+            CsvWriter::create(&dir, "fig7_telemetry", &header).expect("create telemetry csv");
+        for (name, snap) in &telemetry {
+            for row in snap.to_csv_rows() {
+                let mut cells = vec![*name];
+                cells.extend(row.split(','));
+                csv.row(&cells).expect("write telemetry row");
+            }
+        }
+        let path = csv.finish().expect("flush telemetry csv");
+        eprintln!("# wrote {}", path.display());
+    }
 }

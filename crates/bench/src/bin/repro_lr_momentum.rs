@@ -46,10 +46,18 @@ fn main() {
         );
     }
 
-    println!("\n# §IV-E — momentum sweep at B = {}, eta = {:.3}\n", base.batch_size, best_lr.learning_rate);
+    println!(
+        "\n# §IV-E — momentum sweep at B = {}, eta = {:.3}\n",
+        base.batch_size, best_lr.learning_rate
+    );
     println!("{:<10} {:>9} {:>8} {:>9} {:>9}", "mu", "iters", "epochs", "accuracy", "reached");
     let mu_base = TrainerConfig {
-        sgd: SgdConfig { learning_rate: best_lr.learning_rate, momentum: 0.90, weight_decay: 0.0, nesterov: false },
+        sgd: SgdConfig {
+            learning_rate: best_lr.learning_rate,
+            momentum: 0.90,
+            weight_decay: 0.0,
+            nesterov: false,
+        },
         ..base
     };
     let momenta =

@@ -35,10 +35,8 @@ fn main() {
             .iter()
             .map(|&f| (f, time_smo_iterations(&w.matrix, &w.labels, f, iters)))
             .collect();
-        let &(oracle_fmt, oracle_time) = times
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .expect("five formats");
+        let &(oracle_fmt, oracle_time) =
+            times.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).expect("five formats");
 
         print!("{:<14} {:>8}", w.name, oracle_fmt.name());
         for (k, (_, strategy)) in strategies.iter().enumerate() {
@@ -48,9 +46,7 @@ fn main() {
                 .find(|(f, _)| *f == choice)
                 .map(|(_, t)| *t)
                 // Derived-format choices get re-measured.
-                .unwrap_or_else(|| {
-                    time_smo_iterations(&w.matrix, &w.labels, choice, iters)
-                });
+                .unwrap_or_else(|| time_smo_iterations(&w.matrix, &w.labels, choice, iters));
             let regret = t / oracle_time;
             totals[k] += regret;
             print!(" {:>12} ({:>5.2}x)", choice.name(), regret);

@@ -7,11 +7,12 @@ use dls_sparse::{AnyMatrix, Format, MatrixFormat, TripletMatrix};
 fn main() {
     let (m, n) = (64usize, 48usize);
     println!("# Table II — storage space (elements) for an {m}x{n} matrix\n");
-    println!("{:<8} {:>12} {:>12} {:>16} {:>16}", "format", "min", "max", "actual@1nnz", "actual@dense");
+    println!(
+        "{:<8} {:>12} {:>12} {:>16} {:>16}",
+        "format", "min", "max", "actual@1nnz", "actual@dense"
+    );
 
-    let single = TripletMatrix::from_entries(m, n, vec![(m / 2, n / 2, 1.0)])
-        .unwrap()
-        .compact();
+    let single = TripletMatrix::from_entries(m, n, vec![(m / 2, n / 2, 1.0)]).unwrap().compact();
     let dense = TripletMatrix::from_dense(m, n, &vec![1.0; m * n]);
 
     for fmt in Format::BASIC {

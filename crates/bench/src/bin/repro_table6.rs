@@ -16,9 +16,9 @@
 //! | connect-4     | COO   | DEN       | 3.3× & 6.4×       |
 //! | trefethen     | DEN   | DIA       | 1.7× & 4.1×       |
 
-use dls_bench::{table6_workloads, time_smo_iterations};
-use dls_core::{LayoutScheduler, SelectionStrategy};
-use dls_sparse::Format;
+use dls_bench::{csv_dir_from_env, table6_workloads, time_smo_iterations_telemetry, CsvWriter};
+use dls_core::{KernelMonitor, LayoutScheduler, SelectionStrategy, TelemetrySnapshot};
+use dls_sparse::{Format, SmsvCounters};
 
 const PAPER_TABLE6: [(&str, &str, &str, f64, f64); 9] = [
     ("adult", "DIA", "ELL", 3.8, 14.3),
@@ -50,12 +50,22 @@ fn main() {
 
     let mut avg_speedups = Vec::new();
     let mut max_speedups = Vec::new();
+    let mut telemetry: Vec<(&str, TelemetrySnapshot)> = Vec::new();
     for w in table6_workloads(42) {
         let selection = scheduler.select_only(&w.matrix).chosen;
+        // Per-dataset counters: every format's timed run contributes its
+        // SMSV telemetry, so the snapshot compares layouts directly.
+        let counters = SmsvCounters::shared();
+        let mut monitor = KernelMonitor::new(counters.clone());
         let times: Vec<(Format, f64)> = Format::BASIC
             .iter()
-            .map(|&f| (f, time_smo_iterations(&w.matrix, &w.labels, f, iters)))
+            .map(|&f| {
+                let secs = time_smo_iterations_telemetry(&w.matrix, &w.labels, f, iters, &counters);
+                monitor.tick();
+                (f, secs)
+            })
             .collect();
+        telemetry.push((w.name, monitor.snapshot()));
         let sel_time = times.iter().find(|(f, _)| *f == selection).unwrap().1;
         let worst = times.iter().max_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
         let others: Vec<f64> =
@@ -85,4 +95,29 @@ fn main() {
         "\n# adaptive vs worst-format: {overall_min:.1}x - {overall_max:.1}x (avg of avgs {overall_avg:.1}x)"
     );
     println!("# paper: 1.7x - 16.2x average speedups, 6.8x overall average");
+
+    println!("\n# measured SMSV seconds/call (telemetry)");
+    for (name, snap) in &telemetry {
+        let cells: Vec<String> = snap
+            .active()
+            .map(|t| format!("{} {:.2e}", t.format, t.nanos as f64 * 1e-9 / t.calls as f64))
+            .collect();
+        println!("{name:<14} {}", cells.join("  "));
+    }
+    if let Some(dir) = csv_dir_from_env() {
+        let mut header = vec!["dataset"];
+        header.extend(TelemetrySnapshot::csv_header().split(','));
+        let mut csv =
+            CsvWriter::create(&dir, "table6_telemetry", &header).expect("create telemetry csv");
+        for (name, snap) in &telemetry {
+            for row in snap.to_csv_rows() {
+                let mut cells = vec![*name];
+                let rest: Vec<&str> = row.split(',').collect();
+                cells.extend(rest);
+                csv.row(&cells).expect("write telemetry row");
+            }
+        }
+        let path = csv.finish().expect("flush telemetry csv");
+        eprintln!("# wrote {}", path.display());
+    }
 }

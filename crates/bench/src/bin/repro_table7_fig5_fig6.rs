@@ -65,11 +65,7 @@ fn main() {
     let mut batches: Vec<usize> =
         batch::PAPER_BATCH_SPACE.iter().map(|&b| b.min(ds.n_train())).collect();
     batches.dedup();
-    let rates = if quick {
-        vec![0.001, 0.004, 0.016]
-    } else {
-        lr::paper_lr_space()
-    };
+    let rates = if quick { vec![0.001, 0.004, 0.016] } else { lr::paper_lr_space() };
     let momenta = if quick { vec![0.90, 0.95, 0.99] } else { momentum::paper_momentum_space() };
     let result = tuner.run(&ds, &batches, &rates, &momenta);
 
@@ -126,8 +122,9 @@ fn main() {
         .expect("batch stage includes B = 100");
     // Scale measured iterations onto CIFAR-10's 50,000-sample epochs so
     // the platform model sees a CIFAR-sized job.
-    let scale = 50_000usize.div_ceil(untuned.batch_size * (untuned.outcome.iterations
-        / untuned.outcome.epochs.max(1)).max(1));
+    let scale = 50_000usize.div_ceil(
+        untuned.batch_size * (untuned.outcome.iterations / untuned.outcome.epochs.max(1)).max(1),
+    );
     let specs: Vec<RunSpec> = [
         ("8-core CPU", "8-core CPU", untuned),
         ("KNL", "KNL", untuned),

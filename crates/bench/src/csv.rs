@@ -14,11 +14,7 @@ pub struct CsvWriter {
 
 impl CsvWriter {
     /// Creates `dir/name.csv` (and `dir` itself if needed) with a header.
-    pub fn create(
-        dir: &Path,
-        name: &str,
-        header: &[&str],
-    ) -> std::io::Result<CsvWriter> {
+    pub fn create(dir: &Path, name: &str, header: &[&str]) -> std::io::Result<CsvWriter> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{name}.csv"));
         let file = std::fs::File::create(&path)?;

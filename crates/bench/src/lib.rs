@@ -12,5 +12,7 @@ pub mod timing;
 pub mod workloads;
 
 pub use csv::{csv_dir_from_env, CsvWriter};
-pub use timing::{normalise_to_slowest, time_smo_iterations, time_smsv};
-pub use workloads::{fig1_workloads, table6_workloads, Workload};
+pub use timing::{
+    normalise_to_slowest, time_smo_iterations, time_smo_iterations_telemetry, time_smsv,
+};
+pub use workloads::{fig1_workloads, table6_workloads, workload, Workload};

@@ -1,7 +1,9 @@
 //! Timing utilities for the repro harness.
 
+use dls_sparse::telemetry::{InstrumentedMatrix, SmsvCounters};
 use dls_sparse::{AnyMatrix, Format, MatrixFormat, Scalar, TripletMatrix};
 use dls_svm::{SmoParams, WorkingSetSelection};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Median wall-clock seconds of one SMSV over `reps` repetitions, using
@@ -38,6 +40,33 @@ pub fn time_smo_iterations(
         c: 1.0,
         kernel: dls_svm::KernelKind::Linear,
         tolerance: 1e-12, // don't let convergence cut the measurement short
+        max_iterations: iterations,
+        cache_bytes: 0,
+        selection: WorkingSetSelection::FirstOrder,
+        threads: 1,
+        shrinking: false,
+        positive_weight: 1.0,
+    };
+    let start = Instant::now();
+    let _ = dls_svm::train_with_stats(&m, y, &params).expect("valid training inputs");
+    start.elapsed().as_secs_f64()
+}
+
+/// Like [`time_smo_iterations`], but runs the matrix behind an
+/// [`InstrumentedMatrix`] so per-format SMSV telemetry accumulates in
+/// `counters` while the iterations are timed.
+pub fn time_smo_iterations_telemetry(
+    t: &TripletMatrix,
+    y: &[Scalar],
+    format: Format,
+    iterations: usize,
+    counters: &Arc<SmsvCounters>,
+) -> f64 {
+    let m = InstrumentedMatrix::new(AnyMatrix::from_triplets(format, t), counters.clone());
+    let params = SmoParams {
+        c: 1.0,
+        kernel: dls_svm::KernelKind::Linear,
+        tolerance: 1e-12,
         max_iterations: iterations,
         cache_bytes: 0,
         selection: WorkingSetSelection::FirstOrder,

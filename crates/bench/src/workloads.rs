@@ -26,10 +26,10 @@ pub struct Workload {
 /// sparse sets barely or not at all.
 pub fn default_scale(name: &str) -> usize {
     match name {
-        "gisette" => 8,     // 6000x5000 dense -> 750x625
-        "epsilon" => 400,   // 390k x 2000 dense -> 975x5... still dense
-        "dna" => 2_000,     // 3.6M x 200 dense -> 1800x...
-        "sector" => 4,      // 55k features is fine; fewer rows for speed
+        "gisette" => 8,   // 6000x5000 dense -> 750x625
+        "epsilon" => 400, // 390k x 2000 dense -> 975x5... still dense
+        "dna" => 2_000,   // 3.6M x 200 dense -> 1800x...
+        "sector" => 4,    // 55k features is fine; fewer rows for speed
         _ => 1,
     }
 }

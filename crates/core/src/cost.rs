@@ -6,24 +6,42 @@
 //! bandwidth of §III-B.
 
 use crate::bandwidth::BandwidthProfile;
-use crate::report::SelectionReport;
+use crate::report::{FormatScore, SelectionReport};
 use crate::scheduler::FormatSelector;
 use dls_sparse::storage::predicted_storage_elems;
 use dls_sparse::{Format, MatrixFeatures, Scalar, TripletMatrix};
 
-/// Selector that minimises predicted SMSV time over the five basic formats.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+/// Selector that minimises predicted SMSV time over the candidate formats.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CostModelSelector {
     /// Per-format effective bandwidth used as the denominator of Eq. (7).
     pub bandwidth: BandwidthProfile,
+    /// Score (and allow choosing) the derived formats — CSC, BCSR, HYB,
+    /// JDS — beyond the paper's basic five. Off by default so selection
+    /// matches the paper's five-way choice (CSC ties CSR exactly under
+    /// Eq. 7).
+    pub include_derived: bool,
 }
-
 
 impl CostModelSelector {
     /// Creates a selector with a custom bandwidth profile.
     pub fn with_bandwidth(bandwidth: BandwidthProfile) -> Self {
-        Self { bandwidth }
+        Self { bandwidth, ..Default::default() }
+    }
+
+    /// Also scores (and allows choosing) the derived formats.
+    pub fn with_derived(mut self) -> Self {
+        self.include_derived = true;
+        self
+    }
+
+    /// The candidate formats this selector scores.
+    pub fn candidates(&self) -> &'static [Format] {
+        if self.include_derived {
+            &Format::ALL
+        } else {
+            &Format::BASIC
+        }
     }
 
     /// Predicted seconds for one SMSV sweep in `format`.
@@ -37,13 +55,12 @@ impl CostModelSelector {
         bytes / self.bandwidth.bytes_per_sec(format)
     }
 
-    /// Predicted times for all five basic formats (lower is better).
-    pub fn score_all(&self, f: &MatrixFeatures) -> [(Format, f64); 5] {
-        let mut out = [(Format::Ell, 0.0); 5];
-        for (slot, &fmt) in out.iter_mut().zip(Format::BASIC.iter()) {
-            *slot = (fmt, self.predicted_time(fmt, f));
-        }
-        out
+    /// Predicted times for every candidate format (lower is better).
+    pub fn score_all(&self, f: &MatrixFeatures) -> Vec<FormatScore> {
+        self.candidates()
+            .iter()
+            .map(|&fmt| FormatScore::new(fmt, self.predicted_time(fmt, f)))
+            .collect()
     }
 }
 
@@ -51,19 +68,16 @@ impl FormatSelector for CostModelSelector {
     fn select(&self, t: &TripletMatrix, f: &MatrixFeatures) -> SelectionReport {
         let _ = t;
         let scores = self.score_all(f);
-        let (chosen, best) = scores
+        let FormatScore { format: chosen, score: best } = scores
             .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+            .min_by(|a, b| a.score.partial_cmp(&b.score).expect("finite times"))
             .copied()
-            .expect("five candidates");
+            .expect("at least five candidates");
         SelectionReport {
             chosen,
             features: *f,
             scores,
-            reason: format!(
-                "cost model: {:.2e} s predicted via Eq. (7) storage/bandwidth",
-                best
-            ),
+            reason: format!("cost model: {:.2e} s predicted via Eq. (7) storage/bandwidth", best),
         }
     }
 }
@@ -83,7 +97,8 @@ mod tests {
         let f = features_of("trefethen", 1);
         let sel = CostModelSelector::default();
         let scores = sel.score_all(&f);
-        let best = scores.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0;
+        let best =
+            scores.iter().min_by(|a, b| a.score.partial_cmp(&b.score).unwrap()).unwrap().format;
         assert_eq!(best, Format::Dia);
     }
 
@@ -91,8 +106,12 @@ mod tests {
     fn den_wins_on_dense_matrices() {
         let f = features_of("leukemia", 1);
         let sel = CostModelSelector::default();
-        let best =
-            sel.score_all(&f).iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap().0;
+        let best = sel
+            .score_all(&f)
+            .iter()
+            .min_by(|a, b| a.score.partial_cmp(&b.score).unwrap())
+            .unwrap()
+            .format;
         assert_eq!(best, Format::Den, "DEN stores MN vs CSR's 2MN+M on dense data");
     }
 
@@ -126,9 +145,21 @@ mod tests {
         let r = CostModelSelector::default().select(&t, &f);
         assert_eq!(r.chosen, Format::Dia);
         let chosen_score = r.score_of(r.chosen).unwrap();
-        for (_, s) in r.scores {
-            assert!(chosen_score <= s);
+        for s in &r.scores {
+            assert!(chosen_score <= s.score);
         }
         assert!(r.reason.contains("cost model"));
+    }
+
+    #[test]
+    fn derived_candidates_are_scored_when_enabled() {
+        let f = features_of("aloi", 1);
+        let sel = CostModelSelector::default().with_derived();
+        let r = sel.select(&dls_data::generate(DatasetSpec::by_name("aloi").unwrap(), 1), &f);
+        assert_eq!(r.scores.len(), Format::ALL.len());
+        for fmt in [Format::Csc, Format::Bcsr, Format::Hyb, Format::Jds] {
+            let s = r.score_of(fmt).expect("derived formats are scored");
+            assert!(s.is_finite() && s > 0.0, "{fmt}: {s}");
+        }
     }
 }

@@ -13,7 +13,7 @@
 //!    row imbalance (high index of dispersion `vdim / adim`) degrades the
 //!    fixed-width-SIMD CSR kernel, so COO wins there (Fig. 4).
 
-use crate::report::SelectionReport;
+use crate::report::{rank_by_storage, SelectionReport};
 use crate::scheduler::FormatSelector;
 use dls_sparse::{Format, MatrixFeatures};
 
@@ -100,10 +100,7 @@ impl RuleBasedSelector {
         if f.density >= th.den_density {
             return (
                 Format::Den,
-                format!(
-                    "dense data: density {:.2} makes index arrays pure overhead",
-                    f.density
-                ),
+                format!("dense data: density {:.2} makes index arrays pure overhead", f.density),
             );
         }
         if f.ell_padding_ratio() <= th.ell_max_padding && f.vdim <= th.ell_max_vdim {
@@ -120,38 +117,11 @@ impl RuleBasedSelector {
         if dispersion > th.coo_dispersion && self.machine.csr_is_lane_lockstep() {
             (
                 Format::Coo,
-                format!(
-                    "imbalanced rows: vdim/adim {:.1} starves lockstep CSR lanes",
-                    dispersion
-                ),
+                format!("imbalanced rows: vdim/adim {:.1} starves lockstep CSR lanes", dispersion),
             )
         } else {
             (Format::Csr, format!("general sparse: vdim/adim {dispersion:.1}"))
         }
-    }
-
-    /// Rank score per format: the chosen format gets 0, others their rule
-    /// distance (1 = next preference, …). Lower is better, matching the
-    /// [`SelectionReport`] convention.
-    fn rank_scores(&self, chosen: Format, f: &MatrixFeatures) -> [(Format, f64); 5] {
-        // Order the remaining formats by a simple fitness heuristic:
-        // predicted storage, since "computation is proportional to storage".
-        let mut ranked: Vec<Format> = Format::BASIC
-            .iter()
-            .copied()
-            .filter(|&x| x != chosen)
-            .collect();
-        ranked.sort_by(|&a, &b| {
-            let sa = dls_sparse::storage::predicted_storage_elems(a, f);
-            let sb = dls_sparse::storage::predicted_storage_elems(b, f);
-            sa.partial_cmp(&sb).expect("finite storage")
-        });
-        let mut scores = [(chosen, 0.0); 5];
-        scores[0] = (chosen, 0.0);
-        for (k, fmt) in ranked.into_iter().enumerate() {
-            scores[k + 1] = (fmt, (k + 1) as f64);
-        }
-        scores
     }
 }
 
@@ -159,7 +129,10 @@ impl FormatSelector for RuleBasedSelector {
     fn select(&self, t: &dls_sparse::TripletMatrix, f: &MatrixFeatures) -> SelectionReport {
         let _ = t; // rules work on features alone
         let (chosen, reason) = self.decide(f);
-        SelectionReport { chosen, features: *f, scores: self.rank_scores(chosen, f), reason }
+        // Rules don't produce a numeric score per format; rank the
+        // alternatives by predicted storage ("computation is proportional
+        // to storage"), derived formats included.
+        SelectionReport { chosen, features: *f, scores: rank_by_storage(chosen, f), reason }
     }
 }
 
@@ -228,15 +201,15 @@ mod tests {
         let t = generate(&spec, 1);
         let f = MatrixFeatures::from_triplets(&t);
         let r = RuleBasedSelector::default().select(&t, &f);
-        assert_eq!(r.scores[0].0, r.chosen);
-        assert_eq!(r.scores[0].1, 0.0);
+        assert_eq!(r.scores[0].format, r.chosen);
+        assert_eq!(r.scores[0].score, 0.0);
         assert_eq!(r.score_of(r.chosen), Some(0.0));
-        // All five basic formats scored.
-        let mut fmts: Vec<Format> = r.scores.iter().map(|(x, _)| *x).collect();
+        // Every format scored, derived ones included.
+        let mut fmts: Vec<Format> = r.scores.iter().map(|s| s.format).collect();
         fmts.sort();
-        let mut basics = Format::BASIC.to_vec();
-        basics.sort();
-        assert_eq!(fmts, basics);
+        let mut all = Format::ALL.to_vec();
+        all.sort();
+        assert_eq!(fmts, all);
     }
 
     #[test]

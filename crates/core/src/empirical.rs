@@ -6,7 +6,7 @@
 //! rows, exactly the access pattern of the SMO loop. The fastest format
 //! wins. This is classic auto-tuning in the OSKI tradition the paper cites.
 
-use crate::report::SelectionReport;
+use crate::report::{FormatScore, SelectionReport};
 use crate::scheduler::FormatSelector;
 use dls_sparse::{AnyMatrix, Format, MatrixFeatures, MatrixFormat, TripletMatrix};
 use std::time::Instant;
@@ -21,8 +21,8 @@ pub struct EmpiricalSelector {
     /// the full matrix because generators interleave row kinds.
     pub sample_rows: usize,
     /// Also consider the derived formats (HYB, JDS, CSC, BCSR) beyond the
-    /// paper's five. The report still scores only the basic five, but the
-    /// chosen format may be a derived one when it measures fastest.
+    /// paper's five. They are measured and scored like any other candidate
+    /// and win when fastest.
     pub include_derived: bool,
 }
 
@@ -70,24 +70,17 @@ impl EmpiricalSelector {
 impl FormatSelector for EmpiricalSelector {
     fn select(&self, t: &TripletMatrix, f: &MatrixFeatures) -> SelectionReport {
         let probe = self.sample(t);
-        let mut scores = [(Format::Ell, 0.0); 5];
-        for (slot, &fmt) in scores.iter_mut().zip(Format::BASIC.iter()) {
-            *slot = (fmt, self.measure(fmt, &probe));
-        }
-        let (mut chosen, mut best) = scores
+        let candidates: &[Format] =
+            if self.include_derived { &Format::ALL } else { &Format::BASIC };
+        let scores: Vec<FormatScore> = candidates
             .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+            .map(|&fmt| FormatScore::new(fmt, self.measure(fmt, &probe)))
+            .collect();
+        let FormatScore { format: chosen, score: best } = scores
+            .iter()
+            .min_by(|a, b| a.score.partial_cmp(&b.score).expect("finite times"))
             .copied()
-            .expect("five candidates");
-        if self.include_derived {
-            for fmt in [Format::Hyb, Format::Jds, Format::Csc, Format::Bcsr] {
-                let secs = self.measure(fmt, &probe);
-                if secs < best {
-                    best = secs;
-                    chosen = fmt;
-                }
-            }
-        }
+            .expect("at least five candidates");
         SelectionReport {
             chosen,
             features: *f,
@@ -129,12 +122,12 @@ mod tests {
         let f = MatrixFeatures::from_triplets(&t);
         let r = sel.select(&t, &f);
         assert!(Format::BASIC.contains(&r.chosen));
-        for (_, s) in r.scores {
-            assert!(s > 0.0, "every candidate was actually timed");
+        for s in &r.scores {
+            assert!(s.score > 0.0, "every candidate was actually timed");
         }
         let best = r.score_of(r.chosen).unwrap();
-        for (_, s) in r.scores {
-            assert!(best <= s);
+        for s in &r.scores {
+            assert!(best <= s.score);
         }
     }
 
@@ -145,17 +138,18 @@ mod tests {
         // selector is allowed to pick them.
         let t = dls_data::controlled::mdim_matrix(512, 512, 1024, 512, 9);
         let f = MatrixFeatures::from_triplets(&t);
-        let sel =
-            EmpiricalSelector { reps: 3, sample_rows: 4_096, include_derived: true };
+        let sel = EmpiricalSelector { reps: 3, sample_rows: 4_096, include_derived: true };
         let r = sel.select(&t, &f);
         assert!(Format::ALL.contains(&r.chosen));
-        // Whatever wins, its time is no worse than the best basic format.
-        let best_basic =
-            r.scores.iter().map(|(_, s)| *s).fold(f64::INFINITY, f64::min);
-        if !Format::BASIC.contains(&r.chosen) {
-            // Derived winner: reason carries the measured time, which beat
-            // every basic candidate during selection.
-            assert!(best_basic > 0.0);
+        // Derived candidates are first-class: they carry measured scores.
+        assert_eq!(r.scores.len(), Format::ALL.len());
+        for fmt in [Format::Hyb, Format::Jds, Format::Csc, Format::Bcsr] {
+            assert!(r.score_of(fmt).unwrap() > 0.0, "{fmt} was actually timed");
+        }
+        // Whatever wins, its time is no worse than every other candidate.
+        let best = r.score_of(r.chosen).unwrap();
+        for s in &r.scores {
+            assert!(best <= s.score);
         }
     }
 
@@ -168,9 +162,6 @@ mod tests {
         let r = sel.select(&t, &f);
         let ell = r.score_of(Format::Ell).unwrap();
         let csr = r.score_of(Format::Csr).unwrap();
-        assert!(
-            csr < ell,
-            "CSR ({csr:.2e}s) must beat padded ELL ({ell:.2e}s) at mdim = M"
-        );
+        assert!(csr < ell, "CSR ({csr:.2e}s) must beat padded ELL ({ell:.2e}s) at mdim = M");
     }
 }

@@ -25,6 +25,8 @@ pub mod cost;
 pub mod decision;
 pub mod empirical;
 pub mod machine;
+pub mod monitor;
+pub mod reactive;
 pub mod report;
 pub mod scheduler;
 pub mod tuning_cache;
@@ -34,6 +36,12 @@ pub use cost::CostModelSelector;
 pub use decision::RuleBasedSelector;
 pub use empirical::EmpiricalSelector;
 pub use machine::MachineProfile;
-pub use report::SelectionReport;
-pub use scheduler::{FormatSelector, LayoutScheduler, ScheduledMatrix, SelectionStrategy};
+pub use monitor::{FormatTelemetry, KernelMonitor, TelemetrySnapshot, WindowRecord};
+pub use reactive::{
+    MispredictDetector, ReactiveConfig, ReactiveReport, ReactiveScheduler, SwitchEvent,
+};
+pub use report::{FormatScore, SelectionReport};
+pub use scheduler::{
+    FixedSelector, FormatSelector, LayoutScheduler, ScheduledMatrix, SelectionStrategy,
+};
 pub use tuning_cache::{FeatureFingerprint, TuningCache};

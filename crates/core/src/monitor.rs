@@ -1,0 +1,315 @@
+//! Windowed kernel telemetry on top of [`dls_sparse::telemetry`].
+//!
+//! [`KernelMonitor`] periodically samples the shared [`SmsvCounters`] of an
+//! instrumented matrix and keeps a ring buffer of per-window deltas, giving
+//! the reactive scheduler a recent-throughput view that tracks phase
+//! changes instead of averaging over the whole run. [`TelemetrySnapshot`]
+//! is the exportable form: hand-rolled JSON and CSV (this workspace has no
+//! serde), consumed by the repro binaries and the `dls stats` CLI.
+
+use dls_sparse::telemetry::{CounterSample, SmsvCounters};
+use dls_sparse::Format;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Per-format counter deltas for one monitoring window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowRecord {
+    /// Monotone window number (1 = first `tick`).
+    pub tick: u64,
+    /// Delta per format, in [`Format::ALL`] order.
+    pub deltas: [CounterSample; Format::ALL.len()],
+}
+
+impl WindowRecord {
+    /// Delta for one format in this window.
+    pub fn delta(&self, format: Format) -> CounterSample {
+        self.deltas[dls_sparse::telemetry::format_index(format)]
+    }
+}
+
+/// Ring-buffered window view over shared SMSV counters.
+#[derive(Debug)]
+pub struct KernelMonitor {
+    counters: Arc<SmsvCounters>,
+    last: [CounterSample; Format::ALL.len()],
+    windows: VecDeque<WindowRecord>,
+    capacity: usize,
+    ticks: u64,
+}
+
+impl KernelMonitor {
+    /// Default ring capacity: enough history to smooth noisy segments
+    /// without remembering a stale phase forever.
+    pub const DEFAULT_WINDOWS: usize = 32;
+
+    /// A monitor over `counters` with the default ring capacity.
+    pub fn new(counters: Arc<SmsvCounters>) -> Self {
+        Self::with_capacity(counters, Self::DEFAULT_WINDOWS)
+    }
+
+    /// A monitor keeping the most recent `capacity` windows.
+    pub fn with_capacity(counters: Arc<SmsvCounters>, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let last = counters.sample_all();
+        Self { counters, last, windows: VecDeque::with_capacity(capacity), capacity, ticks: 0 }
+    }
+
+    /// The shared counters being observed.
+    pub fn counters(&self) -> &Arc<SmsvCounters> {
+        &self.counters
+    }
+
+    /// Closes the current window: samples the counters, records the delta
+    /// since the previous tick, and returns the new window record.
+    pub fn tick(&mut self) -> WindowRecord {
+        let now = self.counters.sample_all();
+        let mut deltas = [CounterSample::default(); Format::ALL.len()];
+        for (d, (new, old)) in deltas.iter_mut().zip(now.iter().zip(self.last.iter())) {
+            *d = new.delta(old);
+        }
+        self.last = now;
+        self.ticks += 1;
+        let record = WindowRecord { tick: self.ticks, deltas };
+        if self.windows.len() == self.capacity {
+            self.windows.pop_front();
+        }
+        self.windows.push_back(record.clone());
+        record
+    }
+
+    /// Number of `tick` calls so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The retained windows, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &WindowRecord> {
+        self.windows.iter()
+    }
+
+    /// Aggregated delta for `format` over the retained windows.
+    pub fn recent(&self, format: Format) -> CounterSample {
+        let mut acc = CounterSample::default();
+        for w in &self.windows {
+            let d = w.delta(format);
+            acc.calls += d.calls;
+            acc.nanos += d.nanos;
+            acc.bytes += d.bytes;
+        }
+        acc
+    }
+
+    /// Mean seconds per SMSV call for `format` over the retained windows.
+    pub fn recent_secs_per_call(&self, format: Format) -> Option<f64> {
+        self.recent(format).secs_per_call()
+    }
+
+    /// Streaming throughput for `format` over the retained windows.
+    pub fn recent_bytes_per_sec(&self, format: Format) -> Option<f64> {
+        self.recent(format).bytes_per_sec()
+    }
+
+    /// Exportable snapshot: cumulative totals plus recent-window rates.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let per_format = Format::ALL
+            .iter()
+            .map(|&format| {
+                let total = self.counters.sample(format);
+                let recent = self.recent(format);
+                FormatTelemetry {
+                    format,
+                    calls: total.calls,
+                    nanos: total.nanos,
+                    bytes: total.bytes,
+                    recent_secs_per_call: recent.secs_per_call(),
+                    recent_bytes_per_sec: recent.bytes_per_sec(),
+                }
+            })
+            .collect();
+        TelemetrySnapshot { ticks: self.ticks, per_format }
+    }
+}
+
+/// One format's row in a [`TelemetrySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormatTelemetry {
+    /// The format.
+    pub format: Format,
+    /// Cumulative SMSV calls.
+    pub calls: u64,
+    /// Cumulative nanoseconds inside SMSV.
+    pub nanos: u64,
+    /// Cumulative bytes streamed.
+    pub bytes: u64,
+    /// Mean seconds per call over the monitor's recent windows.
+    pub recent_secs_per_call: Option<f64>,
+    /// Streaming throughput over the monitor's recent windows.
+    pub recent_bytes_per_sec: Option<f64>,
+}
+
+/// Point-in-time telemetry export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Monitoring windows closed so far.
+    pub ticks: u64,
+    /// Per-format rows in [`Format::ALL`] order. Formats with zero calls
+    /// are retained so consumers see the full candidate space.
+    pub per_format: Vec<FormatTelemetry>,
+}
+
+fn json_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.6e}"),
+        _ => "null".to_string(),
+    }
+}
+
+impl TelemetrySnapshot {
+    /// Rows restricted to formats that actually ran.
+    pub fn active(&self) -> impl Iterator<Item = &FormatTelemetry> {
+        self.per_format.iter().filter(|t| t.calls > 0)
+    }
+
+    /// Total SMSV calls across formats.
+    pub fn total_calls(&self) -> u64 {
+        self.per_format.iter().map(|t| t.calls).sum()
+    }
+
+    /// Serialises to a compact JSON object.
+    pub fn to_json(&self) -> String {
+        let mut rows = Vec::with_capacity(self.per_format.len());
+        for t in &self.per_format {
+            rows.push(format!(
+                concat!(
+                    "{{\"format\":\"{}\",\"calls\":{},\"nanos\":{},\"bytes\":{},",
+                    "\"recent_secs_per_call\":{},\"recent_bytes_per_sec\":{}}}"
+                ),
+                t.format,
+                t.calls,
+                t.nanos,
+                t.bytes,
+                json_f64(t.recent_secs_per_call),
+                json_f64(t.recent_bytes_per_sec),
+            ));
+        }
+        format!("{{\"ticks\":{},\"formats\":[{}]}}", self.ticks, rows.join(","))
+    }
+
+    /// CSV column header matching [`TelemetrySnapshot::to_csv_rows`].
+    pub fn csv_header() -> &'static str {
+        "format,calls,nanos,bytes,recent_secs_per_call,recent_bytes_per_sec"
+    }
+
+    /// One CSV row per format (formats with zero calls included).
+    pub fn to_csv_rows(&self) -> Vec<String> {
+        self.per_format
+            .iter()
+            .map(|t| {
+                format!(
+                    "{},{},{},{},{},{}",
+                    t.format,
+                    t.calls,
+                    t.nanos,
+                    t.bytes,
+                    t.recent_secs_per_call.map_or(String::new(), |v| format!("{v:.6e}")),
+                    t.recent_bytes_per_sec.map_or(String::new(), |v| format!("{v:.6e}")),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(counters: &SmsvCounters, format: Format, calls: u64, nanos: u64, bytes: u64) {
+        for _ in 0..calls {
+            counters.record(format, nanos, bytes);
+        }
+    }
+
+    #[test]
+    fn tick_captures_window_deltas() {
+        let counters = SmsvCounters::shared();
+        let mut mon = KernelMonitor::new(counters.clone());
+        record(&counters, Format::Csr, 3, 100, 1_000);
+        let w1 = mon.tick();
+        assert_eq!(w1.tick, 1);
+        assert_eq!(w1.delta(Format::Csr), CounterSample { calls: 3, nanos: 300, bytes: 3_000 });
+        assert_eq!(w1.delta(Format::Dia), CounterSample::default());
+        // Second window sees only new activity.
+        record(&counters, Format::Csr, 1, 500, 1_000);
+        let w2 = mon.tick();
+        assert_eq!(w2.delta(Format::Csr), CounterSample { calls: 1, nanos: 500, bytes: 1_000 });
+    }
+
+    #[test]
+    fn pre_existing_counts_are_not_attributed_to_first_window() {
+        let counters = SmsvCounters::shared();
+        record(&counters, Format::Ell, 10, 50, 10);
+        // Monitor created *after* activity: baseline excludes it.
+        let mut mon = KernelMonitor::new(counters.clone());
+        let w = mon.tick();
+        assert_eq!(w.delta(Format::Ell), CounterSample::default());
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_windows() {
+        let counters = SmsvCounters::shared();
+        let mut mon = KernelMonitor::with_capacity(counters.clone(), 2);
+        for k in 0..5u64 {
+            record(&counters, Format::Coo, 1, 100 * (k + 1), 10);
+            mon.tick();
+        }
+        assert_eq!(mon.ticks(), 5);
+        let ticks: Vec<u64> = mon.windows().map(|w| w.tick).collect();
+        assert_eq!(ticks, vec![4, 5]);
+        // recent() aggregates only retained windows: nanos 400 + 500.
+        let r = mon.recent(Format::Coo);
+        assert_eq!(r.calls, 2);
+        assert_eq!(r.nanos, 900);
+    }
+
+    #[test]
+    fn recent_rates_do_window_math() {
+        let counters = SmsvCounters::shared();
+        let mut mon = KernelMonitor::with_capacity(counters.clone(), 8);
+        record(&counters, Format::Dia, 4, 1_000, 500);
+        mon.tick();
+        record(&counters, Format::Dia, 4, 3_000, 500);
+        mon.tick();
+        // 8 calls, 16 µs total → 2 µs/call; 4 000 bytes / 16 µs.
+        let spc = mon.recent_secs_per_call(Format::Dia).unwrap();
+        assert!((spc - 2e-6).abs() < 1e-12, "{spc}");
+        let bps = mon.recent_bytes_per_sec(Format::Dia).unwrap();
+        assert!((bps - 4_000.0 / 16e-6).abs() < 1e-3, "{bps}");
+        assert_eq!(mon.recent_secs_per_call(Format::Den), None);
+    }
+
+    #[test]
+    fn snapshot_exports_json_and_csv() {
+        let counters = SmsvCounters::shared();
+        let mut mon = KernelMonitor::new(counters.clone());
+        record(&counters, Format::Csr, 2, 250, 64);
+        mon.tick();
+        let snap = mon.snapshot();
+        assert_eq!(snap.ticks, 1);
+        assert_eq!(snap.total_calls(), 2);
+        assert_eq!(snap.active().count(), 1);
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"ticks\":1,"));
+        assert!(json.contains("\"format\":\"CSR\",\"calls\":2,\"nanos\":500,\"bytes\":128"));
+        assert!(json.contains("\"recent_secs_per_call\":2.5"));
+        // Unused formats serialise with null rates, not garbage.
+        assert!(json.contains(
+            "\"format\":\"DIA\",\"calls\":0,\"nanos\":0,\"bytes\":0,\"recent_secs_per_call\":null"
+        ));
+        let rows = snap.to_csv_rows();
+        assert_eq!(rows.len(), Format::ALL.len());
+        assert_eq!(TelemetrySnapshot::csv_header().split(',').count(), 6);
+        let csr_row = rows.iter().find(|r| r.starts_with("CSR,")).unwrap();
+        assert!(csr_row.starts_with("CSR,2,500,128,"));
+    }
+}

@@ -1,0 +1,397 @@
+//! Mid-training re-scheduling: act on telemetry, not just predictions.
+//!
+//! The static scheduler picks a format once, up front. When its model is
+//! wrong — mis-seeded fixed format, bandwidth profile that doesn't match
+//! the host, data whose effective access pattern defies the features — the
+//! whole SMO run pays for it. The reactive layer closes the loop:
+//!
+//! 1. train in *segments* ([`dls_svm::SmoState::run_segment`]),
+//! 2. after each segment compare the **measured** SMSV seconds/call of the
+//!    current format (from [`crate::monitor::KernelMonitor`]) against the
+//!    cost model's calibrated prediction for every candidate,
+//! 3. on a sustained mispredict beyond a hysteresis threshold — and only
+//!    when the predicted gain amortises the conversion over the remaining
+//!    iterations — re-convert the matrix to the best candidate and keep
+//!    training. Solver state survives: α, f and the kernel cache depend on
+//!    matrix content, not layout.
+
+use crate::cost::CostModelSelector;
+use crate::monitor::{KernelMonitor, TelemetrySnapshot};
+use crate::report::{FormatScore, SelectionReport};
+use crate::scheduler::LayoutScheduler;
+use dls_sparse::telemetry::format_index;
+use dls_sparse::{
+    AnyMatrix, Format, InstrumentedMatrix, MatrixFormat, SmsvCounters, TripletMatrix,
+};
+use dls_svm::{SmoParams, SmoStats, SvmError, SvmModel};
+
+/// Tunables for the reactive loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReactiveConfig {
+    /// SMO iterations per segment (one telemetry window per segment).
+    pub segment_iters: usize,
+    /// Switch only when the current format's estimated seconds/call exceed
+    /// the best candidate's by this factor. >1 absorbs timing noise.
+    pub hysteresis: f64,
+    /// Consecutive mispredicted windows required before switching.
+    pub patience: usize,
+    /// Windows with fewer SMSV calls than this are ignored (their timings
+    /// are too noisy to act on).
+    pub min_calls_per_window: u64,
+    /// Estimated cost of one format conversion, in units of current-format
+    /// SMSV sweeps (conversion streams the matrix a handful of times).
+    pub conversion_cost_sweeps: f64,
+    /// Hard cap on mid-training conversions.
+    pub max_switches: usize,
+}
+
+impl Default for ReactiveConfig {
+    fn default() -> Self {
+        Self {
+            segment_iters: 64,
+            hysteresis: 1.5,
+            patience: 2,
+            min_calls_per_window: 8,
+            conversion_cost_sweeps: 8.0,
+            max_switches: 3,
+        }
+    }
+}
+
+/// Detects sustained cost-model mispredicts from measured throughput.
+///
+/// Decision logic, separated from the training loop so it is unit-testable
+/// on synthetic timings: per candidate the detector keeps the cost model's
+/// *predicted* seconds/call plus, once available, the *measured* value
+/// (exponentially smoothed). Predictions are calibrated onto the measured
+/// scale through the current format — prediction errors show up as a gap
+/// between where the model put the current format and where it actually
+/// landed — and measurements always override predictions.
+#[derive(Debug, Clone)]
+pub struct MispredictDetector {
+    config: ReactiveConfig,
+    predicted: [Option<f64>; Format::ALL.len()],
+    measured: [Option<f64>; Format::ALL.len()],
+    current: Format,
+    streak: usize,
+    switches: usize,
+}
+
+impl MispredictDetector {
+    /// A detector starting on `current`, with per-candidate predicted
+    /// seconds/call (typically [`CostModelSelector::score_all`]).
+    pub fn new(current: Format, predictions: &[FormatScore], config: ReactiveConfig) -> Self {
+        let mut predicted = [None; Format::ALL.len()];
+        for p in predictions {
+            predicted[format_index(p.format)] = Some(p.score);
+        }
+        Self {
+            config,
+            predicted,
+            measured: [None; Format::ALL.len()],
+            current,
+            streak: 0,
+            switches: 0,
+        }
+    }
+
+    /// The format the detector currently believes the solver runs on.
+    pub fn current(&self) -> Format {
+        self.current
+    }
+
+    /// Mid-training switches committed so far.
+    pub fn switches(&self) -> usize {
+        self.switches
+    }
+
+    /// Estimated seconds/call for a candidate: measured when available,
+    /// otherwise the prediction rescaled by the current format's
+    /// measured-to-predicted ratio.
+    pub fn estimate(&self, format: Format) -> Option<f64> {
+        let i = format_index(format);
+        if let Some(m) = self.measured[i] {
+            return Some(m);
+        }
+        let pred = self.predicted[i]?;
+        let scale = match (
+            self.measured[format_index(self.current)],
+            self.predicted[format_index(self.current)],
+        ) {
+            (Some(m), Some(p)) if p > 0.0 => m / p,
+            _ => 1.0,
+        };
+        Some(pred * scale)
+    }
+
+    /// Feeds one window's measurement for the current format and decides.
+    ///
+    /// Returns `Some(target)` when a sustained, amortisable mispredict
+    /// says training should re-convert to `target`; the detector then
+    /// treats `target` as current. `calls` is the window's SMSV call count
+    /// (noise gate) and `remaining_iterations` the solver budget left
+    /// (amortisation gate: 2 SMSVs per iteration).
+    pub fn observe(
+        &mut self,
+        secs_per_call: f64,
+        calls: u64,
+        remaining_iterations: usize,
+    ) -> Option<Format> {
+        if calls < self.config.min_calls_per_window || !secs_per_call.is_finite() {
+            return None;
+        }
+        let i = format_index(self.current);
+        self.measured[i] = Some(match self.measured[i] {
+            Some(old) => 0.5 * old + 0.5 * secs_per_call,
+            None => secs_per_call,
+        });
+        let est_current = self.measured[i].expect("just set");
+
+        // Best alternative among the formats the model scored.
+        let best = Format::ALL
+            .iter()
+            .copied()
+            .filter(|&f| f != self.current && self.predicted[format_index(f)].is_some())
+            .filter_map(|f| self.estimate(f).map(|e| (f, e)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite estimates"))?;
+        let (target, est_best) = best;
+
+        let mispredicted = est_current > self.config.hysteresis * est_best;
+        // Amortisation: the conversion (≈ conversion_cost_sweeps SMSV
+        // sweeps of the current format) must pay for itself within the
+        // remaining ~2·iterations SMSV calls.
+        let gain = (est_current - est_best) * 2.0 * remaining_iterations as f64;
+        let amortised = gain > self.config.conversion_cost_sweeps * est_current;
+
+        if mispredicted && amortised && self.switches < self.config.max_switches {
+            self.streak += 1;
+            if self.streak >= self.config.patience {
+                self.streak = 0;
+                self.switches += 1;
+                self.current = target;
+                return Some(target);
+            }
+        } else {
+            self.streak = 0;
+        }
+        None
+    }
+}
+
+/// One mid-training format change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwitchEvent {
+    /// SMO iterations completed when the switch happened.
+    pub at_iteration: usize,
+    /// Format trained on before the switch.
+    pub from: Format,
+    /// Format trained on after the switch.
+    pub to: Format,
+    /// Measured seconds/call of `from` that triggered the switch.
+    pub measured_secs_per_call: f64,
+    /// Estimated seconds/call of `to` at switch time.
+    pub estimated_target_secs_per_call: f64,
+}
+
+/// Everything the reactive run learned and did.
+#[derive(Debug, Clone)]
+pub struct ReactiveReport {
+    /// The up-front selection that seeded training.
+    pub initial: SelectionReport,
+    /// Format the run finished on.
+    pub final_format: Format,
+    /// Mid-training conversions, in order.
+    pub switches: Vec<SwitchEvent>,
+    /// Solver statistics for the whole run.
+    pub stats: SmoStats,
+    /// Telemetry at the end of the run.
+    pub telemetry: TelemetrySnapshot,
+}
+
+/// A [`LayoutScheduler`] that keeps scheduling *during* training.
+#[derive(Debug, Clone)]
+pub struct ReactiveScheduler {
+    scheduler: LayoutScheduler,
+    cost: CostModelSelector,
+    config: ReactiveConfig,
+}
+
+impl Default for ReactiveScheduler {
+    fn default() -> Self {
+        Self::new(LayoutScheduler::default())
+    }
+}
+
+impl ReactiveScheduler {
+    /// Reactive training seeded by `scheduler`'s up-front choice.
+    pub fn new(scheduler: LayoutScheduler) -> Self {
+        Self { scheduler, cost: CostModelSelector::default(), config: ReactiveConfig::default() }
+    }
+
+    /// Overrides the reactive tunables.
+    pub fn with_config(mut self, config: ReactiveConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the cost model used for candidate predictions.
+    pub fn with_cost_model(mut self, cost: CostModelSelector) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// The seeding scheduler.
+    pub fn scheduler(&self) -> &LayoutScheduler {
+        &self.scheduler
+    }
+
+    /// The reactive tunables.
+    pub fn config(&self) -> &ReactiveConfig {
+        &self.config
+    }
+
+    /// Trains an SVM with mid-training re-scheduling.
+    ///
+    /// The initial format comes from the seeding scheduler; thereafter
+    /// each segment's measured SMSV throughput is compared against the
+    /// cost model and the matrix is re-converted when the detector fires.
+    pub fn train(
+        &self,
+        t: &TripletMatrix,
+        y: &[dls_sparse::Scalar],
+        params: &SmoParams,
+    ) -> Result<(SvmModel, ReactiveReport), SvmError> {
+        let initial = self.scheduler.select_only(t);
+        let counters = SmsvCounters::shared();
+        let mut matrix =
+            InstrumentedMatrix::new(AnyMatrix::from_triplets(initial.chosen, t), counters.clone());
+        let mut monitor = KernelMonitor::new(counters);
+        let mut detector = MispredictDetector::new(
+            initial.chosen,
+            &self.cost.score_all(&initial.features),
+            self.config,
+        );
+
+        let mut state = dls_svm::SmoState::new(&matrix, y, params)?;
+        let mut switches = Vec::new();
+        while state.can_continue(params) {
+            state.run_segment(&matrix, params, self.config.segment_iters.max(1));
+            let window = monitor.tick();
+            let current = matrix.format();
+            let delta = window.delta(current);
+            let Some(secs_per_call) = delta.secs_per_call() else { continue };
+            let remaining = params.max_iterations.saturating_sub(state.iterations());
+            if let Some(target) = detector.observe(secs_per_call, delta.calls, remaining) {
+                let estimated = detector.estimate(target).unwrap_or(f64::NAN);
+                switches.push(SwitchEvent {
+                    at_iteration: state.iterations(),
+                    from: current,
+                    to: target,
+                    measured_secs_per_call: secs_per_call,
+                    estimated_target_secs_per_call: estimated,
+                });
+                matrix = matrix.convert(target);
+            }
+        }
+
+        let (model, stats) = state.finalize(&matrix, params);
+        let report = ReactiveReport {
+            final_format: matrix.format(),
+            initial,
+            switches,
+            stats,
+            telemetry: monitor.snapshot(),
+        };
+        Ok((model, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn predictions(pairs: &[(Format, f64)]) -> Vec<FormatScore> {
+        pairs.iter().map(|&(f, s)| FormatScore::new(f, s)).collect()
+    }
+
+    #[test]
+    fn sustained_mispredict_triggers_switch() {
+        // Model says CSR should be 10× faster than DIA; solver sits on DIA.
+        let preds = predictions(&[(Format::Dia, 1e-4), (Format::Csr, 1e-5)]);
+        let mut d = MispredictDetector::new(Format::Dia, &preds, ReactiveConfig::default());
+        assert_eq!(d.observe(1e-4, 100, 100_000), None, "patience window 1");
+        assert_eq!(d.observe(1e-4, 100, 100_000), Some(Format::Csr), "patience window 2");
+        assert_eq!(d.current(), Format::Csr);
+        assert_eq!(d.switches(), 1);
+    }
+
+    #[test]
+    fn noisy_timings_do_not_thrash() {
+        // Two formats predicted within 10% of each other: ±20% timing
+        // noise must never trigger a switch under 1.5× hysteresis.
+        let preds = predictions(&[(Format::Csr, 1.0e-5), (Format::Ell, 1.1e-5)]);
+        let mut d = MispredictDetector::new(Format::Csr, &preds, ReactiveConfig::default());
+        let noisy = [1.2e-5, 0.8e-5, 1.1e-5, 0.9e-5, 1.25e-5, 0.85e-5, 1.0e-5, 1.15e-5];
+        for (k, &s) in noisy.iter().cycle().take(64).enumerate() {
+            assert_eq!(d.observe(s, 100, 100_000), None, "window {k}");
+        }
+        assert_eq!(d.current(), Format::Csr);
+        assert_eq!(d.switches(), 0);
+    }
+
+    #[test]
+    fn patience_requires_consecutive_windows() {
+        let preds = predictions(&[(Format::Dia, 1e-4), (Format::Csr, 1e-5)]);
+        let cfg = ReactiveConfig { patience: 3, ..Default::default() };
+        let mut d = MispredictDetector::new(Format::Dia, &preds, cfg);
+        assert_eq!(d.observe(1e-4, 100, 100_000), None);
+        assert_eq!(d.observe(1e-4, 100, 100_000), None);
+        // A quiet window (too few calls) must not count toward the streak
+        // — and must not reset it either, since it carries no signal.
+        assert_eq!(d.observe(1e-4, 1, 100_000), None);
+        assert_eq!(d.observe(1e-4, 100, 100_000), Some(Format::Csr));
+    }
+
+    #[test]
+    fn measured_values_override_predictions() {
+        // Model claims ELL is 5× faster than CSR. After switching, ELL
+        // *measures* 3× slower — the detector must switch back based on
+        // CSR's retained measurement, then hold (max_switches respected).
+        let preds = predictions(&[(Format::Csr, 5e-5), (Format::Ell, 1e-5)]);
+        let cfg = ReactiveConfig { patience: 1, max_switches: 2, ..Default::default() };
+        let mut d = MispredictDetector::new(Format::Csr, &preds, cfg);
+        // CSR measures 1e-5; scaled prediction for ELL = 1e-5 * (1e-5/5e-5)
+        // = 2e-6 → apparent 5× win → switch.
+        assert_eq!(d.observe(1e-5, 100, 100_000), Some(Format::Ell));
+        // ELL actually measures 3e-5, CSR's measured 1e-5 is remembered →
+        // switch back.
+        assert_eq!(d.observe(3e-5, 100, 100_000), Some(Format::Csr));
+        // Back on CSR, measured ELL (3e-5) no longer looks attractive:
+        // no further switches even with budget left.
+        assert_eq!(d.observe(1e-5, 100, 100_000), None);
+        assert_eq!(d.switches(), 2);
+    }
+
+    #[test]
+    fn no_switch_when_conversion_cannot_amortise() {
+        let preds = predictions(&[(Format::Dia, 1e-4), (Format::Csr, 1e-5)]);
+        let mut d = MispredictDetector::new(Format::Dia, &preds, ReactiveConfig::default());
+        // 10× mispredict but only 3 iterations left: 6 SMSV calls cannot
+        // repay an 8-sweep conversion.
+        for _ in 0..8 {
+            assert_eq!(d.observe(1e-4, 100, 3), None);
+        }
+        assert_eq!(d.switches(), 0);
+    }
+
+    #[test]
+    fn max_switches_caps_conversions() {
+        let preds = predictions(&[(Format::Dia, 1e-4), (Format::Csr, 1e-5)]);
+        let cfg = ReactiveConfig { patience: 1, max_switches: 0, ..Default::default() };
+        let mut d = MispredictDetector::new(Format::Dia, &preds, cfg);
+        for _ in 0..8 {
+            assert_eq!(d.observe(1e-4, 100, 100_000), None);
+        }
+        assert_eq!(d.switches(), 0);
+    }
+}

@@ -2,6 +2,24 @@
 
 use dls_sparse::{Format, MatrixFeatures};
 
+/// One scored candidate format. *Lower is better* — predicted seconds for
+/// the cost model, measured seconds for the empirical selector, rule rank
+/// for the rule system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FormatScore {
+    /// The candidate format.
+    pub format: Format,
+    /// The candidate's score under the selector's own metric.
+    pub score: f64,
+}
+
+impl FormatScore {
+    /// Convenience constructor.
+    pub fn new(format: Format, score: f64) -> Self {
+        Self { format, score }
+    }
+}
+
 /// Why and how a format was chosen for one dataset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectionReport {
@@ -9,18 +27,18 @@ pub struct SelectionReport {
     pub chosen: Format,
     /// Extracted influencing parameters the decision was based on.
     pub features: MatrixFeatures,
-    /// Per-format score: *lower is better* (predicted seconds for the cost
-    /// model, measured seconds for the empirical selector, rule rank for the
-    /// rule system). Ordered as [`Format::BASIC`].
-    pub scores: [(Format, f64); 5],
+    /// Per-format scores, chosen format first. Selectors score at least the
+    /// five basic formats; derived formats (CSC, BCSR, HYB, JDS) appear
+    /// whenever the selector considered them.
+    pub scores: Vec<FormatScore>,
     /// One-line human-readable justification.
     pub reason: String,
 }
 
 impl SelectionReport {
-    /// Score of a specific format, if present.
+    /// Score of a specific format, if the selector scored it.
     pub fn score_of(&self, format: Format) -> Option<f64> {
-        self.scores.iter().find(|(f, _)| *f == format).map(|(_, s)| *s)
+        self.scores.iter().find(|s| s.format == format).map(|s| s.score)
     }
 
     /// The format with the worst (highest) score — the paper's baseline for
@@ -28,10 +46,38 @@ impl SelectionReport {
     pub fn worst(&self) -> Format {
         self.scores
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))
-            .map(|(f, _)| *f)
-            .expect("five scores always present")
+            .max_by(|a, b| a.score.partial_cmp(&b.score).expect("scores are finite"))
+            .map(|s| s.format)
+            .expect("reports always carry scores")
     }
+
+    /// The scored candidates restricted to the five basic formats, in
+    /// [`Format::BASIC`] order — the view the paper's tables use.
+    pub fn basic_scores(&self) -> Vec<FormatScore> {
+        Format::BASIC
+            .iter()
+            .filter_map(|&f| self.score_of(f).map(|s| FormatScore::new(f, s)))
+            .collect()
+    }
+}
+
+/// Scores every format by predicted storage footprint, chosen format first
+/// at 0.0, the rest ranked 1, 2, … smallest-storage-first. The fallback
+/// score table for selectors whose decision is not itself score-shaped
+/// (fixed format, rule system).
+pub fn rank_by_storage(chosen: Format, f: &MatrixFeatures) -> Vec<FormatScore> {
+    let mut ranked: Vec<Format> = Format::ALL.iter().copied().filter(|&x| x != chosen).collect();
+    ranked.sort_by(|&a, &b| {
+        let sa = dls_sparse::storage::predicted_storage_elems(a, f);
+        let sb = dls_sparse::storage::predicted_storage_elems(b, f);
+        sa.partial_cmp(&sb).expect("finite storage")
+    });
+    let mut scores = Vec::with_capacity(Format::ALL.len());
+    scores.push(FormatScore::new(chosen, 0.0));
+    scores.extend(
+        ranked.into_iter().enumerate().map(|(k, fmt)| FormatScore::new(fmt, (k + 1) as f64)),
+    );
+    scores
 }
 
 impl std::fmt::Display for SelectionReport {
@@ -39,8 +85,8 @@ impl std::fmt::Display for SelectionReport {
         writeln!(f, "selected {} — {}", self.chosen, self.reason)?;
         writeln!(f, "  features: {}", self.features)?;
         write!(f, "  scores:")?;
-        for (fmt, s) in &self.scores {
-            write!(f, " {fmt}={s:.3e}")?;
+        for s in &self.scores {
+            write!(f, " {}={:.3e}", s.format, s.score)?;
         }
         Ok(())
     }
@@ -56,12 +102,12 @@ mod tests {
         SelectionReport {
             chosen: Format::Dia,
             features: MatrixFeatures::from_triplets(&t),
-            scores: [
-                (Format::Ell, 3.0),
-                (Format::Csr, 2.0),
-                (Format::Coo, 2.5),
-                (Format::Den, 4.0),
-                (Format::Dia, 1.0),
+            scores: vec![
+                FormatScore::new(Format::Dia, 1.0),
+                FormatScore::new(Format::Csr, 2.0),
+                FormatScore::new(Format::Coo, 2.5),
+                FormatScore::new(Format::Ell, 3.0),
+                FormatScore::new(Format::Den, 4.0),
             ],
             reason: "single diagonal".into(),
         }
@@ -73,6 +119,29 @@ mod tests {
         assert_eq!(r.score_of(Format::Csr), Some(2.0));
         assert_eq!(r.score_of(Format::Bcsr), None);
         assert_eq!(r.worst(), Format::Den);
+    }
+
+    #[test]
+    fn basic_scores_follow_basic_order() {
+        let mut r = report();
+        r.scores.push(FormatScore::new(Format::Jds, 2.2));
+        let basics = r.basic_scores();
+        let order: Vec<Format> = basics.iter().map(|s| s.format).collect();
+        assert_eq!(order, Format::BASIC.to_vec());
+        assert!(basics.iter().all(|s| s.format != Format::Jds));
+    }
+
+    #[test]
+    fn rank_by_storage_covers_all_formats() {
+        let t = TripletMatrix::from_dense(2, 2, &[1.0, 0.0, 0.0, 1.0]);
+        let f = MatrixFeatures::from_triplets(&t);
+        let scores = rank_by_storage(Format::Dia, &f);
+        assert_eq!(scores.len(), Format::ALL.len());
+        assert_eq!(scores[0], FormatScore::new(Format::Dia, 0.0));
+        // Ranks are a permutation of 0..9 with chosen at 0.
+        let mut ranks: Vec<f64> = scores.iter().map(|s| s.score).collect();
+        ranks.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(ranks, (0..Format::ALL.len()).map(|k| k as f64).collect::<Vec<_>>());
     }
 
     #[test]

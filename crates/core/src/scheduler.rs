@@ -1,25 +1,34 @@
 //! The runtime layout scheduler: the public entry point of the library.
 //!
 //! ```text
-//! TripletMatrix ──► extract 9 parameters ──► strategy ──► AnyMatrix
+//! TripletMatrix ──► extract 9 parameters ──► selector ──► AnyMatrix
 //!                        (Table IV)        (rules/cost/    (chosen
 //!                                           empirical)      format)
 //! ```
+//!
+//! Selection policy is open: built-in strategies are named by
+//! [`SelectionStrategy`] and instantiated through its single dispatch
+//! point, [`SelectionStrategy::selector`]; arbitrary user policies plug in
+//! through [`LayoutScheduler::with_selector`].
 
 use crate::cost::CostModelSelector;
 use crate::decision::RuleBasedSelector;
 use crate::empirical::EmpiricalSelector;
-use crate::report::SelectionReport;
+use crate::report::{rank_by_storage, SelectionReport};
 use dls_sparse::{AnyMatrix, Format, MatrixFeatures, TripletMatrix};
+use std::sync::Arc;
 
 /// A pluggable selection policy.
-pub trait FormatSelector {
+///
+/// `Send + Sync` so schedulers can be shared across training threads and
+/// held by the reactive monitor.
+pub trait FormatSelector: Send + Sync {
     /// Chooses a format for the matrix, returning the full report.
     fn select(&self, t: &TripletMatrix, f: &MatrixFeatures) -> SelectionReport;
 }
 
-/// Which selection policy the scheduler runs.
-#[derive(Debug, Clone, Copy, Default)]
+/// Which built-in selection policy the scheduler runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum SelectionStrategy {
     /// Ordered rules over the influencing parameters (the paper's system,
     /// tuned for the paper's vectorised testbed).
@@ -37,10 +46,58 @@ pub enum SelectionStrategy {
     Fixed(Format),
 }
 
-/// The scheduler: strategy + conversion.
-#[derive(Debug, Clone, Copy, Default)]
+impl SelectionStrategy {
+    /// Instantiates the selector implementing this strategy — the single
+    /// strategy-dispatch point in the crate.
+    pub fn selector(&self) -> Box<dyn FormatSelector> {
+        match *self {
+            SelectionStrategy::RuleBased => Box::new(RuleBasedSelector::default()),
+            SelectionStrategy::RuleBasedHost => Box::new(RuleBasedSelector::for_host()),
+            SelectionStrategy::CostModel => Box::new(CostModelSelector::default()),
+            SelectionStrategy::Empirical => Box::new(EmpiricalSelector::default()),
+            SelectionStrategy::Fixed(fmt) => Box::new(FixedSelector(fmt)),
+        }
+    }
+}
+
+/// The non-adaptive policy: always the wrapped format, whatever the data
+/// looks like. Scores rank the alternatives by predicted storage so the
+/// report stays informative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedSelector(pub Format);
+
+impl FormatSelector for FixedSelector {
+    fn select(&self, _t: &TripletMatrix, f: &MatrixFeatures) -> SelectionReport {
+        SelectionReport {
+            chosen: self.0,
+            features: *f,
+            scores: rank_by_storage(self.0, f),
+            reason: format!("fixed format {} (non-adaptive)", self.0),
+        }
+    }
+}
+
+/// The scheduler: a selection policy + conversion.
+#[derive(Clone)]
 pub struct LayoutScheduler {
-    strategy: SelectionStrategy,
+    /// `Some` when built from a named strategy, `None` for custom selectors.
+    strategy: Option<SelectionStrategy>,
+    selector: Arc<dyn FormatSelector>,
+}
+
+impl std::fmt::Debug for LayoutScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.strategy {
+            Some(s) => write!(f, "LayoutScheduler({s:?})"),
+            None => write!(f, "LayoutScheduler(custom selector)"),
+        }
+    }
+}
+
+impl Default for LayoutScheduler {
+    fn default() -> Self {
+        Self::with_strategy(SelectionStrategy::default())
+    }
 }
 
 /// A matrix whose storage format was chosen by the scheduler.
@@ -87,17 +144,29 @@ impl LayoutScheduler {
         Self::default()
     }
 
-    /// A scheduler with an explicit strategy.
+    /// A scheduler running one of the built-in strategies.
     pub fn with_strategy(strategy: SelectionStrategy) -> Self {
-        Self { strategy }
+        Self { strategy: Some(strategy), selector: strategy.selector().into() }
     }
 
-    /// The active strategy.
-    pub fn strategy(&self) -> SelectionStrategy {
+    /// A scheduler running an arbitrary selection policy. This is the open
+    /// extension point: anything implementing [`FormatSelector`] slots in.
+    pub fn with_selector(selector: impl FormatSelector + 'static) -> Self {
+        Self { strategy: None, selector: Arc::new(selector) }
+    }
+
+    /// The named strategy, when the scheduler was built from one. `None`
+    /// for custom selectors installed via [`LayoutScheduler::with_selector`].
+    pub fn strategy(&self) -> Option<SelectionStrategy> {
         self.strategy
     }
 
-    /// Extracts features, runs the strategy, and materialises the matrix in
+    /// The active selection policy.
+    pub fn selector(&self) -> &dyn FormatSelector {
+        &*self.selector
+    }
+
+    /// Extracts features, runs the selector, and materialises the matrix in
     /// the chosen format.
     pub fn schedule(&self, t: &TripletMatrix) -> ScheduledMatrix {
         let compact;
@@ -107,21 +176,7 @@ impl LayoutScheduler {
             compact = t.clone().compact();
             &compact
         };
-        let features = MatrixFeatures::from_triplets(t);
-        let report = match self.strategy {
-            SelectionStrategy::RuleBased => RuleBasedSelector::default().select(t, &features),
-            SelectionStrategy::RuleBasedHost => {
-                RuleBasedSelector::for_host().select(t, &features)
-            }
-            SelectionStrategy::CostModel => CostModelSelector::default().select(t, &features),
-            SelectionStrategy::Empirical => EmpiricalSelector::default().select(t, &features),
-            SelectionStrategy::Fixed(fmt) => SelectionReport {
-                chosen: fmt,
-                features,
-                scores: fixed_scores(fmt),
-                reason: format!("fixed format {fmt} (non-adaptive)"),
-            },
-        };
+        let report = self.report_for(t);
         let matrix = AnyMatrix::from_triplets(report.chosen, t);
         ScheduledMatrix { matrix, report }
     }
@@ -129,41 +184,13 @@ impl LayoutScheduler {
     /// Runs only the selection (no materialisation) — useful when the
     /// caller wants the decision for matrices it will build elsewhere.
     pub fn select_only(&self, t: &TripletMatrix) -> SelectionReport {
-        self.schedule_report(t)
+        self.report_for(t)
     }
 
-    fn schedule_report(&self, t: &TripletMatrix) -> SelectionReport {
+    fn report_for(&self, t: &TripletMatrix) -> SelectionReport {
         let features = MatrixFeatures::from_triplets(t);
-        match self.strategy {
-            SelectionStrategy::RuleBased => RuleBasedSelector::default().select(t, &features),
-            SelectionStrategy::RuleBasedHost => {
-                RuleBasedSelector::for_host().select(t, &features)
-            }
-            SelectionStrategy::CostModel => CostModelSelector::default().select(t, &features),
-            SelectionStrategy::Empirical => EmpiricalSelector::default().select(t, &features),
-            SelectionStrategy::Fixed(fmt) => SelectionReport {
-                chosen: fmt,
-                features,
-                scores: fixed_scores(fmt),
-                reason: format!("fixed format {fmt} (non-adaptive)"),
-            },
-        }
+        self.selector.select(t, &features)
     }
-}
-
-/// Degenerate score table for the fixed strategy: chosen = 0, rest = 1.
-/// If `chosen` is a derived format (CSC/BCSR) it takes the first slot and
-/// only four of the basic formats fit in the remaining ones.
-fn fixed_scores(chosen: Format) -> [(Format, f64); 5] {
-    let mut scores = [(chosen, 0.0); 5];
-    let mut k = 1;
-    for &fmt in &Format::BASIC {
-        if fmt != chosen && k < 5 {
-            scores[k] = (fmt, 1.0);
-            k += 1;
-        }
-    }
-    scores
 }
 
 #[cfg(test)]
@@ -176,7 +203,9 @@ mod tests {
     fn default_scheduler_is_rule_based() {
         let spec = DatasetSpec::by_name("trefethen").unwrap();
         let t = generate(spec, 1);
-        let s = LayoutScheduler::new().schedule(&t);
+        let sched = LayoutScheduler::new();
+        assert_eq!(sched.strategy(), Some(SelectionStrategy::RuleBased));
+        let s = sched.schedule(&t);
         assert_eq!(s.format(), Format::Dia);
         assert_eq!(s.matrix().format(), Format::Dia);
         assert_eq!(s.matrix().nnz(), t.nnz());
@@ -187,10 +216,11 @@ mod tests {
     fn fixed_strategy_never_adapts() {
         let spec = DatasetSpec::by_name("trefethen").unwrap();
         let t = generate(spec, 1);
-        let s = LayoutScheduler::with_strategy(SelectionStrategy::Fixed(Format::Csr))
-            .schedule(&t);
+        let s = LayoutScheduler::with_strategy(SelectionStrategy::Fixed(Format::Csr)).schedule(&t);
         assert_eq!(s.format(), Format::Csr);
         assert!(s.report().reason.contains("non-adaptive"));
+        // Fixed reports rank every format, derived ones included.
+        assert_eq!(s.report().scores.len(), Format::ALL.len());
     }
 
     #[test]
@@ -216,6 +246,58 @@ mod tests {
         let t = generate(spec, 3);
         let sched = LayoutScheduler::new();
         assert_eq!(sched.select_only(&t).chosen, sched.schedule(&t).format());
+    }
+
+    #[test]
+    fn strategy_selector_matches_with_strategy() {
+        // The enum's selector() and the scheduler built from the same
+        // strategy must agree — there is exactly one dispatch site.
+        let spec = DatasetSpec::by_name("aloi").unwrap();
+        let t = generate(spec, 7);
+        let f = MatrixFeatures::from_triplets(&t);
+        for strategy in [
+            SelectionStrategy::RuleBased,
+            SelectionStrategy::CostModel,
+            SelectionStrategy::Fixed(Format::Ell),
+        ] {
+            let direct = strategy.selector().select(&t, &f);
+            let via_sched = LayoutScheduler::with_strategy(strategy).select_only(&t);
+            assert_eq!(direct.chosen, via_sched.chosen);
+        }
+    }
+
+    #[test]
+    fn custom_selector_plugs_in() {
+        /// A policy no built-in strategy expresses: smallest predicted
+        /// storage over all nine formats.
+        struct SmallestStorage;
+        impl FormatSelector for SmallestStorage {
+            fn select(&self, _t: &TripletMatrix, f: &MatrixFeatures) -> SelectionReport {
+                let chosen = Format::ALL
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        dls_sparse::storage::predicted_storage_elems(a, f)
+                            .partial_cmp(&dls_sparse::storage::predicted_storage_elems(b, f))
+                            .unwrap()
+                    })
+                    .unwrap();
+                SelectionReport {
+                    chosen,
+                    features: *f,
+                    scores: rank_by_storage(chosen, f),
+                    reason: "smallest storage".into(),
+                }
+            }
+        }
+        let spec = DatasetSpec::by_name("trefethen").unwrap();
+        let t = generate(spec, 1);
+        let sched = LayoutScheduler::with_selector(SmallestStorage);
+        assert_eq!(sched.strategy(), None);
+        let s = sched.schedule(&t);
+        // Trefethen is diagonal: DIA stores the least by a wide margin.
+        assert_eq!(s.format(), Format::Dia);
+        assert!(s.report().reason.contains("smallest storage"));
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Integration test for the reactive scheduler's headline promise: a
+//! mis-seeded fixed format is detected and corrected mid-training without
+//! changing what the trained model predicts.
+
+use dls_core::{LayoutScheduler, ReactiveConfig, ReactiveScheduler, SelectionStrategy};
+use dls_sparse::{AnyMatrix, Format, SparseVec};
+use dls_svm::{train_with_stats, SmoParams};
+
+#[test]
+fn mis_seeded_dia_recovers_to_csr_with_identical_predictions() {
+    // Adult-style sparse data: random pattern, terrible for DIA (the cost
+    // model scores DIA ~20x worse than CSR here), ideal for CSR.
+    let spec = dls_data::DatasetSpec::by_name("adult").unwrap().scaled(10);
+    let t = dls_data::generate(&spec, 42);
+    let y = dls_data::labels::linear_teacher_labels(&t, 0.0, 7);
+    let params = SmoParams {
+        // No kernel cache: every iteration issues its two SMSVs, so each
+        // monitoring window has enough calls to clear the noise gate.
+        cache_bytes: 0,
+        max_iterations: 2_000,
+        ..SmoParams::default()
+    };
+
+    let reactive = ReactiveScheduler::new(LayoutScheduler::with_strategy(
+        SelectionStrategy::Fixed(Format::Dia),
+    ))
+    .with_config(ReactiveConfig { segment_iters: 16, ..ReactiveConfig::default() });
+    let (model, report) = reactive.train(&t, &y, &params).expect("reactive training");
+
+    // The wrong seed was honoured at the start…
+    assert_eq!(report.initial.chosen, Format::Dia);
+    // …then detected and corrected.
+    assert!(!report.switches.is_empty(), "no mid-training re-schedule happened");
+    assert_eq!(report.switches[0].from, Format::Dia);
+    assert_eq!(report.switches[0].to, Format::Csr);
+    assert_eq!(report.final_format, Format::Csr);
+    // Telemetry saw both phases.
+    let dia_calls =
+        report.telemetry.per_format.iter().find(|f| f.format == Format::Dia).map_or(0, |f| f.calls);
+    let csr_calls =
+        report.telemetry.per_format.iter().find(|f| f.format == Format::Csr).map_or(0, |f| f.calls);
+    assert!(dia_calls > 0, "no SMSV calls recorded on the mis-seeded format");
+    assert!(csr_calls > 0, "no SMSV calls recorded after the switch");
+    assert_eq!(report.telemetry.total_calls(), report.stats.smsv_count);
+
+    // Reference: the same problem trained statically on CSR.
+    let csr = AnyMatrix::from_triplets(Format::Csr, &t);
+    let (static_model, _) = train_with_stats(&csr, &y, &params).expect("static training");
+
+    // The re-scheduled run must predict exactly like the static one.
+    for i in 0..t.rows() {
+        let x: SparseVec = t.row_sparse(i);
+        assert_eq!(
+            model.predict_label(&x),
+            static_model.predict_label(&x),
+            "prediction diverged on row {i}"
+        );
+    }
+    assert!((model.bias() - static_model.bias()).abs() < 1e-6);
+}

@@ -181,12 +181,7 @@ mod tests {
             let t = vdim_matrix(256, 512, 256 * 16, target, 5);
             let f = MatrixFeatures::from_triplets(&t);
             assert_eq!(f.nnz, 256 * 16, "nnz preserved at target {target}");
-            assert!(
-                f.vdim >= last,
-                "variance must grow with target: {} then {}",
-                last,
-                f.vdim
-            );
+            assert!(f.vdim >= last, "variance must grow with target: {} then {}", last, f.vdim);
             last = f.vdim;
         }
     }

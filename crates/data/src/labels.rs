@@ -52,10 +52,7 @@ pub fn multiclass_teacher_labels(t: &TripletMatrix, k: usize, seed: u64) -> Vec<
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let thresholds: Vec<f64> =
         (1..k).map(|q| sorted[(q * sorted.len() / k).min(sorted.len() - 1)]).collect();
-    scores
-        .iter()
-        .map(|&s| thresholds.iter().filter(|&&th| s > th).count() as i64)
-        .collect()
+    scores.iter().map(|&s| thresholds.iter().filter(|&&th| s > th).count() as i64).collect()
 }
 
 #[cfg(test)]

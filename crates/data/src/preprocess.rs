@@ -179,9 +179,8 @@ mod tests {
 
     #[test]
     fn constant_column_passes_through() {
-        let t = TripletMatrix::from_entries(2, 1, vec![(0, 0, 5.0), (1, 0, 5.0)])
-            .unwrap()
-            .compact();
+        let t =
+            TripletMatrix::from_entries(2, 1, vec![(0, 0, 5.0), (1, 0, 5.0)]).unwrap().compact();
         let s = FeatureScaler::fit(&t, ScaleRange::ZeroOne);
         assert_eq!(s.scale_value(0, 5.0), 5.0, "no spread: identity");
     }
@@ -201,13 +200,9 @@ mod tests {
 
     #[test]
     fn normalize_rows_gives_unit_norms() {
-        let t = TripletMatrix::from_entries(
-            3,
-            3,
-            vec![(0, 0, 3.0), (0, 1, 4.0), (1, 2, 7.0)],
-        )
-        .unwrap()
-        .compact();
+        let t = TripletMatrix::from_entries(3, 3, vec![(0, 0, 3.0), (0, 1, 4.0), (1, 2, 7.0)])
+            .unwrap()
+            .compact();
         let n = normalize_rows(&t);
         let r0 = n.row_sparse(0);
         assert!((r0.norm_sq() - 1.0).abs() < 1e-12);

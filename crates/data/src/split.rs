@@ -23,12 +23,7 @@ pub struct Split {
 ///
 /// # Panics
 /// Panics on an invalid fraction or mismatched label length.
-pub fn stratified_split(
-    x: &TripletMatrix,
-    y: &[Scalar],
-    test_fraction: f64,
-    seed: u64,
-) -> Split {
+pub fn stratified_split(x: &TripletMatrix, y: &[Scalar], test_fraction: f64, seed: u64) -> Split {
     assert!((0.0..1.0).contains(&test_fraction) && test_fraction > 0.0, "bad test fraction");
     assert_eq!(y.len(), x.rows(), "one label per row");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -40,8 +35,7 @@ pub fn stratified_split(
     let mut test_idx: Vec<usize> = Vec::new();
     let mut train_idx: Vec<usize> = Vec::new();
     for &label in &labels {
-        let mut group: Vec<usize> =
-            (0..y.len()).filter(|&i| y[i] == label).collect();
+        let mut group: Vec<usize> = (0..y.len()).filter(|&i| y[i] == label).collect();
         group.shuffle(&mut rng);
         let n_test = ((group.len() as f64) * test_fraction).round() as usize;
         let n_test = n_test.min(group.len().saturating_sub(1)).max(usize::from(group.len() > 1));
@@ -102,9 +96,8 @@ mod tests {
     fn stratification_keeps_class_ratio() {
         let (x, y) = data(80);
         let s = stratified_split(&x, &y, 0.25, 2);
-        let frac = |ys: &[Scalar]| {
-            ys.iter().filter(|&&v| v == -1.0).count() as f64 / ys.len() as f64
-        };
+        let frac =
+            |ys: &[Scalar]| ys.iter().filter(|&&v| v == -1.0).count() as f64 / ys.len() as f64;
         let overall = frac(&y);
         assert!((frac(&s.train_y) - overall).abs() < 0.08);
         assert!((frac(&s.test_y) - overall).abs() < 0.08);

@@ -80,13 +80,7 @@ fn variable_rows(
 }
 
 /// Draws `m` row lengths with mean ≈ `adim`, variance ≈ `vdim`, max = `mdim`.
-fn sample_row_lengths(
-    m: usize,
-    adim: f64,
-    vdim: f64,
-    mdim: usize,
-    rng: &mut StdRng,
-) -> Vec<usize> {
+fn sample_row_lengths(m: usize, adim: f64, vdim: f64, mdim: usize, rng: &mut StdRng) -> Vec<usize> {
     let cap = mdim as f64;
     let mut lengths = Vec::with_capacity(m);
     if vdim <= 1e-9 {

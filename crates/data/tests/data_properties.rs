@@ -11,10 +11,9 @@ use proptest::prelude::*;
 fn arb_dataset() -> impl Strategy<Value = (TripletMatrix, Vec<f64>)> {
     (2usize..20, 1usize..10)
         .prop_flat_map(|(rows, cols)| {
-            let entry =
-                (0..rows, 0..cols, -50i32..=50).prop_filter_map("non-zero", |(r, c, v)| {
-                    (v != 0).then_some((r, c, v as f64 * 0.25))
-                });
+            let entry = (0..rows, 0..cols, -50i32..=50).prop_filter_map("non-zero", |(r, c, v)| {
+                (v != 0).then_some((r, c, v as f64 * 0.25))
+            });
             let entries = proptest::collection::vec(entry, 1..rows * 3);
             let labels = proptest::collection::vec(prop_oneof![Just(1.0), Just(-1.0)], rows);
             (Just(rows), Just(cols), entries, labels)

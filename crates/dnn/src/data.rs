@@ -174,7 +174,14 @@ mod tests {
     use super::*;
 
     fn tiny() -> CifarLikeConfig {
-        CifarLikeConfig { classes: 4, side: 4, train: 40, test: 16, noise: 0.5, ..Default::default() }
+        CifarLikeConfig {
+            classes: 4,
+            side: 4,
+            train: 40,
+            test: 16,
+            noise: 0.5,
+            ..Default::default()
+        }
     }
 
     #[test]

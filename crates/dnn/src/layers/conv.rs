@@ -139,8 +139,7 @@ impl Layer for Conv2d {
             let col = self.im2col(sample, h, w);
             let g = Tensor::from_vec(
                 &[self.out_c, oh * ow],
-                grad_out.data()[s * self.out_c * oh * ow..(s + 1) * self.out_c * oh * ow]
-                    .to_vec(),
+                grad_out.data()[s * self.out_c * oh * ow..(s + 1) * self.out_c * oh * ow].to_vec(),
             );
             // dW += g · colᵀ ; dcol = Wᵀ · g ; db += row sums of g.
             self.grad_weight.add_assign(&crate::tensor::matmul_nt(&g, &col));
@@ -156,10 +155,7 @@ impl Layer for Conv2d {
     }
 
     fn params_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
-        vec![
-            (&mut self.weight, &mut self.grad_weight),
-            (&mut self.bias, &mut self.grad_bias),
-        ]
+        vec![(&mut self.weight, &mut self.grad_weight), (&mut self.bias, &mut self.grad_bias)]
     }
 
     fn zero_grads(&mut self) {
@@ -222,10 +218,8 @@ mod tests {
     #[test]
     fn param_gradient_checks() {
         let mut l = Conv2d::new(1, 2, 3, 1, 5);
-        let x = Tensor::from_vec(
-            &[1, 1, 5, 5],
-            (0..25).map(|i| (i as Elem / 25.0).sin()).collect(),
-        );
+        let x =
+            Tensor::from_vec(&[1, 1, 5, 5], (0..25).map(|i| (i as Elem / 25.0).sin()).collect());
         gradcheck::check_param_gradients(&mut l, &x, 2e-2);
     }
 

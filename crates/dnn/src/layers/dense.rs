@@ -67,10 +67,7 @@ impl Layer for Dense {
     }
 
     fn params_mut(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
-        vec![
-            (&mut self.weight, &mut self.grad_weight),
-            (&mut self.bias, &mut self.grad_bias),
-        ]
+        vec![(&mut self.weight, &mut self.grad_weight), (&mut self.bias, &mut self.grad_bias)]
     }
 
     fn zero_grads(&mut self) {

@@ -73,22 +73,12 @@ pub(crate) mod gradcheck {
         for idx in (0..x.len()).step_by(stride) {
             let mut xp = x.clone();
             xp.data_mut()[idx] += eps;
-            let fp: f64 = layer
-                .forward(&xp)
-                .data()
-                .iter()
-                .zip(&w)
-                .map(|(&o, &wi)| (o * wi) as f64)
-                .sum();
+            let fp: f64 =
+                layer.forward(&xp).data().iter().zip(&w).map(|(&o, &wi)| (o * wi) as f64).sum();
             let mut xm = x.clone();
             xm.data_mut()[idx] -= eps;
-            let fm: f64 = layer
-                .forward(&xm)
-                .data()
-                .iter()
-                .zip(&w)
-                .map(|(&o, &wi)| (o * wi) as f64)
-                .sum();
+            let fm: f64 =
+                layer.forward(&xm).data().iter().zip(&w).map(|(&o, &wi)| (o * wi) as f64).sum();
             let numeric = (fp - fm) / (2.0 * eps as f64);
             let analytic = grad_in.data()[idx] as f64;
             assert!(
@@ -115,26 +105,15 @@ pub(crate) mod gradcheck {
             for idx in (0..len).step_by(stride) {
                 let analytic = layer.params_mut()[g].1.data()[idx] as f64;
                 layer.params_mut()[g].0.data_mut()[idx] += eps;
-                let fp: f64 = layer
-                    .forward(x)
-                    .data()
-                    .iter()
-                    .zip(&w)
-                    .map(|(&o, &wi)| (o * wi) as f64)
-                    .sum();
+                let fp: f64 =
+                    layer.forward(x).data().iter().zip(&w).map(|(&o, &wi)| (o * wi) as f64).sum();
                 layer.params_mut()[g].0.data_mut()[idx] -= 2.0 * eps;
-                let fm: f64 = layer
-                    .forward(x)
-                    .data()
-                    .iter()
-                    .zip(&w)
-                    .map(|(&o, &wi)| (o * wi) as f64)
-                    .sum();
+                let fm: f64 =
+                    layer.forward(x).data().iter().zip(&w).map(|(&o, &wi)| (o * wi) as f64).sum();
                 layer.params_mut()[g].0.data_mut()[idx] += eps;
                 let numeric = (fp - fm) / (2.0 * eps as f64);
                 assert!(
-                    (numeric - analytic).abs()
-                        <= tol * (1.0 + numeric.abs().max(analytic.abs())),
+                    (numeric - analytic).abs() <= tol * (1.0 + numeric.abs().max(analytic.abs())),
                     "param group {g} grad at {idx}: numeric {numeric} vs analytic {analytic}"
                 );
             }

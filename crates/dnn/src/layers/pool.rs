@@ -45,8 +45,7 @@ impl Layer for MaxPool2d {
                         let mut best_idx = 0;
                         for ky in 0..self.k {
                             for kx in 0..self.k {
-                                let idx =
-                                    plane + (oy * self.k + ky) * w + ox * self.k + kx;
+                                let idx = plane + (oy * self.k + ky) * w + ox * self.k + kx;
                                 if xd[idx] > best {
                                     best = xd[idx];
                                     best_idx = idx;
@@ -123,10 +122,7 @@ mod tests {
     #[test]
     fn per_channel_independence() {
         let mut l = MaxPool2d::new(2);
-        let x = Tensor::from_vec(
-            &[1, 2, 2, 2],
-            vec![1.0, 2.0, 3.0, 4.0, 40.0, 30.0, 20.0, 10.0],
-        );
+        let x = Tensor::from_vec(&[1, 2, 2, 2], vec![1.0, 2.0, 3.0, 4.0, 40.0, 30.0, 20.0, 10.0]);
         let y = l.forward(&x);
         assert_eq!(y.data(), &[4.0, 40.0]);
     }

@@ -151,10 +151,7 @@ mod tests {
     fn confusion_matrix_counts() {
         // Row 0 predicts class 1 (true 0); row 1 predicts 0 (true 0);
         // row 2 predicts 1 (true 1).
-        let logits = Tensor::from_vec(
-            &[3, 2],
-            vec![0.0, 1.0, 1.0, 0.0, 0.0, 2.0],
-        );
+        let logits = Tensor::from_vec(&[3, 2], vec![0.0, 1.0, 1.0, 0.0, 0.0, 2.0]);
         let cm = confusion_matrix(&logits, &[0, 0, 1], 2);
         assert_eq!(cm, vec![1, 1, 0, 1]);
         let recall = per_class_recall(&cm, 2);

@@ -83,16 +83,11 @@ impl Sgd {
     pub fn step(&mut self, net: &mut Network) {
         let params = net.params_mut();
         assert_eq!(params.len(), self.velocities.len(), "network topology changed");
-        let (lr, mu, wd) = (
-            self.config.learning_rate,
-            self.config.momentum,
-            self.config.weight_decay,
-        );
+        let (lr, mu, wd) =
+            (self.config.learning_rate, self.config.momentum, self.config.weight_decay);
         let nesterov = self.config.nesterov;
         for ((param, grad), vel) in params.into_iter().zip(&mut self.velocities) {
-            for ((w, &g), v) in
-                param.data_mut().iter_mut().zip(grad.data()).zip(vel.data_mut())
-            {
+            for ((w, &g), v) in param.data_mut().iter_mut().zip(grad.data()).zip(vel.data_mut()) {
                 let g = g + wd * *w; // L2 decay folded into the gradient
                 *v = mu * *v - lr * g; // eq. (8)
                 if nesterov {
@@ -133,8 +128,10 @@ mod tests {
     fn set_learning_rate_changes_future_steps() {
         let mut net = tiny_net();
         let w0 = net.params_mut()[0].0.data()[0];
-        let mut opt =
-            Sgd::new(SgdConfig { learning_rate: 0.1, momentum: 0.0, weight_decay: 0.0, nesterov: false }, &mut net);
+        let mut opt = Sgd::new(
+            SgdConfig { learning_rate: 0.1, momentum: 0.0, weight_decay: 0.0, nesterov: false },
+            &mut net,
+        );
         opt.set_learning_rate(0.2);
         set_grads(&mut net, 1.0);
         opt.step(&mut net);
@@ -152,7 +149,10 @@ mod tests {
     fn zero_momentum_is_plain_sgd() {
         let mut net = tiny_net();
         let w0: Vec<f32> = net.params_mut().iter().map(|(p, _)| p.data()[0]).collect();
-        let mut opt = Sgd::new(SgdConfig { learning_rate: 0.1, momentum: 0.0, weight_decay: 0.0, nesterov: false }, &mut net);
+        let mut opt = Sgd::new(
+            SgdConfig { learning_rate: 0.1, momentum: 0.0, weight_decay: 0.0, nesterov: false },
+            &mut net,
+        );
         set_grads(&mut net, 2.0);
         opt.step(&mut net);
         for ((p, _), w) in net.params_mut().iter().zip(&w0) {
@@ -164,7 +164,10 @@ mod tests {
     fn momentum_accumulates_velocity() {
         let mut net = tiny_net();
         let w0 = net.params_mut()[0].0.data()[0];
-        let mut opt = Sgd::new(SgdConfig { learning_rate: 0.1, momentum: 0.5, weight_decay: 0.0, nesterov: false }, &mut net);
+        let mut opt = Sgd::new(
+            SgdConfig { learning_rate: 0.1, momentum: 0.5, weight_decay: 0.0, nesterov: false },
+            &mut net,
+        );
         set_grads(&mut net, 1.0);
         opt.step(&mut net); // v = -0.1, w = w0 - 0.1
         set_grads(&mut net, 1.0);
@@ -177,7 +180,10 @@ mod tests {
     fn momentum_coasts_when_gradient_vanishes() {
         let mut net = tiny_net();
         let w0 = net.params_mut()[0].0.data()[0];
-        let mut opt = Sgd::new(SgdConfig { learning_rate: 1.0, momentum: 0.9, weight_decay: 0.0, nesterov: false }, &mut net);
+        let mut opt = Sgd::new(
+            SgdConfig { learning_rate: 1.0, momentum: 0.9, weight_decay: 0.0, nesterov: false },
+            &mut net,
+        );
         set_grads(&mut net, 1.0);
         opt.step(&mut net); // v = -1
         set_grads(&mut net, 0.0);
@@ -190,14 +196,20 @@ mod tests {
     #[should_panic(expected = "momentum must be in [0, 1)")]
     fn rejects_momentum_of_one() {
         let mut net = tiny_net();
-        let _ = Sgd::new(SgdConfig { learning_rate: 0.1, momentum: 1.0, weight_decay: 0.0, nesterov: false }, &mut net);
+        let _ = Sgd::new(
+            SgdConfig { learning_rate: 0.1, momentum: 1.0, weight_decay: 0.0, nesterov: false },
+            &mut net,
+        );
     }
 
     #[test]
     #[should_panic(expected = "learning rate")]
     fn rejects_zero_lr() {
         let mut net = tiny_net();
-        let _ = Sgd::new(SgdConfig { learning_rate: 0.0, momentum: 0.5, weight_decay: 0.0, nesterov: false }, &mut net);
+        let _ = Sgd::new(
+            SgdConfig { learning_rate: 0.0, momentum: 0.5, weight_decay: 0.0, nesterov: false },
+            &mut net,
+        );
     }
 
     #[test]
@@ -208,12 +220,7 @@ mod tests {
             let mut net = tiny_net();
             let w0 = net.params_mut()[0].0.data()[0];
             let mut opt = Sgd::new(
-                SgdConfig {
-                    learning_rate: 0.1,
-                    momentum: 0.9,
-                    weight_decay: 0.0,
-                    nesterov,
-                },
+                SgdConfig { learning_rate: 0.1, momentum: 0.9, weight_decay: 0.0, nesterov },
                 &mut net,
             );
             for _ in 0..3 {
@@ -224,10 +231,7 @@ mod tests {
         };
         let classical = run(false);
         let nesterov = run(true);
-        assert!(
-            nesterov > classical,
-            "nesterov displacement {nesterov} vs classical {classical}"
-        );
+        assert!(nesterov > classical, "nesterov displacement {nesterov} vs classical {classical}");
     }
 
     #[test]

@@ -42,12 +42,7 @@ impl WorkerPool {
     /// buffers. `master.zero_grads()` is called internally.
     ///
     /// Returns the mean loss over the whole batch.
-    pub fn reduce_gradients(
-        &mut self,
-        master: &mut Network,
-        x: &Tensor,
-        labels: &[usize],
-    ) -> f64 {
+    pub fn reduce_gradients(&mut self, master: &mut Network, x: &Tensor, labels: &[usize]) -> f64 {
         let b = x.rows();
         assert_eq!(labels.len(), b, "one label per row");
         assert!(b >= 1, "empty batch");
@@ -148,10 +143,7 @@ mod tests {
             assert!((loss - serial_loss).abs() < 1e-6, "loss with {workers} workers");
             for ((_, g), sref) in master.params_mut().iter().zip(&serial_grads) {
                 for (a, b) in g.data().iter().zip(sref) {
-                    assert!(
-                        (a - b).abs() < 1e-5,
-                        "{workers} workers: grad {a} vs serial {b}"
-                    );
+                    assert!((a - b).abs() < 1e-5, "{workers} workers: grad {a} vs serial {b}");
                 }
             }
         }
@@ -176,8 +168,15 @@ mod tests {
         let run = |workers: usize| -> Vec<f32> {
             let mut master = Network::mlp(&[ds.dim(), 8, ds.classes()], 17);
             let mut pool = WorkerPool::new(factory(&ds), workers);
-            let mut opt =
-                Sgd::new(SgdConfig { learning_rate: 0.05, momentum: 0.9, weight_decay: 0.0, nesterov: false }, &mut master);
+            let mut opt = Sgd::new(
+                SgdConfig {
+                    learning_rate: 0.05,
+                    momentum: 0.9,
+                    weight_decay: 0.0,
+                    nesterov: false,
+                },
+                &mut master,
+            );
             for _ in 0..5 {
                 pool.reduce_gradients(&mut master, &x, &y);
                 opt.step(&mut master);

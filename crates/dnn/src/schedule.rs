@@ -5,8 +5,7 @@
 //! "tune the learning rate" needs schedules as well as the base rate.
 
 /// How the learning rate evolves over epochs.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LrSchedule {
     /// Constant rate (the paper's tuning experiments hold it fixed).
     #[default]
@@ -24,7 +23,6 @@ pub enum LrSchedule {
         rate: f32,
     },
 }
-
 
 impl LrSchedule {
     /// Learning rate at the given 0-based epoch.

@@ -213,7 +213,12 @@ mod tests {
         let mut net = Network::mlp(&[ds.dim(), 32, ds.classes()], 1);
         let config = TrainerConfig {
             batch_size: 20,
-            sgd: SgdConfig { learning_rate: 0.05, momentum: 0.9, weight_decay: 0.0, nesterov: false },
+            sgd: SgdConfig {
+                learning_rate: 0.05,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                nesterov: false,
+            },
             target_accuracy: 0.9,
             max_epochs: 50,
             seed: 3,
@@ -233,7 +238,12 @@ mod tests {
         let mut net = Network::mlp(&[ds.dim(), 8, ds.classes()], 2);
         let config = TrainerConfig {
             batch_size: 50,
-            sgd: SgdConfig { learning_rate: 1e-5, momentum: 0.0, weight_decay: 0.0, nesterov: false }, // far too slow
+            sgd: SgdConfig {
+                learning_rate: 1e-5,
+                momentum: 0.0,
+                weight_decay: 0.0,
+                nesterov: false,
+            }, // far too slow
             target_accuracy: 0.99,
             max_epochs: 2,
             seed: 3,
@@ -250,7 +260,12 @@ mod tests {
         let mut net = Network::mlp(&[ds.dim(), 16, ds.classes()], 4);
         let config = TrainerConfig {
             batch_size: 40,
-            sgd: SgdConfig { learning_rate: 0.02, momentum: 0.9, weight_decay: 0.0, nesterov: false },
+            sgd: SgdConfig {
+                learning_rate: 0.02,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                nesterov: false,
+            },
             target_accuracy: 2.0, // unreachable: run all epochs
             max_epochs: 3,
             seed: 5,
@@ -271,7 +286,12 @@ mod tests {
         let topo = [ds.dim(), 16, ds.classes()];
         let config = TrainerConfig {
             batch_size: 25,
-            sgd: SgdConfig { learning_rate: 0.03, momentum: 0.9, weight_decay: 0.0, nesterov: false },
+            sgd: SgdConfig {
+                learning_rate: 0.03,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                nesterov: false,
+            },
             target_accuracy: 2.0,
             max_epochs: 3,
             seed: 5,
@@ -317,19 +337,19 @@ mod tests {
         let mut net = Network::cifar_convnet(8, 3, 5);
         let config = TrainerConfig {
             batch_size: 30,
-            sgd: SgdConfig { learning_rate: 0.05, momentum: 0.9, weight_decay: 0.0, nesterov: false },
+            sgd: SgdConfig {
+                learning_rate: 0.05,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                nesterov: false,
+            },
             target_accuracy: 0.8,
             max_epochs: 25,
             seed: 3,
             ..Default::default()
         };
         let out = Trainer::run(&mut net, &ds, &config);
-        assert!(
-            out.reached,
-            "convnet accuracy {} after {} epochs",
-            out.final_accuracy,
-            out.epochs
-        );
+        assert!(out.reached, "convnet accuracy {} after {} epochs", out.final_accuracy, out.epochs);
     }
 
     #[test]
@@ -338,7 +358,12 @@ mod tests {
         let mut net = Network::mlp_dropout(&[ds.dim(), 32, ds.classes()], 0.2, 21);
         let config = TrainerConfig {
             batch_size: 20,
-            sgd: SgdConfig { learning_rate: 0.05, momentum: 0.9, weight_decay: 1e-4, nesterov: false },
+            sgd: SgdConfig {
+                learning_rate: 0.05,
+                momentum: 0.9,
+                weight_decay: 1e-4,
+                nesterov: false,
+            },
             target_accuracy: 0.85,
             max_epochs: 60,
             seed: 3,
@@ -359,7 +384,12 @@ mod tests {
         let ds = easy_dataset();
         let base = TrainerConfig {
             batch_size: 50,
-            sgd: SgdConfig { learning_rate: 0.05, momentum: 0.0, weight_decay: 0.0, nesterov: false },
+            sgd: SgdConfig {
+                learning_rate: 0.05,
+                momentum: 0.0,
+                weight_decay: 0.0,
+                nesterov: false,
+            },
             target_accuracy: 2.0,
             max_epochs: 6,
             seed: 3,
@@ -383,7 +413,12 @@ mod tests {
         let ds = easy_dataset();
         let config = TrainerConfig {
             batch_size: 25,
-            sgd: SgdConfig { learning_rate: 0.03, momentum: 0.5, weight_decay: 0.0, nesterov: false },
+            sgd: SgdConfig {
+                learning_rate: 0.03,
+                momentum: 0.5,
+                weight_decay: 0.0,
+                nesterov: false,
+            },
             target_accuracy: 2.0,
             max_epochs: 2,
             seed: 9,

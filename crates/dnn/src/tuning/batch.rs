@@ -52,7 +52,12 @@ mod tests {
     fn larger_batches_run_fewer_iterations_per_epoch() {
         let ds = dataset();
         let base = TrainerConfig {
-            sgd: SgdConfig { learning_rate: 0.02, momentum: 0.9, weight_decay: 0.0, nesterov: false },
+            sgd: SgdConfig {
+                learning_rate: 0.02,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                nesterov: false,
+            },
             target_accuracy: 2.0, // run exactly max_epochs
             max_epochs: 2,
             ..Default::default()
@@ -72,7 +77,12 @@ mod tests {
         // batch to hit the same accuracy.
         let ds = dataset();
         let base = TrainerConfig {
-            sgd: SgdConfig { learning_rate: 0.03, momentum: 0.9, weight_decay: 0.0, nesterov: false },
+            sgd: SgdConfig {
+                learning_rate: 0.03,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                nesterov: false,
+            },
             target_accuracy: 0.9,
             max_epochs: 60,
             ..Default::default()

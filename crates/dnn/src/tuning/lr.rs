@@ -27,10 +27,8 @@ pub fn sweep(
     rates
         .iter()
         .map(|&lr| {
-            let config = TrainerConfig {
-                sgd: SgdConfig { learning_rate: lr, ..base.sgd },
-                ..*base
-            };
+            let config =
+                TrainerConfig { sgd: SgdConfig { learning_rate: lr, ..base.sgd }, ..*base };
             evaluate_config(dataset, topology, net_seed, &config)
         })
         .collect()
@@ -91,7 +89,12 @@ mod tests {
         let ds = dataset();
         let base = TrainerConfig {
             batch_size: 30,
-            sgd: SgdConfig { learning_rate: 0.001, momentum: 0.95, weight_decay: 0.0, nesterov: false },
+            sgd: SgdConfig {
+                learning_rate: 0.001,
+                momentum: 0.95,
+                weight_decay: 0.0,
+                nesterov: false,
+            },
             target_accuracy: 2.0,
             max_epochs: 1,
             ..Default::default()

@@ -39,17 +39,15 @@ impl TuningPoint {
 /// Ranks points: reaching the target dominates; among reachers, fewer
 /// processed samples wins; among non-reachers, higher accuracy wins.
 pub fn best_point(points: &[TuningPoint]) -> Option<&TuningPoint> {
-    points.iter().min_by(|a, b| {
-        match (a.outcome.reached, b.outcome.reached) {
-            (true, false) => std::cmp::Ordering::Less,
-            (false, true) => std::cmp::Ordering::Greater,
-            (true, true) => a.samples_processed().cmp(&b.samples_processed()),
-            (false, false) => b
-                .outcome
-                .final_accuracy
-                .partial_cmp(&a.outcome.final_accuracy)
-                .expect("finite accuracy"),
-        }
+    points.iter().min_by(|a, b| match (a.outcome.reached, b.outcome.reached) {
+        (true, false) => std::cmp::Ordering::Less,
+        (false, true) => std::cmp::Ordering::Greater,
+        (true, true) => a.samples_processed().cmp(&b.samples_processed()),
+        (false, false) => b
+            .outcome
+            .final_accuracy
+            .partial_cmp(&a.outcome.final_accuracy)
+            .expect("finite accuracy"),
     })
 }
 
@@ -191,18 +189,9 @@ mod tests {
         let tuner = AutoTuner {
             hidden: vec![16],
             net_seed: 5,
-            base: TrainerConfig {
-                target_accuracy: 0.85,
-                max_epochs: 30,
-                ..Default::default()
-            },
+            base: TrainerConfig { target_accuracy: 0.85, max_epochs: 30, ..Default::default() },
         };
-        let result = tuner.run(
-            &ds,
-            &[10, 30, 90],
-            &[0.005, 0.02, 0.08],
-            &[0.0, 0.9],
-        );
+        let result = tuner.run(&ds, &[10, 30, 90], &[0.005, 0.02, 0.08], &[0.0, 0.9]);
         assert_eq!(result.all_points.len(), 3 + 3 + 2);
         // Later stages must not be worse than earlier ones under the
         // samples-processed metric (greedy keeps the incumbent settings in

@@ -26,8 +26,7 @@ pub fn sweep(
     momenta
         .iter()
         .map(|&mu| {
-            let config =
-                TrainerConfig { sgd: SgdConfig { momentum: mu, ..base.sgd }, ..*base };
+            let config = TrainerConfig { sgd: SgdConfig { momentum: mu, ..base.sgd }, ..*base };
             evaluate_config(dataset, topology, net_seed, &config)
         })
         .collect()
@@ -65,7 +64,12 @@ mod tests {
         let ds = dataset();
         let base = TrainerConfig {
             batch_size: 24,
-            sgd: SgdConfig { learning_rate: 0.004, momentum: 0.0, weight_decay: 0.0, nesterov: false },
+            sgd: SgdConfig {
+                learning_rate: 0.004,
+                momentum: 0.0,
+                weight_decay: 0.0,
+                nesterov: false,
+            },
             target_accuracy: 0.85,
             max_epochs: 80,
             ..Default::default()
@@ -88,13 +92,17 @@ mod tests {
         let ds = dataset();
         let base = TrainerConfig {
             batch_size: 40,
-            sgd: SgdConfig { learning_rate: 0.006, momentum: 0.9, weight_decay: 0.0, nesterov: false },
+            sgd: SgdConfig {
+                learning_rate: 0.006,
+                momentum: 0.9,
+                weight_decay: 0.0,
+                nesterov: false,
+            },
             target_accuracy: 2.0,
             max_epochs: 1,
             ..Default::default()
         };
-        let pts =
-            sweep(&ds, &[ds.dim(), ds.classes()], 1, &base, &[0.90, 0.95, 0.99]);
+        let pts = sweep(&ds, &[ds.dim(), ds.classes()], 1, &base, &[0.90, 0.95, 0.99]);
         assert_eq!(pts.len(), 3);
         for p in &pts {
             assert_eq!(p.batch_size, 40);

@@ -2,10 +2,10 @@
 //! finite differences on random networks, loss invariants, and the
 //! data-parallel reduction identity over arbitrary shard counts.
 
+use dls_dnn::layers::Dense;
 use dls_dnn::loss::{classification_accuracy, softmax_cross_entropy};
 use dls_dnn::parallel::WorkerPool;
 use dls_dnn::tensor::{matmul, matmul_nt, matmul_tn, Tensor};
-use dls_dnn::layers::Dense;
 use dls_dnn::Network;
 use proptest::prelude::*;
 
@@ -13,10 +13,7 @@ use proptest::prelude::*;
 fn arb_batch(max_rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
     (1..=max_rows).prop_flat_map(move |rows| {
         proptest::collection::vec(-100i32..=100, rows * cols).prop_map(move |v| {
-            Tensor::from_vec(
-                &[rows, cols],
-                v.into_iter().map(|x| x as f32 / 50.0).collect(),
-            )
+            Tensor::from_vec(&[rows, cols], v.into_iter().map(|x| x as f32 / 50.0).collect())
         })
     })
 }

@@ -33,10 +33,8 @@ pub struct Recommendation {
 /// platform is affordable).
 pub fn recommend(job: TrainingJob, budget_usd: Option<f64>) -> Vec<Recommendation> {
     assert!(job.iterations > 0 && job.batch > 0, "job must be non-trivial");
-    let affordable: Vec<&'static Platform> = PLATFORMS
-        .iter()
-        .filter(|p| budget_usd.map(|b| p.price_usd <= b).unwrap_or(true))
-        .collect();
+    let affordable: Vec<&'static Platform> =
+        PLATFORMS.iter().filter(|p| budget_usd.map(|b| p.price_usd <= b).unwrap_or(true)).collect();
     if affordable.is_empty() {
         return Vec::new();
     }
@@ -59,9 +57,7 @@ pub fn recommend(job: TrainingJob, budget_usd: Option<f64>) -> Vec<Recommendatio
         })
         .collect();
     out.sort_by(|a, b| {
-        a.price_per_speedup
-            .partial_cmp(&b.price_per_speedup)
-            .expect("finite efficiency")
+        a.price_per_speedup.partial_cmp(&b.price_per_speedup).expect("finite efficiency")
     });
     out
 }
@@ -107,10 +103,8 @@ mod tests {
     #[test]
     fn speedups_are_relative_to_the_affordable_slowest() {
         let ranked = recommend(CIFAR_JOB, None);
-        let slowest = ranked
-            .iter()
-            .min_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap())
-            .unwrap();
+        let slowest =
+            ranked.iter().min_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap()).unwrap();
         assert!((slowest.speedup - 1.0).abs() < 1e-9);
         assert_eq!(slowest.platform.name, "8-core CPU");
     }

@@ -46,15 +46,75 @@ pub type PaperRow = (&'static str, &'static str, usize, f64, f64, usize, usize, 
 
 /// The paper's Table VII, recorded verbatim for comparison.
 pub const PAPER_TABLE7: [PaperRow; 8] = [
-    ("Intel Caffe on 8-core CPUs", "8-core CPU", 100, 0.001, 0.90, 60_000, 120, 29_427.0, 1_571.0, 1.0, 1_571.0),
+    (
+        "Intel Caffe on 8-core CPUs",
+        "8-core CPU",
+        100,
+        0.001,
+        0.90,
+        60_000,
+        120,
+        29_427.0,
+        1_571.0,
+        1.0,
+        1_571.0,
+    ),
     ("Intel Caffe on KNL", "KNL", 100, 0.001, 0.90, 60_000, 120, 4_922.0, 4_876.0, 6.0, 813.0),
-    ("Intel Caffe on Haswell", "Haswell", 100, 0.001, 0.90, 60_000, 120, 1_997.0, 7_400.0, 15.0, 493.0),
-    ("Nvidia Caffe on Tesla P100 GPU", "P100", 100, 0.001, 0.90, 60_000, 120, 503.0, 11_571.0, 59.0, 196.0),
-    ("Nvidia Caffe on DGX station", "DGX", 100, 0.001, 0.90, 60_000, 120, 387.0, 79_000.0, 76.0, 1_039.0),
+    (
+        "Intel Caffe on Haswell",
+        "Haswell",
+        100,
+        0.001,
+        0.90,
+        60_000,
+        120,
+        1_997.0,
+        7_400.0,
+        15.0,
+        493.0,
+    ),
+    (
+        "Nvidia Caffe on Tesla P100 GPU",
+        "P100",
+        100,
+        0.001,
+        0.90,
+        60_000,
+        120,
+        503.0,
+        11_571.0,
+        59.0,
+        196.0,
+    ),
+    (
+        "Nvidia Caffe on DGX station",
+        "DGX",
+        100,
+        0.001,
+        0.90,
+        60_000,
+        120,
+        387.0,
+        79_000.0,
+        76.0,
+        1_039.0,
+    ),
     // The paper prints "387 epochs" for this row — almost certainly a typo
     // (30,000 x 512 / 50,000 = 307); we keep the printed value verbatim.
     ("Tune B on DGX station", "DGX", 512, 0.001, 0.90, 30_000, 387, 361.0, 79_000.0, 82.0, 963.0),
-    ("Tune eta on DGX station", "DGX", 512, 0.003, 0.90, 12_000, 123, 138.0, 79_000.0, 213.0, 371.0),
+    (
+        "Tune eta on DGX station",
+        "DGX",
+        512,
+        0.003,
+        0.90,
+        12_000,
+        123,
+        138.0,
+        79_000.0,
+        213.0,
+        371.0,
+    ),
     ("Tune mu on DGX station", "DGX", 512, 0.003, 0.95, 7_000, 72, 83.0, 79_000.0, 355.0, 223.0),
 ];
 
@@ -177,8 +237,7 @@ mod tests {
     fn tuning_stages_reduce_price_per_speedup() {
         let rows = build_table7(&paper_run_specs());
         // DGX untuned → tune B → tune η → tune µ strictly improves.
-        let dgx: Vec<&TableRow> =
-            rows.iter().filter(|r| r.spec.platform == "DGX").collect();
+        let dgx: Vec<&TableRow> = rows.iter().filter(|r| r.spec.platform == "DGX").collect();
         for w in dgx.windows(2) {
             assert!(
                 w[1].price_per_speedup < w[0].price_per_speedup,

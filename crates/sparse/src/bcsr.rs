@@ -37,11 +37,8 @@ impl BcsrMatrix {
         let n_brows = rows.div_ceil(br);
         // Group entries by (block_row, block_col); entries are row-major so
         // re-key and sort.
-        let mut keyed: Vec<(usize, usize, usize, usize, Scalar)> = t
-            .entries()
-            .iter()
-            .map(|&(r, c, v)| (r / br, c / bc, r, c, v))
-            .collect();
+        let mut keyed: Vec<(usize, usize, usize, usize, Scalar)> =
+            t.entries().iter().map(|&(r, c, v)| (r / br, c / bc, r, c, v)).collect();
         keyed.sort_unstable_by_key(|&(bi, bj, r, c, _)| (bi, bj, r, c));
 
         let mut block_ptr = vec![0usize; n_brows + 1];
@@ -303,9 +300,8 @@ mod tests {
     #[test]
     fn handles_non_dividing_block_size() {
         // 3x5 matrix with 2x2 blocks: ragged edges must be respected.
-        let t = TripletMatrix::from_entries(3, 5, vec![(2, 4, 7.0), (0, 0, 1.0)])
-            .unwrap()
-            .compact();
+        let t =
+            TripletMatrix::from_entries(3, 5, vec![(2, 4, 7.0), (0, 0, 1.0)]).unwrap().compact();
         let m = BcsrMatrix::from_triplets(&t, 2, 2);
         assert_eq!(m.get(2, 4), 7.0);
         assert_eq!(m.to_triplets().entries(), t.entries());

@@ -100,11 +100,7 @@ impl MatrixFormat for CooMatrix {
 
     fn row_sparse(&self, i: usize) -> SparseVec {
         let range = self.row_range(i);
-        SparseVec::new(
-            self.cols,
-            self.col_idx[range.clone()].to_vec(),
-            self.values[range].to_vec(),
-        )
+        SparseVec::new(self.cols, self.col_idx[range.clone()].to_vec(), self.values[range].to_vec())
     }
 
     fn smsv(&self, v: &SparseVec, out: &mut [Scalar]) {

@@ -285,13 +285,8 @@ mod tests {
     #[test]
     fn validating_constructor_accepts_valid() {
         let m = sample();
-        let ok = CsrMatrix::new(
-            3,
-            4,
-            m.row_ptr().to_vec(),
-            m.col_idx().to_vec(),
-            m.values().to_vec(),
-        );
+        let ok =
+            CsrMatrix::new(3, 4, m.row_ptr().to_vec(), m.col_idx().to_vec(), m.values().to_vec());
         assert!(ok.is_ok());
     }
 

@@ -141,11 +141,15 @@ mod tests {
     use super::*;
 
     fn sample() -> DenseMatrix {
-        DenseMatrix::new(3, 4, vec![
-            1.0, 0.0, 2.0, 0.0, //
-            0.0, 0.0, 0.0, 0.0, //
-            3.0, 4.0, 0.0, 5.0,
-        ])
+        DenseMatrix::new(
+            3,
+            4,
+            vec![
+                1.0, 0.0, 2.0, 0.0, //
+                0.0, 0.0, 0.0, 0.0, //
+                3.0, 4.0, 0.0, 5.0,
+            ],
+        )
     }
 
     #[test]

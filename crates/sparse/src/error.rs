@@ -33,10 +33,9 @@ pub enum SparseError {
 impl fmt::Display for SparseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SparseError::IndexOutOfBounds { row, col, rows, cols } => write!(
-                f,
-                "entry ({row}, {col}) out of bounds for {rows}x{cols} matrix"
-            ),
+            SparseError::IndexOutOfBounds { row, col, rows, cols } => {
+                write!(f, "entry ({row}, {col}) out of bounds for {rows}x{cols} matrix")
+            }
             SparseError::Inconsistent(msg) => write!(f, "inconsistent arrays: {msg}"),
             SparseError::ShapeMismatch { expected, got } => write!(
                 f,

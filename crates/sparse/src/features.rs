@@ -223,8 +223,7 @@ mod tests {
     fn display_contains_all_fields() {
         let f = MatrixFeatures::from_triplets(&TripletMatrix::from_dense(1, 1, &[1.0]));
         let s = f.to_string();
-        for key in ["M=", "N=", "nnz=", "ndig=", "dnnz=", "mdim=", "adim=", "vdim=", "density="]
-        {
+        for key in ["M=", "N=", "nnz=", "ndig=", "dnnz=", "mdim=", "adim=", "vdim=", "density="] {
             assert!(s.contains(key), "missing {key} in {s}");
         }
     }

@@ -277,13 +277,9 @@ mod tests {
 
     #[test]
     fn any_matrix_builds_every_format() {
-        let t = TripletMatrix::from_entries(
-            3,
-            3,
-            vec![(0, 0, 1.0), (1, 2, 2.0), (2, 1, 3.0)],
-        )
-        .unwrap()
-        .compact();
+        let t = TripletMatrix::from_entries(3, 3, vec![(0, 0, 1.0), (1, 2, 2.0), (2, 1, 3.0)])
+            .unwrap()
+            .compact();
         for f in Format::ALL {
             let m = AnyMatrix::from_triplets(f, &t);
             assert_eq!(m.format(), f, "format tag for {f}");
@@ -296,9 +292,8 @@ mod tests {
 
     #[test]
     fn convert_between_formats_preserves_content() {
-        let t = TripletMatrix::from_entries(2, 4, vec![(0, 3, 5.0), (1, 0, -1.0)])
-            .unwrap()
-            .compact();
+        let t =
+            TripletMatrix::from_entries(2, 4, vec![(0, 3, 5.0), (1, 0, -1.0)]).unwrap().compact();
         let csr = AnyMatrix::from_triplets(Format::Csr, &t);
         let dia = csr.convert(Format::Dia);
         assert_eq!(dia.format(), Format::Dia);

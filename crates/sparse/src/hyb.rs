@@ -42,11 +42,7 @@ impl HybMatrix {
                 spill.push(r, c, v);
             }
         }
-        Self {
-            ell: EllMatrix::from_triplets(&slab),
-            coo: CooMatrix::from_triplets(&spill),
-            width,
-        }
+        Self { ell: EllMatrix::from_triplets(&slab), coo: CooMatrix::from_triplets(&spill), width }
     }
 
     /// The slab width.

@@ -174,8 +174,7 @@ impl MatrixFormat for JdsMatrix {
         let mut t = TripletMatrix::with_capacity(self.rows, self.cols, self.nnz());
         for k in 0..self.n_jdiags() {
             let (s, e) = (self.jd_ptr[k], self.jd_ptr[k + 1]);
-            for (p, (&c, &v)) in self.col_idx[s..e].iter().zip(&self.values[s..e]).enumerate()
-            {
+            for (p, (&c, &v)) in self.col_idx[s..e].iter().zip(&self.values[s..e]).enumerate() {
                 t.push(self.perm[p], c, v);
             }
         }
@@ -183,8 +182,7 @@ impl MatrixFormat for JdsMatrix {
     }
 
     fn storage_bytes(&self) -> usize {
-        (self.perm.len() + self.jd_ptr.len() + self.col_idx.len())
-            * std::mem::size_of::<usize>()
+        (self.perm.len() + self.jd_ptr.len() + self.col_idx.len()) * std::mem::size_of::<usize>()
             + self.values.len() * std::mem::size_of::<Scalar>()
     }
 
@@ -203,14 +201,7 @@ mod tests {
         TripletMatrix::from_entries(
             3,
             4,
-            vec![
-                (0, 0, 1.0),
-                (0, 2, 2.0),
-                (0, 3, 3.0),
-                (1, 1, 4.0),
-                (2, 0, 5.0),
-                (2, 3, 6.0),
-            ],
+            vec![(0, 0, 1.0), (0, 2, 2.0), (0, 3, 3.0), (1, 1, 4.0), (2, 0, 5.0), (2, 3, 6.0)],
         )
         .unwrap()
         .compact()

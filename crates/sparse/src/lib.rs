@@ -32,6 +32,7 @@ pub mod ops;
 pub mod parallel;
 pub mod sparsevec;
 pub mod storage;
+pub mod telemetry;
 pub mod triplet;
 
 pub use bcsr::BcsrMatrix;
@@ -47,6 +48,7 @@ pub use format::{AnyMatrix, Format, MatrixFormat};
 pub use hyb::HybMatrix;
 pub use jds::JdsMatrix;
 pub use sparsevec::SparseVec;
+pub use telemetry::{CounterSample, InstrumentedMatrix, SmsvCounters};
 pub use triplet::TripletMatrix;
 
 /// Scalar type used throughout the library. LIBSVM and the paper's

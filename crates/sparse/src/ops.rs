@@ -61,14 +61,7 @@ mod tests {
         TripletMatrix::from_entries(
             4,
             5,
-            vec![
-                (0, 0, 1.0),
-                (0, 4, 2.0),
-                (1, 2, -3.0),
-                (2, 1, 4.0),
-                (2, 2, 5.0),
-                (3, 3, 6.0),
-            ],
+            vec![(0, 0, 1.0), (0, 4, 2.0), (1, 2, -3.0), (2, 1, 4.0), (2, 2, 5.0), (3, 3, 6.0)],
         )
         .unwrap()
         .compact()

@@ -95,10 +95,7 @@ mod tests {
             let mat = AnyMatrix::from_triplets(fmt, &t);
             let max = max_storage_elems(fmt, m, n);
             let actual = mat.storage_elems();
-            assert!(
-                actual.abs_diff(max) <= m + 1,
-                "{fmt}: actual {actual} vs Table II max {max}"
-            );
+            assert!(actual.abs_diff(max) <= m + 1, "{fmt}: actual {actual} vs Table II max {max}");
         }
         // DIA on a dense matrix: M+N-1 diagonals, each padded to M rows.
         let dia = AnyMatrix::from_triplets(Format::Dia, &t);

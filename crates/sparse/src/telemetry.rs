@@ -1,0 +1,313 @@
+//! Low-overhead SMSV telemetry.
+//!
+//! The reactive scheduler needs to know how fast the kernels *actually*
+//! run, not just what the cost model predicts. [`SmsvCounters`] is a set of
+//! per-format atomic counters — calls, nanoseconds, bytes touched — cheap
+//! enough to leave on in production: one `Instant` pair and three relaxed
+//! atomic adds per SMSV call. [`InstrumentedMatrix`] wraps an [`AnyMatrix`]
+//! and feeds the counters from the hot path while delegating every kernel
+//! to the statically dispatched inner format.
+
+use crate::{AnyMatrix, Format, MatrixFormat, Scalar, SparseVec, TripletMatrix};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Index of a format in the counter arrays, in [`Format::ALL`] order.
+#[inline]
+pub fn format_index(format: Format) -> usize {
+    Format::ALL.iter().position(|&f| f == format).expect("ALL covers every format")
+}
+
+/// Monotonic per-format totals for one kernel family.
+#[derive(Debug, Default)]
+pub struct FormatCounters {
+    /// Number of kernel invocations.
+    pub calls: AtomicU64,
+    /// Total wall-clock nanoseconds inside the kernel.
+    pub nanos: AtomicU64,
+    /// Estimated bytes of matrix storage streamed (storage bytes × calls;
+    /// one SMSV sweep touches the whole representation once).
+    pub bytes: AtomicU64,
+}
+
+impl FormatCounters {
+    #[inline]
+    fn record(&self, nanos: u64, bytes: u64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time reading of one format's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSample {
+    /// Kernel invocations so far.
+    pub calls: u64,
+    /// Nanoseconds spent so far.
+    pub nanos: u64,
+    /// Bytes streamed so far.
+    pub bytes: u64,
+}
+
+impl CounterSample {
+    /// Element-wise difference `self - earlier`, saturating at zero.
+    pub fn delta(&self, earlier: &CounterSample) -> CounterSample {
+        CounterSample {
+            calls: self.calls.saturating_sub(earlier.calls),
+            nanos: self.nanos.saturating_sub(earlier.nanos),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+
+    /// Mean seconds per call, `None` when no calls were recorded.
+    pub fn secs_per_call(&self) -> Option<f64> {
+        (self.calls > 0).then(|| self.nanos as f64 * 1e-9 / self.calls as f64)
+    }
+
+    /// Streaming throughput in bytes/second, `None` when no time elapsed.
+    pub fn bytes_per_sec(&self) -> Option<f64> {
+        (self.nanos > 0).then(|| self.bytes as f64 / (self.nanos as f64 * 1e-9))
+    }
+}
+
+/// Shared per-format SMSV counters. Cloning the `Arc` shares the totals;
+/// all updates are relaxed atomics, so readers may lag by a call or two —
+/// fine for scheduling, which acts on windows of thousands of calls.
+#[derive(Debug, Default)]
+pub struct SmsvCounters {
+    by_format: [FormatCounters; Format::ALL.len()],
+}
+
+impl SmsvCounters {
+    /// Fresh zeroed counters behind an `Arc`.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records one SMSV call in `format`.
+    #[inline]
+    pub fn record(&self, format: Format, nanos: u64, bytes: u64) {
+        self.by_format[format_index(format)].record(nanos, bytes);
+    }
+
+    /// Reads one format's totals.
+    pub fn sample(&self, format: Format) -> CounterSample {
+        let c = &self.by_format[format_index(format)];
+        CounterSample {
+            calls: c.calls.load(Ordering::Relaxed),
+            nanos: c.nanos.load(Ordering::Relaxed),
+            bytes: c.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reads every format's totals, in [`Format::ALL`] order.
+    pub fn sample_all(&self) -> [CounterSample; Format::ALL.len()] {
+        let mut out = [CounterSample::default(); Format::ALL.len()];
+        for (slot, &f) in out.iter_mut().zip(Format::ALL.iter()) {
+            *slot = self.sample(f);
+        }
+        out
+    }
+
+    /// Total calls across every format.
+    pub fn total_calls(&self) -> u64 {
+        Format::ALL.iter().map(|&f| self.sample(f).calls).sum()
+    }
+}
+
+/// An [`AnyMatrix`] that meters its SMSV calls into shared [`SmsvCounters`].
+///
+/// Only `smsv` — the kernel the SMO loop hammers — is timed; the remaining
+/// trait methods delegate untouched. The per-call bytes estimate is
+/// precomputed at wrap time so the hot path adds no traversal.
+#[derive(Debug, Clone)]
+pub struct InstrumentedMatrix {
+    inner: AnyMatrix,
+    counters: Arc<SmsvCounters>,
+    smsv_bytes: u64,
+}
+
+impl InstrumentedMatrix {
+    /// Wraps `inner`, metering into `counters`.
+    pub fn new(inner: AnyMatrix, counters: Arc<SmsvCounters>) -> Self {
+        let smsv_bytes = inner.storage_bytes() as u64;
+        Self { inner, counters, smsv_bytes }
+    }
+
+    /// The wrapped matrix.
+    #[inline]
+    pub fn inner(&self) -> &AnyMatrix {
+        &self.inner
+    }
+
+    /// The shared counters this wrapper feeds.
+    #[inline]
+    pub fn counters(&self) -> &Arc<SmsvCounters> {
+        &self.counters
+    }
+
+    /// Unwraps, yielding the inner matrix.
+    pub fn into_inner(self) -> AnyMatrix {
+        self.inner
+    }
+
+    /// Re-encodes the wrapped matrix in another format, keeping the same
+    /// counters. This is the mid-training conversion the reactive
+    /// scheduler performs.
+    pub fn convert(&self, format: Format) -> Self {
+        Self::new(self.inner.convert(format), Arc::clone(&self.counters))
+    }
+}
+
+impl MatrixFormat for InstrumentedMatrix {
+    #[inline]
+    fn rows(&self) -> usize {
+        self.inner.rows()
+    }
+
+    #[inline]
+    fn cols(&self) -> usize {
+        self.inner.cols()
+    }
+
+    #[inline]
+    fn nnz(&self) -> usize {
+        self.inner.nnz()
+    }
+
+    #[inline]
+    fn format(&self) -> Format {
+        self.inner.format()
+    }
+
+    #[inline]
+    fn get(&self, i: usize, j: usize) -> Scalar {
+        self.inner.get(i, j)
+    }
+
+    #[inline]
+    fn row_sparse(&self, i: usize) -> SparseVec {
+        self.inner.row_sparse(i)
+    }
+
+    fn smsv(&self, v: &SparseVec, out: &mut [Scalar]) {
+        let start = Instant::now();
+        self.inner.smsv(v, out);
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.counters.record(self.inner.format(), nanos, self.smsv_bytes);
+    }
+
+    #[inline]
+    fn spmv(&self, x: &[Scalar], out: &mut [Scalar]) {
+        self.inner.spmv(x, out)
+    }
+
+    #[inline]
+    fn row_norms_sq(&self, out: &mut [Scalar]) {
+        self.inner.row_norms_sq(out)
+    }
+
+    #[inline]
+    fn to_triplets(&self) -> TripletMatrix {
+        self.inner.to_triplets()
+    }
+
+    #[inline]
+    fn storage_bytes(&self) -> usize {
+        self.inner.storage_bytes()
+    }
+
+    #[inline]
+    fn storage_elems(&self) -> usize {
+        self.inner.storage_elems()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TripletMatrix;
+
+    fn small() -> TripletMatrix {
+        TripletMatrix::from_entries(4, 4, vec![(0, 0, 1.0), (1, 1, 2.0), (2, 3, 3.0), (3, 2, 4.0)])
+            .unwrap()
+            .compact()
+    }
+
+    #[test]
+    fn smsv_calls_and_bytes_are_counted() {
+        let t = small();
+        let counters = SmsvCounters::shared();
+        let m =
+            InstrumentedMatrix::new(AnyMatrix::from_triplets(Format::Csr, &t), counters.clone());
+        let v = m.row_sparse(0);
+        let mut out = vec![0.0; 4];
+        for _ in 0..5 {
+            m.smsv(&v, &mut out);
+        }
+        let s = counters.sample(Format::Csr);
+        assert_eq!(s.calls, 5);
+        assert_eq!(s.bytes, 5 * m.storage_bytes() as u64);
+        assert_eq!(counters.sample(Format::Coo).calls, 0);
+        assert_eq!(counters.total_calls(), 5);
+    }
+
+    #[test]
+    fn results_match_uninstrumented() {
+        let t = small();
+        let plain = AnyMatrix::from_triplets(Format::Ell, &t);
+        let metered = InstrumentedMatrix::new(plain.clone(), SmsvCounters::shared());
+        let v = plain.row_sparse(2);
+        let (mut a, mut b) = (vec![0.0; 4], vec![0.0; 4]);
+        plain.smsv(&v, &mut a);
+        metered.smsv(&v, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(metered.format(), Format::Ell);
+        assert_eq!(metered.nnz(), plain.nnz());
+    }
+
+    #[test]
+    fn convert_keeps_counters_and_content() {
+        let t = small();
+        let counters = SmsvCounters::shared();
+        let m =
+            InstrumentedMatrix::new(AnyMatrix::from_triplets(Format::Dia, &t), counters.clone());
+        let v = m.row_sparse(0);
+        let mut out = vec![0.0; 4];
+        m.smsv(&v, &mut out);
+        let m2 = m.convert(Format::Csr);
+        m2.smsv(&v, &mut out);
+        assert_eq!(m2.format(), Format::Csr);
+        assert_eq!(m2.to_triplets().compact().entries(), t.entries());
+        // Both formats metered into the same shared counters.
+        assert_eq!(counters.sample(Format::Dia).calls, 1);
+        assert_eq!(counters.sample(Format::Csr).calls, 1);
+        assert!(Arc::ptr_eq(m.counters(), m2.counters()));
+    }
+
+    #[test]
+    fn delta_and_rates() {
+        let earlier = CounterSample { calls: 10, nanos: 1_000, bytes: 4_000 };
+        let later = CounterSample { calls: 30, nanos: 5_000, bytes: 12_000 };
+        let d = later.delta(&earlier);
+        assert_eq!(d, CounterSample { calls: 20, nanos: 4_000, bytes: 8_000 });
+        let spc = d.secs_per_call().unwrap();
+        assert!((spc - 2e-7).abs() < 1e-15, "200 ns per call, got {spc}");
+        assert_eq!(CounterSample::default().secs_per_call(), None);
+        assert_eq!(CounterSample::default().bytes_per_sec(), None);
+        let rate = d.bytes_per_sec().unwrap();
+        assert!((rate - 8_000.0 / 4e-6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn format_index_is_a_bijection() {
+        let mut seen = [false; Format::ALL.len()];
+        for f in Format::ALL {
+            let i = format_index(f);
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+    }
+}

@@ -112,9 +112,7 @@ impl TripletMatrix {
 
     /// True if entries are sorted row-major with no duplicates.
     pub fn is_compact(&self) -> bool {
-        self.entries
-            .windows(2)
-            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1))
+        self.entries.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1))
     }
 
     /// Per-row non-zero counts (`dim_i` in the paper's notation).
@@ -203,13 +201,9 @@ mod tests {
 
     #[test]
     fn row_counts_and_row_sparse() {
-        let t = TripletMatrix::from_entries(
-            3,
-            4,
-            vec![(0, 1, 1.0), (0, 3, 2.0), (2, 0, 5.0)],
-        )
-        .unwrap()
-        .compact();
+        let t = TripletMatrix::from_entries(3, 4, vec![(0, 1, 1.0), (0, 3, 2.0), (2, 0, 5.0)])
+            .unwrap()
+            .compact();
         assert_eq!(t.row_counts(), vec![2, 0, 1]);
         let r0 = t.row_sparse(0);
         assert_eq!(r0.indices(), &[1, 3]);

@@ -5,8 +5,7 @@
 use dls_sparse::ops::smsv_reference;
 use dls_sparse::parallel::{par_smsv_coo, par_smsv_csr, par_smsv_generic};
 use dls_sparse::{
-    AnyMatrix, CooMatrix, CsrMatrix, Format, MatrixFeatures, MatrixFormat, SparseVec,
-    TripletMatrix,
+    AnyMatrix, CooMatrix, CsrMatrix, Format, MatrixFeatures, MatrixFormat, SparseVec, TripletMatrix,
 };
 use proptest::prelude::*;
 

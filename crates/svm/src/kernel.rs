@@ -58,12 +58,7 @@ impl KernelKind {
 
     /// Applies the kernel to a whole row of inner products in place:
     /// `dots[i] = K(X_i, X_j)` given `dots[i] = X_i · X_j` on entry.
-    pub fn apply_row(
-        &self,
-        dots: &mut [Scalar],
-        norms_sq: &[Scalar],
-        norm_j_sq: Scalar,
-    ) {
+    pub fn apply_row(&self, dots: &mut [Scalar], norms_sq: &[Scalar], norm_j_sq: Scalar) {
         debug_assert_eq!(dots.len(), norms_sq.len());
         match *self {
             KernelKind::Linear => {}
@@ -152,11 +147,7 @@ mod tests {
         let k = KernelKind::Gaussian { gamma: 0.3 };
         let norms = [1.0, 4.0, 9.0];
         let mut dots = [0.5, 1.0, -2.0];
-        let expect: Vec<f64> = dots
-            .iter()
-            .zip(&norms)
-            .map(|(&d, &n)| k.apply(d, n, 2.0))
-            .collect();
+        let expect: Vec<f64> = dots.iter().zip(&norms).map(|(&d, &n)| k.apply(d, n, 2.0)).collect();
         k.apply_row(&mut dots, &norms, 2.0);
         assert_eq!(dots.to_vec(), expect);
     }

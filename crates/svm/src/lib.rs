@@ -34,5 +34,7 @@ pub use multiclass::{MulticlassModel, MulticlassStrategy};
 pub use persist::{read_model, write_model, ModelFormatError};
 pub use platt::{PlattScaling, ProbabilisticModel};
 pub use problem::SvmProblem;
-pub use smo::{train, train_with_stats, SmoParams, SmoStats, WorkingSetSelection};
+pub use smo::{
+    train, train_with_stats, SegmentReport, SmoParams, SmoState, SmoStats, WorkingSetSelection,
+};
 pub use svr::{train_svr, SvrParams, SvrStats};

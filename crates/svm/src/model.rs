@@ -69,11 +69,8 @@ impl SvmModel {
     pub fn decision_function(&self, x: &SparseVec) -> Scalar {
         let x_norm_sq = x.norm_sq();
         let mut acc = self.bias;
-        for ((sv, &coef), &sv_norm) in self
-            .support_vectors
-            .iter()
-            .zip(&self.coefficients)
-            .zip(&self.sv_norms_sq)
+        for ((sv, &coef), &sv_norm) in
+            self.support_vectors.iter().zip(&self.coefficients).zip(&self.sv_norms_sq)
         {
             let dot = sv.dot(x);
             acc += coef * self.kernel.apply(dot, sv_norm, x_norm_sq);
@@ -111,12 +108,8 @@ mod tests {
     fn linear_decision_function() {
         // One positive SV at e0 with coef +2, one negative at e1 with coef -2,
         // zero bias: f(x) = 2 x0 - 2 x1.
-        let model = SvmModel::new(
-            KernelKind::Linear,
-            vec![unit(2, 0), unit(2, 1)],
-            vec![2.0, -2.0],
-            0.0,
-        );
+        let model =
+            SvmModel::new(KernelKind::Linear, vec![unit(2, 0), unit(2, 1)], vec![2.0, -2.0], 0.0);
         assert_eq!(model.decision_function(&unit(2, 0)), 2.0);
         assert_eq!(model.decision_function(&unit(2, 1)), -2.0);
         assert_eq!(model.predict_label(&unit(2, 0)), 1.0);
@@ -132,12 +125,8 @@ mod tests {
 
     #[test]
     fn gaussian_uses_cached_norms() {
-        let model = SvmModel::new(
-            KernelKind::Gaussian { gamma: 1.0 },
-            vec![unit(3, 0)],
-            vec![1.0],
-            0.0,
-        );
+        let model =
+            SvmModel::new(KernelKind::Gaussian { gamma: 1.0 }, vec![unit(3, 0)], vec![1.0], 0.0);
         // K of the SV with itself is exactly 1.
         assert!((model.decision_function(&unit(3, 0)) - 1.0).abs() < 1e-12);
         // Distant point has tiny kernel value.

@@ -111,11 +111,8 @@ pub fn grid_search<M: MatrixFormat + Sync>(
     let mut points = Vec::new();
     let mut best: Option<(SmoParams, f64)> = None;
     for &c in cs {
-        let gamma_space: Vec<Option<Scalar>> = if gammas.is_empty() {
-            vec![None]
-        } else {
-            gammas.iter().map(|&g| Some(g)).collect()
-        };
+        let gamma_space: Vec<Option<Scalar>> =
+            if gammas.is_empty() { vec![None] } else { gammas.iter().map(|&g| Some(g)).collect() };
         for gamma in gamma_space {
             let params = SmoParams {
                 c,
@@ -192,15 +189,7 @@ mod tests {
     fn grid_search_finds_a_working_point() {
         let (x, y) = clusters(24, 2.0);
         let base = SmoParams::default();
-        let result = grid_search(
-            &x,
-            &y,
-            &base,
-            &[0.1, 1.0, 10.0],
-            &[0.1, 1.0],
-            4,
-        )
-        .unwrap();
+        let result = grid_search(&x, &y, &base, &[0.1, 1.0, 10.0], &[0.1, 1.0], 4).unwrap();
         assert_eq!(result.points.len(), 6);
         assert!(result.best_accuracy > 0.9, "best {}", result.best_accuracy);
         // The winner's recorded accuracy matches its grid point.

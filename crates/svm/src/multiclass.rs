@@ -124,12 +124,8 @@ impl MulticlassModel {
                         votes[b] += 1;
                     }
                 }
-                let winner = votes
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(_, &v)| v)
-                    .map(|(i, _)| i)
-                    .unwrap_or(0);
+                let winner =
+                    votes.iter().enumerate().max_by_key(|(_, &v)| v).map(|(i, _)| i).unwrap_or(0);
                 self.classes[winner]
             }
         }
@@ -169,8 +165,7 @@ mod tests {
     fn one_vs_rest_classifies_clusters() {
         let (x, labels) = three_clusters();
         let m =
-            MulticlassModel::train(&x, &labels, &params(), MulticlassStrategy::OneVsRest)
-                .unwrap();
+            MulticlassModel::train(&x, &labels, &params(), MulticlassStrategy::OneVsRest).unwrap();
         assert_eq!(m.n_machines(), 3);
         assert_eq!(m.classes(), &[0, 1, 2]);
         for i in 0..x.rows() {
@@ -181,8 +176,8 @@ mod tests {
     #[test]
     fn one_vs_one_classifies_clusters() {
         let (x, labels) = three_clusters();
-        let m = MulticlassModel::train(&x, &labels, &params(), MulticlassStrategy::OneVsOne)
-            .unwrap();
+        let m =
+            MulticlassModel::train(&x, &labels, &params(), MulticlassStrategy::OneVsOne).unwrap();
         assert_eq!(m.n_machines(), 3); // 3 choose 2
         for i in 0..x.rows() {
             assert_eq!(m.predict(&x.row_sparse(i)), labels[i], "sample {i}");
@@ -192,8 +187,7 @@ mod tests {
     #[test]
     fn rejects_single_class() {
         let (x, _) = three_clusters();
-        let err = MulticlassModel::train(&x, &[7; 12], &params(), Default::default())
-            .unwrap_err();
+        let err = MulticlassModel::train(&x, &[7; 12], &params(), Default::default()).unwrap_err();
         assert_eq!(err, SvmError::SingleClass);
     }
 

@@ -65,9 +65,7 @@ fn parse_kernel(line: &str, lineno: usize) -> Result<KernelKind, ModelFormatErro
             let r = parts.next().and_then(|s| s.parse().ok());
             let d = parts.next().and_then(|s| s.parse().ok());
             match (a, r, d) {
-                (Some(a), Some(r), Some(degree)) => {
-                    Ok(KernelKind::Polynomial { a, r, degree })
-                }
+                (Some(a), Some(r), Some(degree)) => Ok(KernelKind::Polynomial { a, r, degree }),
                 _ => Err(err("polynomial needs a r degree")),
             }
         }
@@ -155,13 +153,11 @@ pub fn read_model<R: BufRead>(r: R) -> Result<SvmModel, ModelFormatError> {
             let (a, b) = tok
                 .split_once(':')
                 .ok_or_else(|| err(i, format!("expected idx:value, got {tok}")))?;
-            let j: usize =
-                a.parse().map_err(|_| err(i, format!("bad index {a}")))?;
+            let j: usize = a.parse().map_err(|_| err(i, format!("bad index {a}")))?;
             if j == 0 || j > dim {
                 return Err(err(i, format!("index {j} out of range 1..={dim}")));
             }
-            let v: Scalar =
-                b.parse().map_err(|_| err(i, format!("bad value {b}")))?;
+            let v: Scalar = b.parse().map_err(|_| err(i, format!("bad value {b}")))?;
             idx.push(j - 1);
             val.push(v);
         }
@@ -209,8 +205,7 @@ mod tests {
             for i in 0..x.rows() {
                 let r = x.row_sparse(i);
                 assert!(
-                    (loaded.decision_function(&r) - model.decision_function(&r)).abs()
-                        < 1e-12,
+                    (loaded.decision_function(&r) - model.decision_function(&r)).abs() < 1e-12,
                     "{kernel:?} row {i}"
                 );
             }

@@ -32,8 +32,7 @@ impl PlattScaling {
         // Regularised targets (avoid 0/1 saturation).
         let hi = (n_pos + 1.0) / (n_pos + 2.0);
         let lo = 1.0 / (n_neg + 2.0);
-        let t: Vec<f64> =
-            labels.iter().map(|&y| if y > 0.0 { hi } else { lo }).collect();
+        let t: Vec<f64> = labels.iter().map(|&y| if y > 0.0 { hi } else { lo }).collect();
 
         // Newton with backtracking on (a, b).
         let mut a = 0.0f64;
@@ -130,8 +129,7 @@ pub struct ProbabilisticModel {
 impl ProbabilisticModel {
     /// Calibrates a trained model on held-out (or training) data.
     pub fn calibrate(model: SvmModel, x_rows: &[SparseVec], y: &[Scalar]) -> Self {
-        let decisions: Vec<Scalar> =
-            x_rows.iter().map(|r| model.decision_function(r)).collect();
+        let decisions: Vec<Scalar> = x_rows.iter().map(|r| model.decision_function(r)).collect();
         let scaling = PlattScaling::fit(&decisions, y);
         Self { model, scaling }
     }

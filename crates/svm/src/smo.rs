@@ -141,240 +141,406 @@ pub fn train_with_stats<M: MatrixFormat + Sync>(
     y: &[Scalar],
     params: &SmoParams,
 ) -> Result<(SvmModel, SmoStats), SvmError> {
-    params.validate()?;
-    let problem = SvmProblem::new(x, y)?;
-    let n = problem.n_samples();
-    let y = problem.labels();
-    // Per-sample box constraint: C_i = C · w(y_i).
-    let c_of = |yi: Scalar| -> Scalar {
-        if yi > 0.0 {
-            params.c * params.positive_weight
-        } else {
-            params.c
-        }
-    };
+    let mut state = SmoState::new(x, y, params)?;
+    state.run_segment(x, params, usize::MAX);
+    Ok(state.finalize(x, params))
+}
 
-    // Precompute row norms once: every Gaussian kernel row needs them.
-    let mut norms_sq = vec![0.0; n];
-    x.row_norms_sq(&mut norms_sq);
+/// What one [`SmoState::run_segment`] call did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentReport {
+    /// Iterations executed in this segment.
+    pub iterations: usize,
+    /// SMSV products executed in this segment (cache misses only).
+    pub smsv_count: u64,
+    /// Whether the duality-gap criterion was met during the segment.
+    pub converged: bool,
+    /// Whether the solver stalled on a numerically degenerate pair.
+    pub stalled: bool,
+    /// `b_low − b_high` after the segment's last selection pass.
+    pub gap: Scalar,
+}
 
-    let mut alpha = vec![0.0 as Scalar; n];
-    // f_i = Σ_j α_j y_j K_ij − y_i  starts at −y_i since α = 0 (eq. 3).
-    let mut f: Vec<Scalar> = y.iter().map(|&yi| -yi).collect();
+/// Resumable SMO solver state.
+///
+/// The training loop is exposed in segments so a caller can interleave it
+/// with other work — most importantly the reactive layout scheduler in
+/// `dls-core`, which re-converts the data matrix to a different storage
+/// format *between* segments. Everything in the state — `α`, the
+/// optimality vector `f`, row norms and the kernel-row cache — depends
+/// only on the matrix *content*, never its layout, so the same state
+/// continues seamlessly across a format change.
+pub struct SmoState {
+    y: Vec<Scalar>,
+    alpha: Vec<Scalar>,
+    f: Vec<Scalar>,
+    norms_sq: Vec<Scalar>,
+    active: Vec<usize>,
+    do_shrink: bool,
+    shrink_every: usize,
+    iterations: usize,
+    smsv_count: u64,
+    cache: KernelCache,
+    converged: bool,
+    stalled: bool,
+    gap: Scalar,
+}
 
-    let mut cache = KernelCache::with_budget(params.cache_bytes, n);
-    let mut smsv_count: u64 = 0;
+/// Per-sample box constraint: C_i = C · w(y_i).
+#[inline]
+fn c_of(params: &SmoParams, yi: Scalar) -> Scalar {
+    if yi > 0.0 {
+        params.c * params.positive_weight
+    } else {
+        params.c
+    }
+}
 
-    // Computes kernel row `i`: one SMSV then the elementwise kernel map.
-    // With threads > 1 the SMSV is row-partitioned across crossbeam
-    // workers (the paper's OpenMP strategy).
-    let kernel_row = |i: usize, smsv_count: &mut u64| -> Vec<Scalar> {
-        *smsv_count += 1;
-        let xi = x.row_sparse(i);
-        let mut row = vec![0.0; n];
-        if params.threads > 1 {
-            dls_sparse::parallel::par_smsv_generic(x, &xi, &mut row, params.threads);
-        } else {
-            x.smsv(&xi, &mut row);
-        }
-        params.kernel.apply_row(&mut row, &norms_sq, norms_sq[i]);
-        row
-    };
+impl SmoState {
+    /// Validates inputs and initialises solver state at `α = 0`.
+    pub fn new<M: MatrixFormat + Sync>(
+        x: &M,
+        y: &[Scalar],
+        params: &SmoParams,
+    ) -> Result<Self, SvmError> {
+        params.validate()?;
+        let problem = SvmProblem::new(x, y)?;
+        let n = problem.n_samples();
+        let y = problem.labels().to_vec();
 
-    let mut iterations = 0usize;
-    let mut converged = false;
-    let mut gap;
+        // Precompute row norms once: every Gaussian kernel row needs them.
+        let mut norms_sq = vec![0.0; n];
+        x.row_norms_sq(&mut norms_sq);
 
-    // Active set for the shrinking heuristic: indices still eligible for
-    // working-set selection and f updates.
-    let mut active: Vec<usize> = (0..n).collect();
-    let mut do_shrink = params.shrinking;
-    // Iterations between shrink passes (LIBSVM uses min(n, 1000)).
-    let shrink_every = n.clamp(16, 1000);
+        // f_i = Σ_j α_j y_j K_ij − y_i  starts at −y_i since α = 0 (eq. 3).
+        let f: Vec<Scalar> = y.iter().map(|&yi| -yi).collect();
 
-    loop {
-        // Lines 6–10 of Algorithm 1: one fused pass over f selecting the
-        // maximal violating pair (restricted to the active set).
-        let (mut high, mut low) = (usize::MAX, usize::MAX);
-        let (mut b_high, mut b_low) = (Scalar::INFINITY, Scalar::NEG_INFINITY);
-        for &i in &active {
-            let ai = alpha[i];
-            let ci = c_of(y[i]);
-            let free = ai > ALPHA_EPS && ai < ci - ALPHA_EPS;
-            let at_zero = ai <= ALPHA_EPS;
-            let in_high = free || (y[i] > 0.0 && at_zero) || (y[i] < 0.0 && !at_zero && !free);
-            let in_low = free || (y[i] > 0.0 && !at_zero && !free) || (y[i] < 0.0 && at_zero);
-            if in_high && f[i] < b_high {
-                b_high = f[i];
-                high = i;
-            }
-            if in_low && f[i] > b_low {
-                b_low = f[i];
-                low = i;
-            }
-        }
-        gap = b_low - b_high;
-        if high == usize::MAX || low == usize::MAX || gap <= 2.0 * params.tolerance {
-            if active.len() < n {
-                // Apparent convergence on the shrunk problem: reconstruct
-                // the full optimality vector and verify on all samples.
-                reconstruct_f(x, y, &alpha, &norms_sq, params, &active, &mut f);
-                active = (0..n).collect();
-                do_shrink = false;
-                continue;
-            }
-            converged = true;
-            break;
-        }
-        if iterations >= params.max_iterations {
-            break;
-        }
-        iterations += 1;
+        Ok(Self {
+            alpha: vec![0.0 as Scalar; n],
+            f,
+            norms_sq,
+            // Active set for the shrinking heuristic: indices still
+            // eligible for working-set selection and f updates.
+            active: (0..n).collect(),
+            do_shrink: params.shrinking,
+            // Iterations between shrink passes (LIBSVM uses min(n, 1000)).
+            shrink_every: n.clamp(16, 1000),
+            iterations: 0,
+            smsv_count: 0,
+            cache: KernelCache::with_budget(params.cache_bytes, n),
+            converged: false,
+            stalled: false,
+            gap: Scalar::INFINITY,
+            y,
+        })
+    }
 
-        // Two SMSVs per iteration (the paper's §III-A bottleneck), served
-        // through the LRU row cache. Once the active set has shrunk well
-        // below n, rows are evaluated only at active positions (per-row
-        // sparse dots), which is where shrinking actually saves work;
-        // partial rows bypass the cache to keep it full-row-only.
-        let use_partial = active.len() * 4 < n;
-        let k_high = if use_partial {
-            partial_kernel_row(x, high, &active, &norms_sq, params, &mut smsv_count)
-        } else {
-            cache.get_or_insert_with(high, || kernel_row(high, &mut smsv_count)).to_vec()
-        };
+    /// Total iterations executed so far, across all segments.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
 
-        // Optional second-order refinement of `low` using the high row.
-        if params.selection == WorkingSetSelection::SecondOrder {
-            let mut best = Scalar::NEG_INFINITY;
-            let mut best_j = low;
-            for &j in &active {
-                let aj = alpha[j];
-                let free = aj > ALPHA_EPS && aj < c_of(y[j]) - ALPHA_EPS;
-                let at_zero = aj <= ALPHA_EPS;
-                let in_low =
-                    free || (y[j] > 0.0 && !at_zero && !free) || (y[j] < 0.0 && at_zero);
-                if !in_low {
-                    continue;
-                }
-                let diff = f[j] - b_high;
-                if diff <= params.tolerance {
-                    continue;
-                }
-                let eta = (k_high[high] + self_k(&norms_sq, params, j) - 2.0 * k_high[j])
-                    .max(1e-12);
-                let gain = diff * diff / eta;
-                if gain > best {
-                    best = gain;
-                    best_j = j;
-                }
-            }
-            low = best_j;
-        }
+    /// Total SMSV products executed so far (cache misses only).
+    pub fn smsv_count(&self) -> u64 {
+        self.smsv_count
+    }
 
-        let k_low = if use_partial {
-            partial_kernel_row(x, low, &active, &norms_sq, params, &mut smsv_count)
-        } else {
-            cache.get_or_insert_with(low, || kernel_row(low, &mut smsv_count)).to_vec()
-        };
+    /// Whether the duality-gap criterion has been met.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
 
-        let (yh, yl) = (y[high], y[low]);
-        let s = yh * yl;
-        // η = K_hh + K_ll − 2 K_hl; guard non-PSD kernels (sigmoid) and
-        // numerically degenerate pairs.
-        let eta = (k_high[high] + k_low[low] - 2.0 * k_high[low]).max(1e-12);
+    /// Current `b_low − b_high` duality gap.
+    pub fn gap(&self) -> Scalar {
+        self.gap
+    }
 
-        // Equation (5) with b_high = f_high, b_low = f_low at selection
-        // time, then clip α_low to the feasible segment.
-        let (c_high, c_low) = (c_of(yh), c_of(yl));
-        let (l_bound, h_bound) = if s < 0.0 {
-            (
-                (alpha[low] - alpha[high]).max(0.0),
-                (c_high + alpha[low] - alpha[high]).min(c_low),
-            )
-        } else {
-            (
-                (alpha[low] + alpha[high] - c_high).max(0.0),
-                (alpha[low] + alpha[high]).min(c_low),
-            )
-        };
-        let unclipped = alpha[low] + yl * (f[high] - f[low]) / eta;
-        let alpha_low_new = unclipped.clamp(l_bound, h_bound);
-        let delta_low = alpha_low_new - alpha[low];
-        if delta_low.abs() < 1e-14 {
-            // Numerically stalled pair: no further progress possible.
-            break;
-        }
-        // Equation (6): Δα_high = −y_low y_high Δα_low.
-        let delta_high = -s * delta_low;
-        alpha[low] = alpha_low_new;
-        alpha[high] = (alpha[high] + delta_high).clamp(0.0, c_high);
+    /// Whether training can make further progress: false once converged,
+    /// stalled, or out of the iteration budget.
+    pub fn can_continue(&self, params: &SmoParams) -> bool {
+        !self.converged && !self.stalled && self.iterations < params.max_iterations
+    }
 
-        // Equation (4): fused f update over the active samples. Shrunk
-        // samples keep stale f values until reconstruction.
-        let (dh_yh, dl_yl) = (delta_high * yh, delta_low * yl);
-        for &i in &active {
-            f[i] += dh_yh * k_high[i] + dl_yl * k_low[i];
-        }
+    /// Runs at most `budget` SMO iterations (bounded also by
+    /// `params.max_iterations` globally), stopping early on convergence.
+    ///
+    /// `x` must hold the same matrix *content* on every call, but its
+    /// storage format is free to change between calls.
+    pub fn run_segment<M: MatrixFormat + Sync>(
+        &mut self,
+        x: &M,
+        params: &SmoParams,
+        budget: usize,
+    ) -> SegmentReport {
+        let n = self.y.len();
+        let start_iterations = self.iterations;
+        let start_smsv = self.smsv_count;
 
-        // Periodic shrink: drop bound variables that cannot join any
-        // violating pair against the current [b_high, b_low] window.
-        if do_shrink && iterations.is_multiple_of(shrink_every) && active.len() > 2 {
-            active.retain(|&i| {
-                let ai = alpha[i];
-                let free = ai > ALPHA_EPS && ai < c_of(y[i]) - ALPHA_EPS;
-                if free {
-                    return true;
-                }
+        while !self.converged && !self.stalled {
+            // Lines 6–10 of Algorithm 1: one fused pass over f selecting
+            // the maximal violating pair (restricted to the active set).
+            let (mut high, mut low) = (usize::MAX, usize::MAX);
+            let (mut b_high, mut b_low) = (Scalar::INFINITY, Scalar::NEG_INFINITY);
+            for &i in &self.active {
+                let ai = self.alpha[i];
+                let ci = c_of(params, self.y[i]);
+                let free = ai > ALPHA_EPS && ai < ci - ALPHA_EPS;
                 let at_zero = ai <= ALPHA_EPS;
                 let in_high =
-                    (y[i] > 0.0 && at_zero) || (y[i] < 0.0 && !at_zero);
-                // I_high-only at bound: can only violate as a future
-                // `high` with f[i] < b_low; I_low-only symmetric.
-                if in_high {
-                    f[i] < b_low
-                } else {
-                    f[i] > b_high
+                    free || (self.y[i] > 0.0 && at_zero) || (self.y[i] < 0.0 && !at_zero && !free);
+                let in_low =
+                    free || (self.y[i] > 0.0 && !at_zero && !free) || (self.y[i] < 0.0 && at_zero);
+                if in_high && self.f[i] < b_high {
+                    b_high = self.f[i];
+                    high = i;
                 }
-            });
+                if in_low && self.f[i] > b_low {
+                    b_low = self.f[i];
+                    low = i;
+                }
+            }
+            self.gap = b_low - b_high;
+            if high == usize::MAX || low == usize::MAX || self.gap <= 2.0 * params.tolerance {
+                if self.active.len() < n {
+                    // Apparent convergence on the shrunk problem:
+                    // reconstruct the full optimality vector and verify on
+                    // all samples.
+                    reconstruct_f(
+                        x,
+                        &self.y,
+                        &self.alpha,
+                        &self.norms_sq,
+                        params,
+                        &self.active,
+                        &mut self.f,
+                    );
+                    self.active = (0..n).collect();
+                    self.do_shrink = false;
+                    continue;
+                }
+                self.converged = true;
+                break;
+            }
+            if self.iterations >= params.max_iterations
+                || self.iterations - start_iterations >= budget
+            {
+                break;
+            }
+            self.iterations += 1;
+
+            // Two SMSVs per iteration (the paper's §III-A bottleneck),
+            // served through the LRU row cache. Once the active set has
+            // shrunk well below n, rows are evaluated only at active
+            // positions (per-row sparse dots), which is where shrinking
+            // actually saves work; partial rows bypass the cache to keep
+            // it full-row-only.
+            let use_partial = self.active.len() * 4 < n;
+            let k_high = if use_partial {
+                partial_kernel_row(
+                    x,
+                    high,
+                    &self.active,
+                    &self.norms_sq,
+                    params,
+                    &mut self.smsv_count,
+                )
+            } else {
+                let norms_sq = &self.norms_sq;
+                let smsv_count = &mut self.smsv_count;
+                self.cache
+                    .get_or_insert_with(high, || kernel_row(x, high, norms_sq, params, smsv_count))
+                    .to_vec()
+            };
+
+            // Optional second-order refinement of `low` using the high row.
+            if params.selection == WorkingSetSelection::SecondOrder {
+                let mut best = Scalar::NEG_INFINITY;
+                let mut best_j = low;
+                for &j in &self.active {
+                    let aj = self.alpha[j];
+                    let free = aj > ALPHA_EPS && aj < c_of(params, self.y[j]) - ALPHA_EPS;
+                    let at_zero = aj <= ALPHA_EPS;
+                    let in_low = free
+                        || (self.y[j] > 0.0 && !at_zero && !free)
+                        || (self.y[j] < 0.0 && at_zero);
+                    if !in_low {
+                        continue;
+                    }
+                    let diff = self.f[j] - b_high;
+                    if diff <= params.tolerance {
+                        continue;
+                    }
+                    let eta = (k_high[high] + self_k(&self.norms_sq, params, j) - 2.0 * k_high[j])
+                        .max(1e-12);
+                    let gain = diff * diff / eta;
+                    if gain > best {
+                        best = gain;
+                        best_j = j;
+                    }
+                }
+                low = best_j;
+            }
+
+            let k_low = if use_partial {
+                partial_kernel_row(
+                    x,
+                    low,
+                    &self.active,
+                    &self.norms_sq,
+                    params,
+                    &mut self.smsv_count,
+                )
+            } else {
+                let norms_sq = &self.norms_sq;
+                let smsv_count = &mut self.smsv_count;
+                self.cache
+                    .get_or_insert_with(low, || kernel_row(x, low, norms_sq, params, smsv_count))
+                    .to_vec()
+            };
+
+            let (yh, yl) = (self.y[high], self.y[low]);
+            let s = yh * yl;
+            // η = K_hh + K_ll − 2 K_hl; guard non-PSD kernels (sigmoid)
+            // and numerically degenerate pairs.
+            let eta = (k_high[high] + k_low[low] - 2.0 * k_high[low]).max(1e-12);
+
+            // Equation (5) with b_high = f_high, b_low = f_low at
+            // selection time, then clip α_low to the feasible segment.
+            let (c_high, c_low) = (c_of(params, yh), c_of(params, yl));
+            let (l_bound, h_bound) = if s < 0.0 {
+                (
+                    (self.alpha[low] - self.alpha[high]).max(0.0),
+                    (c_high + self.alpha[low] - self.alpha[high]).min(c_low),
+                )
+            } else {
+                (
+                    (self.alpha[low] + self.alpha[high] - c_high).max(0.0),
+                    (self.alpha[low] + self.alpha[high]).min(c_low),
+                )
+            };
+            let unclipped = self.alpha[low] + yl * (self.f[high] - self.f[low]) / eta;
+            let alpha_low_new = unclipped.clamp(l_bound, h_bound);
+            let delta_low = alpha_low_new - self.alpha[low];
+            if delta_low.abs() < 1e-14 {
+                // Numerically stalled pair: no further progress possible.
+                self.stalled = true;
+                break;
+            }
+            // Equation (6): Δα_high = −y_low y_high Δα_low.
+            let delta_high = -s * delta_low;
+            self.alpha[low] = alpha_low_new;
+            self.alpha[high] = (self.alpha[high] + delta_high).clamp(0.0, c_high);
+
+            // Equation (4): fused f update over the active samples.
+            // Shrunk samples keep stale f values until reconstruction.
+            let (dh_yh, dl_yl) = (delta_high * yh, delta_low * yl);
+            for &i in &self.active {
+                self.f[i] += dh_yh * k_high[i] + dl_yl * k_low[i];
+            }
+
+            // Periodic shrink: drop bound variables that cannot join any
+            // violating pair against the current [b_high, b_low] window.
+            if self.do_shrink
+                && self.iterations.is_multiple_of(self.shrink_every)
+                && self.active.len() > 2
+            {
+                let (alpha, y, f) = (&self.alpha, &self.y, &self.f);
+                self.active.retain(|&i| {
+                    let ai = alpha[i];
+                    let free = ai > ALPHA_EPS && ai < c_of(params, y[i]) - ALPHA_EPS;
+                    if free {
+                        return true;
+                    }
+                    let at_zero = ai <= ALPHA_EPS;
+                    let in_high = (y[i] > 0.0 && at_zero) || (y[i] < 0.0 && !at_zero);
+                    // I_high-only at bound: can only violate as a future
+                    // `high` with f[i] < b_low; I_low-only symmetric.
+                    if in_high {
+                        f[i] < b_low
+                    } else {
+                        f[i] > b_high
+                    }
+                });
+            }
+        }
+
+        SegmentReport {
+            iterations: self.iterations - start_iterations,
+            smsv_count: self.smsv_count - start_smsv,
+            converged: self.converged,
+            stalled: self.stalled,
+            gap: self.gap,
         }
     }
 
-    // Bias from the KKT interval: b = −(b_high + b_low)/2 where the final
-    // selection pass already computed the interval endpoints.
-    let (mut b_high, mut b_low) = (Scalar::INFINITY, Scalar::NEG_INFINITY);
-    for i in 0..n {
-        let ai = alpha[i];
-        let free = ai > ALPHA_EPS && ai < c_of(y[i]) - ALPHA_EPS;
-        let at_zero = ai <= ALPHA_EPS;
-        let in_high = free || (y[i] > 0.0 && at_zero) || (y[i] < 0.0 && !at_zero && !free);
-        let in_low = free || (y[i] > 0.0 && !at_zero && !free) || (y[i] < 0.0 && at_zero);
-        if in_high {
-            b_high = b_high.min(f[i]);
+    /// Extracts the model and cumulative statistics from the current state.
+    pub fn finalize<M: MatrixFormat + Sync>(
+        &self,
+        x: &M,
+        params: &SmoParams,
+    ) -> (SvmModel, SmoStats) {
+        let n = self.y.len();
+        // Bias from the KKT interval: b = −(b_high + b_low)/2 where the
+        // final selection pass already computed the interval endpoints.
+        let (mut b_high, mut b_low) = (Scalar::INFINITY, Scalar::NEG_INFINITY);
+        for i in 0..n {
+            let ai = self.alpha[i];
+            let free = ai > ALPHA_EPS && ai < c_of(params, self.y[i]) - ALPHA_EPS;
+            let at_zero = ai <= ALPHA_EPS;
+            let in_high =
+                free || (self.y[i] > 0.0 && at_zero) || (self.y[i] < 0.0 && !at_zero && !free);
+            let in_low =
+                free || (self.y[i] > 0.0 && !at_zero && !free) || (self.y[i] < 0.0 && at_zero);
+            if in_high {
+                b_high = b_high.min(self.f[i]);
+            }
+            if in_low {
+                b_low = b_low.max(self.f[i]);
+            }
         }
-        if in_low {
-            b_low = b_low.max(f[i]);
-        }
-    }
-    let bias = -(b_high + b_low) / 2.0;
+        let bias = -(b_high + b_low) / 2.0;
 
-    let mut support_vectors = Vec::new();
-    let mut coefficients = Vec::new();
-    for i in 0..n {
-        if alpha[i] > ALPHA_EPS {
-            support_vectors.push(x.row_sparse(i));
-            coefficients.push(alpha[i] * y[i]);
+        let mut support_vectors = Vec::new();
+        let mut coefficients = Vec::new();
+        for i in 0..n {
+            if self.alpha[i] > ALPHA_EPS {
+                support_vectors.push(x.row_sparse(i));
+                coefficients.push(self.alpha[i] * self.y[i]);
+            }
         }
+        let stats = SmoStats {
+            iterations: self.iterations,
+            converged: self.converged,
+            final_gap: self.gap,
+            n_support_vectors: support_vectors.len(),
+            smsv_count: self.smsv_count,
+            cache_hits: self.cache.hits(),
+        };
+        let model = SvmModel::new(params.kernel, support_vectors, coefficients, bias);
+        (model, stats)
     }
-    let stats = SmoStats {
-        iterations,
-        converged,
-        final_gap: gap,
-        n_support_vectors: support_vectors.len(),
-        smsv_count,
-        cache_hits: cache.hits(),
-    };
-    let model = SvmModel::new(params.kernel, support_vectors, coefficients, bias);
-    Ok((model, stats))
+}
+
+/// Computes kernel row `i`: one SMSV then the elementwise kernel map.
+/// With threads > 1 the SMSV is row-partitioned across crossbeam workers
+/// (the paper's OpenMP strategy).
+fn kernel_row<M: MatrixFormat + Sync>(
+    x: &M,
+    i: usize,
+    norms_sq: &[Scalar],
+    params: &SmoParams,
+    smsv_count: &mut u64,
+) -> Vec<Scalar> {
+    *smsv_count += 1;
+    let xi = x.row_sparse(i);
+    let mut row = vec![0.0; norms_sq.len()];
+    if params.threads > 1 {
+        dls_sparse::parallel::par_smsv_generic(x, &xi, &mut row, params.threads);
+    } else {
+        x.smsv(&xi, &mut row);
+    }
+    params.kernel.apply_row(&mut row, norms_sq, norms_sq[i]);
+    row
 }
 
 /// K(X_j, X_j) for the second-order rule without materialising row j.
@@ -520,8 +686,7 @@ mod tests {
     #[test]
     fn alphas_respect_box_constraint_via_dual_coefs() {
         let (x, y) = separable_1d();
-        let params =
-            SmoParams { kernel: KernelKind::Linear, c: 0.5, ..Default::default() };
+        let params = SmoParams { kernel: KernelKind::Linear, c: 0.5, ..Default::default() };
         let (model, _) = train_with_stats(&x, &y, &params).unwrap();
         for &coef in model.coefficients() {
             assert!(coef.abs() <= 0.5 + 1e-9, "coef {coef} violates C");
@@ -677,11 +842,8 @@ mod tests {
     #[test]
     fn shrinking_final_gap_is_verified_on_full_set() {
         let (x, y) = separable_1d();
-        let params = SmoParams {
-            kernel: KernelKind::Linear,
-            shrinking: true,
-            ..Default::default()
-        };
+        let params =
+            SmoParams { kernel: KernelKind::Linear, shrinking: true, ..Default::default() };
         let (_, stats) = train_with_stats(&x, &y, &params).unwrap();
         assert!(stats.converged);
         assert!(stats.final_gap <= 2.0 * params.tolerance + 1e-12);
@@ -723,6 +885,73 @@ mod tests {
         let (x, _) = separable_1d();
         let err = train(&x, &[1.0; 8], &SmoParams::default()).unwrap_err();
         assert_eq!(err, SvmError::SingleClass);
+    }
+
+    #[test]
+    fn segmented_training_matches_monolithic() {
+        let (x, y) = xor_2d();
+        let params = SmoParams {
+            kernel: KernelKind::Gaussian { gamma: 2.0 },
+            c: 10.0,
+            ..Default::default()
+        };
+        let (reference, ref_stats) = train_with_stats(&x, &y, &params).unwrap();
+
+        // Same training driven two iterations at a time.
+        let mut state = SmoState::new(&x, &y, &params).unwrap();
+        let mut segments = 0;
+        while state.can_continue(&params) {
+            let rep = state.run_segment(&x, &params, 2);
+            segments += 1;
+            assert!(rep.iterations <= 2);
+            assert!(segments < 10_000, "segment loop must terminate");
+        }
+        let (model, stats) = state.finalize(&x, &params);
+        assert_eq!(stats.iterations, ref_stats.iterations);
+        assert_eq!(stats.smsv_count, ref_stats.smsv_count);
+        assert_eq!(stats.converged, ref_stats.converged);
+        assert!((model.bias() - reference.bias()).abs() < 1e-12);
+        for i in 0..4 {
+            assert_eq!(model.predict_label(&x.row_sparse(i)), y[i]);
+        }
+    }
+
+    #[test]
+    fn format_switch_between_segments_preserves_training() {
+        use dls_sparse::{AnyMatrix, Format};
+        let (csr, y) = separable_1d();
+        let t = csr.to_triplets().compact();
+        let params = SmoParams { kernel: KernelKind::Linear, ..Default::default() };
+        let (reference, ref_stats) = train_with_stats(&csr, &y, &params).unwrap();
+
+        // Start on a deliberately poor format, then convert mid-training:
+        // state depends on matrix content only, so the run must continue
+        // seamlessly and reach the same solution.
+        let dia = AnyMatrix::from_triplets(Format::Dia, &t);
+        let mut state = SmoState::new(&dia, &y, &params).unwrap();
+        state.run_segment(&dia, &params, 1);
+        let better = dia.convert(Format::Csr);
+        while state.can_continue(&params) {
+            state.run_segment(&better, &params, 3);
+        }
+        let (model, stats) = state.finalize(&better, &params);
+        assert!(stats.converged);
+        assert_eq!(stats.iterations, ref_stats.iterations);
+        assert!((model.bias() - reference.bias()).abs() < 1e-9);
+        for i in 0..csr.rows() {
+            assert_eq!(model.predict_label(&csr.row_sparse(i)), y[i]);
+        }
+    }
+
+    #[test]
+    fn zero_budget_segment_is_a_no_op() {
+        let (x, y) = separable_1d();
+        let params = SmoParams { kernel: KernelKind::Linear, ..Default::default() };
+        let mut state = SmoState::new(&x, &y, &params).unwrap();
+        let rep = state.run_segment(&x, &params, 0);
+        assert_eq!(rep.iterations, 0);
+        assert!(!rep.converged);
+        assert!(state.can_continue(&params));
     }
 
     #[test]

@@ -104,14 +104,25 @@ pub fn train_svr<M: MatrixFormat>(
     // Extended problem: index t < n is α_t (pseudo-label +1); t >= n is
     // α*_{t-n} (pseudo-label −1).
     let m2 = 2 * n;
-    let ext_y = |t: usize| -> Scalar { if t < n { 1.0 } else { -1.0 } };
-    let base = |t: usize| -> usize { if t < n { t } else { t - n } };
+    let ext_y = |t: usize| -> Scalar {
+        if t < n {
+            1.0
+        } else {
+            -1.0
+        }
+    };
+    let base = |t: usize| -> usize {
+        if t < n {
+            t
+        } else {
+            t - n
+        }
+    };
 
     let mut alpha = vec![0.0 as Scalar; m2];
     // f_t = gradient of the dual objective = p_t at α = 0.
-    let mut f: Vec<Scalar> = (0..m2)
-        .map(|t| if t < n { eps - y[t] } else { eps + y[t - n] })
-        .collect();
+    let mut f: Vec<Scalar> =
+        (0..m2).map(|t| if t < n { eps - y[t] } else { eps + y[t - n] }).collect();
 
     // Base kernel row cache for the two rows used per iteration.
     let kernel_row = |i: usize| -> Vec<Scalar> {
@@ -136,8 +147,8 @@ pub fn train_svr<M: MatrixFormat>(
             let yt = ext_y(t);
             let can_up = a < c - ALPHA_EPS; // α can grow
             let can_dn = a > ALPHA_EPS; // α can shrink
-            // Moving α_t up changes Σ y α by y_t; the violating-pair view
-            // uses v_t = y_t f_t.
+                                        // Moving α_t up changes Σ y α by y_t; the violating-pair view
+                                        // uses v_t = y_t f_t.
             let v = yt * f[t];
             // I_high: indices whose v can decrease the objective when the
             // variable moves in +y direction.
@@ -152,8 +163,7 @@ pub fn train_svr<M: MatrixFormat>(
                 low = t;
             }
         }
-        if high == usize::MAX || low == usize::MAX || b_low - b_high <= 2.0 * params.tolerance
-        {
+        if high == usize::MAX || low == usize::MAX || b_low - b_high <= 2.0 * params.tolerance {
             converged = true;
             break;
         }
@@ -225,8 +235,7 @@ pub fn train_svr<M: MatrixFormat>(
             coefs.push(beta);
         }
     }
-    let stats =
-        SvrStats { iterations, converged, n_support_vectors: svs.len() };
+    let stats = SvrStats { iterations, converged, n_support_vectors: svs.len() };
     Ok((SvmModel::new(params.kernel, svs, coefs, bias), stats))
 }
 
@@ -251,12 +260,8 @@ mod tests {
     #[test]
     fn fits_a_line_within_the_tube() {
         let (x, y) = line_data(2.0, 1.0, 21);
-        let params = SvrParams {
-            kernel: KernelKind::Linear,
-            c: 100.0,
-            epsilon: 0.05,
-            ..Default::default()
-        };
+        let params =
+            SvrParams { kernel: KernelKind::Linear, c: 100.0, epsilon: 0.05, ..Default::default() };
         let (model, stats) = train_svr(&x, &y, &params).unwrap();
         assert!(stats.converged, "converged with gap");
         for i in 0..x.rows() {
@@ -305,11 +310,7 @@ mod tests {
         // Constant y within the tube: zero function + correct bias fits.
         let (x, _) = line_data(1.0, 0.0, 9);
         let y = vec![3.0; 9];
-        let params = SvrParams {
-            kernel: KernelKind::Linear,
-            epsilon: 0.5,
-            ..Default::default()
-        };
+        let params = SvrParams { kernel: KernelKind::Linear, epsilon: 0.5, ..Default::default() };
         let (model, stats) = train_svr(&x, &y, &params).unwrap();
         assert!(stats.converged);
         let pred = model.decision_function(&SparseVec::new(1, vec![0], vec![0.5]));
@@ -322,12 +323,8 @@ mod tests {
         // A tube wide enough to contain every target around a constant
         // needs no support vectors at all; a tight tube on a sloped line
         // must use some.
-        let tight = SvrParams {
-            kernel: KernelKind::Linear,
-            c: 100.0,
-            epsilon: 0.01,
-            ..Default::default()
-        };
+        let tight =
+            SvrParams { kernel: KernelKind::Linear, c: 100.0, epsilon: 0.01, ..Default::default() };
         let covering = SvrParams { epsilon: 10.0, ..tight };
         let (_, s_tight) = train_svr(&x, &y, &tight).unwrap();
         let (_, s_cover) = train_svr(&x, &y, &covering).unwrap();
@@ -339,9 +336,7 @@ mod tests {
     fn validates_parameters() {
         let (x, y) = line_data(1.0, 0.0, 5);
         assert!(train_svr(&x, &y, &SvrParams { c: 0.0, ..Default::default() }).is_err());
-        assert!(
-            train_svr(&x, &y, &SvrParams { epsilon: -1.0, ..Default::default() }).is_err()
-        );
+        assert!(train_svr(&x, &y, &SvrParams { epsilon: -1.0, ..Default::default() }).is_err());
         assert!(train_svr(&x, &y[..3], &SvrParams::default()).is_err());
     }
 }

@@ -14,10 +14,7 @@ fn main() {
         ("cost-model", SelectionStrategy::CostModel),
         ("empirical", SelectionStrategy::Empirical),
     ];
-    println!(
-        "{:<14} {:>12} {:>12} {:>12}",
-        "dataset", "rule-based", "cost-model", "empirical"
-    );
+    println!("{:<14} {:>12} {:>12} {:>12}", "dataset", "rule-based", "cost-model", "empirical");
 
     for name in ["adult", "aloi", "mnist", "connect-4", "trefethen", "leukemia"] {
         let spec = DatasetSpec::by_name(name).expect("known dataset");

@@ -50,15 +50,14 @@ fn main() {
     );
 
     // 6. Final model on the full training split, with probabilities.
-    let model = train(scheduled.matrix(), &split.train_y, &result.best_params)
-        .expect("final training");
+    let model =
+        train(scheduled.matrix(), &split.train_y, &result.best_params).expect("final training");
     let train_rows: Vec<_> = (0..train_x.rows()).map(|i| train_x.row_sparse(i)).collect();
     let prob = ProbabilisticModel::calibrate(model, &train_rows, &split.train_y);
 
     // 7. Held-out evaluation.
-    let preds: Vec<f64> = (0..test_x.rows())
-        .map(|i| prob.model().predict_label(&test_x.row_sparse(i)))
-        .collect();
+    let preds: Vec<f64> =
+        (0..test_x.rows()).map(|i| prob.model().predict_label(&test_x.row_sparse(i))).collect();
     let acc = dls::svm::accuracy(&preds, &split.test_y);
     println!("held-out accuracy: {acc:.3}");
     let p0 = prob.predict_probability(&test_x.row_sparse(0));

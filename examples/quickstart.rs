@@ -13,7 +13,12 @@ fn main() {
     let spec = DatasetSpec::by_name("adult").expect("known dataset").scaled(10);
     let data = generate(&spec, 42);
     let labels = linear_teacher_labels(&data, 0.0, 7);
-    println!("dataset: {} samples x {} features, {} non-zeros", data.rows(), data.cols(), data.nnz());
+    println!(
+        "dataset: {} samples x {} features, {} non-zeros",
+        data.rows(),
+        data.cols(),
+        data.nnz()
+    );
 
     // 1. Schedule: extract the nine influencing parameters and pick a format.
     let scheduled = LayoutScheduler::new().schedule(&data);

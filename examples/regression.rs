@@ -40,8 +40,7 @@ fn main() {
             max_iterations: 200_000,
             ..Default::default()
         };
-        let (model, stats) =
-            train_svr(scheduled.matrix(), &y, &params).expect("valid problem");
+        let (model, stats) = train_svr(scheduled.matrix(), &y, &params).expect("valid problem");
         let rmse = (0..n)
             .map(|i| {
                 let e = model.decision_function(&t.row_sparse(i)) - y[i];
@@ -50,10 +49,7 @@ fn main() {
             .sum::<f64>()
             .sqrt()
             / (n as f64).sqrt();
-        println!(
-            "{eps:>8.2} {:>10} {rmse:>12.4} {:>10}",
-            stats.n_support_vectors, stats.converged
-        );
+        println!("{eps:>8.2} {:>10} {rmse:>12.4} {:>10}", stats.n_support_vectors, stats.converged);
     }
     println!("\nwider tubes need fewer support vectors at the cost of fit error —");
     println!("the ε-insensitive trade-off.");

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local CI gate: build, tests, lints, formatting.
+#
+# Usage: scripts/ci.sh
+# Runs from the repository root regardless of the caller's cwd.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> ci OK"

@@ -2,9 +2,14 @@
 //!
 //! ```text
 //! dls features  <data.libsvm | @dataset>            nine influencing parameters
-//! dls schedule  <data.libsvm | @dataset> [strategy] pick a storage format
+//! dls schedule  <data.libsvm | @dataset> [strategy] [--reactive]
+//!                                                   pick a storage format; with
+//!                                                   --reactive, train and
+//!                                                   re-schedule mid-SMO
 //! dls train     <data.libsvm | @dataset> [strategy] schedule + SMO training
 //! dls bench     <data.libsvm | @dataset> [iters]    per-format SMO timing
+//! dls stats     <data.libsvm | @dataset> [strategy] [iters]
+//!                                                   SMSV telemetry snapshot
 //! dls scale     <in.libsvm> <out.libsvm> [01|pm1]   feature scaling
 //! ```
 //!
@@ -24,10 +29,11 @@ fn main() -> ExitCode {
         Some("schedule") => cmd_schedule(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         Some("scale") => cmd_scale(&args[1..]),
         _ => {
             eprintln!(
-                "usage: dls <features|schedule|train|bench|scale> <data.libsvm | @dataset> ..."
+                "usage: dls <features|schedule|train|bench|stats|scale> <data.libsvm | @dataset> ..."
             );
             return ExitCode::from(2);
         }
@@ -85,11 +91,44 @@ fn cmd_features(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_schedule(args: &[String]) -> Result<(), String> {
-    let source = args.first().ok_or("schedule: missing data source")?;
-    let strategy = parse_strategy(args.get(1))?;
-    let (t, _) = load(source)?;
-    let report = LayoutScheduler::with_strategy(strategy).select_only(&t);
-    println!("{report}");
+    let reactive = args.iter().any(|a| a == "--reactive");
+    let pos: Vec<&String> = args.iter().filter(|a| a.as_str() != "--reactive").collect();
+    let source = pos.first().ok_or("schedule: missing data source")?;
+    let strategy = parse_strategy(pos.get(1).copied())?;
+    let (t, y) = load(source)?;
+    let scheduler = LayoutScheduler::with_strategy(strategy);
+    if !reactive {
+        let report = scheduler.select_only(&t);
+        println!("{report}");
+        return Ok(());
+    }
+
+    // Reactive: train with telemetry and let measured SMSV throughput
+    // override the up-front choice mid-SMO. The kernel cache is disabled
+    // so every iteration exercises the layout under observation.
+    let params = SmoParams { kernel: KernelKind::Linear, cache_bytes: 0, ..Default::default() };
+    let start = Instant::now();
+    let (_, report) =
+        ReactiveScheduler::new(scheduler).train(&t, &y, &params).map_err(|e| e.to_string())?;
+    let secs = start.elapsed().as_secs_f64();
+    println!("{}", report.initial);
+    for s in &report.switches {
+        println!(
+            "re-scheduled @ iteration {}: {} -> {} (measured {:.3e} s/call, target est {:.3e})",
+            s.at_iteration,
+            s.from,
+            s.to,
+            s.measured_secs_per_call,
+            s.estimated_target_secs_per_call
+        );
+    }
+    println!(
+        "final format: {} after {} iterations in {secs:.3}s ({} mid-training switches)",
+        report.final_format,
+        report.stats.iterations,
+        report.switches.len()
+    );
+    println!("telemetry: {}", report.telemetry.to_json());
     Ok(())
 }
 
@@ -102,8 +141,8 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
 
     let params = SmoParams { kernel: KernelKind::Linear, ..Default::default() };
     let start = Instant::now();
-    let (model, stats) = dls::svm::train_with_stats(scheduled.matrix(), &y, &params)
-        .map_err(|e| e.to_string())?;
+    let (model, stats) =
+        dls::svm::train_with_stats(scheduled.matrix(), &y, &params).map_err(|e| e.to_string())?;
     let secs = start.elapsed().as_secs_f64();
 
     let preds: Vec<f64> = (0..t.rows()).map(|i| model.predict_label(&t.row_sparse(i))).collect();
@@ -143,6 +182,36 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let source = args.first().ok_or("stats: missing data source")?;
+    let strategy = parse_strategy(args.get(1))?;
+    let iters: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let (t, y) = load(source)?;
+    let report = LayoutScheduler::with_strategy(strategy).select_only(&t);
+    println!("scheduled format: {} ({})", report.chosen, report.reason);
+
+    let counters = SmsvCounters::shared();
+    let m = InstrumentedMatrix::new(AnyMatrix::from_triplets(report.chosen, &t), counters.clone());
+    let mut monitor = KernelMonitor::new(counters);
+    let params = SmoParams {
+        kernel: KernelKind::Linear,
+        tolerance: 1e-12,
+        max_iterations: iters,
+        cache_bytes: 0,
+        ..Default::default()
+    };
+    let (_, stats) = dls::svm::train_with_stats(&m, &y, &params).map_err(|e| e.to_string())?;
+    monitor.tick();
+    let snap = monitor.snapshot();
+    println!("{} SMO iterations, {} SMSV calls\n", stats.iterations, stats.smsv_count);
+    println!("{}", TelemetrySnapshot::csv_header());
+    for row in snap.to_csv_rows() {
+        println!("{row}");
+    }
+    println!("\n{}", snap.to_json());
+    Ok(())
+}
+
 fn cmd_scale(args: &[String]) -> Result<(), String> {
     let input = args.first().ok_or("scale: missing input file")?;
     let output = args.get(1).ok_or("scale: missing output file")?;
@@ -155,8 +224,7 @@ fn cmd_scale(args: &[String]) -> Result<(), String> {
     let ds = dls_data::libsvm::read(BufReader::new(file)).map_err(|e| e.to_string())?;
     let scaler = FeatureScaler::fit(&ds.matrix, range);
     let scaled = scaler.transform(&ds.matrix);
-    let mut out =
-        std::fs::File::create(output).map_err(|e| format!("create {output}: {e}"))?;
+    let mut out = std::fs::File::create(output).map_err(|e| format!("create {output}: {e}"))?;
     dls_data::libsvm::write(&mut out, &scaled, &ds.labels).map_err(|e| e.to_string())?;
     println!("scaled {} rows x {} cols -> {output}", scaled.rows(), scaled.cols());
     Ok(())

@@ -41,15 +41,16 @@ pub use dls_svm as svm;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use dls_core::{
-        CostModelSelector, EmpiricalSelector, LayoutScheduler, RuleBasedSelector, ScheduledMatrix,
-        SelectionStrategy,
+        CostModelSelector, EmpiricalSelector, FixedSelector, FormatScore, FormatSelector,
+        KernelMonitor, LayoutScheduler, ReactiveConfig, ReactiveReport, ReactiveScheduler,
+        RuleBasedSelector, ScheduledMatrix, SelectionReport, SelectionStrategy, TelemetrySnapshot,
     };
     pub use dls_data::{controlled, specs, synth::generate, DatasetSpec};
     pub use dls_dnn::{Network, SgdConfig, Trainer};
     pub use dls_hw::{Platform, PriceModel};
     pub use dls_sparse::{
         AnyMatrix, CooMatrix, CsrMatrix, DenseMatrix, DiaMatrix, EllMatrix, Format,
-        MatrixFeatures, MatrixFormat, SparseVec, TripletMatrix,
+        InstrumentedMatrix, MatrixFeatures, MatrixFormat, SmsvCounters, SparseVec, TripletMatrix,
     };
     pub use dls_svm::{train, KernelKind, SmoParams, SvmModel};
 }

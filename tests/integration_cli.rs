@@ -76,8 +76,7 @@ fn scale_round_trips_a_file() {
     let input = dir.join("dls_cli_scale_in.libsvm");
     let output = dir.join("dls_cli_scale_out.libsvm");
     std::fs::write(&input, "1 1:2 2:10\n-1 1:6 2:0.5\n").unwrap();
-    let (ok, out, err) =
-        run(&["scale", input.to_str().unwrap(), output.to_str().unwrap(), "01"]);
+    let (ok, out, err) = run(&["scale", input.to_str().unwrap(), output.to_str().unwrap(), "01"]);
     assert!(ok, "{err}");
     assert!(out.contains("scaled 2 rows"), "{out}");
     let scaled = std::fs::read_to_string(&output).unwrap();

@@ -27,14 +27,10 @@ fn full_pipeline_on_all_table6_datasets() {
             "{name}: scheduler must pick a basic format"
         );
 
-        let params = SmoParams {
-            kernel: KernelKind::Linear,
-            max_iterations: 20_000,
-            ..Default::default()
-        };
-        let (model, stats) =
-            dls::svm::train_with_stats(scheduled.matrix(), &labels, &params)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let params =
+            SmoParams { kernel: KernelKind::Linear, max_iterations: 20_000, ..Default::default() };
+        let (model, stats) = dls::svm::train_with_stats(scheduled.matrix(), &labels, &params)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(stats.iterations > 0, "{name}");
 
         let preds: Vec<f64> =
@@ -55,8 +51,8 @@ fn scheduled_format_is_result_invariant() {
     let params = SmoParams { kernel: KernelKind::Linear, ..Default::default() };
 
     let scheduled = LayoutScheduler::new().schedule(&data);
-    let fixed = LayoutScheduler::with_strategy(SelectionStrategy::Fixed(Format::Csr))
-        .schedule(&data);
+    let fixed =
+        LayoutScheduler::with_strategy(SelectionStrategy::Fixed(Format::Csr)).schedule(&data);
 
     let (m1, s1) = dls::svm::train_with_stats(scheduled.matrix(), &labels, &params).unwrap();
     let (m2, s2) = dls::svm::train_with_stats(fixed.matrix(), &labels, &params).unwrap();
@@ -83,11 +79,8 @@ fn gaussian_kernel_through_scheduler() {
     }
     let t = t.compact();
     let scheduled = LayoutScheduler::new().schedule(&t);
-    let params = SmoParams {
-        kernel: KernelKind::Gaussian { gamma: 1.0 },
-        c: 10.0,
-        ..Default::default()
-    };
+    let params =
+        SmoParams { kernel: KernelKind::Gaussian { gamma: 1.0 }, c: 10.0, ..Default::default() };
     let model = dls::svm::train(scheduled.matrix(), &labels, &params).unwrap();
     for i in 0..40 {
         assert_eq!(model.predict_label(&t.row_sparse(i)), labels[i], "ring point {i}");
@@ -102,17 +95,14 @@ fn baseline_agrees_with_adaptive_pipeline() {
     let data = generate(&spec, 5);
     let labels = linear_teacher_labels(&data, 0.0, 5);
 
-    let base_params = dls::baseline::LibsvmLikeParams {
-        kernel: KernelKind::Linear,
-        ..Default::default()
-    };
+    let base_params =
+        dls::baseline::LibsvmLikeParams { kernel: KernelKind::Linear, ..Default::default() };
     let (base_model, base_stats) =
         dls::baseline::train_libsvm_like(&data, &labels, &base_params).unwrap();
 
     let scheduled = LayoutScheduler::new().schedule(&data);
     let params = SmoParams { kernel: KernelKind::Linear, ..Default::default() };
-    let (model, stats) =
-        dls::svm::train_with_stats(scheduled.matrix(), &labels, &params).unwrap();
+    let (model, stats) = dls::svm::train_with_stats(scheduled.matrix(), &labels, &params).unwrap();
 
     assert_eq!(base_stats.iterations, stats.iterations);
     for i in 0..data.rows() {

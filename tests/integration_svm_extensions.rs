@@ -24,12 +24,8 @@ fn svr_trains_on_scheduled_layout() {
     }
     let t = t.compact();
     let scheduled = LayoutScheduler::new().schedule(&t);
-    let params = SvrParams {
-        kernel: KernelKind::Linear,
-        c: 100.0,
-        epsilon: 0.05,
-        ..Default::default()
-    };
+    let params =
+        SvrParams { kernel: KernelKind::Linear, c: 100.0, epsilon: 0.05, ..Default::default() };
     let (model, stats) = train_svr(scheduled.matrix(), &y, &params).unwrap();
     assert!(stats.converged);
     for i in 0..24 {
@@ -45,10 +41,7 @@ fn model_persistence_round_trip_via_file() {
     let data = generate(&spec, 11);
     let labels = linear_teacher_labels(&data, 0.0, 11);
     let scheduled = LayoutScheduler::new().schedule(&data);
-    let params = SmoParams {
-        kernel: KernelKind::Gaussian { gamma: 0.3 },
-        ..Default::default()
-    };
+    let params = SmoParams { kernel: KernelKind::Gaussian { gamma: 0.3 }, ..Default::default() };
     let model = dls::svm::train(scheduled.matrix(), &labels, &params).unwrap();
 
     let path = std::env::temp_dir().join("dls_roundtrip.model");
@@ -114,9 +107,8 @@ fn preprocessing_pipeline_end_to_end() {
         ..Default::default()
     };
     let model = dls::svm::train(scheduled.matrix(), &split.train_y, &params).unwrap();
-    let preds: Vec<f64> = (0..test_x.rows())
-        .map(|i| model.predict_label(&test_x.row_sparse(i)))
-        .collect();
+    let preds: Vec<f64> =
+        (0..test_x.rows()).map(|i| model.predict_label(&test_x.row_sparse(i))).collect();
     let acc = dls::svm::accuracy(&preds, &split.test_y);
     assert!(acc > 0.75, "held-out accuracy {acc}");
 }

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box` and the `criterion_group!` / `criterion_main!`
+//! macros — backed by a simple median-of-samples wall-clock timer with
+//! plain-text output. No statistics engine, plotting, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benched code.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id from a function name + parameter.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{function}/{parameter}") }
+    }
+
+    /// Id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Throughput annotation (printed, not analysed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-iteration timing harness handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median seconds per iteration of the last `iter` call.
+    last_median: f64,
+}
+
+impl Bencher {
+    /// Times `f`, collecting `samples` samples of one call each (after one
+    /// warm-up call) and recording the median.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        black_box(f());
+        let mut times: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        self.last_median = times[times.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets a target measurement time (accepted for API compatibility; the
+    /// sample count drives measurement here).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benches `f` under `id`.
+    pub fn bench_function(&mut self, id: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(label, self.sample_size, self.throughput, f);
+        let _ = &self.criterion;
+    }
+
+    /// Benches `f` under `id` with an input passed through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(label, self.sample_size, self.throughput, |b| f(b, input));
+        let _ = &self.criterion;
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    label: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { samples, last_median: f64::NAN };
+    f(&mut b);
+    let per_iter = b.last_median;
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            println!(
+                "bench {label:<48} {per_iter:>12.3e} s/iter  {:>12.3e} elem/s",
+                n as f64 / per_iter
+            );
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            println!(
+                "bench {label:<48} {per_iter:>12.3e} s/iter  {:>12.3e} B/s",
+                n as f64 / per_iter
+            );
+        }
+        _ => println!("bench {label:<48} {per_iter:>12.3e} s/iter"),
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_samples;
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size, throughput: None }
+    }
+
+    /// Benches a standalone function.
+    pub fn bench_function(&mut self, name: impl std::fmt::Display, f: impl FnMut(&mut Bencher)) {
+        run_one(name.to_string(), self.default_samples, None, f);
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

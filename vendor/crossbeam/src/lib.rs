@@ -1,0 +1,95 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements `crossbeam::thread::scope` — the only crossbeam API the
+//! workspace uses — as a thin adapter over `std::thread::scope` (stable
+//! since Rust 1.63). The crossbeam spawn closure receives a `&Scope`
+//! argument (unused by all call sites, which write `|_|`), and `scope`
+//! returns a `Result` that the call sites `.expect(..)`.
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Error payload of a panicked scope: the panic value of the first
+    /// panicking worker.
+    pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A scope handle passed to spawn closures.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped worker.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the worker and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a worker inside the scope. The closure receives the scope
+        /// itself (crossbeam's signature), enabling nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be spawned;
+    /// all workers are joined before `scope` returns.
+    ///
+    /// Unlike crossbeam, a panicking *unjoined* worker propagates the panic
+    /// here rather than surfacing as `Err` — every call site in this
+    /// workspace treats `Err` as fatal (`.expect`), so the behaviours match
+    /// where it matters.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> =
+                data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn workers_can_write_disjoint_chunks() {
+        let mut out = vec![0usize; 8];
+        let (a, b) = out.split_at_mut(4);
+        crate::thread::scope(|s| {
+            s.spawn(move |_| a.fill(1));
+            s.spawn(move |_| b.fill(2));
+        })
+        .unwrap();
+        assert_eq!(out, vec![1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap()).join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+}

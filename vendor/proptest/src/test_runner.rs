@@ -1,0 +1,74 @@
+//! Deterministic case runner and configuration.
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic RNG for test-case generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator deterministically from a test name.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name so each property gets its own stream.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs `cases` generated cases of one property. The callback returns
+/// `false` when the case was rejected by `prop_assume!` (it still counts
+/// against the case budget, matching this shim's simple semantics).
+pub fn run_cases(name: &str, config: ProptestConfig, mut case: impl FnMut(&mut TestRng) -> bool) {
+    let mut rng = TestRng::from_name(name);
+    let mut executed = 0u32;
+    for _ in 0..config.cases {
+        if case(&mut rng) {
+            executed += 1;
+        }
+    }
+    // Guard against assume-rejecting every single case silently.
+    assert!(
+        executed > 0 || config.cases == 0,
+        "property {name}: every generated case was rejected by prop_assume!"
+    );
+}
