@@ -24,6 +24,7 @@ pub mod bandwidth;
 pub mod cost;
 pub mod decision;
 pub mod empirical;
+pub mod json;
 pub mod machine;
 pub mod monitor;
 pub mod reactive;

@@ -27,6 +27,14 @@ pub trait FormatSelector: Send + Sync {
     fn select(&self, t: &TripletMatrix, f: &MatrixFeatures) -> SelectionReport;
 }
 
+/// Boxed selectors forward, so `SelectionStrategy::selector()`'s result can
+/// be wrapped directly (e.g. by [`crate::TuningCache`]).
+impl<T: FormatSelector + ?Sized> FormatSelector for Box<T> {
+    fn select(&self, t: &TripletMatrix, f: &MatrixFeatures) -> SelectionReport {
+        (**self).select(t, f)
+    }
+}
+
 /// Which built-in selection policy the scheduler runs.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum SelectionStrategy {

@@ -8,17 +8,19 @@
 //! (e.g. minibatches or chunked loads of one corpus) skips re-selection —
 //! which matters most for the empirical strategy, whose probe is costly.
 
-use crate::report::SelectionReport;
+use crate::json::{self, JsonValue};
+use crate::report::{FormatScore, SelectionReport};
 use crate::scheduler::FormatSelector;
-use dls_sparse::{MatrixFeatures, TripletMatrix};
+use dls_sparse::{Format, MatrixFeatures, TripletMatrix};
 use std::collections::HashMap;
+use std::path::Path;
 
 /// Quantised structural fingerprint of a matrix.
 ///
 /// Continuous parameters are bucketed on a log/linear grid coarse enough
 /// that "the same dataset, resampled" collides, and fine enough that
 /// different Table V datasets do not.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FeatureFingerprint {
     /// log2 bucket of the row count.
     m_log2: u32,
@@ -105,6 +107,160 @@ impl<S: FormatSelector> TuningCache<S> {
         self.entries.insert(key, report.clone());
         report
     }
+
+    /// Serialises the fingerprint → report map as a JSON document, so a
+    /// tuning run survives the process (OSKI's persistent tuning database).
+    /// Hit/miss counters are runtime statistics and are not persisted.
+    pub fn to_json(&self) -> String {
+        // Deterministic output: sort by fingerprint fields, not map order.
+        let mut entries: Vec<(&FeatureFingerprint, &SelectionReport)> =
+            self.entries.iter().collect();
+        entries.sort_by_key(|(fp, _)| **fp);
+        let body: Vec<String> = entries
+            .into_iter()
+            .map(|(fp, report)| {
+                format!(
+                    "{{\"fingerprint\":{},\"report\":{}}}",
+                    fingerprint_json(fp),
+                    report_json(report)
+                )
+            })
+            .collect();
+        format!("{{\"version\":1,\"entries\":[{}]}}", body.join(","))
+    }
+
+    /// Merges entries from a JSON document produced by
+    /// [`TuningCache::to_json`] into this cache, returning how many entries
+    /// were loaded. Existing entries with the same fingerprint are replaced.
+    pub fn load_json(&mut self, doc: &str) -> Result<usize, String> {
+        let v = json::parse(doc)?;
+        match v.req("version")?.as_u64() {
+            Some(1) => {}
+            other => return Err(format!("unsupported tuning-cache version {other:?}")),
+        }
+        let entries = v.req("entries")?.as_arr().ok_or("\"entries\" must be an array")?;
+        let mut loaded = 0usize;
+        for e in entries {
+            let fp = parse_fingerprint(e.req("fingerprint")?)?;
+            let report = parse_report(e.req("report")?)?;
+            self.entries.insert(fp, report);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+
+    /// Writes the cache to a file (see [`TuningCache::to_json`]).
+    pub fn save_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Loads and merges entries from a file written by
+    /// [`TuningCache::save_file`]. Returns the number of entries loaded.
+    pub fn load_file(&mut self, path: impl AsRef<Path>) -> Result<usize, String> {
+        let doc = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("read {}: {e}", path.as_ref().display()))?;
+        self.load_json(&doc)
+    }
+}
+
+fn fingerprint_json(fp: &FeatureFingerprint) -> String {
+    format!(
+        concat!(
+            "{{\"m_log2\":{},\"n_log2\":{},\"nnz_log2\":{},\"density_pct\":{},",
+            "\"ndig_log2\":{},\"ell_padding_20th\":{},\"dispersion_log2\":{}}}"
+        ),
+        fp.m_log2,
+        fp.n_log2,
+        fp.nnz_log2,
+        fp.density_pct,
+        fp.ndig_log2,
+        fp.ell_padding_20th,
+        fp.dispersion_log2,
+    )
+}
+
+fn parse_fingerprint(v: &JsonValue) -> Result<FeatureFingerprint, String> {
+    let u32_of = |key: &str| -> Result<u32, String> {
+        v.req(key)?.as_u64().map(|x| x as u32).ok_or_else(|| format!("\"{key}\" must be a number"))
+    };
+    Ok(FeatureFingerprint {
+        m_log2: u32_of("m_log2")?,
+        n_log2: u32_of("n_log2")?,
+        nnz_log2: u32_of("nnz_log2")?,
+        density_pct: u32_of("density_pct")? as u8,
+        ndig_log2: u32_of("ndig_log2")?,
+        ell_padding_20th: u32_of("ell_padding_20th")? as u8,
+        dispersion_log2: u32_of("dispersion_log2")?,
+    })
+}
+
+fn report_json(r: &SelectionReport) -> String {
+    let f = &r.features;
+    let scores: Vec<String> = r
+        .scores
+        .iter()
+        .map(|s| format!("[{},{}]", json::escape(s.format.name()), json::number(s.score)))
+        .collect();
+    format!(
+        concat!(
+            "{{\"chosen\":{},\"reason\":{},\"scores\":[{}],",
+            "\"features\":{{\"m\":{},\"n\":{},\"nnz\":{},\"ndig\":{},\"dnnz\":{},",
+            "\"mdim\":{},\"adim\":{},\"vdim\":{},\"density\":{}}}}}"
+        ),
+        json::escape(r.chosen.name()),
+        json::escape(&r.reason),
+        scores.join(","),
+        f.m,
+        f.n,
+        f.nnz,
+        f.ndig,
+        json::number(f.dnnz),
+        f.mdim,
+        json::number(f.adim),
+        json::number(f.vdim),
+        json::number(f.density),
+    )
+}
+
+fn parse_format(v: &JsonValue) -> Result<Format, String> {
+    v.as_str().ok_or("format must be a string")?.parse::<Format>()
+}
+
+fn parse_report(v: &JsonValue) -> Result<SelectionReport, String> {
+    let chosen = parse_format(v.req("chosen")?)?;
+    let reason = v.req("reason")?.as_str().ok_or("\"reason\" must be a string")?.to_string();
+    let scores = v
+        .req("scores")?
+        .as_arr()
+        .ok_or("\"scores\" must be an array")?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or("score must be a pair")?;
+            Ok(FormatScore::new(
+                parse_format(&pair[0])?,
+                pair[1].as_f64().ok_or("score must be a number")?,
+            ))
+        })
+        .collect::<Result<Vec<FormatScore>, String>>()?;
+    let fv = v.req("features")?;
+    let usize_of = |key: &str| -> Result<usize, String> {
+        fv.req(key)?.as_usize().ok_or_else(|| format!("\"{key}\" must be a count"))
+    };
+    let f64_of = |key: &str| -> Result<f64, String> {
+        fv.req(key)?.as_f64().ok_or_else(|| format!("\"{key}\" must be a number"))
+    };
+    let features = MatrixFeatures {
+        m: usize_of("m")?,
+        n: usize_of("n")?,
+        nnz: usize_of("nnz")?,
+        ndig: usize_of("ndig")?,
+        dnnz: f64_of("dnnz")?,
+        mdim: usize_of("mdim")?,
+        adim: f64_of("adim")?,
+        vdim: f64_of("vdim")?,
+        density: f64_of("density")?,
+    };
+    Ok(SelectionReport { chosen, features, scores, reason })
 }
 
 #[cfg(test)]
@@ -159,6 +315,66 @@ mod tests {
         assert_eq!(r2.features.nnz, t2.nnz());
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_entries() {
+        let mut cache = TuningCache::new(RuleBasedSelector::default());
+        for name in ["adult", "trefethen", "mnist", "connect-4"] {
+            let t = generate(DatasetSpec::by_name(name).unwrap(), 1);
+            let f = MatrixFeatures::from_triplets(&t);
+            let _ = cache.select(&t, &f);
+        }
+        let doc = cache.to_json();
+        assert!(doc.starts_with("{\"version\":1,"));
+
+        // A fresh cache over a *different* selector still replays the
+        // persisted decisions: hits now come from disk, not re-selection.
+        let mut restored = TuningCache::new(crate::cost::CostModelSelector::default());
+        assert_eq!(restored.load_json(&doc).unwrap(), 4);
+        assert_eq!(restored.len(), 4);
+        let t = generate(DatasetSpec::by_name("trefethen").unwrap(), 2);
+        let f = MatrixFeatures::from_triplets(&t);
+        let r = restored.select(&t, &f);
+        assert_eq!(restored.hits(), 1, "restored entry must hit");
+        assert!(r.reason.contains("memoized"));
+        assert!(r.reason.contains("diagonal"), "decision replays the rule reason: {}", r.reason);
+        // Scores and exact float features survive the round trip.
+        let doc2 = restored.to_json();
+        assert_eq!(doc, doc2, "serialisation is canonical");
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let dir = std::env::temp_dir().join("dls_tuning_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        let mut cache = TuningCache::new(RuleBasedSelector::default());
+        let t = generate(DatasetSpec::by_name("adult").unwrap(), 1);
+        let f = MatrixFeatures::from_triplets(&t);
+        let _ = cache.select(&t, &f);
+        cache.save_file(&path).unwrap();
+
+        let mut other = TuningCache::new(RuleBasedSelector::default());
+        assert_eq!(other.load_file(&path).unwrap(), 1);
+        let _ = other.select(&t, &f);
+        assert_eq!(other.hits(), 1);
+        assert_eq!(other.misses(), 0);
+        std::fs::remove_file(&path).unwrap();
+        assert!(other.load_file(&path).is_err(), "missing file is a clean error");
+    }
+
+    #[test]
+    fn load_rejects_malformed_documents() {
+        let mut cache = TuningCache::new(RuleBasedSelector::default());
+        assert!(cache.load_json("not json").is_err());
+        assert!(cache.load_json("{\"version\":99,\"entries\":[]}").is_err());
+        assert!(cache.load_json("{\"version\":1}").is_err());
+        assert!(cache.load_json("{\"version\":1,\"entries\":[{\"fingerprint\":{}}]}").is_err());
+        assert!(
+            cache.is_empty(),
+            "failed loads must not partially corrupt the map beyond parsed entries"
+        );
     }
 
     #[test]

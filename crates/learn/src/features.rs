@@ -1,0 +1,88 @@
+//! Fixed-width feature vector fed to the decision tree.
+//!
+//! The tree splits on axis-aligned thresholds, so each feature is a single
+//! scalar derived from the nine influencing parameters (Table IV). The set
+//! deliberately includes every quantity the hand-written rules test —
+//! diagonal fill, density, ELL padding, the index of dispersion — so the
+//! trained tree can rediscover the rules where they are right and refine
+//! them where they are not. Counts are log-scaled: format choice depends on
+//! *ratios* of structural quantities, not absolute sizes.
+
+use dls_sparse::MatrixFeatures;
+
+/// Number of scalar features the tree sees.
+pub const NUM_FEATURES: usize = 10;
+
+/// Names of the features, index-aligned with [`featurize`]'s output. These
+/// are persisted in model files and checked on load, so a model trained
+/// against one feature schema cannot silently mis-predict under another.
+pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
+    "log2_m",
+    "log2_n",
+    "log2_nnz",
+    "density",
+    "log2_ndig",
+    "dia_fill",
+    "ndig_frac",
+    "ell_padding",
+    "log2_vdim",
+    "log2_dispersion",
+];
+
+/// Maps the nine influencing parameters to the tree's feature vector.
+pub fn featurize(f: &MatrixFeatures) -> [f64; NUM_FEATURES] {
+    let log2p = |v: f64| (v + 1.0).log2();
+    let min_mn = f.m.min(f.n) as f64;
+    let dia_fill = if min_mn > 0.0 { f.dnnz / min_mn } else { 0.0 };
+    let ndig_frac = if f.m + f.n > 1 { f.ndig as f64 / (f.m + f.n - 1) as f64 } else { 0.0 };
+    let dispersion = if f.adim > 0.0 { f.vdim / f.adim } else { 0.0 };
+    [
+        log2p(f.m as f64),
+        log2p(f.n as f64),
+        log2p(f.nnz as f64),
+        f.density,
+        log2p(f.ndig as f64),
+        dia_fill,
+        ndig_frac,
+        f.ell_padding_ratio(),
+        log2p(f.vdim),
+        log2p(dispersion),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_sparse::TripletMatrix;
+
+    #[test]
+    fn names_align_with_vector() {
+        assert_eq!(FEATURE_NAMES.len(), NUM_FEATURES);
+        let t = TripletMatrix::from_dense(4, 4, &[1.0; 16]);
+        let x = featurize(&MatrixFeatures::from_triplets(&t));
+        assert_eq!(x.len(), NUM_FEATURES);
+        // Dense 4x4: density 1.0 at index 3, zero padding at index 7.
+        assert_eq!(x[3], 1.0);
+        assert_eq!(x[7], 0.0);
+        assert!((x[0] - (5.0f64).log2()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn featurize_is_finite_on_degenerate_matrices() {
+        for t in [TripletMatrix::new(0, 0), TripletMatrix::new(3, 3)] {
+            let x = featurize(&MatrixFeatures::from_triplets(&t));
+            assert!(x.iter().all(|v| v.is_finite()), "{x:?}");
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_has_high_dia_fill() {
+        let mut t = TripletMatrix::new(8, 8);
+        for i in 0..8 {
+            t.push(i, i, 1.0);
+        }
+        let x = featurize(&MatrixFeatures::from_triplets(&t.compact()));
+        assert_eq!(x[5], 1.0, "one full diagonal: dnnz / min(M,N) = 1");
+        assert!(x[6] < 0.1, "1 of 15 possible diagonals occupied");
+    }
+}

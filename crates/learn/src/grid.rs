@@ -1,0 +1,258 @@
+//! Training-set grid over the nine influencing parameters.
+//!
+//! Six matrix families, each sweeping the structural axis that drives one
+//! of the paper's format trade-offs (Figures 2–4 plus density):
+//!
+//! * **dense** — density sweep across the DEN/CSR crossover (~0.5 under the
+//!   flat-bandwidth storage model),
+//! * **uniform** — perfectly uniform row lengths, ELL's best case,
+//! * **vdim** — fixed size/nnz with growing row-length variance (Figure 4),
+//! * **mdim** — fixed nnz concentrated in ever-wider rows (Figure 3),
+//! * **diag** — nnz spread over a growing number of diagonals (Figure 2),
+//! * **band** — nearly-full banded matrices (trefethen-style): high
+//!   per-diagonal fill with edge-truncated rows, covering the
+//!   high-dispersion corner the partial-fill diag family cannot reach.
+//!
+//! Every base point is jittered into a few seeded variants so thresholds
+//! are learned from a cloud of nearby matrices rather than single points.
+//! Matrices are deliberately small (≤ 384 rows): labelling materialises all
+//! five formats and optionally times real SMSV sweeps per case.
+
+use dls_data::controlled::{diag_matrix, mdim_matrix, vdim_matrix};
+use dls_data::specs::{DatasetSpec, Structure};
+use dls_data::synth::generate;
+use dls_sparse::TripletMatrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Grid generation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct GridConfig {
+    /// Master seed; every case derives its own seed from this.
+    pub seed: u64,
+    /// Jittered variants per base grid point.
+    pub variants: usize,
+    /// Quick mode keeps a seeded random subset of roughly a third of the
+    /// grid — enough to exercise the full pipeline in CI smoke runs.
+    pub quick: bool,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        Self { seed: 0x1eaf, variants: 2, quick: false }
+    }
+}
+
+/// One grid case: a generated matrix plus a human-readable description used
+/// in training logs and disagreement reports.
+#[derive(Debug, Clone)]
+pub struct GridCase {
+    /// Family and swept-parameter description, e.g. `diag[ndig=24]#1`.
+    pub desc: String,
+    /// The generated matrix.
+    pub matrix: TripletMatrix,
+}
+
+/// `m × n` matrix where every entry is present independently with
+/// probability `density`.
+fn dense_matrix(m: usize, n: usize, density: f64, rng: &mut StdRng) -> TripletMatrix {
+    let mut t = TripletMatrix::with_capacity(m, n, (m as f64 * n as f64 * density) as usize);
+    for i in 0..m {
+        for j in 0..n {
+            if rng.gen::<f64>() < density {
+                t.push(i, j, 1.0 - rng.gen::<f64>());
+            }
+        }
+    }
+    t.compact()
+}
+
+/// Every row holds exactly `row_nnz` non-zeros in random columns — zero
+/// row-length variance, the pattern ELL is built for.
+fn uniform_rows(m: usize, n: usize, row_nnz: usize, rng: &mut StdRng) -> TripletMatrix {
+    let cols: Vec<usize> = (0..n).collect();
+    let mut t = TripletMatrix::with_capacity(m, n, m * row_nnz);
+    for i in 0..m {
+        for &j in cols.choose_multiple(rng, row_nnz) {
+            t.push(i, j, 1.0 - rng.gen::<f64>());
+        }
+    }
+    t.compact()
+}
+
+/// Square banded matrix with `ndig` diagonals each filled to roughly
+/// `fill` of its capacity — the structure of the trefethen twin. Edge
+/// truncation plus the unfilled tail give row lengths their variance.
+fn band_matrix(m: usize, ndig: usize, fill: f64, seed: u64) -> TripletMatrix {
+    let spec = DatasetSpec {
+        name: "band",
+        application: "synthetic",
+        m,
+        n: m,
+        nnz: (m as f64 * ndig as f64 * fill) as u64,
+        ndig: ndig as u64,
+        dnnz: m as f64 * fill,
+        mdim: ndig,
+        adim: ndig as f64 * fill,
+        vdim: 0.0,
+        density: ndig as f64 * fill / m as f64,
+        structure: Structure::Diagonal { ndig },
+    };
+    generate(&spec, seed)
+}
+
+/// Jitters `v` by up to ±`pct` percent (at least ±1 when `v` is small).
+fn jitter(v: usize, pct: usize, rng: &mut StdRng) -> usize {
+    let span = (v * pct / 100).max(1);
+    let lo = v.saturating_sub(span).max(1);
+    rng.gen_range(lo..=v + span)
+}
+
+/// Generates the full (or quick) training grid. Deterministic for a given
+/// config: same seed, same matrices, in the same order.
+pub fn training_grid(cfg: &GridConfig) -> Vec<GridCase> {
+    let mut cases = Vec::new();
+    let mut case_seed = cfg.seed;
+    let mut push = |desc: String, build: &mut dyn FnMut(&mut StdRng) -> TripletMatrix| {
+        case_seed = case_seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        cases.push(GridCase { desc, matrix: build(&mut rng) });
+    };
+
+    for v in 0..cfg.variants.max(1) {
+        // Density sweep bracketing the DEN/CSR storage crossover. Sizes
+        // deliberately overlap the diag family's (up to 384 rows) so no
+        // spurious "large matrices are diagonal" split can separate the
+        // training set by size alone.
+        for &(m, n) in &[(32usize, 24usize), (48, 64), (64, 128), (192, 160), (384, 256)] {
+            for &density in &[0.15, 0.35, 0.55, 0.75, 1.0] {
+                push(format!("dense[{m}x{n},d={density}]#{v}"), &mut |rng| {
+                    let m = jitter(m, 10, rng);
+                    let n = jitter(n, 10, rng);
+                    dense_matrix(m, n, density, rng)
+                });
+            }
+        }
+        // Zero-variance rows: ELL territory. The tall 768×48 shape mirrors
+        // Table V's sample-heavy datasets (connect-4 is 67k×126): with
+        // m ≫ n the per-diagonal fill nnz/ndig/n gets as high as a loose
+        // band's, so ELL must win there on structure, not on dia_fill.
+        for &(m, n) in &[(192usize, 96usize), (384, 192), (768, 48)] {
+            for &row_nnz in &[3usize, 12, 16, 36] {
+                push(format!("uniform[{m}x{n},row={row_nnz}]#{v}"), &mut |rng| {
+                    let m = jitter(m, 10, rng);
+                    let n = jitter(n, 10, rng);
+                    uniform_rows(m, n, row_nnz.min(n), rng)
+                });
+            }
+        }
+        // Figure 4: growing row-length variance at fixed size and nnz.
+        for &vd in &[0.0, 5.0, 50.0, 250.0, 1000.0] {
+            push(format!("vdim[384x192,v={vd}]#{v}"), &mut |rng| {
+                let seed = rng.next_u64();
+                vdim_matrix(384, 192, 4608, vd, seed)
+            });
+        }
+        // Figure 3: same nnz concentrated in ever-wider rows.
+        for &md in &[4usize, 32, 128, 256] {
+            push(format!("mdim[256x256,w={md}]#{v}"), &mut |rng| {
+                let seed = rng.next_u64();
+                mdim_matrix(256, 256, 1024, md, seed)
+            });
+        }
+        // Figure 2: nnz spread over a growing number of diagonals. Two base
+        // sizes so the DIA-winning region (low ndig) has enough support on
+        // both sides of the holdout split.
+        for &(m, nnz) in &[(384usize, 768usize), (128, 256)] {
+            for &nd in &[1usize, 2, 4, 16, 64] {
+                push(format!("diag[{m}x{m},ndig={nd}]#{v}"), &mut |rng| {
+                    let seed = rng.next_u64();
+                    diag_matrix(m, m, nnz, nd, seed)
+                });
+            }
+        }
+        // Nearly-full bands (trefethen-style). Unlike the partial-fill diag
+        // family these have high per-diagonal fill and high row-length
+        // dispersion, so DIA's winning region is learned from structure
+        // (dia_fill) rather than from the sweep artefacts of diag_matrix.
+        for &m in &[96usize, 256, 384] {
+            for &nd in &[2usize, 6, 12, 24] {
+                push(format!("band[{m}x{m},ndig={nd}]#{v}"), &mut |rng| {
+                    let seed = rng.next_u64();
+                    band_matrix(m, nd, 0.9, seed)
+                });
+            }
+        }
+    }
+
+    if cfg.quick {
+        // Keep a stratified half: cases are pushed family-by-family along
+        // each sweep, so a stride keeps every family represented across its
+        // whole parameter range (a random subset can drop a format's entire
+        // winning region and wreck the smoke model).
+        return cases.into_iter().step_by(2).collect();
+    }
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_sparse::MatrixFeatures;
+
+    #[test]
+    fn grid_is_deterministic() {
+        let cfg = GridConfig::default();
+        let a = training_grid(&cfg);
+        let b = training_grid(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.desc, y.desc);
+            assert_eq!(x.matrix.entries(), y.matrix.entries());
+        }
+    }
+
+    #[test]
+    fn grid_covers_all_families_with_nonempty_matrices() {
+        let cases = training_grid(&GridConfig::default());
+        assert!(cases.len() >= 60, "full grid has {} cases", cases.len());
+        for fam in ["dense", "uniform", "vdim", "mdim", "diag", "band"] {
+            assert!(cases.iter().any(|c| c.desc.starts_with(fam)), "missing family {fam}");
+        }
+        for c in &cases {
+            assert!(c.matrix.nnz() > 0, "{} generated an empty matrix", c.desc);
+        }
+    }
+
+    #[test]
+    fn quick_grid_is_a_subset_of_the_full_grid() {
+        let full = training_grid(&GridConfig::default());
+        let quick = training_grid(&GridConfig { quick: true, ..Default::default() });
+        assert!(quick.len() >= 12);
+        assert!(quick.len() < full.len());
+        for c in &quick {
+            assert!(full.iter().any(|f| f.desc == c.desc), "{} not in full grid", c.desc);
+        }
+    }
+
+    #[test]
+    fn families_move_the_intended_parameter() {
+        let cases = training_grid(&GridConfig { variants: 1, ..Default::default() });
+        let feat = |prefix: &str| -> Vec<MatrixFeatures> {
+            cases
+                .iter()
+                .filter(|c| c.desc.starts_with(prefix))
+                .map(|c| MatrixFeatures::from_triplets(&c.matrix))
+                .collect()
+        };
+        let diag = feat("diag[384");
+        assert!(diag.windows(2).all(|w| w[0].ndig <= w[1].ndig), "ndig sweeps upward");
+        let vdim = feat("vdim");
+        assert!(vdim.first().unwrap().vdim < vdim.last().unwrap().vdim);
+        let uniform = feat("uniform");
+        assert!(uniform.iter().all(|f| f.vdim < 1e-9), "uniform rows have zero variance");
+        let dense = feat("dense[64x128,d=1]");
+        assert!(dense.iter().all(|f| f.density > 0.99));
+    }
+}

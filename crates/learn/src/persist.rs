@@ -1,0 +1,295 @@
+//! Hand-rolled JSON persistence for trained models.
+//!
+//! Same approach as `TelemetrySnapshot` and the tuning cache: a per-type
+//! writer emitting a versioned document, with parsing delegated to
+//! `dls_core::json`. The document stores the feature schema by name and the
+//! loader rejects models whose schema differs from the running binary's
+//! [`FEATURE_NAMES`] — a model trained against one featurisation must never
+//! silently mis-predict under another.
+//!
+//! ```json
+//! {"version":1,
+//!  "meta":{"seed":7,"grid":"full","samples":80,"measured":61,
+//!          "analytic_fallback":19,"analytic":0},
+//!  "features":["log2_m", ...],
+//!  "params":{"max_depth":8,"min_leaf":3,"min_gain":1e-9},
+//!  "tree":{"split":{"feature":3,"threshold":0.52,
+//!                   "left":{"leaf":{"format":"CSR","counts":[["CSR",12]]}},
+//!                   "right":...}}}
+//! ```
+
+use crate::features::FEATURE_NAMES;
+use crate::tree::{DecisionTree, Node, TreeParams};
+use dls_core::json::{escape, number, parse, JsonValue};
+use dls_sparse::Format;
+use std::path::Path;
+use std::str::FromStr;
+
+/// Document format version this build writes and accepts.
+pub const MODEL_VERSION: u64 = 1;
+
+/// Provenance of a trained model: how its training set was built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelMeta {
+    /// Master seed of the training grid.
+    pub seed: u64,
+    /// Grid flavour: `"full"` or `"quick"`.
+    pub grid: String,
+    /// Total training samples.
+    pub samples: usize,
+    /// Samples labelled by trusted measurement.
+    pub measured: usize,
+    /// Samples where measurement was noisy and the analytic model decided.
+    pub analytic_fallback: usize,
+    /// Samples labelled analytically by request.
+    pub analytic: usize,
+}
+
+/// A trained tree plus its provenance — the unit of persistence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainedModel {
+    /// Training provenance.
+    pub meta: ModelMeta,
+    /// The decision tree itself.
+    pub tree: DecisionTree,
+}
+
+fn node_json(node: &Node, out: &mut String) {
+    match node {
+        Node::Leaf { format, counts } => {
+            out.push_str("{\"leaf\":{\"format\":");
+            out.push_str(&escape(&format.to_string()));
+            out.push_str(",\"counts\":[");
+            for (i, (f, c)) in counts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{},{c}]", escape(&f.to_string())));
+            }
+            out.push_str("]}}");
+        }
+        Node::Split { feature, threshold, left, right } => {
+            out.push_str(&format!(
+                "{{\"split\":{{\"feature\":{feature},\"threshold\":{},\"left\":",
+                number(*threshold)
+            ));
+            node_json(left, out);
+            out.push_str(",\"right\":");
+            node_json(right, out);
+            out.push_str("}}");
+        }
+    }
+}
+
+fn parse_node(v: &JsonValue) -> Result<Node, String> {
+    if let Some(leaf) = v.get("leaf") {
+        let format = parse_format(leaf.req("format")?)?;
+        let mut counts = Vec::new();
+        for pair in leaf.req("counts")?.as_arr().ok_or("counts must be an array")? {
+            let pair = pair.as_arr().ok_or("count entry must be [format, n]")?;
+            if pair.len() != 2 {
+                return Err("count entry must be [format, n]".into());
+            }
+            let f = parse_format(&pair[0])?;
+            let n = pair[1].as_usize().ok_or("count must be a non-negative integer")?;
+            counts.push((f, n));
+        }
+        Ok(Node::Leaf { format, counts })
+    } else if let Some(split) = v.get("split") {
+        let feature = split.req("feature")?.as_usize().ok_or("feature must be an index")?;
+        if feature >= FEATURE_NAMES.len() {
+            return Err(format!("feature index {feature} out of range"));
+        }
+        let threshold = split.req("threshold")?.as_f64().ok_or("threshold must be a number")?;
+        Ok(Node::Split {
+            feature,
+            threshold,
+            left: Box::new(parse_node(split.req("left")?)?),
+            right: Box::new(parse_node(split.req("right")?)?),
+        })
+    } else {
+        Err("node must have a \"leaf\" or \"split\" member".into())
+    }
+}
+
+fn parse_format(v: &JsonValue) -> Result<Format, String> {
+    let name = v.as_str().ok_or("format must be a string")?;
+    Format::from_str(name).map_err(|e| e.to_string())
+}
+
+impl TrainedModel {
+    /// Serialises the model to its versioned JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(&format!("{{\"version\":{MODEL_VERSION},\"meta\":{{"));
+        out.push_str(&format!(
+            "\"seed\":{},\"grid\":{},\"samples\":{},\"measured\":{},\
+             \"analytic_fallback\":{},\"analytic\":{}}}",
+            self.meta.seed,
+            escape(&self.meta.grid),
+            self.meta.samples,
+            self.meta.measured,
+            self.meta.analytic_fallback,
+            self.meta.analytic,
+        ));
+        out.push_str(",\"features\":[");
+        for (i, name) in FEATURE_NAMES.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&escape(name));
+        }
+        out.push_str("],\"params\":{");
+        let p = self.tree.params();
+        out.push_str(&format!(
+            "\"max_depth\":{},\"min_leaf\":{},\"min_gain\":{}",
+            p.max_depth,
+            p.min_leaf,
+            number(p.min_gain)
+        ));
+        out.push_str("},\"tree\":");
+        node_json(self.tree.root(), &mut out);
+        out.push('}');
+        out
+    }
+
+    /// Parses a model document, validating version and feature schema.
+    pub fn from_json(doc: &str) -> Result<Self, String> {
+        let v = parse(doc)?;
+        let version = v.req("version")?.as_u64().ok_or("version must be an integer")?;
+        if version != MODEL_VERSION {
+            return Err(format!(
+                "unsupported model version {version} (this build reads {MODEL_VERSION})"
+            ));
+        }
+        let names = v.req("features")?.as_arr().ok_or("features must be an array")?;
+        let stored: Vec<&str> = names.iter().filter_map(|n| n.as_str()).collect();
+        if stored != FEATURE_NAMES {
+            return Err(format!(
+                "feature schema mismatch: model has {stored:?}, this build expects \
+                 {FEATURE_NAMES:?} — retrain with `dls train-selector`"
+            ));
+        }
+        let m = v.req("meta")?;
+        let meta = ModelMeta {
+            seed: m.req("seed")?.as_u64().ok_or("seed must be an integer")?,
+            grid: m.req("grid")?.as_str().ok_or("grid must be a string")?.to_string(),
+            samples: m.req("samples")?.as_usize().ok_or("samples must be an integer")?,
+            measured: m.req("measured")?.as_usize().ok_or("measured must be an integer")?,
+            analytic_fallback: m
+                .req("analytic_fallback")?
+                .as_usize()
+                .ok_or("analytic_fallback must be an integer")?,
+            analytic: m.req("analytic")?.as_usize().ok_or("analytic must be an integer")?,
+        };
+        let p = v.req("params")?;
+        let params = TreeParams {
+            max_depth: p.req("max_depth")?.as_usize().ok_or("max_depth must be an integer")?,
+            min_leaf: p.req("min_leaf")?.as_usize().ok_or("min_leaf must be an integer")?,
+            min_gain: p.req("min_gain")?.as_f64().ok_or("min_gain must be a number")?,
+        };
+        let root = parse_node(v.req("tree")?)?;
+        Ok(Self { meta, tree: DecisionTree::from_parts(params, root) })
+    }
+
+    /// Writes the model to `path`.
+    pub fn save_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a model from `path`.
+    pub fn load_file(path: impl AsRef<Path>) -> Result<Self, String> {
+        let doc = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("cannot read {}: {e}", path.as_ref().display()))?;
+        Self::from_json(&doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::NUM_FEATURES;
+
+    fn sample_model() -> TrainedModel {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for k in 0..24 {
+            let mut x = [0.0; NUM_FEATURES];
+            x[3] = k as f64 / 23.0; // density
+            x[5] = if k % 2 == 0 { 0.9 } else { 0.1 }; // dia_fill
+            xs.push(x);
+            ys.push(if x[3] > 0.6 {
+                Format::Den
+            } else if x[5] > 0.5 {
+                Format::Dia
+            } else {
+                Format::Csr
+            });
+        }
+        let tree = DecisionTree::train(&xs, &ys, TreeParams::default());
+        TrainedModel {
+            meta: ModelMeta {
+                seed: 7,
+                grid: "full".into(),
+                samples: 24,
+                measured: 20,
+                analytic_fallback: 4,
+                analytic: 0,
+            },
+            tree,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_identity() {
+        let model = sample_model();
+        let doc = model.to_json();
+        let restored = TrainedModel::from_json(&doc).unwrap();
+        assert_eq!(restored, model);
+        // Canonical form: re-serialisation is byte-identical.
+        assert_eq!(restored.to_json(), doc);
+    }
+
+    #[test]
+    fn restored_model_predicts_identically() {
+        let model = sample_model();
+        let restored = TrainedModel::from_json(&model.to_json()).unwrap();
+        for k in 0..50 {
+            let mut x = [0.0; NUM_FEATURES];
+            x[3] = k as f64 / 49.0;
+            x[5] = 1.0 - x[3];
+            assert_eq!(model.tree.predict(&x), restored.tree.predict(&x));
+        }
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let model = sample_model();
+        let path = std::env::temp_dir().join("dls_learn_model_test.json");
+        model.save_file(&path).unwrap();
+        let restored = TrainedModel::load_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(restored, model);
+    }
+
+    #[test]
+    fn load_rejects_bad_documents() {
+        assert!(TrainedModel::from_json("").is_err());
+        assert!(TrainedModel::from_json("{}").is_err());
+        let doc = sample_model().to_json();
+        // Wrong version.
+        let bad = doc.replacen("\"version\":1", "\"version\":99", 1);
+        let err = TrainedModel::from_json(&bad).unwrap_err();
+        assert!(err.contains("version"), "{err}");
+        // Wrong feature schema.
+        let bad = doc.replacen("log2_m", "log3_m", 1);
+        let err = TrainedModel::from_json(&bad).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+        // Unknown format name in a leaf.
+        let bad = doc.replace("\"CSR\"", "\"XYZ\"");
+        assert!(TrainedModel::from_json(&bad).is_err());
+        // Out-of-range feature index.
+        let bad = doc.replacen("\"feature\":", "\"feature\":97", 1);
+        let _ = TrainedModel::from_json(&bad); // must not panic (may err on number juxtaposition)
+    }
+}

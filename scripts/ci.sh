@@ -13,6 +13,13 @@ cargo build --release
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace
 
+echo "==> learned-selector smoke (train + inspect + schedule with it)"
+model="$(mktemp -t dls_selector_XXXXXX.json)"
+trap 'rm -f "$model"' EXIT
+cargo run --release -q --bin dls -- train-selector "$model" --quick --analytic
+cargo run --release -q --bin dls -- selector-info "$model"
+cargo run --release -q --bin dls -- schedule @trefethen "learned:$model"
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -8,12 +8,22 @@
 //!                                                   re-schedule mid-SMO
 //! dls train     <data.libsvm | @dataset> [strategy] schedule + SMO training
 //! dls bench     <data.libsvm | @dataset> [iters]    per-format SMO timing
-//! dls stats     <data.libsvm | @dataset> [strategy] [iters]
-//!                                                   SMSV telemetry snapshot
+//! dls stats     <data.libsvm | @dataset> [strategy] [iters] [--cache <file>]
+//!                                                   SMSV telemetry snapshot;
+//!                                                   --cache persists tuning
+//!                                                   decisions across runs
 //! dls scale     <in.libsvm> <out.libsvm> [01|pm1]   feature scaling
+//! dls train-selector [out.json] [--quick] [--analytic] [--seed N]
+//!                                                   fit a decision-tree model
+//!                                                   on the synthetic grid
+//! dls selector-info <model.json>                    inspect a trained model
 //! ```
 //!
 //! `@name` loads the synthetic twin of a paper dataset (e.g. `@adult`).
+//! Strategies: `rule`, `rule-host`, `cost`, `empirical`, a fixed format
+//! name (`CSR`, …), or `learned[:model.json]` — a decision tree trained by
+//! `dls train-selector` (without a path, a quick analytic model is fitted
+//! in-memory on the spot).
 
 use dls::prelude::*;
 use dls_data::labels::linear_teacher_labels;
@@ -31,9 +41,11 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("scale") => cmd_scale(&args[1..]),
+        Some("train-selector") => cmd_train_selector(&args[1..]),
+        Some("selector-info") => cmd_selector_info(&args[1..]),
         _ => {
             eprintln!(
-                "usage: dls <features|schedule|train|bench|stats|scale> <data.libsvm | @dataset> ..."
+                "usage: dls <features|schedule|train|bench|stats|scale|train-selector|selector-info> ..."
             );
             return ExitCode::from(2);
         }
@@ -79,6 +91,26 @@ fn parse_strategy(arg: Option<&String>) -> Result<SelectionStrategy, String> {
     }
 }
 
+/// Builds the selector behind a strategy argument. `learned[:model.json]`
+/// dispatches to `dls-learn`; everything else goes through the
+/// [`SelectionStrategy`] enum.
+fn build_selector(arg: Option<&String>) -> Result<Box<dyn FormatSelector>, String> {
+    let s = arg.map(String::as_str);
+    if s == Some("learned") {
+        eprintln!(
+            "note: no model path given — fitting a quick analytic model in-memory \
+             (run `dls train-selector` to persist one)"
+        );
+        let cfg =
+            TrainConfig { quick: true, mode: LabelMode::analytic_flat(), ..Default::default() };
+        return Ok(Box::new(LearnedSelector::new(train_selector(&cfg).model)));
+    }
+    if let Some(path) = s.and_then(|x| x.strip_prefix("learned:")) {
+        return Ok(Box::new(LearnedSelector::from_file(path)?));
+    }
+    parse_strategy(arg).map(|st| st.selector())
+}
+
 fn cmd_features(args: &[String]) -> Result<(), String> {
     let source = args.first().ok_or("features: missing data source")?;
     let (t, _) = load(source)?;
@@ -94,9 +126,9 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
     let reactive = args.iter().any(|a| a == "--reactive");
     let pos: Vec<&String> = args.iter().filter(|a| a.as_str() != "--reactive").collect();
     let source = pos.first().ok_or("schedule: missing data source")?;
-    let strategy = parse_strategy(pos.get(1).copied())?;
+    let selector = build_selector(pos.get(1).copied())?;
     let (t, y) = load(source)?;
-    let scheduler = LayoutScheduler::with_strategy(strategy);
+    let scheduler = LayoutScheduler::with_selector(selector);
     if !reactive {
         let report = scheduler.select_only(&t);
         println!("{report}");
@@ -134,9 +166,9 @@ fn cmd_schedule(args: &[String]) -> Result<(), String> {
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
     let source = args.first().ok_or("train: missing data source")?;
-    let strategy = parse_strategy(args.get(1))?;
+    let selector = build_selector(args.get(1))?;
     let (t, y) = load(source)?;
-    let scheduled = LayoutScheduler::with_strategy(strategy).schedule(&t);
+    let scheduled = LayoutScheduler::with_selector(selector).schedule(&t);
     println!("scheduled format: {}", scheduled.format());
 
     let params = SmoParams { kernel: KernelKind::Linear, ..Default::default() };
@@ -183,11 +215,43 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
-    let source = args.first().ok_or("stats: missing data source")?;
-    let strategy = parse_strategy(args.get(1))?;
-    let iters: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let cache_path = args
+        .iter()
+        .position(|a| a == "--cache")
+        .map(|i| args.get(i + 1).cloned().ok_or("stats: --cache needs a file path"))
+        .transpose()?;
+    let pos: Vec<&String> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if a.as_str() == "--cache" {
+                    skip_next = true;
+                    return false;
+                }
+                true
+            })
+            .collect()
+    };
+    let source = pos.first().ok_or("stats: missing data source")?;
+    let iters: usize = pos.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
     let (t, y) = load(source)?;
-    let report = LayoutScheduler::with_strategy(strategy).select_only(&t);
+
+    // The tuning cache wraps whatever selector the strategy names: repeated
+    // runs against the same data skip selection work entirely, and with
+    // --cache the fingerprint -> decision map persists across processes.
+    let mut cache = TuningCache::new(build_selector(pos.get(1).copied())?);
+    if let Some(path) = &cache_path {
+        if std::path::Path::new(path).exists() {
+            let n = cache.load_file(path)?;
+            println!("tuning cache: loaded {n} entries from {path}");
+        }
+    }
+    let features = MatrixFeatures::from_triplets(&t);
+    let report = cache.select(&t, &features);
     println!("scheduled format: {} ({})", report.chosen, report.reason);
 
     let counters = SmsvCounters::shared();
@@ -209,6 +273,134 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         println!("{row}");
     }
     println!("\n{}", snap.to_json());
+    println!(
+        "\ntuning cache: {} entries, {} hits, {} misses this run",
+        cache.len(),
+        cache.hits(),
+        cache.misses()
+    );
+    if let Some(path) = &cache_path {
+        cache.save_file(path).map_err(|e| format!("write {path}: {e}"))?;
+        println!("tuning cache: saved to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_train_selector(args: &[String]) -> Result<(), String> {
+    let quick = args.iter().any(|a| a == "--quick");
+    let analytic = args.iter().any(|a| a == "--analytic");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or("train-selector: --seed needs an integer")
+        })
+        .transpose()?;
+    let out_path = {
+        let mut skip_next = false;
+        args.iter()
+            .find(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if a.as_str() == "--seed" {
+                    skip_next = true;
+                    return false;
+                }
+                !a.starts_with("--")
+            })
+            .cloned()
+            .unwrap_or_else(|| "selector_model.json".to_string())
+    };
+
+    let mut cfg = TrainConfig { quick, ..Default::default() };
+    if let Some(seed) = seed {
+        cfg.seed = seed;
+    }
+    if analytic {
+        cfg.mode = LabelMode::analytic_flat();
+    }
+    println!(
+        "training on the {} grid, {} labels, seed {} ...",
+        if quick { "quick" } else { "full" },
+        if analytic { "analytic" } else { "measured" },
+        cfg.seed
+    );
+    let start = Instant::now();
+    let out = train_selector(&cfg);
+    let secs = start.elapsed().as_secs_f64();
+    let m = &out.model.meta;
+    println!(
+        "labelled {} train + {} holdout matrices in {secs:.1}s \
+         ({} measured, {} analytic fallback, {} analytic)",
+        m.samples,
+        out.holdout.len(),
+        m.measured,
+        m.analytic_fallback,
+        m.analytic
+    );
+    println!(
+        "tree: depth {}, {} leaves, predicts {:?}",
+        out.model.tree.depth(),
+        out.model.tree.n_leaves(),
+        out.model.tree.predictable_formats().iter().map(|f| f.name()).collect::<Vec<_>>()
+    );
+
+    let grade = |name: &str, samples: &[dls::learn::LabelledSample]| {
+        let picks: Vec<Format> = samples.iter().map(|s| out.model.tree.predict(&s.x)).collect();
+        dls::learn::evaluate(name, samples, &picks)
+    };
+    for summary in [grade("train", &out.train), grade("holdout", &out.holdout)] {
+        println!(
+            "{:<8} agreement {:>5.1}%  mean regret {:>6.2}%  max regret {:>6.2}% (n={})",
+            summary.name,
+            summary.agreement * 100.0,
+            summary.mean_regret * 100.0,
+            summary.max_regret * 100.0,
+            summary.n
+        );
+    }
+    out.model.save_file(&out_path).map_err(|e| format!("write {out_path}: {e}"))?;
+    println!("model written to {out_path}");
+    println!("use it with: dls schedule @adult learned:{out_path}");
+    Ok(())
+}
+
+fn cmd_selector_info(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("selector-info: missing model path")?;
+    let model = TrainedModel::load_file(path)?;
+    let m = &model.meta;
+    println!("model: {path}");
+    println!(
+        "trained on {} samples (grid={}, seed={}): {} measured, {} analytic fallback, {} analytic",
+        m.samples, m.grid, m.seed, m.measured, m.analytic_fallback, m.analytic
+    );
+    let p = model.tree.params();
+    println!(
+        "tree: depth {} (max {}), {} leaves, min_leaf {}, min_gain {:e}",
+        model.tree.depth(),
+        p.max_depth,
+        model.tree.n_leaves(),
+        p.min_leaf,
+        p.min_gain
+    );
+    println!(
+        "predictable formats: {}",
+        model.tree.predictable_formats().iter().map(|f| f.name()).collect::<Vec<_>>().join(", ")
+    );
+    println!("\nsplits per feature:");
+    let counts = model.tree.feature_split_counts();
+    let mut ranked: Vec<(usize, &str)> =
+        counts.iter().copied().zip(dls::learn::FEATURE_NAMES).collect();
+    ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(b.1)));
+    for (count, name) in ranked {
+        if count > 0 {
+            println!("  {name:<16} {count}");
+        }
+    }
     Ok(())
 }
 

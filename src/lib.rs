@@ -35,6 +35,7 @@ pub use dls_core as core;
 pub use dls_data as data;
 pub use dls_dnn as dnn;
 pub use dls_hw as hw;
+pub use dls_learn as learn;
 pub use dls_sparse as sparse;
 pub use dls_svm as svm;
 
@@ -44,10 +45,12 @@ pub mod prelude {
         CostModelSelector, EmpiricalSelector, FixedSelector, FormatScore, FormatSelector,
         KernelMonitor, LayoutScheduler, ReactiveConfig, ReactiveReport, ReactiveScheduler,
         RuleBasedSelector, ScheduledMatrix, SelectionReport, SelectionStrategy, TelemetrySnapshot,
+        TuningCache,
     };
     pub use dls_data::{controlled, specs, synth::generate, DatasetSpec};
     pub use dls_dnn::{Network, SgdConfig, Trainer};
     pub use dls_hw::{Platform, PriceModel};
+    pub use dls_learn::{train_selector, LabelMode, LearnedSelector, TrainConfig, TrainedModel};
     pub use dls_sparse::{
         AnyMatrix, CooMatrix, CsrMatrix, DenseMatrix, DiaMatrix, EllMatrix, Format,
         InstrumentedMatrix, MatrixFeatures, MatrixFormat, SmsvCounters, SparseVec, TripletMatrix,

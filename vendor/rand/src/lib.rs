@@ -208,6 +208,13 @@ pub mod seq {
         fn shuffle<R: Rng>(&mut self, rng: &mut R);
         /// A uniformly random element, `None` on an empty slice.
         fn choose<'a, R: Rng>(&'a self, rng: &mut R) -> Option<&'a Self::Item>;
+        /// `amount` distinct elements sampled without replacement, in
+        /// selection order. Returns all elements (shuffled) when `amount`
+        /// exceeds the slice length — matching rand's `choose_multiple`
+        /// semantics, except the real crate returns a lazy iterator where
+        /// this stub collects into a `Vec`.
+        fn choose_multiple<'a, R: Rng>(&'a self, rng: &mut R, amount: usize)
+            -> Vec<&'a Self::Item>;
     }
 
     impl<T> SliceRandom for [T] {
@@ -226,6 +233,18 @@ pub mod seq {
             } else {
                 Some(&self[(rng.next_u64() % self.len() as u64) as usize])
             }
+        }
+
+        fn choose_multiple<'a, R: Rng>(&'a self, rng: &mut R, amount: usize) -> Vec<&'a T> {
+            // Partial Fisher–Yates over an index table: the first `amount`
+            // slots end up holding a uniform sample without replacement.
+            let amount = amount.min(self.len());
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            for i in 0..amount {
+                let j = i + (rng.next_u64() % (idx.len() - i) as u64) as usize;
+                idx.swap(i, j);
+            }
+            idx[..amount].iter().map(|&i| &self[i]).collect()
         }
     }
 }
@@ -285,6 +304,46 @@ mod tests {
         assert!(v.choose(&mut r).is_some());
         let empty: [usize; 0] = [];
         assert!(empty.choose(&mut r).is_none());
+    }
+
+    #[test]
+    fn choose_multiple_samples_without_replacement() {
+        let mut r = StdRng::seed_from_u64(7);
+        let v: Vec<usize> = (0..20).collect();
+        let picked = v.choose_multiple(&mut r, 8);
+        assert_eq!(picked.len(), 8);
+        let mut sorted: Vec<usize> = picked.iter().map(|&&x| x).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "sample must be distinct");
+        assert!(sorted.iter().all(|&x| x < 20));
+        // Oversampling returns every element exactly once.
+        let all = v.choose_multiple(&mut r, 100);
+        assert_eq!(all.len(), 20);
+        let mut sorted: Vec<usize> = all.iter().map(|&&x| x).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        // Empty slice and zero amount are fine.
+        let empty: [usize; 0] = [];
+        assert!(empty.choose_multiple(&mut r, 3).is_empty());
+        assert!(v.choose_multiple(&mut r, 0).is_empty());
+    }
+
+    #[test]
+    fn choose_multiple_is_deterministic_and_covers() {
+        let a: Vec<&u32> = [1u32, 2, 3, 4, 5].choose_multiple(&mut StdRng::seed_from_u64(9), 3);
+        let b: Vec<&u32> = [1u32, 2, 3, 4, 5].choose_multiple(&mut StdRng::seed_from_u64(9), 3);
+        assert_eq!(a, b, "same seed, same sample");
+        // Over many draws every element appears at least once.
+        let v: Vec<usize> = (0..6).collect();
+        let mut seen = [false; 6];
+        let mut r = StdRng::seed_from_u64(10);
+        for _ in 0..100 {
+            for &x in v.choose_multiple(&mut r, 2) {
+                seen[x] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]
