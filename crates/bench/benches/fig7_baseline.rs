@@ -40,6 +40,7 @@ fn bench_baseline(c: &mut Criterion) {
             threads: 1,
             shrinking: false,
             positive_weight: 1.0,
+            block_size: 1,
         };
         group.bench_with_input(BenchmarkId::new(name, "adaptive"), &m, |b, m| {
             b.iter(|| dls_svm::train_with_stats(m, &y, &params).unwrap().1.iterations)

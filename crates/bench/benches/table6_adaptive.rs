@@ -19,6 +19,7 @@ fn smo_params(iters: usize) -> SmoParams {
         threads: 1,
         shrinking: false,
         positive_weight: 1.0,
+        block_size: 1,
     }
 }
 

@@ -13,7 +13,8 @@
 //! | trefethen | 3.1× | 3.6× | 3.9× | 1.0  | 4.1× |
 
 use dls_bench::{fig1_workloads, normalise_to_slowest, time_smo_iterations};
-use dls_sparse::Format;
+use dls_sparse::{AnyMatrix, Format, MatrixFormat, SparseVec};
+use std::time::Instant;
 
 /// Paper Table III, rows in FIG1_DATASETS order, columns in Format::BASIC
 /// order (ELL, CSR, COO, DEN, DIA).
@@ -55,4 +56,63 @@ fn main() {
     }
     println!("\n# Shape check: the best/worst format should vary across datasets,");
     println!("# matching the paper's core observation that no single format wins.");
+
+    blocked_engine_check();
+}
+
+/// Blocked SMSV engine check: per-product throughput of `smsv_block`
+/// (B = 8) must be at least that of the single-vector kernel on every
+/// format — formats with a true blocked kernel (DEN/CSR/ELL) should beat
+/// it outright, the generic fallback must sit at parity. Timing uses the
+/// minimum over repetitions (the classic noise-free estimator on a shared
+/// single-core host) and a 0.9 noise floor on the ratio.
+fn blocked_engine_check() {
+    const BLOCK: usize = 8;
+    const REPS: usize = 9;
+    const NOISE_FLOOR: f64 = 0.9;
+
+    // Min-over-reps ns per call of `f`, each rep timing two calls.
+    fn min_ns(mut f: impl FnMut()) -> f64 {
+        (0..REPS)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                f();
+                start.elapsed().as_nanos() as f64 / 2.0
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    println!("\n# Blocked SMSV engine — per-product speedup of smsv_block (B = {BLOCK})");
+    println!("# over the single-vector kernel, min of {REPS} reps, noise floor {NOISE_FLOOR}");
+    println!("{:<12} {:<6} {:>9} {:>6}", "dataset", "fmt", "speedup", "ok?");
+
+    let mut worst: f64 = f64::INFINITY;
+    for w in fig1_workloads(42) {
+        for fmt in Format::ALL {
+            let m = AnyMatrix::from_triplets(fmt, &w.matrix);
+            let rows = m.rows();
+            let v = m.row_sparse(0);
+            let vs: Vec<SparseVec> = vec![v.clone(); BLOCK];
+            let mut block_out = vec![0.0; rows * BLOCK];
+            let mut ws = Vec::new();
+
+            // Rotate the single-vector destination across the same B
+            // chunks: in the real consumer (kernel-cache fill) every
+            // product lands in a distinct row buffer.
+            let mut k = 0;
+            let single = min_ns(|| {
+                let dst = &mut block_out[(k % BLOCK) * rows..(k % BLOCK + 1) * rows];
+                k += 1;
+                m.smsv_view(v.as_view(), dst, &mut ws);
+            });
+            let blocked = min_ns(|| m.smsv_block(&vs, &mut block_out, &mut ws)) / BLOCK as f64;
+
+            let speedup = single / blocked;
+            worst = worst.min(speedup);
+            let ok = if speedup >= NOISE_FLOOR { "ok" } else { "SLOW" };
+            println!("{:<12} {:<6} {:>8.2}x {:>6}", w.name, fmt.name(), speedup, ok);
+        }
+    }
+    println!("# worst blocked/unblocked ratio: {worst:.2} (must be >= {NOISE_FLOOR})");
 }

@@ -27,6 +27,7 @@ fn main() {
         threads: 1,
         shrinking: false,
         positive_weight: 1.0,
+        block_size: 1,
     };
 
     // Oracle: the cost model's up-front choice, trained statically.

@@ -1,0 +1,194 @@
+//! Measures the zero-copy batched SMSV engine and emits `BENCH_smsv.json`.
+//!
+//! For every format on three Figure-1 workload twins this reports, per
+//! SMSV product: the median time of the classic allocating kernel
+//! (`smsv`), the borrowed-view kernel with a reused workspace
+//! (`smsv_view`), and the blocked kernel (`smsv_block`, B = 8) — plus the
+//! heap allocations each kernel performs per call, counted by a wrapping
+//! global allocator. Steady-state `smsv_view`/`smsv_block` must allocate
+//! zero times; that is the engine's whole point.
+//!
+//! Usage: `repro_smsv_block [reps] [out.json]` (defaults: 15,
+//! `BENCH_smsv.json` in the current directory).
+
+use dls_bench::workload;
+use dls_sparse::{AnyMatrix, Format, MatrixFormat, SparseVec};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+const BLOCK: usize = 8;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// Median ns of `f` over `reps` repetitions, each timing `inner` calls.
+fn time_ns(reps: usize, inner: usize, mut f: impl FnMut()) -> f64 {
+    let samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..inner {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / inner as f64
+        })
+        .collect();
+    median(samples)
+}
+
+/// Allocations of one call of `f` after a warm-up call.
+fn allocs_per_call(mut f: impl FnMut()) -> u64 {
+    f(); // warm up: one-time buffer growth is not steady state
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+struct Row {
+    dataset: &'static str,
+    format: Format,
+    smsv_ns: f64,
+    view_ns: f64,
+    block_ns_per_product: f64,
+    allocs_smsv: u64,
+    allocs_view: u64,
+    allocs_block: u64,
+}
+
+fn main() {
+    let reps: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(15);
+    let out_path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_smsv.json".into());
+    let inner = 4;
+
+    println!("# Zero-copy batched SMSV engine — median of {reps} reps, B = {BLOCK}");
+    println!(
+        "{:<11} {:<5} {:>11} {:>11} {:>13} {:>7} {:>7} {:>7}  {:>8}",
+        "dataset",
+        "fmt",
+        "smsv ns",
+        "view ns",
+        "blk ns/prod",
+        "al/smsv",
+        "al/view",
+        "al/blk",
+        "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for name in ["adult", "mnist", "trefethen"] {
+        let w = workload(name, 42);
+        for fmt in Format::ALL {
+            let m = AnyMatrix::from_triplets(fmt, &w.matrix);
+            let v = m.row_sparse(0);
+            // Identical right-hand sides: the blocked/unblocked ratio then
+            // measures kernel structure alone, not RHS nnz variation.
+            let vs: Vec<SparseVec> = vec![v.clone(); BLOCK];
+            let mut out = vec![0.0; m.rows()];
+            let mut block_out = vec![0.0; m.rows() * BLOCK];
+            let mut ws = Vec::new();
+
+            // The single-vector series rotate their destination across the
+            // same B chunks the blocked kernel writes: in the real consumer
+            // (kernel-cache fill) every product lands in a distinct row
+            // buffer, so a single always-hot `out` would flatter them.
+            let nrows = m.rows();
+            let mut k = 0;
+            let smsv_ns = time_ns(reps, inner, || {
+                let dst = &mut block_out[(k % BLOCK) * nrows..(k % BLOCK + 1) * nrows];
+                k += 1;
+                m.smsv(&v, dst)
+            });
+            let mut k = 0;
+            let view_ns = time_ns(reps, inner, || {
+                let dst = &mut block_out[(k % BLOCK) * nrows..(k % BLOCK + 1) * nrows];
+                k += 1;
+                m.smsv_view(v.as_view(), dst, &mut ws)
+            });
+            let block_ns =
+                time_ns(reps, inner, || m.smsv_block(&vs, &mut block_out, &mut ws)) / BLOCK as f64;
+
+            let allocs_smsv = allocs_per_call(|| m.smsv(&v, &mut out));
+            let allocs_view = allocs_per_call(|| m.smsv_view(v.as_view(), &mut out, &mut ws));
+            let allocs_block = allocs_per_call(|| m.smsv_block(&vs, &mut block_out, &mut ws));
+
+            println!(
+                "{:<11} {:<5} {:>11.0} {:>11.0} {:>13.0} {:>7} {:>7} {:>7}  {:>7.2}x",
+                name,
+                fmt.name(),
+                smsv_ns,
+                view_ns,
+                block_ns,
+                allocs_smsv,
+                allocs_view,
+                allocs_block,
+                smsv_ns / block_ns
+            );
+            rows.push(Row {
+                dataset: name,
+                format: fmt,
+                smsv_ns,
+                view_ns,
+                block_ns_per_product: block_ns,
+                allocs_smsv,
+                allocs_view,
+                allocs_block,
+            });
+        }
+    }
+
+    let mut json = String::from("{\n  \"block\": 8,\n  \"results\": [\n");
+    for (k, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"format\": \"{}\", \"smsv_ns\": {:.1}, \
+             \"smsv_view_ns\": {:.1}, \"smsv_block_ns_per_product\": {:.1}, \
+             \"allocs_per_smsv\": {}, \"allocs_per_smsv_view\": {}, \
+             \"allocs_per_smsv_block\": {}, \"blocked_speedup\": {:.3}}}{}\n",
+            r.dataset,
+            r.format.name(),
+            r.smsv_ns,
+            r.view_ns,
+            r.block_ns_per_product,
+            r.allocs_smsv,
+            r.allocs_view,
+            r.allocs_block,
+            r.smsv_ns / r.block_ns_per_product,
+            if k + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let mut f = std::fs::File::create(&out_path).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write json");
+    println!("\n# wrote {out_path}");
+    println!("# smsv_view and steady-state smsv_block must report 0 allocations per call.");
+}

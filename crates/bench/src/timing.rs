@@ -46,6 +46,7 @@ pub fn time_smo_iterations(
         threads: 1,
         shrinking: false,
         positive_weight: 1.0,
+        block_size: 1,
     };
     let start = Instant::now();
     let _ = dls_svm::train_with_stats(&m, y, &params).expect("valid training inputs");
@@ -73,6 +74,7 @@ pub fn time_smo_iterations_telemetry(
         threads: 1,
         shrinking: false,
         positive_weight: 1.0,
+        block_size: 1,
     };
     let start = Instant::now();
     let _ = dls_svm::train_with_stats(&m, y, &params).expect("valid training inputs");

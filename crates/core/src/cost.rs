@@ -21,6 +21,11 @@ pub struct CostModelSelector {
     /// matches the paper's five-way choice (CSC ties CSR exactly under
     /// Eq. 7).
     pub include_derived: bool,
+    /// Kernel block size the consumer will use for batched SMSV
+    /// (`smsv_block`). `0` or `1` models the unblocked per-vector kernel;
+    /// larger values amortise the matrix stream over `block` right-hand
+    /// sides for formats with a native blocked kernel.
+    pub block: usize,
 }
 
 impl CostModelSelector {
@@ -32,6 +37,12 @@ impl CostModelSelector {
     /// Also scores (and allows choosing) the derived formats.
     pub fn with_derived(mut self) -> Self {
         self.include_derived = true;
+        self
+    }
+
+    /// Models a consumer that batches `block` SMSVs per matrix sweep.
+    pub fn with_block(mut self, block: usize) -> Self {
+        self.block = block;
         self
     }
 
@@ -49,10 +60,22 @@ impl CostModelSelector {
     /// Storage *elements* are converted to bytes: the value array streams
     /// 8-byte scalars and index arrays 8-byte words, so elements × 8 is the
     /// transferred volume Equation (7) divides by bandwidth.
+    /// With `block > 1` and a format that has a native blocked kernel, the
+    /// matrix stream is amortised over the block: per SMSV the transferred
+    /// volume drops to `storage / block` plus the per-vector workspace
+    /// traffic (scatter + gather of one dense column vector, `2·n` words)
+    /// that cannot be amortised. Formats without a blocked kernel fall back
+    /// to one full sweep per vector and keep the unblocked prediction.
     pub fn predicted_time(&self, format: Format, f: &MatrixFeatures) -> f64 {
         let elems = predicted_storage_elems(format, f);
         let bytes = elems * std::mem::size_of::<Scalar>() as f64;
-        bytes / self.bandwidth.bytes_per_sec(format)
+        let b = self.block.max(1);
+        if b > 1 && format.has_blocked_kernel() {
+            let vector_bytes = 2.0 * f.n as f64 * std::mem::size_of::<Scalar>() as f64;
+            (bytes / b as f64 + vector_bytes) / self.bandwidth.bytes_per_sec(format)
+        } else {
+            bytes / self.bandwidth.bytes_per_sec(format)
+        }
     }
 
     /// Predicted times for every candidate format (lower is better).
@@ -149,6 +172,26 @@ mod tests {
             assert!(chosen_score <= s.score);
         }
         assert!(r.reason.contains("cost model"));
+    }
+
+    #[test]
+    fn blocking_cheapens_formats_with_blocked_kernels() {
+        let f = features_of("adult", 1);
+        let flat = CostModelSelector::with_bandwidth(BandwidthProfile::FLAT);
+        let blocked = flat.with_block(8);
+        for fmt in [Format::Csr, Format::Ell, Format::Den] {
+            assert!(
+                blocked.predicted_time(fmt, &f) < flat.predicted_time(fmt, &f),
+                "{fmt}: amortised sweep must be cheaper"
+            );
+        }
+        // DIA has no blocked kernel: one sweep per vector either way.
+        assert_eq!(blocked.predicted_time(Format::Dia, &f), flat.predicted_time(Format::Dia, &f));
+        // block = 1 must be exactly the unblocked model.
+        assert_eq!(
+            flat.with_block(1).predicted_time(Format::Csr, &f),
+            flat.predicted_time(Format::Csr, &f)
+        );
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! element cuts index traffic by `br * bc` for blocky matrices, at the price
 //! of storing the zeros inside partially-filled blocks.
 
-use crate::{Format, MatrixFormat, Scalar, SparseVec, TripletMatrix};
+use crate::format::ensure_workspace;
+use crate::{Format, MatrixFormat, RowScratch, Scalar, SparseVec, SparseVecView, TripletMatrix};
 
 /// Block CSR matrix with run-time block shape.
 #[derive(Debug, Clone, PartialEq)]
@@ -138,11 +139,39 @@ impl MatrixFormat for BcsrMatrix {
         SparseVec::new(self.cols, indices, values)
     }
 
+    fn row_view_in<'a>(&'a self, i: usize, scratch: &'a mut RowScratch) -> SparseVecView<'a> {
+        // Blocks of a block-row are sorted by block column and columns
+        // within a block ascend, so pushes arrive already sorted.
+        let bi = i / self.br;
+        scratch.clear();
+        for b in self.block_ptr[bi]..self.block_ptr[bi + 1] {
+            let bj = self.block_col[b];
+            let payload = self.block_payload(b);
+            for jc in 0..self.bc {
+                let j = bj * self.bc + jc;
+                if j >= self.cols {
+                    break;
+                }
+                let v = payload[(i % self.br) * self.bc + jc];
+                if v != 0.0 {
+                    scratch.push(j, v);
+                }
+            }
+        }
+        scratch.view(self.cols)
+    }
+
     fn smsv(&self, v: &SparseVec, out: &mut [Scalar]) {
+        let mut workspace = Vec::new();
+        self.smsv_view(v.as_view(), out, &mut workspace);
+    }
+
+    fn smsv_view(&self, v: SparseVecView<'_>, out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
         assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");
         assert_eq!(out.len(), self.rows, "SMSV output length mismatch");
-        let mut dense = vec![0.0; self.cols];
-        v.scatter(&mut dense);
+        let dense = ensure_workspace(workspace, self.cols);
+        debug_assert!(dense.iter().all(|&w| w == 0.0));
+        v.scatter(dense);
         out.fill(0.0);
         let n_brows = self.rows.div_ceil(self.br);
         for bi in 0..n_brows {
@@ -166,6 +195,7 @@ impl MatrixFormat for BcsrMatrix {
                 }
             }
         }
+        v.unscatter(dense);
     }
 
     fn spmv(&self, x: &[Scalar], out: &mut [Scalar]) {

@@ -6,7 +6,8 @@
 //! row-length imbalance (`vdim`). This is why COO overtakes CSR as `vdim`
 //! grows (paper Fig. 4).
 
-use crate::{Format, MatrixFormat, Scalar, SparseVec, TripletMatrix};
+use crate::format::ensure_workspace;
+use crate::{Format, MatrixFormat, RowScratch, Scalar, SparseVec, SparseVecView, TripletMatrix};
 
 /// Coordinate-format matrix with entries sorted row-major.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,8 +62,20 @@ impl CooMatrix {
 
     /// SMSV with an explicit scatter workspace (all zeros on entry/exit).
     pub fn smsv_with(&self, v: &SparseVec, out: &mut [Scalar], workspace: &mut [Scalar]) {
+        self.smsv_view_with(v.as_view(), out, workspace);
+    }
+
+    /// Borrowed-view SMSV kernel behind both [`CooMatrix::smsv_with`] and
+    /// [`MatrixFormat::smsv_view`] (workspace all zeros on entry/exit).
+    pub fn smsv_view_with(
+        &self,
+        v: SparseVecView<'_>,
+        out: &mut [Scalar],
+        workspace: &mut [Scalar],
+    ) {
         assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");
         assert_eq!(out.len(), self.rows, "SMSV output length mismatch");
+        debug_assert!(workspace.iter().all(|&w| w == 0.0));
         v.scatter(workspace);
         out.fill(0.0);
         // One flat pass over all nnz entries: perfectly balanced work.
@@ -103,9 +116,21 @@ impl MatrixFormat for CooMatrix {
         SparseVec::new(self.cols, self.col_idx[range.clone()].to_vec(), self.values[range].to_vec())
     }
 
+    fn row_view_in<'a>(&'a self, i: usize, _scratch: &'a mut RowScratch) -> SparseVecView<'a> {
+        // Entries are row-major sorted, so a row is a contiguous run:
+        // borrow the storage directly.
+        let range = self.row_range(i);
+        SparseVecView::new(self.cols, &self.col_idx[range.clone()], &self.values[range])
+    }
+
     fn smsv(&self, v: &SparseVec, out: &mut [Scalar]) {
         let mut workspace = vec![0.0; self.cols];
         self.smsv_with(v, out, &mut workspace);
+    }
+
+    fn smsv_view(&self, v: SparseVecView<'_>, out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
+        let ws = ensure_workspace(workspace, self.cols);
+        self.smsv_view_with(v, out, ws);
     }
 
     fn spmv(&self, x: &[Scalar], out: &mut [Scalar]) {

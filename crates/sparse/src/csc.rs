@@ -10,7 +10,7 @@
 // clearest statement of the per-column sweep.
 #![allow(clippy::needless_range_loop)]
 
-use crate::{Format, MatrixFormat, Scalar, SparseVec, TripletMatrix};
+use crate::{Format, MatrixFormat, RowScratch, Scalar, SparseVec, SparseVecView, TripletMatrix};
 
 /// Compressed Sparse Column matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -95,9 +95,29 @@ impl MatrixFormat for CscMatrix {
         SparseVec::new(self.cols, indices, values)
     }
 
+    fn row_view_in<'a>(&'a self, i: usize, scratch: &'a mut RowScratch) -> SparseVecView<'a> {
+        // Same O(N log colnnz) walk as `row_sparse`, but into the reusable
+        // scratch; columns are visited in ascending order so no sort.
+        scratch.clear();
+        for j in 0..self.cols {
+            let v = self.get(i, j);
+            if v != 0.0 {
+                scratch.push(j, v);
+            }
+        }
+        scratch.view(self.cols)
+    }
+
     fn smsv(&self, v: &SparseVec, out: &mut [Scalar]) {
+        let mut workspace = Vec::new();
+        self.smsv_view(v.as_view(), out, &mut workspace);
+    }
+
+    fn smsv_view(&self, v: SparseVecView<'_>, out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
         assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");
         assert_eq!(out.len(), self.rows, "SMSV output length mismatch");
+        // No dense scatter needed: v's indices select columns directly.
+        let _ = workspace;
         out.fill(0.0);
         // Only columns selected by v contribute: out += X[:, j] * v_j.
         for (j, x) in v.iter() {

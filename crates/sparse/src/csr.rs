@@ -12,7 +12,8 @@
 // indexed form is the clearest statement of the per-row sweep.
 #![allow(clippy::needless_range_loop)]
 
-use crate::{Format, MatrixFormat, Scalar, SparseVec, TripletMatrix};
+use crate::format::{ensure_workspace, MAX_SMSV_BLOCK};
+use crate::{Format, MatrixFormat, RowScratch, Scalar, SparseVec, SparseVecView, TripletMatrix};
 
 /// Compressed Sparse Row matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,6 +125,18 @@ impl CsrMatrix {
     /// allocation of [`MatrixFormat::smsv`]. `workspace` must be all zeros
     /// on entry and is restored to all zeros on exit.
     pub fn smsv_with(&self, v: &SparseVec, out: &mut [Scalar], workspace: &mut [Scalar]) {
+        self.smsv_view_with(v.as_view(), out, workspace);
+    }
+
+    /// Borrowed-view SMSV kernel behind both [`CsrMatrix::smsv_with`] and
+    /// [`MatrixFormat::smsv_view`]. `workspace` must be all zeros on entry
+    /// and is restored to all zeros on exit.
+    pub fn smsv_view_with(
+        &self,
+        v: SparseVecView<'_>,
+        out: &mut [Scalar],
+        workspace: &mut [Scalar],
+    ) {
         assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");
         assert_eq!(out.len(), self.rows, "SMSV output length mismatch");
         debug_assert!(workspace.iter().all(|&w| w == 0.0));
@@ -210,9 +223,60 @@ impl MatrixFormat for CsrMatrix {
         SparseVec::new(self.cols, cols.to_vec(), vals.to_vec())
     }
 
+    fn row_view_in<'a>(&'a self, i: usize, _scratch: &'a mut RowScratch) -> SparseVecView<'a> {
+        // CSR rows are contiguous: borrow the storage directly.
+        let (cols, vals) = self.row_view(i);
+        SparseVecView::new(self.cols, cols, vals)
+    }
+
     fn smsv(&self, v: &SparseVec, out: &mut [Scalar]) {
         let mut workspace = vec![0.0; self.cols];
         self.smsv_with(v, out, &mut workspace);
+    }
+
+    fn smsv_view(&self, v: SparseVecView<'_>, out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
+        let ws = ensure_workspace(workspace, self.cols);
+        self.smsv_view_with(v, out, ws);
+    }
+
+    fn smsv_block(&self, vs: &[SparseVec], out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
+        assert_eq!(out.len(), self.rows * vs.len(), "smsv_block output length mismatch");
+        // Blocked kernel: the B right-hand sides are scattered into an
+        // interleaved workspace (`ws[c * cb + bi]` = vs[bi][c]) so one
+        // traversal of the matrix feeds all B accumulators; traffic over
+        // the CSR arrays is amortised B-fold versus B smsv calls.
+        let mut b0 = 0;
+        while b0 < vs.len() {
+            let cb = (vs.len() - b0).min(MAX_SMSV_BLOCK);
+            let chunk = &vs[b0..b0 + cb];
+            let ws = ensure_workspace(workspace, self.cols * cb);
+            debug_assert!(ws.iter().all(|&w| w == 0.0));
+            for (bi, v) in chunk.iter().enumerate() {
+                assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");
+                for (j, x) in v.iter() {
+                    ws[j * cb + bi] = x;
+                }
+            }
+            for i in 0..self.rows {
+                let (cols, vals) = self.row_view(i);
+                let mut acc = [0.0 as Scalar; MAX_SMSV_BLOCK];
+                for (&c, &x) in cols.iter().zip(vals) {
+                    let lane = &ws[c * cb..(c + 1) * cb];
+                    for (a, &w) in acc[..cb].iter_mut().zip(lane) {
+                        *a += x * w;
+                    }
+                }
+                for (bi, &a) in acc[..cb].iter().enumerate() {
+                    out[(b0 + bi) * self.rows + i] = a;
+                }
+            }
+            for (bi, v) in chunk.iter().enumerate() {
+                for &j in v.indices() {
+                    ws[j * cb + bi] = 0.0;
+                }
+            }
+            b0 += cb;
+        }
     }
 
     fn spmv(&self, x: &[Scalar], out: &mut [Scalar]) {

@@ -4,7 +4,8 @@
 //! machine learning (gisette, epsilon, leukemia, dna in Table V), where the
 //! index arrays of sparse formats double or triple the memory traffic.
 
-use crate::{Format, MatrixFormat, Scalar, SparseVec, TripletMatrix};
+use crate::format::{ensure_workspace, MAX_SMSV_BLOCK};
+use crate::{Format, MatrixFormat, RowScratch, Scalar, SparseVec, SparseVecView, TripletMatrix};
 
 /// A dense row-major matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,7 +79,22 @@ impl MatrixFormat for DenseMatrix {
         SparseVec::from_dense(self.row(i))
     }
 
+    fn row_view_in<'a>(&'a self, i: usize, scratch: &'a mut RowScratch) -> SparseVecView<'a> {
+        scratch.clear();
+        for (j, &x) in self.row(i).iter().enumerate() {
+            if x != 0.0 {
+                scratch.push(j, x);
+            }
+        }
+        scratch.view(self.cols)
+    }
+
     fn smsv(&self, v: &SparseVec, out: &mut [Scalar]) {
+        let mut workspace = Vec::new();
+        self.smsv_view(v.as_view(), out, &mut workspace);
+    }
+
+    fn smsv_view(&self, v: SparseVecView<'_>, out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
         assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");
         assert_eq!(out.len(), self.rows, "SMSV output length mismatch");
         // Dense-row x sparse-vector: the gather over v's nnz indices is the
@@ -87,11 +103,14 @@ impl MatrixFormat for DenseMatrix {
         // DEN is chosen for — skip the index gather entirely and run a
         // straight dot product, the layout's whole advantage.
         if v.nnz() * 4 >= 3 * self.cols {
-            let dense_v = v.to_dense();
+            let ws = ensure_workspace(workspace, self.cols);
+            debug_assert!(ws.iter().all(|&w| w == 0.0));
+            v.scatter(ws);
             for (i, o) in out.iter_mut().enumerate() {
                 let row = &self.data[i * self.cols..(i + 1) * self.cols];
-                *o = row.iter().zip(&dense_v).map(|(a, b)| a * b).sum();
+                *o = row.iter().zip(ws.iter()).map(|(a, b)| a * b).sum();
             }
+            v.unscatter(ws);
             return;
         }
         let idx = v.indices();
@@ -103,6 +122,62 @@ impl MatrixFormat for DenseMatrix {
                 acc += row[j] * x;
             }
             *o = acc;
+        }
+    }
+
+    fn smsv_block(&self, vs: &[SparseVec], out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
+        assert_eq!(out.len(), self.rows * vs.len(), "smsv_block output length mismatch");
+        // Blocked kernel: stream each dense row once and feed all B
+        // accumulators from it, instead of re-reading the M*N buffer B
+        // times. Right-hand sides sit in an interleaved scatter workspace
+        // (`ws[j * cb + bi]`) when dense enough, or are gathered per-index
+        // when sparse.
+        let mut b0 = 0;
+        while b0 < vs.len() {
+            let cb = (vs.len() - b0).min(MAX_SMSV_BLOCK);
+            let chunk = &vs[b0..b0 + cb];
+            for v in chunk {
+                assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");
+            }
+            let total_nnz: usize = chunk.iter().map(|v| v.nnz()).sum();
+            if total_nnz * 4 >= 3 * self.cols * cb {
+                let ws = ensure_workspace(workspace, self.cols * cb);
+                debug_assert!(ws.iter().all(|&w| w == 0.0));
+                for (bi, v) in chunk.iter().enumerate() {
+                    for (j, x) in v.iter() {
+                        ws[j * cb + bi] = x;
+                    }
+                }
+                for i in 0..self.rows {
+                    let row = self.row(i);
+                    let mut acc = [0.0 as Scalar; MAX_SMSV_BLOCK];
+                    for (j, &x) in row.iter().enumerate() {
+                        let lane = &ws[j * cb..(j + 1) * cb];
+                        for (a, &w) in acc[..cb].iter_mut().zip(lane) {
+                            *a += x * w;
+                        }
+                    }
+                    for (bi, &a) in acc[..cb].iter().enumerate() {
+                        out[(b0 + bi) * self.rows + i] = a;
+                    }
+                }
+                for (bi, v) in chunk.iter().enumerate() {
+                    for &j in v.indices() {
+                        ws[j * cb + bi] = 0.0;
+                    }
+                }
+            } else {
+                // Sparse gather: the per-row read count is so low that the
+                // interleaved accumulators cost more than they save, and
+                // scattered output writes would dominate. Run each product
+                // through the single-vector kernel — same access pattern,
+                // sequential writes, never slower than unblocked.
+                for (bi, v) in chunk.iter().enumerate() {
+                    let dst = &mut out[(b0 + bi) * self.rows..(b0 + bi + 1) * self.rows];
+                    self.smsv_view(v.as_view(), dst, workspace);
+                }
+            }
+            b0 += cb;
         }
     }
 

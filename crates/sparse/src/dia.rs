@@ -7,7 +7,8 @@
 //! Fig. 2 sweeps `ndig` at fixed nnz and shows performance collapsing as
 //! diagonals multiply.
 
-use crate::{Format, MatrixFormat, Scalar, SparseVec, TripletMatrix};
+use crate::format::ensure_workspace;
+use crate::{Format, MatrixFormat, RowScratch, Scalar, SparseVec, SparseVecView, TripletMatrix};
 
 /// Diagonal-format matrix.
 ///
@@ -66,8 +67,20 @@ impl DiaMatrix {
 
     /// SMSV with an explicit scatter workspace (all zeros on entry/exit).
     pub fn smsv_with(&self, v: &SparseVec, out: &mut [Scalar], workspace: &mut [Scalar]) {
+        self.smsv_view_with(v.as_view(), out, workspace);
+    }
+
+    /// Borrowed-view SMSV kernel behind both [`DiaMatrix::smsv_with`] and
+    /// [`MatrixFormat::smsv_view`] (workspace all zeros on entry/exit).
+    pub fn smsv_view_with(
+        &self,
+        v: SparseVecView<'_>,
+        out: &mut [Scalar],
+        workspace: &mut [Scalar],
+    ) {
         assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");
         assert_eq!(out.len(), self.rows, "SMSV output length mismatch");
+        debug_assert!(workspace.iter().all(|&w| w == 0.0));
         v.scatter(workspace);
         out.fill(0.0);
         // Diagonal-major sweep. Every in-range slot of every stored diagonal
@@ -130,9 +143,30 @@ impl MatrixFormat for DiaMatrix {
         )
     }
 
+    fn row_view_in<'a>(&'a self, i: usize, scratch: &'a mut RowScratch) -> SparseVecView<'a> {
+        // Offsets are sorted ascending, so j = i + off comes out ascending
+        // and the scratch needs no sort.
+        scratch.clear();
+        for (d, &off) in self.offsets.iter().enumerate() {
+            let j = i as isize + off;
+            if j >= 0 && (j as usize) < self.cols {
+                let v = self.data[d * self.rows + i];
+                if v != 0.0 {
+                    scratch.push(j as usize, v);
+                }
+            }
+        }
+        scratch.view(self.cols)
+    }
+
     fn smsv(&self, v: &SparseVec, out: &mut [Scalar]) {
         let mut workspace = vec![0.0; self.cols];
         self.smsv_with(v, out, &mut workspace);
+    }
+
+    fn smsv_view(&self, v: SparseVecView<'_>, out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
+        let ws = ensure_workspace(workspace, self.cols);
+        self.smsv_view_with(v, out, ws);
     }
 
     fn spmv(&self, x: &[Scalar], out: &mut [Scalar]) {

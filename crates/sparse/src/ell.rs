@@ -8,7 +8,8 @@
 //! multiply (paper Fig. 3: performance degrades as `mdim` grows at fixed
 //! nnz).
 
-use crate::{Format, MatrixFormat, Scalar, SparseVec, TripletMatrix};
+use crate::format::{ensure_workspace, MAX_SMSV_BLOCK};
+use crate::{Format, MatrixFormat, RowScratch, Scalar, SparseVec, SparseVecView, TripletMatrix};
 
 /// Sentinel column index marking a padded slot.
 const PAD: usize = usize::MAX;
@@ -73,8 +74,20 @@ impl EllMatrix {
 
     /// SMSV with an explicit scatter workspace (all zeros on entry/exit).
     pub fn smsv_with(&self, v: &SparseVec, out: &mut [Scalar], workspace: &mut [Scalar]) {
+        self.smsv_view_with(v.as_view(), out, workspace);
+    }
+
+    /// Borrowed-view SMSV kernel behind both [`EllMatrix::smsv_with`] and
+    /// [`MatrixFormat::smsv_view`] (workspace all zeros on entry/exit).
+    pub fn smsv_view_with(
+        &self,
+        v: SparseVecView<'_>,
+        out: &mut [Scalar],
+        workspace: &mut [Scalar],
+    ) {
         assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");
         assert_eq!(out.len(), self.rows, "SMSV output length mismatch");
+        debug_assert!(workspace.iter().all(|&w| w == 0.0));
         v.scatter(workspace);
         out.fill(0.0);
         // Column-major sweep: slot k of all rows before slot k+1, the memory
@@ -137,9 +150,79 @@ impl MatrixFormat for EllMatrix {
         SparseVec::new(self.cols, indices, values)
     }
 
+    fn row_view_in<'a>(&'a self, i: usize, scratch: &'a mut RowScratch) -> SparseVecView<'a> {
+        // Slots of a row are filled in ascending-column order by
+        // `from_triplets`, so the scratch is sorted without a sort.
+        scratch.clear();
+        for k in 0..self.width {
+            let c = self.slot_col(i, k);
+            if c == PAD {
+                break;
+            }
+            scratch.push(c, self.slot_val(i, k));
+        }
+        scratch.view(self.cols)
+    }
+
     fn smsv(&self, v: &SparseVec, out: &mut [Scalar]) {
         let mut workspace = vec![0.0; self.cols];
         self.smsv_with(v, out, &mut workspace);
+    }
+
+    fn smsv_view(&self, v: SparseVecView<'_>, out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
+        let ws = ensure_workspace(workspace, self.cols);
+        self.smsv_view_with(v, out, ws);
+    }
+
+    fn smsv_block(&self, vs: &[SparseVec], out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
+        assert_eq!(out.len(), self.rows * vs.len(), "smsv_block output length mismatch");
+        // Blocked kernel: one column-major sweep over the padded slot
+        // arrays feeds all B right-hand sides. The workspace carves out an
+        // interleaved scatter region (`cols * cb`) followed by an
+        // interleaved accumulator region (`rows * cb`); both are restored
+        // to zero before the chunk ends.
+        let mut b0 = 0;
+        while b0 < vs.len() {
+            let cb = (vs.len() - b0).min(MAX_SMSV_BLOCK);
+            let chunk = &vs[b0..b0 + cb];
+            let ws = ensure_workspace(workspace, (self.cols + self.rows) * cb);
+            debug_assert!(ws.iter().all(|&w| w == 0.0));
+            let (scat, acc) = ws.split_at_mut(self.cols * cb);
+            for (bi, v) in chunk.iter().enumerate() {
+                assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");
+                for (j, x) in v.iter() {
+                    scat[j * cb + bi] = x;
+                }
+            }
+            for k in 0..self.width {
+                let idx = &self.idx[k * self.rows..(k + 1) * self.rows];
+                let val = &self.val[k * self.rows..(k + 1) * self.rows];
+                for i in 0..self.rows {
+                    let c = idx[i];
+                    if c == PAD {
+                        continue;
+                    }
+                    let x = val[i];
+                    let lane = &scat[c * cb..(c + 1) * cb];
+                    let a = &mut acc[i * cb..(i + 1) * cb];
+                    for (ab, &w) in a.iter_mut().zip(lane) {
+                        *ab += x * w;
+                    }
+                }
+            }
+            for i in 0..self.rows {
+                for bi in 0..cb {
+                    out[(b0 + bi) * self.rows + i] = acc[i * cb + bi];
+                    acc[i * cb + bi] = 0.0;
+                }
+            }
+            for (bi, v) in chunk.iter().enumerate() {
+                for &j in v.indices() {
+                    scat[j * cb + bi] = 0.0;
+                }
+            }
+            b0 += cb;
+        }
     }
 
     fn spmv(&self, x: &[Scalar], out: &mut [Scalar]) {

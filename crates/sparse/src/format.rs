@@ -7,8 +7,13 @@
 
 use crate::{
     BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, DenseMatrix, DiaMatrix, EllMatrix, HybMatrix,
-    JdsMatrix, Scalar, SparseVec, TripletMatrix,
+    JdsMatrix, RowScratch, Scalar, SparseVec, SparseVecView, TripletMatrix,
 };
+
+/// Largest number of right-hand sides a single [`MatrixFormat::smsv_block`]
+/// chunk processes at once. Chosen so the per-row accumulator fits in a
+/// stack array and the interleaved workspace stays cache-resident.
+pub const MAX_SMSV_BLOCK: usize = 32;
 
 /// Identifier for each storage format studied by the paper (plus the two
 /// derived formats of §III-A).
@@ -51,6 +56,14 @@ impl Format {
         Format::Hyb,
         Format::Jds,
     ];
+
+    /// Whether this format has a true multi-vector [`MatrixFormat::smsv_block`]
+    /// kernel that amortises one matrix traversal over the whole block.
+    /// The remaining formats fall back to a per-vector loop (still
+    /// allocation-free, but with one matrix sweep per right-hand side).
+    pub fn has_blocked_kernel(self) -> bool {
+        matches!(self, Format::Den | Format::Csr | Format::Ell)
+    }
 
     /// Short upper-case name as used in the paper's tables.
     pub fn name(self) -> &'static str {
@@ -117,11 +130,62 @@ pub trait MatrixFormat {
     /// Extracts row `i` as a sparse vector.
     fn row_sparse(&self, i: usize) -> SparseVec;
 
+    /// Borrows row `i` as a [`SparseVecView`] without allocating.
+    ///
+    /// Row-contiguous formats (CSR, COO) return slices of their own
+    /// storage and leave `scratch` untouched; every other format fills
+    /// `scratch` (whose capacity persists across calls) and returns a view
+    /// over it. The default materialises via [`MatrixFormat::row_sparse`]
+    /// and copies into the scratch — concrete formats override it.
+    fn row_view_in<'a>(&'a self, i: usize, scratch: &'a mut RowScratch) -> SparseVecView<'a> {
+        let row = self.row_sparse(i);
+        scratch.clear();
+        for (j, x) in row.iter() {
+            scratch.push(j, x);
+        }
+        scratch.view(self.cols())
+    }
+
     /// Sparse-matrix × sparse-vector: `out[i] = X_i · v` for every row.
     ///
     /// # Panics
     /// Panics if `v.dim() != self.cols()` or `out.len() != self.rows()`.
     fn smsv(&self, v: &SparseVec, out: &mut [Scalar]);
+
+    /// Zero-allocation SMSV over a borrowed right-hand side.
+    ///
+    /// `workspace` is a reusable buffer: formats that need a dense scatter
+    /// resize it to (at least) `cols()` and restore every slot they touch
+    /// to zero on exit, so one buffer can be shared across calls, formats
+    /// and [`MatrixFormat::smsv_block`]. Callers must hand in a buffer
+    /// whose contents are all zero (a fresh `Vec` qualifies); in steady
+    /// state the capacity is stable and no allocation happens. The default
+    /// copies the view into an owned vector — concrete formats override it.
+    fn smsv_view(&self, v: SparseVecView<'_>, out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
+        let _ = workspace;
+        self.smsv(&v.to_owned(), out);
+    }
+
+    /// Multi-vector SMSV: computes `vs.len()` products in one call, with
+    /// `out` laid out vector-major (`out[b * rows .. (b + 1) * rows]` is
+    /// the product for `vs[b]`).
+    ///
+    /// Formats for which [`Format::has_blocked_kernel`] is true traverse
+    /// the matrix once per chunk of up to [`MAX_SMSV_BLOCK`] right-hand
+    /// sides; the default falls back to one [`MatrixFormat::smsv_view`]
+    /// sweep per vector (same results, no traversal amortisation).
+    /// `workspace` follows the [`MatrixFormat::smsv_view`] contract.
+    ///
+    /// # Panics
+    /// Panics if any `vs[b].dim() != self.cols()` or
+    /// `out.len() != self.rows() * vs.len()`.
+    fn smsv_block(&self, vs: &[SparseVec], out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
+        let rows = self.rows();
+        assert_eq!(out.len(), rows * vs.len(), "smsv_block output length mismatch");
+        for (v, chunk) in vs.iter().zip(out.chunks_exact_mut(rows.max(1))) {
+            self.smsv_view(v.as_view(), chunk, workspace);
+        }
+    }
 
     /// Classical SpMV against a dense vector: `out = X x`.
     fn spmv(&self, x: &[Scalar], out: &mut [Scalar]);
@@ -138,6 +202,17 @@ pub trait MatrixFormat {
     /// Number of stored *elements* (including padding), the unit Table II
     /// counts in.
     fn storage_elems(&self) -> usize;
+}
+
+/// Grows `workspace` to at least `len` slots (new slots zeroed, existing
+/// contents untouched) and returns the first `len` as a slice. The shared
+/// helper behind every format's `smsv_view`/`smsv_block` scratch handling:
+/// growth happens once, after which the same buffer is reused forever.
+pub(crate) fn ensure_workspace(workspace: &mut Vec<Scalar>, len: usize) -> &mut [Scalar] {
+    if workspace.len() < len {
+        workspace.resize(len, 0.0);
+    }
+    &mut workspace[..len]
 }
 
 /// A matrix in any of the supported formats, produced by the runtime
@@ -228,8 +303,20 @@ impl MatrixFormat for AnyMatrix {
         dispatch!(self, m => m.row_sparse(i))
     }
 
+    fn row_view_in<'a>(&'a self, i: usize, scratch: &'a mut RowScratch) -> SparseVecView<'a> {
+        dispatch!(self, m => m.row_view_in(i, scratch))
+    }
+
     fn smsv(&self, v: &SparseVec, out: &mut [Scalar]) {
         dispatch!(self, m => m.smsv(v, out))
+    }
+
+    fn smsv_view(&self, v: SparseVecView<'_>, out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
+        dispatch!(self, m => m.smsv_view(v, out, workspace))
+    }
+
+    fn smsv_block(&self, vs: &[SparseVec], out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
+        dispatch!(self, m => m.smsv_block(vs, out, workspace))
     }
 
     fn spmv(&self, x: &[Scalar], out: &mut [Scalar]) {

@@ -6,7 +6,11 @@
 //! bounded irregularity — the format NVIDIA's cusp library popularised, a
 //! natural member of the paper's "derived from these basic formats" family.
 
-use crate::{CooMatrix, EllMatrix, Format, MatrixFormat, Scalar, SparseVec, TripletMatrix};
+use crate::format::ensure_workspace;
+use crate::{
+    CooMatrix, EllMatrix, Format, MatrixFormat, RowScratch, Scalar, SparseVec, SparseVecView,
+    TripletMatrix,
+};
 
 /// Hybrid matrix: an ELL slab of width `k` plus a COO spill list.
 #[derive(Debug, Clone, PartialEq)]
@@ -129,14 +133,41 @@ impl MatrixFormat for HybMatrix {
         )
     }
 
-    fn smsv(&self, v: &SparseVec, out: &mut [Scalar]) {
-        self.ell.smsv(v, out);
-        if self.coo.nnz() > 0 {
-            let mut tail = vec![0.0; out.len()];
-            self.coo.smsv(v, &mut tail);
-            for (o, t) in out.iter_mut().zip(&tail) {
-                *o += t;
+    fn row_view_in<'a>(&'a self, i: usize, scratch: &'a mut RowScratch) -> SparseVecView<'a> {
+        // The slab holds each row's *first* `width` entries in ascending
+        // column order and the spill holds the tail, so slab columns all
+        // precede spill columns: pushing slab then spill stays sorted.
+        scratch.clear();
+        for k in 0..self.ell.width() {
+            let c = self.ell.slot_col(i, k);
+            if c == usize::MAX {
+                break;
             }
+            scratch.push(c, self.ell.slot_val(i, k));
+        }
+        let range = self.coo.row_range(i);
+        for k in range {
+            scratch.push(self.coo.col_idx()[k], self.coo.values()[k]);
+        }
+        scratch.view(self.cols())
+    }
+
+    fn smsv(&self, v: &SparseVec, out: &mut [Scalar]) {
+        let mut workspace = Vec::new();
+        self.smsv_view(v.as_view(), out, &mut workspace);
+    }
+
+    fn smsv_view(&self, v: SparseVecView<'_>, out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
+        self.ell.smsv_view(v, out, workspace);
+        if self.coo.nnz() > 0 {
+            // Accumulate the spill straight into `out` (no tail buffer):
+            // re-scatter v and run the flat COO pass additively.
+            let ws = ensure_workspace(workspace, self.cols());
+            v.scatter(ws);
+            for k in 0..self.coo.nnz() {
+                out[self.coo.row_idx()[k]] += self.coo.values()[k] * ws[self.coo.col_idx()[k]];
+            }
+            v.unscatter(ws);
         }
     }
 

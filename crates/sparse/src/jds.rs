@@ -8,7 +8,8 @@
 //! format from the vector-machine era (SPARSKIT), directly relevant to the
 //! paper's `vdim` discussion.
 
-use crate::{Format, MatrixFormat, Scalar, SparseVec, TripletMatrix};
+use crate::format::ensure_workspace;
+use crate::{Format, MatrixFormat, RowScratch, Scalar, SparseVec, SparseVecView, TripletMatrix};
 
 /// Jagged-diagonal matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -129,14 +130,39 @@ impl MatrixFormat for JdsMatrix {
         )
     }
 
+    fn row_view_in<'a>(&'a self, i: usize, scratch: &'a mut RowScratch) -> SparseVecView<'a> {
+        // Jagged diagonals visit a row's entries in original CSR slot
+        // order, which is already ascending by column — but keep the
+        // co-sort for safety with hand-built triplet orders.
+        let p = self.perm.iter().position(|&r| r == i).expect("row in perm");
+        scratch.clear();
+        for k in 0..self.n_jdiags() {
+            if self.jdiag_len(k) <= p {
+                break;
+            }
+            let pos = self.jd_ptr[k] + p;
+            scratch.push(self.col_idx[pos], self.values[pos]);
+        }
+        scratch.sort_pairs();
+        scratch.view(self.cols)
+    }
+
     fn smsv(&self, v: &SparseVec, out: &mut [Scalar]) {
+        let mut workspace = Vec::new();
+        self.smsv_view(v.as_view(), out, &mut workspace);
+    }
+
+    fn smsv_view(&self, v: SparseVecView<'_>, out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
         assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");
         assert_eq!(out.len(), self.rows, "SMSV output length mismatch");
-        let mut dense = vec![0.0; self.cols];
-        v.scatter(&mut dense);
+        // Workspace holds the dense scatter (cols) followed by the permuted
+        // accumulator (rows); both regions are restored to zero on exit.
+        let ws = ensure_workspace(workspace, self.cols + self.rows);
+        debug_assert!(ws.iter().all(|&w| w == 0.0));
+        let (dense, acc) = ws.split_at_mut(self.cols);
+        v.scatter(dense);
         // Accumulate in permuted order (contiguous streams, zero padding),
         // then scatter back through the permutation.
-        let mut acc = vec![0.0; self.rows];
         for k in 0..self.n_jdiags() {
             let (s, e) = (self.jd_ptr[k], self.jd_ptr[k + 1]);
             let idx = &self.col_idx[s..e];
@@ -147,7 +173,9 @@ impl MatrixFormat for JdsMatrix {
         }
         for (p, &r) in self.perm.iter().enumerate() {
             out[r] = acc[p];
+            acc[p] = 0.0;
         }
+        v.unscatter(dense);
     }
 
     fn spmv(&self, x: &[Scalar], out: &mut [Scalar]) {

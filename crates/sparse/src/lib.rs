@@ -44,11 +44,11 @@ pub use dia::DiaMatrix;
 pub use ell::EllMatrix;
 pub use error::SparseError;
 pub use features::MatrixFeatures;
-pub use format::{AnyMatrix, Format, MatrixFormat};
+pub use format::{AnyMatrix, Format, MatrixFormat, MAX_SMSV_BLOCK};
 pub use hyb::HybMatrix;
 pub use jds::JdsMatrix;
-pub use sparsevec::SparseVec;
-pub use telemetry::{CounterSample, InstrumentedMatrix, SmsvCounters};
+pub use sparsevec::{RowScratch, SparseVec, SparseVecView};
+pub use telemetry::{CounterSample, InstrumentedMatrix, SmsvCounters, BLOCK_HIST_BUCKETS};
 pub use triplet::TripletMatrix;
 
 /// Scalar type used throughout the library. LIBSVM and the paper's

@@ -6,7 +6,10 @@
 //! boundaries), which is why COO stays load-balanced under high `vdim`
 //! while row-split CSR does not.
 
-use crate::{CooMatrix, CsrMatrix, MatrixFormat, Scalar, SparseVec};
+use crate::{CooMatrix, CsrMatrix, MatrixFormat, RowScratch, Scalar, SparseVec, SparseVecView};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
 
 /// Splits `0..len` into at most `parts` contiguous non-empty ranges.
 pub fn split_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
@@ -142,6 +145,149 @@ pub fn par_smsv_coo(m: &CooMatrix, v: &SparseVec, out: &mut [Scalar], threads: u
     .expect("worker thread panicked");
 }
 
+/// An erased unit of work shipped to a pool worker.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent SMSV worker pool.
+///
+/// [`par_smsv_generic`] and friends pay a thread spawn + join per call —
+/// fine for one-shot benchmarks, ruinous inside an SMO loop issuing two
+/// SMSVs per iteration. `SmsvPool` spawns its workers once and feeds them
+/// jobs over channels; a call costs two channel hops instead of a clone/
+/// spawn/join cycle.
+///
+/// With `threads <= 1` (e.g. a single-core host) no workers are spawned at
+/// all and every job runs inline on the caller's thread, so the pool is
+/// safe to construct unconditionally.
+///
+/// Not reentrant: jobs submitted via [`SmsvPool::run`] must not themselves
+/// call back into the same pool.
+pub struct SmsvPool {
+    tx: Option<Sender<Job>>,
+    done_rx: Receiver<bool>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for SmsvPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmsvPool")
+            .field("threads", &self.threads)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl SmsvPool {
+    /// Creates a pool with `threads` logical workers. `threads <= 1` spawns
+    /// no OS threads and runs jobs inline.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let (done_tx, done_rx) = unbounded::<bool>();
+        let mut workers = Vec::new();
+        if threads > 1 {
+            for _ in 0..threads {
+                let rx = rx.clone();
+                let done_tx = done_tx.clone();
+                workers.push(std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        let panicked = catch_unwind(AssertUnwindSafe(job)).is_err();
+                        done_tx.send(panicked).ok();
+                    }
+                }));
+            }
+        }
+        Self { tx: Some(tx), done_rx, workers, threads }
+    }
+
+    /// Logical worker count the pool was built with.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every job to completion, blocking until all have finished.
+    ///
+    /// Jobs may borrow from the caller's stack (`'env`), like scoped
+    /// threads: the lifetime erasure below is sound because `run` does not
+    /// return until every submitted job has reported completion, so no job
+    /// can outlive the borrows it captures.
+    ///
+    /// # Panics
+    /// Panics if any job panicked on a worker.
+    pub fn run<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if self.workers.is_empty() {
+            for job in jobs {
+                job();
+            }
+            return;
+        }
+        let tx = self.tx.as_ref().expect("pool alive");
+        let sent = jobs.len();
+        for job in jobs {
+            // SAFETY: the job is joined (via done_rx) before `run` returns,
+            // so extending its lifetime to 'static cannot let it observe a
+            // dangling borrow.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
+            assert!(tx.send(job).is_ok(), "pool workers alive");
+        }
+        let mut panicked = false;
+        for _ in 0..sent {
+            panicked |= self.done_rx.recv().expect("pool workers alive");
+        }
+        assert!(!panicked, "SMSV pool job panicked");
+    }
+
+    /// Pool-backed SMSV over borrowed data: output rows are split across the
+    /// workers, each computing its chunk with a private [`RowScratch`] (no
+    /// per-row allocation). Serial fallback uses the caller-side scratch the
+    /// same way.
+    pub fn smsv_generic<M: MatrixFormat + Sync>(
+        &self,
+        m: &M,
+        v: SparseVecView<'_>,
+        out: &mut [Scalar],
+    ) {
+        assert_eq!(out.len(), m.rows(), "output length mismatch");
+        assert_eq!(v.dim(), m.cols(), "vector dimension mismatch");
+        let ranges = split_ranges(m.rows(), self.threads);
+        if self.workers.is_empty() || ranges.len() <= 1 {
+            let mut scratch = RowScratch::new();
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = m.row_view_in(i, &mut scratch).dot(v);
+            }
+            return;
+        }
+        let chunks = partition_disjoint(out, &ranges);
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+            .iter()
+            .zip(chunks)
+            .map(|(range, chunk)| {
+                let range = range.clone();
+                Box::new(move || {
+                    let mut scratch = RowScratch::new();
+                    for (k, i) in range.enumerate() {
+                        chunk[k] = m.row_view_in(i, &mut scratch).dot(v);
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        self.run(jobs);
+    }
+}
+
+impl Drop for SmsvPool {
+    fn drop(&mut self) {
+        // Closing the job channel lets every worker's recv() fail and exit.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            w.join().ok();
+        }
+    }
+}
+
 /// Splits a mutable slice into disjoint sub-slices described by sorted,
 /// non-overlapping ranges.
 fn partition_disjoint<'a>(
@@ -241,6 +387,68 @@ mod tests {
                 assert!((a - b).abs() < 1e-9, "{fmt}");
             }
         }
+    }
+
+    #[test]
+    fn pool_matches_serial_for_all_formats() {
+        use crate::{AnyMatrix, Format};
+        let t = skewed_matrix();
+        let v = SparseVec::new(64, vec![0, 5, 33], vec![1.0, -2.0, 4.0]);
+        let csr = CsrMatrix::from_triplets(&t);
+        let mut expect = vec![0.0; 16];
+        csr.smsv(&v, &mut expect);
+        for threads in [1, 2, 4] {
+            let pool = SmsvPool::new(threads);
+            assert_eq!(pool.threads(), threads);
+            for fmt in Format::ALL {
+                let m = AnyMatrix::from_triplets(fmt, &t);
+                let mut got = vec![0.0; 16];
+                pool.smsv_generic(&m, v.as_view(), &mut got);
+                for (a, b) in got.iter().zip(&expect) {
+                    assert!((a - b).abs() < 1e-9, "{fmt} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_calls() {
+        let t = skewed_matrix();
+        let m = CsrMatrix::from_triplets(&t);
+        let v = m.row_sparse(0);
+        let mut expect = vec![0.0; 16];
+        m.smsv(&v, &mut expect);
+        let pool = SmsvPool::new(3);
+        for _ in 0..50 {
+            let mut got = vec![0.0; 16];
+            pool.smsv_generic(&m, v.as_view(), &mut got);
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn pool_run_executes_borrowing_jobs() {
+        let pool = SmsvPool::new(4);
+        let mut cells = vec![0usize; 8];
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = cells
+            .iter_mut()
+            .enumerate()
+            .map(|(i, c)| Box::new(move || *c = i + 1) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        pool.run(jobs);
+        assert_eq!(cells, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = SmsvPool::new(1);
+        let main_id = std::thread::current().id();
+        let mut seen = None;
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = vec![Box::new(|| {
+            seen = Some(std::thread::current().id());
+        })];
+        pool.run(jobs);
+        assert_eq!(seen, Some(main_id));
     }
 
     #[test]

@@ -8,10 +8,16 @@
 //! and feeds the counters from the hot path while delegating every kernel
 //! to the statically dispatched inner format.
 
-use crate::{AnyMatrix, Format, MatrixFormat, Scalar, SparseVec, TripletMatrix};
+use crate::{
+    AnyMatrix, Format, MatrixFormat, RowScratch, Scalar, SparseVec, SparseVecView, TripletMatrix,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Number of log2 buckets in the block-size histogram: bucket `k` counts
+/// `smsv_block` calls with `2^k <= B < 2^(k+1)` (last bucket is open-ended).
+pub const BLOCK_HIST_BUCKETS: usize = 8;
 
 /// Index of a format in the counter arrays, in [`Format::ALL`] order.
 #[inline]
@@ -34,7 +40,14 @@ pub struct FormatCounters {
 impl FormatCounters {
     #[inline]
     fn record(&self, nanos: u64, bytes: u64) {
-        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.record_many(1, nanos, bytes);
+    }
+
+    /// Records `calls` logical kernel invocations that shared one timed
+    /// region — how a blocked SMSV reports its B products.
+    #[inline]
+    fn record_many(&self, calls: u64, nanos: u64, bytes: u64) {
+        self.calls.fetch_add(calls, Ordering::Relaxed);
         self.nanos.fetch_add(nanos, Ordering::Relaxed);
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
     }
@@ -78,6 +91,12 @@ impl CounterSample {
 #[derive(Debug, Default)]
 pub struct SmsvCounters {
     by_format: [FormatCounters; Format::ALL.len()],
+    /// Heap allocations the zero-copy engine skipped: one per borrowed row
+    /// view or workspace-reusing kernel call that would previously have
+    /// materialised an owned vector.
+    allocs_avoided: AtomicU64,
+    /// Histogram of `smsv_block` block sizes, log2-bucketed.
+    block_hist: [AtomicU64; BLOCK_HIST_BUCKETS],
 }
 
 impl SmsvCounters {
@@ -90,6 +109,41 @@ impl SmsvCounters {
     #[inline]
     pub fn record(&self, format: Format, nanos: u64, bytes: u64) {
         self.by_format[format_index(format)].record(nanos, bytes);
+    }
+
+    /// Records `calls` SMSV products served by one timed blocked kernel
+    /// invocation in `format`.
+    #[inline]
+    pub fn record_many(&self, format: Format, calls: u64, nanos: u64, bytes: u64) {
+        self.by_format[format_index(format)].record_many(calls, nanos, bytes);
+    }
+
+    /// Counts `n` heap allocations avoided by the zero-copy paths.
+    #[inline]
+    pub fn record_allocs_avoided(&self, n: u64) {
+        self.allocs_avoided.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total heap allocations the zero-copy engine has avoided so far.
+    pub fn allocs_avoided(&self) -> u64 {
+        self.allocs_avoided.load(Ordering::Relaxed)
+    }
+
+    /// Records one `smsv_block` call covering `block` right-hand sides.
+    #[inline]
+    pub fn record_block(&self, block: usize) {
+        let bucket = (usize::BITS - 1 - block.max(1).leading_zeros()) as usize;
+        self.block_hist[bucket.min(BLOCK_HIST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The block-size histogram: bucket `k` counts calls with
+    /// `2^k <= B < 2^(k+1)` (last bucket open-ended).
+    pub fn block_histogram(&self) -> [u64; BLOCK_HIST_BUCKETS] {
+        let mut out = [0u64; BLOCK_HIST_BUCKETS];
+        for (o, b) in out.iter_mut().zip(self.block_hist.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
     }
 
     /// Reads one format's totals.
@@ -119,9 +173,12 @@ impl SmsvCounters {
 
 /// An [`AnyMatrix`] that meters its SMSV calls into shared [`SmsvCounters`].
 ///
-/// Only `smsv` — the kernel the SMO loop hammers — is timed; the remaining
-/// trait methods delegate untouched. The per-call bytes estimate is
-/// precomputed at wrap time so the hot path adds no traversal.
+/// The SMSV kernel family (`smsv`, `smsv_view`, `smsv_block`) — what the
+/// SMO loop hammers — is timed; `row_view_in` and `smsv_view` additionally
+/// bump the allocs-avoided counter, and `smsv_block` feeds the block-size
+/// histogram. The remaining trait methods delegate untouched. The per-call
+/// bytes estimate is precomputed at wrap time so the hot path adds no
+/// traversal.
 #[derive(Debug, Clone)]
 pub struct InstrumentedMatrix {
     inner: AnyMatrix,
@@ -192,11 +249,44 @@ impl MatrixFormat for InstrumentedMatrix {
         self.inner.row_sparse(i)
     }
 
+    #[inline]
+    fn row_view_in<'a>(&'a self, i: usize, scratch: &'a mut RowScratch) -> SparseVecView<'a> {
+        // Each borrowed view replaces a `row_sparse` heap allocation.
+        self.counters.record_allocs_avoided(1);
+        self.inner.row_view_in(i, scratch)
+    }
+
     fn smsv(&self, v: &SparseVec, out: &mut [Scalar]) {
         let start = Instant::now();
         self.inner.smsv(v, out);
         let nanos = start.elapsed().as_nanos() as u64;
         self.counters.record(self.inner.format(), nanos, self.smsv_bytes);
+    }
+
+    fn smsv_view(&self, v: SparseVecView<'_>, out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
+        let start = Instant::now();
+        self.inner.smsv_view(v, out, workspace);
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.counters.record(self.inner.format(), nanos, self.smsv_bytes);
+        // The reused workspace replaces `smsv`'s internal scratch allocation.
+        self.counters.record_allocs_avoided(1);
+    }
+
+    fn smsv_block(&self, vs: &[SparseVec], out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
+        let start = Instant::now();
+        self.inner.smsv_block(vs, out, workspace);
+        let nanos = start.elapsed().as_nanos() as u64;
+        // Blocked formats stream the matrix once per chunk; fallback
+        // formats stream it once per right-hand side.
+        let sweeps =
+            if self.inner.format().has_blocked_kernel() { 1 } else { vs.len().max(1) as u64 };
+        self.counters.record_many(
+            self.inner.format(),
+            vs.len() as u64,
+            nanos,
+            self.smsv_bytes * sweeps,
+        );
+        self.counters.record_block(vs.len());
     }
 
     #[inline]
@@ -252,6 +342,43 @@ mod tests {
         assert_eq!(s.bytes, 5 * m.storage_bytes() as u64);
         assert_eq!(counters.sample(Format::Coo).calls, 0);
         assert_eq!(counters.total_calls(), 5);
+    }
+
+    #[test]
+    fn view_paths_count_avoided_allocations() {
+        let t = small();
+        let counters = SmsvCounters::shared();
+        let m =
+            InstrumentedMatrix::new(AnyMatrix::from_triplets(Format::Csr, &t), counters.clone());
+        let mut scratch = RowScratch::new();
+        let mut ws = Vec::new();
+        let mut out = vec![0.0; 4];
+        let v = m.row_sparse(0);
+        let view = m.row_view_in(0, &mut scratch).to_owned();
+        assert_eq!(view.indices(), v.indices());
+        m.smsv_view(v.as_view(), &mut out, &mut ws);
+        // One avoided alloc from row_view_in, one from smsv_view.
+        assert_eq!(counters.allocs_avoided(), 2);
+        assert_eq!(counters.sample(Format::Csr).calls, 1);
+    }
+
+    #[test]
+    fn block_histogram_buckets_by_power_of_two() {
+        let t = small();
+        let counters = SmsvCounters::shared();
+        let m =
+            InstrumentedMatrix::new(AnyMatrix::from_triplets(Format::Csr, &t), counters.clone());
+        let vs: Vec<SparseVec> = (0..4).map(|i| m.row_sparse(i)).collect();
+        let mut ws = Vec::new();
+        let mut out = vec![0.0; 4 * 4];
+        m.smsv_block(&vs, &mut out, &mut ws);
+        m.smsv_block(&vs[..1], &mut out[..4], &mut ws);
+        let hist = counters.block_histogram();
+        assert_eq!(hist[2], 1); // block of 4 -> bucket log2(4) = 2
+        assert_eq!(hist[0], 1); // block of 1 -> bucket 0
+                                // Blocked CSR kernel: one matrix sweep, but 4 + 1 SMSV calls.
+        assert_eq!(counters.sample(Format::Csr).calls, 5);
+        assert_eq!(counters.sample(Format::Csr).bytes, 2 * m.storage_bytes() as u64);
     }
 
     #[test]

@@ -3,9 +3,10 @@
 //! with the reference implementation on arbitrary sparsity patterns.
 
 use dls_sparse::ops::smsv_reference;
-use dls_sparse::parallel::{par_smsv_coo, par_smsv_csr, par_smsv_generic};
+use dls_sparse::parallel::{par_smsv_coo, par_smsv_csr, par_smsv_generic, SmsvPool};
 use dls_sparse::{
-    AnyMatrix, CooMatrix, CsrMatrix, Format, MatrixFeatures, MatrixFormat, SparseVec, TripletMatrix,
+    AnyMatrix, CooMatrix, CsrMatrix, Format, MatrixFeatures, MatrixFormat, RowScratch, SparseVec,
+    TripletMatrix,
 };
 use proptest::prelude::*;
 
@@ -157,6 +158,85 @@ proptest! {
         if f.nnz > 0 {
             prop_assert!(f.ndig >= 1);
             prop_assert!(f.dnnz >= 1.0 - 1e-12);
+        }
+    }
+
+    /// Borrowed row views match the owned row extraction exactly for every
+    /// format (including empty rows, which arbitrary matrices produce).
+    #[test]
+    fn row_view_matches_row_sparse(t in arb_matrix()) {
+        let mut scratch = RowScratch::new();
+        for fmt in Format::ALL {
+            let m = AnyMatrix::from_triplets(fmt, &t);
+            for i in 0..t.rows() {
+                let owned = m.row_sparse(i);
+                let view = m.row_view_in(i, &mut scratch);
+                prop_assert_eq!(view.dim(), owned.dim(), "{} row {}", fmt, i);
+                prop_assert_eq!(view.indices(), owned.indices(), "{} row {}", fmt, i);
+                prop_assert_eq!(view.values(), owned.values(), "{} row {}", fmt, i);
+            }
+        }
+    }
+
+    /// The workspace-reusing SMSV agrees with the allocating one for every
+    /// format — sharing one workspace across all formats and calls.
+    #[test]
+    fn smsv_view_matches_smsv((t, v) in arb_matrix_and_vec()) {
+        let csr = CsrMatrix::from_triplets(&t);
+        let reference = smsv_reference(&csr, &v);
+        let mut ws = Vec::new();
+        for fmt in Format::ALL {
+            let m = AnyMatrix::from_triplets(fmt, &t);
+            let mut out = vec![1.0; t.rows()]; // pre-polluted: must overwrite
+            m.smsv_view(v.as_view(), &mut out, &mut ws);
+            for (a, b) in out.iter().zip(&reference) {
+                prop_assert!((a - b).abs() < 1e-9, "{}: {:?} vs {:?}", fmt, out, reference);
+            }
+            // The shared workspace must be restored to all-zero.
+            prop_assert!(ws.iter().all(|&w| w == 0.0), "{} left workspace dirty", fmt);
+        }
+    }
+
+    /// Blocked SMSV equals per-vector reference products for every format
+    /// and any block width — including B > rows and B > MAX_SMSV_BLOCK.
+    #[test]
+    fn smsv_block_matches_reference((t, v) in arb_matrix_and_vec(), b in 0usize..40) {
+        let csr = CsrMatrix::from_triplets(&t);
+        // Block of B right-hand sides: matrix rows cycled, plus the
+        // arbitrary vector interleaved so not every RHS is a matrix row.
+        let vs: Vec<SparseVec> = (0..b)
+            .map(|k| if k % 3 == 2 { v.clone() } else { t.row_sparse(k % t.rows()) })
+            .collect();
+        let mut ws = Vec::new();
+        for fmt in Format::ALL {
+            let m = AnyMatrix::from_triplets(fmt, &t);
+            let mut out = vec![1.0; t.rows() * b];
+            m.smsv_block(&vs, &mut out, &mut ws);
+            for (k, rhs) in vs.iter().enumerate() {
+                let expect = smsv_reference(&csr, rhs);
+                let got = &out[k * t.rows()..(k + 1) * t.rows()];
+                for (a, bb) in got.iter().zip(&expect) {
+                    prop_assert!((a - bb).abs() < 1e-9, "{} block {}/{}", fmt, k, b);
+                }
+            }
+            prop_assert!(ws.iter().all(|&w| w == 0.0), "{} left workspace dirty", fmt);
+        }
+    }
+
+    /// The persistent pool agrees with the serial kernel for any format and
+    /// worker count.
+    #[test]
+    fn pool_smsv_agrees((t, v) in arb_matrix_and_vec(), threads in 1usize..5) {
+        let csr = CsrMatrix::from_triplets(&t);
+        let reference = smsv_reference(&csr, &v);
+        let pool = SmsvPool::new(threads);
+        for fmt in Format::ALL {
+            let m = AnyMatrix::from_triplets(fmt, &t);
+            let mut out = vec![1.0; t.rows()];
+            pool.smsv_generic(&m, v.as_view(), &mut out);
+            for (a, b) in out.iter().zip(&reference) {
+                prop_assert!((a - b).abs() < 1e-9, "{} threads={}", fmt, threads);
+            }
         }
     }
 

@@ -87,6 +87,46 @@ impl KernelCache {
         self.map.get(&index).expect("row just ensured").as_slice()
     }
 
+    /// Fetches the row for `index` if resident, counting a hit (and
+    /// refreshing recency) or a miss. The caller computes and [`insert`]s
+    /// the row after a miss — splitting the miss path out of
+    /// [`get_or_insert_with`] lets it fill several rows per miss with one
+    /// blocked SMSV sweep.
+    ///
+    /// [`insert`]: KernelCache::insert
+    /// [`get_or_insert_with`]: KernelCache::get_or_insert_with
+    pub fn get(&mut self, index: usize) -> Option<&[Scalar]> {
+        if self.map.contains_key(&index) {
+            self.hits += 1;
+            self.touch(index);
+            self.map.get(&index).map(Vec::as_slice)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// True when `index` is resident. Does not count toward hit/miss
+    /// statistics and does not refresh recency.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        self.map.contains_key(&index)
+    }
+
+    /// Inserts (or replaces) the row for `index`, evicting the LRU row if
+    /// at capacity. The inserted row becomes the most recently used.
+    pub fn insert(&mut self, index: usize, row: Vec<Scalar>) {
+        if self.map.contains_key(&index) {
+            self.touch(index);
+        } else {
+            if self.map.len() >= self.capacity {
+                self.evict_lru();
+            }
+            self.order.push(index);
+        }
+        self.map.insert(index, row);
+    }
+
     /// Drops every cached row (used when α changes invalidate nothing —
     /// kernel rows depend only on X — so this exists for tests and resets).
     pub fn clear(&mut self) {
@@ -155,6 +195,28 @@ mod tests {
     fn always_admits_two_rows() {
         let c = KernelCache::with_budget(0, 1_000_000);
         assert_eq!(c.capacity(), 2);
+    }
+
+    #[test]
+    fn split_get_insert_matches_combined_path() {
+        let mut c = KernelCache::with_budget(64, 4);
+        assert!(c.get(5).is_none());
+        assert_eq!(c.misses(), 1);
+        c.insert(5, vec![5.0; 4]);
+        assert_eq!(c.get(5).unwrap(), &[5.0; 4]);
+        assert_eq!(c.hits(), 1);
+        assert!(c.contains(5));
+        assert!(!c.contains(6));
+        // contains() leaves the statistics alone.
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        // Inserting past capacity evicts the LRU row: after touching 5,
+        // 6 is least recent and gets evicted by the insert of 7.
+        c.insert(6, vec![6.0; 4]);
+        let _ = c.get(5);
+        c.insert(7, vec![7.0; 4]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.contains(6));
+        assert!(c.contains(5) && c.contains(7));
     }
 
     #[test]

@@ -18,7 +18,8 @@
 #![allow(clippy::nonminimal_bool, clippy::needless_range_loop, clippy::neg_cmp_op_on_partial_ord)]
 
 use crate::{KernelCache, KernelKind, SvmError, SvmModel, SvmProblem};
-use dls_sparse::{MatrixFormat, Scalar};
+use dls_sparse::parallel::SmsvPool;
+use dls_sparse::{MatrixFormat, RowScratch, Scalar, SparseVec};
 
 /// α within this distance of a bound is treated as exactly at the bound.
 const ALPHA_EPS: Scalar = 1e-12;
@@ -63,6 +64,12 @@ pub struct SmoParams {
     /// plain `C`. Values > 1 push the boundary toward the negative class —
     /// the standard handle for imbalanced data.
     pub positive_weight: Scalar,
+    /// Kernel rows prefetched per cache miss with one blocked SMSV sweep
+    /// (`smsv_block`): the missed row plus up to `block_size − 1` likely-
+    /// next working-set candidates. `1` reproduces the classic one-row-per-
+    /// miss behaviour exactly. Ignored when `threads > 1` (the worker pool
+    /// splits single rows instead).
+    pub block_size: usize,
 }
 
 impl Default for SmoParams {
@@ -77,6 +84,7 @@ impl Default for SmoParams {
             threads: 1,
             shrinking: false,
             positive_weight: 1.0,
+            block_size: 1,
         }
     }
 }
@@ -104,6 +112,9 @@ impl SmoParams {
                 "positive_weight must be > 0, got {}",
                 self.positive_weight
             )));
+        }
+        if self.block_size == 0 {
+            return Err(SvmError::InvalidParameter("block_size must be >= 1".into()));
         }
         Ok(())
     }
@@ -184,6 +195,64 @@ pub struct SmoState {
     converged: bool,
     stalled: bool,
     gap: Scalar,
+    /// Kernel row of the current `high` index, reused every iteration.
+    k_high: Vec<Scalar>,
+    /// Kernel row of the current `low` index, reused every iteration.
+    k_low: Vec<Scalar>,
+    /// Indices written into `k_high`/`k_low` by the last *partial* fill;
+    /// zeroing exactly these restores the buffer without an O(n) sweep.
+    touched_high: Vec<usize>,
+    touched_low: Vec<usize>,
+    /// Whether `k_high`/`k_low` last held a full row (every entry valid).
+    k_high_full: bool,
+    k_low_full: bool,
+    ws: SmoWorkspace,
+}
+
+/// Buffers reused across iterations and segments so the steady-state SMO
+/// loop (all working rows cached) performs no heap allocation at all.
+struct SmoWorkspace {
+    /// Row-view scratch for the working-set row being fetched.
+    scratch_a: RowScratch,
+    /// Row-view scratch for the inner row of partial kernel products.
+    scratch_b: RowScratch,
+    /// Dense scatter workspace shared by every `smsv_view`/`smsv_block`.
+    smsv_ws: Vec<Scalar>,
+    /// Row indices gathered for one blocked prefetch.
+    block_rows: Vec<usize>,
+    /// Owned right-hand sides handed to `smsv_block`.
+    block_vecs: Vec<SparseVec>,
+    /// Vector-major output of `smsv_block` (`b × n`).
+    block_out: Vec<Scalar>,
+    /// Dense mirror of `active`, maintained incrementally by the shrink
+    /// pass so `reconstruct_f` never rebuilds it.
+    is_active: Vec<bool>,
+    /// Support-vector rows materialised at most once, ever: row *content*
+    /// is format-independent, so a mid-training layout switch does not
+    /// invalidate them.
+    sv_rows: Vec<Option<SparseVec>>,
+    /// Scratch list of support-vector indices for `reconstruct_f`.
+    svs: Vec<usize>,
+    /// Persistent worker pool, spawned lazily when `threads > 1` and kept
+    /// across iterations and segments (replaces a spawn/join per SMSV).
+    pool: Option<SmsvPool>,
+}
+
+impl SmoWorkspace {
+    fn new(n: usize) -> Self {
+        Self {
+            scratch_a: RowScratch::new(),
+            scratch_b: RowScratch::new(),
+            smsv_ws: Vec::new(),
+            block_rows: Vec::new(),
+            block_vecs: Vec::new(),
+            block_out: Vec::new(),
+            is_active: vec![true; n],
+            sv_rows: vec![None; n],
+            svs: Vec::new(),
+            pool: None,
+        }
+    }
 }
 
 /// Per-sample box constraint: C_i = C · w(y_i).
@@ -231,6 +300,13 @@ impl SmoState {
             converged: false,
             stalled: false,
             gap: Scalar::INFINITY,
+            k_high: vec![0.0; n],
+            k_low: vec![0.0; n],
+            touched_high: Vec::with_capacity(n),
+            touched_low: Vec::with_capacity(n),
+            k_high_full: false,
+            k_low_full: false,
+            ws: SmoWorkspace::new(n),
             y,
         })
     }
@@ -276,6 +352,13 @@ impl SmoState {
         let start_iterations = self.iterations;
         let start_smsv = self.smsv_count;
 
+        // Persistent worker pool: spawned once here and reused across every
+        // iteration and segment (recreated only if `threads` changed).
+        if params.threads > 1 && self.ws.pool.as_ref().is_none_or(|p| p.threads() != params.threads)
+        {
+            self.ws.pool = Some(SmsvPool::new(params.threads));
+        }
+
         while !self.converged && !self.stalled {
             // Lines 6–10 of Algorithm 1: one fused pass over f selecting
             // the maximal violating pair (restricted to the active set).
@@ -311,10 +394,15 @@ impl SmoState {
                         &self.alpha,
                         &self.norms_sq,
                         params,
-                        &self.active,
+                        &self.ws.is_active,
+                        &mut self.ws.sv_rows,
+                        &mut self.ws.svs,
+                        &mut self.ws.scratch_a,
                         &mut self.f,
                     );
-                    self.active = (0..n).collect();
+                    self.active.clear();
+                    self.active.extend(0..n);
+                    self.ws.is_active.fill(true);
                     self.do_shrink = false;
                     continue;
                 }
@@ -335,7 +423,7 @@ impl SmoState {
             // actually saves work; partial rows bypass the cache to keep
             // it full-row-only.
             let use_partial = self.active.len() * 4 < n;
-            let k_high = if use_partial {
+            if use_partial {
                 partial_kernel_row(
                     x,
                     high,
@@ -343,14 +431,28 @@ impl SmoState {
                     &self.norms_sq,
                     params,
                     &mut self.smsv_count,
-                )
+                    &mut self.ws.scratch_a,
+                    &mut self.ws.scratch_b,
+                    &mut self.k_high,
+                    &mut self.touched_high,
+                    &mut self.k_high_full,
+                );
             } else {
-                let norms_sq = &self.norms_sq;
-                let smsv_count = &mut self.smsv_count;
-                self.cache
-                    .get_or_insert_with(high, || kernel_row(x, high, norms_sq, params, smsv_count))
-                    .to_vec()
-            };
+                fetch_full_row(
+                    x,
+                    high,
+                    params,
+                    &self.y,
+                    &self.alpha,
+                    &self.active,
+                    &self.norms_sq,
+                    &mut self.cache,
+                    &mut self.ws,
+                    &mut self.smsv_count,
+                    &mut self.k_high,
+                );
+                self.k_high_full = true;
+            }
 
             // Optional second-order refinement of `low` using the high row.
             if params.selection == WorkingSetSelection::SecondOrder {
@@ -370,7 +472,8 @@ impl SmoState {
                     if diff <= params.tolerance {
                         continue;
                     }
-                    let eta = (k_high[high] + self_k(&self.norms_sq, params, j) - 2.0 * k_high[j])
+                    let eta = (self.k_high[high] + self_k(&self.norms_sq, params, j)
+                        - 2.0 * self.k_high[j])
                         .max(1e-12);
                     let gain = diff * diff / eta;
                     if gain > best {
@@ -381,7 +484,7 @@ impl SmoState {
                 low = best_j;
             }
 
-            let k_low = if use_partial {
+            if use_partial {
                 partial_kernel_row(
                     x,
                     low,
@@ -389,20 +492,34 @@ impl SmoState {
                     &self.norms_sq,
                     params,
                     &mut self.smsv_count,
-                )
+                    &mut self.ws.scratch_a,
+                    &mut self.ws.scratch_b,
+                    &mut self.k_low,
+                    &mut self.touched_low,
+                    &mut self.k_low_full,
+                );
             } else {
-                let norms_sq = &self.norms_sq;
-                let smsv_count = &mut self.smsv_count;
-                self.cache
-                    .get_or_insert_with(low, || kernel_row(x, low, norms_sq, params, smsv_count))
-                    .to_vec()
-            };
+                fetch_full_row(
+                    x,
+                    low,
+                    params,
+                    &self.y,
+                    &self.alpha,
+                    &self.active,
+                    &self.norms_sq,
+                    &mut self.cache,
+                    &mut self.ws,
+                    &mut self.smsv_count,
+                    &mut self.k_low,
+                );
+                self.k_low_full = true;
+            }
 
             let (yh, yl) = (self.y[high], self.y[low]);
             let s = yh * yl;
             // η = K_hh + K_ll − 2 K_hl; guard non-PSD kernels (sigmoid)
             // and numerically degenerate pairs.
-            let eta = (k_high[high] + k_low[low] - 2.0 * k_high[low]).max(1e-12);
+            let eta = (self.k_high[high] + self.k_low[low] - 2.0 * self.k_high[low]).max(1e-12);
 
             // Equation (5) with b_high = f_high, b_low = f_low at
             // selection time, then clip α_low to the feasible segment.
@@ -434,8 +551,9 @@ impl SmoState {
             // Equation (4): fused f update over the active samples.
             // Shrunk samples keep stale f values until reconstruction.
             let (dh_yh, dl_yl) = (delta_high * yh, delta_low * yl);
+            let (f, k_high, k_low) = (&mut self.f, &self.k_high, &self.k_low);
             for &i in &self.active {
-                self.f[i] += dh_yh * k_high[i] + dl_yl * k_low[i];
+                f[i] += dh_yh * k_high[i] + dl_yl * k_low[i];
             }
 
             // Periodic shrink: drop bound variables that cannot join any
@@ -445,21 +563,27 @@ impl SmoState {
                 && self.active.len() > 2
             {
                 let (alpha, y, f) = (&self.alpha, &self.y, &self.f);
+                let is_active = &mut self.ws.is_active;
                 self.active.retain(|&i| {
                     let ai = alpha[i];
                     let free = ai > ALPHA_EPS && ai < c_of(params, y[i]) - ALPHA_EPS;
-                    if free {
-                        return true;
-                    }
-                    let at_zero = ai <= ALPHA_EPS;
-                    let in_high = (y[i] > 0.0 && at_zero) || (y[i] < 0.0 && !at_zero);
-                    // I_high-only at bound: can only violate as a future
-                    // `high` with f[i] < b_low; I_low-only symmetric.
-                    if in_high {
-                        f[i] < b_low
+                    let keep = if free {
+                        true
                     } else {
-                        f[i] > b_high
+                        let at_zero = ai <= ALPHA_EPS;
+                        let in_high = (y[i] > 0.0 && at_zero) || (y[i] < 0.0 && !at_zero);
+                        // I_high-only at bound: can only violate as a future
+                        // `high` with f[i] < b_low; I_low-only symmetric.
+                        if in_high {
+                            f[i] < b_low
+                        } else {
+                            f[i] > b_high
+                        }
+                    };
+                    if !keep {
+                        is_active[i] = false;
                     }
+                    keep
                 });
             }
         }
@@ -521,26 +645,87 @@ impl SmoState {
     }
 }
 
-/// Computes kernel row `i`: one SMSV then the elementwise kernel map.
-/// With threads > 1 the SMSV is row-partitioned across crossbeam workers
-/// (the paper's OpenMP strategy).
-fn kernel_row<M: MatrixFormat + Sync>(
+/// Serves the full kernel row `row` into `dest` (length n), through the
+/// LRU cache.
+///
+/// On a hit the row is copied straight out of the cache. On a miss, one
+/// SMSV produces the row — via the persistent worker pool when
+/// `threads > 1`, via the borrowed-view kernel otherwise — and, when
+/// `block_size > 1` (serial mode only), up to `block_size − 1` additional
+/// not-yet-cached working-set candidates are prefetched with a single
+/// blocked SMSV sweep over the matrix.
+#[allow(clippy::too_many_arguments)]
+fn fetch_full_row<M: MatrixFormat + Sync>(
     x: &M,
-    i: usize,
-    norms_sq: &[Scalar],
+    row: usize,
     params: &SmoParams,
+    y: &[Scalar],
+    alpha: &[Scalar],
+    active: &[usize],
+    norms_sq: &[Scalar],
+    cache: &mut KernelCache,
+    ws: &mut SmoWorkspace,
     smsv_count: &mut u64,
-) -> Vec<Scalar> {
-    *smsv_count += 1;
-    let xi = x.row_sparse(i);
-    let mut row = vec![0.0; norms_sq.len()];
-    if params.threads > 1 {
-        dls_sparse::parallel::par_smsv_generic(x, &xi, &mut row, params.threads);
-    } else {
-        x.smsv(&xi, &mut row);
+    dest: &mut [Scalar],
+) {
+    let n = norms_sq.len();
+    if let Some(cached) = cache.get(row) {
+        dest.copy_from_slice(cached);
+        return;
     }
-    params.kernel.apply_row(&mut row, norms_sq, norms_sq[i]);
-    row
+    let block = if params.threads > 1 { 1 } else { params.block_size.max(1) };
+    let b_max = block.min(cache.capacity());
+    if b_max <= 1 {
+        *smsv_count += 1;
+        let xr = x.row_view_in(row, &mut ws.scratch_a);
+        if params.threads > 1 {
+            if let Some(pool) = ws.pool.as_ref() {
+                pool.smsv_generic(x, xr, dest);
+            } else {
+                x.smsv_view(xr, dest, &mut ws.smsv_ws);
+            }
+        } else {
+            x.smsv_view(xr, dest, &mut ws.smsv_ws);
+        }
+        params.kernel.apply_row(dest, norms_sq, norms_sq[row]);
+        cache.insert(row, dest.to_vec());
+        return;
+    }
+    // Blocked prefetch: the missed row plus free, uncached working-set
+    // candidates (free α ⇒ likely future high/low selections).
+    ws.block_rows.clear();
+    ws.block_rows.push(row);
+    for &i in active {
+        if ws.block_rows.len() >= b_max {
+            break;
+        }
+        if i == row || cache.contains(i) {
+            continue;
+        }
+        let ai = alpha[i];
+        let free = ai > ALPHA_EPS && ai < c_of(params, y[i]) - ALPHA_EPS;
+        if free {
+            ws.block_rows.push(i);
+        }
+    }
+    let b = ws.block_rows.len();
+    ws.block_vecs.clear();
+    for &i in &ws.block_rows {
+        ws.block_vecs.push(x.row_sparse(i));
+    }
+    ws.block_out.clear();
+    ws.block_out.resize(n * b, 0.0);
+    *smsv_count += b as u64;
+    x.smsv_block(&ws.block_vecs, &mut ws.block_out, &mut ws.smsv_ws);
+    // Insert prefetched rows first and the target row *last*, so the
+    // prefetches can never evict the row this iteration actually needs.
+    for bi in (0..b).rev() {
+        let i = ws.block_rows[bi];
+        let chunk = &mut ws.block_out[bi * n..(bi + 1) * n];
+        params.kernel.apply_row(chunk, norms_sq, norms_sq[i]);
+        cache.insert(i, chunk.to_vec());
+    }
+    dest.copy_from_slice(&ws.block_out[..n]);
 }
 
 /// K(X_j, X_j) for the second-order rule without materialising row j.
@@ -553,6 +738,12 @@ fn self_k(norms_sq: &[Scalar], params: &SmoParams, j: usize) -> Scalar {
 /// outside the active set are left at zero and are never read: the f
 /// update, the selection pass and the η computation all index into the
 /// active set only.
+///
+/// The output buffer is reused across calls: only the entries written last
+/// time (`touched`, or the whole buffer when it last held a full row per
+/// `was_full`) are zeroed, and rows are read through borrowed views — no
+/// allocation on any call.
+#[allow(clippy::too_many_arguments)]
 fn partial_kernel_row<M: MatrixFormat>(
     x: &M,
     row: usize,
@@ -560,47 +751,71 @@ fn partial_kernel_row<M: MatrixFormat>(
     norms_sq: &[Scalar],
     params: &SmoParams,
     smsv_count: &mut u64,
-) -> Vec<Scalar> {
+    scratch_a: &mut RowScratch,
+    scratch_b: &mut RowScratch,
+    out: &mut [Scalar],
+    touched: &mut Vec<usize>,
+    was_full: &mut bool,
+) {
     *smsv_count += 1;
-    let xr = x.row_sparse(row);
-    let mut out = vec![0.0; norms_sq.len()];
+    if *was_full {
+        out.fill(0.0);
+        *was_full = false;
+    } else {
+        for &i in touched.iter() {
+            out[i] = 0.0;
+        }
+    }
+    touched.clear();
+    let xr = x.row_view_in(row, scratch_a);
     for &i in active {
-        let dot = x.row_sparse(i).dot(&xr);
+        let dot = x.row_view_in(i, scratch_b).dot(xr);
         out[i] = params.kernel.apply(dot, norms_sq[i], norms_sq[row]);
+        touched.push(i);
     }
     if out[row] == 0.0 {
         // The row itself may already be shrunk; η still needs K(row,row).
         out[row] = params.kernel.apply(xr.norm_sq(), norms_sq[row], norms_sq[row]);
+        touched.push(row);
     }
-    out
 }
 
 /// Recomputes `f_i = Σ_j α_j y_j K_ij − y_i` for every index *not* in the
 /// active set (whose f went stale while shrunk), using one sparse dot per
 /// (inactive sample, support vector) pair.
+///
+/// `is_active` is the dense mirror maintained by the shrink pass, and
+/// support-vector rows are materialised into `sv_rows` at most once ever —
+/// repeated reconstructions (one per shrink/unshrink cycle) reuse them.
+#[allow(clippy::too_many_arguments)]
 fn reconstruct_f<M: MatrixFormat>(
     x: &M,
     y: &[Scalar],
     alpha: &[Scalar],
     norms_sq: &[Scalar],
     params: &SmoParams,
-    active: &[usize],
+    is_active: &[bool],
+    sv_rows: &mut [Option<SparseVec>],
+    svs: &mut Vec<usize>,
+    scratch: &mut RowScratch,
     f: &mut [Scalar],
 ) {
-    let mut is_active = vec![false; f.len()];
-    for &i in active {
-        is_active[i] = true;
+    svs.clear();
+    svs.extend((0..f.len()).filter(|&j| alpha[j] > ALPHA_EPS));
+    for &j in svs.iter() {
+        if sv_rows[j].is_none() {
+            sv_rows[j] = Some(x.row_sparse(j));
+        }
     }
-    let svs: Vec<usize> = (0..f.len()).filter(|&j| alpha[j] > ALPHA_EPS).collect();
-    let sv_rows: Vec<dls_sparse::SparseVec> = svs.iter().map(|&j| x.row_sparse(j)).collect();
     for i in 0..f.len() {
         if is_active[i] {
             continue;
         }
-        let xi = x.row_sparse(i);
+        let xi = x.row_view_in(i, scratch);
         let mut acc = -y[i];
-        for (&j, row_j) in svs.iter().zip(&sv_rows) {
-            let k = params.kernel.apply(xi.dot(row_j), norms_sq[i], norms_sq[j]);
+        for &j in svs.iter() {
+            let row_j = sv_rows[j].as_ref().expect("materialised above");
+            let k = params.kernel.apply(xi.dot(row_j.as_view()), norms_sq[i], norms_sq[j]);
             acc += alpha[j] * y[j] * k;
         }
         f[i] = acc;
@@ -878,6 +1093,66 @@ mod tests {
         assert!(train(&x, &y, &bad_iter).is_err());
         let bad_threads = SmoParams { threads: 0, ..Default::default() };
         assert!(train(&x, &y, &bad_threads).is_err());
+        let bad_block = SmoParams { block_size: 0, ..Default::default() };
+        assert!(train(&x, &y, &bad_block).is_err());
+    }
+
+    #[test]
+    fn blocked_prefetch_trains_identically() {
+        use dls_sparse::{AnyMatrix, Format};
+        let (csr, y) = separable_1d();
+        let t = csr.to_triplets().compact();
+        let base = SmoParams { kernel: KernelKind::Gaussian { gamma: 0.5 }, ..Default::default() };
+        let (reference, ref_stats) = train_with_stats(&csr, &y, &base).unwrap();
+        for block_size in [2, 4, 32] {
+            let blocked = SmoParams { block_size, ..base };
+            for fmt in Format::ALL {
+                let m = AnyMatrix::from_triplets(fmt, &t);
+                let (model, stats) = train_with_stats(&m, &y, &blocked).unwrap();
+                assert_eq!(stats.iterations, ref_stats.iterations, "{fmt} b={block_size}");
+                assert!(
+                    (model.bias() - reference.bias()).abs() < 1e-9,
+                    "{fmt} b={block_size}: {} vs {}",
+                    model.bias(),
+                    reference.bias()
+                );
+                // Prefetching can only add SMSVs, never change decisions.
+                assert!(stats.smsv_count >= ref_stats.smsv_count, "{fmt} b={block_size}");
+                for i in 0..csr.rows() {
+                    assert_eq!(model.predict_label(&csr.row_sparse(i)), y[i], "{fmt}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_prefetch_reduces_cache_misses() {
+        use dls_sparse::TripletMatrix;
+        // A problem large enough that many distinct rows get fetched.
+        let n = 40;
+        let mut t = TripletMatrix::new(n, 3);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let jitter = (i as f64 * 0.77).sin();
+            t.push(i, 0, sign + jitter * 0.9);
+            t.push(i, 1, jitter);
+            t.push(i, 2, (i as f64 * 0.31).cos() * 0.5);
+            y.push(sign);
+        }
+        let x = dls_sparse::CsrMatrix::from_triplets(&t.compact());
+        let base = SmoParams { kernel: KernelKind::Gaussian { gamma: 1.0 }, ..Default::default() };
+        let blocked = SmoParams { block_size: 8, ..base };
+        let (_, s1) = train_with_stats(&x, &y, &base).unwrap();
+        let (_, s2) = train_with_stats(&x, &y, &blocked).unwrap();
+        assert_eq!(s1.iterations, s2.iterations);
+        // Prefetched rows turn later misses into hits.
+        assert!(
+            s2.cache_hits >= s1.cache_hits,
+            "blocked hits {} < unblocked {}",
+            s2.cache_hits,
+            s1.cache_hits
+        );
     }
 
     #[test]

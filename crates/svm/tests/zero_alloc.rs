@@ -1,0 +1,100 @@
+//! Proof that the steady-state SMO loop is allocation-free.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! phase has filled the kernel-row cache with every working-set row, a
+//! measured segment of real SMO iterations must perform exactly zero heap
+//! allocations — the borrowed row views, the reusable SMSV workspace and
+//! the persistent kernel-row buffers leave nothing to allocate.
+//!
+//! This file must stay the *only* test in its binary: the allocation
+//! counter is process-global, and a concurrently running test would
+//! pollute it.
+
+use dls_sparse::{AnyMatrix, Format, TripletMatrix};
+use dls_svm::{KernelKind, SmoParams, SmoState};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Overlapping 1-D clusters: slow to converge, so the working set keeps
+/// cycling through the same boundary rows long after the cache is warm.
+fn twin_clusters(n: usize) -> (TripletMatrix, Vec<f64>) {
+    let mut t = TripletMatrix::new(n, 2);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+        let jitter = (i as f64 * 0.77).sin();
+        t.push(i, 0, sign * 0.5 + jitter * 0.9);
+        t.push(i, 1, (i as f64 * 0.31).cos());
+        y.push(sign);
+    }
+    (t.compact(), y)
+}
+
+#[test]
+fn steady_state_smo_iterations_do_not_allocate() {
+    let (t, y) = twin_clusters(48);
+    let params = SmoParams {
+        kernel: KernelKind::Gaussian { gamma: 0.7 },
+        c: 10.0,
+        tolerance: 1e-6, // tight: keeps the solver iterating long enough
+        ..Default::default()
+    };
+
+    for fmt in [Format::Csr, Format::Den] {
+        let x = AnyMatrix::from_triplets(fmt, &t);
+        let mut state = SmoState::new(&x, &y, &params).unwrap();
+
+        // Warm up until one whole segment runs without a single cache miss
+        // — from then on every kernel row is served from the cache.
+        let mut warm = false;
+        for _ in 0..200 {
+            assert!(state.can_continue(&params), "{fmt}: converged before steady state");
+            let rep = state.run_segment(&x, &params, 25);
+            if rep.smsv_count == 0 {
+                warm = true;
+                break;
+            }
+        }
+        assert!(warm, "{fmt}: never reached a miss-free segment");
+
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let rep = state.run_segment(&x, &params, 25);
+        let after = ALLOCS.load(Ordering::Relaxed);
+        assert!(rep.iterations > 0, "{fmt}: measured segment did no work");
+        assert_eq!(
+            after - before,
+            0,
+            "{fmt}: {} allocations in {} steady-state iterations",
+            after - before,
+            rep.iterations
+        );
+    }
+}

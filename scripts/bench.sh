@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Performance suite: the paper-reproduction criterion benches plus the
+# zero-copy batched SMSV engine measurement.
+#
+# Usage: scripts/bench.sh [reps]
+#   reps — repetitions for the SMSV engine measurement (default 15).
+#
+# Emits BENCH_smsv.json at the repository root: per dataset x format, the
+# median ns per SMSV product for the allocating kernel, the borrowed-view
+# kernel and the blocked kernel (B = 8), plus heap allocations per call
+# counted by a wrapping global allocator. smsv_view and steady-state
+# smsv_block must report zero allocations.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+reps="${1:-15}"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> criterion: fig1_formats (per-format SMO, Figure 1 / Table III)"
+cargo bench -q -p dls-bench --bench fig1_formats
+
+echo "==> criterion: table6_adaptive (adaptive vs static scheduling, Table VI)"
+cargo bench -q -p dls-bench --bench table6_adaptive
+
+echo "==> criterion: smsv_block (smsv vs smsv_view vs smsv_block)"
+cargo bench -q -p dls-bench --bench smsv_block
+
+echo "==> SMSV engine measurement -> BENCH_smsv.json (median of ${reps} reps)"
+cargo run --release -q -p dls-bench --bin repro_smsv_block -- "$reps" BENCH_smsv.json
+
+echo "==> bench OK"

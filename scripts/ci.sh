@@ -20,6 +20,9 @@ cargo run --release -q --bin dls -- train-selector "$model" --quick --analytic
 cargo run --release -q --bin dls -- selector-info "$model"
 cargo run --release -q --bin dls -- schedule @trefethen "learned:$model"
 
+echo "==> bench smoke (criterion --test mode, one pass, no statistics)"
+cargo bench -q -p dls-bench --bench smsv_block -- --test
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -76,13 +76,15 @@ pub struct BenchmarkGroup<'a> {
     criterion: &'a mut Criterion,
     name: String,
     sample_size: usize,
+    quick: bool,
     throughput: Option<Throughput>,
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets how many timing samples each benchmark takes.
+    /// Sets how many timing samples each benchmark takes (ignored in
+    /// `--test` smoke mode, which pins everything to one sample).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_size = if self.quick { 1 } else { n.max(1) };
         self
     }
 
@@ -150,16 +152,22 @@ fn run_one(
 /// Top-level benchmark driver.
 pub struct Criterion {
     default_samples: usize,
+    quick: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_samples: 10 }
+        // Real criterion's `--test` flag runs each bench once as a smoke
+        // test; mirror that by clamping every benchmark to a single sample
+        // (including ones that call `sample_size`).
+        let quick = std::env::args().any(|a| a == "--test");
+        Criterion { default_samples: if quick { 1 } else { 10 }, quick }
     }
 }
 
 impl Criterion {
-    /// Accepted for CLI compatibility; arguments are ignored.
+    /// Accepted for CLI compatibility; arguments are ignored (`--test` is
+    /// honoured by `Default::default`).
     pub fn configure_from_args(self) -> Self {
         self
     }
@@ -167,7 +175,8 @@ impl Criterion {
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.default_samples;
-        BenchmarkGroup { criterion: self, name: name.into(), sample_size, throughput: None }
+        let quick = self.quick;
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size, quick, throughput: None }
     }
 
     /// Benches a standalone function.

@@ -1,10 +1,13 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Implements `crossbeam::thread::scope` — the only crossbeam API the
-//! workspace uses — as a thin adapter over `std::thread::scope` (stable
-//! since Rust 1.63). The crossbeam spawn closure receives a `&Scope`
-//! argument (unused by all call sites, which write `|_|`), and `scope`
-//! returns a `Result` that the call sites `.expect(..)`.
+//! Implements the two crossbeam APIs the workspace uses:
+//! `crossbeam::thread::scope` as a thin adapter over `std::thread::scope`
+//! (stable since Rust 1.63), and `crossbeam::channel` as a mutex+condvar
+//! MPMC queue (both `Sender` and `Receiver` are `Clone`, matching the
+//! real crate's semantics that the persistent SMSV worker pool relies on).
+//! The crossbeam spawn closure receives a `&Scope` argument (unused by all
+//! call sites, which write `|_|`), and `scope` returns a `Result` that the
+//! call sites `.expect(..)`.
 
 /// Scoped-thread API mirroring `crossbeam::thread`.
 pub mod thread {
@@ -58,6 +61,143 @@ pub mod thread {
     }
 }
 
+/// MPMC channel API mirroring the subset of `crossbeam::channel` the
+/// workspace uses: `unbounded()`, cloneable `Sender`/`Receiver`, blocking
+/// `recv` and non-blocking `try_recv` with disconnect detection.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Send failed because every `Receiver` was dropped; returns the
+    /// unsent message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Receive failed because every `Sender` was dropped and the queue
+    /// is empty.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Non-blocking receive outcome when no message is ready.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The queue is momentarily empty but senders remain.
+        Empty,
+        /// Every sender was dropped and the queue is drained.
+        Disconnected,
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
+
+    /// Sending half of an unbounded MPMC channel. Cloning adds a sender;
+    /// dropping the last one disconnects blocked receivers.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of an unbounded MPMC channel. Cloning adds a
+    /// receiver; each message is delivered to exactly one receiver.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`, waking one blocked receiver. Fails only when
+        /// all receivers are gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            inner.queue.push_back(msg);
+            drop(inner);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap().senders += 1;
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.inner.lock().unwrap();
+            inner.senders -= 1;
+            let disconnect = inner.senders == 0;
+            drop(inner);
+            if disconnect {
+                // Wake every blocked receiver so it can observe the
+                // disconnect instead of sleeping forever.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; `Err(RecvError)` once all
+        /// senders are dropped and the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.ready.wait(inner).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if let Some(msg) = inner.queue.pop_front() {
+                Ok(msg)
+            } else if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.inner.lock().unwrap().receivers += 1;
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.inner.lock().unwrap().receivers -= 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -91,5 +231,64 @@ mod tests {
         })
         .unwrap();
         assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn channel_delivers_in_order() {
+        let (tx, rx) = crate::channel::unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        let got: Vec<i32> = (0..5).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn channel_recv_errs_after_all_senders_drop() {
+        let (tx, rx) = crate::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1u32).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(crate::channel::RecvError));
+    }
+
+    #[test]
+    fn channel_send_errs_after_all_receivers_drop() {
+        let (tx, rx) = crate::channel::unbounded();
+        drop(rx);
+        assert_eq!(tx.send(9u8), Err(crate::channel::SendError(9)));
+    }
+
+    #[test]
+    fn channel_try_recv_distinguishes_empty_and_disconnected() {
+        let (tx, rx) = crate::channel::unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(crate::channel::TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(crate::channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn channel_fans_out_across_cloned_receivers() {
+        let (tx, rx) = crate::channel::unbounded::<usize>();
+        let rx2 = rx.clone();
+        let consumed: Vec<usize> = crate::thread::scope(|s| {
+            let a = s.spawn({
+                let rx = rx.clone();
+                move |_| (0..50).map(|_| rx.recv().unwrap()).collect::<Vec<_>>()
+            });
+            let b = s.spawn(move |_| (0..50).map(|_| rx2.recv().unwrap()).collect::<Vec<_>>());
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            let mut all = a.join().unwrap();
+            all.extend(b.join().unwrap());
+            all
+        })
+        .unwrap();
+        let mut sorted = consumed;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
     }
 }
