@@ -1,0 +1,255 @@
+//! Closed-loop load generator for the dls-serve batching service; emits
+//! `BENCH_serve.json`.
+//!
+//! Quick-trains SVMs on two Table-V twins, hosts them in an in-process
+//! server, then sweeps client concurrency × request coalescing. Every
+//! client is closed-loop (next request only after the previous reply), so
+//! measured throughput reflects the service's end-to-end pipeline:
+//! framing, queueing, the gather window, and the blocked kernel sweep.
+//! The per-cell `multi_vector_blocks` column — read back from the wire
+//! `Stats` endpoint — shows how many sweeps actually fused concurrent
+//! requests.
+//!
+//! Usage: `repro_serve [secs_per_cell] [out.json]` (defaults: 0.4,
+//! `BENCH_serve.json`), or `repro_serve --smoke` for the CI smoke run:
+//! one Predict + Schedule + Stats round trip plus a graceful
+//! shutdown-by-frame, exiting non-zero on any mismatch.
+
+use dls_bench::workloads::default_scale;
+use dls_core::json::JsonValue;
+use dls_core::LayoutScheduler;
+use dls_data::labels::linear_teacher_labels;
+use dls_data::{generate, DatasetSpec};
+use dls_serve::{
+    ExecutorConfig, ModelRegistry, Response, ServeClient, ServedModel, ServerConfig, ServerHandle,
+};
+use dls_sparse::{CsrMatrix, MatrixFormat, SparseVec, MAX_SMSV_BLOCK};
+use dls_svm::smo::{train, SmoParams};
+use dls_svm::SvmModel;
+use std::time::{Duration, Instant};
+
+/// One hosted model plus the query stream its clients replay.
+struct Hosted {
+    name: &'static str,
+    model: SvmModel,
+    queries: Vec<SparseVec>,
+}
+
+/// Quick-trains a small model on a scaled-down twin of a Table V dataset.
+fn quick_model(name: &'static str, extra_scale: usize, seed: u64) -> Hosted {
+    let spec = DatasetSpec::by_name(name)
+        .unwrap_or_else(|| panic!("unknown dataset {name}"))
+        .scaled(default_scale(name) * extra_scale);
+    let t = generate(&spec, seed);
+    let labels = linear_teacher_labels(&t, 0.05, seed ^ 0xBEEF);
+    let x = CsrMatrix::from_triplets(&t);
+    let params = SmoParams {
+        tolerance: 1e-2,
+        max_iterations: 2_000,
+        cache_bytes: 8 << 20,
+        ..Default::default()
+    };
+    let model = train(&x, &labels, &params).expect("train quick model");
+    let queries: Vec<SparseVec> = (0..x.rows().min(64)).map(|i| x.row_sparse(i)).collect();
+    Hosted { name, model, queries }
+}
+
+fn registry(hosted: &[Hosted]) -> ModelRegistry {
+    let scheduler = LayoutScheduler::new();
+    let mut reg = ModelRegistry::new();
+    for h in hosted {
+        reg.insert(ServedModel::new(h.name, h.model.clone(), &scheduler));
+    }
+    reg
+}
+
+fn start_server(hosted: &[Hosted], executor: ExecutorConfig) -> ServerHandle {
+    let config = ServerConfig { executor, ..Default::default() };
+    dls_serve::start(registry(hosted), LayoutScheduler::new(), config).expect("bind loopback")
+}
+
+struct CellResult {
+    concurrency: usize,
+    coalescing: bool,
+    ok: u64,
+    busy: u64,
+    secs: f64,
+    req_per_s: f64,
+    multi_vector_blocks: u64,
+    p50_secs: Option<f64>,
+    p95_secs: Option<f64>,
+}
+
+/// Runs one sweep cell: `concurrency` closed-loop clients for `secs`.
+fn run_cell(hosted: &[Hosted], concurrency: usize, coalescing: bool, secs: f64) -> CellResult {
+    let executor = if coalescing {
+        ExecutorConfig {
+            max_block: concurrency.clamp(2, MAX_SMSV_BLOCK),
+            gather: Duration::from_micros(100),
+            ..Default::default()
+        }
+    } else {
+        // One vector per sweep, no lingering: the unbatched baseline.
+        ExecutorConfig { max_block: 1, gather: Duration::ZERO, ..Default::default() }
+    };
+    let handle = start_server(hosted, executor);
+    let addr = handle.local_addr();
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(secs);
+    let clients: Vec<_> = (0..concurrency)
+        .map(|c| {
+            // All clients target the first (largest) model: coalescing
+            // needs concurrent requests against the SAME support matrix,
+            // and the second hosted model checks the idle-queue path.
+            let h = &hosted[0];
+            let (model_name, queries) = (h.name, h.queries.clone());
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                let (mut ok, mut busy) = (0u64, 0u64);
+                let mut k = c; // de-phase the query streams
+                while Instant::now() < deadline {
+                    let q = queries[k % queries.len()].clone();
+                    k += 1;
+                    match client.predict(model_name, vec![q], 0).expect("predict") {
+                        Response::Predictions(_) => ok += 1,
+                        Response::Busy => {
+                            busy += 1;
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+                (ok, busy)
+            })
+        })
+        .collect();
+
+    let (mut ok, mut busy) = (0u64, 0u64);
+    for c in clients {
+        let (o, b) = c.join().expect("client thread");
+        ok += o;
+        busy += b;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut c = ServeClient::connect(addr).expect("connect");
+    let stats = c.stats().expect("stats");
+    drop(c);
+    let doc = dls_core::json::parse(&stats).expect("valid stats json");
+    let multi = doc
+        .get("aggregate")
+        .and_then(|a| a.get("multi_vector_blocks"))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0);
+    let quantile = |q: &str| doc.get("predict").and_then(|p| p.get(q)).and_then(JsonValue::as_f64);
+    handle.shutdown();
+
+    CellResult {
+        concurrency,
+        coalescing,
+        ok,
+        busy,
+        secs: elapsed,
+        req_per_s: ok as f64 / elapsed,
+        multi_vector_blocks: multi,
+        p50_secs: quantile("p50_secs"),
+        p95_secs: quantile("p95_secs"),
+    }
+}
+
+/// CI smoke: one of everything over real sockets, then a graceful
+/// shutdown triggered by the wire `Shutdown` frame.
+fn smoke() {
+    let hosted = vec![quick_model("adult", 256, 42)];
+    let handle = start_server(&hosted, ExecutorConfig::default());
+    let addr = handle.local_addr();
+    let mut c = ServeClient::connect(addr).expect("connect");
+
+    let q = hosted[0].queries[0].clone();
+    let want = hosted[0].model.decision_function(&q);
+    match c.predict("adult", vec![q], 0).expect("predict") {
+        Response::Predictions(values) => {
+            assert_eq!(values.len(), 1);
+            assert_eq!(values[0].to_bits(), want.to_bits(), "served != local decision value");
+        }
+        other => panic!("unexpected predict response {other:?}"),
+    }
+    match c.schedule("", 4, 4, vec![(0, 0, 1.0), (3, 3, 2.0)]).expect("schedule") {
+        Response::Scheduled { format, .. } => println!("# schedule -> {format}"),
+        other => panic!("unexpected schedule response {other:?}"),
+    }
+    let stats = c.stats().expect("stats");
+    assert!(dls_core::json::parse(&stats).is_ok(), "stats endpoint returned invalid JSON");
+    assert_eq!(c.shutdown().expect("shutdown"), Response::ShuttingDown);
+    drop(c);
+    handle.shutdown();
+    assert!(
+        ServeClient::connect(addr).is_err(),
+        "server still accepting connections after graceful drain"
+    );
+    println!("# serve smoke OK: predict bit-exact, schedule + stats answered, drain clean");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        smoke();
+        return;
+    }
+    let secs: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.4);
+    let out_path = args.get(1).cloned().unwrap_or_else(|| "BENCH_serve.json".into());
+
+    println!("# Quick-training models …");
+    let hosted = vec![quick_model("adult", 8, 42), quick_model("mnist", 128, 42)];
+    for h in &hosted {
+        println!("#   {}: {} support vectors", h.name, h.model.n_support_vectors());
+    }
+
+    println!(
+        "{:<6} {:<10} {:>9} {:>7} {:>10} {:>12} {:>10} {:>10}",
+        "conc", "coalesce", "ok", "busy", "req/s", "multi-blk", "p50 ms", "p95 ms"
+    );
+    let mut cells = Vec::new();
+    for &concurrency in &[2usize, 8] {
+        for &coalescing in &[false, true] {
+            let r = run_cell(&hosted, concurrency, coalescing, secs);
+            println!(
+                "{:<6} {:<10} {:>9} {:>7} {:>10.0} {:>12} {:>10.3} {:>10.3}",
+                r.concurrency,
+                if r.coalescing { "on" } else { "off" },
+                r.ok,
+                r.busy,
+                r.req_per_s,
+                r.multi_vector_blocks,
+                r.p50_secs.map_or(f64::NAN, |s| s * 1e3),
+                r.p95_secs.map_or(f64::NAN, |s| s * 1e3),
+            );
+            cells.push(r);
+        }
+    }
+
+    let rows: Vec<JsonValue> = cells
+        .iter()
+        .map(|r| {
+            JsonValue::obj([
+                ("concurrency", JsonValue::from(r.concurrency)),
+                ("coalescing", JsonValue::from(r.coalescing)),
+                ("requests_ok", JsonValue::from(r.ok)),
+                ("busy", JsonValue::from(r.busy)),
+                ("secs", JsonValue::from(r.secs)),
+                ("req_per_s", JsonValue::from(r.req_per_s)),
+                ("multi_vector_blocks", JsonValue::from(r.multi_vector_blocks)),
+                ("p50_secs", r.p50_secs.map(JsonValue::from).unwrap_or(JsonValue::Null)),
+                ("p95_secs", r.p95_secs.map(JsonValue::from).unwrap_or(JsonValue::Null)),
+            ])
+        })
+        .collect();
+    let doc = JsonValue::obj([
+        ("models", JsonValue::arr(hosted.iter().map(|h| JsonValue::from(h.name)))),
+        ("secs_per_cell", JsonValue::from(secs)),
+        ("results", JsonValue::Arr(rows)),
+    ]);
+    std::fs::write(&out_path, doc.to_json_pretty()).expect("write json");
+    println!("\n# wrote {out_path}");
+}

@@ -12,9 +12,9 @@
 //! `BENCH_smsv.json` in the current directory).
 
 use dls_bench::workload;
+use dls_core::json::JsonValue;
 use dls_sparse::{AnyMatrix, Format, MatrixFormat, SparseVec};
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -167,28 +167,22 @@ fn main() {
         }
     }
 
-    let mut json = String::from("{\n  \"block\": 8,\n  \"results\": [\n");
-    for (k, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"dataset\": \"{}\", \"format\": \"{}\", \"smsv_ns\": {:.1}, \
-             \"smsv_view_ns\": {:.1}, \"smsv_block_ns_per_product\": {:.1}, \
-             \"allocs_per_smsv\": {}, \"allocs_per_smsv_view\": {}, \
-             \"allocs_per_smsv_block\": {}, \"blocked_speedup\": {:.3}}}{}\n",
-            r.dataset,
-            r.format.name(),
-            r.smsv_ns,
-            r.view_ns,
-            r.block_ns_per_product,
-            r.allocs_smsv,
-            r.allocs_view,
-            r.allocs_block,
-            r.smsv_ns / r.block_ns_per_product,
-            if k + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    let mut f = std::fs::File::create(&out_path).expect("create output file");
-    f.write_all(json.as_bytes()).expect("write json");
+    let results = rows.iter().map(|r| {
+        JsonValue::obj([
+            ("dataset", JsonValue::from(r.dataset)),
+            ("format", JsonValue::from(r.format.name())),
+            ("smsv_ns", JsonValue::from(r.smsv_ns)),
+            ("smsv_view_ns", JsonValue::from(r.view_ns)),
+            ("smsv_block_ns_per_product", JsonValue::from(r.block_ns_per_product)),
+            ("allocs_per_smsv", JsonValue::from(r.allocs_smsv)),
+            ("allocs_per_smsv_view", JsonValue::from(r.allocs_view)),
+            ("allocs_per_smsv_block", JsonValue::from(r.allocs_block)),
+            ("blocked_speedup", JsonValue::from(r.smsv_ns / r.block_ns_per_product)),
+        ])
+    });
+    let doc =
+        JsonValue::obj([("block", JsonValue::from(BLOCK)), ("results", JsonValue::arr(results))]);
+    std::fs::write(&out_path, doc.to_json_pretty()).expect("write json");
     println!("\n# wrote {out_path}");
     println!("# smsv_view and steady-state smsv_block must report 0 allocations per call.");
 }

@@ -29,6 +29,87 @@ pub enum JsonValue {
 }
 
 impl JsonValue {
+    /// An object from key/value pairs, in the given order.
+    pub fn obj(members: impl IntoIterator<Item = (impl Into<String>, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An array from values.
+    pub fn arr(items: impl IntoIterator<Item = JsonValue>) -> JsonValue {
+        JsonValue::Arr(items.into_iter().collect())
+    }
+
+    /// Serialises compactly (no whitespace). Round-trips through [`parse`]:
+    /// strings are escaped via [`escape`] and finite numbers written in
+    /// shortest-exact form via [`number`] (non-finite become `null`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serialises with newlines and two-space indentation — the style the
+    /// committed `BENCH_*.json` artefacts use so diffs stay reviewable.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        let (open_sep, item_sep, pad) = match indent {
+            Some(w) => ("\n".to_string(), ",\n".to_string(), " ".repeat(w * (level + 1))),
+            None => (String::new(), ",".to_string(), String::new()),
+        };
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            // Integral values (counts, sizes) print without a fractional
+            // part; everything else uses the shortest-exact float form.
+            JsonValue::Num(x)
+                if x.fract() == 0.0
+                    && x.abs() <= 2f64.powi(53)
+                    && !(*x == 0.0 && x.is_sign_negative()) =>
+            {
+                out.push_str(&format!("{}", *x as i64));
+            }
+            JsonValue::Num(x) => out.push_str(&number(*x)),
+            JsonValue::Str(s) => out.push_str(&escape(s)),
+            JsonValue::Arr(items) if items.is_empty() => out.push_str("[]"),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                out.push_str(&open_sep);
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(&item_sep);
+                    }
+                    out.push_str(&pad);
+                    v.write(out, indent, level + 1);
+                }
+                close(out, indent, level, ']');
+            }
+            JsonValue::Obj(members) if members.is_empty() => out.push_str("{}"),
+            JsonValue::Obj(members) => {
+                out.push('{');
+                out.push_str(&open_sep);
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(&item_sep);
+                    }
+                    out.push_str(&pad);
+                    out.push_str(&escape(k));
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, level + 1);
+                }
+                close(out, indent, level, '}');
+            }
+        }
+    }
+
     /// Member lookup on an object (last occurrence wins), `None` otherwise.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
@@ -87,6 +168,50 @@ impl JsonValue {
     /// Required-member lookup with a path-flavoured error, for loaders.
     pub fn req(&self, key: &str) -> Result<&JsonValue, String> {
         self.get(key).ok_or_else(|| format!("missing key \"{key}\""))
+    }
+}
+
+fn close(out: &mut String, indent: Option<usize>, level: usize, bracket: char) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * level));
+    }
+    out.push(bracket);
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::Num(x)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> Self {
+        JsonValue::Num(n as f64)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> Self {
+        JsonValue::Num(n as f64)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
     }
 }
 
@@ -379,6 +504,35 @@ mod tests {
     fn errors_carry_byte_offsets() {
         let err = parse("[1, @]").unwrap_err();
         assert!(err.contains("byte 4"), "{err}");
+    }
+
+    #[test]
+    fn writer_round_trips_through_parser() {
+        let doc = JsonValue::obj([
+            ("name", JsonValue::from("bench \"serve\"")),
+            ("count", JsonValue::from(42u64)),
+            ("ratio", JsonValue::from(1.0 / 3.0)),
+            ("flags", JsonValue::arr([JsonValue::from(true), JsonValue::Null])),
+            ("empty_arr", JsonValue::Arr(vec![])),
+            ("empty_obj", JsonValue::Obj(vec![])),
+            ("nested", JsonValue::obj([("k", JsonValue::from("v"))])),
+        ]);
+        for text in [doc.to_json(), doc.to_json_pretty()] {
+            assert_eq!(parse(&text).unwrap(), doc, "{text}");
+        }
+        assert!(!doc.to_json().contains('\n'));
+    }
+
+    #[test]
+    fn pretty_writer_indents_two_spaces() {
+        let doc = JsonValue::obj([("rows", JsonValue::arr([JsonValue::from(1u64)]))]);
+        assert_eq!(doc.to_json_pretty(), "{\n  \"rows\": [\n    1\n  ]\n}\n");
+    }
+
+    #[test]
+    fn writer_handles_non_finite_numbers_as_null() {
+        assert_eq!(JsonValue::Num(f64::NAN).to_json(), "null");
+        assert_eq!(JsonValue::arr([JsonValue::Num(f64::INFINITY)]).to_json(), "[null]");
     }
 
     #[test]

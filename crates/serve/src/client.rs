@@ -1,0 +1,86 @@
+//! A small synchronous client for the dls-serve protocol.
+//!
+//! One [`ServeClient`] wraps one TCP connection and speaks strict
+//! request/response; open several clients for concurrent requests (that is
+//! what makes the server coalesce). Methods return the server's typed
+//! [`Response`] — including `Busy` / `TimedOut` — rather than flattening
+//! everything into errors, so callers can implement their own retry
+//! policy.
+
+use crate::proto::{decode_response, encode_request, read_frame, write_frame, Request, Response};
+use dls_sparse::SparseVec;
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A connected client.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ServeClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+    }
+
+    /// Bounds how long a single [`ServeClient::request`] may wait on the
+    /// socket for its response; `None` waits indefinitely.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one request and waits for its response.
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
+        write_frame(&mut self.writer, &encode_request(req))?;
+        match read_frame(&mut self.reader)? {
+            Some(payload) => decode_response(&payload)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())),
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-request",
+            )),
+        }
+    }
+
+    /// Decision values for a batch of vectors against a named model.
+    /// `deadline_ms = 0` uses the server default.
+    pub fn predict(
+        &mut self,
+        model: &str,
+        vectors: Vec<SparseVec>,
+        deadline_ms: u32,
+    ) -> std::io::Result<Response> {
+        self.request(&Request::Predict { model: model.to_string(), deadline_ms, vectors })
+    }
+
+    /// Asks the scheduler to pick a layout for an explicit matrix.
+    pub fn schedule(
+        &mut self,
+        strategy: &str,
+        rows: u64,
+        cols: u64,
+        entries: Vec<(u64, u64, f64)>,
+    ) -> std::io::Result<Response> {
+        self.request(&Request::Schedule { strategy: strategy.to_string(), rows, cols, entries })
+    }
+
+    /// Fetches the telemetry snapshot JSON.
+    pub fn stats(&mut self) -> std::io::Result<String> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(json) => Ok(json),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("expected Stats, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> std::io::Result<Response> {
+        self.request(&Request::Shutdown)
+    }
+}

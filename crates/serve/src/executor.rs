@@ -1,0 +1,551 @@
+//! The batching executor: per-model queues drained by a worker pool that
+//! coalesces pending predict requests into multi-vector `smsv_block`
+//! sweeps.
+//!
+//! This is where PR 3's blocked kernels get amortised across *clients*
+//! instead of SMO iterations: up to [`MAX_SMSV_BLOCK`] vectors from
+//! concurrently queued requests share one traversal of the model's
+//! support-vector matrix. The pipeline per request is
+//!
+//! ```text
+//! conn thread ──try_push──► BoundedQueue ──pop_batch──► worker ──reply──► conn thread
+//!      │ (Busy if full)         (gather window             │
+//!      │                         coalesces B jobs)         │ one smsv_block(B vectors)
+//! ```
+//!
+//! Deadlines are enforced at dequeue: a request that waited past its
+//! deadline is answered `TimedOut` without occupying kernel time.
+//! Shutdown closes every queue (new pushes are refused with
+//! `ShuttingDown`), lets workers drain what is queued, then joins them —
+//! no accepted request is ever dropped without a response.
+
+use crate::proto::Response;
+use crate::queue::{BoundedQueue, PushError};
+use crate::registry::{ModelRegistry, ServedModel};
+use crate::stats::ServeStats;
+use dls_core::{LayoutScheduler, SelectionStrategy};
+use dls_sparse::{Format, SparseVec, TripletMatrix, MAX_SMSV_BLOCK};
+use dls_svm::PredictWorkspace;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Executor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Worker threads draining the queues.
+    pub workers: usize,
+    /// Capacity of each per-model queue (and the schedule queue); the
+    /// backpressure bound.
+    pub queue_capacity: usize,
+    /// How long a worker holding at least one job lingers for more
+    /// arrivals before launching the block. Zero disables coalescing
+    /// across requests (each drain takes what is already there).
+    pub gather: Duration,
+    /// Cap on vectors coalesced into one blocked sweep. Values above
+    /// [`MAX_SMSV_BLOCK`] still execute correctly (the kernels chunk
+    /// internally) but add no further amortisation.
+    pub max_block: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Duration,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 128,
+            gather: Duration::from_millis(1),
+            max_block: MAX_SMSV_BLOCK,
+            default_deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One queued predict request.
+pub struct PredictJob {
+    vectors: Vec<SparseVec>,
+    deadline: Instant,
+    enqueued: Instant,
+    reply: Sender<Response>,
+}
+
+/// One queued schedule request.
+pub struct ScheduleJob {
+    triplets: TripletMatrix,
+    /// `None` uses the server's configured scheduler.
+    strategy: Option<SelectionStrategy>,
+    deadline: Instant,
+    enqueued: Instant,
+    reply: Sender<Response>,
+}
+
+struct WakeSignal {
+    seq: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl WakeSignal {
+    fn notify(&self) {
+        *self.seq.lock().expect("signal poisoned") += 1;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self, last_seen: u64, timeout: Duration) -> u64 {
+        let mut seq = self.seq.lock().expect("signal poisoned");
+        if *seq == last_seen {
+            let (next, _) = self.cv.wait_timeout(seq, timeout).expect("signal poisoned");
+            seq = next;
+        }
+        *seq
+    }
+}
+
+/// The batching executor. Shared between the acceptor side (submitting)
+/// and its own worker pool (draining).
+pub struct Executor {
+    registry: Arc<ModelRegistry>,
+    scheduler: Arc<LayoutScheduler>,
+    stats: Arc<ServeStats>,
+    config: ExecutorConfig,
+    /// Per-model predict queues, parallel to `model_index`.
+    predict_queues: Vec<(Arc<ServedModel>, Arc<BoundedQueue<PredictJob>>)>,
+    model_index: HashMap<String, usize>,
+    schedule_queue: Arc<BoundedQueue<ScheduleJob>>,
+    wake: Arc<WakeSignal>,
+    paused: AtomicBool,
+    draining: AtomicBool,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Executor {
+    /// Builds the queues and spawns the worker pool.
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        scheduler: Arc<LayoutScheduler>,
+        stats: Arc<ServeStats>,
+        config: ExecutorConfig,
+    ) -> Arc<Self> {
+        let mut predict_queues = Vec::new();
+        let mut model_index = HashMap::new();
+        for served in registry.iter() {
+            model_index.insert(served.name().to_string(), predict_queues.len());
+            predict_queues
+                .push((Arc::clone(served), Arc::new(BoundedQueue::new(config.queue_capacity))));
+        }
+        let exec = Arc::new(Self {
+            registry,
+            scheduler,
+            stats,
+            schedule_queue: Arc::new(BoundedQueue::new(config.queue_capacity)),
+            predict_queues,
+            model_index,
+            wake: Arc::new(WakeSignal { seq: Mutex::new(0), cv: Condvar::new() }),
+            paused: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+            config,
+        });
+        let mut workers = exec.workers.lock().expect("executor poisoned");
+        for k in 0..exec.config.workers.max(1) {
+            let exec = Arc::clone(&exec);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("dls-serve-worker-{k}"))
+                    .spawn(move || exec.worker_loop())
+                    .expect("spawn worker"),
+            );
+        }
+        drop(workers);
+        exec
+    }
+
+    /// The hosted models.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Live stats shared with the server front end.
+    pub fn stats(&self) -> &Arc<ServeStats> {
+        &self.stats
+    }
+
+    /// Resolves a request deadline: `0` means the configured default.
+    fn deadline(&self, now: Instant, deadline_ms: u32) -> Instant {
+        if deadline_ms == 0 {
+            now + self.config.default_deadline
+        } else {
+            now + Duration::from_millis(u64::from(deadline_ms))
+        }
+    }
+
+    /// Enqueues a predict request. `Ok` carries the receiver the reply
+    /// will arrive on; `Err` carries the immediate refusal to send back.
+    pub fn submit_predict(
+        &self,
+        model: &str,
+        vectors: Vec<SparseVec>,
+        deadline_ms: u32,
+    ) -> Result<Receiver<Response>, Response> {
+        let Some(&idx) = self.model_index.get(model) else {
+            self.stats.predict.record_error();
+            return Err(Response::Error(format!("no such model: {model:?}")));
+        };
+        let (served, queue) = &self.predict_queues[idx];
+        for v in &vectors {
+            if let Err(msg) = served.check_dim(v) {
+                self.stats.predict.record_error();
+                return Err(Response::Error(msg));
+            }
+        }
+        let now = Instant::now();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let job = PredictJob {
+            vectors,
+            deadline: self.deadline(now, deadline_ms),
+            enqueued: now,
+            reply: tx,
+        };
+        match queue.try_push(job) {
+            Ok(()) => {
+                self.wake.notify();
+                Ok(rx)
+            }
+            Err(PushError::Full(_)) => {
+                self.stats.predict.record_busy();
+                Err(Response::Busy)
+            }
+            Err(PushError::Closed(_)) => Err(Response::ShuttingDown),
+        }
+    }
+
+    /// Enqueues a schedule request.
+    pub fn submit_schedule(
+        &self,
+        triplets: TripletMatrix,
+        strategy: Option<SelectionStrategy>,
+        deadline_ms: u32,
+    ) -> Result<Receiver<Response>, Response> {
+        let now = Instant::now();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let job = ScheduleJob {
+            triplets,
+            strategy,
+            deadline: self.deadline(now, deadline_ms),
+            enqueued: now,
+            reply: tx,
+        };
+        match self.schedule_queue.try_push(job) {
+            Ok(()) => {
+                self.wake.notify();
+                Ok(rx)
+            }
+            Err(PushError::Full(_)) => {
+                self.stats.schedule.record_busy();
+                Err(Response::Busy)
+            }
+            Err(PushError::Closed(_)) => Err(Response::ShuttingDown),
+        }
+    }
+
+    /// Current depth of every queue, for the stats snapshot.
+    pub fn queue_depths(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = self
+            .predict_queues
+            .iter()
+            .map(|(m, q)| (format!("predict:{}", m.name()), q.len()))
+            .collect();
+        out.push(("schedule".to_string(), self.schedule_queue.len()));
+        out
+    }
+
+    /// Drain control: while paused, workers leave queues untouched, so
+    /// requests pile up (and overflow to `Busy`). Used by operators to
+    /// quiesce kernels and by the integration tests to make queue-full
+    /// and coalescing behaviour deterministic.
+    pub fn pause(&self, paused: bool) {
+        self.paused.store(paused, Ordering::SeqCst);
+        self.wake.notify();
+    }
+
+    /// Graceful drain: refuse new work, finish everything queued, join
+    /// the workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.paused.store(false, Ordering::SeqCst);
+        for (_, q) in &self.predict_queues {
+            q.close();
+        }
+        self.schedule_queue.close();
+        self.wake.notify();
+        let workers = std::mem::take(&mut *self.workers.lock().expect("executor poisoned"));
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+
+    fn worker_loop(&self) {
+        let mut ws = PredictWorkspace::new();
+        let mut seen = 0;
+        loop {
+            let mut worked = false;
+            if !self.paused.load(Ordering::SeqCst) {
+                for (served, queue) in &self.predict_queues {
+                    let batch =
+                        queue.try_pop_batch(self.config.max_block, self.config.gather, |j| {
+                            j.vectors.len()
+                        });
+                    if !batch.is_empty() {
+                        self.run_predict(served, batch, &mut ws);
+                        worked = true;
+                    }
+                }
+                let sched = self.schedule_queue.try_pop_batch(1, Duration::ZERO, |_| 1);
+                for job in sched {
+                    self.run_schedule(job);
+                    worked = true;
+                }
+            }
+            if !worked {
+                if self.draining.load(Ordering::SeqCst) && self.all_drained() {
+                    return;
+                }
+                seen = self.wake.wait(seen, Duration::from_millis(2));
+            }
+        }
+    }
+
+    fn all_drained(&self) -> bool {
+        self.predict_queues.iter().all(|(_, q)| q.is_empty()) && self.schedule_queue.is_empty()
+    }
+
+    /// Executes one coalesced predict batch: expired jobs answer
+    /// `TimedOut`; the rest share one blocked sweep of the model's
+    /// support matrix and are split back per request.
+    fn run_predict(&self, served: &ServedModel, batch: Vec<PredictJob>, ws: &mut PredictWorkspace) {
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(batch.len());
+        for job in batch {
+            if job.deadline < now {
+                self.stats.predict.record_timeout();
+                let _ = job.reply.send(Response::TimedOut);
+            } else {
+                live.push(job);
+            }
+        }
+        if live.is_empty() {
+            return;
+        }
+        let mut vectors = Vec::with_capacity(live.iter().map(|j| j.vectors.len()).sum());
+        let counts: Vec<usize> = live
+            .iter_mut()
+            .map(|job| {
+                let n = job.vectors.len();
+                vectors.append(&mut job.vectors);
+                n
+            })
+            .collect();
+        let values = served.predict(&vectors, ws);
+        let mut offset = 0;
+        let done = Instant::now();
+        for (job, n) in live.iter().zip(counts) {
+            let slice = values[offset..offset + n].to_vec();
+            offset += n;
+            self.stats.predict.record_ok(done.duration_since(job.enqueued));
+            let _ = job.reply.send(Response::Predictions(slice));
+        }
+    }
+
+    fn run_schedule(&self, job: ScheduleJob) {
+        let now = Instant::now();
+        if job.deadline < now {
+            self.stats.schedule.record_timeout();
+            let _ = job.reply.send(Response::TimedOut);
+            return;
+        }
+        let report = match job.strategy {
+            Some(strategy) => LayoutScheduler::with_strategy(strategy).select_only(&job.triplets),
+            None => self.scheduler.select_only(&job.triplets),
+        };
+        self.stats.record_decision(report.chosen);
+        let resp = Response::Scheduled {
+            format: report.chosen.name().to_string(),
+            reason: report.reason.clone(),
+            scores: report.scores.iter().map(|s| (s.format.name().to_string(), s.score)).collect(),
+        };
+        self.stats.schedule.record_ok(Instant::now().duration_since(job.enqueued));
+        let _ = job.reply.send(resp);
+    }
+}
+
+/// Parses a wire strategy name. Empty selects the server default.
+pub fn parse_strategy(name: &str) -> Result<Option<SelectionStrategy>, String> {
+    Ok(Some(match name {
+        "" => return Ok(None),
+        "rule" => SelectionStrategy::RuleBased,
+        "rule-host" => SelectionStrategy::RuleBasedHost,
+        "cost" => SelectionStrategy::CostModel,
+        "empirical" => SelectionStrategy::Empirical,
+        f => SelectionStrategy::Fixed(
+            f.parse::<Format>().map_err(|_| format!("unknown strategy or format: {f}"))?,
+        ),
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ServedModel;
+    use dls_svm::{KernelKind, SvmModel};
+
+    fn small_registry() -> Arc<ModelRegistry> {
+        let scheduler = LayoutScheduler::new();
+        let svs: Vec<SparseVec> =
+            (0..3).map(|i| SparseVec::new(6, vec![i, i + 3], vec![1.0, -0.5])).collect();
+        let model = SvmModel::new(KernelKind::Linear, svs, vec![1.0, -1.0, 0.5], 0.1);
+        Arc::new(ModelRegistry::new().with(ServedModel::new("toy", model, &scheduler)))
+    }
+
+    fn start(config: ExecutorConfig) -> Arc<Executor> {
+        Executor::start(
+            small_registry(),
+            Arc::new(LayoutScheduler::new()),
+            Arc::new(ServeStats::new()),
+            config,
+        )
+    }
+
+    #[test]
+    fn predict_round_trip_through_the_pool() {
+        let exec = start(ExecutorConfig { gather: Duration::ZERO, ..Default::default() });
+        let x = SparseVec::new(6, vec![0], vec![2.0]);
+        let rx = exec.submit_predict("toy", vec![x.clone()], 0).unwrap();
+        let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let served = exec.registry().get("toy").unwrap().clone();
+        let want = served.model().decision_function(&x);
+        assert_eq!(resp, Response::Predictions(vec![want]));
+        exec.shutdown();
+    }
+
+    #[test]
+    fn unknown_model_and_bad_dims_are_immediate_errors() {
+        let exec = start(ExecutorConfig::default());
+        assert!(matches!(exec.submit_predict("missing", vec![], 0), Err(Response::Error(_))));
+        assert!(matches!(
+            exec.submit_predict("toy", vec![SparseVec::zeros(7)], 0),
+            Err(Response::Error(_))
+        ));
+        exec.shutdown();
+    }
+
+    #[test]
+    fn paused_queues_fill_then_refuse_with_busy() {
+        let exec = start(ExecutorConfig {
+            queue_capacity: 2,
+            gather: Duration::ZERO,
+            ..Default::default()
+        });
+        exec.pause(true);
+        let x = || vec![SparseVec::new(6, vec![1], vec![1.0])];
+        let rx1 = exec.submit_predict("toy", x(), 0).unwrap();
+        let rx2 = exec.submit_predict("toy", x(), 0).unwrap();
+        assert_eq!(exec.submit_predict("toy", x(), 0).unwrap_err(), Response::Busy);
+        assert_eq!(exec.queue_depths()[0].1, 2);
+        exec.pause(false);
+        assert!(matches!(rx1.recv_timeout(Duration::from_secs(5)), Ok(Response::Predictions(_))));
+        assert!(matches!(rx2.recv_timeout(Duration::from_secs(5)), Ok(Response::Predictions(_))));
+        assert_eq!(exec.stats().predict.busy.load(Ordering::Relaxed), 1);
+        exec.shutdown();
+    }
+
+    #[test]
+    fn expired_deadlines_get_timed_out_not_executed() {
+        let exec = start(ExecutorConfig { gather: Duration::ZERO, ..Default::default() });
+        exec.pause(true);
+        let rx =
+            exec.submit_predict("toy", vec![SparseVec::new(6, vec![0], vec![1.0])], 1).unwrap();
+        std::thread::sleep(Duration::from_millis(10)); // let the 1 ms deadline lapse
+        exec.pause(false);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), Response::TimedOut);
+        assert_eq!(exec.stats().predict.timed_out.load(Ordering::Relaxed), 1);
+        exec.shutdown();
+    }
+
+    #[test]
+    fn paused_batch_coalesces_into_one_block() {
+        let exec = start(ExecutorConfig { gather: Duration::ZERO, ..Default::default() });
+        exec.pause(true);
+        let rxs: Vec<_> = (0..5)
+            .map(|i| {
+                exec.submit_predict("toy", vec![SparseVec::new(6, vec![i], vec![1.0])], 0).unwrap()
+            })
+            .collect();
+        exec.pause(false);
+        for rx in rxs {
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_secs(5)),
+                Ok(Response::Predictions(_))
+            ));
+        }
+        let served = exec.registry().get("toy").unwrap().clone();
+        assert!(
+            served.counters().snapshot().multi_vector_blocks() >= 1,
+            "5 queued singles should form at least one multi-vector block"
+        );
+        exec.shutdown();
+    }
+
+    #[test]
+    fn schedule_requests_report_the_chosen_format() {
+        let exec = start(ExecutorConfig::default());
+        let mut t = TripletMatrix::with_capacity(4, 4, 4);
+        for i in 0..4 {
+            t.push(i, i, 1.0);
+        }
+        // Default scheduler: some valid format with a populated scoreboard.
+        let rx = exec.submit_schedule(t.clone(), None, 0).unwrap();
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Response::Scheduled { format, scores, .. } => {
+                assert!(format.parse::<Format>().is_ok(), "unknown format {format:?}");
+                assert!(!scores.is_empty());
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // A fixed strategy pins the outcome and the decision counter.
+        let rx = exec.submit_schedule(t, Some(SelectionStrategy::Fixed(Format::Dia)), 0).unwrap();
+        match rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+            Response::Scheduled { format, .. } => assert_eq!(format, "DIA"),
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(exec.stats().decisions()[dls_sparse::telemetry::format_index(Format::Dia)], 1);
+        exec.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work_before_refusing() {
+        let exec = start(ExecutorConfig { gather: Duration::ZERO, ..Default::default() });
+        exec.pause(true);
+        let rx =
+            exec.submit_predict("toy", vec![SparseVec::new(6, vec![2], vec![1.0])], 0).unwrap();
+        // Shutdown un-pauses, drains, then joins: the queued job completes.
+        exec.shutdown();
+        assert!(matches!(rx.try_recv(), Ok(Response::Predictions(_))));
+        assert_eq!(
+            exec.submit_predict("toy", vec![SparseVec::new(6, vec![2], vec![1.0])], 0).unwrap_err(),
+            Response::ShuttingDown
+        );
+    }
+
+    #[test]
+    fn strategy_names_parse() {
+        assert_eq!(parse_strategy("").unwrap(), None);
+        assert_eq!(parse_strategy("cost").unwrap(), Some(SelectionStrategy::CostModel));
+        assert!(matches!(
+            parse_strategy("CSR").unwrap(),
+            Some(SelectionStrategy::Fixed(Format::Csr))
+        ));
+        assert!(parse_strategy("bogus").is_err());
+    }
+}

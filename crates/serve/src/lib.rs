@@ -1,0 +1,48 @@
+//! dls-serve: a batching SVM inference + layout-scheduling service.
+//!
+//! The paper's §V observation — blocked SMSV kernels amortise a format's
+//! per-sweep overhead across many vectors — is applied here *across
+//! clients*: concurrent single-vector `Predict` requests against the same
+//! model are coalesced by a batching executor into one
+//! [`dls_sparse::MatrixFormat::smsv_block`] sweep (up to
+//! [`dls_sparse::MAX_SMSV_BLOCK`] vectors), with a short gather window
+//! trading bounded latency for larger blocks. Because the blocked kernels
+//! accumulate per row in a composition-independent order, coalesced
+//! responses are bit-identical to per-vector evaluation.
+//!
+//! The service is std-only: a hand-rolled length-prefixed wire protocol
+//! ([`proto`]), bounded per-model queues with reject-don't-buffer
+//! backpressure ([`queue`]), per-request deadlines, and graceful
+//! drain-on-shutdown. Telemetry ([`stats`]) exposes request latencies,
+//! batch-size histograms, queue depths, and each model's scheduled layout.
+//!
+//! Layer map:
+//!
+//! ```text
+//! client  --frames-->  server (acceptor + connection threads)
+//!                         |  submit: try_push -> Busy on full
+//!                         v
+//!                      executor (worker pool, per-model BoundedQueues)
+//!                         |  coalesce <= MAX_SMSV_BLOCK vectors
+//!                         v
+//!                      registry (ServedModel: scheduled + instrumented
+//!                         |       support matrix)
+//!                         v
+//!                      svm::predict_batch_with -> sparse::smsv_block
+//! ```
+
+pub mod client;
+pub mod executor;
+pub mod proto;
+pub mod queue;
+pub mod registry;
+pub mod server;
+pub mod stats;
+
+pub use client::ServeClient;
+pub use executor::{Executor, ExecutorConfig};
+pub use proto::{ProtoError, Request, Response, MAX_FRAME, PROTO_VERSION};
+pub use queue::{BoundedQueue, PushError};
+pub use registry::{ModelRegistry, ServedModel};
+pub use server::{start, ServerConfig, ServerHandle};
+pub use stats::{parse_block_hist, ServeStats};

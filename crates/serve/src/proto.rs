@@ -1,0 +1,567 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message is one frame: a 4-byte little-endian payload length
+//! followed by the payload. The payload starts with a one-byte protocol
+//! version and a one-byte message tag; the body is a flat LE encoding of
+//! the message fields (no self-description — both ends share this module).
+//!
+//! ```text
+//! frame   := u32 len | payload               len = payload bytes, <= MAX_FRAME
+//! payload := u8 version | u8 tag | body
+//! string  := u32 len | utf-8 bytes
+//! vec<T>  := u32 count | T*count
+//! sparse  := u64 dim | vec<u64> indices | vec<f64> values (parallel arrays)
+//! ```
+//!
+//! The decoder is total: truncated, oversized, or malformed input yields a
+//! [`ProtoError`], never a panic, and claimed element counts are checked
+//! against the bytes actually present before any allocation is sized from
+//! them — a frame cannot make the server allocate more than it sent.
+
+use dls_sparse::{SparseVec, TripletMatrix};
+use std::io::{Read, Write};
+
+/// Protocol version byte; bumped on any incompatible change.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Hard ceiling on one frame's payload size (16 MiB). Larger frames are
+/// rejected at the length prefix, before any payload is read.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Everything that can go wrong turning bytes into messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The payload ended before the message did.
+    Truncated,
+    /// A frame length prefix exceeded [`MAX_FRAME`].
+    Oversized(usize),
+    /// Unknown protocol version byte.
+    BadVersion(u8),
+    /// Unknown message tag for the expected direction.
+    BadTag(u8),
+    /// A field held an invalid value (bad UTF-8, unsorted sparse indices,
+    /// out-of-range dimension, trailing bytes, …).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "truncated frame"),
+            ProtoError::Oversized(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            ProtoError::Malformed(what) => write!(f, "malformed field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Decision values for a batch of sparse vectors against a named model.
+    Predict {
+        /// Registry name of the model to query.
+        model: String,
+        /// Per-request deadline in milliseconds from arrival; `0` means
+        /// the server default. Requests still queued past their deadline
+        /// get [`Response::TimedOut`] instead of occupying a worker.
+        deadline_ms: u32,
+        /// The query vectors. All must share the model's feature dimension.
+        vectors: Vec<SparseVec>,
+    },
+    /// Run the layout scheduler on a submitted matrix and report the
+    /// chosen storage format.
+    Schedule {
+        /// Selection strategy name (`rule`, `rule-host`, `cost`,
+        /// `empirical`, or a fixed format name); empty uses the server's
+        /// configured scheduler.
+        strategy: String,
+        /// Matrix rows.
+        rows: u64,
+        /// Matrix columns.
+        cols: u64,
+        /// Explicit entries as `(row, col, value)` triplets.
+        entries: Vec<(u64, u64, f64)>,
+    },
+    /// Telemetry snapshot of the whole service.
+    Stats,
+    /// Ask the server to drain and exit gracefully.
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Decision values, one per submitted vector, in submission order.
+    Predictions(Vec<f64>),
+    /// The scheduling decision for a submitted matrix.
+    Scheduled {
+        /// Chosen format name.
+        format: String,
+        /// One-line human-readable justification.
+        reason: String,
+        /// Per-candidate scores (lower is better), chosen first.
+        scores: Vec<(String, f64)>,
+    },
+    /// Telemetry snapshot as a JSON document (schema in `serve::stats`).
+    Stats(String),
+    /// Backpressure: the target queue is full; retry later.
+    Busy,
+    /// The request's deadline expired before a worker reached it.
+    TimedOut,
+    /// The server is draining and no longer accepts work.
+    ShuttingDown,
+    /// The request was understood but could not be served.
+    Error(String),
+}
+
+// ---- low-level encoding -------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_sparse(out: &mut Vec<u8>, v: &SparseVec) {
+    put_u64(out, v.dim() as u64);
+    put_u32(out, v.nnz() as u32);
+    for &i in v.indices() {
+        put_u64(out, i as u64);
+    }
+    for &x in v.values() {
+        put_f64(out, x);
+    }
+}
+
+/// Sequential reader over a payload with totality checks.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a count of fixed-size elements, bounding it by the bytes that
+    /// remain so a lying header cannot size a huge allocation.
+    fn count(&mut self, elem_bytes: usize) -> Result<usize, ProtoError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(elem_bytes) > self.bytes.len() - self.pos {
+            return Err(ProtoError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let n = self.count(1)?;
+        std::str::from_utf8(self.take(n)?)
+            .map(str::to_owned)
+            .map_err(|_| ProtoError::Malformed("string is not UTF-8"))
+    }
+
+    fn sparse(&mut self) -> Result<SparseVec, ProtoError> {
+        let dim = self.u64()? as usize;
+        let nnz = self.count(16)?; // 8 bytes index + 8 bytes value
+        let mut indices = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            indices.push(self.u64()? as usize);
+        }
+        let mut values = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            values.push(self.f64()?);
+        }
+        // Re-validate `SparseVec::new`'s panics as protocol errors.
+        if indices.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(ProtoError::Malformed("sparse indices not strictly increasing"));
+        }
+        if indices.last().is_some_and(|&last| last >= dim) {
+            return Err(ProtoError::Malformed("sparse index out of bounds"));
+        }
+        Ok(SparseVec::new(dim, indices, values))
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::Malformed("trailing bytes after message"))
+        }
+    }
+}
+
+// ---- message codecs -----------------------------------------------------
+
+const REQ_PREDICT: u8 = 1;
+const REQ_SCHEDULE: u8 = 2;
+const REQ_STATS: u8 = 3;
+const REQ_SHUTDOWN: u8 = 4;
+
+const RESP_PREDICTIONS: u8 = 129;
+const RESP_SCHEDULED: u8 = 130;
+const RESP_STATS: u8 = 131;
+const RESP_BUSY: u8 = 132;
+const RESP_TIMED_OUT: u8 = 133;
+const RESP_SHUTTING_DOWN: u8 = 134;
+const RESP_ERROR: u8 = 135;
+
+/// Encodes a request into a frame payload (version + tag + body).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = vec![PROTO_VERSION];
+    match req {
+        Request::Predict { model, deadline_ms, vectors } => {
+            out.push(REQ_PREDICT);
+            put_str(&mut out, model);
+            put_u32(&mut out, *deadline_ms);
+            put_u32(&mut out, vectors.len() as u32);
+            for v in vectors {
+                put_sparse(&mut out, v);
+            }
+        }
+        Request::Schedule { strategy, rows, cols, entries } => {
+            out.push(REQ_SCHEDULE);
+            put_str(&mut out, strategy);
+            put_u64(&mut out, *rows);
+            put_u64(&mut out, *cols);
+            put_u32(&mut out, entries.len() as u32);
+            for &(r, c, v) in entries {
+                put_u64(&mut out, r);
+                put_u64(&mut out, c);
+                put_f64(&mut out, v);
+            }
+        }
+        Request::Stats => out.push(REQ_STATS),
+        Request::Shutdown => out.push(REQ_SHUTDOWN),
+    }
+    out
+}
+
+/// Decodes a request frame payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    let mut r = Reader { bytes: payload, pos: 0 };
+    let version = r.u8()?;
+    if version != PROTO_VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    let tag = r.u8()?;
+    let req = match tag {
+        REQ_PREDICT => {
+            let model = r.string()?;
+            let deadline_ms = r.u32()?;
+            // One sparse vector is at least dim + count = 12 bytes.
+            let n = r.count(12)?;
+            let mut vectors = Vec::with_capacity(n);
+            for _ in 0..n {
+                vectors.push(r.sparse()?);
+            }
+            Request::Predict { model, deadline_ms, vectors }
+        }
+        REQ_SCHEDULE => {
+            let strategy = r.string()?;
+            let rows = r.u64()?;
+            let cols = r.u64()?;
+            let n = r.count(24)?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push((r.u64()?, r.u64()?, r.f64()?));
+            }
+            Request::Schedule { strategy, rows, cols, entries }
+        }
+        REQ_STATS => Request::Stats,
+        REQ_SHUTDOWN => Request::Shutdown,
+        t => return Err(ProtoError::BadTag(t)),
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Encodes a response into a frame payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = vec![PROTO_VERSION];
+    match resp {
+        Response::Predictions(values) => {
+            out.push(RESP_PREDICTIONS);
+            put_u32(&mut out, values.len() as u32);
+            for &v in values {
+                put_f64(&mut out, v);
+            }
+        }
+        Response::Scheduled { format, reason, scores } => {
+            out.push(RESP_SCHEDULED);
+            put_str(&mut out, format);
+            put_str(&mut out, reason);
+            put_u32(&mut out, scores.len() as u32);
+            for (name, score) in scores {
+                put_str(&mut out, name);
+                put_f64(&mut out, *score);
+            }
+        }
+        Response::Stats(json) => {
+            out.push(RESP_STATS);
+            put_str(&mut out, json);
+        }
+        Response::Busy => out.push(RESP_BUSY),
+        Response::TimedOut => out.push(RESP_TIMED_OUT),
+        Response::ShuttingDown => out.push(RESP_SHUTTING_DOWN),
+        Response::Error(msg) => {
+            out.push(RESP_ERROR);
+            put_str(&mut out, msg);
+        }
+    }
+    out
+}
+
+/// Decodes a response frame payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
+    let mut r = Reader { bytes: payload, pos: 0 };
+    let version = r.u8()?;
+    if version != PROTO_VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    let tag = r.u8()?;
+    let resp = match tag {
+        RESP_PREDICTIONS => {
+            let n = r.count(8)?;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(r.f64()?);
+            }
+            Response::Predictions(values)
+        }
+        RESP_SCHEDULED => {
+            let format = r.string()?;
+            let reason = r.string()?;
+            // Each score is at least a 4-byte name length + 8-byte score.
+            let n = r.count(12)?;
+            let mut scores = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = r.string()?;
+                scores.push((name, r.f64()?));
+            }
+            Response::Scheduled { format, reason, scores }
+        }
+        RESP_STATS => Response::Stats(r.string()?),
+        RESP_BUSY => Response::Busy,
+        RESP_TIMED_OUT => Response::TimedOut,
+        RESP_SHUTTING_DOWN => Response::ShuttingDown,
+        RESP_ERROR => Response::Error(r.string()?),
+        t => return Err(ProtoError::BadTag(t)),
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+// ---- framing ------------------------------------------------------------
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. `Ok(None)` on clean EOF at a frame boundary;
+/// oversized length prefixes are rejected before reading the payload.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            ProtoError::Oversized(len).to_string(),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Converts a submitted `Schedule` body into a triplet matrix, validating
+/// coordinates against the declared shape.
+pub fn entries_to_triplets(
+    rows: u64,
+    cols: u64,
+    entries: &[(u64, u64, f64)],
+) -> Result<TripletMatrix, ProtoError> {
+    let (nr, nc) = (rows as usize, cols as usize);
+    let mut t = TripletMatrix::with_capacity(nr, nc, entries.len());
+    for &(r, c, v) in entries {
+        if r >= rows || c >= cols {
+            return Err(ProtoError::Malformed("triplet coordinate out of bounds"));
+        }
+        t.push(r as usize, c as usize, v);
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(dim: usize, pairs: &[(usize, f64)]) -> SparseVec {
+        SparseVec::new(
+            dim,
+            pairs.iter().map(|&(i, _)| i).collect(),
+            pairs.iter().map(|&(_, v)| v).collect(),
+        )
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Predict {
+                model: "adult".into(),
+                deadline_ms: 250,
+                vectors: vec![sv(5, &[(0, 1.0), (3, -2.5)]), sv(5, &[])],
+            },
+            Request::Schedule {
+                strategy: "cost".into(),
+                rows: 3,
+                cols: 4,
+                entries: vec![(0, 0, 1.0), (2, 3, -7.25)],
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Predictions(vec![1.5, -0.25, f64::MIN_POSITIVE]),
+            Response::Scheduled {
+                format: "CSR".into(),
+                reason: "high row imbalance".into(),
+                scores: vec![("CSR".into(), 0.5), ("ELL".into(), 0.9)],
+            },
+            Response::Stats("{\"ok\":true}".into()),
+            Response::Busy,
+            Response::TimedOut,
+            Response::ShuttingDown,
+            Response::Error("no such model".into()),
+        ];
+        for resp in resps {
+            assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let full = encode_request(&Request::Predict {
+            model: "m".into(),
+            deadline_ms: 0,
+            vectors: vec![sv(8, &[(1, 2.0), (7, 3.0)])],
+        });
+        for cut in 0..full.len() {
+            assert!(decode_request(&full[..cut]).is_err(), "prefix of {cut} bytes accepted");
+        }
+    }
+
+    #[test]
+    fn lying_counts_are_rejected_before_allocation() {
+        // A Predict frame claiming u32::MAX vectors with no bytes behind it.
+        let mut payload = vec![PROTO_VERSION, REQ_PREDICT];
+        put_str(&mut payload, "m");
+        put_u32(&mut payload, 0); // deadline
+        put_u32(&mut payload, u32::MAX); // vector count
+        assert_eq!(decode_request(&payload), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn invalid_sparse_vectors_are_protocol_errors() {
+        // Indices out of order.
+        let mut payload = vec![PROTO_VERSION, REQ_PREDICT];
+        put_str(&mut payload, "m");
+        put_u32(&mut payload, 0);
+        put_u32(&mut payload, 1);
+        put_u64(&mut payload, 4); // dim
+        put_u32(&mut payload, 2); // nnz
+        put_u64(&mut payload, 3);
+        put_u64(&mut payload, 1); // descending
+        put_f64(&mut payload, 1.0);
+        put_f64(&mut payload, 2.0);
+        assert!(matches!(decode_request(&payload), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn bad_version_and_tag_are_rejected() {
+        assert_eq!(decode_request(&[9, REQ_STATS]), Err(ProtoError::BadVersion(9)));
+        assert_eq!(decode_request(&[PROTO_VERSION, 99]), Err(ProtoError::BadTag(99)));
+        assert_eq!(decode_response(&[PROTO_VERSION, 3]), Err(ProtoError::BadTag(3)));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = encode_request(&Request::Stats);
+        payload.push(0);
+        assert!(matches!(decode_request(&payload), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn frames_round_trip_and_bound_length() {
+        let payload = encode_request(&Request::Stats);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&payload[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None); // clean EOF
+
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+    }
+
+    #[test]
+    fn entries_to_triplets_validates_bounds() {
+        let t = entries_to_triplets(2, 3, &[(0, 0, 1.0), (1, 2, 2.0)]).unwrap();
+        assert_eq!((t.rows(), t.cols(), t.nnz()), (2, 3, 2));
+        assert!(entries_to_triplets(2, 3, &[(2, 0, 1.0)]).is_err());
+        assert!(entries_to_triplets(2, 3, &[(0, 3, 1.0)]).is_err());
+    }
+}

@@ -1,0 +1,260 @@
+//! Bounded MPMC job queues with explicit backpressure.
+//!
+//! The executor's contract with the acceptor side is *reject, don't
+//! buffer*: [`BoundedQueue::try_push`] never blocks — a full queue returns
+//! the job to the caller, which answers the client with `Busy`. Workers
+//! drain with [`BoundedQueue::pop_batch`], which can linger briefly
+//! (the *gather window*) to let concurrent requests pile up into one
+//! multi-vector block — the cross-client analogue of the SMO loop's
+//! blocked kernel-row prefetch.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the job is handed back.
+    Full(T),
+    /// The queue is closed (server draining); the job is handed back.
+    Closed(T),
+}
+
+struct State<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity queue connecting connection handlers to workers.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    readable: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` pending jobs (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State { jobs: VecDeque::new(), closed: false }),
+            readable: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").jobs.len()
+    }
+
+    /// Whether no jobs are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking enqueue. A full or closed queue refuses immediately —
+    /// this is the backpressure point.
+    pub fn try_push(&self, job: T) -> Result<(), PushError<T>> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        if s.closed {
+            return Err(PushError::Closed(job));
+        }
+        if s.jobs.len() >= self.capacity {
+            return Err(PushError::Full(job));
+        }
+        s.jobs.push_back(job);
+        drop(s);
+        self.readable.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until jobs are available (or the queue closes empty), then
+    /// drains up to `max` of them, where each job weighs `weight(job)` and
+    /// the drained batch stays within `max` total weight (the first job is
+    /// always taken, so oversized jobs still make progress).
+    ///
+    /// When fewer than `max` units are ready and `gather` is non-zero, the
+    /// worker waits up to `gather` for more arrivals before draining —
+    /// trading a bounded latency add for larger coalesced blocks.
+    ///
+    /// Returns `None` only when the queue is closed and empty.
+    pub fn pop_batch(
+        &self,
+        max: usize,
+        gather: Duration,
+        weight: impl Fn(&T) -> usize,
+    ) -> Option<Vec<T>> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        loop {
+            if !s.jobs.is_empty() {
+                break;
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.readable.wait(s).expect("queue poisoned");
+        }
+        if !gather.is_zero() {
+            let deadline = Instant::now() + gather;
+            while batch_weight(&s.jobs, max, &weight) < max && !s.closed {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (next, timeout) =
+                    self.readable.wait_timeout(s, deadline - now).expect("queue poisoned");
+                s = next;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        let mut batch = Vec::new();
+        let mut used = 0;
+        while let Some(job) = s.jobs.front() {
+            let w = weight(job).max(1);
+            if !batch.is_empty() && used + w > max {
+                break;
+            }
+            used += w;
+            batch.push(s.jobs.pop_front().expect("front checked"));
+            if used >= max {
+                break;
+            }
+        }
+        Some(batch)
+    }
+
+    /// Non-blocking variant of [`BoundedQueue::pop_batch`] for workers
+    /// multiplexing several queues: an empty queue returns an empty batch
+    /// immediately instead of parking. The gather window still applies
+    /// once at least one job is held, so coalescing behaviour matches the
+    /// blocking path.
+    pub fn try_pop_batch(
+        &self,
+        max: usize,
+        gather: Duration,
+        weight: impl Fn(&T) -> usize,
+    ) -> Vec<T> {
+        {
+            let s = self.state.lock().expect("queue poisoned");
+            if s.jobs.is_empty() {
+                return Vec::new();
+            }
+        }
+        self.pop_batch(max, gather, weight).unwrap_or_default()
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// waiting workers wake, and already-queued jobs remain drainable so a
+    /// shutdown is a drain, not a drop.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.readable.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+}
+
+fn batch_weight<T>(jobs: &VecDeque<T>, max: usize, weight: &impl Fn(&T) -> usize) -> usize {
+    let mut used = 0;
+    for job in jobs {
+        used += weight(job).max(1);
+        if used >= max {
+            return max;
+        }
+    }
+    used
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn backpressure_rejects_without_blocking() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_batch_drains_up_to_weight_budget() {
+        let q = BoundedQueue::new(16);
+        for i in 0..6 {
+            q.try_push(i).unwrap();
+        }
+        // Each job weighs 2; a budget of 5 takes jobs 0 and 1 (weight 4),
+        // refuses job 2 (would exceed), leaving 4 queued.
+        let batch = q.pop_batch(5, Duration::ZERO, |_| 2).unwrap();
+        assert_eq!(batch, vec![0, 1]);
+        assert_eq!(q.len(), 4);
+        // An oversized first job is still taken alone.
+        let batch = q.pop_batch(1, Duration::ZERO, |_| 10).unwrap();
+        assert_eq!(batch, vec![2]);
+    }
+
+    #[test]
+    fn gather_window_coalesces_late_arrivals() {
+        let q = Arc::new(BoundedQueue::new(16));
+        q.try_push(0).unwrap();
+        let pusher = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                q.try_push(1).unwrap();
+                q.try_push(2).unwrap();
+            })
+        };
+        // A generous gather window picks up the pusher's two late jobs.
+        let batch = q.pop_batch(3, Duration::from_millis(500), |_| 1).unwrap();
+        pusher.join().unwrap();
+        assert_eq!(batch, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn close_drains_then_signals_completion() {
+        let q = BoundedQueue::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(PushError::Closed(8)));
+        // Queued work survives the close …
+        assert_eq!(q.pop_batch(8, Duration::ZERO, |_| 1), Some(vec![7]));
+        // … and only then does the queue report exhaustion.
+        assert_eq!(q.pop_batch(8, Duration::ZERO, |_| 1), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_work_or_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(8, Duration::ZERO, |_| 1))
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        q.try_push(42).unwrap();
+        assert_eq!(popper.join().unwrap(), Some(vec![42]));
+
+        let q2 = Arc::new(BoundedQueue::<u32>::new(4));
+        let popper = {
+            let q2 = Arc::clone(&q2);
+            std::thread::spawn(move || q2.pop_batch(8, Duration::ZERO, |_| 1))
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        q2.close();
+        assert_eq!(popper.join().unwrap(), None);
+    }
+}

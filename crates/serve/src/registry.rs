@@ -1,0 +1,217 @@
+//! Loaded models and their scheduled, instrumented support matrices.
+//!
+//! A [`ServedModel`] is an [`SvmModel`] prepared for serving: its support
+//! vectors are lowered to a row matrix, the [`LayoutScheduler`] picks that
+//! matrix's storage format (per-model — heterogeneous models get
+//! heterogeneous layouts, the paper's thesis applied across requests), and
+//! the matrix is wrapped in an [`InstrumentedMatrix`] so every predict
+//! batch feeds per-model [`SmsvCounters`] — including the block-size
+//! histogram the `Stats` endpoint exposes.
+
+use dls_core::{LayoutScheduler, SelectionReport};
+use dls_sparse::{Format, InstrumentedMatrix, MatrixFormat, SmsvCounters, SparseVec};
+use dls_svm::{PredictWorkspace, SvmModel};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One model, ready to serve.
+pub struct ServedModel {
+    name: String,
+    model: SvmModel,
+    /// Support-vector rows in the scheduled format, metered.
+    matrix: Option<InstrumentedMatrix>,
+    counters: Arc<SmsvCounters>,
+    report: Option<SelectionReport>,
+    dim: usize,
+}
+
+impl ServedModel {
+    /// Prepares `model` for serving: lowers the support vectors, runs the
+    /// scheduler on them, and wires up fresh counters.
+    pub fn new(name: impl Into<String>, model: SvmModel, scheduler: &LayoutScheduler) -> Self {
+        let counters = SmsvCounters::shared();
+        let sv_rows = model.support_matrix(PredictWorkspace::CACHE_FORMAT);
+        let (matrix, report, dim) = match sv_rows {
+            Some(m) => {
+                let t = m.to_triplets().compact();
+                let scheduled = scheduler.schedule(&t);
+                let report = scheduled.report().clone();
+                let dim = m.cols();
+                (
+                    Some(InstrumentedMatrix::new(scheduled.into_matrix(), Arc::clone(&counters))),
+                    Some(report),
+                    dim,
+                )
+            }
+            // A model with no support vectors predicts a constant.
+            None => (None, None, 0),
+        };
+        Self { name: name.into(), model, matrix, counters, report, dim }
+    }
+
+    /// Registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying trained model.
+    pub fn model(&self) -> &SvmModel {
+        &self.model
+    }
+
+    /// Feature dimension queries must match (0 for constant models).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The format the scheduler chose for the support matrix.
+    pub fn format(&self) -> Option<Format> {
+        self.matrix.as_ref().map(|m| m.format())
+    }
+
+    /// The scheduler's full selection report, when a matrix exists.
+    pub fn report(&self) -> Option<&SelectionReport> {
+        self.report.as_ref()
+    }
+
+    /// This model's live SMSV counters.
+    pub fn counters(&self) -> &Arc<SmsvCounters> {
+        &self.counters
+    }
+
+    /// Decision values for a batch, through the blocked engine and this
+    /// model's instrumented matrix. `ws` is caller-held scratch (one per
+    /// worker thread); only its buffers are used, not its matrix cache.
+    pub fn predict(&self, xs: &[SparseVec], ws: &mut PredictWorkspace) -> Vec<f64> {
+        match &self.matrix {
+            Some(m) => self.model.predict_batch_with(m, xs, ws),
+            None => vec![self.model.bias(); xs.len()],
+        }
+    }
+
+    /// Validates one query vector's dimension.
+    pub fn check_dim(&self, x: &SparseVec) -> Result<(), String> {
+        if self.matrix.is_some() && x.dim() != self.dim {
+            return Err(format!(
+                "model {:?} expects dimension {}, got {}",
+                self.name,
+                self.dim,
+                x.dim()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The set of models a server instance hosts, keyed by name.
+///
+/// The registry is immutable once the server starts (swap-in of new models
+/// is a restart concern), so lookups are lock-free `Arc` clones.
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: BTreeMap<String, Arc<ServedModel>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a prepared model. Returns `self` for builder-style chaining;
+    /// a duplicate name replaces the previous entry.
+    pub fn with(mut self, served: ServedModel) -> Self {
+        self.insert(served);
+        self
+    }
+
+    /// Adds a prepared model.
+    pub fn insert(&mut self, served: ServedModel) {
+        self.models.insert(served.name.clone(), Arc::new(served));
+    }
+
+    /// Looks up a model by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<ServedModel>> {
+        self.models.get(name)
+    }
+
+    /// All hosted models, in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<ServedModel>> {
+        self.models.values()
+    }
+
+    /// Number of hosted models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the registry hosts no models.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_svm::KernelKind;
+
+    fn toy_model() -> SvmModel {
+        let svs = vec![
+            SparseVec::new(6, vec![0, 2], vec![1.0, -1.0]),
+            SparseVec::new(6, vec![1, 5], vec![0.5, 2.0]),
+        ];
+        SvmModel::new(KernelKind::Linear, svs, vec![1.0, -0.5], 0.25)
+    }
+
+    #[test]
+    fn served_model_predicts_like_the_raw_model() {
+        let scheduler = LayoutScheduler::new();
+        let served = ServedModel::new("toy", toy_model(), &scheduler);
+        assert_eq!(served.dim(), 6);
+        assert!(served.format().is_some());
+        let xs = vec![
+            SparseVec::new(6, vec![0, 1], vec![2.0, 4.0]),
+            SparseVec::new(6, vec![5], vec![-1.0]),
+        ];
+        let mut ws = PredictWorkspace::new();
+        let got = served.predict(&xs, &mut ws);
+        for (x, &g) in xs.iter().zip(&got) {
+            assert_eq!(g.to_bits(), served.model().decision_function(x).to_bits());
+        }
+        // Predictions were metered into this model's counters.
+        assert!(served.counters().snapshot().total_calls() >= 2);
+    }
+
+    #[test]
+    fn constant_model_serves_its_bias() {
+        let scheduler = LayoutScheduler::new();
+        let model = SvmModel::new(KernelKind::Linear, vec![], vec![], -1.5);
+        let served = ServedModel::new("const", model, &scheduler);
+        assert_eq!(served.format(), None);
+        let mut ws = PredictWorkspace::new();
+        assert_eq!(served.predict(&[SparseVec::zeros(3)], &mut ws), vec![-1.5]);
+        assert!(served.check_dim(&SparseVec::zeros(99)).is_ok());
+    }
+
+    #[test]
+    fn dimension_mismatches_are_reported_not_panicked() {
+        let served = ServedModel::new("toy", toy_model(), &LayoutScheduler::new());
+        assert!(served.check_dim(&SparseVec::zeros(6)).is_ok());
+        let err = served.check_dim(&SparseVec::zeros(7)).unwrap_err();
+        assert!(err.contains("dimension 6"), "{err}");
+    }
+
+    #[test]
+    fn registry_lookup_and_iteration() {
+        let scheduler = LayoutScheduler::new();
+        let reg = ModelRegistry::new()
+            .with(ServedModel::new("b", toy_model(), &scheduler))
+            .with(ServedModel::new("a", toy_model(), &scheduler));
+        assert_eq!(reg.len(), 2);
+        assert!(reg.get("a").is_some());
+        assert!(reg.get("missing").is_none());
+        let names: Vec<&str> = reg.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

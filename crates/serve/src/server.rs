@@ -1,0 +1,233 @@
+//! The TCP front end: acceptor, per-connection handlers, graceful drain.
+//!
+//! One thread accepts connections (non-blocking, so it can observe the
+//! shutdown flag); each connection gets a handler thread that reads
+//! frames, dispatches to the [`Executor`], and writes the reply. The
+//! protocol is strictly request/response per connection, so a handler has
+//! at most one job in flight — concurrency comes from concurrent
+//! connections, which is exactly what feeds the batching executor.
+//!
+//! Shutdown (a `Shutdown` frame, or [`ServerHandle::shutdown`], which the
+//! CLI wires to its exit path as the stand-in for SIGTERM/ctrl-c in this
+//! libc-free workspace) flips one flag: the acceptor refuses new
+//! connections, queued work drains, in-flight connections answer
+//! `ShuttingDown` to further requests, and `ServerHandle::join` returns
+//! once the workers are parked.
+
+use crate::executor::{parse_strategy, Executor, ExecutorConfig};
+use crate::proto::{
+    decode_request, encode_response, entries_to_triplets, read_frame, write_frame, Request,
+    Response,
+};
+use crate::registry::ModelRegistry;
+use crate::stats::ServeStats;
+use dls_core::LayoutScheduler;
+use std::io::{BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Executor tuning.
+    pub executor: ExecutorConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { addr: "127.0.0.1:0".to_string(), executor: ExecutorConfig::default() }
+    }
+}
+
+/// A running server instance.
+pub struct ServerHandle {
+    executor: Arc<Executor>,
+    shutdown: Arc<AtomicBool>,
+    local_addr: std::net::SocketAddr,
+    acceptor: Mutex<Option<std::thread::JoinHandle<()>>>,
+    active_connections: Arc<AtomicU64>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// The executor, for stats and drain control.
+    pub fn executor(&self) -> &Arc<Executor> {
+        &self.executor
+    }
+
+    /// Live service stats.
+    pub fn stats(&self) -> &Arc<ServeStats> {
+        self.executor.stats()
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful drain and blocks until the acceptor and worker
+    /// pool have exited. Idempotent; also triggered by a `Shutdown` frame.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.lock().expect("handle poisoned").take() {
+            let _ = acceptor.join();
+        }
+        // Give in-flight connection handlers a bounded window to finish
+        // writing their final responses before the queues close under them.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.active_connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.executor.shutdown();
+    }
+
+    /// [`ServerHandle::shutdown`], waiting for a `Shutdown` frame to have
+    /// requested it first — what `dls serve` blocks on.
+    pub fn join(&self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.shutdown();
+    }
+}
+
+/// Starts a server: binds, spawns the executor's worker pool and the
+/// acceptor thread, returns immediately.
+pub fn start(
+    registry: ModelRegistry,
+    scheduler: LayoutScheduler,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let registry = Arc::new(registry);
+    let stats = Arc::new(ServeStats::new());
+    let executor = Executor::start(registry, Arc::new(scheduler), stats, config.executor.clone());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let active_connections = Arc::new(AtomicU64::new(0));
+
+    let acceptor = {
+        let executor = Arc::clone(&executor);
+        let shutdown = Arc::clone(&shutdown);
+        let active = Arc::clone(&active_connections);
+        std::thread::Builder::new()
+            .name("dls-serve-acceptor".to_string())
+            .spawn(move || loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let executor = Arc::clone(&executor);
+                        let shutdown = Arc::clone(&shutdown);
+                        let active = Arc::clone(&active);
+                        active.fetch_add(1, Ordering::SeqCst);
+                        let _ = std::thread::Builder::new()
+                            .name("dls-serve-conn".to_string())
+                            .spawn(move || {
+                                let _ = handle_connection(stream, &executor, &shutdown);
+                                active.fetch_sub(1, Ordering::SeqCst);
+                            });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            })
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        executor,
+        shutdown,
+        local_addr,
+        acceptor: Mutex::new(Some(acceptor)),
+        active_connections,
+    })
+}
+
+/// Serves one connection until EOF, an I/O error, or shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    executor: &Executor,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(payload) = read_frame(&mut reader)? {
+        let response = match decode_request(&payload) {
+            Err(e) => Response::Error(format!("protocol error: {e}")),
+            Ok(_) if shutdown.load(Ordering::SeqCst) => Response::ShuttingDown,
+            Ok(request) => dispatch(request, executor, shutdown),
+        };
+        write_frame(&mut writer, &encode_response(&response))?;
+    }
+    Ok(())
+}
+
+fn dispatch(request: Request, executor: &Executor, shutdown: &AtomicBool) -> Response {
+    match request {
+        Request::Predict { model, deadline_ms, vectors } => {
+            match executor.submit_predict(&model, vectors, deadline_ms) {
+                Ok(rx) => await_reply(rx),
+                Err(refusal) => refusal,
+            }
+        }
+        Request::Schedule { strategy, rows, cols, entries } => {
+            let strategy = match parse_strategy(&strategy) {
+                Ok(s) => s,
+                Err(msg) => {
+                    executor.stats().schedule.record_error();
+                    return Response::Error(msg);
+                }
+            };
+            let triplets = match entries_to_triplets(rows, cols, &entries) {
+                Ok(t) => t,
+                Err(e) => {
+                    executor.stats().schedule.record_error();
+                    return Response::Error(format!("bad matrix: {e}"));
+                }
+            };
+            match executor.submit_schedule(triplets, strategy, 0) {
+                Ok(rx) => await_reply(rx),
+                Err(refusal) => refusal,
+            }
+        }
+        Request::Stats => {
+            let start = Instant::now();
+            let json =
+                executor.stats().snapshot_json(executor.registry(), &executor.queue_depths());
+            executor.stats().stats.record_ok(start.elapsed());
+            Response::Stats(json)
+        }
+        Request::Shutdown => {
+            // Ack first; ServerHandle::join (or the smoke harness) observes
+            // the flag and performs the drain.
+            shutdown.store(true, Ordering::SeqCst);
+            Response::ShuttingDown
+        }
+    }
+}
+
+/// Waits for the worker's reply. The executor always answers accepted
+/// jobs (drain included), so a missing reply means a worker died — answer
+/// a clean error rather than wedging the connection.
+fn await_reply(rx: std::sync::mpsc::Receiver<Response>) -> Response {
+    match rx.recv_timeout(Duration::from_secs(60)) {
+        Ok(resp) => resp,
+        Err(_) => Response::Error("worker dropped the request".to_string()),
+    }
+}

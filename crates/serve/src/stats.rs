@@ -1,0 +1,362 @@
+//! Live service telemetry: latency quantiles, request counters, queue
+//! depths, and the per-model SMSV view.
+//!
+//! Latencies go into a fixed log2-bucketed histogram ([`LatencyHistogram`])
+//! — relaxed atomic adds on the hot path, quantiles computed only when a
+//! `Stats` request asks. Per-model kernel counters are folded into one
+//! process-wide [`SmsvSnapshot`] with the delta-merge discipline from
+//! `dls_sparse::telemetry`, so polling never double counts.
+
+use crate::registry::ModelRegistry;
+use dls_core::json::JsonValue;
+use dls_sparse::telemetry::format_index;
+use dls_sparse::{Format, SmsvCounters, SmsvSnapshot, BLOCK_HIST_BUCKETS};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of log2 latency buckets: bucket `k` counts observations with
+/// `2^k <= nanos < 2^(k+1)`; the last bucket is open-ended (≈ 9+ seconds).
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// Lock-free log2 latency histogram.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    total_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
+        let bucket = (63 - nanos.max(1).leading_zeros()) as usize;
+        self.buckets[bucket.min(LATENCY_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile in seconds (`q` in `[0, 1]`): the upper edge
+    /// of the bucket holding the q-th observation — within 2× of the true
+    /// value, which is the resolution scheduling dashboards need. `None`
+    /// with no observations.
+    pub fn quantile_secs(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (k, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(2f64.powi(k as i32 + 1) * 1e-9);
+            }
+        }
+        Some(2f64.powi(LATENCY_BUCKETS as i32) * 1e-9)
+    }
+
+    /// Mean latency in seconds, `None` with no observations.
+    pub fn mean_secs(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.total_nanos.load(Ordering::Relaxed) as f64 * 1e-9 / n as f64)
+    }
+}
+
+/// Counters for one request kind.
+#[derive(Debug, Default)]
+pub struct RequestStats {
+    /// Requests answered successfully.
+    pub ok: AtomicU64,
+    /// Requests refused with `Busy` (queue full).
+    pub busy: AtomicU64,
+    /// Requests answered with `TimedOut`.
+    pub timed_out: AtomicU64,
+    /// Requests answered with `Error`.
+    pub errors: AtomicU64,
+    /// Enqueue-to-reply latency of successful requests.
+    pub latency: LatencyHistogram,
+}
+
+impl RequestStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a success with its latency.
+    pub fn record_ok(&self, latency: Duration) {
+        Self::bump(&self.ok);
+        self.latency.record(latency);
+    }
+
+    /// Records a `Busy` rejection.
+    pub fn record_busy(&self) {
+        Self::bump(&self.busy);
+    }
+
+    /// Records a deadline expiry.
+    pub fn record_timeout(&self) {
+        Self::bump(&self.timed_out);
+    }
+
+    /// Records an error reply.
+    pub fn record_error(&self) {
+        Self::bump(&self.errors);
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let q =
+            |p: f64| self.latency.quantile_secs(p).map(JsonValue::from).unwrap_or(JsonValue::Null);
+        JsonValue::obj([
+            ("ok", JsonValue::from(self.ok.load(Ordering::Relaxed))),
+            ("busy", JsonValue::from(self.busy.load(Ordering::Relaxed))),
+            ("timed_out", JsonValue::from(self.timed_out.load(Ordering::Relaxed))),
+            ("errors", JsonValue::from(self.errors.load(Ordering::Relaxed))),
+            ("p50_secs", q(0.50)),
+            ("p95_secs", q(0.95)),
+            ("mean_secs", self.latency.mean_secs().map(JsonValue::from).unwrap_or(JsonValue::Null)),
+        ])
+    }
+}
+
+/// All live counters one server instance keeps.
+#[derive(Default)]
+pub struct ServeStats {
+    /// Predict-path counters.
+    pub predict: RequestStats,
+    /// Schedule-path counters.
+    pub schedule: RequestStats,
+    /// Stats-path counters.
+    pub stats: RequestStats,
+    /// How often the scheduler chose each format, in [`Format::ALL`] order.
+    decisions: [AtomicU64; Format::ALL.len()],
+    /// Process-wide kernel aggregate, fed by delta-merging every model's
+    /// counters (never double counts, however often it is polled).
+    aggregate: SmsvCounters,
+    last_per_model: Mutex<HashMap<String, SmsvSnapshot>>,
+}
+
+impl ServeStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one scheduling decision.
+    pub fn record_decision(&self, format: Format) {
+        self.decisions[format_index(format)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Scheduling decisions per format, in [`Format::ALL`] order.
+    pub fn decisions(&self) -> [u64; Format::ALL.len()] {
+        let mut out = [0; Format::ALL.len()];
+        for (o, d) in out.iter_mut().zip(self.decisions.iter()) {
+            *o = d.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Folds every model's *new* kernel activity into the process-wide
+    /// aggregate and returns the aggregate's current snapshot.
+    pub fn aggregate_kernels(&self, registry: &ModelRegistry) -> SmsvSnapshot {
+        let mut last = self.last_per_model.lock().expect("stats poisoned");
+        for served in registry.iter() {
+            let now = served.counters().snapshot();
+            let earlier = last.entry(served.name().to_string()).or_default();
+            self.aggregate.merge_snapshot(&now.delta(earlier));
+            *earlier = now;
+        }
+        self.aggregate.snapshot()
+    }
+
+    /// Full service snapshot as a JSON document: request-kind counters,
+    /// queue depths (supplied by the executor), per-model kernel telemetry
+    /// and the process-wide aggregate.
+    pub fn snapshot_json(
+        &self,
+        registry: &ModelRegistry,
+        queue_depths: &[(String, usize)],
+    ) -> String {
+        let queues = queue_depths
+            .iter()
+            .map(|(name, depth)| {
+                JsonValue::obj([
+                    ("queue", JsonValue::from(name.as_str())),
+                    ("depth", JsonValue::from(*depth)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        let decisions = Format::ALL
+            .iter()
+            .zip(self.decisions())
+            .filter(|&(_, n)| n > 0)
+            .map(|(&f, n)| JsonValue::obj([(f.name(), JsonValue::from(n))]))
+            .collect::<Vec<_>>();
+        let models = registry
+            .iter()
+            .map(|served| {
+                let snap = served.counters().snapshot();
+                JsonValue::obj([
+                    ("model", JsonValue::from(served.name())),
+                    (
+                        "format",
+                        served
+                            .format()
+                            .map(|f| JsonValue::from(f.name()))
+                            .unwrap_or(JsonValue::Null),
+                    ),
+                    ("dim", JsonValue::from(served.dim())),
+                    ("kernels", kernel_json(&snap)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        let aggregate = kernel_json(&self.aggregate_kernels(registry));
+        JsonValue::obj([
+            ("predict", self.predict.to_json()),
+            ("schedule", self.schedule.to_json()),
+            ("stats", self.stats.to_json()),
+            ("queues", JsonValue::Arr(queues)),
+            ("schedule_decisions", JsonValue::Arr(decisions)),
+            ("models", JsonValue::Arr(models)),
+            ("aggregate", aggregate),
+        ])
+        .to_json()
+    }
+}
+
+/// One kernel snapshot as JSON: per-format calls/nanos, the block-size
+/// histogram, and the multi-vector block count that proves coalescing.
+fn kernel_json(snap: &SmsvSnapshot) -> JsonValue {
+    let formats = Format::ALL
+        .iter()
+        .map(|&f| snap.sample(f))
+        .zip(Format::ALL.iter())
+        .filter(|(s, _)| s.calls > 0)
+        .map(|(s, &f)| {
+            JsonValue::obj([
+                ("format", JsonValue::from(f.name())),
+                ("calls", JsonValue::from(s.calls)),
+                ("nanos", JsonValue::from(s.nanos)),
+                ("bytes", JsonValue::from(s.bytes)),
+            ])
+        })
+        .collect::<Vec<_>>();
+    let hist: Vec<JsonValue> = snap.block_hist.iter().map(|&n| JsonValue::from(n)).collect();
+    JsonValue::obj([
+        ("total_calls", JsonValue::from(snap.total_calls())),
+        ("allocs_avoided", JsonValue::from(snap.allocs_avoided)),
+        ("block_hist", JsonValue::Arr(hist)),
+        ("multi_vector_blocks", JsonValue::from(snap.multi_vector_blocks())),
+        ("formats", JsonValue::Arr(formats)),
+    ])
+}
+
+/// Parses the block-size histogram back out of a `Stats` JSON document —
+/// the client-side accessor the integration tests and CLI view use.
+pub fn parse_block_hist(stats_json: &str) -> Result<[u64; BLOCK_HIST_BUCKETS], String> {
+    let doc = dls_core::json::parse(stats_json)?;
+    let hist = doc
+        .get("aggregate")
+        .and_then(|a| a.get("block_hist"))
+        .and_then(JsonValue::as_arr)
+        .ok_or("missing aggregate.block_hist")?;
+    let mut out = [0u64; BLOCK_HIST_BUCKETS];
+    for (o, v) in out.iter_mut().zip(hist) {
+        *o = v.as_u64().ok_or("non-integer histogram bucket")?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ServedModel;
+    use dls_core::LayoutScheduler;
+    use dls_sparse::SparseVec;
+    use dls_svm::{KernelKind, PredictWorkspace, SvmModel};
+
+    #[test]
+    fn latency_quantiles_bracket_observations() {
+        let h = LatencyHistogram::default();
+        for us in [10u64, 20, 30, 40, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.quantile_secs(0.5).unwrap();
+        // Third observation (30 µs) lands in the 16–32 µs bucket.
+        assert!((30e-6..=64e-6).contains(&p50), "{p50}");
+        let p95 = h.quantile_secs(0.95).unwrap();
+        assert!((1e-3..=3e-3).contains(&p95), "{p95}");
+        assert!(h.mean_secs().unwrap() > 0.0);
+        assert_eq!(LatencyHistogram::default().quantile_secs(0.5), None);
+    }
+
+    #[test]
+    fn snapshot_json_carries_the_block_histogram() {
+        let scheduler = LayoutScheduler::new();
+        let svs: Vec<SparseVec> =
+            (0..4).map(|i| SparseVec::new(8, vec![i, i + 4], vec![1.0, -1.0])).collect();
+        let model = SvmModel::new(KernelKind::Linear, svs, vec![1.0, -1.0, 0.5, -0.5], 0.0);
+        let mut registry = ModelRegistry::new();
+        registry.insert(ServedModel::new("m", model, &scheduler));
+
+        let served = registry.get("m").unwrap().clone();
+        let mut ws = PredictWorkspace::new();
+        let xs: Vec<SparseVec> = (0..5).map(|i| SparseVec::new(8, vec![i], vec![1.0])).collect();
+        served.predict(&xs, &mut ws); // one blocked call, B = 5
+
+        let stats = ServeStats::new();
+        stats.predict.record_ok(Duration::from_micros(120));
+        stats.record_decision(Format::Csr);
+        let json = stats.snapshot_json(&registry, &[("predict:m".into(), 3)]);
+        let hist = parse_block_hist(&json).unwrap();
+        assert_eq!(hist[2], 1, "B=5 lands in bucket 2 (4..8): {json}");
+        let doc = dls_core::json::parse(&json).unwrap();
+        assert_eq!(doc.get("predict").unwrap().get("ok").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            doc.get("queues").unwrap().as_arr().unwrap()[0].get("depth").unwrap().as_u64(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn aggregation_across_polls_never_double_counts() {
+        let scheduler = LayoutScheduler::new();
+        let model = SvmModel::new(
+            KernelKind::Linear,
+            vec![SparseVec::new(4, vec![0], vec![1.0])],
+            vec![1.0],
+            0.0,
+        );
+        let mut registry = ModelRegistry::new();
+        registry.insert(ServedModel::new("m", model, &scheduler));
+        let served = registry.get("m").unwrap().clone();
+        let stats = ServeStats::new();
+        let mut ws = PredictWorkspace::new();
+        let x = [SparseVec::new(4, vec![1], vec![2.0])];
+        for polls in 1..=3 {
+            served.predict(&x, &mut ws);
+            let agg = stats.aggregate_kernels(&registry);
+            assert_eq!(agg.total_calls(), polls, "poll {polls}");
+            // Idempotent when nothing new happened.
+            assert_eq!(stats.aggregate_kernels(&registry).total_calls(), polls);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! End-to-end loopback tests: a real server on 127.0.0.1, real TCP
+//! clients, and the full stack in between — framing, dispatch, batching
+//! executor, blocked kernels, telemetry.
+//!
+//! Determinism strategy: the executor's `pause` drain control lets tests
+//! park the worker pool, build a known queue state (polling depths via the
+//! `Stats` endpoint, which is served inline on connection threads), and
+//! then release it — so queue-full and coalescing behaviour is asserted,
+//! not hoped for.
+
+use dls_core::LayoutScheduler;
+use dls_serve::stats::parse_block_hist;
+use dls_serve::{
+    start, ModelRegistry, Response, ServeClient, ServedModel, ServerConfig, ServerHandle,
+};
+use dls_sparse::SparseVec;
+use dls_svm::{KernelKind, SvmModel};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const DIM: usize = 16;
+
+/// A small but non-trivial Gaussian-kernel model.
+fn test_model() -> SvmModel {
+    let svs: Vec<SparseVec> = (0..6)
+        .map(|i| {
+            SparseVec::new(
+                DIM,
+                vec![i, i + 5, i + 10],
+                vec![1.0 + i as f64, -0.5 * i as f64 - 1.0, 0.25],
+            )
+        })
+        .collect();
+    let coefs = vec![1.0, -1.0, 0.5, -0.5, 0.75, -0.25];
+    SvmModel::new(KernelKind::Gaussian { gamma: 0.125 }, svs, coefs, 0.375)
+}
+
+fn query(seed: usize) -> SparseVec {
+    SparseVec::new(DIM, vec![seed % DIM], vec![1.0 + (seed % 7) as f64 * 0.5])
+}
+
+fn serve(config: ServerConfig) -> ServerHandle {
+    let registry =
+        ModelRegistry::new().with(ServedModel::new("m", test_model(), &LayoutScheduler::new()));
+    start(registry, LayoutScheduler::new(), config).expect("bind loopback")
+}
+
+/// Polls the predict queue depth via the wire Stats endpoint until it
+/// reaches `want` (inline handling keeps this live while workers pause).
+fn wait_for_depth(addr: SocketAddr, want: u64) {
+    let mut stats = ServeClient::connect(addr).expect("connect stats");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let json = stats.stats().expect("stats");
+        let doc = dls_core::json::parse(&json).expect("valid stats json");
+        let depth = doc
+            .get("queues")
+            .and_then(|q| q.as_arr())
+            .and_then(|qs| {
+                qs.iter().find(|q| q.get("queue").and_then(|n| n.as_str()) == Some("predict:m"))
+            })
+            .and_then(|q| q.get("depth"))
+            .and_then(|d| d.as_u64())
+            .expect("queue depth");
+        if depth >= want {
+            return;
+        }
+        assert!(Instant::now() < deadline, "queue never reached depth {want}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn concurrent_singles_coalesce_and_match_per_vector_predict() {
+    let handle = serve(ServerConfig::default());
+    let addr = handle.local_addr();
+    let model = test_model();
+
+    // Park the workers, let 8 independent connections each queue one
+    // single-vector predict, then release the pool: the drain must fuse
+    // them into multi-vector blocks.
+    const CLIENTS: usize = 8;
+    handle.executor().pause(true);
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = ServeClient::connect(addr).expect("connect");
+                (i, c.predict("m", vec![query(i)], 0).expect("predict"))
+            })
+        })
+        .collect();
+    wait_for_depth(addr, CLIENTS as u64);
+    handle.executor().pause(false);
+
+    for client in clients {
+        let (i, resp) = client.join().expect("client thread");
+        match resp {
+            Response::Predictions(values) => {
+                assert_eq!(values.len(), 1);
+                // Bit-identical to evaluating that one vector alone.
+                let want = model.decision_function(&query(i));
+                assert_eq!(
+                    values[0].to_bits(),
+                    want.to_bits(),
+                    "client {i}: {} vs {want}",
+                    values[0]
+                );
+            }
+            other => panic!("client {i}: unexpected response {other:?}"),
+        }
+    }
+
+    // The telemetry must prove the fusion happened: blocks of B >= 2.
+    let mut c = ServeClient::connect(addr).expect("connect");
+    let hist = parse_block_hist(&c.stats().expect("stats")).expect("block hist");
+    let multi: u64 = hist[1..].iter().sum();
+    assert!(multi >= 1, "8 queued singles produced no multi-vector block: {hist:?}");
+
+    drop(c);
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_refuses_with_busy_immediately() {
+    let config = ServerConfig {
+        executor: dls_serve::ExecutorConfig { queue_capacity: 2, ..Default::default() },
+        ..Default::default()
+    };
+    let handle = serve(config);
+    let addr = handle.local_addr();
+
+    handle.executor().pause(true);
+    // Two clients fill the queue to capacity and block awaiting replies.
+    let blocked: Vec<_> = (0..2)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = ServeClient::connect(addr).expect("connect");
+                c.predict("m", vec![query(i)], 0).expect("predict")
+            })
+        })
+        .collect();
+    wait_for_depth(addr, 2);
+
+    // The third client must get Busy back immediately — not a hang, not a
+    // queued wait.
+    let mut c = ServeClient::connect(addr).expect("connect");
+    let started = Instant::now();
+    let resp = c.predict("m", vec![query(9)], 0).expect("predict");
+    assert_eq!(resp, Response::Busy);
+    assert!(started.elapsed() < Duration::from_secs(2), "Busy reply was not immediate");
+
+    // Releasing the pool completes the two queued requests normally.
+    handle.executor().pause(false);
+    for client in blocked {
+        assert!(matches!(client.join().expect("join"), Response::Predictions(_)));
+    }
+    drop(c);
+    handle.shutdown();
+}
+
+#[test]
+fn requests_queued_past_their_deadline_time_out() {
+    let handle = serve(ServerConfig::default());
+    let addr = handle.local_addr();
+
+    handle.executor().pause(true);
+    let waiter = std::thread::spawn(move || {
+        let mut c = ServeClient::connect(addr).expect("connect");
+        c.predict("m", vec![query(0)], 1).expect("predict")
+    });
+    wait_for_depth(addr, 1);
+    std::thread::sleep(Duration::from_millis(20)); // sail past the 1 ms deadline
+    handle.executor().pause(false);
+    assert_eq!(waiter.join().expect("join"), Response::TimedOut);
+    handle.shutdown();
+}
+
+#[test]
+fn schedule_and_errors_over_the_wire() {
+    let handle = serve(ServerConfig::default());
+    let addr = handle.local_addr();
+    let mut c = ServeClient::connect(addr).expect("connect");
+
+    // A fixed-format strategy is honoured end to end.
+    let entries: Vec<(u64, u64, f64)> = (0..8).map(|i| (i % 4, i % 6, 1.0 + i as f64)).collect();
+    match c.schedule("csr", 4, 6, entries.clone()).expect("schedule") {
+        Response::Scheduled { format, .. } => assert_eq!(format, "CSR"),
+        other => panic!("unexpected response {other:?}"),
+    }
+    // The default scheduler returns a scored decision.
+    match c.schedule("", 4, 6, entries).expect("schedule") {
+        Response::Scheduled { format, scores, .. } => {
+            assert!(!format.is_empty());
+            assert!(!scores.is_empty());
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+    // Malformed submissions come back as typed errors, not dropped
+    // connections.
+    assert!(matches!(
+        c.schedule("no-such-strategy", 2, 2, vec![]).expect("schedule"),
+        Response::Error(_)
+    ));
+    assert!(matches!(
+        c.schedule("", 2, 2, vec![(5, 0, 1.0)]).expect("schedule"),
+        Response::Error(_)
+    ));
+    assert!(matches!(
+        c.predict("missing-model", vec![query(0)], 0).expect("predict"),
+        Response::Error(_)
+    ));
+    assert!(matches!(
+        c.predict("m", vec![SparseVec::zeros(DIM + 1)], 0).expect("predict"),
+        Response::Error(_)
+    ));
+
+    // The same connection still serves good requests afterwards.
+    assert!(matches!(
+        c.predict("m", vec![query(1)], 0).expect("predict"),
+        Response::Predictions(_)
+    ));
+    drop(c);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_frame_drains_gracefully() {
+    let handle = serve(ServerConfig::default());
+    let addr = handle.local_addr();
+
+    let mut c = ServeClient::connect(addr).expect("connect");
+    assert!(matches!(
+        c.predict("m", vec![query(3)], 0).expect("predict"),
+        Response::Predictions(_)
+    ));
+    assert_eq!(c.shutdown().expect("shutdown"), Response::ShuttingDown);
+    // Requests after the shutdown ack are refused, not dropped.
+    assert_eq!(c.predict("m", vec![query(4)], 0).expect("predict"), Response::ShuttingDown);
+    drop(c);
+
+    assert!(handle.is_shutting_down());
+    handle.shutdown(); // performs the drain; idempotent with join()
+
+    // The acceptor is gone: fresh connections cannot reach the service.
+    let gone = ServeClient::connect(addr).and_then(|mut c| c.predict("m", vec![query(5)], 0));
+    assert!(gone.is_err(), "server still serving after drain");
+}

@@ -48,7 +48,9 @@ pub use format::{AnyMatrix, Format, MatrixFormat, MAX_SMSV_BLOCK};
 pub use hyb::HybMatrix;
 pub use jds::JdsMatrix;
 pub use sparsevec::{RowScratch, SparseVec, SparseVecView};
-pub use telemetry::{CounterSample, InstrumentedMatrix, SmsvCounters, BLOCK_HIST_BUCKETS};
+pub use telemetry::{
+    CounterSample, InstrumentedMatrix, SmsvCounters, SmsvSnapshot, BLOCK_HIST_BUCKETS,
+};
 pub use triplet::TripletMatrix;
 
 /// Scalar type used throughout the library. LIBSVM and the paper's

@@ -171,6 +171,113 @@ impl SmsvCounters {
     }
 }
 
+/// A point-in-time copy of *every* counter an [`SmsvCounters`] holds:
+/// per-format totals, allocations avoided, and the block-size histogram.
+///
+/// Snapshots are plain data, so they compose without touching the live
+/// atomics: [`SmsvSnapshot::delta`] subtracts an earlier reading and
+/// [`SmsvSnapshot::merge`] adds element-wise. An aggregator that keeps the
+/// last snapshot per source and merges only the deltas counts every event
+/// exactly once, no matter how often it polls — the pattern `dls-serve`
+/// uses to fold per-model counters into one process-wide view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SmsvSnapshot {
+    /// Per-format totals, in [`Format::ALL`] order.
+    pub by_format: [CounterSample; Format::ALL.len()],
+    /// Heap allocations avoided by the zero-copy paths.
+    pub allocs_avoided: u64,
+    /// Block-size histogram, log2-bucketed as in [`SmsvCounters`].
+    pub block_hist: [u64; BLOCK_HIST_BUCKETS],
+}
+
+impl SmsvSnapshot {
+    /// Element-wise difference `self - earlier`, saturating at zero.
+    /// Both readings must come from the same (monotone) counters for the
+    /// result to mean "what happened in between".
+    pub fn delta(&self, earlier: &SmsvSnapshot) -> SmsvSnapshot {
+        let mut out = SmsvSnapshot::default();
+        for ((o, new), old) in
+            out.by_format.iter_mut().zip(self.by_format.iter()).zip(earlier.by_format.iter())
+        {
+            *o = new.delta(old);
+        }
+        out.allocs_avoided = self.allocs_avoided.saturating_sub(earlier.allocs_avoided);
+        for ((o, new), old) in
+            out.block_hist.iter_mut().zip(self.block_hist.iter()).zip(earlier.block_hist.iter())
+        {
+            *o = new.saturating_sub(*old);
+        }
+        out
+    }
+
+    /// Element-wise accumulation of `other` into `self`. Merging is
+    /// commutative and associative, so any fold order over a set of
+    /// disjoint deltas yields the same aggregate.
+    pub fn merge(&mut self, other: &SmsvSnapshot) {
+        for (mine, theirs) in self.by_format.iter_mut().zip(other.by_format.iter()) {
+            mine.calls += theirs.calls;
+            mine.nanos += theirs.nanos;
+            mine.bytes += theirs.bytes;
+        }
+        self.allocs_avoided += other.allocs_avoided;
+        for (mine, theirs) in self.block_hist.iter_mut().zip(other.block_hist.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// Reading for one format.
+    pub fn sample(&self, format: Format) -> CounterSample {
+        self.by_format[format_index(format)]
+    }
+
+    /// Total calls across every format.
+    pub fn total_calls(&self) -> u64 {
+        self.by_format.iter().map(|s| s.calls).sum()
+    }
+
+    /// Total `smsv_block` invocations that covered more than one
+    /// right-hand side (buckets 1.., i.e. `B >= 2`).
+    pub fn multi_vector_blocks(&self) -> u64 {
+        self.block_hist[1..].iter().sum()
+    }
+}
+
+impl SmsvCounters {
+    /// Atomically-read copy of every counter (relaxed loads; readers may
+    /// lag in-flight updates by a call, which the delta discipline absorbs).
+    pub fn snapshot(&self) -> SmsvSnapshot {
+        SmsvSnapshot {
+            by_format: self.sample_all(),
+            allocs_avoided: self.allocs_avoided(),
+            block_hist: self.block_histogram(),
+        }
+    }
+
+    /// Adds `other`'s *current totals* into `self`. Meaningful when `other`
+    /// is retired (e.g. a model being unloaded) — for live sources, poll
+    /// snapshots and merge deltas instead to avoid double counting.
+    pub fn merge(&self, other: &SmsvCounters) {
+        self.merge_snapshot(&other.snapshot());
+    }
+
+    /// Adds a snapshot (usually a delta) into these counters.
+    pub fn merge_snapshot(&self, snap: &SmsvSnapshot) {
+        for (&f, s) in Format::ALL.iter().zip(snap.by_format.iter()) {
+            if s.calls > 0 || s.nanos > 0 || s.bytes > 0 {
+                self.by_format[format_index(f)].record_many(s.calls, s.nanos, s.bytes);
+            }
+        }
+        if snap.allocs_avoided > 0 {
+            self.record_allocs_avoided(snap.allocs_avoided);
+        }
+        for (bucket, &n) in self.block_hist.iter().zip(snap.block_hist.iter()) {
+            if n > 0 {
+                bucket.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
 /// An [`AnyMatrix`] that meters its SMSV calls into shared [`SmsvCounters`].
 ///
 /// The SMSV kernel family (`smsv`, `smsv_view`, `smsv_block`) — what the
@@ -426,6 +533,102 @@ mod tests {
         assert_eq!(CounterSample::default().bytes_per_sec(), None);
         let rate = d.bytes_per_sec().unwrap();
         assert!((rate - 8_000.0 / 4e-6).abs() < 1e-3);
+    }
+
+    /// Counters with a distinctive, per-source pattern in every field.
+    fn loaded_counters(seed: u64) -> SmsvCounters {
+        let c = SmsvCounters::default();
+        for (k, &f) in Format::ALL.iter().enumerate() {
+            let k = k as u64 + 1;
+            for _ in 0..(seed % 3 + 1) {
+                c.record(f, seed * 10 + k, seed * 100 + k);
+            }
+        }
+        c.record_allocs_avoided(seed + 1);
+        c.record_block((seed as usize % 6) + 1);
+        c.record_block(1);
+        c
+    }
+
+    #[test]
+    fn snapshot_delta_isolates_new_activity() {
+        let t = small();
+        let counters = SmsvCounters::shared();
+        let m =
+            InstrumentedMatrix::new(AnyMatrix::from_triplets(Format::Csr, &t), counters.clone());
+        let v = m.row_sparse(0);
+        let mut out = vec![0.0; 4];
+        m.smsv(&v, &mut out);
+        let first = counters.snapshot();
+        m.smsv(&v, &mut out);
+        m.smsv(&v, &mut out);
+        let second = counters.snapshot();
+        let d = second.delta(&first);
+        assert_eq!(d.sample(Format::Csr).calls, 2);
+        assert_eq!(first.sample(Format::Csr).calls, 1);
+        assert_eq!(second.total_calls(), 3);
+        // Self-delta is zero everywhere.
+        assert_eq!(second.delta(&second), SmsvSnapshot::default());
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let (a, b, c) = (
+            loaded_counters(1).snapshot(),
+            loaded_counters(2).snapshot(),
+            loaded_counters(3).snapshot(),
+        );
+        // (a + b) + c
+        let mut left = SmsvSnapshot::default();
+        left.merge(&a);
+        left.merge(&b);
+        let mut left_total = left;
+        left_total.merge(&c);
+        // a + (b + c)
+        let mut right = SmsvSnapshot::default();
+        right.merge(&b);
+        right.merge(&c);
+        let mut right_total = a;
+        right_total.merge(&right);
+        assert_eq!(left_total, right_total);
+        // Commutativity: c + (a + b).
+        let mut flipped = c;
+        flipped.merge(&left);
+        assert_eq!(flipped, left_total);
+    }
+
+    #[test]
+    fn delta_merging_never_double_counts() {
+        // The serve aggregation pattern: poll two live sources repeatedly,
+        // merging only deltas; the aggregate must equal the final totals.
+        let sources = [loaded_counters(4), loaded_counters(7)];
+        let global = SmsvCounters::default();
+        let mut last = [SmsvSnapshot::default(); 2];
+        for round in 0..3 {
+            for (src, last) in sources.iter().zip(last.iter_mut()) {
+                if round > 0 {
+                    src.record(Format::Ell, 5, 9); // new activity between polls
+                    src.record_block(4);
+                }
+                let now = src.snapshot();
+                global.merge_snapshot(&now.delta(last));
+                *last = now;
+            }
+        }
+        let mut expected = sources[0].snapshot();
+        expected.merge(&sources[1].snapshot());
+        assert_eq!(global.snapshot(), expected);
+        assert!(expected.multi_vector_blocks() >= 4); // the B=4 blocks recorded above
+    }
+
+    #[test]
+    fn counters_merge_folds_retired_totals() {
+        let a = loaded_counters(5);
+        let b = loaded_counters(6);
+        let mut expected = a.snapshot();
+        expected.merge(&b.snapshot());
+        a.merge(&b);
+        assert_eq!(a.snapshot(), expected);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub use cache::KernelCache;
 pub use error::SvmError;
 pub use kernel::KernelKind;
 pub use metrics::{accuracy, confusion_binary};
-pub use model::SvmModel;
+pub use model::{PredictWorkspace, SvmModel};
 pub use model_selection::{cross_validate, grid_search, GridPoint, GridSearchResult};
 pub use multiclass::{MulticlassModel, MulticlassStrategy};
 pub use persist::{read_model, write_model, ModelFormatError};

@@ -23,6 +23,9 @@ cargo run --release -q --bin dls -- schedule @trefethen "learned:$model"
 echo "==> bench smoke (criterion --test mode, one pass, no statistics)"
 cargo bench -q -p dls-bench --bench smsv_block -- --test
 
+echo "==> serve smoke (predict/schedule/stats over loopback + graceful drain)"
+cargo run --release -q -p dls-bench --bin repro_serve -- --smoke
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -13,6 +13,11 @@
 //!                                                   --cache persists tuning
 //!                                                   decisions across runs
 //! dls scale     <in.libsvm> <out.libsvm> [01|pm1]   feature scaling
+//! dls serve     [addr] [--models a,b]               host quick-trained models
+//!                                                   behind the batching
+//!                                                   inference service
+//! dls stats     --serve <addr>                      live telemetry snapshot
+//!                                                   from a running server
 //! dls train-selector [out.json] [--quick] [--analytic] [--seed N]
 //!                                                   fit a decision-tree model
 //!                                                   on the synthetic grid
@@ -41,11 +46,12 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("scale") => cmd_scale(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("train-selector") => cmd_train_selector(&args[1..]),
         Some("selector-info") => cmd_selector_info(&args[1..]),
         _ => {
             eprintln!(
-                "usage: dls <features|schedule|train|bench|stats|scale|train-selector|selector-info> ..."
+                "usage: dls <features|schedule|train|bench|stats|scale|serve|train-selector|selector-info> ..."
             );
             return ExitCode::from(2);
         }
@@ -214,7 +220,80 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Quick-trains one model on a synthetic twin for serving: small enough
+/// to be ready in seconds, real enough to give the scheduler structure.
+fn quick_served_model(
+    name: &str,
+    scheduler: &LayoutScheduler,
+) -> Result<dls::serve::ServedModel, String> {
+    let spec = DatasetSpec::by_name(name)
+        .ok_or_else(|| format!("unknown synthetic dataset: {name}"))?
+        .scaled(16);
+    let t = generate(&spec, 42);
+    let y = linear_teacher_labels(&t, 0.05, 42);
+    let x = CsrMatrix::from_triplets(&t);
+    let params = SmoParams {
+        kernel: KernelKind::Linear,
+        tolerance: 1e-2,
+        max_iterations: 2_000,
+        ..Default::default()
+    };
+    let model = dls::svm::train(&x, &y, &params).map_err(|e| e.to_string())?;
+    Ok(dls::serve::ServedModel::new(name, model, scheduler))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let addr = args
+        .iter()
+        .find(|a| !a.starts_with("--") && a.contains(':'))
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let models: Vec<String> = args
+        .iter()
+        .position(|a| a == "--models")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').map(str::to_string).collect())
+        .unwrap_or_else(|| vec!["adult".to_string(), "mnist".to_string()]);
+
+    let scheduler = LayoutScheduler::new();
+    let mut registry = dls::serve::ModelRegistry::new();
+    for name in &models {
+        println!("training {name} ...");
+        let served = quick_served_model(name, &scheduler)?;
+        println!(
+            "  {} support vectors, scheduled format {}",
+            served.model().n_support_vectors(),
+            served.format().map(|f| f.name()).unwrap_or("-")
+        );
+        registry.insert(served);
+    }
+
+    let config = dls::serve::ServerConfig { addr, ..Default::default() };
+    let handle = dls::serve::start(registry, LayoutScheduler::new(), config)
+        .map_err(|e| format!("bind: {e}"))?;
+    println!("listening on {}", handle.local_addr());
+    println!("telemetry: dls stats --serve {}", handle.local_addr());
+    println!("stop:      a client Shutdown frame (ServeClient::shutdown) drains and exits");
+    handle.join();
+    println!("drained cleanly");
+    Ok(())
+}
+
+/// `dls stats --serve <addr>`: fetch and pretty-print a live snapshot.
+fn cmd_stats_serve(addr: &str) -> Result<(), String> {
+    let mut client =
+        dls::serve::ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let json = client.stats().map_err(|e| format!("stats: {e}"))?;
+    let doc = dls::core::json::parse(&json)?;
+    print!("{}", doc.to_json_pretty());
+    Ok(())
+}
+
 fn cmd_stats(args: &[String]) -> Result<(), String> {
+    if let Some(i) = args.iter().position(|a| a == "--serve") {
+        let addr = args.get(i + 1).ok_or("stats: --serve needs an address")?;
+        return cmd_stats_serve(addr);
+    }
     let cache_path = args
         .iter()
         .position(|a| a == "--cache")

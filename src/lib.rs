@@ -36,6 +36,7 @@ pub use dls_data as data;
 pub use dls_dnn as dnn;
 pub use dls_hw as hw;
 pub use dls_learn as learn;
+pub use dls_serve as serve;
 pub use dls_sparse as sparse;
 pub use dls_svm as svm;
 
