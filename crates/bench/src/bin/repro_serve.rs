@@ -2,18 +2,28 @@
 //! `BENCH_serve.json`.
 //!
 //! Quick-trains SVMs on two Table-V twins, hosts them in an in-process
-//! server, then sweeps client concurrency × request coalescing. Every
-//! client is closed-loop (next request only after the previous reply), so
-//! measured throughput reflects the service's end-to-end pipeline:
-//! framing, queueing, the gather window, and the blocked kernel sweep.
-//! The per-cell `multi_vector_blocks` column — read back from the wire
-//! `Stats` endpoint — shows how many sweeps actually fused concurrent
-//! requests.
+//! server, then runs two sweeps:
+//!
+//! 1. **Coalescing** — client concurrency × request coalescing; every
+//!    client is closed-loop, so measured throughput reflects the service's
+//!    end-to-end pipeline. The per-cell `multi_vector_blocks` column —
+//!    read back from the wire `Stats` endpoint — shows how many sweeps
+//!    actually fused concurrent requests.
+//! 2. **Mixed workload** — a batch flood (heavy multi-vector requests)
+//!    plus tight-SLO interactive clients, once per queue discipline
+//!    (fifo / priority / slo). The per-class p95/p99 and SLO-violation
+//!    rates come from the server's own class ledgers; the point of the
+//!    redesign is that `slo` strictly cuts interactive violations vs
+//!    `fifo` under the same flood. Predictive admission is off for these
+//!    cells so every miss is *measured* as a violation instead of being
+//!    refused at the door.
 //!
 //! Usage: `repro_serve [secs_per_cell] [out.json]` (defaults: 0.4,
-//! `BENCH_serve.json`), or `repro_serve --smoke` for the CI smoke run:
-//! one Predict + Schedule + Stats round trip plus a graceful
-//! shutdown-by-frame, exiting non-zero on any mismatch.
+//! `BENCH_serve.json`), or `repro_serve --smoke [--discipline NAME]` for
+//! the CI smoke run: one Predict + Schedule + Stats round trip under the
+//! named discipline (default slo) plus a graceful shutdown-by-frame,
+//! printing the per-class SLO-violation rates and exiting non-zero on any
+//! mismatch.
 
 use dls_bench::workloads::default_scale;
 use dls_core::json::JsonValue;
@@ -21,7 +31,8 @@ use dls_core::LayoutScheduler;
 use dls_data::labels::linear_teacher_labels;
 use dls_data::{generate, DatasetSpec};
 use dls_serve::{
-    ExecutorConfig, ModelRegistry, Response, ServeClient, ServedModel, ServerConfig, ServerHandle,
+    parse_discipline, ExecutorConfig, ModelRegistry, PredictRequest, RequestClass, Response,
+    ScheduleRequest, ServeClient, ServedModel, ServerConfig, ServerHandle, DISCIPLINES,
 };
 use dls_sparse::{CsrMatrix, MatrixFormat, SparseVec, MAX_SMSV_BLOCK};
 use dls_svm::smo::{train, SmoParams};
@@ -111,7 +122,8 @@ fn run_cell(hosted: &[Hosted], concurrency: usize, coalescing: bool, secs: f64) 
                 while Instant::now() < deadline {
                     let q = queries[k % queries.len()].clone();
                     k += 1;
-                    match client.predict(model_name, vec![q], 0).expect("predict") {
+                    let req = PredictRequest::builder(model_name).vector(q).build();
+                    match client.send(&req).expect("predict") {
                         Response::Predictions(_) => ok += 1,
                         Response::Busy => {
                             busy += 1;
@@ -158,29 +170,185 @@ fn run_cell(hosted: &[Hosted], concurrency: usize, coalescing: bool, secs: f64) 
     }
 }
 
-/// CI smoke: one of everything over real sockets, then a graceful
-/// shutdown triggered by the wire `Shutdown` frame.
-fn smoke() {
+/// Per-class tallies of one mixed-workload cell, straight off the
+/// server's class ledgers.
+#[derive(Debug, Clone)]
+struct ClassOutcome {
+    ok: u64,
+    timed_out: u64,
+    slo_violations: u64,
+    violation_rate: f64,
+    p95_secs: Option<f64>,
+    p99_secs: Option<f64>,
+}
+
+struct MixedResult {
+    discipline: &'static str,
+    interactive: ClassOutcome,
+    batch: ClassOutcome,
+    batch_req_per_s: f64,
+}
+
+fn class_outcome(doc: &JsonValue, class: RequestClass) -> ClassOutcome {
+    let entry = doc
+        .get("classes")
+        .and_then(|c| c.get(class.name()))
+        .unwrap_or_else(|| panic!("stats JSON lacks classes.{class}"));
+    let n = |k: &str| entry.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+    ClassOutcome {
+        ok: n("ok"),
+        timed_out: n("timed_out"),
+        slo_violations: n("slo_violations"),
+        violation_rate: entry.get("slo_violation_rate").and_then(JsonValue::as_f64).unwrap_or(0.0),
+        p95_secs: entry.get("p95_secs").and_then(JsonValue::as_f64),
+        p99_secs: entry.get("p99_secs").and_then(JsonValue::as_f64),
+    }
+}
+
+/// The interactive SLO the mixed cells are graded against.
+const MIXED_INTERACTIVE_SLO: Duration = Duration::from_millis(2);
+/// Vectors per batch-class request in the mixed cells.
+const MIXED_BATCH_WEIGHT: usize = 32;
+
+/// One mixed-workload cell: a sustained batch flood plus tight-SLO
+/// interactive singles, under the named discipline.
+fn run_mixed_cell(hosted: &[Hosted], discipline: &'static str, secs: f64) -> MixedResult {
+    let executor = ExecutorConfig {
+        max_block: MIXED_BATCH_WEIGHT,
+        gather: Duration::from_micros(200),
+        discipline: parse_discipline(discipline).expect("known discipline"),
+        // Measure misses as violations instead of refusing them up front.
+        predictive_admission: false,
+        ..Default::default()
+    };
+    let handle = start_server(hosted, executor);
+    let addr = handle.local_addr();
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(secs);
+    let h = &hosted[0];
+
+    // The flood: closed-loop batch clients, each pushing full-block
+    // requests with the relaxed class-default SLO.
+    let batch_clients: Vec<_> = (0..6)
+        .map(|c| {
+            let (model_name, queries) = (h.name, h.queries.clone());
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                let mut sent = 0u64;
+                let mut k = c;
+                while Instant::now() < deadline {
+                    let vs: Vec<SparseVec> = (0..MIXED_BATCH_WEIGHT)
+                        .map(|j| queries[(k + j) % queries.len()].clone())
+                        .collect();
+                    k += MIXED_BATCH_WEIGHT;
+                    let req = PredictRequest::builder(model_name)
+                        .vectors(vs)
+                        .class(RequestClass::Batch)
+                        .build();
+                    match client.send(&req).expect("predict") {
+                        Response::Predictions(_) | Response::TimedOut => sent += 1,
+                        Response::Busy => std::thread::sleep(Duration::from_micros(200)),
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+                sent
+            })
+        })
+        .collect();
+
+    // The victims: interactive singles with a tight explicit SLO, lightly
+    // paced so each request meets a fresh backlog.
+    let interactive_clients: Vec<_> = (0..2)
+        .map(|c| {
+            let (model_name, queries) = (h.name, h.queries.clone());
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                let mut k = c;
+                while Instant::now() < deadline {
+                    let q = queries[k % queries.len()].clone();
+                    k += 1;
+                    let req = PredictRequest::builder(model_name)
+                        .vector(q)
+                        .class(RequestClass::Interactive)
+                        .slo(MIXED_INTERACTIVE_SLO)
+                        .build();
+                    match client.send(&req).expect("predict") {
+                        Response::Predictions(_) | Response::TimedOut => {}
+                        Response::Busy => std::thread::sleep(Duration::from_micros(200)),
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                    std::thread::sleep(Duration::from_micros(300));
+                }
+            })
+        })
+        .collect();
+
+    let mut batch_ok = 0u64;
+    for c in batch_clients {
+        batch_ok += c.join().expect("batch client");
+    }
+    for c in interactive_clients {
+        c.join().expect("interactive client");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut c = ServeClient::connect(addr).expect("connect");
+    let doc = dls_core::json::parse(&c.stats().expect("stats")).expect("valid stats json");
+    drop(c);
+    handle.shutdown();
+
+    MixedResult {
+        discipline,
+        interactive: class_outcome(&doc, RequestClass::Interactive),
+        batch: class_outcome(&doc, RequestClass::Batch),
+        batch_req_per_s: batch_ok as f64 / elapsed,
+    }
+}
+
+/// CI smoke: one of everything over real sockets under the named queue
+/// discipline, then a graceful shutdown triggered by the wire `Shutdown`
+/// frame.
+fn smoke(discipline: &str) {
     let hosted = vec![quick_model("adult", 256, 42)];
-    let handle = start_server(&hosted, ExecutorConfig::default());
+    let executor = ExecutorConfig {
+        discipline: parse_discipline(discipline).expect("known discipline"),
+        ..Default::default()
+    };
+    let handle = start_server(&hosted, executor);
     let addr = handle.local_addr();
     let mut c = ServeClient::connect(addr).expect("connect");
 
     let q = hosted[0].queries[0].clone();
     let want = hosted[0].model.decision_function(&q);
-    match c.predict("adult", vec![q], 0).expect("predict") {
+    let req = PredictRequest::builder("adult")
+        .vector(q)
+        .class(RequestClass::Interactive)
+        .slo(Duration::from_secs(5))
+        .build();
+    match c.send(&req).expect("predict") {
         Response::Predictions(values) => {
             assert_eq!(values.len(), 1);
             assert_eq!(values[0].to_bits(), want.to_bits(), "served != local decision value");
         }
         other => panic!("unexpected predict response {other:?}"),
     }
-    match c.schedule("", 4, 4, vec![(0, 0, 1.0), (3, 3, 2.0)]).expect("schedule") {
+    let sched = ScheduleRequest::builder(4, 4).entries([(0u64, 0u64, 1.0), (3, 3, 2.0)]).build();
+    match c.send(&sched).expect("schedule") {
         Response::Scheduled { format, .. } => println!("# schedule -> {format}"),
         other => panic!("unexpected schedule response {other:?}"),
     }
     let stats = c.stats().expect("stats");
-    assert!(dls_core::json::parse(&stats).is_ok(), "stats endpoint returned invalid JSON");
+    let doc = dls_core::json::parse(&stats).expect("stats endpoint returned invalid JSON");
+    for class in RequestClass::ALL {
+        let rate = doc
+            .get("classes")
+            .and_then(|cs| cs.get(class.name()))
+            .and_then(|e| e.get("slo_violation_rate"))
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("stats JSON lacks classes.{class}.slo_violation_rate"));
+        println!("# slo_violation_rate {class}={rate}");
+    }
     assert_eq!(c.shutdown().expect("shutdown"), Response::ShuttingDown);
     drop(c);
     handle.shutdown();
@@ -188,13 +356,21 @@ fn smoke() {
         ServeClient::connect(addr).is_err(),
         "server still accepting connections after graceful drain"
     );
-    println!("# serve smoke OK: predict bit-exact, schedule + stats answered, drain clean");
+    println!(
+        "# serve smoke OK ({discipline}): predict bit-exact, schedule + stats answered, \
+         drain clean"
+    );
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--smoke") {
-        smoke();
+        let discipline = args
+            .iter()
+            .position(|a| a == "--discipline")
+            .and_then(|i| args.get(i + 1))
+            .map_or("slo", String::as_str);
+        smoke(discipline);
         return;
     }
     let secs: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.4);
@@ -229,6 +405,45 @@ fn main() {
         }
     }
 
+    println!(
+        "\n{:<10} {:>7} {:>9} {:>10} {:>10} {:>10} {:>12}",
+        "disc", "int ok", "int viol", "viol rate", "int p95ms", "int p99ms", "batch req/s"
+    );
+    let mut mixed = Vec::new();
+    for name in DISCIPLINES {
+        let r = run_mixed_cell(&hosted, name, secs);
+        println!(
+            "{:<10} {:>7} {:>9} {:>10.3} {:>10.3} {:>10.3} {:>12.0}",
+            r.discipline,
+            r.interactive.ok,
+            r.interactive.slo_violations,
+            r.interactive.violation_rate,
+            r.interactive.p95_secs.map_or(f64::NAN, |s| s * 1e3),
+            r.interactive.p99_secs.map_or(f64::NAN, |s| s * 1e3),
+            r.batch_req_per_s,
+        );
+        mixed.push(r);
+    }
+    let viol = |name: &str| {
+        mixed.iter().find(|r| r.discipline == name).map(|r| r.interactive.slo_violations)
+    };
+    if let (Some(fifo), Some(slo)) = (viol("fifo"), viol("slo")) {
+        println!(
+            "# interactive SLO violations under batch flood: fifo={fifo} slo={slo} ({})",
+            if slo < fifo { "slo-aware wins" } else { "NO IMPROVEMENT — investigate" }
+        );
+    }
+
+    let class_json = |o: &ClassOutcome| {
+        JsonValue::obj([
+            ("ok", JsonValue::from(o.ok)),
+            ("timed_out", JsonValue::from(o.timed_out)),
+            ("slo_violations", JsonValue::from(o.slo_violations)),
+            ("slo_violation_rate", JsonValue::from(o.violation_rate)),
+            ("p95_secs", o.p95_secs.map(JsonValue::from).unwrap_or(JsonValue::Null)),
+            ("p99_secs", o.p99_secs.map(JsonValue::from).unwrap_or(JsonValue::Null)),
+        ])
+    };
     let rows: Vec<JsonValue> = cells
         .iter()
         .map(|r| {
@@ -245,10 +460,29 @@ fn main() {
             ])
         })
         .collect();
+    let mixed_rows: Vec<JsonValue> = mixed
+        .iter()
+        .map(|r| {
+            JsonValue::obj([
+                ("discipline", JsonValue::from(r.discipline)),
+                ("interactive", class_json(&r.interactive)),
+                ("batch", class_json(&r.batch)),
+                ("batch_req_per_s", JsonValue::from(r.batch_req_per_s)),
+            ])
+        })
+        .collect();
     let doc = JsonValue::obj([
         ("models", JsonValue::arr(hosted.iter().map(|h| JsonValue::from(h.name)))),
         ("secs_per_cell", JsonValue::from(secs)),
         ("results", JsonValue::Arr(rows)),
+        (
+            "mixed_workload",
+            JsonValue::obj([
+                ("interactive_slo_secs", JsonValue::from(MIXED_INTERACTIVE_SLO.as_secs_f64())),
+                ("batch_request_weight", JsonValue::from(MIXED_BATCH_WEIGHT)),
+                ("results", JsonValue::Arr(mixed_rows)),
+            ]),
+        ),
     ]);
     std::fs::write(&out_path, doc.to_json_pretty()).expect("write json");
     println!("\n# wrote {out_path}");

@@ -18,7 +18,10 @@
 //!    Table II storage under a flat bandwidth profile.
 //! 3. **Tree** ([`tree`]) — a pure-Rust CART trainer (Gini impurity,
 //!    depth/leaf/gain pruning, fully deterministic). No external ML
-//!    dependency; models persist as hand-rolled JSON ([`persist`]).
+//!    dependency; models persist as hand-rolled JSON ([`persist`]). The
+//!    same induction machinery re-targeted at a continuous response lives
+//!    in [`regress`] ([`RegressionTree`], variance-reduction splits) and
+//!    powers `dls-serve`'s learned latency predictor.
 //! 4. **Selector** ([`selector`]) — [`LearnedSelector`] implements
 //!    `dls_core::FormatSelector`, so a trained model drops into
 //!    `LayoutScheduler::with_selector`, composes with `TuningCache`
@@ -30,6 +33,7 @@ pub mod features;
 pub mod grid;
 pub mod label;
 pub mod persist;
+pub mod regress;
 pub mod selector;
 pub mod tree;
 
@@ -38,6 +42,7 @@ pub use features::{featurize, FEATURE_NAMES, NUM_FEATURES};
 pub use grid::{training_grid, GridCase, GridConfig};
 pub use label::{label_case, LabelMode, LabelSource, LabelledSample};
 pub use persist::{ModelMeta, TrainedModel, MODEL_VERSION};
+pub use regress::{RegressNode, RegressParams, RegressionTree};
 pub use selector::LearnedSelector;
 pub use tree::{gini, DecisionTree, Node, TreeParams};
 

@@ -1,0 +1,327 @@
+//! Pure-Rust CART *regression* tree: the classifier's induction machinery
+//! ([`crate::tree`]) re-targeted at a continuous response.
+//!
+//! Splits minimise the weighted sum of squared errors instead of Gini
+//! impurity; leaves predict the mean response of their training samples.
+//! The trainer keeps the classifier's determinism contract: candidate
+//! thresholds are midpoints between consecutive distinct sorted values,
+//! ties in gain break towards the lower feature index then the lower
+//! threshold, so the same samples always grow the same tree.
+//!
+//! The first consumer is `dls-serve`'s learned latency predictor, which
+//! fits sweep time (log-nanoseconds) as a function of a model's nine
+//! influencing parameters plus the coalesced batch size — so feature width
+//! is a runtime value here, not the classifier's compile-time
+//! [`crate::features::NUM_FEATURES`].
+
+/// Pruning limits for regression-tree induction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegressParams {
+    /// Maximum split depth (a lone leaf is depth 0).
+    pub max_depth: usize,
+    /// Minimum samples on each side of a split.
+    pub min_leaf: usize,
+    /// Minimum reduction in total squared error for a split to be kept.
+    pub min_gain: f64,
+}
+
+impl Default for RegressParams {
+    fn default() -> Self {
+        Self { max_depth: 12, min_leaf: 1, min_gain: 1e-12 }
+    }
+}
+
+/// One regression-tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegressNode {
+    /// Terminal node predicting the mean response of its training samples.
+    Leaf {
+        /// Mean response at this leaf.
+        value: f64,
+        /// Training samples that landed here.
+        n: usize,
+    },
+    /// Internal node: `x[feature] <= threshold` goes left, else right.
+    Split {
+        /// Feature index into the sample vectors.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Subtree for `x[feature] <= threshold`.
+        left: Box<RegressNode>,
+        /// Subtree for `x[feature] > threshold`.
+        right: Box<RegressNode>,
+    },
+}
+
+/// A trained CART regression tree over fixed-width feature vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    width: usize,
+    params: RegressParams,
+    root: RegressNode,
+}
+
+/// Sum of squared errors around the mean of `ys[idx]`.
+fn sse(ys: &[f64], idx: &[usize]) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    let mean = idx.iter().map(|&i| ys[i]).sum::<f64>() / idx.len() as f64;
+    idx.iter().map(|&i| (ys[i] - mean).powi(2)).sum()
+}
+
+fn leaf(ys: &[f64], idx: &[usize]) -> RegressNode {
+    let n = idx.len();
+    let value = if n == 0 { 0.0 } else { idx.iter().map(|&i| ys[i]).sum::<f64>() / n as f64 };
+    RegressNode::Leaf { value, n }
+}
+
+struct BestSplit {
+    gain: f64,
+    feature: usize,
+    threshold: f64,
+}
+
+impl RegressionTree {
+    /// Trains a tree on `(xs[i], ys[i])` pairs; every sample must have
+    /// `width` finite features. Panics on empty or mismatched inputs —
+    /// training sets come from this workspace's own calibration loops, so
+    /// emptiness is a bug, not a user error.
+    pub fn train(width: usize, xs: &[Vec<f64>], ys: &[f64], params: RegressParams) -> Self {
+        assert_eq!(xs.len(), ys.len(), "every sample needs a response");
+        assert!(!xs.is_empty(), "cannot train on an empty sample set");
+        assert!(params.min_leaf >= 1, "min_leaf must be at least 1");
+        assert!(params.min_gain > 0.0, "min_gain must be strictly positive");
+        for x in xs {
+            assert_eq!(x.len(), width, "feature width mismatch");
+        }
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        let root = build(width, xs, ys, &idx, &params, 0);
+        Self { width, params, root }
+    }
+
+    /// The feature width the tree was trained on.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The pruning parameters the tree was trained with.
+    pub fn params(&self) -> RegressParams {
+        self.params
+    }
+
+    /// The root node, for structural checks.
+    pub fn root(&self) -> &RegressNode {
+        &self.root
+    }
+
+    /// Predicted response for one feature vector.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.width, "feature width mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                RegressNode::Leaf { value, .. } => return *value,
+                RegressNode::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Maximum depth (a single leaf is depth 0).
+    pub fn depth(&self) -> usize {
+        fn d(node: &RegressNode) -> usize {
+            match node {
+                RegressNode::Leaf { .. } => 0,
+                RegressNode::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        fn count(node: &RegressNode) -> usize {
+            match node {
+                RegressNode::Leaf { .. } => 1,
+                RegressNode::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+}
+
+fn build(
+    width: usize,
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    idx: &[usize],
+    params: &RegressParams,
+    depth: usize,
+) -> RegressNode {
+    let parent_sse = sse(ys, idx);
+    let n = idx.len();
+    if depth >= params.max_depth || n < 2 * params.min_leaf || parent_sse <= 0.0 {
+        return leaf(ys, idx);
+    }
+
+    let mut best: Option<BestSplit> = None;
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    // `feature` is a column index into every row of `xs`, not a row index;
+    // iterating `xs` directly would walk the wrong axis.
+    #[allow(clippy::needless_range_loop)]
+    for feature in 0..width {
+        order.clear();
+        order.extend_from_slice(idx);
+        order.sort_by(|&a, &b| {
+            xs[a][feature].partial_cmp(&xs[b][feature]).expect("finite features").then(a.cmp(&b))
+        });
+        // Prefix sums over the sorted order let every candidate split's SSE
+        // come out of the Welford-style identity SSE = Σy² − (Σy)²/n.
+        let (mut lsum, mut lsq) = (0.0, 0.0);
+        let (tsum, tsq) =
+            order.iter().fold((0.0, 0.0), |(s, q), &i| (s + ys[i], q + ys[i] * ys[i]));
+        for k in 0..n - 1 {
+            let y = ys[order[k]];
+            lsum += y;
+            lsq += y * y;
+            let (lo, hi) = (xs[order[k]][feature], xs[order[k + 1]][feature]);
+            if lo == hi {
+                continue;
+            }
+            let nl = k + 1;
+            let nr = n - nl;
+            if nl < params.min_leaf || nr < params.min_leaf {
+                continue;
+            }
+            let (rsum, rsq) = (tsum - lsum, tsq - lsq);
+            let child_sse = (lsq - lsum * lsum / nl as f64) + (rsq - rsum * rsum / nr as f64);
+            let gain = parent_sse - child_sse;
+            if gain <= params.min_gain {
+                continue;
+            }
+            let mid = lo + (hi - lo) / 2.0;
+            let threshold = if mid < hi { mid } else { lo };
+            let replace = match &best {
+                None => true,
+                Some(b) => {
+                    gain > b.gain + 1e-12
+                        || ((gain - b.gain).abs() <= 1e-12
+                            && (feature, threshold) < (b.feature, b.threshold))
+                }
+            };
+            if replace {
+                best = Some(BestSplit { gain, feature, threshold });
+            }
+        }
+    }
+
+    match best {
+        None => leaf(ys, idx),
+        Some(BestSplit { feature, threshold, .. }) => {
+            let (li, ri): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+            RegressNode::Split {
+                feature,
+                threshold,
+                left: Box::new(build(width, xs, ys, &li, params, depth + 1)),
+                right: Box::new(build(width, xs, ys, &ri, params, depth + 1)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xy(rows: &[(Vec<f64>, f64)]) -> (Vec<Vec<f64>>, Vec<f64>) {
+        (rows.iter().map(|r| r.0.clone()).collect(), rows.iter().map(|r| r.1).collect())
+    }
+
+    #[test]
+    fn fits_a_step_function_exactly() {
+        let rows: Vec<_> =
+            (0..20).map(|k| (vec![k as f64], if k < 10 { 1.0 } else { 5.0 })).collect();
+        let (xs, ys) = xy(&rows);
+        let tree = RegressionTree::train(1, &xs, &ys, RegressParams::default());
+        assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.predict(&[3.0]), 1.0);
+        assert_eq!(tree.predict(&[15.0]), 5.0);
+    }
+
+    #[test]
+    fn approximates_a_monotone_curve_piecewise() {
+        // y = x²: the tree must be monotone along its leaves and close at
+        // the training points.
+        let rows: Vec<_> = (0..32).map(|k| (vec![k as f64], (k * k) as f64)).collect();
+        let (xs, ys) = xy(&rows);
+        let tree = RegressionTree::train(1, &xs, &ys, RegressParams::default());
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((tree.predict(x) - y).abs() <= 40.0, "x={x:?} y={y}");
+        }
+        let at = |v: f64| tree.predict(&[v]);
+        assert!(at(2.0) <= at(10.0) && at(10.0) <= at(25.0));
+    }
+
+    #[test]
+    fn splits_on_the_informative_feature() {
+        // Feature 1 carries the signal, feature 0 is constant.
+        let rows: Vec<_> =
+            (0..16).map(|k| (vec![7.0, k as f64], if k % 16 < 8 { -2.0 } else { 2.0 })).collect();
+        let (xs, ys) = xy(&rows);
+        let tree = RegressionTree::train(2, &xs, &ys, RegressParams::default());
+        match tree.root() {
+            RegressNode::Split { feature, .. } => assert_eq!(*feature, 1),
+            other => panic!("expected a split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_response_is_a_single_leaf() {
+        let xs: Vec<Vec<f64>> = (0..9).map(|k| vec![k as f64, -k as f64]).collect();
+        let ys = vec![3.25; 9];
+        let tree = RegressionTree::train(2, &xs, &ys, RegressParams::default());
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.predict(&[100.0, 100.0]), 3.25);
+    }
+
+    #[test]
+    fn min_leaf_and_depth_prune() {
+        let rows: Vec<_> = (0..12).map(|k| (vec![k as f64], k as f64)).collect();
+        let (xs, ys) = xy(&rows);
+        let stump = RegressionTree::train(
+            1,
+            &xs,
+            &ys,
+            RegressParams { max_depth: 0, ..Default::default() },
+        );
+        assert_eq!(stump.n_leaves(), 1);
+        assert!((stump.predict(&[0.0]) - 5.5).abs() < 1e-12, "stump predicts the global mean");
+        let fat =
+            RegressionTree::train(1, &xs, &ys, RegressParams { min_leaf: 6, ..Default::default() });
+        fn smallest(node: &RegressNode) -> usize {
+            match node {
+                RegressNode::Leaf { n, .. } => *n,
+                RegressNode::Split { left, right, .. } => smallest(left).min(smallest(right)),
+            }
+        }
+        assert!(smallest(fat.root()) >= 6);
+    }
+
+    #[test]
+    fn training_is_order_invariant() {
+        let rows: Vec<_> =
+            (0..14).map(|k| (vec![k as f64 * 0.5, (k % 3) as f64], (k * 3 % 7) as f64)).collect();
+        let (xs, ys) = xy(&rows);
+        let a = RegressionTree::train(2, &xs, &ys, RegressParams::default());
+        let rev_xs: Vec<_> = xs.iter().rev().cloned().collect();
+        let rev_ys: Vec<_> = ys.iter().rev().copied().collect();
+        let b = RegressionTree::train(2, &rev_xs, &rev_ys, RegressParams::default());
+        for x in &xs {
+            assert_eq!(a.predict(x).to_bits(), b.predict(x).to_bits());
+        }
+    }
+}

@@ -6,25 +6,238 @@
 //! [`Response`] — including `Busy` / `TimedOut` — rather than flattening
 //! everything into errors, so callers can implement their own retry
 //! policy.
+//!
+//! Requests are built with typed builders and sent with
+//! [`ServeClient::send`]:
+//!
+//! ```no_run
+//! # use dls_serve::client::{PredictRequest, ServeClient};
+//! # use dls_serve::proto::RequestClass;
+//! # use dls_sparse::SparseVec;
+//! # use std::time::Duration;
+//! let mut client = ServeClient::connect("127.0.0.1:7070")?;
+//! let req = PredictRequest::builder("mnist")
+//!     .vector(SparseVec::new(784, vec![3], vec![1.0]))
+//!     .class(RequestClass::Interactive)
+//!     .slo(Duration::from_millis(20))
+//!     .build();
+//! let resp = client.send(&req)?;
+//! # let _ = resp; Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! The client speaks protocol v2 by default;
+//! [`ServeClient::set_protocol_version`] downgrades the wire encoding to
+//! v1 for compatibility testing against old servers (class and SLO are
+//! then dropped from `Predict` frames — the server treats such requests
+//! as interactive with the legacy deadline).
 
-use crate::proto::{decode_response, encode_request, read_frame, write_frame, Request, Response};
+use crate::proto::{
+    decode_response, encode_request_version, read_frame, write_frame, Request, RequestClass,
+    Response, ACCEPTED_VERSIONS, PROTO_VERSION,
+};
 use dls_sparse::SparseVec;
 use std::io::{BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+/// A typed predict request: which model, which vectors, and how urgent.
+///
+/// Construct via [`PredictRequest::builder`]. The class defaults to
+/// [`RequestClass::Interactive`]; with neither [`slo`] nor [`deadline`]
+/// set, the server applies its per-class default SLO.
+///
+/// [`slo`]: PredictRequestBuilder::slo
+/// [`deadline`]: PredictRequestBuilder::deadline
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictRequest {
+    /// Registry name of the target model.
+    pub model: String,
+    /// Query vectors (one response value per vector).
+    pub vectors: Vec<SparseVec>,
+    /// Scheduling class.
+    pub class: RequestClass,
+    /// Explicit SLO in microseconds; `0` defers to `deadline_ms`.
+    pub slo_us: u32,
+    /// Legacy whole-millisecond deadline; `0` defers to the server's
+    /// per-class default.
+    pub deadline_ms: u32,
+}
+
+impl PredictRequest {
+    /// Starts building a predict request against `model`.
+    pub fn builder(model: impl Into<String>) -> PredictRequestBuilder {
+        PredictRequestBuilder {
+            req: PredictRequest {
+                model: model.into(),
+                vectors: Vec::new(),
+                class: RequestClass::Interactive,
+                slo_us: 0,
+                deadline_ms: 0,
+            },
+        }
+    }
+}
+
+/// Builder for [`PredictRequest`].
+#[derive(Debug, Clone)]
+pub struct PredictRequestBuilder {
+    req: PredictRequest,
+}
+
+impl PredictRequestBuilder {
+    /// Appends one query vector.
+    pub fn vector(mut self, v: SparseVec) -> Self {
+        self.req.vectors.push(v);
+        self
+    }
+
+    /// Appends many query vectors.
+    pub fn vectors(mut self, vs: impl IntoIterator<Item = SparseVec>) -> Self {
+        self.req.vectors.extend(vs);
+        self
+    }
+
+    /// Sets the scheduling class.
+    pub fn class(mut self, class: RequestClass) -> Self {
+        self.req.class = class;
+        self
+    }
+
+    /// Sets an explicit SLO. Sub-microsecond durations round up to 1 µs
+    /// (so a set SLO is never silently dropped); durations beyond
+    /// `u32::MAX` µs (≈ 71 min) saturate.
+    pub fn slo(mut self, slo: Duration) -> Self {
+        let us = slo.as_micros().clamp(1, u128::from(u32::MAX)) as u32;
+        self.req.slo_us = us;
+        self
+    }
+
+    /// Sets the legacy millisecond-granularity deadline (ignored by the
+    /// server when an SLO is also set). Sub-millisecond durations round
+    /// up to 1 ms; beyond `u32::MAX` ms saturates.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        let ms = deadline.as_millis().clamp(1, u128::from(u32::MAX)) as u32;
+        self.req.deadline_ms = ms;
+        self
+    }
+
+    /// Finalises the request.
+    pub fn build(self) -> PredictRequest {
+        self.req
+    }
+}
+
+impl From<&PredictRequest> for Request {
+    fn from(r: &PredictRequest) -> Self {
+        Request::Predict {
+            model: r.model.clone(),
+            deadline_ms: r.deadline_ms,
+            class: r.class,
+            slo_us: r.slo_us,
+            vectors: r.vectors.clone(),
+        }
+    }
+}
+
+/// A typed schedule request: pick a layout for an explicit matrix.
+///
+/// Construct via [`ScheduleRequest::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleRequest {
+    /// Strategy name (empty string = server default).
+    pub strategy: String,
+    /// Matrix rows.
+    pub rows: u64,
+    /// Matrix columns.
+    pub cols: u64,
+    /// `(row, col, value)` triplets.
+    pub entries: Vec<(u64, u64, f64)>,
+}
+
+impl ScheduleRequest {
+    /// Starts building a schedule request for an `rows × cols` matrix.
+    pub fn builder(rows: u64, cols: u64) -> ScheduleRequestBuilder {
+        ScheduleRequestBuilder {
+            req: ScheduleRequest { strategy: String::new(), rows, cols, entries: Vec::new() },
+        }
+    }
+}
+
+/// Builder for [`ScheduleRequest`].
+#[derive(Debug, Clone)]
+pub struct ScheduleRequestBuilder {
+    req: ScheduleRequest,
+}
+
+impl ScheduleRequestBuilder {
+    /// Selects a strategy by wire name (default: server's configured one).
+    pub fn strategy(mut self, strategy: impl Into<String>) -> Self {
+        self.req.strategy = strategy.into();
+        self
+    }
+
+    /// Appends one matrix entry.
+    pub fn entry(mut self, row: u64, col: u64, value: f64) -> Self {
+        self.req.entries.push((row, col, value));
+        self
+    }
+
+    /// Appends many matrix entries.
+    pub fn entries(mut self, es: impl IntoIterator<Item = (u64, u64, f64)>) -> Self {
+        self.req.entries.extend(es);
+        self
+    }
+
+    /// Finalises the request.
+    pub fn build(self) -> ScheduleRequest {
+        self.req
+    }
+}
+
+impl From<&ScheduleRequest> for Request {
+    fn from(r: &ScheduleRequest) -> Self {
+        Request::Schedule {
+            strategy: r.strategy.clone(),
+            rows: r.rows,
+            cols: r.cols,
+            entries: r.entries.clone(),
+        }
+    }
+}
+
 /// A connected client.
 pub struct ServeClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    version: u8,
 }
 
 impl ServeClient {
-    /// Connects to a server.
+    /// Connects to a server (speaking the current protocol version).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        Ok(Self { reader: BufReader::new(stream.try_clone()?), writer: BufWriter::new(stream) })
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            version: PROTO_VERSION,
+        })
+    }
+
+    /// Selects the wire protocol version for subsequent requests (v1
+    /// drops class/SLO from `Predict` frames). Errors on versions this
+    /// client does not speak.
+    pub fn set_protocol_version(&mut self, version: u8) -> Result<(), String> {
+        if !ACCEPTED_VERSIONS.contains(&version) {
+            return Err(format!("unsupported protocol version {version}"));
+        }
+        self.version = version;
+        Ok(())
+    }
+
+    /// The wire protocol version in effect.
+    pub fn protocol_version(&self) -> u8 {
+        self.version
     }
 
     /// Bounds how long a single [`ServeClient::request`] may wait on the
@@ -33,9 +246,9 @@ impl ServeClient {
         self.reader.get_ref().set_read_timeout(timeout)
     }
 
-    /// Sends one request and waits for its response.
+    /// Sends one raw request and waits for its response.
     pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
-        write_frame(&mut self.writer, &encode_request(req))?;
+        write_frame(&mut self.writer, &encode_request_version(req, self.version))?;
         match read_frame(&mut self.reader)? {
             Some(payload) => decode_response(&payload)
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())),
@@ -46,18 +259,35 @@ impl ServeClient {
         }
     }
 
+    /// Sends a built request ([`PredictRequest`] or [`ScheduleRequest`])
+    /// and waits for its response.
+    pub fn send<R>(&mut self, req: R) -> std::io::Result<Response>
+    where
+        Request: From<R>,
+    {
+        self.request(&Request::from(req))
+    }
+
     /// Decision values for a batch of vectors against a named model.
     /// `deadline_ms = 0` uses the server default.
+    #[deprecated(since = "0.6.0", note = "build a `PredictRequest` and use `send`")]
     pub fn predict(
         &mut self,
         model: &str,
         vectors: Vec<SparseVec>,
         deadline_ms: u32,
     ) -> std::io::Result<Response> {
-        self.request(&Request::Predict { model: model.to_string(), deadline_ms, vectors })
+        self.request(&Request::Predict {
+            model: model.to_string(),
+            deadline_ms,
+            class: RequestClass::Interactive,
+            slo_us: 0,
+            vectors,
+        })
     }
 
     /// Asks the scheduler to pick a layout for an explicit matrix.
+    #[deprecated(since = "0.6.0", note = "build a `ScheduleRequest` and use `send`")]
     pub fn schedule(
         &mut self,
         strategy: &str,
@@ -82,5 +312,72 @@ impl ServeClient {
     /// Asks the server to drain and exit.
     pub fn shutdown(&mut self) -> std::io::Result<Response> {
         self.request(&Request::Shutdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predict_builder_defaults_and_knobs() {
+        let req = PredictRequest::builder("m").build();
+        assert_eq!(
+            req,
+            PredictRequest {
+                model: "m".to_string(),
+                vectors: vec![],
+                class: RequestClass::Interactive,
+                slo_us: 0,
+                deadline_ms: 0,
+            }
+        );
+        let req = PredictRequest::builder("m")
+            .vector(SparseVec::new(4, vec![0], vec![1.0]))
+            .vectors([SparseVec::zeros(4), SparseVec::zeros(4)])
+            .class(RequestClass::Batch)
+            .slo(Duration::from_millis(20))
+            .deadline(Duration::from_secs(2))
+            .build();
+        assert_eq!(req.vectors.len(), 3);
+        assert_eq!(req.class, RequestClass::Batch);
+        assert_eq!(req.slo_us, 20_000);
+        assert_eq!(req.deadline_ms, 2_000);
+        // Tiny durations round up instead of vanishing; huge ones saturate.
+        let req = PredictRequest::builder("m")
+            .slo(Duration::from_nanos(1))
+            .deadline(Duration::from_nanos(1))
+            .build();
+        assert_eq!((req.slo_us, req.deadline_ms), (1, 1));
+        let req = PredictRequest::builder("m").slo(Duration::from_secs(1 << 40)).build();
+        assert_eq!(req.slo_us, u32::MAX);
+    }
+
+    #[test]
+    fn builders_lower_to_wire_requests() {
+        let p = PredictRequest::builder("m")
+            .vector(SparseVec::new(4, vec![1], vec![2.0]))
+            .class(RequestClass::Batch)
+            .slo(Duration::from_micros(500))
+            .build();
+        match Request::from(&p) {
+            Request::Predict { model, deadline_ms, class, slo_us, vectors } => {
+                assert_eq!(model, "m");
+                assert_eq!(deadline_ms, 0);
+                assert_eq!(class, RequestClass::Batch);
+                assert_eq!(slo_us, 500);
+                assert_eq!(vectors.len(), 1);
+            }
+            other => panic!("unexpected request {other:?}"),
+        }
+        let s = ScheduleRequest::builder(3, 4).strategy("cost").entry(0, 1, 5.0).build();
+        match Request::from(&s) {
+            Request::Schedule { strategy, rows, cols, entries } => {
+                assert_eq!(strategy, "cost");
+                assert_eq!((rows, cols), (3, 4));
+                assert_eq!(entries, vec![(0, 1, 5.0)]);
+            }
+            other => panic!("unexpected request {other:?}"),
+        }
     }
 }

@@ -1,29 +1,36 @@
-//! The batching executor: per-model queues drained by a worker pool that
-//! coalesces pending predict requests into multi-vector `smsv_block`
-//! sweeps.
+//! The SLO-aware batching executor: classed per-model queues drained by a
+//! worker pool under a pluggable [`QueueDiscipline`], with predictive
+//! admission control in front.
 //!
-//! This is where PR 3's blocked kernels get amortised across *clients*
-//! instead of SMO iterations: up to [`MAX_SMSV_BLOCK`] vectors from
-//! concurrently queued requests share one traversal of the model's
-//! support-vector matrix. The pipeline per request is
+//! This is where PR 3's blocked kernels get amortised across *clients*:
+//! up to [`MAX_SMSV_BLOCK`] vectors from concurrently queued requests
+//! share one traversal of the model's support-vector matrix. The pipeline
+//! per request is
 //!
 //! ```text
-//! conn thread ──try_push──► BoundedQueue ──pop_batch──► worker ──reply──► conn thread
-//!      │ (Busy if full)         (gather window             │
-//!      │                         coalesces B jobs)         │ one smsv_block(B vectors)
+//! conn thread ──submit──► admission ──try_push──► ClassedQueue
+//!      │            (Busy: queue full, OR the        │
+//!      │             estimator projects a miss)      │ discipline.decide
+//!      │                                             ▼
+//!      ◄──reply── worker: drain per DrainPlan, one smsv_block sweep
 //! ```
 //!
-//! Deadlines are enforced at dequeue: a request that waited past its
-//! deadline is answered `TimedOut` without occupying kernel time.
-//! Shutdown closes every queue (new pushes are refused with
-//! `ShuttingDown`), lets workers drain what is queued, then joins them —
-//! no accepted request is ever dropped without a response.
+//! Deadlines resolve per request: an explicit `slo_us` wins, then the
+//! legacy `deadline_ms`, then the per-class default. Requests still queued
+//! past their deadline answer `TimedOut` without occupying kernel time;
+//! answers delivered late count as SLO violations in the per-class stats.
+//! Shutdown closes every queue (new pushes refuse with `ShuttingDown`),
+//! lets workers drain what is queued — both classes — then joins them: no
+//! accepted request is ever dropped without a response.
 
-use crate::proto::Response;
-use crate::queue::{BoundedQueue, PushError};
+use crate::discipline::{Decision, DisciplineCtx, QueueDiscipline, SloAware};
+use crate::latency::{calibrate_model, TreeLatencyEstimator};
+use crate::proto::{RequestClass, Response};
+use crate::queue::{ClassedQueue, DrainPlan, JobMeta, PushError};
 use crate::registry::{ModelRegistry, ServedModel};
 use crate::stats::ServeStats;
 use dls_core::{LayoutScheduler, SelectionStrategy};
+use dls_learn::{featurize, NUM_FEATURES};
 use dls_sparse::{Format, SparseVec, TripletMatrix, MAX_SMSV_BLOCK};
 use dls_svm::PredictWorkspace;
 use std::collections::HashMap;
@@ -33,23 +40,47 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Executor tuning knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ExecutorConfig {
     /// Worker threads draining the queues.
     pub workers: usize,
     /// Capacity of each per-model queue (and the schedule queue); the
     /// backpressure bound.
     pub queue_capacity: usize,
-    /// How long a worker holding at least one job lingers for more
-    /// arrivals before launching the block. Zero disables coalescing
-    /// across requests (each drain takes what is already there).
+    /// Fraction of each queue's capacity reserved for interactive jobs
+    /// (batch admission stops early by this share), clamped to `[0, 1]`.
+    pub interactive_reserve: f64,
+    /// How long a sweep may linger for more arrivals before launching.
+    /// Zero disables coalescing across requests. Disciplines may cut the
+    /// window short (or skip it) per their policy.
     pub gather: Duration,
     /// Cap on vectors coalesced into one blocked sweep. Values above
     /// [`MAX_SMSV_BLOCK`] still execute correctly (the kernels chunk
     /// internally) but add no further amortisation.
     pub max_block: usize,
-    /// Deadline applied to requests that do not carry their own.
-    pub default_deadline: Duration,
+    /// Default SLO per request class (indexed by [`RequestClass::index`]),
+    /// applied to requests that carry neither `slo_us` nor `deadline_ms`.
+    pub class_slo: [Duration; 2],
+    /// The queue discipline deciding when and how to drain.
+    pub discipline: Arc<dyn QueueDiscipline>,
+    /// Calibrate a latency estimator at start-up and refuse requests whose
+    /// projected completion already misses their deadline.
+    pub predictive_admission: bool,
+}
+
+impl std::fmt::Debug for ExecutorConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutorConfig")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("interactive_reserve", &self.interactive_reserve)
+            .field("gather", &self.gather)
+            .field("max_block", &self.max_block)
+            .field("class_slo", &self.class_slo)
+            .field("discipline", &self.discipline.name())
+            .field("predictive_admission", &self.predictive_admission)
+            .finish()
+    }
 }
 
 impl Default for ExecutorConfig {
@@ -57,18 +88,21 @@ impl Default for ExecutorConfig {
         Self {
             workers: 2,
             queue_capacity: 128,
+            interactive_reserve: 0.25,
             gather: Duration::from_millis(1),
             max_block: MAX_SMSV_BLOCK,
-            default_deadline: Duration::from_secs(5),
+            // Interactive keeps the old 5 s default deadline; batch
+            // tolerates much more in exchange for throughput.
+            class_slo: [Duration::from_secs(5), Duration::from_secs(30)],
+            discipline: Arc::new(SloAware),
+            predictive_admission: true,
         }
     }
 }
 
-/// One queued predict request.
+/// One queued predict request (scheduling metadata lives in [`JobMeta`]).
 pub struct PredictJob {
     vectors: Vec<SparseVec>,
-    deadline: Instant,
-    enqueued: Instant,
     reply: Sender<Response>,
 }
 
@@ -77,8 +111,6 @@ pub struct ScheduleJob {
     triplets: TripletMatrix,
     /// `None` uses the server's configured scheduler.
     strategy: Option<SelectionStrategy>,
-    deadline: Instant,
-    enqueued: Instant,
     reply: Sender<Response>,
 }
 
@@ -103,6 +135,14 @@ impl WakeSignal {
     }
 }
 
+/// One served model with its queue and latency fingerprint.
+struct ModelLane {
+    served: Arc<ServedModel>,
+    queue: Arc<ClassedQueue<PredictJob>>,
+    /// `featurize`d matrix fingerprint; `None` for constant models.
+    feats: Option<[f64; NUM_FEATURES]>,
+}
+
 /// The batching executor. Shared between the acceptor side (submitting)
 /// and its own worker pool (draining).
 pub struct Executor {
@@ -110,10 +150,10 @@ pub struct Executor {
     scheduler: Arc<LayoutScheduler>,
     stats: Arc<ServeStats>,
     config: ExecutorConfig,
-    /// Per-model predict queues, parallel to `model_index`.
-    predict_queues: Vec<(Arc<ServedModel>, Arc<BoundedQueue<PredictJob>>)>,
+    lanes: Vec<ModelLane>,
     model_index: HashMap<String, usize>,
-    schedule_queue: Arc<BoundedQueue<ScheduleJob>>,
+    schedule_queue: Arc<ClassedQueue<ScheduleJob>>,
+    estimator: Option<TreeLatencyEstimator>,
     wake: Arc<WakeSignal>,
     paused: AtomicBool,
     draining: AtomicBool,
@@ -121,27 +161,42 @@ pub struct Executor {
 }
 
 impl Executor {
-    /// Builds the queues and spawns the worker pool.
+    /// Builds the queues, calibrates the latency estimator (when
+    /// predictive admission is on), and spawns the worker pool.
     pub fn start(
         registry: Arc<ModelRegistry>,
         scheduler: Arc<LayoutScheduler>,
         stats: Arc<ServeStats>,
         config: ExecutorConfig,
     ) -> Arc<Self> {
-        let mut predict_queues = Vec::new();
+        let mut lanes = Vec::new();
         let mut model_index = HashMap::new();
+        let mut samples = Vec::new();
+        let mut ws = PredictWorkspace::new();
         for served in registry.iter() {
-            model_index.insert(served.name().to_string(), predict_queues.len());
-            predict_queues
-                .push((Arc::clone(served), Arc::new(BoundedQueue::new(config.queue_capacity))));
+            model_index.insert(served.name().to_string(), lanes.len());
+            if config.predictive_admission {
+                samples.extend(calibrate_model(served, &mut ws));
+            }
+            lanes.push(ModelLane {
+                served: Arc::clone(served),
+                queue: Arc::new(ClassedQueue::new(
+                    config.queue_capacity,
+                    config.interactive_reserve,
+                )),
+                feats: served.matrix_features().map(featurize),
+            });
         }
+        let estimator =
+            if config.predictive_admission { TreeLatencyEstimator::fit(&samples) } else { None };
         let exec = Arc::new(Self {
             registry,
             scheduler,
             stats,
-            schedule_queue: Arc::new(BoundedQueue::new(config.queue_capacity)),
-            predict_queues,
+            schedule_queue: Arc::new(ClassedQueue::new(config.queue_capacity, 0.0)),
+            lanes,
             model_index,
+            estimator,
             wake: Arc::new(WakeSignal { seq: Mutex::new(0), cv: Condvar::new() }),
             paused: AtomicBool::new(false),
             draining: AtomicBool::new(false),
@@ -172,13 +227,53 @@ impl Executor {
         &self.stats
     }
 
-    /// Resolves a request deadline: `0` means the configured default.
-    fn deadline(&self, now: Instant, deadline_ms: u32) -> Instant {
-        if deadline_ms == 0 {
-            now + self.config.default_deadline
-        } else {
+    /// The active queue discipline.
+    pub fn discipline(&self) -> &Arc<dyn QueueDiscipline> {
+        &self.config.discipline
+    }
+
+    /// Whether a latency estimator was calibrated (predictive admission
+    /// can only fire when this is true).
+    pub fn has_estimator(&self) -> bool {
+        self.estimator.is_some()
+    }
+
+    /// Resolves a request's effective deadline: explicit SLO first, then
+    /// the legacy millisecond deadline, then the class default.
+    fn deadline(
+        &self,
+        now: Instant,
+        class: RequestClass,
+        slo_us: u32,
+        deadline_ms: u32,
+    ) -> Instant {
+        if slo_us != 0 {
+            now + Duration::from_micros(u64::from(slo_us))
+        } else if deadline_ms != 0 {
             now + Duration::from_millis(u64::from(deadline_ms))
+        } else {
+            now + self.config.class_slo[class.index()]
         }
+    }
+
+    /// Predictive admission: projected completion is the gather window,
+    /// plus the backlog that runs ahead of this request under the active
+    /// discipline, plus the request's own sweep. `true` means "refuse
+    /// now" — the request is already doomed to miss its deadline.
+    fn projected_miss(
+        &self,
+        lane: &ModelLane,
+        class: RequestClass,
+        weight: usize,
+        now: Instant,
+        deadline: Instant,
+    ) -> bool {
+        let (Some(est), Some(feats)) = (&self.estimator, &lane.feats) else {
+            return false;
+        };
+        let ahead = self.config.discipline.queue_ahead(&lane.queue.pending(), class);
+        let service = est.predict_backlog(feats, ahead + weight, self.config.max_block);
+        now + self.config.gather + service > deadline
     }
 
     /// Enqueues a predict request. `Ok` carries the receiver the reply
@@ -187,28 +282,34 @@ impl Executor {
         &self,
         model: &str,
         vectors: Vec<SparseVec>,
+        class: RequestClass,
+        slo_us: u32,
         deadline_ms: u32,
     ) -> Result<Receiver<Response>, Response> {
         let Some(&idx) = self.model_index.get(model) else {
             self.stats.predict.record_error();
             return Err(Response::Error(format!("no such model: {model:?}")));
         };
-        let (served, queue) = &self.predict_queues[idx];
+        let lane = &self.lanes[idx];
         for v in &vectors {
-            if let Err(msg) = served.check_dim(v) {
+            if let Err(msg) = lane.served.check_dim(v) {
                 self.stats.predict.record_error();
                 return Err(Response::Error(msg));
             }
         }
         let now = Instant::now();
+        let deadline = self.deadline(now, class, slo_us, deadline_ms);
+        let weight = vectors.len().max(1);
+        if self.config.predictive_admission
+            && self.projected_miss(lane, class, weight, now, deadline)
+        {
+            self.stats.predict.record_busy();
+            self.stats.class(class).record_busy_predicted();
+            return Err(Response::Busy);
+        }
         let (tx, rx) = std::sync::mpsc::channel();
-        let job = PredictJob {
-            vectors,
-            deadline: self.deadline(now, deadline_ms),
-            enqueued: now,
-            reply: tx,
-        };
-        match queue.try_push(job) {
+        let job = PredictJob { vectors, reply: tx };
+        match lane.queue.try_push(job, class, weight, now, deadline) {
             Ok(()) => {
                 self.wake.notify();
                 Ok(rx)
@@ -221,7 +322,8 @@ impl Executor {
         }
     }
 
-    /// Enqueues a schedule request.
+    /// Enqueues a schedule request (always interactive-class bookkeeping;
+    /// scheduling probes are operator actions, not batch scoring).
     pub fn submit_schedule(
         &self,
         triplets: TripletMatrix,
@@ -229,15 +331,10 @@ impl Executor {
         deadline_ms: u32,
     ) -> Result<Receiver<Response>, Response> {
         let now = Instant::now();
+        let deadline = self.deadline(now, RequestClass::Interactive, 0, deadline_ms);
         let (tx, rx) = std::sync::mpsc::channel();
-        let job = ScheduleJob {
-            triplets,
-            strategy,
-            deadline: self.deadline(now, deadline_ms),
-            enqueued: now,
-            reply: tx,
-        };
-        match self.schedule_queue.try_push(job) {
+        let job = ScheduleJob { triplets, strategy, reply: tx };
+        match self.schedule_queue.try_push(job, RequestClass::Interactive, 1, now, deadline) {
             Ok(()) => {
                 self.wake.notify();
                 Ok(rx)
@@ -253,9 +350,9 @@ impl Executor {
     /// Current depth of every queue, for the stats snapshot.
     pub fn queue_depths(&self) -> Vec<(String, usize)> {
         let mut out: Vec<(String, usize)> = self
-            .predict_queues
+            .lanes
             .iter()
-            .map(|(m, q)| (format!("predict:{}", m.name()), q.len()))
+            .map(|lane| (format!("predict:{}", lane.served.name()), lane.queue.len()))
             .collect();
         out.push(("schedule".to_string(), self.schedule_queue.len()));
         out
@@ -264,19 +361,19 @@ impl Executor {
     /// Drain control: while paused, workers leave queues untouched, so
     /// requests pile up (and overflow to `Busy`). Used by operators to
     /// quiesce kernels and by the integration tests to make queue-full
-    /// and coalescing behaviour deterministic.
+    /// and scheduling-order behaviour deterministic.
     pub fn pause(&self, paused: bool) {
         self.paused.store(paused, Ordering::SeqCst);
         self.wake.notify();
     }
 
-    /// Graceful drain: refuse new work, finish everything queued, join
-    /// the workers. Idempotent.
+    /// Graceful drain: refuse new work, finish everything queued — both
+    /// classes — then join the workers. Idempotent.
     pub fn shutdown(&self) {
         self.draining.store(true, Ordering::SeqCst);
         self.paused.store(false, Ordering::SeqCst);
-        for (_, q) in &self.predict_queues {
-            q.close();
+        for lane in &self.lanes {
+            lane.queue.close();
         }
         self.schedule_queue.close();
         self.wake.notify();
@@ -291,19 +388,46 @@ impl Executor {
         let mut seen = 0;
         loop {
             let mut worked = false;
+            let mut next_wait = Duration::from_millis(2);
             if !self.paused.load(Ordering::SeqCst) {
-                for (served, queue) in &self.predict_queues {
-                    let batch =
-                        queue.try_pop_batch(self.config.max_block, self.config.gather, |j| {
-                            j.vectors.len()
-                        });
-                    if !batch.is_empty() {
-                        self.run_predict(served, batch, &mut ws);
-                        worked = true;
+                let draining = self.draining.load(Ordering::SeqCst);
+                for lane in &self.lanes {
+                    let pending = lane.queue.pending();
+                    if pending.is_empty() {
+                        continue;
+                    }
+                    let plan = if draining {
+                        // Shutdown is a drain, not a drop: skip the
+                        // discipline's gather holds entirely.
+                        Some(DrainPlan::drain_all())
+                    } else {
+                        let ctx = DisciplineCtx {
+                            now: Instant::now(),
+                            gather: self.config.gather,
+                            max_block: self.config.max_block,
+                            est_block: self.est_block(lane),
+                        };
+                        match self.config.discipline.decide(&pending, &ctx) {
+                            Decision::Drain(plan) => Some(plan),
+                            Decision::Wait(d) => {
+                                next_wait = next_wait.min(d.max(Duration::from_micros(100)));
+                                None
+                            }
+                        }
+                    };
+                    if let Some(plan) = plan {
+                        let batch = lane.queue.drain(&plan);
+                        if !batch.is_empty() {
+                            self.run_predict(&lane.served, batch, &mut ws);
+                            worked = true;
+                        }
                     }
                 }
-                let sched = self.schedule_queue.try_pop_batch(1, Duration::ZERO, |_| 1);
-                for job in sched {
+                for (_, job) in self.schedule_queue.drain(&DrainPlan {
+                    order: crate::queue::DrainOrder::Arrival,
+                    max_weight: 1,
+                    max_batch_weight: 1,
+                }) {
                     self.run_schedule(job);
                     worked = true;
                 }
@@ -312,36 +436,51 @@ impl Executor {
                 if self.draining.load(Ordering::SeqCst) && self.all_drained() {
                     return;
                 }
-                seen = self.wake.wait(seen, Duration::from_millis(2));
+                seen = self.wake.wait(seen, next_wait);
             }
         }
     }
 
-    fn all_drained(&self) -> bool {
-        self.predict_queues.iter().all(|(_, q)| q.is_empty()) && self.schedule_queue.is_empty()
+    /// Predicted full-block sweep time for a lane (the SLO discipline's
+    /// slack discount); zero without an estimator.
+    fn est_block(&self, lane: &ModelLane) -> Duration {
+        match (&self.estimator, &lane.feats) {
+            (Some(est), Some(feats)) => est.predict_sweep(feats, self.config.max_block),
+            _ => Duration::ZERO,
+        }
     }
 
-    /// Executes one coalesced predict batch: expired jobs answer
-    /// `TimedOut`; the rest share one blocked sweep of the model's
-    /// support matrix and are split back per request.
-    fn run_predict(&self, served: &ServedModel, batch: Vec<PredictJob>, ws: &mut PredictWorkspace) {
+    fn all_drained(&self) -> bool {
+        self.lanes.iter().all(|lane| lane.queue.is_empty()) && self.schedule_queue.is_empty()
+    }
+
+    /// Executes one drained sweep: expired jobs answer `TimedOut`; the
+    /// rest share one blocked traversal of the model's support matrix and
+    /// are split back per request, with per-class SLO accounting.
+    fn run_predict(
+        &self,
+        served: &ServedModel,
+        batch: Vec<(JobMeta, PredictJob)>,
+        ws: &mut PredictWorkspace,
+    ) {
         let now = Instant::now();
         let mut live = Vec::with_capacity(batch.len());
-        for job in batch {
-            if job.deadline < now {
+        for (meta, job) in batch {
+            if meta.deadline < now {
                 self.stats.predict.record_timeout();
+                self.stats.class(meta.class).record_timeout();
                 let _ = job.reply.send(Response::TimedOut);
             } else {
-                live.push(job);
+                live.push((meta, job));
             }
         }
         if live.is_empty() {
             return;
         }
-        let mut vectors = Vec::with_capacity(live.iter().map(|j| j.vectors.len()).sum());
+        let mut vectors = Vec::with_capacity(live.iter().map(|(_, j)| j.vectors.len()).sum());
         let counts: Vec<usize> = live
             .iter_mut()
-            .map(|job| {
+            .map(|(_, job)| {
                 let n = job.vectors.len();
                 vectors.append(&mut job.vectors);
                 n
@@ -350,21 +489,18 @@ impl Executor {
         let values = served.predict(&vectors, ws);
         let mut offset = 0;
         let done = Instant::now();
-        for (job, n) in live.iter().zip(counts) {
+        for ((meta, job), n) in live.iter().zip(counts) {
             let slice = values[offset..offset + n].to_vec();
             offset += n;
-            self.stats.predict.record_ok(done.duration_since(job.enqueued));
+            let latency = done.duration_since(meta.enqueued);
+            self.stats.predict.record_ok(latency);
+            self.stats.class(meta.class).record_ok(latency, done > meta.deadline);
             let _ = job.reply.send(Response::Predictions(slice));
         }
     }
 
     fn run_schedule(&self, job: ScheduleJob) {
-        let now = Instant::now();
-        if job.deadline < now {
-            self.stats.schedule.record_timeout();
-            let _ = job.reply.send(Response::TimedOut);
-            return;
-        }
+        let start = Instant::now();
         let report = match job.strategy {
             Some(strategy) => LayoutScheduler::with_strategy(strategy).select_only(&job.triplets),
             None => self.scheduler.select_only(&job.triplets),
@@ -375,7 +511,7 @@ impl Executor {
             reason: report.reason.clone(),
             scores: report.scores.iter().map(|s| (s.format.name().to_string(), s.score)).collect(),
         };
-        self.stats.schedule.record_ok(Instant::now().duration_since(job.enqueued));
+        self.stats.schedule.record_ok(start.elapsed());
         let _ = job.reply.send(resp);
     }
 }
@@ -397,6 +533,7 @@ pub fn parse_strategy(name: &str) -> Result<Option<SelectionStrategy>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::discipline::{Fifo, StrictPriority};
     use crate::registry::ServedModel;
     use dls_svm::{KernelKind, SvmModel};
 
@@ -417,24 +554,36 @@ mod tests {
         )
     }
 
+    fn submit_interactive(
+        exec: &Executor,
+        vectors: Vec<SparseVec>,
+        deadline_ms: u32,
+    ) -> Result<Receiver<Response>, Response> {
+        exec.submit_predict("toy", vectors, RequestClass::Interactive, 0, deadline_ms)
+    }
+
     #[test]
     fn predict_round_trip_through_the_pool() {
         let exec = start(ExecutorConfig { gather: Duration::ZERO, ..Default::default() });
         let x = SparseVec::new(6, vec![0], vec![2.0]);
-        let rx = exec.submit_predict("toy", vec![x.clone()], 0).unwrap();
+        let rx = submit_interactive(&exec, vec![x.clone()], 0).unwrap();
         let resp = rx.recv_timeout(Duration::from_secs(5)).unwrap();
         let served = exec.registry().get("toy").unwrap().clone();
         let want = served.model().decision_function(&x);
         assert_eq!(resp, Response::Predictions(vec![want]));
+        assert_eq!(exec.stats().class(RequestClass::Interactive).completed(), 1);
         exec.shutdown();
     }
 
     #[test]
     fn unknown_model_and_bad_dims_are_immediate_errors() {
         let exec = start(ExecutorConfig::default());
-        assert!(matches!(exec.submit_predict("missing", vec![], 0), Err(Response::Error(_))));
         assert!(matches!(
-            exec.submit_predict("toy", vec![SparseVec::zeros(7)], 0),
+            exec.submit_predict("missing", vec![], RequestClass::Interactive, 0, 0),
+            Err(Response::Error(_))
+        ));
+        assert!(matches!(
+            submit_interactive(&exec, vec![SparseVec::zeros(7)], 0),
             Err(Response::Error(_))
         ));
         exec.shutdown();
@@ -444,14 +593,15 @@ mod tests {
     fn paused_queues_fill_then_refuse_with_busy() {
         let exec = start(ExecutorConfig {
             queue_capacity: 2,
+            interactive_reserve: 0.0,
             gather: Duration::ZERO,
             ..Default::default()
         });
         exec.pause(true);
         let x = || vec![SparseVec::new(6, vec![1], vec![1.0])];
-        let rx1 = exec.submit_predict("toy", x(), 0).unwrap();
-        let rx2 = exec.submit_predict("toy", x(), 0).unwrap();
-        assert_eq!(exec.submit_predict("toy", x(), 0).unwrap_err(), Response::Busy);
+        let rx1 = submit_interactive(&exec, x(), 0).unwrap();
+        let rx2 = submit_interactive(&exec, x(), 0).unwrap();
+        assert_eq!(submit_interactive(&exec, x(), 0).unwrap_err(), Response::Busy);
         assert_eq!(exec.queue_depths()[0].1, 2);
         exec.pause(false);
         assert!(matches!(rx1.recv_timeout(Duration::from_secs(5)), Ok(Response::Predictions(_))));
@@ -461,15 +611,49 @@ mod tests {
     }
 
     #[test]
+    fn batch_backlog_cannot_starve_interactive_submission() {
+        let exec = start(ExecutorConfig {
+            queue_capacity: 4,
+            interactive_reserve: 0.25,
+            gather: Duration::ZERO,
+            predictive_admission: false,
+            ..Default::default()
+        });
+        exec.pause(true);
+        let x = || vec![SparseVec::new(6, vec![1], vec![1.0])];
+        let mut rxs = Vec::new();
+        for _ in 0..3 {
+            rxs.push(exec.submit_predict("toy", x(), RequestClass::Batch, 0, 0).unwrap());
+        }
+        // The batch share (3 of 4) is exhausted …
+        assert_eq!(
+            exec.submit_predict("toy", x(), RequestClass::Batch, 0, 0).unwrap_err(),
+            Response::Busy
+        );
+        // … but the interactive reserve still admits.
+        rxs.push(submit_interactive(&exec, x(), 0).unwrap());
+        exec.pause(false);
+        for rx in rxs {
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_secs(5)),
+                Ok(Response::Predictions(_))
+            ));
+        }
+        exec.shutdown();
+    }
+
+    #[test]
     fn expired_deadlines_get_timed_out_not_executed() {
         let exec = start(ExecutorConfig { gather: Duration::ZERO, ..Default::default() });
         exec.pause(true);
-        let rx =
-            exec.submit_predict("toy", vec![SparseVec::new(6, vec![0], vec![1.0])], 1).unwrap();
+        let rx = submit_interactive(&exec, vec![SparseVec::new(6, vec![0], vec![1.0])], 1).unwrap();
         std::thread::sleep(Duration::from_millis(10)); // let the 1 ms deadline lapse
         exec.pause(false);
         assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), Response::TimedOut);
         assert_eq!(exec.stats().predict.timed_out.load(Ordering::Relaxed), 1);
+        let class = exec.stats().class(RequestClass::Interactive);
+        assert_eq!(class.timed_out.load(Ordering::Relaxed), 1);
+        assert_eq!(class.slo_violations.load(Ordering::Relaxed), 1);
         exec.shutdown();
     }
 
@@ -479,7 +663,7 @@ mod tests {
         exec.pause(true);
         let rxs: Vec<_> = (0..5)
             .map(|i| {
-                exec.submit_predict("toy", vec![SparseVec::new(6, vec![i], vec![1.0])], 0).unwrap()
+                submit_interactive(&exec, vec![SparseVec::new(6, vec![i], vec![1.0])], 0).unwrap()
             })
             .collect();
         exec.pause(false);
@@ -494,6 +678,115 @@ mod tests {
             served.counters().snapshot().multi_vector_blocks() >= 1,
             "5 queued singles should form at least one multi-vector block"
         );
+        exec.shutdown();
+    }
+
+    /// Satellite test (a): under a batch flood, the SLO-aware discipline
+    /// answers the late-arriving interactive request before the earlier
+    /// batch jobs, while FIFO answers it last. With one worker and a
+    /// paused-then-released executor the completion *order* is
+    /// deterministic, so the pin needs no cross-run timing comparisons.
+    #[test]
+    fn interactive_jumps_the_batch_flood_under_slo_but_not_fifo() {
+        let flood = |discipline: Arc<dyn QueueDiscipline>| {
+            let exec = start(ExecutorConfig {
+                workers: 1,
+                max_block: 2,
+                gather: Duration::ZERO,
+                discipline,
+                predictive_admission: false,
+                ..Default::default()
+            });
+            exec.pause(true);
+            let batch_rxs: Vec<_> = (0..3)
+                .map(|_| {
+                    let vs = vec![
+                        SparseVec::new(6, vec![0], vec![1.0]),
+                        SparseVec::new(6, vec![1], vec![1.0]),
+                    ];
+                    exec.submit_predict("toy", vs, RequestClass::Batch, 0, 0).unwrap()
+                })
+                .collect();
+            let int_rx =
+                submit_interactive(&exec, vec![SparseVec::new(6, vec![2], vec![1.0])], 0).unwrap();
+            exec.pause(false);
+            (exec, batch_rxs, int_rx)
+        };
+
+        // FIFO: by the time the interactive reply exists, every batch
+        // reply (all enqueued earlier) must already have been sent.
+        let (exec, batch_rxs, int_rx) = flood(Arc::new(Fifo));
+        assert!(matches!(
+            int_rx.recv_timeout(Duration::from_secs(5)),
+            Ok(Response::Predictions(_))
+        ));
+        for rx in &batch_rxs {
+            assert!(
+                matches!(rx.try_recv(), Ok(Response::Predictions(_))),
+                "fifo left batch behind"
+            );
+        }
+        exec.shutdown();
+
+        // SLO-aware: by the time the *last* batch reply exists, the
+        // interactive reply must already have been sent.
+        let (exec, batch_rxs, int_rx) = flood(Arc::new(SloAware));
+        for rx in &batch_rxs {
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_secs(5)),
+                Ok(Response::Predictions(_))
+            ));
+        }
+        assert!(
+            matches!(int_rx.try_recv(), Ok(Response::Predictions(_))),
+            "slo discipline should answer interactive before the batch flood"
+        );
+        exec.shutdown();
+
+        // Strict priority behaves like SLO-aware for ordering.
+        let (exec, batch_rxs, int_rx) = flood(Arc::new(StrictPriority));
+        for rx in &batch_rxs {
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_secs(5)),
+                Ok(Response::Predictions(_))
+            ));
+        }
+        assert!(matches!(int_rx.try_recv(), Ok(Response::Predictions(_))));
+        exec.shutdown();
+    }
+
+    /// Satellite test (b): predictive admission refuses a request whose
+    /// projected completion (gather + predicted sweep) already misses its
+    /// microsecond-scale SLO, before it ever queues.
+    #[test]
+    fn predictive_admission_refuses_doomed_requests() {
+        let exec = start(ExecutorConfig::default());
+        assert!(exec.has_estimator(), "calibration should fit an estimator for toy");
+        // 1 µs SLO: the 1 ms gather window alone dooms it.
+        let resp = exec
+            .submit_predict(
+                "toy",
+                vec![SparseVec::new(6, vec![0], vec![1.0])],
+                RequestClass::Interactive,
+                1,
+                0,
+            )
+            .unwrap_err();
+        assert_eq!(resp, Response::Busy);
+        let class = exec.stats().class(RequestClass::Interactive);
+        assert_eq!(class.busy_predicted.load(Ordering::Relaxed), 1);
+        assert_eq!(exec.stats().predict.busy.load(Ordering::Relaxed), 1);
+        // A comfortable SLO passes admission and completes on time.
+        let rx = exec
+            .submit_predict(
+                "toy",
+                vec![SparseVec::new(6, vec![0], vec![1.0])],
+                RequestClass::Interactive,
+                2_000_000,
+                0,
+            )
+            .unwrap();
+        assert!(matches!(rx.recv_timeout(Duration::from_secs(5)), Ok(Response::Predictions(_))));
         exec.shutdown();
     }
 
@@ -523,17 +816,31 @@ mod tests {
         exec.shutdown();
     }
 
+    /// Satellite test (c): shutdown still drains rather than drops — for
+    /// *both* classes.
     #[test]
-    fn shutdown_drains_queued_work_before_refusing() {
+    fn shutdown_drains_queued_work_per_class_before_refusing() {
         let exec = start(ExecutorConfig { gather: Duration::ZERO, ..Default::default() });
         exec.pause(true);
-        let rx =
-            exec.submit_predict("toy", vec![SparseVec::new(6, vec![2], vec![1.0])], 0).unwrap();
-        // Shutdown un-pauses, drains, then joins: the queued job completes.
+        let rx_int =
+            submit_interactive(&exec, vec![SparseVec::new(6, vec![2], vec![1.0])], 0).unwrap();
+        let rx_batch = exec
+            .submit_predict(
+                "toy",
+                vec![SparseVec::new(6, vec![3], vec![1.0])],
+                RequestClass::Batch,
+                0,
+                0,
+            )
+            .unwrap();
+        // Shutdown un-pauses, drains, then joins: both queued jobs complete.
         exec.shutdown();
-        assert!(matches!(rx.try_recv(), Ok(Response::Predictions(_))));
+        assert!(matches!(rx_int.try_recv(), Ok(Response::Predictions(_))));
+        assert!(matches!(rx_batch.try_recv(), Ok(Response::Predictions(_))));
+        assert_eq!(exec.stats().class(RequestClass::Interactive).completed(), 1);
+        assert_eq!(exec.stats().class(RequestClass::Batch).completed(), 1);
         assert_eq!(
-            exec.submit_predict("toy", vec![SparseVec::new(6, vec![2], vec![1.0])], 0).unwrap_err(),
+            submit_interactive(&exec, vec![SparseVec::new(6, vec![2], vec![1.0])], 0).unwrap_err(),
             Response::ShuttingDown
         );
     }

@@ -1,0 +1,197 @@
+//! Learned per-model latency prediction for admission control.
+//!
+//! Reuses `dls-learn`'s CART induction, re-targeted at regression
+//! ([`dls_learn::RegressionTree`]): sweep latency is fitted as
+//! `log2(nanoseconds)` over the model's nine influencing parameters
+//! (the paper's Table IV features, via [`dls_learn::featurize`]) plus
+//! `log2(batch size)`. Each served model is calibrated once at executor
+//! start-up by timing real blocked sweeps at a handful of batch sizes —
+//! cheap (microseconds per probe) because the probes are single-nnz
+//! vectors against the model's own scheduled matrix.
+//!
+//! The estimator feeds two consumers:
+//!
+//! * **Predictive admission** — the executor projects a new request's
+//!   completion (queued weight ahead, chunked into sweeps, plus its own
+//!   sweep and the gather window) and refuses with `Busy` *at submit time*
+//!   when the projection already overshoots the deadline, instead of
+//!   letting the request queue up only to time out.
+//! * **[`crate::discipline::SloAware`]** — the predicted full-block sweep
+//!   duration discounts interactive slack, so a sweep started "in time"
+//!   also finishes in time.
+
+use crate::registry::ServedModel;
+use dls_learn::{featurize, RegressParams, RegressionTree, NUM_FEATURES};
+use dls_sparse::SparseVec;
+use dls_svm::PredictWorkspace;
+use std::time::{Duration, Instant};
+
+/// Feature width: the nine-parameter matrix fingerprint (plus density)
+/// from `dls-learn`, then `log2(batch)`.
+pub const LATENCY_FEATURES: usize = NUM_FEATURES + 1;
+
+/// Batch sizes probed per model during calibration.
+pub const CALIBRATION_BATCHES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// One calibration observation: feature vector and `log2(nanoseconds)`.
+pub type LatencySample = (Vec<f64>, f64);
+
+/// Builds the estimator's feature vector for one (model, batch) pair.
+pub fn latency_features(model_feats: &[f64; NUM_FEATURES], batch: usize) -> Vec<f64> {
+    let mut x = model_feats.to_vec();
+    x.push((batch.max(1) as f64).log2());
+    x
+}
+
+/// Times real sweeps of `served`'s scheduled matrix at each calibration
+/// batch size. Returns an empty vec for constant models (no support
+/// matrix — nothing to predict, and nothing worth admission-controlling).
+pub fn calibrate_model(served: &ServedModel, ws: &mut PredictWorkspace) -> Vec<LatencySample> {
+    let Some(mf) = served.matrix_features() else {
+        return Vec::new();
+    };
+    let model_feats = featurize(mf);
+    let dim = served.dim().max(1);
+    let mut samples = Vec::with_capacity(CALIBRATION_BATCHES.len());
+    for &batch in &CALIBRATION_BATCHES {
+        let probes: Vec<SparseVec> =
+            (0..batch).map(|i| SparseVec::new(dim, vec![i % dim], vec![1.0])).collect();
+        served.predict(&probes, ws); // warm caches / first-touch
+        let mut best = u64::MAX;
+        for _ in 0..2 {
+            let start = Instant::now();
+            served.predict(&probes, ws);
+            best = best.min(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+        samples.push((latency_features(&model_feats, batch), (best.max(1) as f64).log2()));
+    }
+    samples
+}
+
+/// A regression tree over [`LATENCY_FEATURES`]-wide vectors predicting
+/// `log2(sweep nanoseconds)`.
+#[derive(Debug, Clone)]
+pub struct TreeLatencyEstimator {
+    tree: RegressionTree,
+}
+
+impl TreeLatencyEstimator {
+    /// Fits the tree on calibration samples (typically the concatenation
+    /// of every served model's [`calibrate_model`] output). Returns `None`
+    /// on an empty sample set — admission control then stays disabled.
+    pub fn fit(samples: &[LatencySample]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let xs: Vec<Vec<f64>> = samples.iter().map(|(x, _)| x.clone()).collect();
+        let ys: Vec<f64> = samples.iter().map(|&(_, y)| y).collect();
+        let tree = RegressionTree::train(LATENCY_FEATURES, &xs, &ys, RegressParams::default());
+        Some(Self { tree })
+    }
+
+    /// The fitted tree, for structural checks.
+    pub fn tree(&self) -> &RegressionTree {
+        &self.tree
+    }
+
+    /// Predicted duration of one sweep of `batch` vectors against a model
+    /// with the given feature fingerprint.
+    pub fn predict_sweep(&self, model_feats: &[f64; NUM_FEATURES], batch: usize) -> Duration {
+        let log2_ns = self.tree.predict(&latency_features(model_feats, batch));
+        // 2^50 ns ≈ 13 days: a safe ceiling against pathological fits.
+        Duration::from_nanos(log2_ns.clamp(0.0, 50.0).exp2() as u64)
+    }
+
+    /// Predicted time to execute `total_weight` queued vectors, chunked
+    /// into sweeps of at most `max_block` — the backlog term of the
+    /// admission projection.
+    pub fn predict_backlog(
+        &self,
+        model_feats: &[f64; NUM_FEATURES],
+        total_weight: usize,
+        max_block: usize,
+    ) -> Duration {
+        let max_block = max_block.max(1);
+        let full = total_weight / max_block;
+        let rem = total_weight % max_block;
+        let mut out = self.predict_sweep(model_feats, max_block) * full as u32;
+        if rem > 0 {
+            out += self.predict_sweep(model_feats, rem);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dls_core::LayoutScheduler;
+    use dls_svm::{KernelKind, SvmModel};
+
+    fn toy_served() -> ServedModel {
+        let svs: Vec<SparseVec> =
+            (0..4).map(|i| SparseVec::new(8, vec![i, i + 4], vec![1.0, -0.5])).collect();
+        let model = SvmModel::new(KernelKind::Linear, svs, vec![1.0, -1.0, 0.5, -0.25], 0.1);
+        ServedModel::new("toy", model, &LayoutScheduler::new())
+    }
+
+    #[test]
+    fn calibration_produces_one_sample_per_batch_size() {
+        let served = toy_served();
+        let mut ws = PredictWorkspace::new();
+        let samples = calibrate_model(&served, &mut ws);
+        assert_eq!(samples.len(), CALIBRATION_BATCHES.len());
+        for (x, y) in &samples {
+            assert_eq!(x.len(), LATENCY_FEATURES);
+            assert!(*y > 0.0, "log2(ns) must be positive, got {y}");
+        }
+        // The batch feature varies across samples; the model fingerprint
+        // does not.
+        assert_ne!(samples[0].0.last(), samples[5].0.last());
+        assert_eq!(samples[0].0[..NUM_FEATURES], samples[5].0[..NUM_FEATURES]);
+    }
+
+    #[test]
+    fn constant_models_yield_no_samples() {
+        let served = ServedModel::new(
+            "const",
+            SvmModel::new(KernelKind::Linear, vec![], vec![], 1.0),
+            &LayoutScheduler::new(),
+        );
+        assert!(calibrate_model(&served, &mut PredictWorkspace::new()).is_empty());
+        assert!(TreeLatencyEstimator::fit(&[]).is_none());
+    }
+
+    #[test]
+    fn fitted_estimator_interpolates_its_calibration_curve() {
+        let served = toy_served();
+        let mut ws = PredictWorkspace::new();
+        let samples = calibrate_model(&served, &mut ws);
+        let est = TreeLatencyEstimator::fit(&samples).unwrap();
+        let feats = featurize(served.matrix_features().unwrap());
+        // Exact recall at the calibrated points (leaves are per-sample).
+        for (&batch, (_, y)) in CALIBRATION_BATCHES.iter().zip(&samples) {
+            let got = est.predict_sweep(&feats, batch).as_nanos() as f64;
+            let want = y.exp2();
+            assert!((got - want).abs() <= want * 0.5 + 2.0, "batch {batch}: {got} vs {want}");
+        }
+        // Predictions stay sane between and beyond calibrated sizes.
+        assert!(est.predict_sweep(&feats, 3) >= est.predict_sweep(&feats, 1) / 4);
+        assert!(est.predict_sweep(&feats, 64) < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn backlog_projection_chunks_into_sweeps() {
+        let feats = [0.0; NUM_FEATURES];
+        // A synthetic constant-latency estimator: every sweep ≈ 2^10 ns.
+        let samples: Vec<LatencySample> =
+            (1..=4).map(|b| (latency_features(&feats, b), 10.0)).collect();
+        let est = TreeLatencyEstimator::fit(&samples).unwrap();
+        let one = est.predict_sweep(&feats, 4);
+        // 10 vectors in blocks of 4 = 2 full sweeps + 1 remainder sweep.
+        let backlog = est.predict_backlog(&feats, 10, 4);
+        assert!(backlog >= one * 2, "{backlog:?} vs {one:?}");
+        assert!(backlog <= one * 4, "{backlog:?} vs {one:?}");
+        assert_eq!(est.predict_backlog(&feats, 0, 4), Duration::ZERO);
+    }
+}

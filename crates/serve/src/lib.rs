@@ -1,4 +1,5 @@
-//! dls-serve: a batching SVM inference + layout-scheduling service.
+//! dls-serve: an SLO-aware batching SVM inference + layout-scheduling
+//! service.
 //!
 //! The paper's §V observation — blocked SMSV kernels amortise a format's
 //! per-sweep overhead across many vectors — is applied here *across
@@ -10,39 +11,67 @@
 //! accumulate per row in a composition-independent order, coalesced
 //! responses are bit-identical to per-vector evaluation.
 //!
+//! Coalescing is great for throughput but blind to urgency, so requests
+//! carry a *class* ([`proto::RequestClass`]: interactive or batch) and an
+//! optional per-request SLO on the wire (protocol v2; v1 frames still
+//! decode, as interactive with the legacy deadline). A pluggable
+//! [`discipline::QueueDiscipline`] decides when the gather window breaks
+//! and in what order classed queues drain — FIFO, strict priority, or the
+//! default [`discipline::SloAware`], which holds the window only while no
+//! queued interactive request would miss its deadline. A latency estimator
+//! ([`latency::TreeLatencyEstimator`], a `dls-learn` CART regression over
+//! the paper's nine influencing parameters plus batch size, calibrated
+//! against real sweeps at start-up) feeds both that slack computation and
+//! predictive admission control: requests whose projected completion
+//! already overshoots their deadline are refused with `Busy` at submit
+//! time instead of timing out in the queue.
+//!
 //! The service is std-only: a hand-rolled length-prefixed wire protocol
-//! ([`proto`]), bounded per-model queues with reject-don't-buffer
-//! backpressure ([`queue`]), per-request deadlines, and graceful
-//! drain-on-shutdown. Telemetry ([`stats`]) exposes request latencies,
+//! ([`proto`]), bounded per-model classed queues with reject-don't-buffer
+//! backpressure and an interactive admission reserve ([`queue`]),
+//! per-class SLO accounting, and graceful drain-on-shutdown. Telemetry
+//! ([`stats`]) exposes request latencies, per-class SLO violation rates,
 //! batch-size histograms, queue depths, and each model's scheduled layout.
 //!
 //! Layer map:
 //!
 //! ```text
-//! client  --frames-->  server (acceptor + connection threads)
-//!                         |  submit: try_push -> Busy on full
-//!                         v
-//!                      executor (worker pool, per-model BoundedQueues)
-//!                         |  coalesce <= MAX_SMSV_BLOCK vectors
-//!                         v
-//!                      registry (ServedModel: scheduled + instrumented
-//!                         |       support matrix)
-//!                         v
-//!                      svm::predict_batch_with -> sparse::smsv_block
+//! client  --v1/v2 frames-->  server (acceptor + connection threads)
+//!                               |  admission: projected miss / queue
+//!                               |  full -> Busy
+//!                               v
+//!                            executor (worker pool, per-model
+//!                               |       ClassedQueues, QueueDiscipline)
+//!                               |  coalesce <= MAX_SMSV_BLOCK vectors
+//!                               v
+//!                            registry (ServedModel: scheduled +
+//!                               |       instrumented support matrix)
+//!                               v
+//!                            svm::predict_batch_with -> sparse::smsv_block
 //! ```
 
 pub mod client;
+pub mod discipline;
 pub mod executor;
+pub mod latency;
 pub mod proto;
 pub mod queue;
 pub mod registry;
 pub mod server;
 pub mod stats;
 
-pub use client::ServeClient;
+pub use client::{PredictRequest, ScheduleRequest, ServeClient};
+pub use discipline::{
+    parse_discipline, Decision, DisciplineCtx, Fifo, QueueDiscipline, SloAware, StrictPriority,
+    DISCIPLINES,
+};
 pub use executor::{Executor, ExecutorConfig};
-pub use proto::{ProtoError, Request, Response, MAX_FRAME, PROTO_VERSION};
-pub use queue::{BoundedQueue, PushError};
+pub use latency::TreeLatencyEstimator;
+pub use proto::{
+    ProtoError, Request, RequestClass, Response, ACCEPTED_VERSIONS, MAX_FRAME, PROTO_V1,
+    PROTO_VERSION,
+};
+pub use queue::{ClassedQueue, DrainOrder, DrainPlan, JobMeta, PushError};
 pub use registry::{ModelRegistry, ServedModel};
 pub use server::{start, ServerConfig, ServerHandle};
-pub use stats::{parse_block_hist, ServeStats};
+pub use stats::{parse_block_hist, ClassStats, ServeStats};

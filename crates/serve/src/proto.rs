@@ -13,6 +13,21 @@
 //! sparse  := u64 dim | vec<u64> indices | vec<f64> values (parallel arrays)
 //! ```
 //!
+//! **Versioning.** Two versions are live. v2 (current) carries a request
+//! class and a per-request SLO on `Predict`:
+//!
+//! ```text
+//! Predict v2 := string model | u32 deadline_ms | u8 class | u32 slo_us | vec<sparse>
+//! Predict v1 := string model | u32 deadline_ms | vec<sparse>
+//! ```
+//!
+//! v1 frames decode as [`RequestClass::Interactive`] with `slo_us = 0`
+//! (meaning: fall back to the legacy deadline, then the server's per-class
+//! default), so old clients keep working against a v2 server; the server
+//! answers each request with the version it arrived in, so old clients
+//! also keep *decoding*. All other message bodies are identical in both
+//! versions.
+//!
 //! The decoder is total: truncated, oversized, or malformed input yields a
 //! [`ProtoError`], never a panic, and claimed element counts are checked
 //! against the bytes actually present before any allocation is sized from
@@ -21,8 +36,71 @@
 use dls_sparse::{SparseVec, TripletMatrix};
 use std::io::{Read, Write};
 
-/// Protocol version byte; bumped on any incompatible change.
-pub const PROTO_VERSION: u8 = 1;
+/// Current protocol version byte; bumped on any incompatible change.
+pub const PROTO_VERSION: u8 = 2;
+
+/// The legacy protocol version (no request classes / SLOs on the wire).
+pub const PROTO_V1: u8 = 1;
+
+/// Every version this module can decode.
+pub const ACCEPTED_VERSIONS: [u8; 2] = [PROTO_V1, PROTO_VERSION];
+
+/// The traffic class a predict request belongs to. Classes are the unit
+/// SLOs attach to: interactive requests expect sub-millisecond-to-
+/// millisecond answers, batch scoring tolerates much more in exchange for
+/// throughput. The queue disciplines in `serve::discipline` key on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RequestClass {
+    /// Latency-sensitive traffic (the default, and what v1 frames map to).
+    #[default]
+    Interactive = 0,
+    /// Throughput-oriented scoring jobs with a lenient SLO.
+    Batch = 1,
+}
+
+impl RequestClass {
+    /// Both classes, index-aligned with [`RequestClass::index`].
+    pub const ALL: [RequestClass; 2] = [RequestClass::Interactive, RequestClass::Batch];
+
+    /// Dense index (0 = interactive, 1 = batch) for per-class arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Lower-case display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestClass::Interactive => "interactive",
+            RequestClass::Batch => "batch",
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<Self, ProtoError> {
+        match b {
+            0 => Ok(RequestClass::Interactive),
+            1 => Ok(RequestClass::Batch),
+            _ => Err(ProtoError::Malformed("unknown request class")),
+        }
+    }
+}
+
+impl std::fmt::Display for RequestClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for RequestClass {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interactive" | "i" => Ok(RequestClass::Interactive),
+            "batch" | "b" => Ok(RequestClass::Batch),
+            other => Err(format!("unknown request class: {other:?}")),
+        }
+    }
+}
 
 /// Hard ceiling on one frame's payload size (16 MiB). Larger frames are
 /// rejected at the length prefix, before any payload is read.
@@ -65,10 +143,17 @@ pub enum Request {
     Predict {
         /// Registry name of the model to query.
         model: String,
-        /// Per-request deadline in milliseconds from arrival; `0` means
-        /// the server default. Requests still queued past their deadline
+        /// Legacy per-request deadline in milliseconds from arrival; `0`
+        /// means unset. Kept for v1 compatibility — when `slo_us` is set
+        /// it wins. Requests still queued past their effective deadline
         /// get [`Response::TimedOut`] instead of occupying a worker.
         deadline_ms: u32,
+        /// Traffic class the SLO and queue discipline key on. v1 frames
+        /// decode as [`RequestClass::Interactive`].
+        class: RequestClass,
+        /// Per-request SLO in microseconds from arrival; `0` falls back to
+        /// `deadline_ms`, then to the server's per-class default.
+        slo_us: u32,
         /// The query vectors. All must share the model's feature dimension.
         vectors: Vec<SparseVec>,
     },
@@ -243,14 +328,28 @@ const RESP_TIMED_OUT: u8 = 133;
 const RESP_SHUTTING_DOWN: u8 = 134;
 const RESP_ERROR: u8 = 135;
 
-/// Encodes a request into a frame payload (version + tag + body).
+/// Encodes a request into a v2 frame payload (version + tag + body).
 pub fn encode_request(req: &Request) -> Vec<u8> {
-    let mut out = vec![PROTO_VERSION];
+    encode_request_version(req, PROTO_VERSION)
+}
+
+/// Encodes a request at an explicit protocol version. v1 encoding is
+/// lossy for `Predict`: the class and SLO are dropped (a v1 receiver will
+/// reconstruct `Interactive` / `slo_us = 0`) — exactly what a legacy
+/// client binary would send. Panics on an unknown version; callers pick
+/// from [`ACCEPTED_VERSIONS`].
+pub fn encode_request_version(req: &Request, version: u8) -> Vec<u8> {
+    assert!(ACCEPTED_VERSIONS.contains(&version), "unknown protocol version {version}");
+    let mut out = vec![version];
     match req {
-        Request::Predict { model, deadline_ms, vectors } => {
+        Request::Predict { model, deadline_ms, class, slo_us, vectors } => {
             out.push(REQ_PREDICT);
             put_str(&mut out, model);
             put_u32(&mut out, *deadline_ms);
+            if version >= PROTO_VERSION {
+                out.push(*class as u8);
+                put_u32(&mut out, *slo_us);
+            }
             put_u32(&mut out, vectors.len() as u32);
             for v in vectors {
                 put_sparse(&mut out, v);
@@ -274,11 +373,17 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     out
 }
 
-/// Decodes a request frame payload.
+/// Decodes a request frame payload (either live version).
 pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    decode_request_versioned(payload).map(|(_, req)| req)
+}
+
+/// Decodes a request frame payload and reports which protocol version it
+/// arrived in, so the server can answer in kind.
+pub fn decode_request_versioned(payload: &[u8]) -> Result<(u8, Request), ProtoError> {
     let mut r = Reader { bytes: payload, pos: 0 };
     let version = r.u8()?;
-    if version != PROTO_VERSION {
+    if !ACCEPTED_VERSIONS.contains(&version) {
         return Err(ProtoError::BadVersion(version));
     }
     let tag = r.u8()?;
@@ -286,13 +391,20 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
         REQ_PREDICT => {
             let model = r.string()?;
             let deadline_ms = r.u32()?;
+            // v1 has no class/SLO on the wire: legacy traffic is
+            // interactive with only its coarse deadline.
+            let (class, slo_us) = if version >= PROTO_VERSION {
+                (RequestClass::from_wire(r.u8()?)?, r.u32()?)
+            } else {
+                (RequestClass::Interactive, 0)
+            };
             // One sparse vector is at least dim + count = 12 bytes.
             let n = r.count(12)?;
             let mut vectors = Vec::with_capacity(n);
             for _ in 0..n {
                 vectors.push(r.sparse()?);
             }
-            Request::Predict { model, deadline_ms, vectors }
+            Request::Predict { model, deadline_ms, class, slo_us, vectors }
         }
         REQ_SCHEDULE => {
             let strategy = r.string()?;
@@ -310,12 +422,22 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
         t => return Err(ProtoError::BadTag(t)),
     };
     r.finish()?;
-    Ok(req)
+    Ok((version, req))
 }
 
-/// Encodes a response into a frame payload.
+/// Encodes a response into a v2 frame payload.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
-    let mut out = vec![PROTO_VERSION];
+    encode_response_version(resp, PROTO_VERSION)
+}
+
+/// Encodes a response stamped with an explicit protocol version — the
+/// server answers each request with the version it arrived in, so a v1
+/// client never sees a version byte it would reject. Response bodies are
+/// identical across live versions; only the stamp differs. Panics on an
+/// unknown version.
+pub fn encode_response_version(resp: &Response, version: u8) -> Vec<u8> {
+    assert!(ACCEPTED_VERSIONS.contains(&version), "unknown protocol version {version}");
+    let mut out = vec![version];
     match resp {
         Response::Predictions(values) => {
             out.push(RESP_PREDICTIONS);
@@ -349,11 +471,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
     out
 }
 
-/// Decodes a response frame payload.
+/// Decodes a response frame payload (either live version).
 pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
     let mut r = Reader { bytes: payload, pos: 0 };
     let version = r.u8()?;
-    if version != PROTO_VERSION {
+    if !ACCEPTED_VERSIONS.contains(&version) {
         return Err(ProtoError::BadVersion(version));
     }
     let tag = r.u8()?;
@@ -456,6 +578,8 @@ mod tests {
             Request::Predict {
                 model: "adult".into(),
                 deadline_ms: 250,
+                class: RequestClass::Batch,
+                slo_us: 750_000,
                 vectors: vec![sv(5, &[(0, 1.0), (3, -2.5)]), sv(5, &[])],
             },
             Request::Schedule {
@@ -497,6 +621,8 @@ mod tests {
         let full = encode_request(&Request::Predict {
             model: "m".into(),
             deadline_ms: 0,
+            class: RequestClass::Interactive,
+            slo_us: 0,
             vectors: vec![sv(8, &[(1, 2.0), (7, 3.0)])],
         });
         for cut in 0..full.len() {
@@ -510,6 +636,8 @@ mod tests {
         let mut payload = vec![PROTO_VERSION, REQ_PREDICT];
         put_str(&mut payload, "m");
         put_u32(&mut payload, 0); // deadline
+        payload.push(0); // class
+        put_u32(&mut payload, 0); // slo
         put_u32(&mut payload, u32::MAX); // vector count
         assert_eq!(decode_request(&payload), Err(ProtoError::Truncated));
     }
@@ -520,6 +648,8 @@ mod tests {
         let mut payload = vec![PROTO_VERSION, REQ_PREDICT];
         put_str(&mut payload, "m");
         put_u32(&mut payload, 0);
+        payload.push(1); // class: batch
+        put_u32(&mut payload, 0); // slo
         put_u32(&mut payload, 1);
         put_u64(&mut payload, 4); // dim
         put_u32(&mut payload, 2); // nnz
@@ -531,10 +661,74 @@ mod tests {
     }
 
     #[test]
-    fn bad_version_and_tag_are_rejected() {
+    fn bad_version_tag_and_class_are_rejected() {
         assert_eq!(decode_request(&[9, REQ_STATS]), Err(ProtoError::BadVersion(9)));
         assert_eq!(decode_request(&[PROTO_VERSION, 99]), Err(ProtoError::BadTag(99)));
         assert_eq!(decode_response(&[PROTO_VERSION, 3]), Err(ProtoError::BadTag(3)));
+        let mut payload = vec![PROTO_VERSION, REQ_PREDICT];
+        put_str(&mut payload, "m");
+        put_u32(&mut payload, 0);
+        payload.push(7); // no such class
+        put_u32(&mut payload, 0);
+        put_u32(&mut payload, 0);
+        assert!(matches!(decode_request(&payload), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn v1_predict_decodes_as_interactive_with_the_legacy_deadline() {
+        let req = Request::Predict {
+            model: "adult".into(),
+            deadline_ms: 40,
+            class: RequestClass::Batch, // dropped by the v1 encoding
+            slo_us: 999,                // dropped by the v1 encoding
+            vectors: vec![sv(5, &[(2, 1.5)])],
+        };
+        let payload = encode_request_version(&req, PROTO_V1);
+        assert_eq!(payload[0], PROTO_V1);
+        let (version, decoded) = decode_request_versioned(&payload).unwrap();
+        assert_eq!(version, PROTO_V1);
+        assert_eq!(
+            decoded,
+            Request::Predict {
+                model: "adult".into(),
+                deadline_ms: 40,
+                class: RequestClass::Interactive,
+                slo_us: 0,
+                vectors: vec![sv(5, &[(2, 1.5)])],
+            }
+        );
+    }
+
+    #[test]
+    fn non_predict_requests_are_version_stable() {
+        for req in [Request::Stats, Request::Shutdown] {
+            let v1 = encode_request_version(&req, PROTO_V1);
+            let v2 = encode_request_version(&req, PROTO_VERSION);
+            assert_eq!(&v1[1..], &v2[1..], "{req:?} bodies must match across versions");
+            assert_eq!(decode_request(&v1).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_echo_the_requested_version() {
+        let resp = Response::Predictions(vec![1.0, 2.0]);
+        let v1 = encode_response_version(&resp, PROTO_V1);
+        assert_eq!(v1[0], PROTO_V1);
+        assert_eq!(decode_response(&v1).unwrap(), resp);
+        let v2 = encode_response_version(&resp, PROTO_VERSION);
+        assert_eq!(v2[0], PROTO_VERSION);
+        assert_eq!(&v1[1..], &v2[1..], "response bodies are version-independent");
+    }
+
+    #[test]
+    fn request_class_parses_and_indexes() {
+        assert_eq!("interactive".parse::<RequestClass>().unwrap(), RequestClass::Interactive);
+        assert_eq!("batch".parse::<RequestClass>().unwrap(), RequestClass::Batch);
+        assert!("bulk".parse::<RequestClass>().is_err());
+        for (i, c) in RequestClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(RequestClass::from_wire(*c as u8).unwrap(), *c);
+        }
     }
 
     #[test]

@@ -1,56 +1,138 @@
-//! Bounded MPMC job queues with explicit backpressure.
+//! Classed, bounded job storage with explicit backpressure.
 //!
-//! The executor's contract with the acceptor side is *reject, don't
-//! buffer*: [`BoundedQueue::try_push`] never blocks — a full queue returns
-//! the job to the caller, which answers the client with `Busy`. Workers
-//! drain with [`BoundedQueue::pop_batch`], which can linger briefly
-//! (the *gather window*) to let concurrent requests pile up into one
-//! multi-vector block — the cross-client analogue of the SMO loop's
-//! blocked kernel-row prefetch.
+//! [`ClassedQueue`] is *pure storage*: it admits, counts, and drains jobs
+//! but holds **no scheduling policy**. When to drain, in what order, and
+//! how much batch work may ride along all live in the
+//! [`crate::discipline::QueueDiscipline`] implementations — the queue just
+//! executes a [`DrainPlan`] it is handed. (Before protocol v2 this module
+//! owned the gather-window policy; moving it out is what lets disciplines
+//! be swapped without touching storage.)
+//!
+//! Two invariants are the queue's own:
+//!
+//! * **Reject, don't buffer** — [`ClassedQueue::try_push`] never blocks; a
+//!   full queue hands the job back so the caller can answer `Busy`.
+//! * **Per-class reservation** — batch jobs may only fill the queue up to
+//!   `capacity - reserved` slots, so a batch-scoring flood can never
+//!   starve interactive admission (the latent unfairness of the old
+//!   single-lane `BoundedQueue`). Interactive jobs may use every slot.
 
+use crate::proto::RequestClass;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Why a push was refused.
 #[derive(Debug, PartialEq, Eq)]
 pub enum PushError<T> {
-    /// The queue is at capacity; the job is handed back.
+    /// The queue (or the class's share of it) is at capacity.
     Full(T),
     /// The queue is closed (server draining); the job is handed back.
     Closed(T),
 }
 
-struct State<T> {
-    jobs: VecDeque<T>,
+/// Scheduling-relevant facts about one queued job, visible to disciplines
+/// through [`ClassedQueue::pending`] without touching the job itself.
+#[derive(Debug, Clone, Copy)]
+pub struct JobMeta {
+    /// Traffic class the job arrived with.
+    pub class: RequestClass,
+    /// Drain-budget weight (number of vectors; min 1).
+    pub weight: usize,
+    /// When the job entered the queue.
+    pub enqueued: Instant,
+    /// When the job's answer stops being useful.
+    pub deadline: Instant,
+    /// Global arrival number (lower = earlier), total across both lanes.
+    pub seq: u64,
+}
+
+/// The order a [`DrainPlan`] visits candidates in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainOrder {
+    /// Strict arrival order across both classes (FIFO).
+    Arrival,
+    /// Every queued interactive job (by arrival) before any batch job.
+    InteractiveFirst,
+}
+
+/// A discipline's instruction for one drain sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainPlan {
+    /// Candidate visiting order.
+    pub order: DrainOrder,
+    /// Total weight budget for the sweep (the first job is always taken,
+    /// so an oversized job still makes progress).
+    pub max_weight: usize,
+    /// Weight budget batch-class jobs may consume within `max_weight`. A
+    /// value `>= max_weight` puts no extra limit on batch; `0` excludes
+    /// batch jobs from the sweep (unless a batch job is first in order and
+    /// nothing else is taken).
+    pub max_batch_weight: usize,
+}
+
+impl DrainPlan {
+    /// An unbounded arrival-order plan — what shutdown drains use.
+    pub fn drain_all() -> Self {
+        Self { order: DrainOrder::Arrival, max_weight: usize::MAX, max_batch_weight: usize::MAX }
+    }
+}
+
+struct Inner<T> {
+    /// One FIFO lane per class, indexed by [`RequestClass::index`].
+    lanes: [VecDeque<(JobMeta, T)>; 2],
     closed: bool,
+    next_seq: u64,
 }
 
-/// A fixed-capacity queue connecting connection handlers to workers.
-pub struct BoundedQueue<T> {
-    state: Mutex<State<T>>,
-    readable: Condvar,
+/// A fixed-capacity two-lane queue connecting connection handlers to
+/// workers. All operations are non-blocking; arrival notification is the
+/// executor's concern (its wake signal), not the queue's.
+pub struct ClassedQueue<T> {
+    inner: Mutex<Inner<T>>,
     capacity: usize,
+    batch_capacity: usize,
 }
 
-impl<T> BoundedQueue<T> {
-    /// A queue admitting at most `capacity` pending jobs (min 1).
-    pub fn new(capacity: usize) -> Self {
+impl<T> ClassedQueue<T> {
+    /// A queue admitting at most `capacity` jobs total (min 1), of which
+    /// `ceil(capacity * interactive_reserve)` slots are reserved for
+    /// interactive jobs (batch admission stops at `capacity - reserved`).
+    /// The reserve is clamped so batch always keeps at least one slot.
+    pub fn new(capacity: usize, interactive_reserve: f64) -> Self {
+        let capacity = capacity.max(1);
+        let reserved = ((capacity as f64) * interactive_reserve.clamp(0.0, 1.0)).ceil() as usize;
+        let batch_capacity = capacity.saturating_sub(reserved).max(1).min(capacity);
         Self {
-            state: Mutex::new(State { jobs: VecDeque::new(), closed: false }),
-            readable: Condvar::new(),
-            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                lanes: [VecDeque::new(), VecDeque::new()],
+                closed: false,
+                next_seq: 0,
+            }),
+            capacity,
+            batch_capacity,
         }
     }
 
-    /// The configured capacity.
+    /// The total capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Jobs currently waiting.
+    /// The slots batch-class jobs may occupy.
+    pub fn batch_capacity(&self) -> usize {
+        self.batch_capacity
+    }
+
+    /// Jobs currently waiting (both classes).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue poisoned").jobs.len()
+        let inner = self.inner.lock().expect("queue poisoned");
+        inner.lanes.iter().map(VecDeque::len).sum()
+    }
+
+    /// Jobs of one class currently waiting.
+    pub fn len_class(&self, class: RequestClass) -> usize {
+        self.inner.lock().expect("queue poisoned").lanes[class.index()].len()
     }
 
     /// Whether no jobs are waiting.
@@ -58,203 +140,237 @@ impl<T> BoundedQueue<T> {
         self.len() == 0
     }
 
-    /// Non-blocking enqueue. A full or closed queue refuses immediately —
-    /// this is the backpressure point.
-    pub fn try_push(&self, job: T) -> Result<(), PushError<T>> {
-        let mut s = self.state.lock().expect("queue poisoned");
-        if s.closed {
+    /// Non-blocking enqueue. A closed queue, a full queue, or a batch push
+    /// beyond the batch share refuses immediately — the backpressure point.
+    pub fn try_push(
+        &self,
+        job: T,
+        class: RequestClass,
+        weight: usize,
+        enqueued: Instant,
+        deadline: Instant,
+    ) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
             return Err(PushError::Closed(job));
         }
-        if s.jobs.len() >= self.capacity {
+        let total: usize = inner.lanes.iter().map(VecDeque::len).sum();
+        if total >= self.capacity {
             return Err(PushError::Full(job));
         }
-        s.jobs.push_back(job);
-        drop(s);
-        self.readable.notify_one();
+        if class == RequestClass::Batch && inner.lanes[class.index()].len() >= self.batch_capacity {
+            return Err(PushError::Full(job));
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let meta = JobMeta { class, weight: weight.max(1), enqueued, deadline, seq };
+        inner.lanes[class.index()].push_back((meta, job));
         Ok(())
     }
 
-    /// Blocks until jobs are available (or the queue closes empty), then
-    /// drains up to `max` of them, where each job weighs `weight(job)` and
-    /// the drained batch stays within `max` total weight (the first job is
-    /// always taken, so oversized jobs still make progress).
-    ///
-    /// When fewer than `max` units are ready and `gather` is non-zero, the
-    /// worker waits up to `gather` for more arrivals before draining —
-    /// trading a bounded latency add for larger coalesced blocks.
-    ///
-    /// Returns `None` only when the queue is closed and empty.
-    pub fn pop_batch(
-        &self,
-        max: usize,
-        gather: Duration,
-        weight: impl Fn(&T) -> usize,
-    ) -> Option<Vec<T>> {
-        let mut s = self.state.lock().expect("queue poisoned");
-        loop {
-            if !s.jobs.is_empty() {
-                break;
-            }
-            if s.closed {
-                return None;
-            }
-            s = self.readable.wait(s).expect("queue poisoned");
-        }
-        if !gather.is_zero() {
-            let deadline = Instant::now() + gather;
-            while batch_weight(&s.jobs, max, &weight) < max && !s.closed {
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
-                let (next, timeout) =
-                    self.readable.wait_timeout(s, deadline - now).expect("queue poisoned");
-                s = next;
-                if timeout.timed_out() {
-                    break;
-                }
-            }
-        }
-        let mut batch = Vec::new();
-        let mut used = 0;
-        while let Some(job) = s.jobs.front() {
-            let w = weight(job).max(1);
-            if !batch.is_empty() && used + w > max {
-                break;
-            }
-            used += w;
-            batch.push(s.jobs.pop_front().expect("front checked"));
-            if used >= max {
-                break;
-            }
-        }
-        Some(batch)
+    /// A snapshot of every queued job's metadata, in arrival order — what
+    /// a discipline's `decide` sees.
+    pub fn pending(&self) -> Vec<JobMeta> {
+        let inner = self.inner.lock().expect("queue poisoned");
+        let mut out: Vec<JobMeta> = inner.lanes.iter().flatten().map(|(meta, _)| *meta).collect();
+        out.sort_by_key(|m| m.seq);
+        out
     }
 
-    /// Non-blocking variant of [`BoundedQueue::pop_batch`] for workers
-    /// multiplexing several queues: an empty queue returns an empty batch
-    /// immediately instead of parking. The gather window still applies
-    /// once at least one job is held, so coalescing behaviour matches the
-    /// blocking path.
-    pub fn try_pop_batch(
-        &self,
-        max: usize,
-        gather: Duration,
-        weight: impl Fn(&T) -> usize,
-    ) -> Vec<T> {
-        {
-            let s = self.state.lock().expect("queue poisoned");
-            if s.jobs.is_empty() {
-                return Vec::new();
+    /// Executes one drain sweep per `plan`: visits candidates in the
+    /// plan's order, takes jobs while they fit the total budget (batch
+    /// jobs must also fit the batch budget), and stops at the first job
+    /// that does not fit — no reordering *within* the chosen order. The
+    /// very first candidate is always taken so oversized jobs progress.
+    /// Returns an empty vec when nothing is queued.
+    pub fn drain(&self, plan: &DrainPlan) -> Vec<(JobMeta, T)> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        // Count how many to take from each lane front. Both orders take a
+        // prefix of each lane, so selection reduces to two counts.
+        let mut take = [0usize; 2];
+        let mut used = 0usize;
+        let mut batch_used = 0usize;
+        let mut taken_any = false;
+        loop {
+            // Peek the next candidate per the plan's order.
+            let next_of = |lane: usize| inner.lanes[lane].get(take[lane]).map(|(m, _)| *m);
+            let (ia, ba) = (next_of(0), next_of(1));
+            let candidate = match plan.order {
+                DrainOrder::InteractiveFirst => ia.or(ba),
+                DrainOrder::Arrival => match (ia, ba) {
+                    (Some(a), Some(b)) => Some(if a.seq < b.seq { a } else { b }),
+                    (a, b) => a.or(b),
+                },
+            };
+            let Some(meta) = candidate else { break };
+            let w = meta.weight;
+            if taken_any {
+                if used.saturating_add(w) > plan.max_weight {
+                    break;
+                }
+                if meta.class == RequestClass::Batch
+                    && batch_used.saturating_add(w) > plan.max_batch_weight
+                {
+                    break;
+                }
+            }
+            used = used.saturating_add(w);
+            if meta.class == RequestClass::Batch {
+                batch_used = batch_used.saturating_add(w);
+            }
+            take[meta.class.index()] += 1;
+            taken_any = true;
+            if used >= plan.max_weight {
+                break;
             }
         }
-        self.pop_batch(max, gather, weight).unwrap_or_default()
+        let mut out: Vec<(JobMeta, T)> = Vec::with_capacity(take[0] + take[1]);
+        for (lane, &count) in take.iter().enumerate() {
+            for _ in 0..count {
+                out.push(inner.lanes[lane].pop_front().expect("counted above"));
+            }
+        }
+        out.sort_by_key(|(m, _)| match plan.order {
+            DrainOrder::Arrival => (0, m.seq),
+            DrainOrder::InteractiveFirst => (m.class.index(), m.seq),
+        });
+        out
     }
 
     /// Closes the queue: future pushes fail with [`PushError::Closed`],
-    /// waiting workers wake, and already-queued jobs remain drainable so a
-    /// shutdown is a drain, not a drop.
+    /// while already-queued jobs remain drainable, so a shutdown is a
+    /// drain, not a drop.
     pub fn close(&self) {
-        self.state.lock().expect("queue poisoned").closed = true;
-        self.readable.notify_all();
+        self.inner.lock().expect("queue poisoned").closed = true;
     }
 
-    /// Whether [`BoundedQueue::close`] has been called.
+    /// Whether [`ClassedQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.state.lock().expect("queue poisoned").closed
+        self.inner.lock().expect("queue poisoned").closed
     }
-}
-
-fn batch_weight<T>(jobs: &VecDeque<T>, max: usize, weight: &impl Fn(&T) -> usize) -> usize {
-    let mut used = 0;
-    for job in jobs {
-        used += weight(job).max(1);
-        if used >= max {
-            return max;
-        }
-    }
-    used
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use std::time::Duration;
+
+    fn push(q: &ClassedQueue<u32>, job: u32, class: RequestClass, weight: usize) {
+        let now = Instant::now();
+        q.try_push(job, class, weight, now, now + Duration::from_secs(5)).unwrap();
+    }
+
+    fn drained(q: &ClassedQueue<u32>, plan: &DrainPlan) -> Vec<u32> {
+        q.drain(plan).into_iter().map(|(_, j)| j).collect()
+    }
 
     #[test]
     fn backpressure_rejects_without_blocking() {
-        let q = BoundedQueue::new(2);
-        assert!(q.try_push(1).is_ok());
-        assert!(q.try_push(2).is_ok());
-        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        let q = ClassedQueue::new(2, 0.0);
+        push(&q, 1, RequestClass::Interactive, 1);
+        push(&q, 2, RequestClass::Interactive, 1);
+        let now = Instant::now();
+        assert_eq!(q.try_push(3, RequestClass::Interactive, 1, now, now), Err(PushError::Full(3)));
         assert_eq!(q.len(), 2);
     }
 
     #[test]
-    fn pop_batch_drains_up_to_weight_budget() {
-        let q = BoundedQueue::new(16);
-        for i in 0..6 {
-            q.try_push(i).unwrap();
+    fn batch_backlog_cannot_starve_interactive_admission() {
+        // Capacity 4 with a 25% interactive reserve: batch stops at 3.
+        let q = ClassedQueue::new(4, 0.25);
+        assert_eq!(q.batch_capacity(), 3);
+        for j in 0..3 {
+            push(&q, j, RequestClass::Batch, 1);
         }
-        // Each job weighs 2; a budget of 5 takes jobs 0 and 1 (weight 4),
-        // refuses job 2 (would exceed), leaving 4 queued.
-        let batch = q.pop_batch(5, Duration::ZERO, |_| 2).unwrap();
-        assert_eq!(batch, vec![0, 1]);
+        let now = Instant::now();
+        assert_eq!(q.try_push(9, RequestClass::Batch, 1, now, now), Err(PushError::Full(9)));
+        // The reserved slot still admits interactive work …
+        push(&q, 10, RequestClass::Interactive, 1);
+        // … until the *total* capacity is reached.
+        assert_eq!(
+            q.try_push(11, RequestClass::Interactive, 1, now, now),
+            Err(PushError::Full(11))
+        );
+        assert_eq!(
+            (q.len_class(RequestClass::Interactive), q.len_class(RequestClass::Batch)),
+            (1, 3)
+        );
+    }
+
+    #[test]
+    fn arrival_order_interleaves_classes_by_seq() {
+        let q = ClassedQueue::new(8, 0.25);
+        push(&q, 0, RequestClass::Batch, 1);
+        push(&q, 1, RequestClass::Interactive, 1);
+        push(&q, 2, RequestClass::Batch, 1);
+        let plan = DrainPlan { order: DrainOrder::Arrival, max_weight: 8, max_batch_weight: 8 };
+        assert_eq!(drained(&q, &plan), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn interactive_first_reorders_across_classes() {
+        let q = ClassedQueue::new(8, 0.25);
+        push(&q, 0, RequestClass::Batch, 1);
+        push(&q, 1, RequestClass::Batch, 1);
+        push(&q, 2, RequestClass::Interactive, 1);
+        let plan =
+            DrainPlan { order: DrainOrder::InteractiveFirst, max_weight: 8, max_batch_weight: 8 };
+        assert_eq!(drained(&q, &plan), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn drain_respects_total_and_batch_budgets() {
+        let q = ClassedQueue::new(16, 0.0);
+        for j in 0..6 {
+            push(&q, j, RequestClass::Batch, 2);
+        }
+        // Budget 5 with each job weighing 2: jobs 0 and 1 fit, job 2 would
+        // exceed, 4 stay queued.
+        let plan = DrainPlan { order: DrainOrder::Arrival, max_weight: 5, max_batch_weight: 5 };
+        assert_eq!(drained(&q, &plan), vec![0, 1]);
         assert_eq!(q.len(), 4);
         // An oversized first job is still taken alone.
-        let batch = q.pop_batch(1, Duration::ZERO, |_| 10).unwrap();
-        assert_eq!(batch, vec![2]);
+        let plan = DrainPlan { order: DrainOrder::Arrival, max_weight: 1, max_batch_weight: 0 };
+        assert_eq!(drained(&q, &plan), vec![2]);
+        // A batch budget below a job's weight stops the sweep after any
+        // interactive prefix.
+        let q2 = ClassedQueue::new(16, 0.0);
+        push(&q2, 0, RequestClass::Interactive, 1);
+        push(&q2, 1, RequestClass::Batch, 3);
+        push(&q2, 2, RequestClass::Batch, 3);
+        let plan =
+            DrainPlan { order: DrainOrder::InteractiveFirst, max_weight: 16, max_batch_weight: 3 };
+        assert_eq!(drained(&q2, &plan), vec![0, 1]);
+        assert_eq!(q2.len(), 1);
     }
 
     #[test]
-    fn gather_window_coalesces_late_arrivals() {
-        let q = Arc::new(BoundedQueue::new(16));
-        q.try_push(0).unwrap();
-        let pusher = {
-            let q = Arc::clone(&q);
-            std::thread::spawn(move || {
-                std::thread::sleep(Duration::from_millis(5));
-                q.try_push(1).unwrap();
-                q.try_push(2).unwrap();
-            })
-        };
-        // A generous gather window picks up the pusher's two late jobs.
-        let batch = q.pop_batch(3, Duration::from_millis(500), |_| 1).unwrap();
-        pusher.join().unwrap();
-        assert_eq!(batch, vec![0, 1, 2]);
+    fn pending_reports_arrival_order_metadata() {
+        let q = ClassedQueue::new(8, 0.25);
+        push(&q, 0, RequestClass::Batch, 4);
+        push(&q, 1, RequestClass::Interactive, 1);
+        let pending = q.pending();
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0].class, RequestClass::Batch);
+        assert_eq!(pending[0].weight, 4);
+        assert_eq!(pending[1].class, RequestClass::Interactive);
+        assert!(pending[0].seq < pending[1].seq);
     }
 
     #[test]
-    fn close_drains_then_signals_completion() {
-        let q = BoundedQueue::new(4);
-        q.try_push(7).unwrap();
+    fn close_drains_then_refuses() {
+        let q = ClassedQueue::new(4, 0.25);
+        push(&q, 7, RequestClass::Interactive, 1);
         q.close();
-        assert_eq!(q.try_push(8), Err(PushError::Closed(8)));
+        let now = Instant::now();
+        assert_eq!(
+            q.try_push(8, RequestClass::Interactive, 1, now, now),
+            Err(PushError::Closed(8))
+        );
         // Queued work survives the close …
-        assert_eq!(q.pop_batch(8, Duration::ZERO, |_| 1), Some(vec![7]));
-        // … and only then does the queue report exhaustion.
-        assert_eq!(q.pop_batch(8, Duration::ZERO, |_| 1), None);
-    }
-
-    #[test]
-    fn pop_blocks_until_work_or_close() {
-        let q = Arc::new(BoundedQueue::<u32>::new(4));
-        let popper = {
-            let q = Arc::clone(&q);
-            std::thread::spawn(move || q.pop_batch(8, Duration::ZERO, |_| 1))
-        };
-        std::thread::sleep(Duration::from_millis(5));
-        q.try_push(42).unwrap();
-        assert_eq!(popper.join().unwrap(), Some(vec![42]));
-
-        let q2 = Arc::new(BoundedQueue::<u32>::new(4));
-        let popper = {
-            let q2 = Arc::clone(&q2);
-            std::thread::spawn(move || q2.pop_batch(8, Duration::ZERO, |_| 1))
-        };
-        std::thread::sleep(Duration::from_millis(5));
-        q2.close();
-        assert_eq!(popper.join().unwrap(), None);
+        assert_eq!(drained(&q, &DrainPlan::drain_all()), vec![7]);
+        // … and only then is the queue exhausted.
+        assert!(q.drain(&DrainPlan::drain_all()).is_empty());
+        assert!(q.is_closed());
     }
 }

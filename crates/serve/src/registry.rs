@@ -9,7 +9,9 @@
 //! histogram the `Stats` endpoint exposes.
 
 use dls_core::{LayoutScheduler, SelectionReport};
-use dls_sparse::{Format, InstrumentedMatrix, MatrixFormat, SmsvCounters, SparseVec};
+use dls_sparse::{
+    Format, InstrumentedMatrix, MatrixFeatures, MatrixFormat, SmsvCounters, SparseVec,
+};
 use dls_svm::{PredictWorkspace, SvmModel};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -22,6 +24,9 @@ pub struct ServedModel {
     matrix: Option<InstrumentedMatrix>,
     counters: Arc<SmsvCounters>,
     report: Option<SelectionReport>,
+    /// The support matrix's nine influencing parameters — the latency
+    /// estimator's per-model fingerprint.
+    features: Option<MatrixFeatures>,
     dim: usize,
 }
 
@@ -31,22 +36,24 @@ impl ServedModel {
     pub fn new(name: impl Into<String>, model: SvmModel, scheduler: &LayoutScheduler) -> Self {
         let counters = SmsvCounters::shared();
         let sv_rows = model.support_matrix(PredictWorkspace::CACHE_FORMAT);
-        let (matrix, report, dim) = match sv_rows {
+        let (matrix, report, features, dim) = match sv_rows {
             Some(m) => {
                 let t = m.to_triplets().compact();
+                let features = MatrixFeatures::from_triplets(&t);
                 let scheduled = scheduler.schedule(&t);
                 let report = scheduled.report().clone();
                 let dim = m.cols();
                 (
                     Some(InstrumentedMatrix::new(scheduled.into_matrix(), Arc::clone(&counters))),
                     Some(report),
+                    Some(features),
                     dim,
                 )
             }
             // A model with no support vectors predicts a constant.
-            None => (None, None, 0),
+            None => (None, None, None, 0),
         };
-        Self { name: name.into(), model, matrix, counters, report, dim }
+        Self { name: name.into(), model, matrix, counters, report, features, dim }
     }
 
     /// Registry name.
@@ -72,6 +79,12 @@ impl ServedModel {
     /// The scheduler's full selection report, when a matrix exists.
     pub fn report(&self) -> Option<&SelectionReport> {
         self.report.as_ref()
+    }
+
+    /// The support matrix's influencing parameters (paper Table IV),
+    /// `None` for constant models.
+    pub fn matrix_features(&self) -> Option<&MatrixFeatures> {
+        self.features.as_ref()
     }
 
     /// This model's live SMSV counters.
@@ -170,6 +183,8 @@ mod tests {
         let served = ServedModel::new("toy", toy_model(), &scheduler);
         assert_eq!(served.dim(), 6);
         assert!(served.format().is_some());
+        let feats = served.matrix_features().expect("support matrix has features");
+        assert_eq!((feats.m, feats.n, feats.nnz), (2, 6, 4));
         let xs = vec![
             SparseVec::new(6, vec![0, 1], vec![2.0, 4.0]),
             SparseVec::new(6, vec![5], vec![-1.0]),

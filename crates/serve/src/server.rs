@@ -16,8 +16,8 @@
 
 use crate::executor::{parse_strategy, Executor, ExecutorConfig};
 use crate::proto::{
-    decode_request, encode_response, entries_to_triplets, read_frame, write_frame, Request,
-    Response,
+    decode_request_versioned, encode_response_version, entries_to_triplets, read_frame,
+    write_frame, Request, Response, PROTO_VERSION,
 };
 use crate::registry::ModelRegistry;
 use crate::stats::ServeStats;
@@ -168,20 +168,25 @@ fn handle_connection(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     while let Some(payload) = read_frame(&mut reader)? {
-        let response = match decode_request(&payload) {
-            Err(e) => Response::Error(format!("protocol error: {e}")),
-            Ok(_) if shutdown.load(Ordering::SeqCst) => Response::ShuttingDown,
-            Ok(request) => dispatch(request, executor, shutdown),
+        // Decode tolerantly across protocol versions and echo the
+        // response at the version the request arrived in, so v1 clients
+        // interoperate with a v2 server frame-for-frame.
+        let (version, response) = match decode_request_versioned(&payload) {
+            Err(e) => (PROTO_VERSION, Response::Error(format!("protocol error: {e}"))),
+            Ok((version, _)) if shutdown.load(Ordering::SeqCst) => {
+                (version, Response::ShuttingDown)
+            }
+            Ok((version, request)) => (version, dispatch(request, executor, shutdown)),
         };
-        write_frame(&mut writer, &encode_response(&response))?;
+        write_frame(&mut writer, &encode_response_version(&response, version))?;
     }
     Ok(())
 }
 
 fn dispatch(request: Request, executor: &Executor, shutdown: &AtomicBool) -> Response {
     match request {
-        Request::Predict { model, deadline_ms, vectors } => {
-            match executor.submit_predict(&model, vectors, deadline_ms) {
+        Request::Predict { model, deadline_ms, class, slo_us, vectors } => {
+            match executor.submit_predict(&model, vectors, class, slo_us, deadline_ms) {
                 Ok(rx) => await_reply(rx),
                 Err(refusal) => refusal,
             }

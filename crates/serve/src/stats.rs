@@ -7,6 +7,7 @@
 //! process-wide [`SmsvSnapshot`] with the delta-merge discipline from
 //! `dls_sparse::telemetry`, so polling never double counts.
 
+use crate::proto::RequestClass;
 use crate::registry::ModelRegistry;
 use dls_core::json::JsonValue;
 use dls_sparse::telemetry::format_index;
@@ -136,11 +137,86 @@ impl RequestStats {
     }
 }
 
+/// Per-request-class counters for the predict path: the observability the
+/// SLO-aware scheduler is judged by.
+#[derive(Debug, Default)]
+pub struct ClassStats {
+    /// Requests of this class answered with predictions.
+    pub ok: AtomicU64,
+    /// Requests that expired in the queue.
+    pub timed_out: AtomicU64,
+    /// Completions that missed the request's effective deadline — timeouts
+    /// plus answers delivered late.
+    pub slo_violations: AtomicU64,
+    /// Requests refused by predictive admission (the estimator projected a
+    /// miss before queueing). A subset of the global `busy` count.
+    pub busy_predicted: AtomicU64,
+    /// Enqueue-to-reply latency of successful requests of this class.
+    pub latency: LatencyHistogram,
+}
+
+impl ClassStats {
+    /// Records a completed request; `violated` marks an answer delivered
+    /// after its effective deadline.
+    pub fn record_ok(&self, latency: Duration, violated: bool) {
+        self.ok.fetch_add(1, Ordering::Relaxed);
+        if violated {
+            self.slo_violations.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record(latency);
+    }
+
+    /// Records a queue-expiry timeout (always an SLO violation).
+    pub fn record_timeout(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+        self.slo_violations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a predictive-admission refusal.
+    pub fn record_busy_predicted(&self) {
+        self.busy_predicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed requests (answered or timed out).
+    pub fn completed(&self) -> u64 {
+        self.ok.load(Ordering::Relaxed) + self.timed_out.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of completed requests that violated their SLO (0 when
+    /// nothing has completed).
+    pub fn slo_violation_rate(&self) -> f64 {
+        let done = self.completed();
+        if done == 0 {
+            0.0
+        } else {
+            self.slo_violations.load(Ordering::Relaxed) as f64 / done as f64
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let q =
+            |p: f64| self.latency.quantile_secs(p).map(JsonValue::from).unwrap_or(JsonValue::Null);
+        JsonValue::obj([
+            ("ok", JsonValue::from(self.ok.load(Ordering::Relaxed))),
+            ("timed_out", JsonValue::from(self.timed_out.load(Ordering::Relaxed))),
+            ("slo_violations", JsonValue::from(self.slo_violations.load(Ordering::Relaxed))),
+            ("busy_predicted", JsonValue::from(self.busy_predicted.load(Ordering::Relaxed))),
+            ("slo_violation_rate", JsonValue::from(self.slo_violation_rate())),
+            ("p50_secs", q(0.50)),
+            ("p95_secs", q(0.95)),
+            ("p99_secs", q(0.99)),
+        ])
+    }
+}
+
 /// All live counters one server instance keeps.
 #[derive(Default)]
 pub struct ServeStats {
     /// Predict-path counters.
     pub predict: RequestStats,
+    /// Predict-path counters split by request class, indexed by
+    /// [`RequestClass::index`].
+    pub classes: [ClassStats; 2],
     /// Schedule-path counters.
     pub schedule: RequestStats,
     /// Stats-path counters.
@@ -157,6 +233,11 @@ impl ServeStats {
     /// Fresh zeroed stats.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Per-class predict counters for one class.
+    pub fn class(&self, class: RequestClass) -> &ClassStats {
+        &self.classes[class.index()]
     }
 
     /// Records one scheduling decision.
@@ -228,8 +309,11 @@ impl ServeStats {
             })
             .collect::<Vec<_>>();
         let aggregate = kernel_json(&self.aggregate_kernels(registry));
+        let classes =
+            JsonValue::obj(RequestClass::ALL.map(|c| (c.name(), self.class(c).to_json())));
         JsonValue::obj([
             ("predict", self.predict.to_json()),
+            ("classes", classes),
             ("schedule", self.schedule.to_json()),
             ("stats", self.stats.to_json()),
             ("queues", JsonValue::Arr(queues)),
@@ -324,6 +408,9 @@ mod tests {
 
         let stats = ServeStats::new();
         stats.predict.record_ok(Duration::from_micros(120));
+        stats.class(RequestClass::Interactive).record_ok(Duration::from_micros(120), false);
+        stats.class(RequestClass::Batch).record_ok(Duration::from_millis(4), true);
+        stats.class(RequestClass::Batch).record_timeout();
         stats.record_decision(Format::Csr);
         let json = stats.snapshot_json(&registry, &[("predict:m".into(), 3)]);
         let hist = parse_block_hist(&json).unwrap();
@@ -334,6 +421,26 @@ mod tests {
             doc.get("queues").unwrap().as_arr().unwrap()[0].get("depth").unwrap().as_u64(),
             Some(3)
         );
+        let classes = doc.get("classes").unwrap();
+        let interactive = classes.get("interactive").unwrap();
+        assert_eq!(interactive.get("slo_violation_rate").unwrap().as_f64(), Some(0.0));
+        let batch = classes.get("batch").unwrap();
+        assert_eq!(batch.get("slo_violations").unwrap().as_u64(), Some(2));
+        assert_eq!(batch.get("slo_violation_rate").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn class_stats_violation_accounting() {
+        let c = ClassStats::default();
+        assert_eq!(c.slo_violation_rate(), 0.0, "no completions, no rate");
+        c.record_ok(Duration::from_micros(50), false);
+        c.record_ok(Duration::from_micros(900), true);
+        c.record_timeout();
+        c.record_busy_predicted();
+        assert_eq!(c.completed(), 3);
+        assert!((c.slo_violation_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.busy_predicted.load(Ordering::Relaxed), 1);
+        assert_eq!(c.latency.count(), 2, "timeouts have no service latency");
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! Property tests for the wire protocol: arbitrary messages round-trip
-//! bit-exactly, and corrupted frames (truncations, lying counts, oversized
-//! prefixes) are rejected with a [`ProtoError`], never a panic or an
-//! attacker-sized allocation.
+//! bit-exactly, v1 frames cross-decode into the documented v2 downgrade,
+//! and corrupted frames (truncations, lying counts, oversized prefixes)
+//! are rejected with a [`ProtoError`], never a panic or an attacker-sized
+//! allocation.
 
 use dls_serve::proto::{
-    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    Request, Response, MAX_FRAME,
+    decode_request, decode_request_versioned, decode_response, encode_request,
+    encode_request_version, encode_response, encode_response_version, read_frame, write_frame,
+    Request, RequestClass, Response, MAX_FRAME, PROTO_V1, PROTO_VERSION,
 };
 use dls_sparse::SparseVec;
 use proptest::prelude::*;
@@ -36,9 +38,28 @@ fn arb_name() -> impl Strategy<Value = String> {
     ]
 }
 
+fn arb_class() -> impl Strategy<Value = RequestClass> {
+    prop_oneof![Just(RequestClass::Interactive), Just(RequestClass::Batch)]
+}
+
+fn arb_predict() -> impl Strategy<Value = Request> {
+    (
+        arb_name(),
+        0u32..100_000,
+        arb_class(),
+        0u32..10_000_000,
+        proptest::collection::vec(arb_sparse(), 0..6),
+    )
+        .prop_map(|(model, deadline_ms, class, slo_us, vectors)| Request::Predict {
+            model,
+            deadline_ms,
+            class,
+            slo_us,
+            vectors,
+        })
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
-    let predict = (arb_name(), 0u32..100_000, proptest::collection::vec(arb_sparse(), 0..6))
-        .prop_map(|(model, deadline_ms, vectors)| Request::Predict { model, deadline_ms, vectors });
     let schedule = (
         arb_name(),
         1u64..64,
@@ -51,7 +72,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
             cols,
             entries: raw.into_iter().map(|(r, c, v)| (r % rows, c % cols, f64::from(v))).collect(),
         });
-    prop_oneof![predict, schedule, Just(Request::Stats), Just(Request::Shutdown)]
+    prop_oneof![arb_predict(), schedule, Just(Request::Stats), Just(Request::Shutdown)]
 }
 
 fn arb_response() -> impl Strategy<Value = Response> {
@@ -75,30 +96,75 @@ fn arb_response() -> impl Strategy<Value = Response> {
     ]
 }
 
+/// What a v1 wire trip preserves of a request: `Predict` drops class and
+/// SLO (decoding as interactive / SLO 0); everything else is unchanged.
+fn v1_downgrade(req: &Request) -> Request {
+    match req {
+        Request::Predict { model, deadline_ms, vectors, .. } => Request::Predict {
+            model: model.clone(),
+            deadline_ms: *deadline_ms,
+            class: RequestClass::Interactive,
+            slo_us: 0,
+            vectors: vectors.clone(),
+        },
+        other => other.clone(),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
-    /// encode → decode is the identity for every request.
+    /// encode → decode is the identity for every request, and the decoder
+    /// reports the current version.
     #[test]
     fn requests_round_trip(req in arb_request()) {
         let payload = encode_request(&req);
-        prop_assert_eq!(decode_request(&payload).unwrap(), req);
+        prop_assert_eq!(decode_request(&payload).unwrap(), req.clone());
+        let (version, decoded) = decode_request_versioned(&payload).unwrap();
+        prop_assert_eq!(version, PROTO_VERSION);
+        prop_assert_eq!(decoded, req);
     }
 
-    /// encode → decode is the identity for every response.
+    /// A v1 encoding of any request decodes as the documented downgrade,
+    /// flagged with the legacy version — the cross-version compatibility
+    /// contract.
+    #[test]
+    fn v1_requests_cross_decode(req in arb_request()) {
+        let payload = encode_request_version(&req, PROTO_V1);
+        let (version, decoded) = decode_request_versioned(&payload).unwrap();
+        prop_assert_eq!(version, PROTO_V1);
+        prop_assert_eq!(decoded, v1_downgrade(&req));
+    }
+
+    /// Class and SLO survive a v2 wire trip exactly (the fields v1 cannot
+    /// carry).
+    #[test]
+    fn v2_predicts_preserve_class_and_slo(req in arb_predict()) {
+        let (_, decoded) = decode_request_versioned(&encode_request(&req)).unwrap();
+        prop_assert_eq!(decoded, req);
+    }
+
+    /// encode → decode is the identity for every response, at both
+    /// protocol versions (responses are version-stable).
     #[test]
     fn responses_round_trip(resp in arb_response()) {
-        let payload = encode_response(&resp);
-        prop_assert_eq!(decode_response(&payload).unwrap(), resp);
+        prop_assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp.clone());
+        let v1 = encode_response_version(&resp, PROTO_V1);
+        prop_assert_eq!(decode_response(&v1).unwrap(), resp);
     }
 
     /// Every strict prefix of a valid request payload is rejected cleanly
-    /// (no panic, no accept).
+    /// (no panic, no accept) — at both versions.
     #[test]
     fn truncated_requests_are_rejected(req in arb_request()) {
-        let payload = encode_request(&req);
-        for cut in 0..payload.len() {
-            prop_assert!(decode_request(&payload[..cut]).is_err(), "prefix {} accepted", cut);
+        for version in [PROTO_V1, PROTO_VERSION] {
+            let payload = encode_request_version(&req, version);
+            for cut in 0..payload.len() {
+                prop_assert!(
+                    decode_request_versioned(&payload[..cut]).is_err(),
+                    "v{} prefix {} accepted", version, cut
+                );
+            }
         }
     }
 
@@ -136,9 +202,17 @@ fn oversized_length_prefix_is_refused_before_reading() {
 fn lying_interior_count_cannot_oversize_an_allocation() {
     // A Predict payload whose vector count claims far more elements than
     // the frame carries must fail before allocating for them.
-    let mut payload =
-        encode_request(&Request::Predict { model: "m".into(), deadline_ms: 0, vectors: vec![] });
-    let count_at = payload.len() - 4;
-    payload[count_at..].copy_from_slice(&u32::MAX.to_le_bytes());
-    assert!(decode_request(&payload).is_err());
+    let req = Request::Predict {
+        model: "m".into(),
+        deadline_ms: 0,
+        class: RequestClass::Interactive,
+        slo_us: 0,
+        vectors: vec![],
+    };
+    for version in [PROTO_V1, PROTO_VERSION] {
+        let mut payload = encode_request_version(&req, version);
+        let count_at = payload.len() - 4;
+        payload[count_at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_request_versioned(&payload).is_err(), "v{version} accepted a lying count");
+    }
 }

@@ -11,7 +11,8 @@
 use dls_core::LayoutScheduler;
 use dls_serve::stats::parse_block_hist;
 use dls_serve::{
-    start, ModelRegistry, Response, ServeClient, ServedModel, ServerConfig, ServerHandle,
+    start, ModelRegistry, PredictRequest, Response, ScheduleRequest, ServeClient, ServedModel,
+    ServerConfig, ServerHandle,
 };
 use dls_sparse::SparseVec;
 use dls_svm::{KernelKind, SvmModel};
@@ -43,6 +44,32 @@ fn serve(config: ServerConfig) -> ServerHandle {
     let registry =
         ModelRegistry::new().with(ServedModel::new("m", test_model(), &LayoutScheduler::new()));
     start(registry, LayoutScheduler::new(), config).expect("bind loopback")
+}
+
+/// Sends one predict through the builder API (deadline 0 = server-default
+/// class SLO).
+fn predict(
+    c: &mut ServeClient,
+    model: &str,
+    vectors: Vec<SparseVec>,
+    deadline_ms: u32,
+) -> Response {
+    let mut b = PredictRequest::builder(model).vectors(vectors);
+    if deadline_ms > 0 {
+        b = b.deadline(Duration::from_millis(u64::from(deadline_ms)));
+    }
+    c.send(&b.build()).expect("predict")
+}
+
+fn schedule(
+    c: &mut ServeClient,
+    strategy: &str,
+    rows: u64,
+    cols: u64,
+    entries: Vec<(u64, u64, f64)>,
+) -> Response {
+    c.send(&ScheduleRequest::builder(rows, cols).strategy(strategy).entries(entries).build())
+        .expect("schedule")
 }
 
 /// Polls the predict queue depth via the wire Stats endpoint until it
@@ -85,7 +112,7 @@ fn concurrent_singles_coalesce_and_match_per_vector_predict() {
         .map(|i| {
             std::thread::spawn(move || {
                 let mut c = ServeClient::connect(addr).expect("connect");
-                (i, c.predict("m", vec![query(i)], 0).expect("predict"))
+                (i, predict(&mut c, "m", vec![query(i)], 0))
             })
         })
         .collect();
@@ -135,7 +162,7 @@ fn full_queue_refuses_with_busy_immediately() {
         .map(|i| {
             std::thread::spawn(move || {
                 let mut c = ServeClient::connect(addr).expect("connect");
-                c.predict("m", vec![query(i)], 0).expect("predict")
+                predict(&mut c, "m", vec![query(i)], 0)
             })
         })
         .collect();
@@ -145,7 +172,7 @@ fn full_queue_refuses_with_busy_immediately() {
     // queued wait.
     let mut c = ServeClient::connect(addr).expect("connect");
     let started = Instant::now();
-    let resp = c.predict("m", vec![query(9)], 0).expect("predict");
+    let resp = predict(&mut c, "m", vec![query(9)], 0);
     assert_eq!(resp, Response::Busy);
     assert!(started.elapsed() < Duration::from_secs(2), "Busy reply was not immediate");
 
@@ -166,12 +193,22 @@ fn requests_queued_past_their_deadline_time_out() {
     handle.executor().pause(true);
     let waiter = std::thread::spawn(move || {
         let mut c = ServeClient::connect(addr).expect("connect");
-        c.predict("m", vec![query(0)], 1).expect("predict")
+        // 10 ms clears the admission projection (gather + one tiny sweep)
+        // but lapses while the pool stays parked below.
+        predict(&mut c, "m", vec![query(0)], 10)
     });
     wait_for_depth(addr, 1);
-    std::thread::sleep(Duration::from_millis(20)); // sail past the 1 ms deadline
+    std::thread::sleep(Duration::from_millis(30)); // sail past the 10 ms deadline
     handle.executor().pause(false);
     assert_eq!(waiter.join().expect("join"), Response::TimedOut);
+
+    // The miss is on the interactive class's SLO ledger.
+    let mut c = ServeClient::connect(addr).expect("connect");
+    let doc = dls_core::json::parse(&c.stats().expect("stats")).expect("valid stats json");
+    let interactive = doc.get("classes").and_then(|c| c.get("interactive")).expect("class stats");
+    assert_eq!(interactive.get("slo_violations").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(interactive.get("slo_violation_rate").and_then(|v| v.as_f64()), Some(1.0));
+    drop(c);
     handle.shutdown();
 }
 
@@ -183,12 +220,12 @@ fn schedule_and_errors_over_the_wire() {
 
     // A fixed-format strategy is honoured end to end.
     let entries: Vec<(u64, u64, f64)> = (0..8).map(|i| (i % 4, i % 6, 1.0 + i as f64)).collect();
-    match c.schedule("csr", 4, 6, entries.clone()).expect("schedule") {
+    match schedule(&mut c, "csr", 4, 6, entries.clone()) {
         Response::Scheduled { format, .. } => assert_eq!(format, "CSR"),
         other => panic!("unexpected response {other:?}"),
     }
     // The default scheduler returns a scored decision.
-    match c.schedule("", 4, 6, entries).expect("schedule") {
+    match schedule(&mut c, "", 4, 6, entries) {
         Response::Scheduled { format, scores, .. } => {
             assert!(!format.is_empty());
             assert!(!scores.is_empty());
@@ -197,27 +234,32 @@ fn schedule_and_errors_over_the_wire() {
     }
     // Malformed submissions come back as typed errors, not dropped
     // connections.
-    assert!(matches!(
-        c.schedule("no-such-strategy", 2, 2, vec![]).expect("schedule"),
-        Response::Error(_)
-    ));
-    assert!(matches!(
-        c.schedule("", 2, 2, vec![(5, 0, 1.0)]).expect("schedule"),
-        Response::Error(_)
-    ));
-    assert!(matches!(
-        c.predict("missing-model", vec![query(0)], 0).expect("predict"),
-        Response::Error(_)
-    ));
-    assert!(matches!(
-        c.predict("m", vec![SparseVec::zeros(DIM + 1)], 0).expect("predict"),
-        Response::Error(_)
-    ));
+    assert!(matches!(schedule(&mut c, "no-such-strategy", 2, 2, vec![]), Response::Error(_)));
+    assert!(matches!(schedule(&mut c, "", 2, 2, vec![(5, 0, 1.0)]), Response::Error(_)));
+    assert!(matches!(predict(&mut c, "missing-model", vec![query(0)], 0), Response::Error(_)));
+    assert!(matches!(predict(&mut c, "m", vec![SparseVec::zeros(DIM + 1)], 0), Response::Error(_)));
 
     // The same connection still serves good requests afterwards.
+    assert!(matches!(predict(&mut c, "m", vec![query(1)], 0), Response::Predictions(_)));
+    drop(c);
+    handle.shutdown();
+}
+
+/// The pre-redesign client methods still work (deprecated shims over the
+/// builder API) — existing callers keep compiling and serving.
+#[test]
+#[allow(deprecated)]
+fn deprecated_client_shims_still_serve() {
+    let handle = serve(ServerConfig::default());
+    let mut c = ServeClient::connect(handle.local_addr()).expect("connect");
     assert!(matches!(
-        c.predict("m", vec![query(1)], 0).expect("predict"),
+        c.predict("m", vec![query(2)], 0).expect("predict"),
         Response::Predictions(_)
+    ));
+    let entries: Vec<(u64, u64, f64)> = (0..4).map(|i| (i, i, 1.0)).collect();
+    assert!(matches!(
+        c.schedule("csr", 4, 4, entries).expect("schedule"),
+        Response::Scheduled { .. }
     ));
     drop(c);
     handle.shutdown();
@@ -229,19 +271,17 @@ fn shutdown_frame_drains_gracefully() {
     let addr = handle.local_addr();
 
     let mut c = ServeClient::connect(addr).expect("connect");
-    assert!(matches!(
-        c.predict("m", vec![query(3)], 0).expect("predict"),
-        Response::Predictions(_)
-    ));
+    assert!(matches!(predict(&mut c, "m", vec![query(3)], 0), Response::Predictions(_)));
     assert_eq!(c.shutdown().expect("shutdown"), Response::ShuttingDown);
     // Requests after the shutdown ack are refused, not dropped.
-    assert_eq!(c.predict("m", vec![query(4)], 0).expect("predict"), Response::ShuttingDown);
+    assert_eq!(predict(&mut c, "m", vec![query(4)], 0), Response::ShuttingDown);
     drop(c);
 
     assert!(handle.is_shutting_down());
     handle.shutdown(); // performs the drain; idempotent with join()
 
     // The acceptor is gone: fresh connections cannot reach the service.
-    let gone = ServeClient::connect(addr).and_then(|mut c| c.predict("m", vec![query(5)], 0));
+    let gone = ServeClient::connect(addr)
+        .and_then(|mut c| c.send(&PredictRequest::builder("m").vector(query(5)).build()));
     assert!(gone.is_err(), "server still serving after drain");
 }

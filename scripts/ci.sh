@@ -23,8 +23,16 @@ cargo run --release -q --bin dls -- schedule @trefethen "learned:$model"
 echo "==> bench smoke (criterion --test mode, one pass, no statistics)"
 cargo bench -q -p dls-bench --bench smsv_block -- --test
 
-echo "==> serve smoke (predict/schedule/stats over loopback + graceful drain)"
-cargo run --release -q -p dls-bench --bin repro_serve -- --smoke
+echo "==> serve smoke (predict/schedule/stats over loopback + graceful drain, per discipline)"
+for discipline in fifo priority slo; do
+  out="$(cargo run --release -q -p dls-bench --bin repro_serve -- --smoke --discipline "$discipline")"
+  echo "$out"
+  # The stats snapshot must expose per-class SLO accounting.
+  echo "$out" | grep -q "slo_violation_rate interactive=" \
+    || { echo "serve smoke ($discipline): missing interactive slo_violation_rate" >&2; exit 1; }
+  echo "$out" | grep -q "slo_violation_rate batch=" \
+    || { echo "serve smoke ($discipline): missing batch slo_violation_rate" >&2; exit 1; }
+done
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

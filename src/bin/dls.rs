@@ -14,6 +14,7 @@
 //!                                                   decisions across runs
 //! dls scale     <in.libsvm> <out.libsvm> [01|pm1]   feature scaling
 //! dls serve     [addr] [--models a,b]               host quick-trained models
+//!               [--discipline fifo|priority|slo]    (queue discipline, default slo)
 //!                                                   behind the batching
 //!                                                   inference service
 //! dls stats     --serve <addr>                      live telemetry snapshot
@@ -254,6 +255,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .and_then(|i| args.get(i + 1))
         .map(|s| s.split(',').map(str::to_string).collect())
         .unwrap_or_else(|| vec!["adult".to_string(), "mnist".to_string()]);
+    let discipline = args
+        .iter()
+        .position(|a| a == "--discipline")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("slo");
+    let discipline = dls::serve::parse_discipline(discipline)?;
 
     let scheduler = LayoutScheduler::new();
     let mut registry = dls::serve::ModelRegistry::new();
@@ -268,10 +276,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         registry.insert(served);
     }
 
-    let config = dls::serve::ServerConfig { addr, ..Default::default() };
+    let executor = dls::serve::ExecutorConfig { discipline, ..Default::default() };
+    let config = dls::serve::ServerConfig { addr, executor };
     let handle = dls::serve::start(registry, LayoutScheduler::new(), config)
         .map_err(|e| format!("bind: {e}"))?;
-    println!("listening on {}", handle.local_addr());
+    println!(
+        "listening on {} (queue discipline: {})",
+        handle.local_addr(),
+        handle.executor().discipline().name()
+    );
     println!("telemetry: dls stats --serve {}", handle.local_addr());
     println!("stop:      a client Shutdown frame (ServeClient::shutdown) drains and exits");
     handle.join();
