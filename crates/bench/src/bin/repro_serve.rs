@@ -17,6 +17,13 @@
 //!    `fifo` under the same flood. Predictive admission is off for these
 //!    cells so every miss is *measured* as a violation instead of being
 //!    refused at the door.
+//! 3. **Brown-out** — the same overload (heavier flood, FIFO so the queue
+//!    discipline cannot rescue anyone) with the brown-out controller off
+//!    vs on. With it on, sustained interactive SLO violations trip the
+//!    controller: batch work sheds with `Busy`, the gather window
+//!    shrinks, and admission falls back to the pessimistic analytic
+//!    estimator — interactive compliance should measurably recover at
+//!    the cost of batch throughput.
 //!
 //! Usage: `repro_serve [secs_per_cell] [out.json]` (defaults: 0.4,
 //! `BENCH_serve.json`), or `repro_serve --smoke [--discipline NAME]` for
@@ -31,8 +38,8 @@ use dls_core::LayoutScheduler;
 use dls_data::labels::linear_teacher_labels;
 use dls_data::{generate, DatasetSpec};
 use dls_serve::{
-    parse_discipline, ExecutorConfig, ModelRegistry, PredictRequest, RequestClass, Response,
-    ScheduleRequest, ServeClient, ServedModel, ServerConfig, ServerHandle, DISCIPLINES,
+    parse_discipline, BrownoutConfig, ExecutorConfig, ModelRegistry, PredictRequest, RequestClass,
+    Response, ScheduleRequest, ServeClient, ServedModel, ServerConfig, ServerHandle, DISCIPLINES,
 };
 use dls_sparse::{CsrMatrix, MatrixFormat, SparseVec, MAX_SMSV_BLOCK};
 use dls_svm::smo::{train, SmoParams};
@@ -207,6 +214,11 @@ fn class_outcome(doc: &JsonValue, class: RequestClass) -> ClassOutcome {
 
 /// The interactive SLO the mixed cells are graded against.
 const MIXED_INTERACTIVE_SLO: Duration = Duration::from_millis(2);
+/// The tighter SLO for the brown-out cells: comfortably achievable when
+/// batch work yields (the priority row's interactive p95 sits well under
+/// it) but badly missed under a FIFO flood — exactly the regime the
+/// controller exists for.
+const BROWNOUT_INTERACTIVE_SLO: Duration = Duration::from_micros(500);
 /// Vectors per batch-class request in the mixed cells.
 const MIXED_BATCH_WEIGHT: usize = 32;
 
@@ -306,6 +318,124 @@ fn run_mixed_cell(hosted: &[Hosted], discipline: &'static str, secs: f64) -> Mix
     }
 }
 
+struct BrownoutResult {
+    enabled: bool,
+    interactive: ClassOutcome,
+    batch: ClassOutcome,
+    batch_req_per_s: f64,
+    brownout_entries: u64,
+    batch_shed: u64,
+}
+
+/// One brown-out cell: the mixed overload again, but heavier and under
+/// FIFO (so the discipline cannot rescue interactive work), with the
+/// brown-out controller off or on.
+fn run_brownout_cell(hosted: &[Hosted], enabled: bool, secs: f64) -> BrownoutResult {
+    let executor = ExecutorConfig {
+        max_block: MIXED_BATCH_WEIGHT,
+        gather: Duration::from_micros(200),
+        discipline: parse_discipline("fifo").expect("known discipline"),
+        predictive_admission: false,
+        brownout: BrownoutConfig {
+            enabled,
+            // Short cells need a snappy controller: a small decision
+            // window and dwell so it can engage within the run.
+            window: 32,
+            min_dwell: Duration::from_millis(10),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let handle = start_server(hosted, executor);
+    let addr = handle.local_addr();
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(secs);
+    let h = &hosted[0];
+
+    // A heavier flood than the discipline cells: the point is sustained
+    // overload the controller must dig out of.
+    let batch_clients: Vec<_> = (0..8)
+        .map(|c| {
+            let (model_name, queries) = (h.name, h.queries.clone());
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                let mut sent = 0u64;
+                let mut k = c;
+                while Instant::now() < deadline {
+                    let vs: Vec<SparseVec> = (0..MIXED_BATCH_WEIGHT)
+                        .map(|j| queries[(k + j) % queries.len()].clone())
+                        .collect();
+                    k += MIXED_BATCH_WEIGHT;
+                    let req = PredictRequest::builder(model_name)
+                        .vectors(vs)
+                        .class(RequestClass::Batch)
+                        .build();
+                    match client.send(&req).expect("predict") {
+                        Response::Predictions(_) | Response::TimedOut => sent += 1,
+                        // Both queue-full refusals and brown-out sheds
+                        // land here; back off briefly either way.
+                        Response::Busy => std::thread::sleep(Duration::from_micros(200)),
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+                sent
+            })
+        })
+        .collect();
+
+    let interactive_clients: Vec<_> = (0..2)
+        .map(|c| {
+            let (model_name, queries) = (h.name, h.queries.clone());
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                let mut k = c;
+                while Instant::now() < deadline {
+                    let q = queries[k % queries.len()].clone();
+                    k += 1;
+                    let req = PredictRequest::builder(model_name)
+                        .vector(q)
+                        .class(RequestClass::Interactive)
+                        .slo(BROWNOUT_INTERACTIVE_SLO)
+                        .build();
+                    match client.send(&req).expect("predict") {
+                        Response::Predictions(_) | Response::TimedOut => {}
+                        Response::Busy => std::thread::sleep(Duration::from_micros(200)),
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                    std::thread::sleep(Duration::from_micros(300));
+                }
+            })
+        })
+        .collect();
+
+    let mut batch_ok = 0u64;
+    for c in batch_clients {
+        batch_ok += c.join().expect("batch client");
+    }
+    for c in interactive_clients {
+        c.join().expect("interactive client");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut c = ServeClient::connect(addr).expect("connect");
+    let doc = dls_core::json::parse(&c.stats().expect("stats")).expect("valid stats json");
+    drop(c);
+    handle.shutdown();
+
+    let degrade = |key: &str| {
+        doc.get("degradation").and_then(|d| d.get(key)).and_then(JsonValue::as_u64).unwrap_or(0)
+    };
+    BrownoutResult {
+        enabled,
+        interactive: class_outcome(&doc, RequestClass::Interactive),
+        batch: class_outcome(&doc, RequestClass::Batch),
+        batch_req_per_s: batch_ok as f64 / elapsed,
+        brownout_entries: degrade("brownout_entries"),
+        batch_shed: degrade("batch_shed"),
+    }
+}
+
 /// CI smoke: one of everything over real sockets under the named queue
 /// discipline, then a graceful shutdown triggered by the wire `Shutdown`
 /// frame.
@@ -348,6 +478,26 @@ fn smoke(discipline: &str) {
             .and_then(JsonValue::as_f64)
             .unwrap_or_else(|| panic!("stats JSON lacks classes.{class}.slo_violation_rate"));
         println!("# slo_violation_rate {class}={rate}");
+    }
+    // The robustness counters must be on the wire even on a healthy,
+    // fault-free server: a `faults` section, a `degradation` section, and
+    // an answering Health endpoint.
+    for (section, key) in [("faults", "injected"), ("degradation", "brownout_entries")] {
+        doc.get(section)
+            .and_then(|s| s.get(key))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("stats JSON lacks {section}.{key}"));
+    }
+    match c.request(&dls_serve::Request::Health).expect("health") {
+        Response::Health(json) => {
+            let h = dls_core::json::parse(&json).expect("health endpoint returned invalid JSON");
+            let status = h
+                .get("status")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_else(|| panic!("health JSON lacks status"));
+            println!("# stats sections faults+degradation exposed, health status={status}");
+        }
+        other => panic!("unexpected health response {other:?}"),
     }
     assert_eq!(c.shutdown().expect("shutdown"), Response::ShuttingDown);
     drop(c);
@@ -434,6 +584,46 @@ fn main() {
         );
     }
 
+    println!(
+        "\n{:<9} {:>7} {:>9} {:>10} {:>10} {:>9} {:>9} {:>12}",
+        "brownout",
+        "int ok",
+        "int viol",
+        "viol rate",
+        "int p95ms",
+        "entries",
+        "shed",
+        "batch req/s"
+    );
+    let mut brownout = Vec::new();
+    for enabled in [false, true] {
+        let r = run_brownout_cell(&hosted, enabled, secs);
+        println!(
+            "{:<9} {:>7} {:>9} {:>10.3} {:>10.3} {:>9} {:>9} {:>12.0}",
+            if r.enabled { "on" } else { "off" },
+            r.interactive.ok,
+            r.interactive.slo_violations,
+            r.interactive.violation_rate,
+            r.interactive.p95_secs.map_or(f64::NAN, |s| s * 1e3),
+            r.brownout_entries,
+            r.batch_shed,
+            r.batch_req_per_s,
+        );
+        brownout.push(r);
+    }
+    if let [off, on] = &brownout[..] {
+        println!(
+            "# interactive SLO violation rate under overload: off={:.3} on={:.3} ({})",
+            off.interactive.violation_rate,
+            on.interactive.violation_rate,
+            if on.interactive.violation_rate < off.interactive.violation_rate {
+                "brown-out restores compliance"
+            } else {
+                "NO IMPROVEMENT — investigate"
+            }
+        );
+    }
+
     let class_json = |o: &ClassOutcome| {
         JsonValue::obj([
             ("ok", JsonValue::from(o.ok)),
@@ -471,6 +661,19 @@ fn main() {
             ])
         })
         .collect();
+    let brownout_rows: Vec<JsonValue> = brownout
+        .iter()
+        .map(|r| {
+            JsonValue::obj([
+                ("brownout", JsonValue::from(r.enabled)),
+                ("interactive", class_json(&r.interactive)),
+                ("batch", class_json(&r.batch)),
+                ("batch_req_per_s", JsonValue::from(r.batch_req_per_s)),
+                ("brownout_entries", JsonValue::from(r.brownout_entries)),
+                ("batch_shed", JsonValue::from(r.batch_shed)),
+            ])
+        })
+        .collect();
     let doc = JsonValue::obj([
         ("models", JsonValue::arr(hosted.iter().map(|h| JsonValue::from(h.name)))),
         ("secs_per_cell", JsonValue::from(secs)),
@@ -481,6 +684,14 @@ fn main() {
                 ("interactive_slo_secs", JsonValue::from(MIXED_INTERACTIVE_SLO.as_secs_f64())),
                 ("batch_request_weight", JsonValue::from(MIXED_BATCH_WEIGHT)),
                 ("results", JsonValue::Arr(mixed_rows)),
+            ]),
+        ),
+        (
+            "brownout",
+            JsonValue::obj([
+                ("interactive_slo_secs", JsonValue::from(BROWNOUT_INTERACTIVE_SLO.as_secs_f64())),
+                ("batch_request_weight", JsonValue::from(MIXED_BATCH_WEIGHT)),
+                ("results", JsonValue::Arr(brownout_rows)),
             ]),
         ),
     ]);

@@ -30,15 +30,106 @@
 //! v1 for compatibility testing against old servers (class and SLO are
 //! then dropped from `Predict` frames — the server treats such requests
 //! as interactive with the legacy deadline).
+//!
+//! Failures are typed: [`ServeClient::try_request`] returns a
+//! [`ClientError`] that distinguishes a lost connection from a timeout
+//! from a protocol violation, and says which of those are worth retrying.
+//! [`RetryClient`] builds on that: it reconnects on connection loss and
+//! retries retryable failures with seeded, jittered exponential backoff
+//! under a per-client retry budget.
 
+use crate::fault::SplitMix64;
 use crate::proto::{
-    decode_response, encode_request_version, read_frame, write_frame, Request, RequestClass,
-    Response, ACCEPTED_VERSIONS, PROTO_VERSION,
+    decode_response, encode_request_version, proto_error_of, read_frame, write_frame, ProtoError,
+    Request, RequestClass, Response, ACCEPTED_VERSIONS, PROTO_VERSION,
 };
 use dls_sparse::SparseVec;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, ErrorKind};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Why a request failed, and whether trying again can help.
+///
+/// Returned by [`ServeClient::try_request`]. The coarse
+/// [`ServeClient::request`] flattens these back into `std::io::Error`
+/// (with the `ClientError` attached as the error source) for callers that
+/// do not care about the distinction.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The TCP connection died mid-request: broken pipe, reset, or the
+    /// server closed the socket before (or while) sending the response.
+    /// Retryable — reconnect and resend.
+    ConnectionLost(String),
+    /// The socket read timed out waiting for the response. Retryable.
+    Timeout,
+    /// A frame exceeded [`crate::proto::MAX_FRAME_LEN`] (ours outbound,
+    /// or the server's inbound refusal). Not retryable: the same request
+    /// will be refused again.
+    FrameTooLarge(usize),
+    /// The response arrived but did not decode; the stream can no longer
+    /// be trusted to be frame-aligned. Not retryable on this connection.
+    Protocol(String),
+    /// Any other I/O failure. Not retryable by default.
+    Io(std::io::Error),
+}
+
+impl ClientError {
+    /// Whether a reconnect-and-resend has a chance of succeeding.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ClientError::ConnectionLost(_) | ClientError::Timeout)
+    }
+
+    /// Classifies a raw I/O failure from the socket.
+    fn from_io(err: std::io::Error, during: &str) -> Self {
+        if let Some(ProtoError::FrameTooLarge(len)) = proto_error_of(&err) {
+            return ClientError::FrameTooLarge(*len);
+        }
+        match err.kind() {
+            ErrorKind::BrokenPipe
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::NotConnected
+            | ErrorKind::UnexpectedEof => ClientError::ConnectionLost(format!("{during}: {err}")),
+            ErrorKind::TimedOut | ErrorKind::WouldBlock => ClientError::Timeout,
+            _ => ClientError::Io(err),
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::ConnectionLost(what) => write!(f, "connection lost ({what})"),
+            ClientError::Timeout => write!(f, "timed out waiting for the response"),
+            ClientError::FrameTooLarge(len) => {
+                write!(f, "frame of {len} bytes exceeds the protocol limit")
+            }
+            ClientError::Protocol(what) => write!(f, "protocol error: {what}"),
+            ClientError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClientError> for std::io::Error {
+    fn from(err: ClientError) -> Self {
+        let kind = match &err {
+            ClientError::ConnectionLost(_) => ErrorKind::ConnectionReset,
+            ClientError::Timeout => ErrorKind::TimedOut,
+            ClientError::FrameTooLarge(_) | ClientError::Protocol(_) => ErrorKind::InvalidData,
+            ClientError::Io(e) => e.kind(),
+        };
+        std::io::Error::new(kind, err)
+    }
+}
 
 /// A typed predict request: which model, which vectors, and how urgent.
 ///
@@ -246,17 +337,33 @@ impl ServeClient {
         self.reader.get_ref().set_read_timeout(timeout)
     }
 
-    /// Sends one raw request and waits for its response.
-    pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
-        write_frame(&mut self.writer, &encode_request_version(req, self.version))?;
-        match read_frame(&mut self.reader)? {
-            Some(payload) => decode_response(&payload)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())),
-            None => Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection mid-request",
+    /// Sends one raw request and waits for its response, with failures
+    /// classified as [`ClientError`]s. A broken pipe, reset, or short
+    /// read mid-response surfaces as [`ClientError::ConnectionLost`]
+    /// (retryable on a fresh connection); a garbled response surfaces as
+    /// [`ClientError::Protocol`] (this connection is no longer
+    /// frame-aligned and should be dropped).
+    pub fn try_request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &encode_request_version(req, self.version))
+            .map_err(|e| ClientError::from_io(e, "sending the request"))?;
+        match read_frame(&mut self.reader)
+            .map_err(|e| ClientError::from_io(e, "reading the response"))?
+        {
+            Some(payload) => {
+                decode_response(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+            }
+            None => Err(ClientError::ConnectionLost(
+                "server closed the connection mid-request".to_string(),
             )),
         }
+    }
+
+    /// Sends one raw request and waits for its response. Equivalent to
+    /// [`ServeClient::try_request`] with the typed error flattened into
+    /// `std::io::Error` (the [`ClientError`] rides along as the error's
+    /// inner source).
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
+        self.try_request(req).map_err(std::io::Error::from)
     }
 
     /// Sends a built request ([`PredictRequest`] or [`ScheduleRequest`])
@@ -312,6 +419,193 @@ impl ServeClient {
     /// Asks the server to drain and exit.
     pub fn shutdown(&mut self) -> std::io::Result<Response> {
         self.request(&Request::Shutdown)
+    }
+}
+
+/// Retry shaping for [`RetryClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries per request, including the first (so `1` = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Retries remaining across the *whole client lifetime*. A budget
+    /// stops a persistent outage from multiplying every request by
+    /// `max_attempts` forever; once spent, failures surface immediately.
+    pub retry_budget: u32,
+    /// Whether a typed [`Response::Busy`] is retried like a transient
+    /// failure (the server sheds batch work with `Busy` during brown-out,
+    /// so batch callers usually want this).
+    pub retry_busy: bool,
+    /// Seed for backoff jitter; fixed seed = reproducible schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(500),
+            retry_budget: 64,
+            retry_busy: true,
+            seed: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry number `retry` (1-based):
+    /// exponential doubling capped at [`RetryPolicy::max_backoff`], then
+    /// scaled into `[50%, 100%]` so synchronized clients decorrelate.
+    fn backoff(&self, retry: u32, rng: &mut SplitMix64) -> Duration {
+        let exp = self.base_backoff.saturating_mul(1u32 << retry.saturating_sub(1).min(20));
+        let capped = exp.min(self.max_backoff);
+        capped.mul_f64(0.5 + 0.5 * rng.next_f64())
+    }
+}
+
+/// A self-healing client: reconnects on connection loss and retries
+/// retryable failures under a [`RetryPolicy`].
+///
+/// Wraps the same wire protocol as [`ServeClient`] but holds the server
+/// address, so a dead connection is an event to recover from rather than
+/// the end of the client. Only failures that [`ClientError::is_retryable`]
+/// (and optionally [`Response::Busy`]) are retried; protocol violations
+/// and oversized frames fail fast, since resending cannot fix them.
+pub struct RetryClient {
+    addr: String,
+    policy: RetryPolicy,
+    version: u8,
+    read_timeout: Option<Duration>,
+    rng: SplitMix64,
+    budget_left: u32,
+    conn: Option<ServeClient>,
+}
+
+impl RetryClient {
+    /// Creates a client for `addr` with the default policy. Connection is
+    /// lazy — the first request dials (and benefits from retry if the
+    /// dial itself fails).
+    pub fn connect(addr: impl Into<String>) -> Self {
+        Self::with_policy(addr, RetryPolicy::default())
+    }
+
+    /// Creates a client for `addr` with an explicit policy.
+    pub fn with_policy(addr: impl Into<String>, policy: RetryPolicy) -> Self {
+        let rng = SplitMix64::new(policy.seed);
+        let budget_left = policy.retry_budget;
+        Self {
+            addr: addr.into(),
+            policy,
+            version: PROTO_VERSION,
+            read_timeout: None,
+            rng,
+            budget_left,
+            conn: None,
+        }
+    }
+
+    /// Selects the wire protocol version (applies to the current and all
+    /// future connections).
+    pub fn set_protocol_version(&mut self, version: u8) -> Result<(), String> {
+        if !ACCEPTED_VERSIONS.contains(&version) {
+            return Err(format!("unsupported protocol version {version}"));
+        }
+        self.version = version;
+        if let Some(conn) = &mut self.conn {
+            conn.set_protocol_version(version)?;
+        }
+        Ok(())
+    }
+
+    /// Bounds how long each attempt waits on the socket for its response
+    /// (a stalled read then counts as a retryable [`ClientError::Timeout`]).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
+        if let Some(conn) = &self.conn {
+            conn.set_read_timeout(timeout).ok();
+        }
+    }
+
+    /// Retries left in the lifetime budget.
+    pub fn retries_left(&self) -> u32 {
+        self.budget_left
+    }
+
+    /// Whether a connection is currently held open.
+    pub fn is_connected(&self) -> bool {
+        self.conn.is_some()
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut ServeClient, ClientError> {
+        if self.conn.is_none() {
+            let client = ServeClient::connect(&self.addr)
+                .map_err(|e| ClientError::from_io(e, "connecting"))?;
+            client
+                .set_read_timeout(self.read_timeout)
+                .map_err(|e| ClientError::from_io(e, "configuring the socket"))?;
+            let mut client = client;
+            client.set_protocol_version(self.version).map_err(ClientError::Protocol)?;
+            self.conn = Some(client);
+        }
+        Ok(self.conn.as_mut().expect("connection just established"))
+    }
+
+    /// Sends one raw request, reconnecting and retrying per the policy.
+    /// Returns the last failure once attempts or the budget run out.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let outcome = match self.ensure_connected() {
+                Ok(conn) => conn.try_request(req),
+                Err(e) => Err(e),
+            };
+            let may_retry = attempt < self.policy.max_attempts.max(1) && self.budget_left > 0;
+            match outcome {
+                Ok(Response::Busy) if self.policy.retry_busy && may_retry => {
+                    // The connection is healthy — the server refused the
+                    // work. Keep the socket, wait, resend.
+                    self.budget_left -= 1;
+                    std::thread::sleep(self.policy.backoff(attempt, &mut self.rng));
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) if e.is_retryable() && may_retry => {
+                    // The connection can no longer be trusted (lost, or a
+                    // response may still be in flight after a timeout):
+                    // drop it and redial after the backoff.
+                    self.conn = None;
+                    self.budget_left -= 1;
+                    std::thread::sleep(self.policy.backoff(attempt, &mut self.rng));
+                }
+                Err(e) => {
+                    if matches!(e, ClientError::ConnectionLost(_) | ClientError::Protocol(_)) {
+                        self.conn = None;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Sends a built request ([`PredictRequest`] or [`ScheduleRequest`])
+    /// with retry.
+    pub fn send<R>(&mut self, req: R) -> Result<Response, ClientError>
+    where
+        Request: From<R>,
+    {
+        self.request(&Request::from(req))
+    }
+
+    /// Fetches the telemetry snapshot JSON, with retry.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(json) => Ok(json),
+            other => Err(ClientError::Protocol(format!("expected Stats, got {other:?}"))),
+        }
     }
 }
 
@@ -379,5 +673,78 @@ mod tests {
             }
             other => panic!("unexpected request {other:?}"),
         }
+    }
+
+    #[test]
+    fn client_errors_classify_and_flatten() {
+        for kind in [
+            ErrorKind::BrokenPipe,
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionAborted,
+            ErrorKind::UnexpectedEof,
+        ] {
+            let e = ClientError::from_io(std::io::Error::new(kind, "boom"), "test");
+            assert!(matches!(e, ClientError::ConnectionLost(_)), "{kind:?} -> {e:?}");
+            assert!(e.is_retryable());
+        }
+        let e = ClientError::from_io(std::io::Error::new(ErrorKind::TimedOut, "slow"), "test");
+        assert!(matches!(e, ClientError::Timeout));
+        assert!(e.is_retryable());
+        let e = ClientError::from_io(
+            std::io::Error::new(ErrorKind::InvalidData, ProtoError::FrameTooLarge(99)),
+            "test",
+        );
+        assert!(matches!(e, ClientError::FrameTooLarge(99)));
+        assert!(!e.is_retryable());
+        assert!(!ClientError::Protocol("junk".into()).is_retryable());
+        // Flattening keeps the typed error as the io::Error source.
+        let io: std::io::Error = ClientError::ConnectionLost("gone".into()).into();
+        assert_eq!(io.kind(), ErrorKind::ConnectionReset);
+        assert!(io.get_ref().unwrap().downcast_ref::<ClientError>().is_some());
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters_within_bounds() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(40),
+            ..Default::default()
+        };
+        let mut rng = SplitMix64::new(7);
+        for retry in 1..=8u32 {
+            let nominal =
+                Duration::from_millis((10u64 << (retry - 1)).min(40)).min(policy.max_backoff);
+            for _ in 0..16 {
+                let b = policy.backoff(retry, &mut rng);
+                assert!(b >= nominal.mul_f64(0.5), "retry {retry}: {b:?} under jitter floor");
+                assert!(b <= nominal, "retry {retry}: {b:?} over nominal {nominal:?}");
+            }
+        }
+        // Same seed, same schedule: determinism for reproducible chaos runs.
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let sched_a: Vec<Duration> = (1..5).map(|r| policy.backoff(r, &mut a)).collect();
+        let sched_b: Vec<Duration> = (1..5).map(|r| policy.backoff(r, &mut b)).collect();
+        assert_eq!(sched_a, sched_b);
+    }
+
+    #[test]
+    fn retry_client_exhausts_budget_against_a_dead_address() {
+        // Nothing listens on this port (bound but not accepting is racy;
+        // an unroutable connect on loopback fails fast with refused).
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            retry_budget: 2,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_micros(200),
+            ..Default::default()
+        };
+        let mut client = RetryClient::with_policy("127.0.0.1:1", policy);
+        let err = client.request(&Request::Stats).unwrap_err();
+        // ConnectionRefused is not retryable (nothing is listening), so
+        // the budget stays intact and the error surfaces immediately.
+        assert!(matches!(err, ClientError::Io(_)), "got {err:?}");
+        assert_eq!(client.retries_left(), 2);
+        assert!(!client.is_connected());
     }
 }

@@ -23,17 +23,21 @@
 //! lets workers drain what is queued — both classes — then joins them: no
 //! accepted request is ever dropped without a response.
 
+use crate::brownout::{BrownoutConfig, BrownoutController, BrownoutTransition};
 use crate::discipline::{Decision, DisciplineCtx, QueueDiscipline, SloAware};
-use crate::latency::{calibrate_model, TreeLatencyEstimator};
+use crate::fault::{FaultAction, FaultInjector, FaultSite};
+use crate::latency::{calibrate_model, AnalyticLatencyEstimator, TreeLatencyEstimator};
 use crate::proto::{RequestClass, Response};
 use crate::queue::{ClassedQueue, DrainPlan, JobMeta, PushError};
-use crate::registry::{ModelRegistry, ServedModel};
-use crate::stats::ServeStats;
+use crate::registry::{ModelHealth, ModelRegistry, ServedModel};
+use crate::stats::{FaultCounters, ServeStats};
+use dls_core::json::JsonValue;
 use dls_core::{LayoutScheduler, SelectionStrategy};
 use dls_learn::{featurize, NUM_FEATURES};
 use dls_sparse::{Format, SparseVec, TripletMatrix, MAX_SMSV_BLOCK};
 use dls_svm::PredictWorkspace;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -66,6 +70,11 @@ pub struct ExecutorConfig {
     /// Calibrate a latency estimator at start-up and refuse requests whose
     /// projected completion already misses their deadline.
     pub predictive_admission: bool,
+    /// Brown-out thresholds (overload-triggered partial degradation).
+    pub brownout: BrownoutConfig,
+    /// Fault injection for chaos runs; [`FaultInjector::none`] (the
+    /// default) costs one branch per injection point.
+    pub fault: FaultInjector,
 }
 
 impl std::fmt::Debug for ExecutorConfig {
@@ -79,6 +88,8 @@ impl std::fmt::Debug for ExecutorConfig {
             .field("class_slo", &self.class_slo)
             .field("discipline", &self.discipline.name())
             .field("predictive_admission", &self.predictive_admission)
+            .field("brownout", &self.brownout)
+            .field("fault", &self.fault)
             .finish()
     }
 }
@@ -96,6 +107,8 @@ impl Default for ExecutorConfig {
             class_slo: [Duration::from_secs(5), Duration::from_secs(30)],
             discipline: Arc::new(SloAware),
             predictive_admission: true,
+            brownout: BrownoutConfig::default(),
+            fault: FaultInjector::none(),
         }
     }
 }
@@ -154,6 +167,12 @@ pub struct Executor {
     model_index: HashMap<String, usize>,
     schedule_queue: Arc<ClassedQueue<ScheduleJob>>,
     estimator: Option<TreeLatencyEstimator>,
+    /// The closed-form fallback admission uses while browned out.
+    analytic: AnalyticLatencyEstimator,
+    /// Overload state machine; the atomic mirror below keeps hot paths
+    /// lock-free.
+    brownout: Mutex<BrownoutController>,
+    brownout_active: AtomicBool,
     wake: Arc<WakeSignal>,
     paused: AtomicBool,
     draining: AtomicBool,
@@ -197,6 +216,9 @@ impl Executor {
             lanes,
             model_index,
             estimator,
+            analytic: AnalyticLatencyEstimator::default(),
+            brownout: Mutex::new(BrownoutController::new(config.brownout.clone())),
+            brownout_active: AtomicBool::new(false),
             wake: Arc::new(WakeSignal { seq: Mutex::new(0), cv: Condvar::new() }),
             paused: AtomicBool::new(false),
             draining: AtomicBool::new(false),
@@ -232,10 +254,123 @@ impl Executor {
         &self.config.discipline
     }
 
+    /// The fault injector threaded through the serving path (the server
+    /// front end shares it for the connection I/O sites).
+    pub fn fault(&self) -> &FaultInjector {
+        &self.config.fault
+    }
+
     /// Whether a latency estimator was calibrated (predictive admission
     /// can only fire when this is true).
     pub fn has_estimator(&self) -> bool {
         self.estimator.is_some()
+    }
+
+    /// Whether the brown-out controller is currently shedding load.
+    pub fn is_browned_out(&self) -> bool {
+        self.brownout_active.load(Ordering::Relaxed)
+    }
+
+    /// Fullest predict lane relative to its capacity, in `[0, 1]` — the
+    /// pressure signal the brown-out controller watches.
+    fn queue_pressure(&self) -> f64 {
+        let cap = self.config.queue_capacity.max(1) as f64;
+        self.lanes.iter().map(|l| l.queue.len()).max().unwrap_or(0) as f64 / cap
+    }
+
+    /// The gather window currently in force (shrunk while browned out:
+    /// coalescing trades latency for throughput, and under overload that
+    /// trade is backwards).
+    fn effective_gather(&self) -> Duration {
+        if self.brownout_active.load(Ordering::Relaxed) {
+            self.config.gather / self.config.brownout.gather_divisor.max(1)
+        } else {
+            self.config.gather
+        }
+    }
+
+    fn apply_brownout_transition(&self, t: BrownoutTransition) {
+        match t {
+            BrownoutTransition::None => {}
+            BrownoutTransition::Entered => {
+                self.brownout_active.store(true, Ordering::SeqCst);
+                FaultCounters::bump(&self.stats.degrade.brownout_entries);
+                self.stats.degrade.brownout_active.store(1, Ordering::Relaxed);
+                self.stats.degrade.estimator_analytic.store(1, Ordering::Relaxed);
+            }
+            BrownoutTransition::Exited => {
+                self.brownout_active.store(false, Ordering::SeqCst);
+                FaultCounters::bump(&self.stats.degrade.brownout_exits);
+                self.stats.degrade.brownout_active.store(0, Ordering::Relaxed);
+                self.stats.degrade.estimator_analytic.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Feeds one interactive completion to the brown-out controller.
+    fn brownout_observe(&self, violated: bool) {
+        if !self.config.brownout.enabled {
+            return;
+        }
+        let pressure = self.queue_pressure();
+        let t = self.brownout.lock().expect("brownout poisoned").observe(
+            violated,
+            pressure,
+            Instant::now(),
+        );
+        self.apply_brownout_transition(t);
+    }
+
+    /// Re-evaluates brown-out on queue pressure alone (called at submit,
+    /// so a pressure spike engages shedding even while nothing completes).
+    fn brownout_evaluate(&self) {
+        if !self.config.brownout.enabled {
+            return;
+        }
+        let pressure = self.queue_pressure();
+        let t = self.brownout.lock().expect("brownout poisoned").evaluate(pressure, Instant::now());
+        self.apply_brownout_transition(t);
+    }
+
+    /// Liveness and degradation summary for the `Health` endpoint: overall
+    /// status, brown-out state, the estimator admission currently trusts,
+    /// and every model's rung on the health ladder.
+    pub fn health_json(&self) -> String {
+        let models = self
+            .registry
+            .iter()
+            .map(|served| {
+                JsonValue::obj([
+                    ("model", JsonValue::from(served.name())),
+                    ("health", JsonValue::from(served.health().name())),
+                    ("panics", JsonValue::from(served.panics())),
+                ])
+            })
+            .collect::<Vec<_>>();
+        let degraded = self.registry.iter().any(|s| s.health() != ModelHealth::Healthy);
+        let brownout = self.is_browned_out();
+        let status = if self.draining.load(Ordering::SeqCst) {
+            "draining"
+        } else if brownout || degraded {
+            "degraded"
+        } else {
+            "ok"
+        };
+        let estimator = if brownout {
+            "analytic"
+        } else if self.estimator.is_some() {
+            "tree"
+        } else {
+            "none"
+        };
+        JsonValue::obj([
+            ("status", JsonValue::from(status)),
+            ("brownout", JsonValue::from(brownout)),
+            ("estimator", JsonValue::from(estimator)),
+            ("queue_pressure", JsonValue::from(self.queue_pressure())),
+            ("models", JsonValue::Arr(models)),
+        ])
+        .to_json()
     }
 
     /// Resolves a request's effective deadline: explicit SLO first, then
@@ -268,12 +403,22 @@ impl Executor {
         now: Instant,
         deadline: Instant,
     ) -> bool {
-        let (Some(est), Some(feats)) = (&self.estimator, &lane.feats) else {
+        let Some(feats) = &lane.feats else {
             return false;
         };
         let ahead = self.config.discipline.queue_ahead(&lane.queue.pending(), class);
-        let service = est.predict_backlog(feats, ahead + weight, self.config.max_block);
-        now + self.config.gather + service > deadline
+        let total = ahead + weight;
+        // While browned out, admission trusts the pessimistic closed-form
+        // estimator instead of the learned tree.
+        let service = if self.brownout_active.load(Ordering::Relaxed) {
+            self.analytic.predict_backlog(feats, total, self.config.max_block)
+        } else {
+            match &self.estimator {
+                Some(est) => est.predict_backlog(feats, total, self.config.max_block),
+                None => return false,
+            }
+        };
+        now + self.effective_gather() + service > deadline
     }
 
     /// Enqueues a predict request. `Ok` carries the receiver the reply
@@ -286,16 +431,44 @@ impl Executor {
         slo_us: u32,
         deadline_ms: u32,
     ) -> Result<Receiver<Response>, Response> {
+        if let Some(action) = self.config.fault.decide(FaultSite::Registry) {
+            FaultCounters::bump(&self.stats.faults.injected);
+            match action {
+                FaultAction::Delay(d) => std::thread::sleep(d),
+                _ => {
+                    FaultCounters::bump(&self.stats.faults.registry_unavailable);
+                    self.stats.predict.record_error();
+                    return Err(Response::Error(format!(
+                        "model registry temporarily unavailable (retry): {model:?}"
+                    )));
+                }
+            }
+        }
         let Some(&idx) = self.model_index.get(model) else {
             self.stats.predict.record_error();
             return Err(Response::Error(format!("no such model: {model:?}")));
         };
         let lane = &self.lanes[idx];
+        if lane.served.is_quarantined() {
+            FaultCounters::bump(&self.stats.faults.registry_unavailable);
+            self.stats.predict.record_error();
+            return Err(Response::Error(format!(
+                "model {model:?} is quarantined after repeated execution panics"
+            )));
+        }
         for v in &vectors {
             if let Err(msg) = lane.served.check_dim(v) {
                 self.stats.predict.record_error();
                 return Err(Response::Error(msg));
             }
+        }
+        // Re-check overload on every submission: a queue-pressure spike
+        // must engage shedding even while nothing completes.
+        self.brownout_evaluate();
+        if class == RequestClass::Batch && self.brownout_active.load(Ordering::Relaxed) {
+            FaultCounters::bump(&self.stats.degrade.batch_shed);
+            self.stats.predict.record_busy();
+            return Err(Response::Busy);
         }
         let now = Instant::now();
         let deadline = self.deadline(now, class, slo_us, deadline_ms);
@@ -403,7 +576,7 @@ impl Executor {
                     } else {
                         let ctx = DisciplineCtx {
                             now: Instant::now(),
-                            gather: self.config.gather,
+                            gather: self.effective_gather(),
                             max_block: self.config.max_block,
                             est_block: self.est_block(lane),
                         };
@@ -442,11 +615,18 @@ impl Executor {
     }
 
     /// Predicted full-block sweep time for a lane (the SLO discipline's
-    /// slack discount); zero without an estimator.
+    /// slack discount); zero without an estimator. Uses the analytic
+    /// fallback while browned out.
     fn est_block(&self, lane: &ModelLane) -> Duration {
-        match (&self.estimator, &lane.feats) {
-            (Some(est), Some(feats)) => est.predict_sweep(feats, self.config.max_block),
-            _ => Duration::ZERO,
+        let Some(feats) = &lane.feats else {
+            return Duration::ZERO;
+        };
+        if self.brownout_active.load(Ordering::Relaxed) {
+            return self.analytic.predict_sweep(feats, self.config.max_block);
+        }
+        match &self.estimator {
+            Some(est) => est.predict_sweep(feats, self.config.max_block),
+            None => Duration::ZERO,
         }
     }
 
@@ -456,7 +636,10 @@ impl Executor {
 
     /// Executes one drained sweep: expired jobs answer `TimedOut`; the
     /// rest share one blocked traversal of the model's support matrix and
-    /// are split back per request, with per-class SLO accounting.
+    /// are split back per request, with per-class SLO accounting. Kernel
+    /// execution runs under `catch_unwind`: a panicking model answers
+    /// every live job with a typed error, walks the model's health ladder
+    /// (degrade → quarantine), and never takes the worker down.
     fn run_predict(
         &self,
         served: &ServedModel,
@@ -469,6 +652,9 @@ impl Executor {
             if meta.deadline < now {
                 self.stats.predict.record_timeout();
                 self.stats.class(meta.class).record_timeout();
+                if meta.class == RequestClass::Interactive {
+                    self.brownout_observe(true);
+                }
                 let _ = job.reply.send(Response::TimedOut);
             } else {
                 live.push((meta, job));
@@ -486,7 +672,49 @@ impl Executor {
                 n
             })
             .collect();
-        let values = served.predict(&vectors, ws);
+        let exec_fault = self.config.fault.decide(FaultSite::Exec);
+        if exec_fault.is_some() {
+            FaultCounters::bump(&self.stats.faults.injected);
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            match exec_fault {
+                Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+                Some(FaultAction::Panic) => panic!("injected model execution panic"),
+                _ => {}
+            }
+            served.predict(&vectors, &mut *ws)
+        }));
+        let values = match result {
+            Ok(values) => values,
+            Err(_) => {
+                // The workspace may hold partial state from the aborted
+                // sweep; rebuild it before the next batch.
+                *ws = PredictWorkspace::new();
+                FaultCounters::bump(&self.stats.faults.exec_panics);
+                let rung = served.note_panic();
+                match rung {
+                    ModelHealth::Degraded if served.panics() == 1 => {
+                        FaultCounters::bump(&self.stats.degrade.models_degraded);
+                    }
+                    ModelHealth::Quarantined
+                        if served.panics() == crate::registry::QUARANTINE_PANICS =>
+                    {
+                        FaultCounters::bump(&self.stats.degrade.models_quarantined);
+                    }
+                    _ => {}
+                }
+                let msg = format!(
+                    "model {:?} execution panicked (now {}); retry against the fallback layout",
+                    served.name(),
+                    rung.name()
+                );
+                for (_, job) in &live {
+                    self.stats.predict.record_error();
+                    let _ = job.reply.send(Response::Error(msg.clone()));
+                }
+                return;
+            }
+        };
         let mut offset = 0;
         let done = Instant::now();
         for ((meta, job), n) in live.iter().zip(counts) {
@@ -494,7 +722,11 @@ impl Executor {
             offset += n;
             let latency = done.duration_since(meta.enqueued);
             self.stats.predict.record_ok(latency);
-            self.stats.class(meta.class).record_ok(latency, done > meta.deadline);
+            let violated = done > meta.deadline;
+            self.stats.class(meta.class).record_ok(latency, violated);
+            if meta.class == RequestClass::Interactive {
+                self.brownout_observe(violated);
+            }
             let _ = job.reply.send(Response::Predictions(slice));
         }
     }

@@ -122,6 +122,62 @@ impl TreeLatencyEstimator {
     }
 }
 
+/// A closed-form fallback estimator: no calibration, no tree — just a
+/// conservative work model over the matrix fingerprint, in the spirit of
+/// the lightweight analytic selectors (Elafrou et al.) the ROADMAP cites
+/// as the degradation target. One blocked sweep of `batch` vectors visits
+/// every stored nonzero once per vector, so
+/// `ns ≈ base + nnz · batch · ns_per_fma`. The brown-out controller swaps
+/// this in when the learned tree's own serving path is suspect or the
+/// service is overloaded: it always answers, never needs the workers, and
+/// deliberately over-estimates so admission turns pessimistic exactly when
+/// the service is struggling.
+#[derive(Debug, Clone)]
+pub struct AnalyticLatencyEstimator {
+    /// Fixed per-sweep overhead in nanoseconds.
+    pub base_ns: f64,
+    /// Nanoseconds per (nonzero × vector) multiply-accumulate.
+    pub ns_per_fma: f64,
+}
+
+impl Default for AnalyticLatencyEstimator {
+    fn default() -> Self {
+        // ~1 ns per FMA is a few× worse than any cache-resident sweep on a
+        // current host: pessimistic by design.
+        Self { base_ns: 2_000.0, ns_per_fma: 1.0 }
+    }
+}
+
+impl AnalyticLatencyEstimator {
+    /// Predicted duration of one sweep of `batch` vectors. Same signature
+    /// as [`TreeLatencyEstimator::predict_sweep`], so the executor can
+    /// swap estimators without reshaping its admission projection.
+    pub fn predict_sweep(&self, model_feats: &[f64; NUM_FEATURES], batch: usize) -> Duration {
+        // featurize() stores log2(nnz + 1) at index 2.
+        let nnz = model_feats[2].exp2() - 1.0;
+        let ns = self.base_ns + nnz.max(0.0) * batch.max(1) as f64 * self.ns_per_fma;
+        Duration::from_nanos(ns.clamp(0.0, 1e18) as u64)
+    }
+
+    /// Predicted time to execute `total_weight` queued vectors, chunked
+    /// into sweeps of at most `max_block`.
+    pub fn predict_backlog(
+        &self,
+        model_feats: &[f64; NUM_FEATURES],
+        total_weight: usize,
+        max_block: usize,
+    ) -> Duration {
+        let max_block = max_block.max(1);
+        let full = total_weight / max_block;
+        let rem = total_weight % max_block;
+        let mut out = self.predict_sweep(model_feats, max_block) * full as u32;
+        if rem > 0 {
+            out += self.predict_sweep(model_feats, rem);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +249,27 @@ mod tests {
         assert!(backlog >= one * 2, "{backlog:?} vs {one:?}");
         assert!(backlog <= one * 4, "{backlog:?} vs {one:?}");
         assert_eq!(est.predict_backlog(&feats, 0, 4), Duration::ZERO);
+    }
+
+    #[test]
+    fn analytic_estimator_scales_with_nnz_and_batch() {
+        let est = AnalyticLatencyEstimator::default();
+        let feats_of = |nnz: f64| {
+            let mut f = [0.0; NUM_FEATURES];
+            f[2] = (nnz + 1.0).log2();
+            f
+        };
+        let small = est.predict_sweep(&feats_of(100.0), 1);
+        let bigger_matrix = est.predict_sweep(&feats_of(10_000.0), 1);
+        let bigger_batch = est.predict_sweep(&feats_of(100.0), 32);
+        assert!(bigger_matrix > small, "{bigger_matrix:?} vs {small:?}");
+        assert!(bigger_batch > small, "{bigger_batch:?} vs {small:?}");
+        // Backlog chunks like the tree's projection.
+        let one = est.predict_sweep(&feats_of(100.0), 4);
+        let backlog = est.predict_backlog(&feats_of(100.0), 10, 4);
+        assert!(backlog >= one * 2 && backlog <= one * 4, "{backlog:?} vs {one:?}");
+        assert_eq!(est.predict_backlog(&feats_of(100.0), 0, 4), Duration::ZERO);
+        // Degenerate fingerprints never panic or go negative.
+        assert!(est.predict_sweep(&[0.0; NUM_FEATURES], 1) >= Duration::ZERO);
     }
 }

@@ -33,26 +33,49 @@
 //! ([`stats`]) exposes request latencies, per-class SLO violation rates,
 //! batch-size histograms, queue depths, and each model's scheduled layout.
 //!
+//! The serving path is failure-hardened end to end ([`fault`],
+//! [`brownout`]): a seeded deterministic fault-injection plan can be
+//! threaded through connection I/O, kernel execution, and the registry
+//! (a no-op by default); connections carry read/write timeouts and
+//! self-reap when idle; kernel panics are caught, isolated, and answered
+//! with a per-model degradation ladder (healthy → degraded onto an
+//! analytically-selected fallback layout → quarantined); the client side
+//! classifies failures ([`client::ClientError`]) and
+//! [`client::RetryClient`] reconnects with jittered exponential backoff
+//! under a retry budget; and a brown-out controller sheds batch load,
+//! shrinks the gather window, and swaps in the pessimistic
+//! [`latency::AnalyticLatencyEstimator`] when the interactive SLO
+//! violation rate or queue pressure crosses its threshold. Every fault
+//! and degradation event is counted in the stats JSON, and a `Health`
+//! request reports the live ladder.
+//!
 //! Layer map:
 //!
 //! ```text
-//! client  --v1/v2 frames-->  server (acceptor + connection threads)
-//!                               |  admission: projected miss / queue
-//!                               |  full -> Busy
-//!                               v
-//!                            executor (worker pool, per-model
-//!                               |       ClassedQueues, QueueDiscipline)
-//!                               |  coalesce <= MAX_SMSV_BLOCK vectors
-//!                               v
-//!                            registry (ServedModel: scheduled +
-//!                               |       instrumented support matrix)
-//!                               v
-//!                            svm::predict_batch_with -> sparse::smsv_block
+//! client  --v1/v2 frames-->  server (acceptor + connection threads,
+//!    |                          |    read/write/idle timeouts,
+//!    |  RetryClient:            |    FaultStream I/O wrapper)
+//!    |  reconnect+backoff       |  admission: projected miss / queue
+//!    |                          |  full / brown-out shed -> Busy
+//!    |                          v
+//!    |                       executor (worker pool, per-model
+//!    |                          |       ClassedQueues, QueueDiscipline,
+//!    |                          |       catch_unwind panic isolation,
+//!    |                          |       BrownoutController)
+//!    |                          |  coalesce <= MAX_SMSV_BLOCK vectors
+//!    |                          v
+//!    |                       registry (ServedModel: scheduled +
+//!    |                          |       instrumented support matrix,
+//!    |                          |       health ladder + fallback layout)
+//!    |                          v
+//!    '--- typed errors      svm::predict_batch_with -> sparse::smsv_block
 //! ```
 
+pub mod brownout;
 pub mod client;
 pub mod discipline;
 pub mod executor;
+pub mod fault;
 pub mod latency;
 pub mod proto;
 pub mod queue;
@@ -60,18 +83,26 @@ pub mod registry;
 pub mod server;
 pub mod stats;
 
-pub use client::{PredictRequest, ScheduleRequest, ServeClient};
+pub use brownout::{BrownoutConfig, BrownoutController, BrownoutTransition};
+pub use client::{
+    ClientError, PredictRequest, RetryClient, RetryPolicy, ScheduleRequest, ServeClient,
+};
 pub use discipline::{
     parse_discipline, Decision, DisciplineCtx, Fifo, QueueDiscipline, SloAware, StrictPriority,
     DISCIPLINES,
 };
 pub use executor::{Executor, ExecutorConfig};
-pub use latency::TreeLatencyEstimator;
+pub use fault::{
+    FaultAction, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultStream, SplitMix64,
+};
+pub use latency::{AnalyticLatencyEstimator, TreeLatencyEstimator};
+#[allow(deprecated)]
+pub use proto::MAX_FRAME;
 pub use proto::{
-    ProtoError, Request, RequestClass, Response, ACCEPTED_VERSIONS, MAX_FRAME, PROTO_V1,
-    PROTO_VERSION,
+    proto_error_of, ProtoError, Request, RequestClass, Response, ACCEPTED_VERSIONS, MAX_FRAME_LEN,
+    PROTO_V1, PROTO_VERSION,
 };
 pub use queue::{ClassedQueue, DrainOrder, DrainPlan, JobMeta, PushError};
-pub use registry::{ModelRegistry, ServedModel};
+pub use registry::{ModelHealth, ModelRegistry, ServedModel, QUARANTINE_PANICS};
 pub use server::{start, ServerConfig, ServerHandle};
-pub use stats::{parse_block_hist, ClassStats, ServeStats};
+pub use stats::{parse_block_hist, ClassStats, DegradeCounters, FaultCounters, ServeStats};

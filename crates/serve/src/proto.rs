@@ -6,7 +6,7 @@
 //! the message fields (no self-description — both ends share this module).
 //!
 //! ```text
-//! frame   := u32 len | payload               len = payload bytes, <= MAX_FRAME
+//! frame   := u32 len | payload               len = payload bytes, <= MAX_FRAME_LEN
 //! payload := u8 version | u8 tag | body
 //! string  := u32 len | utf-8 bytes
 //! vec<T>  := u32 count | T*count
@@ -102,17 +102,22 @@ impl std::str::FromStr for RequestClass {
     }
 }
 
-/// Hard ceiling on one frame's payload size (16 MiB). Larger frames are
-/// rejected at the length prefix, before any payload is read.
-pub const MAX_FRAME: usize = 16 << 20;
+/// Hard ceiling on one frame's payload size (16 MiB). Enforced against
+/// the length prefix *before* the payload buffer is allocated, so a lying
+/// length from a hostile peer cannot trigger a huge allocation.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Former name of [`MAX_FRAME_LEN`].
+#[deprecated(note = "renamed to MAX_FRAME_LEN")]
+pub const MAX_FRAME: usize = MAX_FRAME_LEN;
 
 /// Everything that can go wrong turning bytes into messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProtoError {
     /// The payload ended before the message did.
     Truncated,
-    /// A frame length prefix exceeded [`MAX_FRAME`].
-    Oversized(usize),
+    /// A frame length prefix exceeded [`MAX_FRAME_LEN`].
+    FrameTooLarge(usize),
     /// Unknown protocol version byte.
     BadVersion(u8),
     /// Unknown message tag for the expected direction.
@@ -126,7 +131,7 @@ impl std::fmt::Display for ProtoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ProtoError::Truncated => write!(f, "truncated frame"),
-            ProtoError::Oversized(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            ProtoError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME_LEN}"),
             ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             ProtoError::BadTag(t) => write!(f, "unknown message tag {t}"),
             ProtoError::Malformed(what) => write!(f, "malformed field: {what}"),
@@ -173,6 +178,10 @@ pub enum Request {
     },
     /// Telemetry snapshot of the whole service.
     Stats,
+    /// Liveness and degradation summary: overall status, brown-out state,
+    /// per-model health ladder. Cheaper than `Stats` and intended for
+    /// probes and load balancers.
+    Health,
     /// Ask the server to drain and exit gracefully.
     Shutdown,
 }
@@ -201,6 +210,8 @@ pub enum Response {
     ShuttingDown,
     /// The request was understood but could not be served.
     Error(String),
+    /// Liveness summary as a JSON document (schema in `serve::stats`).
+    Health(String),
 }
 
 // ---- low-level encoding -------------------------------------------------
@@ -319,6 +330,7 @@ const REQ_PREDICT: u8 = 1;
 const REQ_SCHEDULE: u8 = 2;
 const REQ_STATS: u8 = 3;
 const REQ_SHUTDOWN: u8 = 4;
+const REQ_HEALTH: u8 = 5;
 
 const RESP_PREDICTIONS: u8 = 129;
 const RESP_SCHEDULED: u8 = 130;
@@ -327,6 +339,7 @@ const RESP_BUSY: u8 = 132;
 const RESP_TIMED_OUT: u8 = 133;
 const RESP_SHUTTING_DOWN: u8 = 134;
 const RESP_ERROR: u8 = 135;
+const RESP_HEALTH: u8 = 136;
 
 /// Encodes a request into a v2 frame payload (version + tag + body).
 pub fn encode_request(req: &Request) -> Vec<u8> {
@@ -368,6 +381,7 @@ pub fn encode_request_version(req: &Request, version: u8) -> Vec<u8> {
             }
         }
         Request::Stats => out.push(REQ_STATS),
+        Request::Health => out.push(REQ_HEALTH),
         Request::Shutdown => out.push(REQ_SHUTDOWN),
     }
     out
@@ -418,6 +432,7 @@ pub fn decode_request_versioned(payload: &[u8]) -> Result<(u8, Request), ProtoEr
             Request::Schedule { strategy, rows, cols, entries }
         }
         REQ_STATS => Request::Stats,
+        REQ_HEALTH => Request::Health,
         REQ_SHUTDOWN => Request::Shutdown,
         t => return Err(ProtoError::BadTag(t)),
     };
@@ -467,6 +482,10 @@ pub fn encode_response_version(resp: &Response, version: u8) -> Vec<u8> {
             out.push(RESP_ERROR);
             put_str(&mut out, msg);
         }
+        Response::Health(json) => {
+            out.push(RESP_HEALTH);
+            put_str(&mut out, json);
+        }
     }
     out
 }
@@ -505,6 +524,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
         RESP_TIMED_OUT => Response::TimedOut,
         RESP_SHUTTING_DOWN => Response::ShuttingDown,
         RESP_ERROR => Response::Error(r.string()?),
+        RESP_HEALTH => Response::Health(r.string()?),
         t => return Err(ProtoError::BadTag(t)),
     };
     r.finish()?;
@@ -515,14 +535,16 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
 
 /// Writes one frame (length prefix + payload).
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
-    debug_assert!(payload.len() <= MAX_FRAME);
+    debug_assert!(payload.len() <= MAX_FRAME_LEN);
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
 }
 
-/// Reads one frame's payload. `Ok(None)` on clean EOF at a frame boundary;
-/// oversized length prefixes are rejected before reading the payload.
+/// Reads one frame's payload. `Ok(None)` on clean EOF at a frame boundary.
+/// Length prefixes above [`MAX_FRAME_LEN`] are rejected *before* the
+/// payload buffer is allocated — the error is `InvalidData` carrying a
+/// [`ProtoError::FrameTooLarge`] (recover it with [`proto_error_of`]).
 pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
     let mut len_bytes = [0u8; 4];
     match r.read_exact(&mut len_bytes) {
@@ -531,15 +553,21 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
         Err(e) => return Err(e),
     }
     let len = u32::from_le_bytes(len_bytes) as usize;
-    if len > MAX_FRAME {
+    if len > MAX_FRAME_LEN {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
-            ProtoError::Oversized(len).to_string(),
+            ProtoError::FrameTooLarge(len),
         ));
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Some(payload))
+}
+
+/// Recovers the typed [`ProtoError`] wrapped inside an `io::Error` by
+/// [`read_frame`] or the client, if there is one.
+pub fn proto_error_of(err: &std::io::Error) -> Option<&ProtoError> {
+    err.get_ref().and_then(|inner| inner.downcast_ref::<ProtoError>())
 }
 
 /// Converts a submitted `Schedule` body into a triplet matrix, validating
@@ -589,6 +617,7 @@ mod tests {
                 entries: vec![(0, 0, 1.0), (2, 3, -7.25)],
             },
             Request::Stats,
+            Request::Health,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -610,6 +639,7 @@ mod tests {
             Response::TimedOut,
             Response::ShuttingDown,
             Response::Error("no such model".into()),
+            Response::Health("{\"status\":\"ok\"}".into()),
         ];
         for resp in resps {
             assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp);
@@ -701,7 +731,7 @@ mod tests {
 
     #[test]
     fn non_predict_requests_are_version_stable() {
-        for req in [Request::Stats, Request::Shutdown] {
+        for req in [Request::Stats, Request::Health, Request::Shutdown] {
             let v1 = encode_request_version(&req, PROTO_V1);
             let v2 = encode_request_version(&req, PROTO_VERSION);
             assert_eq!(&v1[1..], &v2[1..], "{req:?} bodies must match across versions");
@@ -747,8 +777,16 @@ mod tests {
         assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&payload[..]));
         assert_eq!(read_frame(&mut r).unwrap(), None); // clean EOF
 
-        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
-        assert!(read_frame(&mut &huge[..]).is_err());
+        let huge = (MAX_FRAME_LEN as u32 + 1).to_le_bytes();
+        let err = read_frame(&mut &huge[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // The typed error survives the io::Error wrapping for the retry
+        // layer's classification.
+        assert_eq!(
+            proto_error_of(&err),
+            Some(&ProtoError::FrameTooLarge(MAX_FRAME_LEN + 1)),
+            "{err}"
+        );
     }
 
     #[test]

@@ -8,13 +8,50 @@
 //! batch feeds per-model [`SmsvCounters`] — including the block-size
 //! histogram the `Stats` endpoint exposes.
 
-use dls_core::{LayoutScheduler, SelectionReport};
+use dls_core::{LayoutScheduler, SelectionReport, SelectionStrategy};
 use dls_sparse::{
     Format, InstrumentedMatrix, MatrixFeatures, MatrixFormat, SmsvCounters, SparseVec,
 };
 use dls_svm::{PredictWorkspace, SvmModel};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Panics before a model is pulled from service entirely.
+pub const QUARANTINE_PANICS: u64 = 3;
+
+/// A served model's rung on the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelHealth {
+    /// Serving normally through the scheduler-chosen layout.
+    Healthy = 0,
+    /// At least one execution panicked: the model serves through an
+    /// analytic rule-based fallback layout (the cheap selector that cannot
+    /// depend on the code path that just failed).
+    Degraded = 1,
+    /// Repeated panics ([`QUARANTINE_PANICS`]): the executor refuses new
+    /// submissions for this model with a typed error.
+    Quarantined = 2,
+}
+
+impl ModelHealth {
+    /// Lower-case display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelHealth::Healthy => "healthy",
+            ModelHealth::Degraded => "degraded",
+            ModelHealth::Quarantined => "quarantined",
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => ModelHealth::Healthy,
+            1 => ModelHealth::Degraded,
+            _ => ModelHealth::Quarantined,
+        }
+    }
+}
 
 /// One model, ready to serve.
 pub struct ServedModel {
@@ -28,6 +65,13 @@ pub struct ServedModel {
     /// estimator's per-model fingerprint.
     features: Option<MatrixFeatures>,
     dim: usize,
+    /// Current [`ModelHealth`] rung (atomic so the hot path reads it with
+    /// one relaxed load).
+    health: AtomicU8,
+    /// Executions that panicked under this model.
+    panics: AtomicU64,
+    /// The analytic-fallback layout, built on first degradation.
+    fallback: Mutex<Option<InstrumentedMatrix>>,
 }
 
 impl ServedModel {
@@ -53,7 +97,18 @@ impl ServedModel {
             // A model with no support vectors predicts a constant.
             None => (None, None, None, 0),
         };
-        Self { name: name.into(), model, matrix, counters, report, features, dim }
+        Self {
+            name: name.into(),
+            model,
+            matrix,
+            counters,
+            report,
+            features,
+            dim,
+            health: AtomicU8::new(ModelHealth::Healthy as u8),
+            panics: AtomicU64::new(0),
+            fallback: Mutex::new(None),
+        }
     }
 
     /// Registry name.
@@ -92,10 +147,79 @@ impl ServedModel {
         &self.counters
     }
 
+    /// Current rung on the degradation ladder.
+    pub fn health(&self) -> ModelHealth {
+        ModelHealth::from_u8(self.health.load(Ordering::Relaxed))
+    }
+
+    /// Executions that panicked under this model.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Whether new submissions must be refused.
+    pub fn is_quarantined(&self) -> bool {
+        self.health() == ModelHealth::Quarantined
+    }
+
+    /// Records one isolated execution panic and walks the ladder: the
+    /// first panic degrades the model onto an analytic rule-based fallback
+    /// layout (rebuilt from the support triplets — the cheap selector
+    /// keeps serving when the learned-path layout is implicated), and the
+    /// [`QUARANTINE_PANICS`]-th pulls it from service. Returns the new
+    /// rung.
+    pub fn note_panic(&self) -> ModelHealth {
+        let panics = self.panics.fetch_add(1, Ordering::SeqCst) + 1;
+        let rung = if panics >= QUARANTINE_PANICS {
+            ModelHealth::Quarantined
+        } else {
+            ModelHealth::Degraded
+        };
+        if rung == ModelHealth::Degraded {
+            let mut fallback = self.fallback.lock().expect("fallback poisoned");
+            if fallback.is_none() {
+                if let Some(m) = &self.matrix {
+                    let scheduled = LayoutScheduler::with_strategy(SelectionStrategy::RuleBased)
+                        .schedule(&m.to_triplets());
+                    *fallback = Some(InstrumentedMatrix::new(
+                        scheduled.into_matrix(),
+                        Arc::clone(&self.counters),
+                    ));
+                }
+            }
+        }
+        self.health.store(rung as u8, Ordering::SeqCst);
+        rung
+    }
+
+    /// Restores the model to the healthy rung (operator action / tests).
+    pub fn reset_health(&self) {
+        self.panics.store(0, Ordering::SeqCst);
+        self.health.store(ModelHealth::Healthy as u8, Ordering::SeqCst);
+    }
+
+    /// The format answers are currently served from: the fallback layout
+    /// while degraded, else the scheduler's choice.
+    pub fn serving_format(&self) -> Option<Format> {
+        if self.health() != ModelHealth::Healthy {
+            if let Some(fb) = self.fallback.lock().expect("fallback poisoned").as_ref() {
+                return Some(fb.format());
+            }
+        }
+        self.format()
+    }
+
     /// Decision values for a batch, through the blocked engine and this
     /// model's instrumented matrix. `ws` is caller-held scratch (one per
     /// worker thread); only its buffers are used, not its matrix cache.
+    /// A degraded model answers through its analytic-fallback layout.
     pub fn predict(&self, xs: &[SparseVec], ws: &mut PredictWorkspace) -> Vec<f64> {
+        if self.health() != ModelHealth::Healthy {
+            let fallback = self.fallback.lock().expect("fallback poisoned");
+            if let Some(fb) = fallback.as_ref() {
+                return self.model.predict_batch_with(fb, xs, ws);
+            }
+        }
         match &self.matrix {
             Some(m) => self.model.predict_batch_with(m, xs, ws),
             None => vec![self.model.bias(); xs.len()],
@@ -215,6 +339,50 @@ mod tests {
         assert!(served.check_dim(&SparseVec::zeros(6)).is_ok());
         let err = served.check_dim(&SparseVec::zeros(7)).unwrap_err();
         assert!(err.contains("dimension 6"), "{err}");
+    }
+
+    #[test]
+    fn panic_ladder_degrades_then_quarantines_with_bit_exact_fallback() {
+        let served = ServedModel::new("toy", toy_model(), &LayoutScheduler::new());
+        assert_eq!(served.health(), ModelHealth::Healthy);
+
+        let xs = vec![
+            SparseVec::new(6, vec![0, 1], vec![2.0, 4.0]),
+            SparseVec::new(6, vec![5], vec![-1.0]),
+        ];
+        let mut ws = PredictWorkspace::new();
+        let healthy = served.predict(&xs, &mut ws);
+
+        // First panic: degraded, serving from the rule-based fallback —
+        // and still bit-exact, because layout never changes values.
+        assert_eq!(served.note_panic(), ModelHealth::Degraded);
+        assert_eq!(served.health(), ModelHealth::Degraded);
+        assert!(served.serving_format().is_some());
+        let degraded = served.predict(&xs, &mut ws);
+        for (h, d) in healthy.iter().zip(&degraded) {
+            assert_eq!(h.to_bits(), d.to_bits());
+        }
+
+        // Repeated panics quarantine.
+        assert_eq!(served.note_panic(), ModelHealth::Degraded);
+        assert_eq!(served.note_panic(), ModelHealth::Quarantined);
+        assert!(served.is_quarantined());
+        assert_eq!(served.panics(), 3);
+
+        served.reset_health();
+        assert_eq!(served.health(), ModelHealth::Healthy);
+        assert_eq!(served.panics(), 0);
+    }
+
+    #[test]
+    fn constant_model_survives_the_ladder_without_a_matrix() {
+        let model = SvmModel::new(KernelKind::Linear, vec![], vec![], -1.5);
+        let served = ServedModel::new("const", model, &LayoutScheduler::new());
+        assert_eq!(served.note_panic(), ModelHealth::Degraded);
+        let mut ws = PredictWorkspace::new();
+        // No fallback matrix exists; the bias path still answers.
+        assert_eq!(served.predict(&[SparseVec::zeros(3)], &mut ws), vec![-1.5]);
+        assert_eq!(served.serving_format(), None);
     }
 
     #[test]

@@ -13,16 +13,27 @@
 //! connections, queued work drains, in-flight connections answer
 //! `ShuttingDown` to further requests, and `ServerHandle::join` returns
 //! once the workers are parked.
+//!
+//! **Hardening.** Sockets run with a short tick timeout so every handler
+//! distinguishes two very different silences: *idle at a frame boundary*
+//! (a healthy keep-alive — tolerated up to [`ServerConfig::idle_timeout`],
+//! then reaped) and *stalled mid-frame* (a dribbling or wedged peer —
+//! tolerated up to [`ServerConfig::read_timeout`], then the connection is
+//! closed, because a half-read frame leaves the stream unframeable).
+//! Oversized length prefixes are refused before allocation with a typed
+//! error, writes carry their own timeout, and every outcome lands in the
+//! `faults` counters of the stats JSON.
 
 use crate::executor::{parse_strategy, Executor, ExecutorConfig};
+use crate::fault::{FaultSite, FaultStream};
 use crate::proto::{
-    decode_request_versioned, encode_response_version, entries_to_triplets, read_frame,
-    write_frame, Request, Response, PROTO_VERSION,
+    decode_request_versioned, encode_response_version, entries_to_triplets, proto_error_of,
+    write_frame, ProtoError, Request, Response, MAX_FRAME_LEN, PROTO_VERSION,
 };
 use crate::registry::ModelRegistry;
-use crate::stats::ServeStats;
+use crate::stats::{FaultCounters, ServeStats};
 use dls_core::LayoutScheduler;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Read};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -36,11 +47,25 @@ pub struct ServerConfig {
     pub addr: String,
     /// Executor tuning.
     pub executor: ExecutorConfig,
+    /// How long a frame may stall *mid-read* before the connection is
+    /// closed (the stream cannot be re-synchronised past a half-frame).
+    pub read_timeout: Duration,
+    /// How long a response write may take before the connection is closed.
+    pub write_timeout: Duration,
+    /// How long a connection may sit idle *between* frames before it is
+    /// reaped. Reaping at the boundary is safe: no state is in flight.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { addr: "127.0.0.1:0".to_string(), executor: ExecutorConfig::default() }
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            executor: ExecutorConfig::default(),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(60),
+        }
     }
 }
 
@@ -117,6 +142,11 @@ pub fn start(
     let shutdown = Arc::new(AtomicBool::new(false));
     let active_connections = Arc::new(AtomicU64::new(0));
 
+    let limits = ConnLimits {
+        read_timeout: config.read_timeout,
+        write_timeout: config.write_timeout,
+        idle_timeout: config.idle_timeout,
+    };
     let acceptor = {
         let executor = Arc::clone(&executor);
         let shutdown = Arc::clone(&shutdown);
@@ -132,11 +162,12 @@ pub fn start(
                         let executor = Arc::clone(&executor);
                         let shutdown = Arc::clone(&shutdown);
                         let active = Arc::clone(&active);
+                        let limits = limits.clone();
                         active.fetch_add(1, Ordering::SeqCst);
                         let _ = std::thread::Builder::new()
                             .name("dls-serve-conn".to_string())
                             .spawn(move || {
-                                let _ = handle_connection(stream, &executor, &shutdown);
+                                let _ = handle_connection(stream, &executor, &shutdown, &limits);
                                 active.fetch_sub(1, Ordering::SeqCst);
                             });
                     }
@@ -158,29 +189,197 @@ pub fn start(
     })
 }
 
-/// Serves one connection until EOF, an I/O error, or shutdown.
+/// Per-connection time budgets.
+#[derive(Debug, Clone)]
+struct ConnLimits {
+    read_timeout: Duration,
+    write_timeout: Duration,
+    idle_timeout: Duration,
+}
+
+impl ConnLimits {
+    /// The socket tick: short enough to observe the tightest budget a few
+    /// times over.
+    fn tick(&self) -> Duration {
+        Duration::from_millis(50)
+            .min(self.read_timeout / 4)
+            .min(self.idle_timeout / 4)
+            .max(Duration::from_millis(1))
+    }
+}
+
+/// Why [`read_frame_timed`] stopped without a frame.
+enum FrameEnd {
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// The connection sat idle at a frame boundary past the idle budget.
+    IdleReaped,
+}
+
+/// Reads whole bytes into `buf[*filled..]`, tolerating the socket tick:
+/// returns `Ok(true)` when full, `Ok(false)` on a clean EOF with nothing
+/// read, and `Err(TimedOut)` when `budget` elapses without completion
+/// (measured from `started`, not from the last byte — a dribbling peer
+/// cannot hold a handler hostage one byte per tick).
+fn read_exact_timed(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    filled: &mut usize,
+    started: Instant,
+    budget: Duration,
+) -> std::io::Result<bool> {
+    while *filled < buf.len() {
+        match r.read(&mut buf[*filled..]) {
+            Ok(0) => {
+                if *filled == 0 {
+                    return Ok(false);
+                }
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => *filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if started.elapsed() >= budget {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "frame stalled past the read timeout",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame under the connection's time budgets, counting every
+/// failure mode in the stats `faults` section. `Err(Frame(_))` carries a
+/// whole frame; the other arms are documented on [`FrameEnd`].
+fn read_frame_timed(
+    r: &mut impl Read,
+    limits: &ConnLimits,
+    stats: &ServeStats,
+) -> std::io::Result<Result<Vec<u8>, FrameEnd>> {
+    // Phase 1: the length prefix. Waiting for its *first* byte is healthy
+    // idling (bounded by idle_timeout); once any byte arrives the frame
+    // has started and the tighter read_timeout applies.
+    let mut len_bytes = [0u8; 4];
+    let mut got = 0;
+    let idle_started = Instant::now();
+    match read_exact_timed(r, &mut len_bytes, &mut got, idle_started, limits.idle_timeout) {
+        Ok(true) => {}
+        Ok(false) => return Ok(Err(FrameEnd::Eof)),
+        Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {
+            if got == 0 {
+                FaultCounters::bump(&stats.faults.conn_idle_reaped);
+                return Ok(Err(FrameEnd::IdleReaped));
+            }
+            FaultCounters::bump(&stats.faults.conn_read_timeouts);
+            return Err(e);
+        }
+        Err(e) => return Err(classify_read_error(e, stats)),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        FaultCounters::bump(&stats.faults.frames_too_large);
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            ProtoError::FrameTooLarge(len),
+        ));
+    }
+    // Phase 2: the payload, under the mid-frame stall budget.
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    let frame_started = Instant::now();
+    match read_exact_timed(r, &mut payload, &mut filled, frame_started, limits.read_timeout) {
+        Ok(_) if filled == len => Ok(Ok(payload)),
+        Ok(_) => Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed mid-frame",
+        )),
+        Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {
+            FaultCounters::bump(&stats.faults.conn_read_timeouts);
+            Err(e)
+        }
+        Err(e) => Err(classify_read_error(e, stats)),
+    }
+}
+
+/// Counts peer-initiated connection failures before passing them on.
+fn classify_read_error(e: std::io::Error, stats: &ServeStats) -> std::io::Error {
+    match e.kind() {
+        std::io::ErrorKind::ConnectionReset
+        | std::io::ErrorKind::ConnectionAborted
+        | std::io::ErrorKind::BrokenPipe
+        | std::io::ErrorKind::UnexpectedEof => {
+            FaultCounters::bump(&stats.faults.conn_resets);
+        }
+        _ => {}
+    }
+    e
+}
+
+/// Serves one connection until EOF, an I/O error, a timeout, or reaping.
 fn handle_connection(
     stream: TcpStream,
     executor: &Executor,
     shutdown: &AtomicBool,
+    limits: &ConnLimits,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    while let Some(payload) = read_frame(&mut reader)? {
+    stream.set_read_timeout(Some(limits.tick())).ok();
+    stream.set_write_timeout(Some(limits.write_timeout)).ok();
+    let fault = executor.fault().clone();
+    let stats = Arc::clone(executor.stats());
+    let mut reader =
+        BufReader::new(FaultStream::new(stream.try_clone()?, fault.clone(), FaultSite::ConnRead));
+    let mut writer = BufWriter::new(FaultStream::new(stream, fault, FaultSite::ConnWrite));
+    loop {
+        let payload = match read_frame_timed(&mut reader, limits, &stats) {
+            Ok(Ok(payload)) => payload,
+            Ok(Err(_)) => return Ok(()), // clean EOF or idle-reaped
+            Err(e) => {
+                // A lying length prefix gets a typed refusal before the
+                // connection closes; after a half-read frame the stream
+                // cannot be re-synchronised, so everything else just
+                // closes.
+                if proto_error_of(&e).is_some() {
+                    let resp = Response::Error(format!("protocol error: {e}"));
+                    let _ =
+                        write_frame(&mut writer, &encode_response_version(&resp, PROTO_VERSION));
+                }
+                return Err(e);
+            }
+        };
         // Decode tolerantly across protocol versions and echo the
         // response at the version the request arrived in, so v1 clients
         // interoperate with a v2 server frame-for-frame.
         let (version, response) = match decode_request_versioned(&payload) {
-            Err(e) => (PROTO_VERSION, Response::Error(format!("protocol error: {e}"))),
+            Err(e) => {
+                FaultCounters::bump(&stats.faults.protocol_errors);
+                (PROTO_VERSION, Response::Error(format!("protocol error: {e}")))
+            }
             Ok((version, _)) if shutdown.load(Ordering::SeqCst) => {
                 (version, Response::ShuttingDown)
             }
             Ok((version, request)) => (version, dispatch(request, executor, shutdown)),
         };
-        write_frame(&mut writer, &encode_response_version(&response, version))?;
+        if let Err(e) = write_frame(&mut writer, &encode_response_version(&response, version)) {
+            match e.kind() {
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                    FaultCounters::bump(&stats.faults.conn_write_timeouts);
+                }
+                _ => FaultCounters::bump(&stats.faults.conn_resets),
+            }
+            return Err(e);
+        }
     }
-    Ok(())
 }
 
 fn dispatch(request: Request, executor: &Executor, shutdown: &AtomicBool) -> Response {
@@ -218,6 +417,7 @@ fn dispatch(request: Request, executor: &Executor, shutdown: &AtomicBool) -> Res
             executor.stats().stats.record_ok(start.elapsed());
             Response::Stats(json)
         }
+        Request::Health => Response::Health(executor.health_json()),
         Request::Shutdown => {
             // Ack first; ServerHandle::join (or the smoke harness) observes
             // the flag and performs the drain.

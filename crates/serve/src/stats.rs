@@ -209,6 +209,93 @@ impl ClassStats {
     }
 }
 
+/// Counters for failures observed (or injected) along the serving path.
+/// These make every hardening mechanism in this crate observable: a chaos
+/// run asserts on them, and an operator reads them to tell "slow clients"
+/// from "poisoned model" at a glance.
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    /// Connections closed because a frame stalled mid-read past the read
+    /// timeout (framing desync — the connection cannot be salvaged).
+    pub conn_read_timeouts: AtomicU64,
+    /// Connections closed because a response write stalled or failed.
+    pub conn_write_timeouts: AtomicU64,
+    /// Connections reaped after sitting idle at a frame boundary past the
+    /// idle timeout.
+    pub conn_idle_reaped: AtomicU64,
+    /// Connections dropped by the peer (reset / broken pipe) mid-exchange.
+    pub conn_resets: AtomicU64,
+    /// Frames rejected at the length prefix (`FrameTooLarge`).
+    pub frames_too_large: AtomicU64,
+    /// Frames that decoded to a typed protocol error.
+    pub protocol_errors: AtomicU64,
+    /// Kernel executions that panicked and were isolated by `catch_unwind`.
+    pub exec_panics: AtomicU64,
+    /// Submissions refused because the registry/model was unavailable
+    /// (quarantined model or injected registry failure).
+    pub registry_unavailable: AtomicU64,
+    /// Faults fired by an installed `FaultPlan` (0 in production).
+    pub injected: AtomicU64,
+}
+
+impl FaultCounters {
+    /// Bumps one counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let get = |c: &AtomicU64| JsonValue::from(c.load(Ordering::Relaxed));
+        JsonValue::obj([
+            ("conn_read_timeouts", get(&self.conn_read_timeouts)),
+            ("conn_write_timeouts", get(&self.conn_write_timeouts)),
+            ("conn_idle_reaped", get(&self.conn_idle_reaped)),
+            ("conn_resets", get(&self.conn_resets)),
+            ("frames_too_large", get(&self.frames_too_large)),
+            ("protocol_errors", get(&self.protocol_errors)),
+            ("exec_panics", get(&self.exec_panics)),
+            ("registry_unavailable", get(&self.registry_unavailable)),
+            ("injected", get(&self.injected)),
+        ])
+    }
+}
+
+/// Counters and gauges for graceful degradation: the brown-out controller
+/// and the model health ladder.
+#[derive(Debug, Default)]
+pub struct DegradeCounters {
+    /// Times the brown-out controller activated.
+    pub brownout_entries: AtomicU64,
+    /// Times the brown-out controller deactivated.
+    pub brownout_exits: AtomicU64,
+    /// Batch-class requests shed (refused with `Busy`) while browned out.
+    pub batch_shed: AtomicU64,
+    /// Models moved to the degraded rung (analytic-fallback matrix).
+    pub models_degraded: AtomicU64,
+    /// Models quarantined after repeated panics.
+    pub models_quarantined: AtomicU64,
+    /// Gauge: 1 while the brown-out controller is active.
+    pub brownout_active: AtomicU64,
+    /// Gauge: 1 while admission uses the analytic estimator instead of the
+    /// learned tree.
+    pub estimator_analytic: AtomicU64,
+}
+
+impl DegradeCounters {
+    fn to_json(&self) -> JsonValue {
+        let get = |c: &AtomicU64| JsonValue::from(c.load(Ordering::Relaxed));
+        JsonValue::obj([
+            ("brownout_entries", get(&self.brownout_entries)),
+            ("brownout_exits", get(&self.brownout_exits)),
+            ("batch_shed", get(&self.batch_shed)),
+            ("models_degraded", get(&self.models_degraded)),
+            ("models_quarantined", get(&self.models_quarantined)),
+            ("brownout_active", get(&self.brownout_active)),
+            ("estimator_analytic", get(&self.estimator_analytic)),
+        ])
+    }
+}
+
 /// All live counters one server instance keeps.
 #[derive(Default)]
 pub struct ServeStats {
@@ -221,6 +308,11 @@ pub struct ServeStats {
     pub schedule: RequestStats,
     /// Stats-path counters.
     pub stats: RequestStats,
+    /// Failures observed along the serving path.
+    pub faults: FaultCounters,
+    /// Degradation state: brown-out transitions and the model health
+    /// ladder.
+    pub degrade: DegradeCounters,
     /// How often the scheduler chose each format, in [`Format::ALL`] order.
     decisions: [AtomicU64; Format::ALL.len()],
     /// Process-wide kernel aggregate, fed by delta-merging every model's
@@ -304,6 +396,8 @@ impl ServeStats {
                             .unwrap_or(JsonValue::Null),
                     ),
                     ("dim", JsonValue::from(served.dim())),
+                    ("health", JsonValue::from(served.health().name())),
+                    ("panics", JsonValue::from(served.panics())),
                     ("kernels", kernel_json(&snap)),
                 ])
             })
@@ -316,6 +410,8 @@ impl ServeStats {
             ("classes", classes),
             ("schedule", self.schedule.to_json()),
             ("stats", self.stats.to_json()),
+            ("faults", self.faults.to_json()),
+            ("degradation", self.degrade.to_json()),
             ("queues", JsonValue::Arr(queues)),
             ("schedule_decisions", JsonValue::Arr(decisions)),
             ("models", JsonValue::Arr(models)),
@@ -427,6 +523,36 @@ mod tests {
         let batch = classes.get("batch").unwrap();
         assert_eq!(batch.get("slo_violations").unwrap().as_u64(), Some(2));
         assert_eq!(batch.get("slo_violation_rate").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn snapshot_json_exposes_fault_and_degradation_counters() {
+        let scheduler = LayoutScheduler::new();
+        let model = SvmModel::new(
+            KernelKind::Linear,
+            vec![SparseVec::new(4, vec![0], vec![1.0])],
+            vec![1.0],
+            0.0,
+        );
+        let mut registry = ModelRegistry::new();
+        registry.insert(ServedModel::new("m", model, &scheduler));
+        let stats = ServeStats::new();
+        FaultCounters::bump(&stats.faults.conn_read_timeouts);
+        FaultCounters::bump(&stats.faults.exec_panics);
+        stats.degrade.batch_shed.fetch_add(5, Ordering::Relaxed);
+        stats.degrade.brownout_active.store(1, Ordering::Relaxed);
+        let doc = dls_core::json::parse(&stats.snapshot_json(&registry, &[])).unwrap();
+        let faults = doc.get("faults").expect("faults section");
+        assert_eq!(faults.get("conn_read_timeouts").unwrap().as_u64(), Some(1));
+        assert_eq!(faults.get("exec_panics").unwrap().as_u64(), Some(1));
+        assert_eq!(faults.get("injected").unwrap().as_u64(), Some(0));
+        let degrade = doc.get("degradation").expect("degradation section");
+        assert_eq!(degrade.get("batch_shed").unwrap().as_u64(), Some(5));
+        assert_eq!(degrade.get("brownout_active").unwrap().as_u64(), Some(1));
+        // Every model reports its health rung.
+        let models = doc.get("models").unwrap().as_arr().unwrap();
+        assert_eq!(models[0].get("health").unwrap().as_str(), Some("healthy"));
+        assert_eq!(models[0].get("panics").unwrap().as_u64(), Some(0));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use dls_serve::proto::{
     decode_request, decode_request_versioned, decode_response, encode_request,
     encode_request_version, encode_response, encode_response_version, read_frame, write_frame,
-    Request, RequestClass, Response, MAX_FRAME, PROTO_V1, PROTO_VERSION,
+    Request, RequestClass, Response, MAX_FRAME_LEN, PROTO_V1, PROTO_VERSION,
 };
 use dls_sparse::SparseVec;
 use proptest::prelude::*;
@@ -194,8 +194,13 @@ proptest! {
 
 #[test]
 fn oversized_length_prefix_is_refused_before_reading() {
-    let prefix = ((MAX_FRAME as u32) + 1).to_le_bytes();
-    assert!(read_frame(&mut &prefix[..]).is_err());
+    let prefix = ((MAX_FRAME_LEN as u32) + 1).to_le_bytes();
+    let err = read_frame(&mut &prefix[..]).unwrap_err();
+    // The refusal is typed and downcastable, not a stringly io error.
+    assert_eq!(
+        dls_serve::proto_error_of(&err),
+        Some(&dls_serve::ProtoError::FrameTooLarge(MAX_FRAME_LEN + 1))
+    );
 }
 
 #[test]

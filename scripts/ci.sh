@@ -32,7 +32,19 @@ for discipline in fifo priority slo; do
     || { echo "serve smoke ($discipline): missing interactive slo_violation_rate" >&2; exit 1; }
   echo "$out" | grep -q "slo_violation_rate batch=" \
     || { echo "serve smoke ($discipline): missing batch slo_violation_rate" >&2; exit 1; }
+  # The stats JSON must expose the fault/degradation counters and the
+  # health endpoint must answer, even on a fault-free server.
+  echo "$out" | grep -q "stats sections faults+degradation exposed, health status=" \
+    || { echo "serve smoke ($discipline): missing fault/degradation counters or health" >&2; exit 1; }
 done
+
+echo "==> chaos smoke (seeded fault injection, watchdog-guarded)"
+# The harness itself exits 2 on any hang and non-zero on any corrupted
+# response, untyped failure, or failed clean probe.
+out="$(cargo run --release -q -p dls-bench --bin repro_chaos -- --smoke --seeds 8)"
+echo "$out"
+echo "$out" | grep -q "zero hangs, zero corrupted responses" \
+  || { echo "chaos smoke: missing clean-run summary" >&2; exit 1; }
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

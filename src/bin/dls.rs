@@ -15,10 +15,13 @@
 //! dls scale     <in.libsvm> <out.libsvm> [01|pm1]   feature scaling
 //! dls serve     [addr] [--models a,b]               host quick-trained models
 //!               [--discipline fifo|priority|slo]    (queue discipline, default slo)
-//!                                                   behind the batching
-//!                                                   inference service
-//! dls stats     --serve <addr>                      live telemetry snapshot
-//!                                                   from a running server
+//!               [--read-timeout-ms N]               behind the batching
+//!               [--idle-timeout-ms N]               inference service;
+//!               [--no-brownout] [--chaos-seed N]    --chaos-seed arms the seeded
+//!                                                   fault-injection plan (demo)
+//! dls stats     --serve <addr> [--health]           live telemetry snapshot (or
+//!                                                   health ladder) from a
+//!                                                   running server
 //! dls train-selector [out.json] [--quick] [--analytic] [--seed N]
 //!                                                   fit a decision-tree model
 //!                                                   on the synthetic grid
@@ -262,6 +265,30 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .map(String::as_str)
         .unwrap_or("slo");
     let discipline = dls::serve::parse_discipline(discipline)?;
+    let millis_flag = |name: &str| -> Result<Option<std::time::Duration>, String> {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| {
+                args.get(i + 1)
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map(std::time::Duration::from_millis)
+                    .ok_or_else(|| format!("serve: {name} needs a millisecond count"))
+            })
+            .transpose()
+    };
+    let read_timeout = millis_flag("--read-timeout-ms")?;
+    let write_timeout = millis_flag("--write-timeout-ms")?;
+    let idle_timeout = millis_flag("--idle-timeout-ms")?;
+    let no_brownout = args.iter().any(|a| a == "--no-brownout");
+    let chaos_seed: Option<u64> = args
+        .iter()
+        .position(|a| a == "--chaos-seed")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| "serve: --chaos-seed needs an integer seed".to_string())
+        })
+        .transpose()?;
 
     let scheduler = LayoutScheduler::new();
     let mut registry = dls::serve::ModelRegistry::new();
@@ -276,27 +303,55 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         registry.insert(served);
     }
 
-    let executor = dls::serve::ExecutorConfig { discipline, ..Default::default() };
-    let config = dls::serve::ServerConfig { addr, executor };
+    let fault = match chaos_seed {
+        Some(seed) => {
+            println!("chaos: fault-injection plan armed from seed {seed}");
+            dls::serve::FaultInjector::new(dls::serve::fault::FaultPlan::from_seed(seed))
+        }
+        None => dls::serve::FaultInjector::none(),
+    };
+    let executor = dls::serve::ExecutorConfig {
+        discipline,
+        brownout: dls::serve::BrownoutConfig { enabled: !no_brownout, ..Default::default() },
+        fault,
+        ..Default::default()
+    };
+    let defaults = dls::serve::ServerConfig::default();
+    let config = dls::serve::ServerConfig {
+        addr,
+        executor,
+        read_timeout: read_timeout.unwrap_or(defaults.read_timeout),
+        write_timeout: write_timeout.unwrap_or(defaults.write_timeout),
+        idle_timeout: idle_timeout.unwrap_or(defaults.idle_timeout),
+    };
     let handle = dls::serve::start(registry, LayoutScheduler::new(), config)
         .map_err(|e| format!("bind: {e}"))?;
     println!(
-        "listening on {} (queue discipline: {})",
+        "listening on {} (queue discipline: {}, brown-out {})",
         handle.local_addr(),
-        handle.executor().discipline().name()
+        handle.executor().discipline().name(),
+        if no_brownout { "off" } else { "on" }
     );
-    println!("telemetry: dls stats --serve {}", handle.local_addr());
+    println!("telemetry: dls stats --serve {}  (add --health for the ladder)", handle.local_addr());
     println!("stop:      a client Shutdown frame (ServeClient::shutdown) drains and exits");
     handle.join();
     println!("drained cleanly");
     Ok(())
 }
 
-/// `dls stats --serve <addr>`: fetch and pretty-print a live snapshot.
-fn cmd_stats_serve(addr: &str) -> Result<(), String> {
+/// `dls stats --serve <addr> [--health]`: fetch and pretty-print a live
+/// telemetry snapshot, or the health ladder (degradation state per model).
+fn cmd_stats_serve(addr: &str, health: bool) -> Result<(), String> {
     let mut client =
         dls::serve::ServeClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let json = client.stats().map_err(|e| format!("stats: {e}"))?;
+    let json = if health {
+        match client.request(&dls::serve::Request::Health).map_err(|e| format!("health: {e}"))? {
+            dls::serve::Response::Health(json) => json,
+            other => return Err(format!("health: unexpected response {other:?}")),
+        }
+    } else {
+        client.stats().map_err(|e| format!("stats: {e}"))?
+    };
     let doc = dls::core::json::parse(&json)?;
     print!("{}", doc.to_json_pretty());
     Ok(())
@@ -305,7 +360,7 @@ fn cmd_stats_serve(addr: &str) -> Result<(), String> {
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     if let Some(i) = args.iter().position(|a| a == "--serve") {
         let addr = args.get(i + 1).ok_or("stats: --serve needs an address")?;
-        return cmd_stats_serve(addr);
+        return cmd_stats_serve(addr, args.iter().any(|a| a == "--health"));
     }
     let cache_path = args
         .iter()
