@@ -25,12 +25,22 @@
 //!    estimator — interactive compliance should measurably recover at
 //!    the cost of batch throughput.
 //!
-//! Usage: `repro_serve [secs_per_cell] [out.json]` (defaults: 0.4,
-//! `BENCH_serve.json`), or `repro_serve --smoke [--discipline NAME]` for
-//! the CI smoke run: one Predict + Schedule + Stats round trip under the
-//! named discipline (default slo) plus a graceful shutdown-by-frame,
-//! printing the per-class SLO-violation rates and exiting non-zero on any
-//! mismatch.
+//! 4. **Connection scaling** — the closed-loop workload at 8/64/256/1024
+//!    concurrent connections against both I/O front ends
+//!    (thread-per-connection vs the epoll reactor). Cells a resource
+//!    limit prevents from running are *logged as skipped*, never silently
+//!    capped. Alongside req/s each cell records the server-side thread
+//!    count and implied stack reservation — the reactor's budget is
+//!    constant while the threads front end pays a stack per connection.
+//!
+//! Usage: `repro_serve [secs_per_cell] [out.json]
+//! [--connections 8,64,256,1024]` (defaults: 0.4, `BENCH_serve.json`), or
+//! `repro_serve --smoke [--discipline NAME] [--frontend threads|reactor]`
+//! for the CI smoke run: one Predict + Schedule + Stats round trip under
+//! the named discipline (default slo) and front end plus a graceful
+//! shutdown-by-frame, printing the per-class SLO-violation rates and a
+//! frontend-independent `# parity` counter line, and exiting non-zero on
+//! any mismatch.
 
 use dls_bench::workloads::default_scale;
 use dls_core::json::JsonValue;
@@ -38,8 +48,9 @@ use dls_core::LayoutScheduler;
 use dls_data::labels::linear_teacher_labels;
 use dls_data::{generate, DatasetSpec};
 use dls_serve::{
-    parse_discipline, BrownoutConfig, ExecutorConfig, ModelRegistry, PredictRequest, RequestClass,
-    Response, ScheduleRequest, ServeClient, ServedModel, ServerConfig, ServerHandle, DISCIPLINES,
+    parse_discipline, BrownoutConfig, ExecutorConfig, Frontend, ModelRegistry, PredictRequest,
+    RequestClass, Response, ScheduleRequest, ServeClient, ServedModel, ServerConfig, ServerHandle,
+    DISCIPLINES,
 };
 use dls_sparse::{CsrMatrix, MatrixFormat, SparseVec, MAX_SMSV_BLOCK};
 use dls_svm::smo::{train, SmoParams};
@@ -82,7 +93,15 @@ fn registry(hosted: &[Hosted]) -> ModelRegistry {
 }
 
 fn start_server(hosted: &[Hosted], executor: ExecutorConfig) -> ServerHandle {
-    let config = ServerConfig { executor, ..Default::default() };
+    start_server_on(hosted, executor, Frontend::Threads)
+}
+
+fn start_server_on(
+    hosted: &[Hosted],
+    executor: ExecutorConfig,
+    frontend: Frontend,
+) -> ServerHandle {
+    let config = ServerConfig { executor, frontend, ..Default::default() };
     dls_serve::start(registry(hosted), LayoutScheduler::new(), config).expect("bind loopback")
 }
 
@@ -175,6 +194,141 @@ fn run_cell(hosted: &[Hosted], concurrency: usize, coalescing: bool, secs: f64) 
         p50_secs: quantile("p50_secs"),
         p95_secs: quantile("p95_secs"),
     }
+}
+
+/// Worker threads the executor runs in the scaling cells (the default
+/// config), used for the server-side thread/stack accounting below.
+const SCALE_WORKERS: usize = 2;
+/// Linux's default thread stack reservation, for the equal-memory
+/// comparison (the reactor keeps connection state in buffers instead).
+const DEFAULT_STACK_MIB: u64 = 8;
+
+/// One `frontend × connections` scaling cell, or why it was skipped.
+struct ScaleCell {
+    frontend: Frontend,
+    connections: usize,
+    outcome: Result<ScaleOk, String>,
+}
+
+struct ScaleOk {
+    ok: u64,
+    busy: u64,
+    secs: f64,
+    req_per_s: f64,
+    /// Threads the *server* needs for this many connections (acceptor or
+    /// event loop + per-connection handlers + executor workers).
+    server_threads: u64,
+    /// Stack reservation implied by those threads at the platform default.
+    server_stack_mib: u64,
+}
+
+/// Runs one connection-scaling cell: `connections` closed-loop clients
+/// against the given front end. Client threads get 64 KiB stacks so the
+/// *load generator* is never the resource ceiling being measured; any
+/// spawn or connect failure skips the cell loudly instead of silently
+/// capping the connection count.
+fn run_scale_cell(
+    hosted: &[Hosted],
+    frontend: Frontend,
+    connections: usize,
+    secs: f64,
+) -> ScaleCell {
+    let executor = ExecutorConfig {
+        max_block: 32,
+        gather: Duration::from_micros(100),
+        workers: SCALE_WORKERS,
+        ..Default::default()
+    };
+    let handle = start_server_on(hosted, executor, frontend);
+    let addr = handle.local_addr();
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(secs);
+    let h = &hosted[0];
+    let mut threads = Vec::with_capacity(connections);
+    let mut spawn_err = None;
+    for c in 0..connections {
+        let (model_name, queries) = (h.name, h.queries.clone());
+        let spawned = std::thread::Builder::new()
+            .stack_size(64 * 1024)
+            .name(format!("scale-client-{c}"))
+            .spawn(move || -> Result<(u64, u64), String> {
+                // The accept backlog is finite; under a 1k-connection
+                // stampede some dials need a few tries.
+                let mut client = None;
+                for attempt in 0..50 {
+                    match ServeClient::connect(addr) {
+                        Ok(c) => {
+                            client = Some(c);
+                            break;
+                        }
+                        Err(e) if attempt == 49 => return Err(format!("connect: {e}")),
+                        Err(_) => std::thread::sleep(Duration::from_millis(2 * (attempt + 1))),
+                    }
+                }
+                let mut client = client.expect("connected or returned");
+                client.set_read_timeout(Some(Duration::from_secs(30))).ok();
+                let (mut ok, mut busy) = (0u64, 0u64);
+                let mut k = c;
+                while Instant::now() < deadline {
+                    let q = queries[k % queries.len()].clone();
+                    k += 1;
+                    let req = PredictRequest::builder(model_name).vector(q).build();
+                    match client.send(&req).map_err(|e| format!("predict: {e}"))? {
+                        Response::Predictions(_) => ok += 1,
+                        Response::Busy => {
+                            busy += 1;
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        other => return Err(format!("unexpected response {other:?}")),
+                    }
+                }
+                Ok((ok, busy))
+            });
+        match spawned {
+            Ok(t) => threads.push(t),
+            Err(e) => {
+                spawn_err = Some(format!("spawning load-generator thread {c}: {e}"));
+                break;
+            }
+        }
+    }
+
+    let (mut ok, mut busy) = (0u64, 0u64);
+    let mut client_errs: Vec<String> = Vec::new();
+    for t in threads {
+        match t.join().expect("client thread") {
+            Ok((o, b)) => {
+                ok += o;
+                busy += b;
+            }
+            Err(e) => client_errs.push(e),
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    handle.shutdown();
+
+    let outcome = if let Some(e) = spawn_err {
+        Err(e)
+    } else if !client_errs.is_empty() {
+        Err(format!("{} clients failed (first: {})", client_errs.len(), client_errs[0]))
+    } else {
+        let server_threads = match frontend {
+            // acceptor + one handler per connection + workers
+            Frontend::Threads => 1 + connections as u64 + SCALE_WORKERS as u64,
+            // one event loop + workers, independent of connection count
+            Frontend::Reactor => 1 + SCALE_WORKERS as u64,
+        };
+        Ok(ScaleOk {
+            ok,
+            busy,
+            secs: elapsed,
+            req_per_s: ok as f64 / elapsed,
+            server_threads,
+            server_stack_mib: server_threads * DEFAULT_STACK_MIB,
+        })
+    };
+    ScaleCell { frontend, connections, outcome }
 }
 
 /// Per-class tallies of one mixed-workload cell, straight off the
@@ -439,13 +593,13 @@ fn run_brownout_cell(hosted: &[Hosted], enabled: bool, secs: f64) -> BrownoutRes
 /// CI smoke: one of everything over real sockets under the named queue
 /// discipline, then a graceful shutdown triggered by the wire `Shutdown`
 /// frame.
-fn smoke(discipline: &str) {
+fn smoke(discipline: &str, frontend: Frontend) {
     let hosted = vec![quick_model("adult", 256, 42)];
     let executor = ExecutorConfig {
         discipline: parse_discipline(discipline).expect("known discipline"),
         ..Default::default()
     };
-    let handle = start_server(&hosted, executor);
+    let handle = start_server_on(&hosted, executor, frontend);
     let addr = handle.local_addr();
     let mut c = ServeClient::connect(addr).expect("connect");
 
@@ -499,6 +653,35 @@ fn smoke(discipline: &str) {
         }
         other => panic!("unexpected health response {other:?}"),
     }
+    // Stats-counter parity across front ends: every value on this line is
+    // fully determined by the fixed smoke request sequence, so CI runs the
+    // smoke against `threads` and `reactor` and diffs the two lines.
+    let counter = |section: &str, key: &str| {
+        doc.get(section)
+            .and_then(|s| s.get(key))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("stats JSON lacks {section}.{key}"))
+    };
+    let class_counter = |class: &str, key: &str| {
+        doc.get("classes")
+            .and_then(|cs| cs.get(class))
+            .and_then(|e| e.get(key))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("stats JSON lacks classes.{class}.{key}"))
+    };
+    println!(
+        "# parity predict_ok={} schedule_ok={} interactive_ok={} interactive_viol={} \
+         batch_viol={} protocol_errors={} frames_too_large={} exec_panics={} injected={}",
+        counter("predict", "ok"),
+        counter("schedule", "ok"),
+        class_counter("interactive", "ok"),
+        class_counter("interactive", "slo_violations"),
+        class_counter("batch", "slo_violations"),
+        counter("faults", "protocol_errors"),
+        counter("faults", "frames_too_large"),
+        counter("faults", "exec_panics"),
+        counter("faults", "injected"),
+    );
     assert_eq!(c.shutdown().expect("shutdown"), Response::ShuttingDown);
     drop(c);
     handle.shutdown();
@@ -507,8 +690,8 @@ fn smoke(discipline: &str) {
         "server still accepting connections after graceful drain"
     );
     println!(
-        "# serve smoke OK ({discipline}): predict bit-exact, schedule + stats answered, \
-         drain clean"
+        "# serve smoke OK ({discipline}, {frontend}): predict bit-exact, schedule + stats \
+         answered, drain clean"
     );
 }
 
@@ -520,11 +703,31 @@ fn main() {
             .position(|a| a == "--discipline")
             .and_then(|i| args.get(i + 1))
             .map_or("slo", String::as_str);
-        smoke(discipline);
+        let frontend: Frontend = args
+            .iter()
+            .position(|a| a == "--frontend")
+            .and_then(|i| args.get(i + 1))
+            .map_or(Ok(Frontend::Threads), |v| v.parse())
+            .expect("--frontend takes threads|reactor");
+        smoke(discipline, frontend);
         return;
     }
-    let secs: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.4);
-    let out_path = args.get(1).cloned().unwrap_or_else(|| "BENCH_serve.json".into());
+    let connections: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--connections")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').map(|v| v.parse().expect("--connections takes counts")).collect())
+        .unwrap_or_else(|| vec![8, 64, 256, 1024]);
+    let positional: Vec<&String> = {
+        let skip_value_of = args.iter().position(|a| a == "--connections").map(|i| i + 1);
+        args.iter()
+            .enumerate()
+            .filter(|(i, a)| !a.starts_with("--") && Some(*i) != skip_value_of)
+            .map(|(_, a)| a)
+            .collect()
+    };
+    let secs: f64 = positional.first().and_then(|s| s.parse().ok()).unwrap_or(0.4);
+    let out_path = positional.get(1).cloned().cloned().unwrap_or_else(|| "BENCH_serve.json".into());
 
     println!("# Quick-training models …");
     let hosted = vec![quick_model("adult", 8, 42), quick_model("mnist", 128, 42)];
@@ -553,6 +756,69 @@ fn main() {
             );
             cells.push(r);
         }
+    }
+
+    // Connection scaling: the same closed-loop single-vector workload at
+    // rising connection counts, against both front ends. The reactor
+    // serves every count with a constant thread budget; the threads
+    // front end pays one 8 MiB-stack thread per connection.
+    println!(
+        "\n{:<9} {:>6} {:>9} {:>7} {:>10} {:>11} {:>11}",
+        "frontend", "conns", "ok", "busy", "req/s", "srv threads", "stack MiB"
+    );
+    let mut scale = Vec::new();
+    for &frontend in &[Frontend::Threads, Frontend::Reactor] {
+        for &conns in &connections {
+            let cell = run_scale_cell(&hosted, frontend, conns, secs);
+            match &cell.outcome {
+                Ok(r) => println!(
+                    "{:<9} {:>6} {:>9} {:>7} {:>10.0} {:>11} {:>11}",
+                    cell.frontend.to_string(),
+                    cell.connections,
+                    r.ok,
+                    r.busy,
+                    r.req_per_s,
+                    r.server_threads,
+                    r.server_stack_mib,
+                ),
+                Err(reason) => {
+                    println!("# SKIPPED {}×{}: {reason}", cell.frontend, cell.connections)
+                }
+            }
+            scale.push(cell);
+        }
+    }
+    let scale_rps = |frontend: Frontend, conns: usize| {
+        scale
+            .iter()
+            .find(|c| c.frontend == frontend && c.connections == conns)
+            .and_then(|c| c.outcome.as_ref().ok())
+            .map(|r| r.req_per_s)
+    };
+    for &conns in &connections {
+        if let (Some(t), Some(r)) =
+            (scale_rps(Frontend::Threads, conns), scale_rps(Frontend::Reactor, conns))
+        {
+            println!(
+                "# connection scaling @{conns}: threads={t:.0} req/s, reactor={r:.0} req/s ({})",
+                if r > t { "reactor wins" } else { "threads wins" }
+            );
+        }
+    }
+    if let Some(c) = scale
+        .iter()
+        .find(|c| c.frontend == Frontend::Reactor && c.connections >= 256 && c.outcome.is_ok())
+    {
+        let r = c.outcome.as_ref().expect("checked ok");
+        println!(
+            "# reactor served {} connections on {} server threads ({} MiB stack); the threads \
+             front end needs {} threads ({} MiB stack) for the same fan-in",
+            c.connections,
+            r.server_threads,
+            r.server_stack_mib,
+            1 + c.connections + SCALE_WORKERS,
+            (1 + c.connections + SCALE_WORKERS) as u64 * DEFAULT_STACK_MIB,
+        );
     }
 
     println!(
@@ -674,10 +940,33 @@ fn main() {
             ])
         })
         .collect();
+    let scale_rows: Vec<JsonValue> = scale
+        .iter()
+        .map(|c| {
+            let mut fields = vec![
+                ("frontend", JsonValue::from(c.frontend.to_string())),
+                ("connections", JsonValue::from(c.connections)),
+            ];
+            match &c.outcome {
+                Ok(r) => fields.extend([
+                    ("skipped", JsonValue::Null),
+                    ("requests_ok", JsonValue::from(r.ok)),
+                    ("busy", JsonValue::from(r.busy)),
+                    ("secs", JsonValue::from(r.secs)),
+                    ("req_per_s", JsonValue::from(r.req_per_s)),
+                    ("server_threads", JsonValue::from(r.server_threads)),
+                    ("server_stack_mib", JsonValue::from(r.server_stack_mib)),
+                ]),
+                Err(reason) => fields.push(("skipped", JsonValue::from(reason.as_str()))),
+            }
+            JsonValue::obj(fields)
+        })
+        .collect();
     let doc = JsonValue::obj([
         ("models", JsonValue::arr(hosted.iter().map(|h| JsonValue::from(h.name)))),
         ("secs_per_cell", JsonValue::from(secs)),
         ("results", JsonValue::Arr(rows)),
+        ("connection_scaling", JsonValue::Arr(scale_rows)),
         (
             "mixed_workload",
             JsonValue::obj([

@@ -40,10 +40,12 @@
 
 use crate::fault::SplitMix64;
 use crate::proto::{
-    decode_response, encode_request_version, proto_error_of, read_frame, write_frame, ProtoError,
-    Request, RequestClass, Response, ACCEPTED_VERSIONS, PROTO_VERSION,
+    decode_response, decode_response_framed, encode_request_framed, encode_request_version,
+    proto_error_of, read_frame, write_frame, ProtoError, Request, RequestClass, Response,
+    ACCEPTED_VERSIONS, PROTO_VERSION,
 };
 use dls_sparse::SparseVec;
+use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, ErrorKind};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -419,6 +421,118 @@ impl ServeClient {
     /// Asks the server to drain and exit.
     pub fn shutdown(&mut self) -> std::io::Result<Response> {
         self.request(&Request::Shutdown)
+    }
+}
+
+/// A protocol-v3 client that multiplexes many in-flight requests over one
+/// connection.
+///
+/// [`PipelinedClient::submit`] writes a frame tagged with a fresh
+/// `frame_id` and returns immediately; the reactor front end answers
+/// frames in whatever order the executor completes them, and
+/// [`PipelinedClient::wait`] reassembles by id (stashing responses that
+/// arrive for other frames). Against the `threads` front end responses
+/// simply come back in submission order — the same API works, serially.
+///
+/// The client is synchronous and single-threaded: no background reader,
+/// no locks. `wait`/`recv` block on the socket only when the wanted
+/// response has not already been stashed.
+pub struct PipelinedClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    /// Responses read off the wire while waiting for a different frame.
+    stash: VecDeque<(u64, Response)>,
+    /// Submitted but not yet returned to the caller.
+    outstanding: usize,
+}
+
+impl PipelinedClient {
+    /// Connects. Pipelining requires protocol v3, so there is no version
+    /// knob — use [`ServeClient`] for compatibility testing.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            next_id: 1,
+            stash: VecDeque::new(),
+            outstanding: 0,
+        })
+    }
+
+    /// Bounds how long [`PipelinedClient::recv`]/[`wait`](Self::wait) may
+    /// block on the socket; `None` waits indefinitely.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Frames submitted whose responses have not been returned yet.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Writes one request frame and returns its `frame_id` without
+    /// waiting for the response.
+    pub fn submit(&mut self, req: &Request) -> std::io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.writer, &encode_request_framed(req, PROTO_VERSION, id))?;
+        self.outstanding += 1;
+        Ok(id)
+    }
+
+    /// Returns the next available response: a stashed one if any, else
+    /// the next frame off the wire, in the order the server finished them.
+    pub fn recv(&mut self) -> std::io::Result<(u64, Response)> {
+        if let Some(entry) = self.stash.pop_front() {
+            self.outstanding -= 1;
+            return Ok(entry);
+        }
+        let entry = self.read_one()?;
+        self.outstanding -= 1;
+        Ok(entry)
+    }
+
+    /// Blocks until the response for `frame_id` arrives, stashing any
+    /// responses for other in-flight frames that arrive first.
+    pub fn wait(&mut self, frame_id: u64) -> std::io::Result<Response> {
+        if let Some(pos) = self.stash.iter().position(|(id, _)| *id == frame_id) {
+            let (_, resp) = self.stash.remove(pos).expect("position just found");
+            self.outstanding -= 1;
+            return Ok(resp);
+        }
+        loop {
+            let (id, resp) = self.read_one()?;
+            if id == frame_id {
+                self.outstanding -= 1;
+                return Ok(resp);
+            }
+            self.stash.push_back((id, resp));
+        }
+    }
+
+    /// Submits and waits — strict request/response over the pipelined
+    /// codec, for mixed call sites.
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
+        let id = self.submit(req)?;
+        self.wait(id)
+    }
+
+    fn read_one(&mut self) -> std::io::Result<(u64, Response)> {
+        match read_frame(&mut self.reader)? {
+            Some(payload) => {
+                let (_, frame_id, resp) = decode_response_framed(&payload).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                })?;
+                Ok((frame_id, resp))
+            }
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection with frames in flight",
+            )),
+        }
     }
 }
 

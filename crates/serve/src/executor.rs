@@ -22,6 +22,14 @@
 //! Shutdown closes every queue (new pushes refuse with `ShuttingDown`),
 //! lets workers drain what is queued — both classes — then joins them: no
 //! accepted request is ever dropped without a response.
+//!
+//! **Sharding and work stealing.** Model lanes are sharded across the
+//! worker pool (lane `i` is homed on worker `i % workers`): each worker
+//! services its own shard first, so one hot model's long sweeps occupy at
+//! most its home worker while every other model keeps its own. Only when a
+//! worker's shard has nothing ready does it *steal* one ready lane from
+//! another shard (counted in the stats `reactor.steals` gauge), so idle
+//! capacity still flows to the hot model instead of spinning.
 
 use crate::brownout::{BrownoutConfig, BrownoutController, BrownoutTransition};
 use crate::discipline::{Decision, DisciplineCtx, QueueDiscipline, SloAware};
@@ -177,6 +185,10 @@ pub struct Executor {
     paused: AtomicBool,
     draining: AtomicBool,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Called after a worker answers any batch of jobs. The reactor front
+    /// end installs a wake-fd ping here so completed replies are written
+    /// back without polling.
+    completion_hook: std::sync::OnceLock<Box<dyn Fn() + Send + Sync>>,
 }
 
 impl Executor {
@@ -223,6 +235,7 @@ impl Executor {
             paused: AtomicBool::new(false),
             draining: AtomicBool::new(false),
             workers: Mutex::new(Vec::new()),
+            completion_hook: std::sync::OnceLock::new(),
             config,
         });
         let mut workers = exec.workers.lock().expect("executor poisoned");
@@ -231,7 +244,7 @@ impl Executor {
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("dls-serve-worker-{k}"))
-                    .spawn(move || exec.worker_loop())
+                    .spawn(move || exec.worker_loop(k))
                     .expect("spawn worker"),
             );
         }
@@ -556,7 +569,65 @@ impl Executor {
         }
     }
 
-    fn worker_loop(&self) {
+    /// Installs the completion hook, called once after every answered
+    /// batch. One-shot: the reactor front end sets it before serving.
+    pub fn set_completion_hook(&self, hook: Box<dyn Fn() + Send + Sync>) {
+        let _ = self.completion_hook.set(hook);
+    }
+
+    fn notify_completions(&self) {
+        if let Some(hook) = self.completion_hook.get() {
+            hook();
+        }
+    }
+
+    /// Applies the discipline to one lane and runs any drained batch.
+    /// Returns whether anything executed.
+    fn service_lane(
+        &self,
+        lane: &ModelLane,
+        draining: bool,
+        next_wait: &mut Duration,
+        ws: &mut PredictWorkspace,
+    ) -> bool {
+        let pending = lane.queue.pending();
+        if pending.is_empty() {
+            return false;
+        }
+        let plan = if draining {
+            // Shutdown is a drain, not a drop: skip the discipline's
+            // gather holds entirely.
+            Some(DrainPlan::drain_all())
+        } else {
+            let ctx = DisciplineCtx {
+                now: Instant::now(),
+                gather: self.effective_gather(),
+                max_block: self.config.max_block,
+                est_block: self.est_block(lane),
+            };
+            match self.config.discipline.decide(&pending, &ctx) {
+                Decision::Drain(plan) => Some(plan),
+                Decision::Wait(d) => {
+                    *next_wait = (*next_wait).min(d.max(Duration::from_micros(100)));
+                    None
+                }
+            }
+        };
+        if let Some(plan) = plan {
+            let batch = lane.queue.drain(&plan);
+            if !batch.is_empty() {
+                self.run_predict(&lane.served, batch, ws);
+                self.notify_completions();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn worker_loop(&self, worker: usize) {
+        let shards = self.config.workers.max(1);
+        let home: Vec<usize> = (0..self.lanes.len()).filter(|i| i % shards == worker).collect();
+        let away: Vec<usize> = (0..self.lanes.len()).filter(|i| i % shards != worker).collect();
         let mut ws = PredictWorkspace::new();
         let mut seen = 0;
         loop {
@@ -564,35 +635,21 @@ impl Executor {
             let mut next_wait = Duration::from_millis(2);
             if !self.paused.load(Ordering::SeqCst) {
                 let draining = self.draining.load(Ordering::SeqCst);
-                for lane in &self.lanes {
-                    let pending = lane.queue.pending();
-                    if pending.is_empty() {
-                        continue;
-                    }
-                    let plan = if draining {
-                        // Shutdown is a drain, not a drop: skip the
-                        // discipline's gather holds entirely.
-                        Some(DrainPlan::drain_all())
-                    } else {
-                        let ctx = DisciplineCtx {
-                            now: Instant::now(),
-                            gather: self.effective_gather(),
-                            max_block: self.config.max_block,
-                            est_block: self.est_block(lane),
-                        };
-                        match self.config.discipline.decide(&pending, &ctx) {
-                            Decision::Drain(plan) => Some(plan),
-                            Decision::Wait(d) => {
-                                next_wait = next_wait.min(d.max(Duration::from_micros(100)));
-                                None
-                            }
-                        }
-                    };
-                    if let Some(plan) = plan {
-                        let batch = lane.queue.drain(&plan);
-                        if !batch.is_empty() {
-                            self.run_predict(&lane.served, batch, &mut ws);
+                for &i in &home {
+                    worked |= self.service_lane(&self.lanes[i], draining, &mut next_wait, &mut ws);
+                }
+                // Work stealing: only an otherwise-idle worker crosses
+                // shards (every worker helps during the shutdown drain),
+                // so a hot model soaks up spare capacity without taking
+                // any other model's home worker.
+                if !worked || draining {
+                    for &i in &away {
+                        if self.service_lane(&self.lanes[i], draining, &mut next_wait, &mut ws) {
+                            FaultCounters::bump(&self.stats.reactor.steals);
                             worked = true;
+                            if !draining {
+                                break; // one steal per pass, then re-check home
+                            }
                         }
                     }
                 }
@@ -602,6 +659,7 @@ impl Executor {
                     max_batch_weight: 1,
                 }) {
                     self.run_schedule(job);
+                    self.notify_completions();
                     worked = true;
                 }
             }

@@ -49,19 +49,32 @@
 //! and degradation event is counted in the stats JSON, and a `Health`
 //! request reports the live ladder.
 //!
+//! The I/O front end is selectable ([`server::Frontend`]): the classic
+//! thread-per-connection handler, or the readiness-driven [`reactor`] —
+//! one event-loop thread over a hand-rolled epoll wrapper
+//! ([`reactor::poll`]) driving every connection as a nonblocking state
+//! machine. Protocol v3 frames carry a `frame_id`, so a v3 client (see
+//! [`client::PipelinedClient`]) can pipeline many requests on one socket
+//! and take responses out of order as the executor finishes them; v1/v2
+//! clients interoperate unchanged, served one-in-flight at their arrival
+//! version. The executor runs sharded per-model lanes with idle-worker
+//! work stealing, and the reactor's gauges (open connections, in-flight
+//! pipelined frames, steals, wakeups) land in the stats JSON.
+//!
 //! Layer map:
 //!
 //! ```text
-//! client  --v1/v2 frames-->  server (acceptor + connection threads,
-//!    |                          |    read/write/idle timeouts,
-//!    |  RetryClient:            |    FaultStream I/O wrapper)
-//!    |  reconnect+backoff       |  admission: projected miss / queue
-//!    |                          |  full / brown-out shed -> Busy
+//! client  --v1/v2/v3 frames-->  server (threads: acceptor + connection
+//!    |                          |    threads | reactor: epoll event loop,
+//!    |  RetryClient:            |    read/write/idle timeouts,
+//!    |  reconnect+backoff       |    FaultStream I/O wrapper)
+//!    |  PipelinedClient:        |  admission: projected miss / queue
+//!    |  many frames in flight   |  full / brown-out shed -> Busy
 //!    |                          v
-//!    |                       executor (worker pool, per-model
-//!    |                          |       ClassedQueues, QueueDiscipline,
-//!    |                          |       catch_unwind panic isolation,
-//!    |                          |       BrownoutController)
+//!    |                       executor (sharded worker pool + stealing,
+//!    |                          |       per-model ClassedQueues,
+//!    |                          |       QueueDiscipline, catch_unwind
+//!    |                          |       panic isolation, BrownoutController)
 //!    |                          |  coalesce <= MAX_SMSV_BLOCK vectors
 //!    |                          v
 //!    |                       registry (ServedModel: scheduled +
@@ -79,13 +92,15 @@ pub mod fault;
 pub mod latency;
 pub mod proto;
 pub mod queue;
+pub mod reactor;
 pub mod registry;
 pub mod server;
 pub mod stats;
 
 pub use brownout::{BrownoutConfig, BrownoutController, BrownoutTransition};
 pub use client::{
-    ClientError, PredictRequest, RetryClient, RetryPolicy, ScheduleRequest, ServeClient,
+    ClientError, PipelinedClient, PredictRequest, RetryClient, RetryPolicy, ScheduleRequest,
+    ServeClient,
 };
 pub use discipline::{
     parse_discipline, Decision, DisciplineCtx, Fifo, QueueDiscipline, SloAware, StrictPriority,
@@ -99,10 +114,13 @@ pub use latency::{AnalyticLatencyEstimator, TreeLatencyEstimator};
 #[allow(deprecated)]
 pub use proto::MAX_FRAME;
 pub use proto::{
+    decode_request_framed, decode_response_framed, encode_request_framed, encode_response_framed,
     proto_error_of, ProtoError, Request, RequestClass, Response, ACCEPTED_VERSIONS, MAX_FRAME_LEN,
-    PROTO_V1, PROTO_VERSION,
+    PROTO_V1, PROTO_V2, PROTO_VERSION,
 };
 pub use queue::{ClassedQueue, DrainOrder, DrainPlan, JobMeta, PushError};
 pub use registry::{ModelHealth, ModelRegistry, ServedModel, QUARANTINE_PANICS};
-pub use server::{start, ServerConfig, ServerHandle};
-pub use stats::{parse_block_hist, ClassStats, DegradeCounters, FaultCounters, ServeStats};
+pub use server::{start, Frontend, ServerConfig, ServerHandle};
+pub use stats::{
+    parse_block_hist, ClassStats, DegradeCounters, FaultCounters, ReactorCounters, ServeStats,
+};

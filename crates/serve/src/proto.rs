@@ -6,27 +6,32 @@
 //! the message fields (no self-description — both ends share this module).
 //!
 //! ```text
-//! frame   := u32 len | payload               len = payload bytes, <= MAX_FRAME_LEN
-//! payload := u8 version | u8 tag | body
-//! string  := u32 len | utf-8 bytes
-//! vec<T>  := u32 count | T*count
-//! sparse  := u64 dim | vec<u64> indices | vec<f64> values (parallel arrays)
+//! frame      := u32 len | payload            len = payload bytes, <= MAX_FRAME_LEN
+//! payload v3 := u8 version | u64 frame_id | u8 tag | body
+//! payload v1/v2 := u8 version | u8 tag | body
+//! string     := u32 len | utf-8 bytes
+//! vec<T>     := u32 count | T*count
+//! sparse     := u64 dim | vec<u64> indices | vec<f64> values (parallel arrays)
 //! ```
 //!
-//! **Versioning.** Two versions are live. v2 (current) carries a request
-//! class and a per-request SLO on `Predict`:
+//! **Versioning.** Three versions are live. v3 (current) prefixes every
+//! message with a `frame_id` so one connection can *pipeline* many
+//! in-flight requests: the server echoes the id on the matching response,
+//! which may arrive out of order. v2 added a request class and a
+//! per-request SLO on `Predict`:
 //!
 //! ```text
-//! Predict v2 := string model | u32 deadline_ms | u8 class | u32 slo_us | vec<sparse>
-//! Predict v1 := string model | u32 deadline_ms | vec<sparse>
+//! Predict v2/v3 := string model | u32 deadline_ms | u8 class | u32 slo_us | vec<sparse>
+//! Predict v1    := string model | u32 deadline_ms | vec<sparse>
 //! ```
 //!
 //! v1 frames decode as [`RequestClass::Interactive`] with `slo_us = 0`
 //! (meaning: fall back to the legacy deadline, then the server's per-class
-//! default), so old clients keep working against a v2 server; the server
-//! answers each request with the version it arrived in, so old clients
-//! also keep *decoding*. All other message bodies are identical in both
-//! versions.
+//! default), and v1/v2 frames decode with `frame_id = 0` and are served
+//! one-in-flight, so old clients keep working against a v3 server; the
+//! server answers each request with the version it arrived in, so old
+//! clients also keep *decoding*. All other message bodies are identical
+//! across versions.
 //!
 //! The decoder is total: truncated, oversized, or malformed input yields a
 //! [`ProtoError`], never a panic, and claimed element counts are checked
@@ -37,13 +42,18 @@ use dls_sparse::{SparseVec, TripletMatrix};
 use std::io::{Read, Write};
 
 /// Current protocol version byte; bumped on any incompatible change.
-pub const PROTO_VERSION: u8 = 2;
+/// v3 frames carry a `frame_id` for pipelined, out-of-order responses.
+pub const PROTO_VERSION: u8 = 3;
 
 /// The legacy protocol version (no request classes / SLOs on the wire).
 pub const PROTO_V1: u8 = 1;
 
+/// The first version with request classes / SLOs on the wire (but no
+/// `frame_id`: one request in flight per connection).
+pub const PROTO_V2: u8 = 2;
+
 /// Every version this module can decode.
-pub const ACCEPTED_VERSIONS: [u8; 2] = [PROTO_V1, PROTO_VERSION];
+pub const ACCEPTED_VERSIONS: [u8; 3] = [PROTO_V1, PROTO_V2, PROTO_VERSION];
 
 /// The traffic class a predict request belongs to. Classes are the unit
 /// SLOs attach to: interactive requests expect sub-millisecond-to-
@@ -341,25 +351,37 @@ const RESP_SHUTTING_DOWN: u8 = 134;
 const RESP_ERROR: u8 = 135;
 const RESP_HEALTH: u8 = 136;
 
-/// Encodes a request into a v2 frame payload (version + tag + body).
+/// Encodes a request into a current-version frame payload with
+/// `frame_id = 0` (version + frame id + tag + body).
 pub fn encode_request(req: &Request) -> Vec<u8> {
     encode_request_version(req, PROTO_VERSION)
 }
 
-/// Encodes a request at an explicit protocol version. v1 encoding is
-/// lossy for `Predict`: the class and SLO are dropped (a v1 receiver will
-/// reconstruct `Interactive` / `slo_us = 0`) — exactly what a legacy
-/// client binary would send. Panics on an unknown version; callers pick
-/// from [`ACCEPTED_VERSIONS`].
+/// Encodes a request at an explicit protocol version with `frame_id = 0`.
+/// See [`encode_request_framed`] for lossiness and panics.
 pub fn encode_request_version(req: &Request, version: u8) -> Vec<u8> {
+    encode_request_framed(req, version, 0)
+}
+
+/// Encodes a request at an explicit protocol version and frame id.
+/// Encoding below v3 is lossy: the frame id is dropped (those versions
+/// are one-in-flight, so a receiver reconstructs `0`), and v1 also drops
+/// the `Predict` class and SLO (a v1 receiver will reconstruct
+/// `Interactive` / `slo_us = 0`) — exactly what a legacy client binary
+/// would send. Panics on an unknown version; callers pick from
+/// [`ACCEPTED_VERSIONS`].
+pub fn encode_request_framed(req: &Request, version: u8, frame_id: u64) -> Vec<u8> {
     assert!(ACCEPTED_VERSIONS.contains(&version), "unknown protocol version {version}");
     let mut out = vec![version];
+    if version >= PROTO_VERSION {
+        put_u64(&mut out, frame_id);
+    }
     match req {
         Request::Predict { model, deadline_ms, class, slo_us, vectors } => {
             out.push(REQ_PREDICT);
             put_str(&mut out, model);
             put_u32(&mut out, *deadline_ms);
-            if version >= PROTO_VERSION {
+            if version >= PROTO_V2 {
                 out.push(*class as u8);
                 put_u32(&mut out, *slo_us);
             }
@@ -387,7 +409,7 @@ pub fn encode_request_version(req: &Request, version: u8) -> Vec<u8> {
     out
 }
 
-/// Decodes a request frame payload (either live version).
+/// Decodes a request frame payload (any live version).
 pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
     decode_request_versioned(payload).map(|(_, req)| req)
 }
@@ -395,11 +417,19 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
 /// Decodes a request frame payload and reports which protocol version it
 /// arrived in, so the server can answer in kind.
 pub fn decode_request_versioned(payload: &[u8]) -> Result<(u8, Request), ProtoError> {
+    decode_request_framed(payload).map(|(version, _, req)| (version, req))
+}
+
+/// Decodes a request frame payload, reporting the protocol version it
+/// arrived in and its frame id (`0` for pre-v3 frames, which are served
+/// one-in-flight).
+pub fn decode_request_framed(payload: &[u8]) -> Result<(u8, u64, Request), ProtoError> {
     let mut r = Reader { bytes: payload, pos: 0 };
     let version = r.u8()?;
     if !ACCEPTED_VERSIONS.contains(&version) {
         return Err(ProtoError::BadVersion(version));
     }
+    let frame_id = if version >= PROTO_VERSION { r.u64()? } else { 0 };
     let tag = r.u8()?;
     let req = match tag {
         REQ_PREDICT => {
@@ -407,7 +437,7 @@ pub fn decode_request_versioned(payload: &[u8]) -> Result<(u8, Request), ProtoEr
             let deadline_ms = r.u32()?;
             // v1 has no class/SLO on the wire: legacy traffic is
             // interactive with only its coarse deadline.
-            let (class, slo_us) = if version >= PROTO_VERSION {
+            let (class, slo_us) = if version >= PROTO_V2 {
                 (RequestClass::from_wire(r.u8()?)?, r.u32()?)
             } else {
                 (RequestClass::Interactive, 0)
@@ -437,22 +467,33 @@ pub fn decode_request_versioned(payload: &[u8]) -> Result<(u8, Request), ProtoEr
         t => return Err(ProtoError::BadTag(t)),
     };
     r.finish()?;
-    Ok((version, req))
+    Ok((version, frame_id, req))
 }
 
-/// Encodes a response into a v2 frame payload.
+/// Encodes a response into a current-version frame payload with
+/// `frame_id = 0`.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     encode_response_version(resp, PROTO_VERSION)
 }
 
-/// Encodes a response stamped with an explicit protocol version — the
-/// server answers each request with the version it arrived in, so a v1
-/// client never sees a version byte it would reject. Response bodies are
-/// identical across live versions; only the stamp differs. Panics on an
-/// unknown version.
+/// Encodes a response at an explicit protocol version with `frame_id = 0`.
+/// See [`encode_response_framed`].
 pub fn encode_response_version(resp: &Response, version: u8) -> Vec<u8> {
+    encode_response_framed(resp, version, 0)
+}
+
+/// Encodes a response stamped with an explicit protocol version and frame
+/// id — the server answers each request with the version it arrived in
+/// (so a v1 client never sees a version byte it would reject) and echoes
+/// the request's frame id (dropped below v3, where responses arrive in
+/// order). Response bodies are identical across live versions; only the
+/// header differs. Panics on an unknown version.
+pub fn encode_response_framed(resp: &Response, version: u8, frame_id: u64) -> Vec<u8> {
     assert!(ACCEPTED_VERSIONS.contains(&version), "unknown protocol version {version}");
     let mut out = vec![version];
+    if version >= PROTO_VERSION {
+        put_u64(&mut out, frame_id);
+    }
     match resp {
         Response::Predictions(values) => {
             out.push(RESP_PREDICTIONS);
@@ -490,13 +531,22 @@ pub fn encode_response_version(resp: &Response, version: u8) -> Vec<u8> {
     out
 }
 
-/// Decodes a response frame payload (either live version).
+/// Decodes a response frame payload (any live version).
 pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
+    decode_response_framed(payload).map(|(_, _, resp)| resp)
+}
+
+/// Decodes a response frame payload, reporting the protocol version it
+/// arrived in and the echoed frame id (`0` for pre-v3 frames). The frame
+/// id is how a pipelining client matches out-of-order responses back to
+/// their requests.
+pub fn decode_response_framed(payload: &[u8]) -> Result<(u8, u64, Response), ProtoError> {
     let mut r = Reader { bytes: payload, pos: 0 };
     let version = r.u8()?;
     if !ACCEPTED_VERSIONS.contains(&version) {
         return Err(ProtoError::BadVersion(version));
     }
+    let frame_id = if version >= PROTO_VERSION { r.u64()? } else { 0 };
     let tag = r.u8()?;
     let resp = match tag {
         RESP_PREDICTIONS => {
@@ -528,7 +578,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
         t => return Err(ProtoError::BadTag(t)),
     };
     r.finish()?;
-    Ok(resp)
+    Ok((version, frame_id, resp))
 }
 
 // ---- framing ------------------------------------------------------------
@@ -600,6 +650,15 @@ mod tests {
         )
     }
 
+    /// Hand-builds a current-version payload header: version, frame id 0,
+    /// tag.
+    fn v3_header(tag: u8) -> Vec<u8> {
+        let mut out = vec![PROTO_VERSION];
+        put_u64(&mut out, 0);
+        out.push(tag);
+        out
+    }
+
     #[test]
     fn requests_round_trip() {
         let reqs = [
@@ -663,7 +722,7 @@ mod tests {
     #[test]
     fn lying_counts_are_rejected_before_allocation() {
         // A Predict frame claiming u32::MAX vectors with no bytes behind it.
-        let mut payload = vec![PROTO_VERSION, REQ_PREDICT];
+        let mut payload = v3_header(REQ_PREDICT);
         put_str(&mut payload, "m");
         put_u32(&mut payload, 0); // deadline
         payload.push(0); // class
@@ -675,7 +734,7 @@ mod tests {
     #[test]
     fn invalid_sparse_vectors_are_protocol_errors() {
         // Indices out of order.
-        let mut payload = vec![PROTO_VERSION, REQ_PREDICT];
+        let mut payload = v3_header(REQ_PREDICT);
         put_str(&mut payload, "m");
         put_u32(&mut payload, 0);
         payload.push(1); // class: batch
@@ -693,9 +752,10 @@ mod tests {
     #[test]
     fn bad_version_tag_and_class_are_rejected() {
         assert_eq!(decode_request(&[9, REQ_STATS]), Err(ProtoError::BadVersion(9)));
-        assert_eq!(decode_request(&[PROTO_VERSION, 99]), Err(ProtoError::BadTag(99)));
-        assert_eq!(decode_response(&[PROTO_VERSION, 3]), Err(ProtoError::BadTag(3)));
-        let mut payload = vec![PROTO_VERSION, REQ_PREDICT];
+        assert_eq!(decode_request(&v3_header(99)), Err(ProtoError::BadTag(99)));
+        assert_eq!(decode_request(&[PROTO_V2, 99]), Err(ProtoError::BadTag(99)));
+        assert_eq!(decode_response(&v3_header(3)), Err(ProtoError::BadTag(3)));
+        let mut payload = v3_header(REQ_PREDICT);
         put_str(&mut payload, "m");
         put_u32(&mut payload, 0);
         payload.push(7); // no such class
@@ -733,9 +793,15 @@ mod tests {
     fn non_predict_requests_are_version_stable() {
         for req in [Request::Stats, Request::Health, Request::Shutdown] {
             let v1 = encode_request_version(&req, PROTO_V1);
-            let v2 = encode_request_version(&req, PROTO_VERSION);
+            let v2 = encode_request_version(&req, PROTO_V2);
+            let v3 = encode_request_version(&req, PROTO_VERSION);
             assert_eq!(&v1[1..], &v2[1..], "{req:?} bodies must match across versions");
+            // v3 inserts an 8-byte frame id between version and tag; the
+            // body after it is unchanged.
+            assert_eq!(&v2[1..], &v3[9..], "{req:?} v3 body must match pre-v3");
             assert_eq!(decode_request(&v1).unwrap(), req);
+            assert_eq!(decode_request(&v2).unwrap(), req);
+            assert_eq!(decode_request(&v3).unwrap(), req);
         }
     }
 
@@ -745,9 +811,47 @@ mod tests {
         let v1 = encode_response_version(&resp, PROTO_V1);
         assert_eq!(v1[0], PROTO_V1);
         assert_eq!(decode_response(&v1).unwrap(), resp);
-        let v2 = encode_response_version(&resp, PROTO_VERSION);
-        assert_eq!(v2[0], PROTO_VERSION);
+        let v2 = encode_response_version(&resp, PROTO_V2);
+        assert_eq!(v2[0], PROTO_V2);
         assert_eq!(&v1[1..], &v2[1..], "response bodies are version-independent");
+        let v3 = encode_response_version(&resp, PROTO_VERSION);
+        assert_eq!(v3[0], PROTO_VERSION);
+        assert_eq!(&v2[1..], &v3[9..], "v3 body must match pre-v3 after the frame id");
+    }
+
+    #[test]
+    fn v3_frames_carry_and_echo_the_frame_id() {
+        let req = Request::Predict {
+            model: "m".into(),
+            deadline_ms: 10,
+            class: RequestClass::Batch,
+            slo_us: 500,
+            vectors: vec![sv(4, &[(1, 2.0)])],
+        };
+        let payload = encode_request_framed(&req, PROTO_VERSION, u64::MAX - 7);
+        let (version, frame_id, decoded) = decode_request_framed(&payload).unwrap();
+        assert_eq!((version, frame_id), (PROTO_VERSION, u64::MAX - 7));
+        assert_eq!(decoded, req);
+
+        let resp = Response::Predictions(vec![0.5]);
+        let payload = encode_response_framed(&resp, PROTO_VERSION, 42);
+        let (version, frame_id, decoded) = decode_response_framed(&payload).unwrap();
+        assert_eq!((version, frame_id), (PROTO_VERSION, 42));
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn pre_v3_frames_decode_with_frame_id_zero() {
+        for version in [PROTO_V1, PROTO_V2] {
+            // The frame id is dropped by pre-v3 encodings…
+            let payload = encode_request_framed(&Request::Stats, version, 999);
+            let (v, frame_id, req) = decode_request_framed(&payload).unwrap();
+            assert_eq!((v, frame_id, req), (version, 0, Request::Stats));
+            // …and on responses too.
+            let payload = encode_response_framed(&Response::Busy, version, 999);
+            let (v, frame_id, resp) = decode_response_framed(&payload).unwrap();
+            assert_eq!((v, frame_id, resp), (version, 0, Response::Busy));
+        }
     }
 
     #[test]

@@ -1,11 +1,17 @@
-//! The TCP front end: acceptor, per-connection handlers, graceful drain.
+//! The TCP front ends: acceptor, connection handling, graceful drain.
 //!
-//! One thread accepts connections (non-blocking, so it can observe the
-//! shutdown flag); each connection gets a handler thread that reads
-//! frames, dispatches to the [`Executor`], and writes the reply. The
-//! protocol is strictly request/response per connection, so a handler has
-//! at most one job in flight — concurrency comes from concurrent
-//! connections, which is exactly what feeds the batching executor.
+//! Two selectable front ends share this module's dispatch and hardening
+//! logic ([`ServerConfig::frontend`]):
+//!
+//! * **`threads`** — one thread accepts connections (non-blocking, so it
+//!   can observe the shutdown flag); each connection gets a handler
+//!   thread that reads frames, dispatches to the [`Executor`], and
+//!   writes the reply. A handler serves strictly in order, one request
+//!   at a time — concurrency comes from concurrent connections.
+//! * **`reactor`** — a single event-loop thread drives every connection
+//!   through epoll readiness (see [`crate::reactor`]); protocol-v3
+//!   clients can pipeline many requests per connection and receive
+//!   responses out of order by `frame_id`.
 //!
 //! Shutdown (a `Shutdown` frame, or [`ServerHandle::shutdown`], which the
 //! CLI wires to its exit path as the stand-in for SIGTERM/ctrl-c in this
@@ -27,7 +33,7 @@
 use crate::executor::{parse_strategy, Executor, ExecutorConfig};
 use crate::fault::{FaultSite, FaultStream};
 use crate::proto::{
-    decode_request_versioned, encode_response_version, entries_to_triplets, proto_error_of,
+    decode_request_framed, encode_response_framed, entries_to_triplets, proto_error_of,
     write_frame, ProtoError, Request, Response, MAX_FRAME_LEN, PROTO_VERSION,
 };
 use crate::registry::ModelRegistry;
@@ -38,6 +44,38 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// Which I/O front end serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frontend {
+    /// Thread-per-connection: simple, serial per connection, one stack
+    /// per open socket.
+    Threads,
+    /// Readiness-driven event loop: one thread for all connections,
+    /// pipelined protocol v3.
+    Reactor,
+}
+
+impl std::str::FromStr for Frontend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" => Ok(Frontend::Threads),
+            "reactor" => Ok(Frontend::Reactor),
+            other => Err(format!("unknown frontend '{other}' (expected threads|reactor)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Frontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Frontend::Threads => "threads",
+            Frontend::Reactor => "reactor",
+        })
+    }
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -55,6 +93,8 @@ pub struct ServerConfig {
     /// How long a connection may sit idle *between* frames before it is
     /// reaped. Reaping at the boundary is safe: no state is in flight.
     pub idle_timeout: Duration,
+    /// Which I/O front end to run.
+    pub frontend: Frontend,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +105,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(60),
+            frontend: Frontend::Threads,
         }
     }
 }
@@ -147,6 +188,28 @@ pub fn start(
         write_timeout: config.write_timeout,
         idle_timeout: config.idle_timeout,
     };
+    if config.frontend == Frontend::Reactor {
+        let acceptor = {
+            let executor = Arc::clone(&executor);
+            let shutdown = Arc::clone(&shutdown);
+            let active = Arc::clone(&active_connections);
+            std::thread::Builder::new()
+                .name("dls-serve-reactor".to_string())
+                .spawn(move || {
+                    let _ =
+                        crate::reactor::serve_reactor(listener, executor, shutdown, active, limits);
+                })
+                .expect("spawn reactor")
+        };
+        return Ok(ServerHandle {
+            executor,
+            shutdown,
+            local_addr,
+            acceptor: Mutex::new(Some(acceptor)),
+            active_connections,
+        });
+    }
+
     let acceptor = {
         let executor = Arc::clone(&executor);
         let shutdown = Arc::clone(&shutdown);
@@ -189,18 +252,18 @@ pub fn start(
     })
 }
 
-/// Per-connection time budgets.
+/// Per-connection time budgets, shared by both front ends.
 #[derive(Debug, Clone)]
-struct ConnLimits {
-    read_timeout: Duration,
-    write_timeout: Duration,
-    idle_timeout: Duration,
+pub(crate) struct ConnLimits {
+    pub(crate) read_timeout: Duration,
+    pub(crate) write_timeout: Duration,
+    pub(crate) idle_timeout: Duration,
 }
 
 impl ConnLimits {
     /// The socket tick: short enough to observe the tightest budget a few
     /// times over.
-    fn tick(&self) -> Duration {
+    pub(crate) fn tick(&self) -> Duration {
         Duration::from_millis(50)
             .min(self.read_timeout / 4)
             .min(self.idle_timeout / 4)
@@ -312,7 +375,7 @@ fn read_frame_timed(
 }
 
 /// Counts peer-initiated connection failures before passing them on.
-fn classify_read_error(e: std::io::Error, stats: &ServeStats) -> std::io::Error {
+pub(crate) fn classify_read_error(e: std::io::Error, stats: &ServeStats) -> std::io::Error {
     match e.kind() {
         std::io::ErrorKind::ConnectionReset
         | std::io::ErrorKind::ConnectionAborted
@@ -352,25 +415,31 @@ fn handle_connection(
                 if proto_error_of(&e).is_some() {
                     let resp = Response::Error(format!("protocol error: {e}"));
                     let _ =
-                        write_frame(&mut writer, &encode_response_version(&resp, PROTO_VERSION));
+                        write_frame(&mut writer, &encode_response_framed(&resp, PROTO_VERSION, 0));
                 }
                 return Err(e);
             }
         };
         // Decode tolerantly across protocol versions and echo the
-        // response at the version the request arrived in, so v1 clients
-        // interoperate with a v2 server frame-for-frame.
-        let (version, response) = match decode_request_versioned(&payload) {
+        // response at the version (and, for v3, the frame id) the request
+        // arrived in, so older clients interoperate frame-for-frame. This
+        // front end answers strictly in order, which is a valid — if
+        // serial — v3 pipelining schedule.
+        let (version, frame_id, response) = match decode_request_framed(&payload) {
             Err(e) => {
                 FaultCounters::bump(&stats.faults.protocol_errors);
-                (PROTO_VERSION, Response::Error(format!("protocol error: {e}")))
+                (PROTO_VERSION, 0, Response::Error(format!("protocol error: {e}")))
             }
-            Ok((version, _)) if shutdown.load(Ordering::SeqCst) => {
-                (version, Response::ShuttingDown)
+            Ok((version, frame_id, _)) if shutdown.load(Ordering::SeqCst) => {
+                (version, frame_id, Response::ShuttingDown)
             }
-            Ok((version, request)) => (version, dispatch(request, executor, shutdown)),
+            Ok((version, frame_id, request)) => {
+                (version, frame_id, dispatch(request, executor, shutdown))
+            }
         };
-        if let Err(e) = write_frame(&mut writer, &encode_response_version(&response, version)) {
+        if let Err(e) =
+            write_frame(&mut writer, &encode_response_framed(&response, version, frame_id))
+        {
             match e.kind() {
                 std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
                     FaultCounters::bump(&stats.faults.conn_write_timeouts);
@@ -382,12 +451,25 @@ fn handle_connection(
     }
 }
 
-fn dispatch(request: Request, executor: &Executor, shutdown: &AtomicBool) -> Response {
+/// The outcome of submitting a request: answered inline, or parked on the
+/// executor with a receiver for the eventual reply. The threads front end
+/// awaits `Pending` immediately; the reactor parks it and keeps serving.
+pub(crate) enum Dispatched {
+    Ready(Response),
+    Pending(std::sync::mpsc::Receiver<Response>),
+}
+
+/// Routes one request without blocking on the executor.
+pub(crate) fn dispatch_async(
+    request: Request,
+    executor: &Executor,
+    shutdown: &AtomicBool,
+) -> Dispatched {
     match request {
         Request::Predict { model, deadline_ms, class, slo_us, vectors } => {
             match executor.submit_predict(&model, vectors, class, slo_us, deadline_ms) {
-                Ok(rx) => await_reply(rx),
-                Err(refusal) => refusal,
+                Ok(rx) => Dispatched::Pending(rx),
+                Err(refusal) => Dispatched::Ready(refusal),
             }
         }
         Request::Schedule { strategy, rows, cols, entries } => {
@@ -395,19 +477,19 @@ fn dispatch(request: Request, executor: &Executor, shutdown: &AtomicBool) -> Res
                 Ok(s) => s,
                 Err(msg) => {
                     executor.stats().schedule.record_error();
-                    return Response::Error(msg);
+                    return Dispatched::Ready(Response::Error(msg));
                 }
             };
             let triplets = match entries_to_triplets(rows, cols, &entries) {
                 Ok(t) => t,
                 Err(e) => {
                     executor.stats().schedule.record_error();
-                    return Response::Error(format!("bad matrix: {e}"));
+                    return Dispatched::Ready(Response::Error(format!("bad matrix: {e}")));
                 }
             };
             match executor.submit_schedule(triplets, strategy, 0) {
-                Ok(rx) => await_reply(rx),
-                Err(refusal) => refusal,
+                Ok(rx) => Dispatched::Pending(rx),
+                Err(refusal) => Dispatched::Ready(refusal),
             }
         }
         Request::Stats => {
@@ -415,15 +497,22 @@ fn dispatch(request: Request, executor: &Executor, shutdown: &AtomicBool) -> Res
             let json =
                 executor.stats().snapshot_json(executor.registry(), &executor.queue_depths());
             executor.stats().stats.record_ok(start.elapsed());
-            Response::Stats(json)
+            Dispatched::Ready(Response::Stats(json))
         }
-        Request::Health => Response::Health(executor.health_json()),
+        Request::Health => Dispatched::Ready(Response::Health(executor.health_json())),
         Request::Shutdown => {
             // Ack first; ServerHandle::join (or the smoke harness) observes
             // the flag and performs the drain.
             shutdown.store(true, Ordering::SeqCst);
-            Response::ShuttingDown
+            Dispatched::Ready(Response::ShuttingDown)
         }
+    }
+}
+
+fn dispatch(request: Request, executor: &Executor, shutdown: &AtomicBool) -> Response {
+    match dispatch_async(request, executor, shutdown) {
+        Dispatched::Ready(resp) => resp,
+        Dispatched::Pending(rx) => await_reply(rx),
     }
 }
 

@@ -296,6 +296,35 @@ impl DegradeCounters {
     }
 }
 
+/// Counters and gauges for the readiness-driven front end
+/// (`serve::reactor`) and the sharded executor's work stealing. All zero
+/// under the thread-per-connection front end (except `steals`, which the
+/// executor owns regardless of front end).
+#[derive(Debug, Default)]
+pub struct ReactorCounters {
+    /// Gauge: connections currently registered with the reactor.
+    pub open_connections: AtomicU64,
+    /// Gauge: pipelined requests currently in flight (submitted to the
+    /// executor, response not yet written back).
+    pub pipelined_in_flight: AtomicU64,
+    /// Times an executor worker drained a lane outside its home shard.
+    pub steals: AtomicU64,
+    /// Readiness wakeups: one per `epoll_wait` return in the event loop.
+    pub wakeups: AtomicU64,
+}
+
+impl ReactorCounters {
+    fn to_json(&self) -> JsonValue {
+        let get = |c: &AtomicU64| JsonValue::from(c.load(Ordering::Relaxed));
+        JsonValue::obj([
+            ("open_connections", get(&self.open_connections)),
+            ("pipelined_in_flight", get(&self.pipelined_in_flight)),
+            ("steals", get(&self.steals)),
+            ("wakeups", get(&self.wakeups)),
+        ])
+    }
+}
+
 /// All live counters one server instance keeps.
 #[derive(Default)]
 pub struct ServeStats {
@@ -313,6 +342,8 @@ pub struct ServeStats {
     /// Degradation state: brown-out transitions and the model health
     /// ladder.
     pub degrade: DegradeCounters,
+    /// Readiness front-end gauges and executor steal count.
+    pub reactor: ReactorCounters,
     /// How often the scheduler chose each format, in [`Format::ALL`] order.
     decisions: [AtomicU64; Format::ALL.len()],
     /// Process-wide kernel aggregate, fed by delta-merging every model's
@@ -412,6 +443,7 @@ impl ServeStats {
             ("stats", self.stats.to_json()),
             ("faults", self.faults.to_json()),
             ("degradation", self.degrade.to_json()),
+            ("reactor", self.reactor.to_json()),
             ("queues", JsonValue::Arr(queues)),
             ("schedule_decisions", JsonValue::Arr(decisions)),
             ("models", JsonValue::Arr(models)),
@@ -549,6 +581,13 @@ mod tests {
         let degrade = doc.get("degradation").expect("degradation section");
         assert_eq!(degrade.get("batch_shed").unwrap().as_u64(), Some(5));
         assert_eq!(degrade.get("brownout_active").unwrap().as_u64(), Some(1));
+        stats.reactor.open_connections.store(3, Ordering::Relaxed);
+        stats.reactor.steals.fetch_add(2, Ordering::Relaxed);
+        let doc = dls_core::json::parse(&stats.snapshot_json(&registry, &[])).unwrap();
+        let reactor = doc.get("reactor").expect("reactor section");
+        assert_eq!(reactor.get("open_connections").unwrap().as_u64(), Some(3));
+        assert_eq!(reactor.get("steals").unwrap().as_u64(), Some(2));
+        assert_eq!(reactor.get("pipelined_in_flight").unwrap().as_u64(), Some(0));
         // Every model reports its health rung.
         let models = doc.get("models").unwrap().as_arr().unwrap();
         assert_eq!(models[0].get("health").unwrap().as_str(), Some("healthy"));

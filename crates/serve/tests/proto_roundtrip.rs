@@ -1,13 +1,15 @@
 //! Property tests for the wire protocol: arbitrary messages round-trip
-//! bit-exactly, v1 frames cross-decode into the documented v2 downgrade,
-//! and corrupted frames (truncations, lying counts, oversized prefixes)
-//! are rejected with a [`ProtoError`], never a panic or an attacker-sized
-//! allocation.
+//! bit-exactly, pre-v3 frames cross-decode into the documented downgrade
+//! (v1 additionally drops class/SLO; both decode with frame id 0), v3
+//! frame ids survive a wire trip, and corrupted frames (truncations,
+//! lying counts, oversized prefixes) are rejected with a [`ProtoError`],
+//! never a panic or an attacker-sized allocation.
 
 use dls_serve::proto::{
-    decode_request, decode_request_versioned, decode_response, encode_request,
-    encode_request_version, encode_response, encode_response_version, read_frame, write_frame,
-    Request, RequestClass, Response, MAX_FRAME_LEN, PROTO_V1, PROTO_VERSION,
+    decode_request, decode_request_framed, decode_request_versioned, decode_response,
+    decode_response_framed, encode_request, encode_request_framed, encode_request_version,
+    encode_response, encode_response_framed, encode_response_version, read_frame, write_frame,
+    Request, RequestClass, Response, MAX_FRAME_LEN, PROTO_V1, PROTO_V2, PROTO_VERSION,
 };
 use dls_sparse::SparseVec;
 use proptest::prelude::*;
@@ -136,6 +138,31 @@ proptest! {
         prop_assert_eq!(decoded, v1_downgrade(&req));
     }
 
+    /// The full cross-version matrix: any request encoded at any accepted
+    /// version decodes through the framed decoder at that version, with
+    /// the documented downgrade and a frame id that only v3 can carry.
+    #[test]
+    fn cross_version_decoding_matrix(req in arb_request(), id in 0u64..u64::MAX) {
+        for version in [PROTO_V1, PROTO_V2, PROTO_VERSION] {
+            let payload = encode_request_framed(&req, version, id);
+            let (got_version, got_id, decoded) = decode_request_framed(&payload).unwrap();
+            prop_assert_eq!(got_version, version);
+            prop_assert_eq!(got_id, if version >= PROTO_VERSION { id } else { 0 });
+            let expect = if version == PROTO_V1 { v1_downgrade(&req) } else { req.clone() };
+            prop_assert_eq!(decoded, expect);
+        }
+    }
+
+    /// v3 frame ids survive a wire trip bit-exactly on requests and
+    /// responses alike.
+    #[test]
+    fn frame_ids_round_trip(req in arb_request(), resp in arb_response(), id in 0u64..u64::MAX) {
+        let (_, got, _) = decode_request_framed(&encode_request_framed(&req, PROTO_VERSION, id)).unwrap();
+        prop_assert_eq!(got, id);
+        let (_, got, _) = decode_response_framed(&encode_response_framed(&resp, PROTO_VERSION, id)).unwrap();
+        prop_assert_eq!(got, id);
+    }
+
     /// Class and SLO survive a v2 wire trip exactly (the fields v1 cannot
     /// carry).
     #[test]
@@ -157,7 +184,7 @@ proptest! {
     /// (no panic, no accept) — at both versions.
     #[test]
     fn truncated_requests_are_rejected(req in arb_request()) {
-        for version in [PROTO_V1, PROTO_VERSION] {
+        for version in [PROTO_V1, PROTO_V2, PROTO_VERSION] {
             let payload = encode_request_version(&req, version);
             for cut in 0..payload.len() {
                 prop_assert!(
@@ -181,10 +208,13 @@ proptest! {
         prop_assert!(read_frame(&mut r).unwrap().is_none());
     }
 
-    /// Flipping the version or tag byte never round-trips as valid.
+    /// Flipping the version or tag byte never round-trips as valid. (The
+    /// v3 tag sits *after* the 8-byte frame id, whose bytes are all
+    /// payload — corrupting those changes the id, not validity.)
     #[test]
-    fn corrupt_header_bytes_are_rejected(req in arb_request(), byte in 0usize..2, val in 64u8..255) {
+    fn corrupt_header_bytes_are_rejected(req in arb_request(), pick_tag in 0usize..2, val in 64u8..255) {
         let mut payload = encode_request(&req);
+        let byte = if pick_tag == 1 { 9 } else { 0 };
         if payload[byte] != val {
             payload[byte] = val;
             prop_assert!(decode_request(&payload).is_err());
@@ -214,7 +244,7 @@ fn lying_interior_count_cannot_oversize_an_allocation() {
         slo_us: 0,
         vectors: vec![],
     };
-    for version in [PROTO_V1, PROTO_VERSION] {
+    for version in [PROTO_V1, PROTO_V2, PROTO_VERSION] {
         let mut payload = encode_request_version(&req, version);
         let count_at = payload.len() - 4;
         payload[count_at..].copy_from_slice(&u32::MAX.to_le_bytes());

@@ -23,28 +23,47 @@ cargo run --release -q --bin dls -- schedule @trefethen "learned:$model"
 echo "==> bench smoke (criterion --test mode, one pass, no statistics)"
 cargo bench -q -p dls-bench --bench smsv_block -- --test
 
-echo "==> serve smoke (predict/schedule/stats over loopback + graceful drain, per discipline)"
-for discipline in fifo priority slo; do
-  out="$(cargo run --release -q -p dls-bench --bin repro_serve -- --smoke --discipline "$discipline")"
-  echo "$out"
-  # The stats snapshot must expose per-class SLO accounting.
-  echo "$out" | grep -q "slo_violation_rate interactive=" \
-    || { echo "serve smoke ($discipline): missing interactive slo_violation_rate" >&2; exit 1; }
-  echo "$out" | grep -q "slo_violation_rate batch=" \
-    || { echo "serve smoke ($discipline): missing batch slo_violation_rate" >&2; exit 1; }
-  # The stats JSON must expose the fault/degradation counters and the
-  # health endpoint must answer, even on a fault-free server.
-  echo "$out" | grep -q "stats sections faults+degradation exposed, health status=" \
-    || { echo "serve smoke ($discipline): missing fault/degradation counters or health" >&2; exit 1; }
+echo "==> serve smoke (predict/schedule/stats over loopback + graceful drain, per discipline × frontend)"
+declare -A parity
+for frontend in threads reactor; do
+  for discipline in fifo priority slo; do
+    out="$(cargo run --release -q -p dls-bench --bin repro_serve -- --smoke --discipline "$discipline" --frontend "$frontend")"
+    echo "$out"
+    # The stats snapshot must expose per-class SLO accounting.
+    echo "$out" | grep -q "slo_violation_rate interactive=" \
+      || { echo "serve smoke ($discipline, $frontend): missing interactive slo_violation_rate" >&2; exit 1; }
+    echo "$out" | grep -q "slo_violation_rate batch=" \
+      || { echo "serve smoke ($discipline, $frontend): missing batch slo_violation_rate" >&2; exit 1; }
+    # The stats JSON must expose the fault/degradation counters and the
+    # health endpoint must answer, even on a fault-free server.
+    echo "$out" | grep -q "stats sections faults+degradation exposed, health status=" \
+      || { echo "serve smoke ($discipline, $frontend): missing fault/degradation counters or health" >&2; exit 1; }
+    parity["$frontend/$discipline"]="$(echo "$out" | grep "^# parity " || true)"
+    [ -n "${parity["$frontend/$discipline"]}" ] \
+      || { echo "serve smoke ($discipline, $frontend): missing parity counter line" >&2; exit 1; }
+  done
 done
+# The deterministic smoke sequence must land the same counters no matter
+# which front end served it — threads and reactor are interchangeable.
+for discipline in fifo priority slo; do
+  if [ "${parity["threads/$discipline"]}" != "${parity["reactor/$discipline"]}" ]; then
+    echo "serve smoke ($discipline): stats-counter parity broken between front ends" >&2
+    echo "  threads: ${parity["threads/$discipline"]}" >&2
+    echo "  reactor: ${parity["reactor/$discipline"]}" >&2
+    exit 1
+  fi
+done
+echo "==> serve parity OK (threads == reactor counters for fifo/priority/slo)"
 
-echo "==> chaos smoke (seeded fault injection, watchdog-guarded)"
+echo "==> chaos smoke (seeded fault injection, watchdog-guarded, per frontend)"
 # The harness itself exits 2 on any hang and non-zero on any corrupted
 # response, untyped failure, or failed clean probe.
-out="$(cargo run --release -q -p dls-bench --bin repro_chaos -- --smoke --seeds 8)"
-echo "$out"
-echo "$out" | grep -q "zero hangs, zero corrupted responses" \
-  || { echo "chaos smoke: missing clean-run summary" >&2; exit 1; }
+for frontend in threads reactor; do
+  out="$(cargo run --release -q -p dls-bench --bin repro_chaos -- --smoke --seeds 8 --frontend "$frontend")"
+  echo "$out"
+  echo "$out" | grep -q "zero hangs, zero corrupted responses" \
+    || { echo "chaos smoke ($frontend): missing clean-run summary" >&2; exit 1; }
+done
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

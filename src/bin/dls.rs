@@ -15,8 +15,9 @@
 //! dls scale     <in.libsvm> <out.libsvm> [01|pm1]   feature scaling
 //! dls serve     [addr] [--models a,b]               host quick-trained models
 //!               [--discipline fifo|priority|slo]    (queue discipline, default slo)
-//!               [--read-timeout-ms N]               behind the batching
-//!               [--idle-timeout-ms N]               inference service;
+//!               [--frontend threads|reactor]        I/O front end: thread-per-conn
+//!               [--read-timeout-ms N]               or the epoll event loop with
+//!               [--idle-timeout-ms N]               pipelined protocol v3;
 //!               [--no-brownout] [--chaos-seed N]    --chaos-seed arms the seeded
 //!                                                   fault-injection plan (demo)
 //! dls stats     --serve <addr> [--health]           live telemetry snapshot (or
@@ -265,6 +266,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .map(String::as_str)
         .unwrap_or("slo");
     let discipline = dls::serve::parse_discipline(discipline)?;
+    let frontend: dls::serve::Frontend = args
+        .iter()
+        .position(|a| a == "--frontend")
+        .map(|i| {
+            args.get(i + 1)
+                .ok_or_else(|| "serve: --frontend needs threads|reactor".to_string())
+                .and_then(|v| v.parse())
+        })
+        .transpose()?
+        .unwrap_or(dls::serve::Frontend::Threads);
     let millis_flag = |name: &str| -> Result<Option<std::time::Duration>, String> {
         args.iter()
             .position(|a| a == name)
@@ -323,12 +334,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         read_timeout: read_timeout.unwrap_or(defaults.read_timeout),
         write_timeout: write_timeout.unwrap_or(defaults.write_timeout),
         idle_timeout: idle_timeout.unwrap_or(defaults.idle_timeout),
+        frontend,
     };
     let handle = dls::serve::start(registry, LayoutScheduler::new(), config)
         .map_err(|e| format!("bind: {e}"))?;
     println!(
-        "listening on {} (queue discipline: {}, brown-out {})",
+        "listening on {} (frontend: {}, queue discipline: {}, brown-out {})",
         handle.local_addr(),
+        frontend,
         handle.executor().discipline().name(),
         if no_brownout { "off" } else { "on" }
     );
