@@ -63,6 +63,7 @@ fn main() {
             analytic: count(LabelSource::Analytic),
         },
         tree,
+        blocks: None,
     };
     println!(
         "trained on {} samples ({} measured, {} fallback, {} analytic); \

@@ -6,7 +6,7 @@
 //! bandwidth of §III-B.
 
 use crate::bandwidth::BandwidthProfile;
-use crate::report::{FormatScore, SelectionReport};
+use crate::report::{default_block, FormatScore, SelectionReport};
 use crate::scheduler::FormatSelector;
 use dls_sparse::storage::predicted_storage_elems;
 use dls_sparse::{Format, MatrixFeatures, Scalar, TripletMatrix};
@@ -26,6 +26,12 @@ pub struct CostModelSelector {
     /// larger values amortise the matrix stream over `block` right-hand
     /// sides for formats with a native blocked kernel.
     pub block: usize,
+    /// Learned per-format tuned block sizes, indexed by each format's
+    /// position in [`Format::ALL`]. A present non-zero entry overrides the
+    /// uniform `block` when pricing that format, so amortisation is priced
+    /// at the block size the kernel will actually run with rather than a
+    /// fixed engine-wide constant.
+    pub blocks: Option<[usize; Format::ALL.len()]>,
 }
 
 impl CostModelSelector {
@@ -44,6 +50,24 @@ impl CostModelSelector {
     pub fn with_block(mut self, block: usize) -> Self {
         self.block = block;
         self
+    }
+
+    /// Supplies learned per-format tuned block sizes (indexed by each
+    /// format's position in [`Format::ALL`]); a zero entry keeps the
+    /// uniform `block` for that format.
+    pub fn with_block_hints(mut self, blocks: [usize; Format::ALL.len()]) -> Self {
+        self.blocks = Some(blocks);
+        self
+    }
+
+    /// The block size used to price `format`: the tuned per-format hint
+    /// when one is present, the uniform consumer `block` otherwise.
+    pub fn effective_block(&self, format: Format) -> usize {
+        let hint = self.blocks.and_then(|bs| {
+            let k = Format::ALL.iter().position(|&f| f == format)?;
+            (bs[k] > 0).then_some(bs[k])
+        });
+        hint.unwrap_or(self.block).max(1)
     }
 
     /// The candidate formats this selector scores.
@@ -69,7 +93,7 @@ impl CostModelSelector {
     pub fn predicted_time(&self, format: Format, f: &MatrixFeatures) -> f64 {
         let elems = predicted_storage_elems(format, f);
         let bytes = elems * std::mem::size_of::<Scalar>() as f64;
-        let b = self.block.max(1);
+        let b = self.effective_block(format);
         if b > 1 && format.has_blocked_kernel() {
             let vector_bytes = 2.0 * f.n as f64 * std::mem::size_of::<Scalar>() as f64;
             (bytes / b as f64 + vector_bytes) / self.bandwidth.bytes_per_sec(format)
@@ -96,8 +120,21 @@ impl FormatSelector for CostModelSelector {
             .min_by(|a, b| a.score.partial_cmp(&b.score).expect("finite times"))
             .copied()
             .expect("at least five candidates");
+        // Batching consumers run the chosen format at the block the model
+        // priced; a selector that never priced blocking still reports the
+        // engine default so downstream coalescing is not throttled.
+        let block = if self.block > 1 || self.blocks.is_some() {
+            if chosen.has_blocked_kernel() {
+                self.effective_block(chosen)
+            } else {
+                1
+            }
+        } else {
+            default_block(chosen)
+        };
         SelectionReport {
             chosen,
+            block,
             features: *f,
             scores,
             reason: format!("cost model: {:.2e} s predicted via Eq. (7) storage/bandwidth", best),
@@ -179,19 +216,43 @@ mod tests {
         let f = features_of("adult", 1);
         let flat = CostModelSelector::with_bandwidth(BandwidthProfile::FLAT);
         let blocked = flat.with_block(8);
-        for fmt in [Format::Csr, Format::Ell, Format::Den] {
+        // Every format has a true blocked kernel, CSC included (its merged
+        // column sweep streams shared columns once per block).
+        for fmt in Format::ALL {
             assert!(
                 blocked.predicted_time(fmt, &f) < flat.predicted_time(fmt, &f),
                 "{fmt}: amortised sweep must be cheaper"
             );
         }
-        // DIA has no blocked kernel: one sweep per vector either way.
-        assert_eq!(blocked.predicted_time(Format::Dia, &f), flat.predicted_time(Format::Dia, &f));
         // block = 1 must be exactly the unblocked model.
         assert_eq!(
             flat.with_block(1).predicted_time(Format::Csr, &f),
             flat.predicted_time(Format::Csr, &f)
         );
+    }
+
+    #[test]
+    fn block_hints_override_uniform_block_per_format() {
+        let f = features_of("adult", 1);
+        let flat = CostModelSelector::with_bandwidth(BandwidthProfile::FLAT);
+        let mut hints = [0usize; Format::ALL.len()];
+        let csr_at = Format::ALL.iter().position(|&x| x == Format::Csr).unwrap();
+        hints[csr_at] = 4;
+        let sel = flat.with_block(32).with_block_hints(hints);
+        assert_eq!(sel.effective_block(Format::Csr), 4);
+        // Zero entries fall back to the uniform block.
+        assert_eq!(sel.effective_block(Format::Ell), 32);
+        // Pricing CSR at block 4 must cost more than at block 32.
+        assert!(
+            sel.predicted_time(Format::Csr, &f)
+                > flat.with_block(32).predicted_time(Format::Csr, &f)
+        );
+        // The report carries the tuned block of the chosen format.
+        use crate::scheduler::FormatSelector;
+        let spec = dls_data::DatasetSpec::by_name("adult").unwrap();
+        let t = dls_data::generate(spec, 1);
+        let r = sel.select(&t, &f);
+        assert_eq!(r.block, sel.effective_block(r.chosen));
     }
 
     #[test]

@@ -132,7 +132,13 @@ impl FormatSelector for RuleBasedSelector {
         // Rules don't produce a numeric score per format; rank the
         // alternatives by predicted storage ("computation is proportional
         // to storage"), derived formats included.
-        SelectionReport { chosen, features: *f, scores: rank_by_storage(chosen, f), reason }
+        SelectionReport {
+            chosen,
+            block: crate::report::default_block(chosen),
+            features: *f,
+            scores: rank_by_storage(chosen, f),
+            reason,
+        }
     }
 }
 

@@ -83,6 +83,7 @@ impl FormatSelector for EmpiricalSelector {
             .expect("at least five candidates");
         SelectionReport {
             chosen,
+            block: crate::report::default_block(chosen),
             features: *f,
             scores,
             reason: format!(

@@ -20,11 +20,25 @@ impl FormatScore {
     }
 }
 
+/// Default kernel block size for a format: the engine-wide cap for formats
+/// with a native blocked kernel, 1 (per-vector) for the rest.
+pub fn default_block(format: Format) -> usize {
+    if format.has_blocked_kernel() {
+        dls_sparse::MAX_SMSV_BLOCK
+    } else {
+        1
+    }
+}
+
 /// Why and how a format was chosen for one dataset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectionReport {
     /// The chosen format.
     pub chosen: Format,
+    /// Kernel block size batched consumers should use with the chosen
+    /// format: learned per-(format, dataset) when the selector tunes it,
+    /// [`default_block`] otherwise.
+    pub block: usize,
     /// Extracted influencing parameters the decision was based on.
     pub features: MatrixFeatures,
     /// Per-format scores, chosen format first. Selectors score at least the
@@ -83,6 +97,7 @@ pub fn rank_by_storage(chosen: Format, f: &MatrixFeatures) -> Vec<FormatScore> {
 impl std::fmt::Display for SelectionReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "selected {} — {}", self.chosen, self.reason)?;
+        writeln!(f, "  block: {}", self.block)?;
         writeln!(f, "  features: {}", self.features)?;
         write!(f, "  scores:")?;
         for s in &self.scores {
@@ -101,6 +116,7 @@ mod tests {
         let t = TripletMatrix::from_dense(2, 2, &[1.0, 0.0, 0.0, 1.0]);
         SelectionReport {
             chosen: Format::Dia,
+            block: default_block(Format::Dia),
             features: MatrixFeatures::from_triplets(&t),
             scores: vec![
                 FormatScore::new(Format::Dia, 1.0),

@@ -78,6 +78,7 @@ impl FormatSelector for FixedSelector {
     fn select(&self, _t: &TripletMatrix, f: &MatrixFeatures) -> SelectionReport {
         SelectionReport {
             chosen: self.0,
+            block: crate::report::default_block(self.0),
             features: *f,
             scores: rank_by_storage(self.0, f),
             reason: format!("fixed format {} (non-adaptive)", self.0),
@@ -292,6 +293,7 @@ mod tests {
                     .unwrap();
                 SelectionReport {
                     chosen,
+                    block: crate::report::default_block(chosen),
                     features: *f,
                     scores: rank_by_storage(chosen, f),
                     reason: "smallest storage".into(),

@@ -203,11 +203,12 @@ fn report_json(r: &SelectionReport) -> String {
         .collect();
     format!(
         concat!(
-            "{{\"chosen\":{},\"reason\":{},\"scores\":[{}],",
+            "{{\"chosen\":{},\"block\":{},\"reason\":{},\"scores\":[{}],",
             "\"features\":{{\"m\":{},\"n\":{},\"nnz\":{},\"ndig\":{},\"dnnz\":{},",
             "\"mdim\":{},\"adim\":{},\"vdim\":{},\"density\":{}}}}}"
         ),
         json::escape(r.chosen.name()),
+        r.block,
         json::escape(&r.reason),
         scores.join(","),
         f.m,
@@ -228,6 +229,12 @@ fn parse_format(v: &JsonValue) -> Result<Format, String> {
 
 fn parse_report(v: &JsonValue) -> Result<SelectionReport, String> {
     let chosen = parse_format(v.req("chosen")?)?;
+    // Documents written before the tuned-block era carry no "block": fall
+    // back to the format's engine default so old caches stay loadable.
+    let block = match v.get("block") {
+        Some(b) => b.as_usize().ok_or("\"block\" must be a count")?,
+        None => crate::report::default_block(chosen),
+    };
     let reason = v.req("reason")?.as_str().ok_or("\"reason\" must be a string")?.to_string();
     let scores = v
         .req("scores")?
@@ -260,7 +267,7 @@ fn parse_report(v: &JsonValue) -> Result<SelectionReport, String> {
         vdim: f64_of("vdim")?,
         density: f64_of("density")?,
     };
-    Ok(SelectionReport { chosen, features, scores, reason })
+    Ok(SelectionReport { chosen, block, features, scores, reason })
 }
 
 #[cfg(test)]

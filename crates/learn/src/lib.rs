@@ -28,6 +28,7 @@
 //!    memoisation and `ReactiveScheduler` re-scheduling, and is graded
 //!    against the rules and the empirical oracle by [`eval`].
 
+pub mod block;
 pub mod eval;
 pub mod features;
 pub mod grid;
@@ -37,6 +38,7 @@ pub mod regress;
 pub mod selector;
 pub mod tree;
 
+pub use block::{analytic_block, measured_block, BlockModel, BlockSample, BLOCK_CANDIDATES};
 pub use eval::{evaluate, split_holdout, EvalSummary};
 pub use features::{featurize, FEATURE_NAMES, NUM_FEATURES};
 pub use grid::{training_grid, GridCase, GridConfig};
@@ -45,6 +47,8 @@ pub use persist::{ModelMeta, TrainedModel, MODEL_VERSION};
 pub use regress::{RegressNode, RegressParams, RegressionTree};
 pub use selector::LearnedSelector;
 pub use tree::{gini, DecisionTree, Node, TreeParams};
+
+use dls_sparse::Format;
 
 /// End-to-end training configuration for [`train_selector`].
 #[derive(Debug, Clone, Copy)]
@@ -92,6 +96,22 @@ pub fn train_selector(cfg: &TrainConfig) -> TrainOutcome {
     let cases = training_grid(&grid_cfg);
     let samples: Vec<LabelledSample> =
         cases.iter().map(|c| label_case(&c.desc, &c.matrix, cfg.mode)).collect();
+
+    // Block-size calibration rides the same grid: every (format, cell) is
+    // swept over the candidate block sizes and one regression tree per
+    // format learns the winning block from the cell's features.
+    let mut block_samples = Vec::new();
+    for (case, sample) in cases.iter().zip(&samples) {
+        for &fmt in Format::ALL.iter().filter(|f| f.has_blocked_kernel()) {
+            block_samples.push(BlockSample {
+                format: fmt,
+                x: sample.x,
+                block: block::block_for_case(fmt, &case.matrix, &sample.features, cfg.mode),
+            });
+        }
+    }
+    let blocks = BlockModel::train(&block_samples);
+
     let (train, holdout) = split_holdout(samples, cfg.holdout_stride);
 
     let xs: Vec<_> = train.iter().map(|s| s.x).collect();
@@ -109,6 +129,7 @@ pub fn train_selector(cfg: &TrainConfig) -> TrainOutcome {
             analytic: count(LabelSource::Analytic),
         },
         tree,
+        blocks: Some(blocks),
     };
     TrainOutcome { model, train, holdout }
 }

@@ -18,7 +18,9 @@
 //!                   "right":...}}}
 //! ```
 
+use crate::block::BlockModel;
 use crate::features::FEATURE_NAMES;
+use crate::regress::{RegressNode, RegressParams, RegressionTree};
 use crate::tree::{DecisionTree, Node, TreeParams};
 use dls_core::json::{escape, number, parse, JsonValue};
 use dls_sparse::Format;
@@ -52,6 +54,9 @@ pub struct TrainedModel {
     pub meta: ModelMeta,
     /// The decision tree itself.
     pub tree: DecisionTree,
+    /// Learned per-format tuned block sizes; `None` for models trained
+    /// before the block-calibration sweep existed.
+    pub blocks: Option<BlockModel>,
 }
 
 fn node_json(node: &Node, out: &mut String) {
@@ -117,6 +122,86 @@ fn parse_format(v: &JsonValue) -> Result<Format, String> {
     Format::from_str(name).map_err(|e| e.to_string())
 }
 
+fn regress_node_json(node: &RegressNode, out: &mut String) {
+    match node {
+        RegressNode::Leaf { value, n } => {
+            out.push_str(&format!("{{\"leaf\":{{\"value\":{},\"n\":{n}}}}}", number(*value)));
+        }
+        RegressNode::Split { feature, threshold, left, right } => {
+            out.push_str(&format!(
+                "{{\"split\":{{\"feature\":{feature},\"threshold\":{},\"left\":",
+                number(*threshold)
+            ));
+            regress_node_json(left, out);
+            out.push_str(",\"right\":");
+            regress_node_json(right, out);
+            out.push_str("}}");
+        }
+    }
+}
+
+fn parse_regress_node(v: &JsonValue) -> Result<RegressNode, String> {
+    if let Some(leaf) = v.get("leaf") {
+        Ok(RegressNode::Leaf {
+            value: leaf.req("value")?.as_f64().ok_or("leaf value must be a number")?,
+            n: leaf.req("n")?.as_usize().ok_or("leaf n must be a count")?,
+        })
+    } else if let Some(split) = v.get("split") {
+        let feature = split.req("feature")?.as_usize().ok_or("feature must be an index")?;
+        if feature >= FEATURE_NAMES.len() {
+            return Err(format!("block-tree feature index {feature} out of range"));
+        }
+        Ok(RegressNode::Split {
+            feature,
+            threshold: split.req("threshold")?.as_f64().ok_or("threshold must be a number")?,
+            left: Box::new(parse_regress_node(split.req("left")?)?),
+            right: Box::new(parse_regress_node(split.req("right")?)?),
+        })
+    } else {
+        Err("regression node must have a \"leaf\" or \"split\" member".into())
+    }
+}
+
+fn blocks_json(blocks: &BlockModel, out: &mut String) {
+    out.push('{');
+    for (i, (fmt, tree)) in blocks.trees.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let p = tree.params();
+        out.push_str(&format!(
+            "{}:{{\"params\":{{\"max_depth\":{},\"min_leaf\":{},\"min_gain\":{}}},\"tree\":",
+            escape(&fmt.to_string()),
+            p.max_depth,
+            p.min_leaf,
+            number(p.min_gain)
+        ));
+        regress_node_json(tree.root(), out);
+        out.push('}');
+    }
+    out.push('}');
+}
+
+fn parse_blocks(v: &JsonValue) -> Result<BlockModel, String> {
+    let members = match v {
+        JsonValue::Obj(members) => members,
+        _ => return Err("\"blocks\" must be an object".into()),
+    };
+    let mut trees = Vec::new();
+    for (name, entry) in members {
+        let fmt = Format::from_str(name).map_err(|e| e.to_string())?;
+        let p = entry.req("params")?;
+        let params = RegressParams {
+            max_depth: p.req("max_depth")?.as_usize().ok_or("max_depth must be an integer")?,
+            min_leaf: p.req("min_leaf")?.as_usize().ok_or("min_leaf must be an integer")?,
+            min_gain: p.req("min_gain")?.as_f64().ok_or("min_gain must be a number")?,
+        };
+        let root = parse_regress_node(entry.req("tree")?)?;
+        trees.push((fmt, RegressionTree::from_parts(FEATURE_NAMES.len(), params, root)));
+    }
+    Ok(BlockModel { trees })
+}
+
 impl TrainedModel {
     /// Serialises the model to its versioned JSON document.
     pub fn to_json(&self) -> String {
@@ -149,6 +234,10 @@ impl TrainedModel {
         ));
         out.push_str("},\"tree\":");
         node_json(self.tree.root(), &mut out);
+        if let Some(blocks) = &self.blocks {
+            out.push_str(",\"blocks\":");
+            blocks_json(blocks, &mut out);
+        }
         out.push('}');
         out
     }
@@ -189,7 +278,13 @@ impl TrainedModel {
             min_gain: p.req("min_gain")?.as_f64().ok_or("min_gain must be a number")?,
         };
         let root = parse_node(v.req("tree")?)?;
-        Ok(Self { meta, tree: DecisionTree::from_parts(params, root) })
+        // "blocks" is optional: models trained before block calibration
+        // existed load fine and fall back to the engine default block.
+        let blocks = match v.get("blocks") {
+            Some(b) => Some(parse_blocks(b)?),
+            None => None,
+        };
+        Ok(Self { meta, tree: DecisionTree::from_parts(params, root), blocks })
     }
 
     /// Writes the model to `path`.
@@ -237,7 +332,26 @@ mod tests {
                 analytic: 0,
             },
             tree,
+            blocks: None,
         }
+    }
+
+    fn sample_model_with_blocks() -> TrainedModel {
+        use crate::block::{BlockModel, BlockSample};
+        use dls_sparse::MAX_SMSV_BLOCK;
+        let mut samples = Vec::new();
+        for k in 0..12 {
+            let mut x = [0.0; NUM_FEATURES];
+            x[0] = k as f64; // log2_m
+            for fmt in [Format::Csr, Format::Ell] {
+                samples.push(BlockSample {
+                    format: fmt,
+                    x,
+                    block: if k < 6 { MAX_SMSV_BLOCK } else { 4 },
+                });
+            }
+        }
+        TrainedModel { blocks: Some(BlockModel::train(&samples)), ..sample_model() }
     }
 
     #[test]
@@ -248,6 +362,24 @@ mod tests {
         assert_eq!(restored, model);
         // Canonical form: re-serialisation is byte-identical.
         assert_eq!(restored.to_json(), doc);
+    }
+
+    #[test]
+    fn block_model_round_trips_and_predicts_identically() {
+        let model = sample_model_with_blocks();
+        let doc = model.to_json();
+        assert!(doc.contains("\"blocks\":"), "block trees persisted");
+        let restored = TrainedModel::from_json(&doc).unwrap();
+        assert_eq!(restored, model);
+        assert_eq!(restored.to_json(), doc, "serialisation is canonical");
+        let (orig, rest) = (model.blocks.unwrap(), restored.blocks.unwrap());
+        for k in 0..12 {
+            let mut x = [0.0; NUM_FEATURES];
+            x[0] = k as f64;
+            for fmt in [Format::Csr, Format::Ell, Format::Coo, Format::Csc] {
+                assert_eq!(orig.tuned_block(fmt, &x), rest.tuned_block(fmt, &x), "{fmt}");
+            }
+        }
     }
 
     #[test]

@@ -101,6 +101,12 @@ impl RegressionTree {
         Self { width, params, root }
     }
 
+    /// Reassembles a tree from persisted parts (the model-JSON loaders'
+    /// constructor; [`RegressionTree::train`] is the only other way in).
+    pub fn from_parts(width: usize, params: RegressParams, root: RegressNode) -> Self {
+        Self { width, params, root }
+    }
+
     /// The feature width the tree was trained on.
     pub fn width(&self) -> usize {
         self.width

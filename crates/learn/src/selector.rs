@@ -9,7 +9,10 @@
 
 use crate::features::{featurize, FEATURE_NAMES};
 use crate::persist::TrainedModel;
-use dls_core::{BandwidthProfile, CostModelSelector, FormatScore, FormatSelector, SelectionReport};
+use dls_core::{
+    default_block, BandwidthProfile, CostModelSelector, FormatScore, FormatSelector,
+    SelectionReport,
+};
 use dls_sparse::{Format, MatrixFeatures, TripletMatrix};
 use std::path::Path;
 
@@ -39,6 +42,16 @@ impl LearnedSelector {
     pub fn predict(&self, f: &MatrixFeatures) -> Format {
         self.model.tree.predict(&featurize(f))
     }
+
+    /// Tuned kernel block size for `format` on a matrix with features `f`:
+    /// the learned per-(format, dataset) block when the model carries block
+    /// trees, the engine default otherwise.
+    pub fn tuned_block(&self, format: Format, f: &MatrixFeatures) -> usize {
+        match &self.model.blocks {
+            Some(blocks) => blocks.tuned_block(format, &featurize(f)),
+            None => default_block(format),
+        }
+    }
 }
 
 impl FormatSelector for LearnedSelector {
@@ -55,7 +68,13 @@ impl FormatSelector for LearnedSelector {
             .iter()
             .map(|&fmt| FormatScore::new(fmt, cost.predicted_time(fmt, f)))
             .collect();
-        SelectionReport { chosen, features: *f, scores, reason: format!("learned tree: {path}") }
+        SelectionReport {
+            chosen,
+            block: self.tuned_block(chosen, f),
+            features: *f,
+            scores,
+            reason: format!("learned tree: {path}"),
+        }
     }
 }
 
@@ -91,6 +110,7 @@ mod tests {
                 analytic: samples.len(),
             },
             tree,
+            blocks: None,
         }
     }
 
@@ -130,6 +150,35 @@ mod tests {
         assert_eq!(first.chosen, second.chosen);
         assert_eq!(cached.hits(), 1);
         assert_eq!(cached.misses(), 1);
+    }
+
+    #[test]
+    fn tuned_block_lands_in_the_report() {
+        use crate::block::{analytic_block, BlockModel, BlockSample, BLOCK_CANDIDATES};
+        use crate::features::featurize;
+        let mut model = quick_model();
+        // Without block trees: engine default for the chosen format.
+        let t = diag_matrix(128, 128, 256, 2, 4);
+        let f = MatrixFeatures::from_triplets(&t);
+        let sel = LearnedSelector::new(model.clone());
+        assert_eq!(sel.select(&t, &f).block, dls_core::default_block(sel.predict(&f)));
+        // With block trees: the learned tuned block.
+        let mut samples = Vec::new();
+        for case in training_grid(&GridConfig { quick: true, ..Default::default() }) {
+            let cf = MatrixFeatures::from_triplets(&case.matrix);
+            for &fmt in Format::ALL.iter().filter(|x| x.has_blocked_kernel()) {
+                samples.push(BlockSample {
+                    format: fmt,
+                    x: featurize(&cf),
+                    block: analytic_block(fmt, &cf),
+                });
+            }
+        }
+        model.blocks = Some(BlockModel::train(&samples));
+        let sel = LearnedSelector::new(model);
+        let r = sel.select(&t, &f);
+        assert_eq!(r.block, sel.tuned_block(r.chosen, &f));
+        assert!(BLOCK_CANDIDATES.contains(&r.block), "block {} is a candidate", r.block);
     }
 
     #[test]

@@ -113,6 +113,7 @@ proptest! {
                 analytic: xs.len(),
             },
             tree,
+            blocks: None,
         };
         let doc = model.to_json();
         let restored = TrainedModel::from_json(&doc).expect("own output must parse");

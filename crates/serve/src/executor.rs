@@ -423,11 +423,12 @@ impl Executor {
         let total = ahead + weight;
         // While browned out, admission trusts the pessimistic closed-form
         // estimator instead of the learned tree.
+        let block = self.lane_block(lane);
         let service = if self.brownout_active.load(Ordering::Relaxed) {
-            self.analytic.predict_backlog(feats, total, self.config.max_block)
+            self.analytic.predict_backlog(feats, total, block)
         } else {
             match &self.estimator {
-                Some(est) => est.predict_backlog(feats, total, self.config.max_block),
+                Some(est) => est.predict_backlog(feats, total, block),
                 None => return false,
             }
         };
@@ -602,7 +603,7 @@ impl Executor {
             let ctx = DisciplineCtx {
                 now: Instant::now(),
                 gather: self.effective_gather(),
-                max_block: self.config.max_block,
+                max_block: self.lane_block(lane),
                 est_block: self.est_block(lane),
             };
             match self.config.discipline.decide(&pending, &ctx) {
@@ -679,13 +680,27 @@ impl Executor {
         let Some(feats) = &lane.feats else {
             return Duration::ZERO;
         };
+        let block = self.lane_block(lane);
         if self.brownout_active.load(Ordering::Relaxed) {
-            return self.analytic.predict_sweep(feats, self.config.max_block);
+            return self.analytic.predict_sweep(feats, block);
         }
         match &self.estimator {
-            Some(est) => est.predict_sweep(feats, self.config.max_block),
+            Some(est) => est.predict_sweep(feats, block),
             None => Duration::ZERO,
         }
+    }
+
+    /// The coalescing cap for one lane: the scheduler's tuned block for the
+    /// model's chosen format (when a selection report exists), clamped into
+    /// `1..=MAX_SMSV_BLOCK` and never above the configured `max_block`.
+    /// Constant models — no matrix, no report — fall back to the config cap.
+    fn lane_block(&self, lane: &ModelLane) -> usize {
+        lane.served
+            .report()
+            .map(|r| r.block.clamp(1, MAX_SMSV_BLOCK))
+            .unwrap_or(MAX_SMSV_BLOCK)
+            .min(self.config.max_block)
+            .max(1)
     }
 
     fn all_drained(&self) -> bool {
@@ -968,6 +983,66 @@ mod tests {
             served.counters().snapshot().multi_vector_blocks() >= 1,
             "5 queued singles should form at least one multi-vector block"
         );
+        exec.shutdown();
+    }
+
+    /// The coalescing window clamps to the scheduler's tuned block: with a
+    /// selector reporting `block = 2`, five queued singles drain as sweeps
+    /// of at most two vectors — the block histogram stays below bucket 2
+    /// (B >= 4) while pairs still coalesce.
+    #[test]
+    fn coalescing_clamps_to_the_tuned_block() {
+        #[derive(Debug)]
+        struct TinyBlock;
+        impl dls_core::FormatSelector for TinyBlock {
+            fn select(
+                &self,
+                t: &TripletMatrix,
+                f: &dls_sparse::MatrixFeatures,
+            ) -> dls_core::SelectionReport {
+                let mut r = dls_core::RuleBasedSelector::default().select(t, f);
+                r.block = 2;
+                r
+            }
+        }
+        let scheduler = LayoutScheduler::with_selector(TinyBlock);
+        let svs: Vec<SparseVec> =
+            (0..3).map(|i| SparseVec::new(6, vec![i, i + 3], vec![1.0, -0.5])).collect();
+        let model = SvmModel::new(KernelKind::Linear, svs, vec![1.0, -1.0, 0.5], 0.1);
+        let registry =
+            Arc::new(ModelRegistry::new().with(ServedModel::new("toy", model, &scheduler)));
+        // Predictive admission off: calibration sweeps would otherwise put
+        // full-size probe batches into the histogram being pinned.
+        let exec = Executor::start(
+            registry,
+            Arc::new(LayoutScheduler::new()),
+            Arc::new(ServeStats::new()),
+            ExecutorConfig {
+                gather: Duration::ZERO,
+                predictive_admission: false,
+                ..Default::default()
+            },
+        );
+        let served = exec.registry().get("toy").unwrap().clone();
+        assert_eq!(served.report().map(|r| r.block), Some(2), "tuned block reaches the lane");
+        exec.pause(true);
+        let rxs: Vec<_> = (0..5)
+            .map(|i| {
+                submit_interactive(&exec, vec![SparseVec::new(6, vec![i], vec![1.0])], 0).unwrap()
+            })
+            .collect();
+        exec.pause(false);
+        for rx in rxs {
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_secs(5)),
+                Ok(Response::Predictions(_))
+            ));
+        }
+        let snap = served.counters().snapshot();
+        assert!(snap.multi_vector_blocks() >= 1, "pairs still coalesce under the cap");
+        for (b, &n) in snap.block_hist.iter().enumerate().skip(2) {
+            assert_eq!(n, 0, "bucket {b} must stay empty under tuned block 2");
+        }
         exec.shutdown();
     }
 

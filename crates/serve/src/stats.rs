@@ -427,6 +427,13 @@ impl ServeStats {
                             .unwrap_or(JsonValue::Null),
                     ),
                     ("dim", JsonValue::from(served.dim())),
+                    (
+                        "tuned_block",
+                        served
+                            .report()
+                            .map(|r| JsonValue::from(r.block))
+                            .unwrap_or(JsonValue::Null),
+                    ),
                     ("health", JsonValue::from(served.health().name())),
                     ("panics", JsonValue::from(served.panics())),
                     ("kernels", kernel_json(&snap)),

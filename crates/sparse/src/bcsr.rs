@@ -6,7 +6,7 @@
 //! element cuts index traffic by `br * bc` for blocky matrices, at the price
 //! of storing the zeros inside partially-filled blocks.
 
-use crate::format::ensure_workspace;
+use crate::format::{ensure_workspace, MAX_SMSV_BLOCK};
 use crate::{Format, MatrixFormat, RowScratch, Scalar, SparseVec, SparseVecView, TripletMatrix};
 
 /// Block CSR matrix with run-time block shape.
@@ -196,6 +196,79 @@ impl MatrixFormat for BcsrMatrix {
             }
         }
         v.unscatter(dense);
+    }
+
+    fn smsv_block(&self, vs: &[SparseVec], out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
+        assert_eq!(out.len(), self.rows * vs.len(), "smsv_block output length mismatch");
+        // Blocked tile sweep: each stored block's dense payload is read once
+        // per chunk and applied to cb right-hand sides. Per (block, row) a
+        // stack array of cb lane accumulators gathers the tile's columns,
+        // then folds into the interleaved row accumulator — the same
+        // per-tile grouping as the per-vector kernel, so every lane's sum
+        // is bit-identical to it.
+        let mut b0 = 0;
+        while b0 < vs.len() {
+            let cb = (vs.len() - b0).min(MAX_SMSV_BLOCK);
+            if cb == 1 {
+                // A single lane degenerates to the per-vector sweep; skip
+                // the interleaved workspace and its writeback entirely.
+                let dst = &mut out[b0 * self.rows..(b0 + 1) * self.rows];
+                self.smsv_view(vs[b0].as_view(), dst, workspace);
+                b0 += 1;
+                continue;
+            }
+            let chunk = &vs[b0..b0 + cb];
+            let ws = ensure_workspace(workspace, (self.cols + self.rows) * cb);
+            debug_assert!(ws.iter().all(|&w| w == 0.0));
+            let (scat, acc) = ws.split_at_mut(self.cols * cb);
+            for (bi, v) in chunk.iter().enumerate() {
+                assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");
+                for (j, x) in v.iter() {
+                    scat[j * cb + bi] = x;
+                }
+            }
+            let n_brows = self.rows.div_ceil(self.br);
+            for brow in 0..n_brows {
+                for b in self.block_ptr[brow]..self.block_ptr[brow + 1] {
+                    let bj = self.block_col[b];
+                    let payload = self.block_payload(b);
+                    for ir in 0..self.br {
+                        let i = brow * self.br + ir;
+                        if i >= self.rows {
+                            break;
+                        }
+                        let mut tile = [0.0 as Scalar; MAX_SMSV_BLOCK];
+                        for jc in 0..self.bc {
+                            let j = bj * self.bc + jc;
+                            if j >= self.cols {
+                                break;
+                            }
+                            let x = payload[ir * self.bc + jc];
+                            let lane = &scat[j * cb..(j + 1) * cb];
+                            for (t, &w) in tile[..cb].iter_mut().zip(lane) {
+                                *t += x * w;
+                            }
+                        }
+                        let a = &mut acc[i * cb..(i + 1) * cb];
+                        for (ab, &t) in a.iter_mut().zip(&tile[..cb]) {
+                            *ab += t;
+                        }
+                    }
+                }
+            }
+            for i in 0..self.rows {
+                for bi in 0..cb {
+                    out[(b0 + bi) * self.rows + i] = acc[i * cb + bi];
+                    acc[i * cb + bi] = 0.0;
+                }
+            }
+            for (bi, v) in chunk.iter().enumerate() {
+                for &j in v.indices() {
+                    scat[j * cb + bi] = 0.0;
+                }
+            }
+            b0 += cb;
+        }
     }
 
     fn spmv(&self, x: &[Scalar], out: &mut [Scalar]) {

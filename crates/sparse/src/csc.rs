@@ -10,6 +10,7 @@
 // clearest statement of the per-column sweep.
 #![allow(clippy::needless_range_loop)]
 
+use crate::format::MAX_SMSV_BLOCK;
 use crate::{Format, MatrixFormat, RowScratch, Scalar, SparseVec, SparseVecView, TripletMatrix};
 
 /// Compressed Sparse Column matrix.
@@ -125,6 +126,63 @@ impl MatrixFormat for CscMatrix {
             for (&r, &a) in rows.iter().zip(vals) {
                 out[r] += a * x;
             }
+        }
+    }
+
+    fn smsv_block(&self, vs: &[SparseVec], out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
+        let rows = self.rows;
+        assert_eq!(out.len(), rows * vs.len(), "smsv_block output length mismatch");
+        let mut b0 = 0;
+        while b0 < vs.len() {
+            let cb = (vs.len() - b0).min(MAX_SMSV_BLOCK);
+            if cb == 1 {
+                // A single lane degenerates to the per-vector sweep.
+                let dst = &mut out[b0 * rows..(b0 + 1) * rows];
+                self.smsv_view(vs[b0].as_view(), dst, workspace);
+                b0 += 1;
+                continue;
+            }
+            let chunk = &vs[b0..b0 + cb];
+            for v in chunk {
+                assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");
+            }
+            let outs = &mut out[b0 * rows..(b0 + cb) * rows];
+            outs.fill(0.0);
+            // K-way merge of the lanes' ascending column lists: each union
+            // column's row/value data is streamed exactly once and fed to
+            // every lane holding that column, instead of once per lane. A
+            // fixed lane still sees its own columns in ascending order with
+            // rows in storage order inside a column — exactly the
+            // per-vector sweep's order — so blocked results stay
+            // bit-identical to `smsv_view`.
+            let mut cur = [0usize; MAX_SMSV_BLOCK];
+            let mut active = [(0usize, 0.0 as Scalar); MAX_SMSV_BLOCK];
+            loop {
+                let mut j = usize::MAX;
+                for (bi, v) in chunk.iter().enumerate() {
+                    if let Some(&ji) = v.indices().get(cur[bi]) {
+                        j = j.min(ji);
+                    }
+                }
+                if j == usize::MAX {
+                    break;
+                }
+                let mut nact = 0;
+                for (bi, v) in chunk.iter().enumerate() {
+                    if v.indices().get(cur[bi]) == Some(&j) {
+                        active[nact] = (bi * rows, v.values()[cur[bi]]);
+                        nact += 1;
+                        cur[bi] += 1;
+                    }
+                }
+                let (ridx, vals) = self.col_view(j);
+                for (&r, &a) in ridx.iter().zip(vals) {
+                    for &(base, x) in &active[..nact] {
+                        outs[base + r] += a * x;
+                    }
+                }
+            }
+            b0 += cb;
         }
     }
 

@@ -142,8 +142,35 @@ impl CsrMatrix {
         debug_assert!(workspace.iter().all(|&w| w == 0.0));
         // Scatter-gather: v lands in a dense workspace once, then each row
         // gathers in Θ(dim_i); total Θ(nnz + nnz(v)).
+        //
+        // Rows are gathered in pairs: each row keeps its own accumulator
+        // chain (so every row still sums in ascending-column order,
+        // preserving bit-parity with the blocked kernels), but the two
+        // chains interleave in the lockstep prefix, doubling the
+        // instruction-level parallelism of the serial `acc += x * w`
+        // dependency that otherwise bounds the gather.
         v.scatter(workspace);
-        for i in 0..self.rows {
+        let mut i = 0;
+        while i + 2 <= self.rows {
+            let (c0, v0) = self.row_view(i);
+            let (c1, v1) = self.row_view(i + 1);
+            let n = c0.len().min(c1.len());
+            let (mut a0, mut a1) = (0.0 as Scalar, 0.0 as Scalar);
+            for k in 0..n {
+                a0 += v0[k] * workspace[c0[k]];
+                a1 += v1[k] * workspace[c1[k]];
+            }
+            for k in n..c0.len() {
+                a0 += v0[k] * workspace[c0[k]];
+            }
+            for k in n..c1.len() {
+                a1 += v1[k] * workspace[c1[k]];
+            }
+            out[i] = a0;
+            out[i + 1] = a1;
+            i += 2;
+        }
+        if i < self.rows {
             let (cols, vals) = self.row_view(i);
             let mut acc = 0.0;
             for (&c, &x) in cols.iter().zip(vals) {
@@ -248,6 +275,14 @@ impl MatrixFormat for CsrMatrix {
         let mut b0 = 0;
         while b0 < vs.len() {
             let cb = (vs.len() - b0).min(MAX_SMSV_BLOCK);
+            if cb == 1 {
+                // A single lane degenerates to the per-vector sweep; skip
+                // the interleaved workspace and its writeback entirely.
+                let dst = &mut out[b0 * self.rows..(b0 + 1) * self.rows];
+                self.smsv_view(vs[b0].as_view(), dst, workspace);
+                b0 += 1;
+                continue;
+            }
             let chunk = &vs[b0..b0 + cb];
             let ws = ensure_workspace(workspace, self.cols * cb);
             debug_assert!(ws.iter().all(|&w| w == 0.0));

@@ -108,7 +108,15 @@ impl MatrixFormat for DenseMatrix {
             v.scatter(ws);
             for (i, o) in out.iter_mut().enumerate() {
                 let row = &self.data[i * self.cols..(i + 1) * self.cols];
-                *o = row.iter().zip(ws.iter()).map(|(a, b)| a * b).sum();
+                // Explicit fold from +0.0, not `.sum()`: std's float Sum
+                // keeps a lone -0.0 term as -0.0, which would break the
+                // bit-parity contract with the blocked kernel's +0.0-seeded
+                // accumulators (an empty row times a negative RHS entry).
+                let mut acc = 0.0;
+                for (a, b) in row.iter().zip(ws.iter()) {
+                    acc += a * b;
+                }
+                *o = acc;
             }
             v.unscatter(ws);
             return;
@@ -135,6 +143,14 @@ impl MatrixFormat for DenseMatrix {
         let mut b0 = 0;
         while b0 < vs.len() {
             let cb = (vs.len() - b0).min(MAX_SMSV_BLOCK);
+            if cb == 1 {
+                // A single lane degenerates to the per-vector sweep; skip
+                // the interleaved workspace and its writeback entirely.
+                let dst = &mut out[b0 * self.rows..(b0 + 1) * self.rows];
+                self.smsv_view(vs[b0].as_view(), dst, workspace);
+                b0 += 1;
+                continue;
+            }
             let chunk = &vs[b0..b0 + cb];
             for v in chunk {
                 assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");

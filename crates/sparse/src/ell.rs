@@ -77,6 +77,38 @@ impl EllMatrix {
         self.smsv_view_with(v.as_view(), out, workspace);
     }
 
+    /// One blocked column-major sweep of the padded slot arrays into an
+    /// interleaved accumulator, shared by [`MatrixFormat::smsv_block`] here
+    /// and by the HYB kernel (which reuses the same scatter for its COO
+    /// spill pass).
+    ///
+    /// `scat` is the `(cols + 1) * cb` interleaved scatter of the chunk's
+    /// right-hand sides: lane `bi` of column `j` lives at `scat[j*cb+bi]`,
+    /// and the extra column slot at index `cols` stays all-zero so padded
+    /// slots read from it. `acc` is the `rows * cb` interleaved accumulator
+    /// the products land in. The pad remap is a select, not a branch, so
+    /// the inner lane loop is straight-line code the autovectorizer can
+    /// turn into FMAs (a padded slot contributes `0.0 * 0.0`, leaving the
+    /// accumulator bit-identical to skipping it).
+    pub(crate) fn blocked_slab_sweep(&self, cb: usize, scat: &[Scalar], acc: &mut [Scalar]) {
+        debug_assert_eq!(scat.len(), (self.cols + 1) * cb);
+        debug_assert_eq!(acc.len(), self.rows * cb);
+        for k in 0..self.width {
+            let idx = &self.idx[k * self.rows..(k + 1) * self.rows];
+            let val = &self.val[k * self.rows..(k + 1) * self.rows];
+            for i in 0..self.rows {
+                let c = idx[i];
+                let c = if c == PAD { self.cols } else { c };
+                let x = val[i];
+                let lane = &scat[c * cb..(c + 1) * cb];
+                let a = &mut acc[i * cb..(i + 1) * cb];
+                for (ab, &w) in a.iter_mut().zip(lane) {
+                    *ab += x * w;
+                }
+            }
+        }
+    }
+
     /// Borrowed-view SMSV kernel behind both [`EllMatrix::smsv_with`] and
     /// [`MatrixFormat::smsv_view`] (workspace all zeros on entry/exit).
     pub fn smsv_view_with(
@@ -178,38 +210,32 @@ impl MatrixFormat for EllMatrix {
         assert_eq!(out.len(), self.rows * vs.len(), "smsv_block output length mismatch");
         // Blocked kernel: one column-major sweep over the padded slot
         // arrays feeds all B right-hand sides. The workspace carves out an
-        // interleaved scatter region (`cols * cb`) followed by an
+        // interleaved scatter region (`(cols + 1) * cb`, the extra all-zero
+        // column absorbing padded slots branch-free) followed by an
         // interleaved accumulator region (`rows * cb`); both are restored
         // to zero before the chunk ends.
         let mut b0 = 0;
         while b0 < vs.len() {
             let cb = (vs.len() - b0).min(MAX_SMSV_BLOCK);
+            if cb == 1 {
+                // A single lane degenerates to the per-vector sweep; skip
+                // the interleaved workspace and its writeback entirely.
+                let dst = &mut out[b0 * self.rows..(b0 + 1) * self.rows];
+                self.smsv_view(vs[b0].as_view(), dst, workspace);
+                b0 += 1;
+                continue;
+            }
             let chunk = &vs[b0..b0 + cb];
-            let ws = ensure_workspace(workspace, (self.cols + self.rows) * cb);
+            let ws = ensure_workspace(workspace, (self.cols + 1 + self.rows) * cb);
             debug_assert!(ws.iter().all(|&w| w == 0.0));
-            let (scat, acc) = ws.split_at_mut(self.cols * cb);
+            let (scat, acc) = ws.split_at_mut((self.cols + 1) * cb);
             for (bi, v) in chunk.iter().enumerate() {
                 assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");
                 for (j, x) in v.iter() {
                     scat[j * cb + bi] = x;
                 }
             }
-            for k in 0..self.width {
-                let idx = &self.idx[k * self.rows..(k + 1) * self.rows];
-                let val = &self.val[k * self.rows..(k + 1) * self.rows];
-                for i in 0..self.rows {
-                    let c = idx[i];
-                    if c == PAD {
-                        continue;
-                    }
-                    let x = val[i];
-                    let lane = &scat[c * cb..(c + 1) * cb];
-                    let a = &mut acc[i * cb..(i + 1) * cb];
-                    for (ab, &w) in a.iter_mut().zip(lane) {
-                        *ab += x * w;
-                    }
-                }
-            }
+            self.blocked_slab_sweep(cb, scat, acc);
             for i in 0..self.rows {
                 for bi in 0..cb {
                     out[(b0 + bi) * self.rows + i] = acc[i * cb + bi];

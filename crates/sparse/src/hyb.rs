@@ -6,7 +6,7 @@
 //! bounded irregularity — the format NVIDIA's cusp library popularised, a
 //! natural member of the paper's "derived from these basic formats" family.
 
-use crate::format::ensure_workspace;
+use crate::format::{ensure_workspace, MAX_SMSV_BLOCK};
 use crate::{
     CooMatrix, EllMatrix, Format, MatrixFormat, RowScratch, Scalar, SparseVec, SparseVecView,
     TripletMatrix,
@@ -168,6 +168,64 @@ impl MatrixFormat for HybMatrix {
                 out[self.coo.row_idx()[k]] += self.coo.values()[k] * ws[self.coo.col_idx()[k]];
             }
             v.unscatter(ws);
+        }
+    }
+
+    fn smsv_block(&self, vs: &[SparseVec], out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
+        let rows = self.rows();
+        let cols = self.cols();
+        assert_eq!(out.len(), rows * vs.len(), "smsv_block output length mismatch");
+        // Blocked kernel with ELL+COO split reuse: one interleaved scatter
+        // of the whole chunk feeds both halves, the slab's column-major
+        // sweep runs once per chunk (amortising the padded-index stream
+        // over cb right-hand sides), and the spill adds its tail into the
+        // same interleaved accumulator — slab entries of a row precede its
+        // spill entries, matching the per-vector accumulation order
+        // bit-for-bit.
+        let mut b0 = 0;
+        while b0 < vs.len() {
+            let cb = (vs.len() - b0).min(MAX_SMSV_BLOCK);
+            if cb == 1 {
+                // A single lane degenerates to the per-vector sweep; skip
+                // the interleaved workspace and its writeback entirely.
+                let dst = &mut out[b0 * rows..(b0 + 1) * rows];
+                self.smsv_view(vs[b0].as_view(), dst, workspace);
+                b0 += 1;
+                continue;
+            }
+            let chunk = &vs[b0..b0 + cb];
+            // Scatter region carries one extra all-zero column at index
+            // `cols` for the slab sweep's branch-free PAD select.
+            let ws = ensure_workspace(workspace, (cols + 1 + rows) * cb);
+            debug_assert!(ws.iter().all(|&w| w == 0.0));
+            let (scat, acc) = ws.split_at_mut((cols + 1) * cb);
+            for (bi, v) in chunk.iter().enumerate() {
+                assert_eq!(v.dim(), cols, "SMSV vector dimension mismatch");
+                for (j, x) in v.iter() {
+                    scat[j * cb + bi] = x;
+                }
+            }
+            self.ell.blocked_slab_sweep(cb, scat, acc);
+            for k in 0..self.coo.nnz() {
+                let x = self.coo.values()[k];
+                let lane = &scat[self.coo.col_idx()[k] * cb..];
+                let a = &mut acc[self.coo.row_idx()[k] * cb..];
+                for bi in 0..cb {
+                    a[bi] += x * lane[bi];
+                }
+            }
+            for i in 0..rows {
+                for bi in 0..cb {
+                    out[(b0 + bi) * rows + i] = acc[i * cb + bi];
+                    acc[i * cb + bi] = 0.0;
+                }
+            }
+            for (bi, v) in chunk.iter().enumerate() {
+                for &j in v.indices() {
+                    scat[j * cb + bi] = 0.0;
+                }
+            }
+            b0 += cb;
         }
     }
 

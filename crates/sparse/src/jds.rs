@@ -8,7 +8,7 @@
 //! format from the vector-machine era (SPARSKIT), directly relevant to the
 //! paper's `vdim` discussion.
 
-use crate::format::ensure_workspace;
+use crate::format::{ensure_workspace, MAX_SMSV_BLOCK};
 use crate::{Format, MatrixFormat, RowScratch, Scalar, SparseVec, SparseVecView, TripletMatrix};
 
 /// Jagged-diagonal matrix.
@@ -176,6 +176,63 @@ impl MatrixFormat for JdsMatrix {
             acc[p] = 0.0;
         }
         v.unscatter(dense);
+    }
+
+    fn smsv_block(&self, vs: &[SparseVec], out: &mut [Scalar], workspace: &mut Vec<Scalar>) {
+        assert_eq!(out.len(), self.rows * vs.len(), "smsv_block output length mismatch");
+        // Blocked jagged-diagonal sweep: the padding-free column-major
+        // streams are walked once per chunk, and each permuted position
+        // keeps cb interleaved accumulators (one per right-hand side) so
+        // the inner lane loop is a broadcast-multiply-add the
+        // autovectorizer maps straight onto SIMD lanes. Each lane still
+        // sums a row's entries in jagged-diagonal (= ascending column)
+        // order, bit-identical to the per-vector kernel.
+        let mut b0 = 0;
+        while b0 < vs.len() {
+            let cb = (vs.len() - b0).min(MAX_SMSV_BLOCK);
+            if cb == 1 {
+                // A single lane degenerates to the per-vector sweep; skip
+                // the interleaved workspace and its writeback entirely.
+                let dst = &mut out[b0 * self.rows..(b0 + 1) * self.rows];
+                self.smsv_view(vs[b0].as_view(), dst, workspace);
+                b0 += 1;
+                continue;
+            }
+            let chunk = &vs[b0..b0 + cb];
+            let ws = ensure_workspace(workspace, (self.cols + self.rows) * cb);
+            debug_assert!(ws.iter().all(|&w| w == 0.0));
+            let (scat, acc) = ws.split_at_mut(self.cols * cb);
+            for (bi, v) in chunk.iter().enumerate() {
+                assert_eq!(v.dim(), self.cols, "SMSV vector dimension mismatch");
+                for (j, x) in v.iter() {
+                    scat[j * cb + bi] = x;
+                }
+            }
+            for k in 0..self.n_jdiags() {
+                let (s, e) = (self.jd_ptr[k], self.jd_ptr[k + 1]);
+                let idx = &self.col_idx[s..e];
+                let val = &self.values[s..e];
+                for (p, (&c, &x)) in idx.iter().zip(val).enumerate() {
+                    let lane = &scat[c * cb..(c + 1) * cb];
+                    let a = &mut acc[p * cb..(p + 1) * cb];
+                    for (ab, &w) in a.iter_mut().zip(lane) {
+                        *ab += x * w;
+                    }
+                }
+            }
+            for (p, &r) in self.perm.iter().enumerate() {
+                for bi in 0..cb {
+                    out[(b0 + bi) * self.rows + r] = acc[p * cb + bi];
+                    acc[p * cb + bi] = 0.0;
+                }
+            }
+            for (bi, v) in chunk.iter().enumerate() {
+                for &j in v.indices() {
+                    scat[j * cb + bi] = 0.0;
+                }
+            }
+            b0 += cb;
+        }
     }
 
     fn spmv(&self, x: &[Scalar], out: &mut [Scalar]) {

@@ -223,6 +223,39 @@ proptest! {
         }
     }
 
+    /// Blocked SMSV is BIT-identical to the per-vector kernel for every
+    /// format — not merely close. Each lane of the blocked kernels
+    /// accumulates its row sums in exactly the per-vector order, which is
+    /// what lets `predict_batch` swap kernels without changing decisions.
+    /// The strategy space covers the hard shapes: empty rows (arbitrary
+    /// matrices produce them), single-row matrices (`rows` starts at 1),
+    /// B above any tuned block, and B > MAX_SMSV_BLOCK (chunking path,
+    /// including size-1 tail chunks at B = 33).
+    #[test]
+    fn smsv_block_is_bit_identical_to_per_vector((t, v) in arb_matrix_and_vec(), b in 1usize..40) {
+        let vs: Vec<SparseVec> = (0..b)
+            .map(|k| if k % 3 == 2 { v.clone() } else { t.row_sparse(k % t.rows()) })
+            .collect();
+        let mut ws = Vec::new();
+        for fmt in Format::ALL {
+            let m = AnyMatrix::from_triplets(fmt, &t);
+            let mut blocked = vec![1.0; t.rows() * b];
+            m.smsv_block(&vs, &mut blocked, &mut ws);
+            let mut single = vec![1.0; t.rows()];
+            for (k, rhs) in vs.iter().enumerate() {
+                m.smsv_view(rhs.as_view(), &mut single, &mut ws);
+                let got = &blocked[k * t.rows()..(k + 1) * t.rows()];
+                for (i, (a, bb)) in got.iter().zip(&single).enumerate() {
+                    prop_assert_eq!(
+                        a.to_bits(), bb.to_bits(),
+                        "{} rhs {}/{} row {}: {} vs {}", fmt, k, b, i, a, bb
+                    );
+                }
+            }
+            prop_assert!(ws.iter().all(|&w| w == 0.0), "{} left workspace dirty", fmt);
+        }
+    }
+
     /// The persistent pool agrees with the serial kernel for any format and
     /// worker count.
     #[test]

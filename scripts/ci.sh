@@ -23,6 +23,11 @@ cargo run --release -q --bin dls -- schedule @trefethen "learned:$model"
 echo "==> bench smoke (criterion --test mode, one pass, no statistics)"
 cargo bench -q -p dls-bench --bench smsv_block -- --test
 
+echo "==> blocked-kernel smoke (block-size sweep; geomean floors 0.95x, COO/HYB/JDS 1.0x)"
+bench_json="$(mktemp -t dls_bench_XXXXXX.json)"
+trap 'rm -f "$model" "$bench_json"' EXIT
+cargo run --release -q -p dls-bench --bin repro_smsv_block -- 5 "$bench_json" --check
+
 echo "==> serve smoke (predict/schedule/stats over loopback + graceful drain, per discipline × frontend)"
 declare -A parity
 for frontend in threads reactor; do

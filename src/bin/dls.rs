@@ -412,7 +412,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     }
     let features = MatrixFeatures::from_triplets(&t);
     let report = cache.select(&t, &features);
-    println!("scheduled format: {} ({})", report.chosen, report.reason);
+    println!("scheduled format: {} (block {}) ({})", report.chosen, report.block, report.reason);
 
     let counters = SmsvCounters::shared();
     let m = InstrumentedMatrix::new(AnyMatrix::from_triplets(report.chosen, &t), counters.clone());
@@ -551,6 +551,15 @@ fn cmd_selector_info(args: &[String]) -> Result<(), String> {
         "predictable formats: {}",
         model.tree.predictable_formats().iter().map(|f| f.name()).collect::<Vec<_>>().join(", ")
     );
+    match &model.blocks {
+        Some(blocks) => {
+            println!("\nblock trees (learned tuned block per format):");
+            for (fmt, tree) in &blocks.trees {
+                println!("  {:<5} depth {}, {} leaves", fmt.name(), tree.depth(), tree.n_leaves());
+            }
+        }
+        None => println!("block trees: none (pre-calibration model; kernels fall back to B=32)"),
+    }
     println!("\nsplits per feature:");
     let counts = model.tree.feature_split_counts();
     let mut ranked: Vec<(usize, &str)> =
