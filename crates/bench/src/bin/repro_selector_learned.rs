@@ -64,6 +64,7 @@ fn main() {
         },
         tree,
         blocks: None,
+        ensemble: None,
     };
     println!(
         "trained on {} samples ({} measured, {} fallback, {} analytic); \

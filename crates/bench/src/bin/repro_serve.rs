@@ -40,7 +40,10 @@
 //! the named discipline (default slo) and front end plus a graceful
 //! shutdown-by-frame, printing the per-class SLO-violation rates and a
 //! frontend-independent `# parity` counter line, and exiting non-zero on
-//! any mismatch.
+//! any mismatch. `repro_serve --retrain-smoke [--frontend threads|reactor]`
+//! exercises the online-learning loop instead: live traffic with a
+//! feedback hub wired in, one forced retraining cycle, and a hard
+//! assertion of a model-version bump with zero dropped requests.
 
 use dls_bench::workloads::default_scale;
 use dls_core::json::JsonValue;
@@ -48,9 +51,9 @@ use dls_core::LayoutScheduler;
 use dls_data::labels::linear_teacher_labels;
 use dls_data::{generate, DatasetSpec};
 use dls_serve::{
-    parse_discipline, BrownoutConfig, ExecutorConfig, Frontend, ModelRegistry, PredictRequest,
-    RequestClass, Response, ScheduleRequest, ServeClient, ServedModel, ServerConfig, ServerHandle,
-    DISCIPLINES,
+    parse_discipline, BrownoutConfig, ExecutorConfig, FeedbackConfig, FeedbackHub, Frontend,
+    ModelRegistry, PredictRequest, RequestClass, Response, RetrainOutcome, ScheduleRequest,
+    ServeClient, ServedModel, ServerConfig, ServerHandle, DISCIPLINES,
 };
 use dls_sparse::{CsrMatrix, MatrixFormat, SparseVec, MAX_SMSV_BLOCK};
 use dls_svm::smo::{train, SmoParams};
@@ -695,8 +698,106 @@ fn smoke(discipline: &str, frontend: Frontend) {
     );
 }
 
+/// Online-learning smoke: serve live traffic with a feedback hub wired in,
+/// force a retraining cycle mid-stream, and require a model-version bump
+/// with zero dropped requests. This is the end-to-end loop
+/// (serving → telemetry log → retrain → hot swap) as a CI gate.
+fn retrain_smoke(frontend: Frontend) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let hosted = vec![quick_model("adult", 256, 42)];
+    let hub = FeedbackHub::new(FeedbackConfig {
+        min_observations: 8,
+        background: false, // the smoke forces the cycle deterministically
+        ..FeedbackConfig::default()
+    });
+    let executor = ExecutorConfig { feedback: Some(Arc::clone(&hub)), ..Default::default() };
+    let handle = start_server_on(&hosted, executor, frontend);
+    let addr = handle.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..2)
+        .map(|t| {
+            let stop = Arc::clone(&stop);
+            let queries = hosted[0].queries.clone();
+            std::thread::spawn(move || {
+                let mut c = ServeClient::connect(addr).expect("connect");
+                let mut sent = 0u64;
+                let mut answered = 0u64;
+                let mut k = t;
+                while !stop.load(Ordering::Relaxed) || sent < 16 {
+                    let q = queries[k % queries.len()].clone();
+                    k += 1;
+                    sent += 1;
+                    match c.send(&PredictRequest::builder("adult").vector(q).build()) {
+                        Ok(Response::Predictions(v)) => {
+                            assert_eq!(v.len(), 1);
+                            answered += 1;
+                        }
+                        other => panic!("dropped/refused request during retrain: {other:?}"),
+                    }
+                }
+                (sent, answered)
+            })
+        })
+        .collect();
+
+    // Let the executor record telemetry, then force the cycle while the
+    // clients above keep the wire busy across the hot swap.
+    while hub.ring().total_appended() < 8 {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let before = hub.version();
+    let outcome = hub.force_retrain();
+    assert!(
+        matches!(outcome, RetrainOutcome::Accepted { .. }),
+        "retrain must be accepted: {outcome:?}"
+    );
+    assert!(hub.version() > before, "accepted retrain must bump the model version");
+
+    stop.store(true, Ordering::Relaxed);
+    let (mut sent, mut answered) = (0u64, 0u64);
+    for c in clients {
+        let (s, a) = c.join().expect("client thread");
+        sent += s;
+        answered += a;
+    }
+    assert_eq!(sent, answered, "every in-flight request answered across the swap");
+
+    let mut c = ServeClient::connect(addr).expect("connect");
+    let doc = dls_core::json::parse(&c.stats().expect("stats")).expect("valid stats json");
+    let sel = doc.get("selector").expect("stats JSON lacks selector section");
+    let gauge = |key: &str| sel.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+    assert_eq!(gauge("active_version"), hub.version());
+    assert_eq!(gauge("retrains_accepted"), 1);
+    for refusal in ["busy", "timed_out", "errors"] {
+        let n = doc.get("predict").and_then(|p| p.get(refusal)).and_then(JsonValue::as_u64);
+        assert_eq!(n, Some(0), "predict.{refusal} must stay zero across the swap");
+    }
+    println!(
+        "# retrain smoke OK ({frontend}): version {before} -> {}, {} requests, 0 dropped, \
+         outcome={}",
+        hub.version(),
+        sent,
+        sel.get("last_retrain_outcome").and_then(JsonValue::as_str).unwrap_or("?"),
+    );
+    drop(c);
+    handle.shutdown();
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--retrain-smoke") {
+        let frontend: Frontend = args
+            .iter()
+            .position(|a| a == "--frontend")
+            .and_then(|i| args.get(i + 1))
+            .map_or(Ok(Frontend::Threads), |v| v.parse())
+            .expect("--frontend takes threads|reactor");
+        retrain_smoke(frontend);
+        return;
+    }
     if args.iter().any(|a| a == "--smoke") {
         let discipline = args
             .iter()

@@ -30,6 +30,7 @@ pub mod monitor;
 pub mod reactive;
 pub mod report;
 pub mod scheduler;
+pub mod swap;
 pub mod tuning_cache;
 
 pub use bandwidth::BandwidthProfile;
@@ -45,4 +46,5 @@ pub use report::{default_block, FormatScore, SelectionReport};
 pub use scheduler::{
     FixedSelector, FormatSelector, LayoutScheduler, ScheduledMatrix, SelectionStrategy,
 };
+pub use swap::SwappableSelector;
 pub use tuning_cache::{FeatureFingerprint, TuningCache};

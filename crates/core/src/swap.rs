@@ -1,0 +1,154 @@
+//! Hot-swappable selector handle: replace the scheduler's brain without
+//! pausing anything that is selecting through it.
+//!
+//! [`SwappableSelector`] wraps any [`FormatSelector`] behind an
+//! `RwLock<Arc<…>>`. Readers ([`FormatSelector::select`] calls) take the
+//! read lock just long enough to clone the inner `Arc`, then select against
+//! their private handle — a writer swapping in a new selector never blocks
+//! an in-flight selection, and selections started before the swap finish
+//! against the generation they started with. Each swap bumps a monotonic
+//! generation counter so telemetry can report which model version is live.
+//!
+//! This is the scheduler-side half of the online-learning loop: the
+//! `dls-serve` background retrainer publishes each accepted candidate here,
+//! and every subsequent schedule request picks it up with no
+//! coordination beyond one uncontended `RwLock` read.
+
+use crate::report::SelectionReport;
+use crate::scheduler::FormatSelector;
+use dls_sparse::{MatrixFeatures, TripletMatrix};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A [`FormatSelector`] whose inner selector can be atomically replaced at
+/// runtime.
+pub struct SwappableSelector {
+    inner: RwLock<Arc<dyn FormatSelector>>,
+    generation: AtomicU64,
+}
+
+impl std::fmt::Debug for SwappableSelector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwappableSelector")
+            .field("generation", &self.generation())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SwappableSelector {
+    /// Wraps `initial` as generation 1.
+    pub fn new(initial: Arc<dyn FormatSelector>) -> Self {
+        Self { inner: RwLock::new(initial), generation: AtomicU64::new(1) }
+    }
+
+    /// Atomically replaces the inner selector, returning the new
+    /// generation number. In-flight selections keep the handle they
+    /// already cloned; everything after sees the replacement.
+    pub fn swap(&self, next: Arc<dyn FormatSelector>) -> u64 {
+        let mut guard = self.inner.write().expect("swappable selector poisoned");
+        *guard = next;
+        // Bumped under the write lock so generation and selector move
+        // together: a reader that sees generation g also sees selector g.
+        self.generation.fetch_add(1, Ordering::Release) + 1
+    }
+
+    /// Generation of the live selector (1 = the initial one).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Clones a handle to the live selector.
+    pub fn current(&self) -> Arc<dyn FormatSelector> {
+        Arc::clone(&self.inner.read().expect("swappable selector poisoned"))
+    }
+}
+
+impl FormatSelector for SwappableSelector {
+    fn select(&self, t: &TripletMatrix, f: &MatrixFeatures) -> SelectionReport {
+        self.current().select(t, f)
+    }
+}
+
+/// `Arc<SwappableSelector>` forwards, so one handle can be shared between a
+/// scheduler and the retrainer that feeds it.
+impl FormatSelector for Arc<SwappableSelector> {
+    fn select(&self, t: &TripletMatrix, f: &MatrixFeatures) -> SelectionReport {
+        (**self).select(t, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::FixedSelector;
+    use dls_sparse::Format;
+
+    fn features(t: &TripletMatrix) -> MatrixFeatures {
+        MatrixFeatures::from_triplets(t)
+    }
+
+    fn matrix() -> TripletMatrix {
+        let mut t = TripletMatrix::new(4, 4);
+        for i in 0..4 {
+            t.push(i, i, 1.0);
+        }
+        t
+    }
+
+    #[test]
+    fn swap_changes_the_selection_and_bumps_the_generation() {
+        let swap = SwappableSelector::new(Arc::new(FixedSelector(Format::Csr)));
+        let t = matrix();
+        let f = features(&t);
+        assert_eq!(swap.generation(), 1);
+        assert_eq!(swap.select(&t, &f).chosen, Format::Csr);
+        let g = swap.swap(Arc::new(FixedSelector(Format::Coo)));
+        assert_eq!(g, 2);
+        assert_eq!(swap.generation(), 2);
+        assert_eq!(swap.select(&t, &f).chosen, Format::Coo);
+    }
+
+    #[test]
+    fn in_flight_handles_survive_a_swap() {
+        let swap = SwappableSelector::new(Arc::new(FixedSelector(Format::Csr)));
+        let held = swap.current();
+        swap.swap(Arc::new(FixedSelector(Format::Den)));
+        let t = matrix();
+        let f = features(&t);
+        // The pre-swap handle still answers with the old model …
+        assert_eq!(held.select(&t, &f).chosen, Format::Csr);
+        // … while the shared handle serves the new one.
+        assert_eq!(swap.select(&t, &f).chosen, Format::Den);
+    }
+
+    #[test]
+    fn concurrent_selects_and_swaps_never_tear() {
+        let swap = Arc::new(SwappableSelector::new(Arc::new(FixedSelector(Format::Csr))));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let swap = Arc::clone(&swap);
+            handles.push(std::thread::spawn(move || {
+                let t = matrix();
+                let f = features(&t);
+                for _ in 0..200 {
+                    let chosen = swap.select(&t, &f).chosen;
+                    assert!(chosen == Format::Csr || chosen == Format::Coo);
+                }
+            }));
+        }
+        let swapper = {
+            let swap = Arc::clone(&swap);
+            std::thread::spawn(move || {
+                for k in 0..50 {
+                    let fmt = if k % 2 == 0 { Format::Coo } else { Format::Csr };
+                    swap.swap(Arc::new(FixedSelector(fmt)));
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        swapper.join().unwrap();
+        assert_eq!(swap.generation(), 51);
+    }
+}

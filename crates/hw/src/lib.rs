@@ -16,6 +16,7 @@
 //! epochs-to-accuracy from `dls-dnn` reproduces the table's shape.
 
 pub mod cost;
+pub mod formats;
 pub mod platform;
 pub mod recommend;
 pub mod speedup;

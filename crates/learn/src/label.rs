@@ -2,13 +2,16 @@
 //!
 //! Two modes. **Measured** materialises all five basic formats and times
 //! real SMSV sweeps (the honest oracle, used for real training runs). Timing
-//! on a busy host is noisy, so each case is measured in two independent
-//! passes and the result is only trusted when both passes agree on the
-//! winner *and* the winner beats the runner-up by a configurable margin;
-//! otherwise the case falls back to the analytic model. **Analytic** skips
-//! the clock entirely and labels by Table II storage volume under a flat
-//! bandwidth profile — fully deterministic, used by tests and `--analytic`
-//! CI smoke runs.
+//! on a busy host is noisy, so each case is measured in `passes` independent
+//! passes and the result is only trusted when a *majority* of passes agree
+//! on the winner of the element-wise-minimum scores *and* that winner beats
+//! the runner-up by a configurable margin; otherwise the case falls back to
+//! the analytic model. (The original two-pass gate demanded unanimity,
+//! which on a noisy 1-core host rejected ~20% of cases; three passes with a
+//! 2-of-3 majority keeps the same measurement budget while rejecting far
+//! fewer.) **Analytic** skips the clock entirely and labels by Table II
+//! storage volume under a flat bandwidth profile — fully deterministic,
+//! used by tests and `--analytic` CI smoke runs.
 
 use crate::features::{featurize, NUM_FEATURES};
 use dls_core::{BandwidthProfile, CostModelSelector};
@@ -18,13 +21,18 @@ use std::time::Instant;
 /// How labels are produced.
 #[derive(Debug, Clone, Copy)]
 pub enum LabelMode {
-    /// Time real SMSV sweeps; fall back to the analytic model when the two
-    /// measurement passes disagree or the margin is below `min_margin`.
+    /// Time real SMSV sweeps; fall back to the analytic model when the
+    /// measurement passes cannot form a majority for one winner or the
+    /// margin is below `min_margin`.
     Measured {
         /// SMSV repetitions per pass per format.
         reps: usize,
+        /// Independent measurement passes (clamped to ≥ 2). The label is
+        /// trusted only when a strict majority of passes agree on the
+        /// winner.
+        passes: usize,
         /// Required relative gap between winner and runner-up
-        /// (`0.05` = winner must be ≥ 5% faster) for a measurement to be
+        /// (`0.03` = winner must be ≥ 3% faster) for a measurement to be
         /// trusted.
         min_margin: f64,
     },
@@ -38,7 +46,10 @@ pub enum LabelMode {
 
 impl Default for LabelMode {
     fn default() -> Self {
-        Self::Measured { reps: 6, min_margin: 0.05 }
+        // Same total budget as the old two-pass × 6-rep gate (12 sweeps per
+        // format), split into three passes so a single noisy pass can be
+        // outvoted instead of vetoing the measurement.
+        Self::Measured { reps: 4, passes: 3, min_margin: 0.03 }
     }
 }
 
@@ -53,7 +64,7 @@ impl LabelMode {
 /// Where a sample's label came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LabelSource {
-    /// Two measurement passes agreed with sufficient margin.
+    /// A majority of measurement passes agreed with sufficient margin.
     Measured,
     /// Measurement was too noisy; the analytic model decided.
     AnalyticFallback,
@@ -139,17 +150,21 @@ pub fn label_case(desc: &str, t: &TripletMatrix, mode: LabelMode) -> LabelledSam
             let best = argmin(&scores);
             (scores, best, LabelSource::Analytic)
         }
-        LabelMode::Measured { reps, min_margin } => {
-            let a = measure_pass(t, reps);
-            let b = measure_pass(t, reps);
-            // Element-wise minimum of the two passes: the best observed time
+        LabelMode::Measured { reps, passes, min_margin } => {
+            let passes = passes.max(2);
+            // Element-wise minimum across all passes: the best observed time
             // is the least noise-inflated estimate of each format's speed.
-            let mut scores = [0.0; Format::BASIC.len()];
-            for i in 0..scores.len() {
-                scores[i] = a[i].min(b[i]);
+            let mut scores = [f64::INFINITY; Format::BASIC.len()];
+            let mut winners = Vec::with_capacity(passes);
+            for _ in 0..passes {
+                let pass = measure_pass(t, reps);
+                winners.push(argmin(&pass));
+                for (s, &p) in scores.iter_mut().zip(&pass) {
+                    *s = s.min(p);
+                }
             }
-            let (wa, wb) = (argmin(&a), argmin(&b));
             let best = argmin(&scores);
+            let votes = winners.iter().filter(|&&w| w == best).count();
             let mut runner_up = f64::INFINITY;
             for (i, &s) in scores.iter().enumerate() {
                 if i != best && s < runner_up {
@@ -157,7 +172,7 @@ pub fn label_case(desc: &str, t: &TripletMatrix, mode: LabelMode) -> LabelledSam
                 }
             }
             let margin_ok = scores[best] > 0.0 && runner_up / scores[best] >= 1.0 + min_margin;
-            if wa == wb && margin_ok {
+            if 2 * votes > passes && margin_ok {
                 (scores, best, LabelSource::Measured)
             } else {
                 let fallback = analytic_scores(&features, BandwidthProfile::FLAT);
@@ -227,7 +242,7 @@ mod tests {
         // Tiny matrix: the point is exercising the measured path end to end,
         // not asserting which format wins on a noisy CI host.
         let t = diag_matrix(64, 64, 128, 2, 5);
-        let s = label_case("m", &t, LabelMode::Measured { reps: 2, min_margin: 0.05 });
+        let s = label_case("m", &t, LabelMode::Measured { reps: 2, passes: 2, min_margin: 0.05 });
         assert!(Format::BASIC.contains(&s.label));
         assert!(s.scores.iter().all(|&v| v > 0.0));
         assert!(matches!(s.source, LabelSource::Measured | LabelSource::AnalyticFallback));

@@ -27,12 +27,20 @@
 //!    `LayoutScheduler::with_selector`, composes with `TuningCache`
 //!    memoisation and `ReactiveScheduler` re-scheduling, and is graded
 //!    against the rules and the empirical oracle by [`eval`].
+//! 5. **Online** ([`online`]) — closes the loop: production telemetry
+//!    ([`LabeledObservation`], [`ObservationRing`], JSONL log) feeds
+//!    background retraining ([`retrain_online`]) that merges measured
+//!    production labels with the synthetic grid, upgrades to a bagged
+//!    [`ForestModel`] when a single tree plateaus, and gates low-confidence
+//!    predictions back to the analytic rules ([`HybridSelector`]). The
+//!    serve-side recording/swap half lives in `dls-serve::feedback`.
 
 pub mod block;
 pub mod eval;
 pub mod features;
 pub mod grid;
 pub mod label;
+pub mod online;
 pub mod persist;
 pub mod regress;
 pub mod selector;
@@ -43,7 +51,12 @@ pub use eval::{evaluate, split_holdout, EvalSummary};
 pub use features::{featurize, FEATURE_NAMES, NUM_FEATURES};
 pub use grid::{training_grid, GridCase, GridConfig};
 pub use label::{label_case, LabelMode, LabelSource, LabelledSample};
-pub use persist::{ModelMeta, TrainedModel, MODEL_VERSION};
+pub use online::{
+    model_regret, observations_from_reactive, observations_to_samples, parse_jsonl_log,
+    retrain_online, ForestModel, HybridSelector, LabeledObservation, ObservationRing,
+    OnlineOutcome, OnlineTrainConfig, DEFAULT_MIN_CONFIDENCE,
+};
+pub use persist::{ModelError, ModelMeta, TrainedModel, MIN_MODEL_VERSION, MODEL_VERSION};
 pub use regress::{RegressNode, RegressParams, RegressionTree};
 pub use selector::LearnedSelector;
 pub use tree::{gini, DecisionTree, Node, TreeParams};
@@ -130,6 +143,7 @@ pub fn train_selector(cfg: &TrainConfig) -> TrainOutcome {
         },
         tree,
         blocks: Some(blocks),
+        ensemble: None,
     };
     TrainOutcome { model, train, holdout }
 }

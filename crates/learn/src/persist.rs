@@ -7,35 +7,156 @@
 //! [`FEATURE_NAMES`] — a model trained against one featurisation must never
 //! silently mis-predict under another.
 //!
+//! Load failures are typed ([`ModelError`]): an unsupported document
+//! version reports the version range this build reads, a malformed member
+//! reports the dotted path of the offending field (`"meta.seed"`,
+//! `"tree.left.leaf.counts[1]"`). Unknown members are ignored, so documents
+//! written by a newer build of the *same* version family (extra optional
+//! sections) still load — forward compatibility is by addition only.
+//!
 //! ```json
-//! {"version":1,
+//! {"version":2,
 //!  "meta":{"seed":7,"grid":"full","samples":80,"measured":61,
 //!          "analytic_fallback":19,"analytic":0},
 //!  "features":["log2_m", ...],
 //!  "params":{"max_depth":8,"min_leaf":3,"min_gain":1e-9},
 //!  "tree":{"split":{"feature":3,"threshold":0.52,
 //!                   "left":{"leaf":{"format":"CSR","counts":[["CSR",12]]}},
-//!                   "right":...}}}
+//!                   "right":...}},
+//!  "ensemble":[<tree>, ...]}
 //! ```
+//!
+//! Version history: v1 = single tree (+ optional `"blocks"`); v2 adds the
+//! optional `"ensemble"` section (bagged forest, PR 10). v1 documents load
+//! unchanged; this build always writes v2.
 
 use crate::block::BlockModel;
 use crate::features::FEATURE_NAMES;
+use crate::online::ForestModel;
 use crate::regress::{RegressNode, RegressParams, RegressionTree};
 use crate::tree::{DecisionTree, Node, TreeParams};
 use dls_core::json::{escape, number, parse, JsonValue};
 use dls_sparse::Format;
+use std::fmt;
 use std::path::Path;
 use std::str::FromStr;
 
-/// Document format version this build writes and accepts.
-pub const MODEL_VERSION: u64 = 1;
+/// Document format version this build writes.
+pub const MODEL_VERSION: u64 = 2;
+
+/// Oldest document format version this build still reads.
+pub const MIN_MODEL_VERSION: u64 = 1;
+
+/// Typed model-load failure: what went wrong and exactly where.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The document is not valid JSON at all.
+    Json(String),
+    /// The document's `version` is outside the readable range.
+    Version {
+        /// Version declared by the document.
+        found: u64,
+        /// Oldest version this build reads ([`MIN_MODEL_VERSION`]).
+        min_supported: u64,
+        /// Newest version this build reads ([`MODEL_VERSION`]).
+        max_supported: u64,
+    },
+    /// The stored feature schema differs from this build's
+    /// [`FEATURE_NAMES`].
+    Schema {
+        /// Feature names the document was trained against.
+        found: Vec<String>,
+    },
+    /// A member is missing or has the wrong shape; `path` is the dotted
+    /// location inside the document (e.g. `"meta.seed"`,
+    /// `"tree.left.leaf.format"`).
+    Field {
+        /// Dotted path of the offending member.
+        path: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The model file could not be read.
+    Io {
+        /// Path of the file.
+        file: String,
+        /// Operating-system error text.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Json(msg) => write!(f, "model document is not valid JSON: {msg}"),
+            Self::Version { found, min_supported, max_supported } => write!(
+                f,
+                "unsupported model version {found} (this build reads \
+                 {min_supported}..={max_supported}) — retrain with `dls train-selector`"
+            ),
+            Self::Schema { found } => write!(
+                f,
+                "feature schema mismatch: model has {found:?}, this build expects \
+                 {FEATURE_NAMES:?} — retrain with `dls train-selector`"
+            ),
+            Self::Field { path, reason } => write!(f, "model field \"{path}\": {reason}"),
+            Self::Io { file, reason } => write!(f, "cannot read {file}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Legacy callers still thread `String` errors; keep `?` working for them.
+impl From<ModelError> for String {
+    fn from(e: ModelError) -> Self {
+        e.to_string()
+    }
+}
+
+fn field_err(path: &str, reason: impl Into<String>) -> ModelError {
+    ModelError::Field { path: path.to_string(), reason: reason.into() }
+}
+
+/// Fetches `key` from an object, reporting the full dotted path on absence.
+fn member<'a>(v: &'a JsonValue, key: &str, path: &str) -> Result<&'a JsonValue, ModelError> {
+    v.get(key).ok_or_else(|| field_err(&join(path, key), "missing"))
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn want_u64(v: &JsonValue, path: &str) -> Result<u64, ModelError> {
+    v.as_u64().ok_or_else(|| field_err(path, "must be a non-negative integer"))
+}
+
+fn want_usize(v: &JsonValue, path: &str) -> Result<usize, ModelError> {
+    v.as_usize().ok_or_else(|| field_err(path, "must be a non-negative integer"))
+}
+
+fn want_f64(v: &JsonValue, path: &str) -> Result<f64, ModelError> {
+    v.as_f64().ok_or_else(|| field_err(path, "must be a number"))
+}
+
+fn want_str<'a>(v: &'a JsonValue, path: &str) -> Result<&'a str, ModelError> {
+    v.as_str().ok_or_else(|| field_err(path, "must be a string"))
+}
+
+fn want_arr<'a>(v: &'a JsonValue, path: &str) -> Result<&'a [JsonValue], ModelError> {
+    v.as_arr().ok_or_else(|| field_err(path, "must be an array"))
+}
 
 /// Provenance of a trained model: how its training set was built.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelMeta {
     /// Master seed of the training grid.
     pub seed: u64,
-    /// Grid flavour: `"full"` or `"quick"`.
+    /// Grid flavour: `"full"`, `"quick"` or `"online"`.
     pub grid: String,
     /// Total training samples.
     pub samples: usize,
@@ -52,11 +173,16 @@ pub struct ModelMeta {
 pub struct TrainedModel {
     /// Training provenance.
     pub meta: ModelMeta,
-    /// The decision tree itself.
+    /// The decision tree itself (always present; the ensemble's fallback
+    /// single-tree view).
     pub tree: DecisionTree,
     /// Learned per-format tuned block sizes; `None` for models trained
     /// before the block-calibration sweep existed.
     pub blocks: Option<BlockModel>,
+    /// Bagged forest upgrade; `None` for single-tree models. When present,
+    /// [`TrainedModel::predict`] votes across the forest and
+    /// [`TrainedModel::predict_with_confidence`] reports the vote share.
+    pub ensemble: Option<ForestModel>,
 }
 
 fn node_json(node: &Node, out: &mut String) {
@@ -86,40 +212,49 @@ fn node_json(node: &Node, out: &mut String) {
     }
 }
 
-fn parse_node(v: &JsonValue) -> Result<Node, String> {
+fn parse_node(v: &JsonValue, path: &str) -> Result<Node, ModelError> {
     if let Some(leaf) = v.get("leaf") {
-        let format = parse_format(leaf.req("format")?)?;
+        let path = join(path, "leaf");
+        let format = parse_format(member(leaf, "format", &path)?, &join(&path, "format"))?;
+        let counts_path = join(&path, "counts");
         let mut counts = Vec::new();
-        for pair in leaf.req("counts")?.as_arr().ok_or("counts must be an array")? {
-            let pair = pair.as_arr().ok_or("count entry must be [format, n]")?;
+        for (i, pair) in want_arr(member(leaf, "counts", &path)?, &counts_path)?.iter().enumerate()
+        {
+            let entry_path = format!("{counts_path}[{i}]");
+            let pair = want_arr(pair, &entry_path)?;
             if pair.len() != 2 {
-                return Err("count entry must be [format, n]".into());
+                return Err(field_err(&entry_path, "must be a [format, n] pair"));
             }
-            let f = parse_format(&pair[0])?;
-            let n = pair[1].as_usize().ok_or("count must be a non-negative integer")?;
+            let f = parse_format(&pair[0], &format!("{entry_path}[0]"))?;
+            let n = want_usize(&pair[1], &format!("{entry_path}[1]"))?;
             counts.push((f, n));
         }
         Ok(Node::Leaf { format, counts })
     } else if let Some(split) = v.get("split") {
-        let feature = split.req("feature")?.as_usize().ok_or("feature must be an index")?;
+        let path = join(path, "split");
+        let fpath = join(&path, "feature");
+        let feature = want_usize(member(split, "feature", &path)?, &fpath)?;
         if feature >= FEATURE_NAMES.len() {
-            return Err(format!("feature index {feature} out of range"));
+            return Err(field_err(
+                &fpath,
+                format!("index {feature} out of range (max {})", FEATURE_NAMES.len() - 1),
+            ));
         }
-        let threshold = split.req("threshold")?.as_f64().ok_or("threshold must be a number")?;
+        let threshold = want_f64(member(split, "threshold", &path)?, &join(&path, "threshold"))?;
         Ok(Node::Split {
             feature,
             threshold,
-            left: Box::new(parse_node(split.req("left")?)?),
-            right: Box::new(parse_node(split.req("right")?)?),
+            left: Box::new(parse_node(member(split, "left", &path)?, &join(&path, "left"))?),
+            right: Box::new(parse_node(member(split, "right", &path)?, &join(&path, "right"))?),
         })
     } else {
-        Err("node must have a \"leaf\" or \"split\" member".into())
+        Err(field_err(path, "node must have a \"leaf\" or \"split\" member"))
     }
 }
 
-fn parse_format(v: &JsonValue) -> Result<Format, String> {
-    let name = v.as_str().ok_or("format must be a string")?;
-    Format::from_str(name).map_err(|e| e.to_string())
+fn parse_format(v: &JsonValue, path: &str) -> Result<Format, ModelError> {
+    let name = want_str(v, path)?;
+    Format::from_str(name).map_err(|e| field_err(path, e.to_string()))
 }
 
 fn regress_node_json(node: &RegressNode, out: &mut String) {
@@ -140,25 +275,37 @@ fn regress_node_json(node: &RegressNode, out: &mut String) {
     }
 }
 
-fn parse_regress_node(v: &JsonValue) -> Result<RegressNode, String> {
+fn parse_regress_node(v: &JsonValue, path: &str) -> Result<RegressNode, ModelError> {
     if let Some(leaf) = v.get("leaf") {
+        let path = join(path, "leaf");
         Ok(RegressNode::Leaf {
-            value: leaf.req("value")?.as_f64().ok_or("leaf value must be a number")?,
-            n: leaf.req("n")?.as_usize().ok_or("leaf n must be a count")?,
+            value: want_f64(member(leaf, "value", &path)?, &join(&path, "value"))?,
+            n: want_usize(member(leaf, "n", &path)?, &join(&path, "n"))?,
         })
     } else if let Some(split) = v.get("split") {
-        let feature = split.req("feature")?.as_usize().ok_or("feature must be an index")?;
+        let path = join(path, "split");
+        let fpath = join(&path, "feature");
+        let feature = want_usize(member(split, "feature", &path)?, &fpath)?;
         if feature >= FEATURE_NAMES.len() {
-            return Err(format!("block-tree feature index {feature} out of range"));
+            return Err(field_err(
+                &fpath,
+                format!("index {feature} out of range (max {})", FEATURE_NAMES.len() - 1),
+            ));
         }
         Ok(RegressNode::Split {
             feature,
-            threshold: split.req("threshold")?.as_f64().ok_or("threshold must be a number")?,
-            left: Box::new(parse_regress_node(split.req("left")?)?),
-            right: Box::new(parse_regress_node(split.req("right")?)?),
+            threshold: want_f64(member(split, "threshold", &path)?, &join(&path, "threshold"))?,
+            left: Box::new(parse_regress_node(
+                member(split, "left", &path)?,
+                &join(&path, "left"),
+            )?),
+            right: Box::new(parse_regress_node(
+                member(split, "right", &path)?,
+                &join(&path, "right"),
+            )?),
         })
     } else {
-        Err("regression node must have a \"leaf\" or \"split\" member".into())
+        Err(field_err(path, "regression node must have a \"leaf\" or \"split\" member"))
     }
 }
 
@@ -182,21 +329,24 @@ fn blocks_json(blocks: &BlockModel, out: &mut String) {
     out.push('}');
 }
 
-fn parse_blocks(v: &JsonValue) -> Result<BlockModel, String> {
+fn parse_blocks(v: &JsonValue, path: &str) -> Result<BlockModel, ModelError> {
     let members = match v {
         JsonValue::Obj(members) => members,
-        _ => return Err("\"blocks\" must be an object".into()),
+        _ => return Err(field_err(path, "must be an object")),
     };
     let mut trees = Vec::new();
     for (name, entry) in members {
-        let fmt = Format::from_str(name).map_err(|e| e.to_string())?;
-        let p = entry.req("params")?;
+        let entry_path = join(path, name);
+        let fmt = Format::from_str(name).map_err(|e| field_err(&entry_path, e.to_string()))?;
+        let p = member(entry, "params", &entry_path)?;
+        let ppath = join(&entry_path, "params");
         let params = RegressParams {
-            max_depth: p.req("max_depth")?.as_usize().ok_or("max_depth must be an integer")?,
-            min_leaf: p.req("min_leaf")?.as_usize().ok_or("min_leaf must be an integer")?,
-            min_gain: p.req("min_gain")?.as_f64().ok_or("min_gain must be a number")?,
+            max_depth: want_usize(member(p, "max_depth", &ppath)?, &join(&ppath, "max_depth"))?,
+            min_leaf: want_usize(member(p, "min_leaf", &ppath)?, &join(&ppath, "min_leaf"))?,
+            min_gain: want_f64(member(p, "min_gain", &ppath)?, &join(&ppath, "min_gain"))?,
         };
-        let root = parse_regress_node(entry.req("tree")?)?;
+        let root =
+            parse_regress_node(member(entry, "tree", &entry_path)?, &join(&entry_path, "tree"))?;
         trees.push((fmt, RegressionTree::from_parts(FEATURE_NAMES.len(), params, root)));
     }
     Ok(BlockModel { trees })
@@ -238,53 +388,80 @@ impl TrainedModel {
             out.push_str(",\"blocks\":");
             blocks_json(blocks, &mut out);
         }
+        if let Some(forest) = &self.ensemble {
+            out.push_str(",\"ensemble\":[");
+            for (i, tree) in forest.trees().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                node_json(tree.root(), &mut out);
+            }
+            out.push(']');
+        }
         out.push('}');
         out
     }
 
     /// Parses a model document, validating version and feature schema.
-    pub fn from_json(doc: &str) -> Result<Self, String> {
-        let v = parse(doc)?;
-        let version = v.req("version")?.as_u64().ok_or("version must be an integer")?;
-        if version != MODEL_VERSION {
-            return Err(format!(
-                "unsupported model version {version} (this build reads {MODEL_VERSION})"
-            ));
+    pub fn from_json(doc: &str) -> Result<Self, ModelError> {
+        let v = parse(doc).map_err(ModelError::Json)?;
+        let version = want_u64(member(&v, "version", "")?, "version")?;
+        if !(MIN_MODEL_VERSION..=MODEL_VERSION).contains(&version) {
+            return Err(ModelError::Version {
+                found: version,
+                min_supported: MIN_MODEL_VERSION,
+                max_supported: MODEL_VERSION,
+            });
         }
-        let names = v.req("features")?.as_arr().ok_or("features must be an array")?;
+        let names = want_arr(member(&v, "features", "")?, "features")?;
         let stored: Vec<&str> = names.iter().filter_map(|n| n.as_str()).collect();
         if stored != FEATURE_NAMES {
-            return Err(format!(
-                "feature schema mismatch: model has {stored:?}, this build expects \
-                 {FEATURE_NAMES:?} — retrain with `dls train-selector`"
-            ));
+            return Err(ModelError::Schema {
+                found: stored.iter().map(|s| s.to_string()).collect(),
+            });
         }
-        let m = v.req("meta")?;
+        let m = member(&v, "meta", "")?;
         let meta = ModelMeta {
-            seed: m.req("seed")?.as_u64().ok_or("seed must be an integer")?,
-            grid: m.req("grid")?.as_str().ok_or("grid must be a string")?.to_string(),
-            samples: m.req("samples")?.as_usize().ok_or("samples must be an integer")?,
-            measured: m.req("measured")?.as_usize().ok_or("measured must be an integer")?,
-            analytic_fallback: m
-                .req("analytic_fallback")?
-                .as_usize()
-                .ok_or("analytic_fallback must be an integer")?,
-            analytic: m.req("analytic")?.as_usize().ok_or("analytic must be an integer")?,
+            seed: want_u64(member(m, "seed", "meta")?, "meta.seed")?,
+            grid: want_str(member(m, "grid", "meta")?, "meta.grid")?.to_string(),
+            samples: want_usize(member(m, "samples", "meta")?, "meta.samples")?,
+            measured: want_usize(member(m, "measured", "meta")?, "meta.measured")?,
+            analytic_fallback: want_usize(
+                member(m, "analytic_fallback", "meta")?,
+                "meta.analytic_fallback",
+            )?,
+            analytic: want_usize(member(m, "analytic", "meta")?, "meta.analytic")?,
         };
-        let p = v.req("params")?;
+        let p = member(&v, "params", "")?;
         let params = TreeParams {
-            max_depth: p.req("max_depth")?.as_usize().ok_or("max_depth must be an integer")?,
-            min_leaf: p.req("min_leaf")?.as_usize().ok_or("min_leaf must be an integer")?,
-            min_gain: p.req("min_gain")?.as_f64().ok_or("min_gain must be a number")?,
+            max_depth: want_usize(member(p, "max_depth", "params")?, "params.max_depth")?,
+            min_leaf: want_usize(member(p, "min_leaf", "params")?, "params.min_leaf")?,
+            min_gain: want_f64(member(p, "min_gain", "params")?, "params.min_gain")?,
         };
-        let root = parse_node(v.req("tree")?)?;
+        let root = parse_node(member(&v, "tree", "")?, "tree")?;
         // "blocks" is optional: models trained before block calibration
         // existed load fine and fall back to the engine default block.
         let blocks = match v.get("blocks") {
-            Some(b) => Some(parse_blocks(b)?),
+            Some(b) => Some(parse_blocks(b, "blocks")?),
             None => None,
         };
-        Ok(Self { meta, tree: DecisionTree::from_parts(params, root), blocks })
+        // "ensemble" is optional: v1 documents and single-tree v2 documents
+        // simply have no forest. Ensemble trees share the main `params`.
+        let ensemble = match v.get("ensemble") {
+            Some(e) => {
+                let mut trees = Vec::new();
+                for (i, t) in want_arr(e, "ensemble")?.iter().enumerate() {
+                    let tree_path = format!("ensemble[{i}]");
+                    trees.push(DecisionTree::from_parts(params, parse_node(t, &tree_path)?));
+                }
+                if trees.is_empty() {
+                    return Err(field_err("ensemble", "must hold at least one tree"));
+                }
+                Some(ForestModel::from_trees(trees))
+            }
+            None => None,
+        };
+        Ok(Self { meta, tree: DecisionTree::from_parts(params, root), blocks, ensemble })
     }
 
     /// Writes the model to `path`.
@@ -293,10 +470,39 @@ impl TrainedModel {
     }
 
     /// Reads a model from `path`.
-    pub fn load_file(path: impl AsRef<Path>) -> Result<Self, String> {
-        let doc = std::fs::read_to_string(path.as_ref())
-            .map_err(|e| format!("cannot read {}: {e}", path.as_ref().display()))?;
+    pub fn load_file(path: impl AsRef<Path>) -> Result<Self, ModelError> {
+        let doc = std::fs::read_to_string(path.as_ref()).map_err(|e| ModelError::Io {
+            file: path.as_ref().display().to_string(),
+            reason: e.to_string(),
+        })?;
         Self::from_json(&doc)
+    }
+
+    /// Number of trees voting: ensemble size, or 1 for single-tree models.
+    pub fn ensemble_size(&self) -> usize {
+        self.ensemble.as_ref().map(|f| f.len()).unwrap_or(1)
+    }
+
+    /// Predicted format: forest majority vote when an ensemble is present,
+    /// the single tree otherwise.
+    pub fn predict(&self, x: &[f64; crate::features::NUM_FEATURES]) -> Format {
+        match &self.ensemble {
+            Some(forest) => forest.predict(x),
+            None => self.tree.predict(x),
+        }
+    }
+
+    /// Prediction plus a confidence in `[0, 1]`: the forest's winning vote
+    /// share, or the single tree's leaf purity (majority-class fraction of
+    /// the leaf's training histogram).
+    pub fn predict_with_confidence(
+        &self,
+        x: &[f64; crate::features::NUM_FEATURES],
+    ) -> (Format, f64) {
+        match &self.ensemble {
+            Some(forest) => forest.predict_with_confidence(x),
+            None => self.tree.predict_with_confidence(x),
+        }
     }
 }
 
@@ -333,6 +539,7 @@ mod tests {
             },
             tree,
             blocks: None,
+            ensemble: None,
         }
     }
 
@@ -352,6 +559,20 @@ mod tests {
             }
         }
         TrainedModel { blocks: Some(BlockModel::train(&samples)), ..sample_model() }
+    }
+
+    fn sample_model_with_ensemble() -> TrainedModel {
+        let base = sample_model();
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for k in 0..24 {
+            let mut x = [0.0; NUM_FEATURES];
+            x[3] = k as f64 / 23.0;
+            xs.push(x);
+            ys.push(if x[3] > 0.5 { Format::Den } else { Format::Csr });
+        }
+        let forest = ForestModel::train(&xs, &ys, base.tree.params(), 3, 42);
+        TrainedModel { ensemble: Some(forest), ..base }
     }
 
     #[test]
@@ -383,6 +604,22 @@ mod tests {
     }
 
     #[test]
+    fn ensemble_round_trips_and_votes_identically() {
+        let model = sample_model_with_ensemble();
+        let doc = model.to_json();
+        assert!(doc.contains("\"ensemble\":["), "forest persisted");
+        let restored = TrainedModel::from_json(&doc).unwrap();
+        assert_eq!(restored, model);
+        assert_eq!(restored.to_json(), doc, "serialisation is canonical");
+        assert_eq!(restored.ensemble_size(), 3);
+        for k in 0..50 {
+            let mut x = [0.0; NUM_FEATURES];
+            x[3] = k as f64 / 49.0;
+            assert_eq!(model.predict_with_confidence(&x), restored.predict_with_confidence(&x));
+        }
+    }
+
+    #[test]
     fn restored_model_predicts_identically() {
         let model = sample_model();
         let restored = TrainedModel::from_json(&model.to_json()).unwrap();
@@ -405,23 +642,71 @@ mod tests {
     }
 
     #[test]
-    fn load_rejects_bad_documents() {
-        assert!(TrainedModel::from_json("").is_err());
-        assert!(TrainedModel::from_json("{}").is_err());
+    fn load_reports_typed_errors_with_field_paths() {
+        assert!(matches!(TrainedModel::from_json(""), Err(ModelError::Json(_))));
+        assert_eq!(
+            TrainedModel::from_json("{}"),
+            Err(ModelError::Field { path: "version".into(), reason: "missing".into() })
+        );
         let doc = sample_model().to_json();
-        // Wrong version.
-        let bad = doc.replacen("\"version\":1", "\"version\":99", 1);
-        let err = TrainedModel::from_json(&bad).unwrap_err();
-        assert!(err.contains("version"), "{err}");
+        // Future version: typed error carrying the supported range.
+        let bad = doc.replacen("\"version\":2", "\"version\":99", 1);
+        assert_eq!(
+            TrainedModel::from_json(&bad),
+            Err(ModelError::Version { found: 99, min_supported: 1, max_supported: 2 })
+        );
+        let rendered = TrainedModel::from_json(&bad).unwrap_err().to_string();
+        assert!(rendered.contains("version 99"), "{rendered}");
+        assert!(rendered.contains("1..=2"), "{rendered}");
         // Wrong feature schema.
         let bad = doc.replacen("log2_m", "log3_m", 1);
-        let err = TrainedModel::from_json(&bad).unwrap_err();
-        assert!(err.contains("schema"), "{err}");
-        // Unknown format name in a leaf.
-        let bad = doc.replace("\"CSR\"", "\"XYZ\"");
-        assert!(TrainedModel::from_json(&bad).is_err());
-        // Out-of-range feature index.
+        match TrainedModel::from_json(&bad) {
+            Err(ModelError::Schema { found }) => assert_eq!(found[0], "log3_m"),
+            other => panic!("expected schema error, got {other:?}"),
+        }
+        // Unknown format name in a leaf: the error names the exact member.
+        let bad = doc.replacen("\"CSR\"", "\"XYZ\"", 1);
+        match TrainedModel::from_json(&bad) {
+            Err(ModelError::Field { path, .. }) => {
+                assert!(path.starts_with("tree."), "path locates the node: {path}")
+            }
+            other => panic!("expected field error, got {other:?}"),
+        }
+        // Wrong member type.
+        let bad = doc.replacen("\"seed\":7", "\"seed\":\"x\"", 1);
+        assert_eq!(
+            TrainedModel::from_json(&bad),
+            Err(ModelError::Field {
+                path: "meta.seed".into(),
+                reason: "must be a non-negative integer".into()
+            })
+        );
+        // Out-of-range feature index must not panic.
         let bad = doc.replacen("\"feature\":", "\"feature\":97", 1);
-        let _ = TrainedModel::from_json(&bad); // must not panic (may err on number juxtaposition)
+        let _ = TrainedModel::from_json(&bad);
+    }
+
+    #[test]
+    fn v1_documents_still_load() {
+        let model = sample_model();
+        let v1 = model.to_json().replacen("\"version\":2", "\"version\":1", 1);
+        let restored = TrainedModel::from_json(&v1).unwrap();
+        assert_eq!(restored.tree, model.tree);
+        assert!(restored.ensemble.is_none());
+    }
+
+    #[test]
+    fn v2_documents_with_unknown_optional_fields_still_load() {
+        // Forward compatibility: a newer build of the v2 family may add
+        // optional sections; this build must ignore them, not reject.
+        let model = sample_model();
+        let doc = model.to_json();
+        let extended = doc.replacen(
+            "\"meta\":",
+            "\"calibration\":{\"host\":\"other\",\"runs\":3},\"notes\":[1,2],\"meta\":",
+            1,
+        );
+        let restored = TrainedModel::from_json(&extended).unwrap();
+        assert_eq!(restored, model);
     }
 }

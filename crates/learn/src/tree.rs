@@ -145,6 +145,27 @@ impl DecisionTree {
         }
     }
 
+    /// Prediction plus a confidence in `[0, 1]`: the majority-class share
+    /// of the reached leaf's training histogram (1.0 for a pure leaf). The
+    /// single-tree analogue of a forest's vote margin.
+    pub fn predict_with_confidence(&self, x: &[f64; NUM_FEATURES]) -> (Format, f64) {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { format, counts } => {
+                    let total: usize = counts.iter().map(|&(_, c)| c).sum();
+                    let own =
+                        counts.iter().find(|&&(f, _)| f == *format).map(|&(_, c)| c).unwrap_or(0);
+                    let conf = if total == 0 { 0.0 } else { own as f64 / total as f64 };
+                    return (*format, conf);
+                }
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
     /// Prediction plus the decision path, rendered with `names` (one per
     /// feature index) — the human-readable "why" for selection reports.
     pub fn explain(

@@ -1,0 +1,62 @@
+//! Property-based tests for the telemetry training log: JSONL encoding of
+//! [`LabeledObservation`] must be a canonical round trip — parse(encode(o))
+//! is identical to `o`, and encode(parse(line)) is byte-identical to
+//! `line` — for arbitrary feature values, formats, blocks and batch sizes.
+
+use dls_learn::{parse_jsonl_log, LabeledObservation};
+use dls_sparse::{Format, MatrixFeatures};
+use proptest::prelude::*;
+
+/// Strategy: an observation with arbitrary (finite, non-negative) feature
+/// values, any of the nine formats, and arbitrary counters. Feature floats
+/// deliberately include awkward values (tiny, huge, many digits) to stress
+/// the hand-rolled number formatter.
+fn arb_observation() -> impl Strategy<Value = LabeledObservation> {
+    (
+        0u32..u32::MAX, // seq
+        (0usize..1 << 20, 0usize..1 << 20, 0usize..1 << 24, 0usize..1 << 20, 0usize..1 << 16),
+        (0.0f64..1e9, 0.0f64..1e6, 0.0f64..1e12, 0.0f64..1.0),
+        0usize..Format::ALL.len(),
+        (1usize..64, 1usize..256, 1u64..u64::from(u32::MAX)),
+    )
+        .prop_map(
+            |(
+                seq,
+                (m, n, nnz, ndig, mdim),
+                (dnnz, adim, vdim, density),
+                fmt,
+                (block, batch, nanos),
+            )| {
+                LabeledObservation {
+                    seq: u64::from(seq),
+                    features: MatrixFeatures { m, n, nnz, ndig, dnnz, mdim, adim, vdim, density },
+                    format: Format::ALL[fmt],
+                    block,
+                    batch,
+                    nanos,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// Invariant: JSONL round trip is the identity, both ways.
+    #[test]
+    fn jsonl_round_trip_identity(obs in arb_observation()) {
+        let line = obs.to_jsonl();
+        prop_assert!(!line.contains('\n'), "one observation, one line");
+        let restored = LabeledObservation::from_jsonl(&line)
+            .expect("own output must parse");
+        prop_assert_eq!(&restored, &obs);
+        prop_assert_eq!(restored.to_jsonl(), line, "encoding is canonical");
+    }
+
+    /// Invariant: a multi-line log drains back in order and unchanged.
+    #[test]
+    fn jsonl_log_round_trip(observations in proptest::collection::vec(arb_observation(), 0..20)) {
+        let text: String =
+            observations.iter().map(|o| format!("{}\n", o.to_jsonl())).collect();
+        let restored = parse_jsonl_log(&text).expect("log must parse");
+        prop_assert_eq!(restored, observations);
+    }
+}

@@ -83,6 +83,11 @@ pub struct ExecutorConfig {
     /// Fault injection for chaos runs; [`FaultInjector::none`] (the
     /// default) costs one branch per injection point.
     pub fault: FaultInjector,
+    /// The online-learning feedback hub: every successful sweep is
+    /// recorded as a training observation, and the hub's background
+    /// retrainer hot-swaps improved selectors. `None` (the default) costs
+    /// one branch per sweep.
+    pub feedback: Option<Arc<crate::feedback::FeedbackHub>>,
 }
 
 impl std::fmt::Debug for ExecutorConfig {
@@ -98,6 +103,7 @@ impl std::fmt::Debug for ExecutorConfig {
             .field("predictive_admission", &self.predictive_admission)
             .field("brownout", &self.brownout)
             .field("fault", &self.fault)
+            .field("feedback", &self.feedback.is_some())
             .finish()
     }
 }
@@ -117,6 +123,7 @@ impl Default for ExecutorConfig {
             predictive_admission: true,
             brownout: BrownoutConfig::default(),
             fault: FaultInjector::none(),
+            feedback: None,
         }
     }
 }
@@ -249,7 +256,15 @@ impl Executor {
             );
         }
         drop(workers);
+        if let Some(hub) = &exec.config.feedback {
+            hub.spawn_retrainer();
+        }
         exec
+    }
+
+    /// The online-learning feedback hub, when one is configured.
+    pub fn feedback(&self) -> Option<&Arc<crate::feedback::FeedbackHub>> {
+        self.config.feedback.as_ref()
     }
 
     /// The hosted models.
@@ -557,6 +572,9 @@ impl Executor {
     /// Graceful drain: refuse new work, finish everything queued — both
     /// classes — then join the workers. Idempotent.
     pub fn shutdown(&self) {
+        if let Some(hub) = &self.config.feedback {
+            hub.stop();
+        }
         self.draining.store(true, Ordering::SeqCst);
         self.paused.store(false, Ordering::SeqCst);
         for lane in &self.lanes {
@@ -749,6 +767,7 @@ impl Executor {
         if exec_fault.is_some() {
             FaultCounters::bump(&self.stats.faults.injected);
         }
+        let sweep_start = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| {
             match exec_fault {
                 Some(FaultAction::Delay(d)) => std::thread::sleep(d),
@@ -790,6 +809,18 @@ impl Executor {
         };
         let mut offset = 0;
         let done = Instant::now();
+        // Telemetry training log: one observation per executed sweep —
+        // the matrix's influencing parameters, the format that actually
+        // served (fallback layout while degraded), the tuned block, the
+        // coalesced batch size, and the measured sweep time.
+        if let Some(hub) = &self.config.feedback {
+            if let (Some(feats), Some(format)) = (served.matrix_features(), served.serving_format())
+            {
+                let nanos = done.duration_since(sweep_start).as_nanos().min(u64::MAX as u128);
+                let block = served.report().map(|r| r.block).unwrap_or(1);
+                hub.record_sweep(feats, format, block, vectors.len(), nanos as u64);
+            }
+        }
         for ((meta, job), n) in live.iter().zip(counts) {
             let slice = values[offset..offset + n].to_vec();
             offset += n;

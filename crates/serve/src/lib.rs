@@ -89,6 +89,7 @@ pub mod client;
 pub mod discipline;
 pub mod executor;
 pub mod fault;
+pub mod feedback;
 pub mod latency;
 pub mod proto;
 pub mod queue;
@@ -110,6 +111,7 @@ pub use executor::{Executor, ExecutorConfig};
 pub use fault::{
     FaultAction, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultStream, SplitMix64,
 };
+pub use feedback::{retrain_outcome_name, FeedbackConfig, FeedbackHub, RetrainOutcome};
 pub use latency::{AnalyticLatencyEstimator, TreeLatencyEstimator};
 #[allow(deprecated)]
 pub use proto::MAX_FRAME;
@@ -122,5 +124,6 @@ pub use queue::{ClassedQueue, DrainOrder, DrainPlan, JobMeta, PushError};
 pub use registry::{ModelHealth, ModelRegistry, ServedModel, QUARANTINE_PANICS};
 pub use server::{start, Frontend, ServerConfig, ServerHandle};
 pub use stats::{
-    parse_block_hist, ClassStats, DegradeCounters, FaultCounters, ReactorCounters, ServeStats,
+    parse_block_hist, ClassStats, DegradeCounters, FaultCounters, ReactorCounters,
+    SelectorCounters, ServeStats,
 };

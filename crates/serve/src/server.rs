@@ -494,6 +494,9 @@ pub(crate) fn dispatch_async(
         }
         Request::Stats => {
             let start = Instant::now();
+            if let Some(hub) = executor.feedback() {
+                hub.sync_stats(executor.stats());
+            }
             let json =
                 executor.stats().snapshot_json(executor.registry(), &executor.queue_depths());
             executor.stats().stats.record_ok(start.elapsed());

@@ -325,6 +325,69 @@ impl ReactorCounters {
     }
 }
 
+/// Gauges for the online-learning feedback loop (`serve::feedback`): the
+/// live model version, ensemble size, confidence-fallback counters, and
+/// retrain outcomes. All store-synced from the [`crate::FeedbackHub`] on
+/// every `Stats` request; all zero when no feedback hub is configured.
+#[derive(Debug, Default)]
+pub struct SelectorCounters {
+    /// Active model version — the hot-swap generation (1 = the selector
+    /// the server started with).
+    pub active_version: AtomicU64,
+    /// Trees in the live model: 0 analytic rules, 1 single CART, 3..=7
+    /// bagged forest.
+    pub ensemble_size: AtomicU64,
+    /// Selections made by the live hybrid selector.
+    pub decisions: AtomicU64,
+    /// Selections that fell below the confidence gate and were decided by
+    /// the analytic rules.
+    pub fallbacks: AtomicU64,
+    /// Observations ever appended to the telemetry ring.
+    pub observations: AtomicU64,
+    /// Observations overwritten before a retrainer drained them.
+    pub observations_dropped: AtomicU64,
+    /// Retrain cycles whose candidate was published.
+    pub retrains_accepted: AtomicU64,
+    /// Retrain cycles rolled back by the regret guard.
+    pub retrains_rolled_back: AtomicU64,
+    /// Last retrain outcome: 0 none, 1 accepted, 2 rolled back (see
+    /// [`crate::feedback::retrain_outcome_name`]).
+    pub last_retrain: AtomicU64,
+}
+
+impl SelectorCounters {
+    /// Fraction of hybrid selections decided by the rule fallback.
+    pub fn fallback_rate(&self) -> f64 {
+        let d = self.decisions.load(Ordering::Relaxed);
+        if d == 0 {
+            0.0
+        } else {
+            self.fallbacks.load(Ordering::Relaxed) as f64 / d as f64
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let get = |c: &AtomicU64| JsonValue::from(c.load(Ordering::Relaxed));
+        JsonValue::obj([
+            ("active_version", get(&self.active_version)),
+            ("ensemble_size", get(&self.ensemble_size)),
+            ("decisions", get(&self.decisions)),
+            ("fallbacks", get(&self.fallbacks)),
+            ("fallback_rate", JsonValue::from(self.fallback_rate())),
+            ("observations", get(&self.observations)),
+            ("observations_dropped", get(&self.observations_dropped)),
+            ("retrains_accepted", get(&self.retrains_accepted)),
+            ("retrains_rolled_back", get(&self.retrains_rolled_back)),
+            (
+                "last_retrain_outcome",
+                JsonValue::from(crate::feedback::retrain_outcome_name(
+                    self.last_retrain.load(Ordering::Relaxed),
+                )),
+            ),
+        ])
+    }
+}
+
 /// All live counters one server instance keeps.
 #[derive(Default)]
 pub struct ServeStats {
@@ -344,6 +407,9 @@ pub struct ServeStats {
     pub degrade: DegradeCounters,
     /// Readiness front-end gauges and executor steal count.
     pub reactor: ReactorCounters,
+    /// Online-learning selector gauges (version, ensemble, fallbacks,
+    /// retrain outcomes).
+    pub selector: SelectorCounters,
     /// How often the scheduler chose each format, in [`Format::ALL`] order.
     decisions: [AtomicU64; Format::ALL.len()],
     /// Process-wide kernel aggregate, fed by delta-merging every model's
@@ -451,6 +517,7 @@ impl ServeStats {
             ("faults", self.faults.to_json()),
             ("degradation", self.degrade.to_json()),
             ("reactor", self.reactor.to_json()),
+            ("selector", self.selector.to_json()),
             ("queues", JsonValue::Arr(queues)),
             ("schedule_decisions", JsonValue::Arr(decisions)),
             ("models", JsonValue::Arr(models)),

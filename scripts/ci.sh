@@ -60,6 +60,23 @@ for discipline in fifo priority slo; do
 done
 echo "==> serve parity OK (threads == reactor counters for fifo/priority/slo)"
 
+echo "==> retrain smoke (online loop: live traffic -> telemetry -> forced retrain -> hot swap)"
+for frontend in threads reactor; do
+  out="$(cargo run --release -q -p dls-bench --bin repro_serve -- --retrain-smoke --frontend "$frontend")"
+  echo "$out"
+  # The smoke itself asserts the version bump and zero dropped requests;
+  # the grep pins that those assertions actually ran.
+  echo "$out" | grep -q "retrain smoke OK" \
+    || { echo "retrain smoke ($frontend): missing success summary" >&2; exit 1; }
+  echo "$out" | grep -q "0 dropped" \
+    || { echo "retrain smoke ($frontend): missing zero-dropped assertion" >&2; exit 1; }
+done
+
+echo "==> online-selector gate (cross-machine regret: online/ensemble <= frozen CART)"
+selector_json="$(mktemp -t dls_selector_bench_XXXXXX.json)"
+trap 'rm -f "$model" "$bench_json" "$selector_json"' EXIT
+cargo run --release -q -p dls-bench --bin repro_selector_online -- --quick --check "$selector_json"
+
 echo "==> chaos smoke (seeded fault injection, watchdog-guarded, per frontend)"
 # The harness itself exits 2 on any hang and non-zero on any corrupted
 # response, untyped failure, or failed clean probe.

@@ -20,12 +20,19 @@
 //!               [--idle-timeout-ms N]               pipelined protocol v3;
 //!               [--no-brownout] [--chaos-seed N]    --chaos-seed arms the seeded
 //!                                                   fault-injection plan (demo)
+//!               [--online [--retrain-ms N]]         online learning: telemetry
+//!                                                   feeds a background retrainer
+//!                                                   that hot-swaps the selector
 //! dls stats     --serve <addr> [--health]           live telemetry snapshot (or
 //!                                                   health ladder) from a
-//!                                                   running server
+//!                                                   running server, with an
+//!                                                   online-selector summary
 //! dls train-selector [out.json] [--quick] [--analytic] [--seed N]
-//!                                                   fit a decision-tree model
-//!                                                   on the synthetic grid
+//!                    [--reps N] [--passes N] [--margin F]
+//!                                                   fit a decision-tree model on
+//!                                                   the synthetic grid; the
+//!                                                   measured-label gate knobs
+//!                                                   tune noise rejection
 //! dls selector-info <model.json>                    inspect a trained model
 //! ```
 //!
@@ -300,6 +307,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 .ok_or_else(|| "serve: --chaos-seed needs an integer seed".to_string())
         })
         .transpose()?;
+    let online = args.iter().any(|a| a == "--online");
+    let retrain_interval = millis_flag("--retrain-ms")?;
 
     let scheduler = LayoutScheduler::new();
     let mut registry = dls::serve::ModelRegistry::new();
@@ -321,10 +330,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
         None => dls::serve::FaultInjector::none(),
     };
+    // With --online the scheduler selects through the feedback hub's
+    // swappable handle: executed sweeps feed the telemetry ring, a
+    // background thread retrains on it, and accepted models are
+    // hot-swapped in without pausing serving.
+    let hub = online.then(|| {
+        let defaults = dls::serve::FeedbackConfig::default();
+        dls::serve::FeedbackHub::new(dls::serve::FeedbackConfig {
+            interval: retrain_interval.unwrap_or(defaults.interval),
+            ..defaults
+        })
+    });
     let executor = dls::serve::ExecutorConfig {
         discipline,
         brownout: dls::serve::BrownoutConfig { enabled: !no_brownout, ..Default::default() },
         fault,
+        feedback: hub.clone(),
         ..Default::default()
     };
     let defaults = dls::serve::ServerConfig::default();
@@ -336,8 +357,20 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         idle_timeout: idle_timeout.unwrap_or(defaults.idle_timeout),
         frontend,
     };
-    let handle = dls::serve::start(registry, LayoutScheduler::new(), config)
-        .map_err(|e| format!("bind: {e}"))?;
+    let serving_scheduler = match &hub {
+        Some(hub) => LayoutScheduler::with_selector(hub.selector()),
+        None => LayoutScheduler::new(),
+    };
+    let handle =
+        dls::serve::start(registry, serving_scheduler, config).map_err(|e| format!("bind: {e}"))?;
+    if let Some(hub) = &hub {
+        println!(
+            "online learning: model v{}, retrain every {:?} once {} observations buffer",
+            hub.version(),
+            hub.config().interval,
+            hub.config().min_observations
+        );
+    }
     println!(
         "listening on {} (frontend: {}, queue discipline: {}, brown-out {})",
         handle.local_addr(),
@@ -367,6 +400,28 @@ fn cmd_stats_serve(addr: &str, health: bool) -> Result<(), String> {
     };
     let doc = dls::core::json::parse(&json)?;
     print!("{}", doc.to_json_pretty());
+    // Surface the online-learning loop in one line: which model is live,
+    // how it votes, how often the confidence gate fell back to the rules,
+    // and how the last retraining cycle ended.
+    if let Some(sel) = doc.get("selector") {
+        let n = |k: &str| sel.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+        println!(
+            "selector: model v{} ({}), confidence fallback {:.1}% ({}/{}), \
+             {} observations ({} dropped), last retrain: {}",
+            n("active_version"),
+            match n("ensemble_size") {
+                0 => "analytic rules".to_string(),
+                1 => "single tree".to_string(),
+                k => format!("{k}-tree forest"),
+            },
+            sel.get("fallback_rate").and_then(|v| v.as_f64()).unwrap_or(0.0) * 100.0,
+            n("fallbacks"),
+            n("decisions"),
+            n("observations"),
+            n("observations_dropped"),
+            sel.get("last_retrain_outcome").and_then(|v| v.as_str()).unwrap_or("none"),
+        );
+    }
     Ok(())
 }
 
@@ -458,6 +513,28 @@ fn cmd_train_selector(args: &[String]) -> Result<(), String> {
                 .ok_or("train-selector: --seed needs an integer")
         })
         .transpose()?;
+    // Measured-label gate knobs (see `LabelMode::Measured`): reps per pass,
+    // pass count for the majority vote, and the winner-margin threshold.
+    let gate_flag = |name: &'static str| {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| {
+                args.get(i + 1)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|v| *v >= 0.0)
+                    .ok_or_else(|| format!("train-selector: {name} needs a non-negative number"))
+            })
+            .transpose()
+    };
+    let reps = gate_flag("--reps")?;
+    let passes = gate_flag("--passes")?;
+    let margin = gate_flag("--margin")?;
+    if analytic && (reps.is_some() || passes.is_some() || margin.is_some()) {
+        return Err("train-selector: --reps/--passes/--margin tune the measured-label gate; \
+             they have no effect with --analytic"
+            .into());
+    }
+    let value_flags = ["--seed", "--reps", "--passes", "--margin"];
     let out_path = {
         let mut skip_next = false;
         args.iter()
@@ -466,7 +543,7 @@ fn cmd_train_selector(args: &[String]) -> Result<(), String> {
                     skip_next = false;
                     return false;
                 }
-                if a.as_str() == "--seed" {
+                if value_flags.contains(&a.as_str()) {
                     skip_next = true;
                     return false;
                 }
@@ -482,11 +559,27 @@ fn cmd_train_selector(args: &[String]) -> Result<(), String> {
     }
     if analytic {
         cfg.mode = LabelMode::analytic_flat();
+    } else if let LabelMode::Measured {
+        reps: default_reps,
+        passes: default_passes,
+        min_margin: default_margin,
+    } = LabelMode::default()
+    {
+        cfg.mode = LabelMode::Measured {
+            reps: reps.map_or(default_reps, |v| v as usize),
+            passes: passes.map_or(default_passes, |v| v as usize),
+            min_margin: margin.unwrap_or(default_margin),
+        };
     }
+    let labels = match cfg.mode {
+        LabelMode::Measured { reps, passes, min_margin } => {
+            format!("measured (reps {reps}, passes {passes}, margin {:.1}%)", min_margin * 100.0)
+        }
+        LabelMode::Analytic { .. } => "analytic".to_string(),
+    };
     println!(
-        "training on the {} grid, {} labels, seed {} ...",
+        "training on the {} grid, {labels} labels, seed {} ...",
         if quick { "quick" } else { "full" },
-        if analytic { "analytic" } else { "measured" },
         cfg.seed
     );
     let start = Instant::now();
@@ -533,11 +626,28 @@ fn cmd_selector_info(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("selector-info: missing model path")?;
     let model = TrainedModel::load_file(path)?;
     let m = &model.meta;
-    println!("model: {path}");
+    // The raw document carries the format version the loader validated.
+    let doc_version = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| dls::core::json::parse(&text).ok())
+        .and_then(|doc| doc.get("version").and_then(|v| v.as_u64()))
+        .unwrap_or(0);
+    println!(
+        "model: {path} (document v{doc_version}, this build reads v{}..=v{})",
+        dls::learn::MIN_MODEL_VERSION,
+        dls::learn::MODEL_VERSION
+    );
     println!(
         "trained on {} samples (grid={}, seed={}): {} measured, {} analytic fallback, {} analytic",
         m.samples, m.grid, m.seed, m.measured, m.analytic_fallback, m.analytic
     );
+    match &model.ensemble {
+        Some(forest) => println!(
+            "ensemble: {}-tree bagged forest (majority vote with vote-margin confidence)",
+            forest.len()
+        ),
+        None => println!("ensemble: none (single tree votes alone)"),
+    }
     let p = model.tree.params();
     println!(
         "tree: depth {} (max {}), {} leaves, min_leaf {}, min_gain {:e}",
